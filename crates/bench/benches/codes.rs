@@ -1,0 +1,82 @@
+//! Microbenchmarks of the coding layer: symbol encode/decode and
+//! row-level block encoding — the operations a WOM-code memory controller
+//! performs on every access.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use wom_code::{BlockCodec, Inverted, Pattern, Rs23Code, TabularWomCode, WomCode};
+
+fn symbol_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbol_encode");
+    let plain = Rs23Code::new();
+    let inverted = Inverted::new(Rs23Code::new());
+    let tabular = TabularWomCode::rivest_shamir_23();
+
+    group.bench_function("rs23_first_write", |b| {
+        let erased = plain.initial_pattern();
+        b.iter(|| plain.encode(0, black_box(0b10), erased).unwrap())
+    });
+    group.bench_function("rs23_second_write", |b| {
+        let first = plain.encode(0, 0b01, plain.initial_pattern()).unwrap();
+        b.iter(|| plain.encode(1, black_box(0b10), first).unwrap())
+    });
+    group.bench_function("inverted_rs23_second_write", |b| {
+        let first = inverted
+            .encode(0, 0b01, inverted.initial_pattern())
+            .unwrap();
+        b.iter(|| inverted.encode(1, black_box(0b10), first).unwrap())
+    });
+    group.bench_function("tabular_rs23_second_write", |b| {
+        let first = tabular.encode(0, 0b01, tabular.initial_pattern()).unwrap();
+        b.iter(|| tabular.encode(1, black_box(0b10), first).unwrap())
+    });
+    group.finish();
+}
+
+fn symbol_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbol_decode");
+    let plain = Rs23Code::new();
+    let inverted = Inverted::new(Rs23Code::new());
+    group.bench_function("rs23_xor_decode", |b| {
+        let p = Pattern::from_bits(0b101, 3);
+        b.iter(|| plain.decode(black_box(p)))
+    });
+    group.bench_function("inverted_rs23_decode", |b| {
+        let p = Pattern::from_bits(0b010, 3);
+        b.iter(|| inverted.decode(black_box(p)))
+    });
+    group.finish();
+}
+
+fn block_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_codec");
+    // A 1 KiB PCM row, the paper's row size.
+    const ROW_BYTES: usize = 1024;
+    group.throughput(Throughput::Bytes(ROW_BYTES as u64));
+    let codec = BlockCodec::new(Inverted::new(Rs23Code::new()), ROW_BYTES * 8).unwrap();
+    let data1 = vec![0xA5u8; ROW_BYTES];
+    let data2 = vec![0x3Cu8; ROW_BYTES];
+
+    group.bench_function("encode_row_first_write", |b| {
+        b.iter(|| {
+            let mut cells = codec.erased_buffer();
+            codec.encode_row(0, black_box(&data1), &mut cells).unwrap()
+        })
+    });
+    group.bench_function("encode_row_rewrite", |b| {
+        let mut base = codec.erased_buffer();
+        codec.encode_row(0, &data1, &mut base).unwrap();
+        b.iter(|| {
+            let mut cells = base.clone();
+            codec.encode_row(1, black_box(&data2), &mut cells).unwrap()
+        })
+    });
+    group.bench_function("decode_row", |b| {
+        let mut cells = codec.erased_buffer();
+        codec.encode_row(0, &data1, &mut cells).unwrap();
+        b.iter(|| codec.decode_row(black_box(&cells)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, symbol_encode, symbol_decode, block_codec);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion wrapper over the Fig. 5 experiment cells: time one
+//! (architecture x workload) simulation at reduced scale. Regenerating the
+//! actual figure is `cargo run -p wom-pcm-bench --bin fig5 --release`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_trace::synth::benchmarks;
+use wom_pcm::Architecture;
+use wom_pcm_bench::run_cell;
+
+const RECORDS: usize = 5_000;
+
+fn fig5_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_write");
+    group.sample_size(10);
+    let profile = benchmarks::by_name("qsort").expect("paper workload");
+    for arch in Architecture::all_paper() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(arch.label()),
+            &arch,
+            |b, &arch| b.iter(|| run_cell(arch, &profile, RECORDS, 1, 32).expect("cell runs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_cells);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Throughput benches: how fast the substrate itself runs — trace
+//! generation rate and end-to-end simulation rate per architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcm_trace::synth::benchmarks;
+use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+
+const RECORDS: usize = 10_000;
+
+fn trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(RECORDS as u64));
+    for name in ["qsort", "410.bwaves"] {
+        let profile = benchmarks::by_name(name).expect("paper workload");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
+            b.iter(|| p.generate(7, RECORDS))
+        });
+    }
+    group.finish();
+}
+
+fn simulation_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_rate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(RECORDS as u64));
+    let trace = benchmarks::by_name("mad")
+        .expect("paper workload")
+        .generate(7, RECORDS);
+    for arch in Architecture::all_paper() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(arch.label()),
+            &arch,
+            |b, &arch| {
+                b.iter(|| {
+                    let mut cfg = SystemConfig::paper(arch);
+                    cfg.mem.geometry.rows_per_bank = 4096;
+                    let mut sys = WomPcmSystem::new(cfg).expect("valid config");
+                    sys.run_trace(trace.clone()).expect("trace runs")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, trace_generation, simulation_rate);
+criterion_main!(benches);

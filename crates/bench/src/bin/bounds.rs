@@ -1,0 +1,46 @@
+//! Prints the §3.2 analytic bounds: the normalized-latency bound
+//! `(k − 1 + S)/(k·S)` of a k-rewrite WOM code for a sweep of rewrite
+//! limits and slowdown factors, the ideal PCM-refresh bound `S`, and the
+//! WCPCM overhead formula `expansion / N_bank` (§4).
+
+use wom_code::analysis::{latency_ratio_bound, refresh_speedup_bound, wcpcm_overhead};
+use wom_code::Rs23Code;
+
+fn main() {
+    // The paper's PCM: SET 150 ns, RESET 40 ns.
+    let paper_s = 150.0 / 40.0;
+
+    println!("Normalized write-latency bound (k-1+S)/(kS) for k-rewrite WOM codes");
+    print!("{:>8}", "k \\ S");
+    let slowdowns = [2.0, paper_s, 5.0, 10.0];
+    for s in slowdowns {
+        print!("{s:>10.2}");
+    }
+    println!();
+    for k in [1u32, 2, 3, 4, 8, 16] {
+        print!("{k:>8}");
+        for s in slowdowns {
+            print!("{:>10.3}", latency_ratio_bound(k, s));
+        }
+        println!();
+    }
+    println!(
+        "\nthe paper's <2^2>^2/3 code (k = 2) at S = {paper_s:.2}: bound {:.3} \
+         (write latency can at best drop to {:.1}% of baseline)",
+        latency_ratio_bound(2, paper_s),
+        latency_ratio_bound(2, paper_s) * 100.0
+    );
+    println!(
+        "ideal PCM-refresh hides every alpha-write: speedup bound {:.2}x, independent of k",
+        refresh_speedup_bound(paper_s)
+    );
+
+    println!("\nWCPCM memory overhead (expansion / banks-per-rank) for the <2^2>^2/3 code:");
+    for banks in [4u32, 8, 16, 32, 64] {
+        println!(
+            "  {banks:>3} banks/rank: {:>6.2}%",
+            wcpcm_overhead(&Rs23Code::new(), banks) * 100.0
+        );
+    }
+    println!("paper reports 4.7% at 32 banks/rank");
+}

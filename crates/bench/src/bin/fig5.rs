@@ -1,0 +1,66 @@
+//! Regenerates Fig. 5 of the paper: normalized average write latency
+//! (panel a) and read latency (panel b) of the four PCM architectures
+//! across the 20 SPEC CPU2006 / MiBench / SPLASH-2 workloads.
+//!
+//! Usage: `fig5 [records] [seed] [--json]` (defaults: 120000, 2014).
+
+use wom_pcm_bench::{average, fig5, json, reduction_pct, DEFAULT_RECORDS, DEFAULT_SEED};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let mut args = args.into_iter();
+    let records: usize = args.next().map_or(DEFAULT_RECORDS, |s| {
+        s.parse().expect("records must be a number")
+    });
+    let seed: u64 = args
+        .next()
+        .map_or(DEFAULT_SEED, |s| s.parse().expect("seed must be a number"));
+
+    eprintln!("running fig5: 20 workloads x 4 architectures, {records} records each ...");
+    let rows = fig5(records, seed).expect("figure runs");
+    if json_out {
+        println!("{}", json::fig5(&rows));
+        return;
+    }
+
+    let arch_names = ["baseline", "wom-code", "pcm-refresh", "wcpcm"];
+
+    for (panel, writes) in [
+        ("Figure 5(a): normalized WRITE latency", true),
+        ("Figure 5(b): normalized READ latency", false),
+    ] {
+        println!("\n{panel}");
+        print!("{:16}", "benchmark");
+        for a in arch_names {
+            print!("{a:>13}");
+        }
+        println!();
+        for row in &rows {
+            print!("{:16}", row.benchmark);
+            let vals = if writes { &row.write } else { &row.read };
+            for v in vals {
+                print!("{v:>13.3}");
+            }
+            println!();
+        }
+        print!("{:16}", "AVERAGE");
+        for i in 0..4 {
+            print!("{:>13.3}", average(&rows, i, writes));
+        }
+        println!();
+        println!(
+            "paper reports   : wom-code -{:.1}%  pcm-refresh -{:.1}%  wcpcm -{:.1}%",
+            if writes { 20.1 } else { 10.2 },
+            if writes { 54.9 } else { 47.9 },
+            if writes { 47.2 } else { 44.0 },
+        );
+        println!(
+            "this run        : wom-code -{:.1}%  pcm-refresh -{:.1}%  wcpcm -{:.1}%",
+            reduction_pct(average(&rows, 1, writes)),
+            reduction_pct(average(&rows, 2, writes)),
+            reduction_pct(average(&rows, 3, writes)),
+        );
+    }
+}

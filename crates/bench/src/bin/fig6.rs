@@ -1,0 +1,60 @@
+//! Regenerates Fig. 6 of the paper: WOM-cache hit rate in WCPCM for 4, 8,
+//! 16, and 32 banks/rank across the 20 workloads. The paper's trend: the
+//! more banks per rank, the lower the hit rate (more banks conflict on
+//! each per-row tag).
+//!
+//! Usage: `fig6 [records] [seed]` (defaults: 120000, 2014).
+
+use pcm_trace::synth::benchmarks;
+use wom_pcm_bench::{bank_sweep, json, DEFAULT_RECORDS, DEFAULT_SEED};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let mut args = args.into_iter();
+    let records: usize = args.next().map_or(DEFAULT_RECORDS, |s| {
+        s.parse().expect("records must be a number")
+    });
+    let seed: u64 = args
+        .next()
+        .map_or(DEFAULT_SEED, |s| s.parse().expect("seed must be a number"));
+
+    if json_out {
+        let docs: Vec<String> = pcm_trace::synth::benchmarks::all()
+            .iter()
+            .map(|p| {
+                let points = bank_sweep(p, records, seed).expect("sweep runs");
+                json::bank_sweep(&p.name, &points)
+            })
+            .collect();
+        println!("[{}]", docs.join(","));
+        return;
+    }
+
+    eprintln!("running fig6: 20 workloads x 4 bank counts, {records} records each ...");
+
+    println!("\nFigure 6: WOM-cache hit rate in WCPCM");
+    println!(
+        "{:16}{:>14}{:>14}{:>14}{:>14}",
+        "benchmark", "4 banks/rank", "8 banks/rank", "16 banks/rank", "32 banks/rank"
+    );
+    let mut sums = [0.0f64; 4];
+    let mut count = 0usize;
+    for profile in benchmarks::all() {
+        let points = bank_sweep(&profile, records, seed).expect("sweep runs");
+        print!("{:16}", profile.name);
+        for (i, p) in points.iter().enumerate() {
+            print!("{:>14.3}", p.hit_rate);
+            sums[i] += p.hit_rate;
+        }
+        println!();
+        count += 1;
+    }
+    print!("{:16}", "AVERAGE");
+    for s in sums {
+        print!("{:>14.3}", s / count as f64);
+    }
+    println!();
+    println!("paper's trend: hit rate decreases monotonically with banks/rank");
+}

@@ -1,0 +1,62 @@
+//! Regenerates Fig. 7 of the paper: WCPCM write latency for 4, 8, 16, and
+//! 32 banks/rank, normalized to the 4 banks/rank organization. The
+//! paper's trend: write latency decreases as banks/rank increases (more
+//! bank-level parallelism outweighs the lower cache hit rate).
+//!
+//! Usage: `fig7 [records] [seed]` (defaults: 120000, 2014).
+
+use pcm_trace::synth::benchmarks;
+use wom_pcm_bench::{bank_sweep, json, DEFAULT_RECORDS, DEFAULT_SEED};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let mut args = args.into_iter();
+    let records: usize = args.next().map_or(DEFAULT_RECORDS, |s| {
+        s.parse().expect("records must be a number")
+    });
+    let seed: u64 = args
+        .next()
+        .map_or(DEFAULT_SEED, |s| s.parse().expect("seed must be a number"));
+
+    if json_out {
+        let docs: Vec<String> = pcm_trace::synth::benchmarks::all()
+            .iter()
+            .map(|p| {
+                let points = bank_sweep(p, records, seed).expect("sweep runs");
+                json::bank_sweep(&p.name, &points)
+            })
+            .collect();
+        println!("[{}]", docs.join(","));
+        return;
+    }
+
+    eprintln!("running fig7: 20 workloads x 4 bank counts, {records} records each ...");
+
+    println!("\nFigure 7: normalized write latency in WCPCM (vs 4 banks/rank)");
+    println!(
+        "{:16}{:>14}{:>14}{:>14}{:>14}",
+        "benchmark", "4 banks/rank", "8 banks/rank", "16 banks/rank", "32 banks/rank"
+    );
+    let mut sums = [0.0f64; 4];
+    let mut count = 0usize;
+    for profile in benchmarks::all() {
+        let points = bank_sweep(&profile, records, seed).expect("sweep runs");
+        let base = points[0].mean_write_ns;
+        print!("{:16}", profile.name);
+        for (i, p) in points.iter().enumerate() {
+            let norm = p.mean_write_ns / base;
+            print!("{norm:>14.3}");
+            sums[i] += norm;
+        }
+        println!();
+        count += 1;
+    }
+    print!("{:16}", "AVERAGE");
+    for s in sums {
+        print!("{:>14.3}", s / count as f64);
+    }
+    println!();
+    println!("paper's trend: write latency decreases as banks/rank increases");
+}

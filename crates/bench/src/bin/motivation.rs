@@ -1,0 +1,76 @@
+//! The paper's §1 motivation, made measurable: how much slower is
+//! conventional PCM than DRAM-class timing on the same trace, and how
+//! much of that gap does each WOM architecture close?
+//!
+//! (§1 cites up to 61% performance degradation from PCM's long writes in
+//! general-purpose applications \[7\]; the exact figure depends on the
+//! workload, but the structure — writes gate everything — reproduces.)
+//!
+//! Usage: `motivation [records] [seed]` (defaults: 30000, 2014).
+
+use pcm_sim::TimingParams;
+use pcm_trace::synth::benchmarks;
+use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let records: usize = args.next().map_or(30_000, |s| s.parse().expect("records"));
+    let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
+
+    println!(
+        "{:16}{:>10}{:>12}{:>12}{:>14}{:>10}",
+        "benchmark", "dram ns", "pcm ns", "pcm/dram", "best wom ns", "closed"
+    );
+    for bench in ["401.bzip2", "464.h264ref", "470.lbm", "qsort", "ocean"] {
+        let profile = benchmarks::by_name(bench).expect("paper workload");
+        let trace = profile.generate(seed, records);
+
+        // DRAM-class device: symmetric 27 ns writes.
+        let mut dram_cfg = SystemConfig::paper(Architecture::Baseline);
+        dram_cfg.mem.geometry.rows_per_bank = 4096;
+        dram_cfg.mem.timing = TimingParams::dram_like();
+        let dram = WomPcmSystem::new(dram_cfg)
+            .expect("valid config")
+            .run_trace(trace.clone())
+            .expect("trace runs");
+
+        let run = |arch: Architecture| {
+            let mut cfg = SystemConfig::paper(arch);
+            cfg.mem.geometry.rows_per_bank = 4096;
+            WomPcmSystem::new(cfg)
+                .expect("valid config")
+                .run_trace(trace.clone())
+                .expect("trace runs")
+        };
+        let pcm = run(Architecture::Baseline);
+        // The strongest architecture per benchmark (refresh or WCPCM).
+        let refresh = run(Architecture::WomCodeRefresh);
+        let wcpcm = run(Architecture::Wcpcm);
+        let best = if refresh.mean_write_ns() < wcpcm.mean_write_ns() {
+            refresh
+        } else {
+            wcpcm
+        };
+
+        let gap = pcm.mean_write_ns() - dram.mean_write_ns();
+        let closed = if gap > 0.0 {
+            (pcm.mean_write_ns() - best.mean_write_ns()) / gap * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:16}{:>10.1}{:>12.1}{:>11.2}x{:>14.1}{:>9.0}%",
+            bench,
+            dram.mean_write_ns(),
+            pcm.mean_write_ns(),
+            pcm.mean_write_ns() / dram.mean_write_ns(),
+            best.mean_write_ns(),
+            closed
+        );
+    }
+    println!(
+        "\n'closed' = share of the PCM-vs-DRAM write-latency gap recovered by the\n\
+         best WOM architecture - the paper's case that coding makes PCM a\n\
+         practical DRAM alternative."
+    );
+}

@@ -1,0 +1,52 @@
+//! Seed sensitivity: the synthetic-trace substitution introduces RNG
+//! where the paper had fixed captures, so the architecture conclusions
+//! must be shown robust to the seed. Runs the Fig. 5 averages over
+//! several seeds and reports the spread.
+//!
+//! Usage: `seeds [records] [n_seeds]` (defaults: 40000, 5).
+
+use wom_pcm_bench::{average, fig5};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let records: usize = args.next().map_or(40_000, |s| s.parse().expect("records"));
+    let n_seeds: u64 = args.next().map_or(5, |s| s.parse().expect("seed count"));
+
+    let mut per_seed: Vec<[f64; 3]> = Vec::new();
+    for seed in 0..n_seeds {
+        eprintln!("seed {seed} ({records} records x 80 cells) ...");
+        let rows = fig5(records, seed).expect("figure runs");
+        per_seed.push([
+            average(&rows, 1, true),
+            average(&rows, 2, true),
+            average(&rows, 3, true),
+        ]);
+    }
+
+    println!("\nFig. 5(a) averages across {n_seeds} seeds ({records} records/run)\n");
+    println!(
+        "{:>6}{:>12}{:>14}{:>10}",
+        "seed", "wom-code", "pcm-refresh", "wcpcm"
+    );
+    for (seed, row) in per_seed.iter().enumerate() {
+        println!(
+            "{:>6}{:>12.3}{:>14.3}{:>10.3}",
+            seed, row[0], row[1], row[2]
+        );
+    }
+    for (label, idx) in [("wom-code", 0usize), ("pcm-refresh", 1), ("wcpcm", 2)] {
+        let vals: Vec<f64> = per_seed.iter().map(|r| r[idx]).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{label:>13}: mean {mean:.3}, stddev {:.4}, range [{min:.3}, {max:.3}]",
+            var.sqrt()
+        );
+    }
+    println!(
+        "\nthe architecture ordering must hold for every seed for the\n\
+         reproduction's conclusions to stand."
+    );
+}

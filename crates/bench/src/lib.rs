@@ -1,0 +1,309 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each figure has a binary (`fig5`, `fig6`, `fig7`, `table1`, `bounds`)
+//! that prints the same rows/series the paper reports, plus Criterion
+//! benches over the same code paths. The functions here are the shared
+//! machinery: run one (architecture × workload) cell, sweep the paper's
+//! parameter spaces, and format results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pcm_trace::synth::{benchmarks, WorkloadProfile};
+use wom_pcm::{Architecture, RunMetrics, SystemConfig, WomPcmError, WomPcmSystem};
+
+/// Default records per run for figure regeneration. Large enough for
+/// steady-state behaviour, small enough that all 80 Fig. 5 cells run in
+/// minutes.
+pub const DEFAULT_RECORDS: usize = 120_000;
+
+/// Default RNG seed, so published numbers are reproducible.
+pub const DEFAULT_SEED: u64 = 2014; // the paper's year
+
+/// Scaled-down rows per bank for experiment runs. The address space
+/// behaves identically (traces wrap inside their working sets); fewer
+/// rows only bound the simulator's lazily-allocated state.
+pub const EXPERIMENT_ROWS_PER_BANK: u32 = 4096;
+
+/// Runs one workload through one architecture and returns its metrics.
+///
+/// # Errors
+///
+/// Propagates [`WomPcmError`] from system construction or the run.
+pub fn run_cell(
+    arch: Architecture,
+    profile: &WorkloadProfile,
+    records: usize,
+    seed: u64,
+    banks_per_rank: u32,
+) -> Result<RunMetrics, WomPcmError> {
+    let trace = profile.generate(seed, records);
+    let mut cfg = SystemConfig::paper(arch);
+    // The Figs. 6-7 sweep reorganizes a fixed-capacity device: fewer banks
+    // per rank means proportionally more rows per bank (and a larger
+    // WOM-cache array, which has "the same number of rows ... as a
+    // conventional PCM array in a bank").
+    cfg.mem.geometry.banks_per_rank = banks_per_rank;
+    cfg.mem.geometry.rows_per_bank = EXPERIMENT_ROWS_PER_BANK * 32 / banks_per_rank;
+    let mut sys = WomPcmSystem::new(cfg)?;
+    sys.run_trace(trace)
+}
+
+/// One benchmark's row of Fig. 5: normalized write and read latency for
+/// each of the paper's four architectures (baseline first, always 1.0).
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Workload name.
+    pub benchmark: String,
+    /// Normalized mean write latency per architecture, Fig. 5 legend
+    /// order.
+    pub write: [f64; 4],
+    /// Normalized mean read latency per architecture.
+    pub read: [f64; 4],
+}
+
+/// Regenerates Fig. 5 (both panels) for the paper's 20 workloads.
+///
+/// # Errors
+///
+/// Propagates errors from any cell.
+///
+/// # Panics
+///
+/// Panics if a run records no reads or writes (cannot happen for the
+/// bundled profiles with a non-trivial record count).
+pub fn fig5(records: usize, seed: u64) -> Result<Vec<Fig5Row>, WomPcmError> {
+    let mut rows = Vec::new();
+    for profile in benchmarks::all() {
+        let cells: Vec<RunMetrics> = Architecture::all_paper()
+            .iter()
+            .map(|&arch| run_cell(arch, &profile, records, seed, 32))
+            .collect::<Result<_, _>>()?;
+        let base = &cells[0];
+        let write = [
+            1.0,
+            cells[1]
+                .normalized_write_latency(base)
+                .expect("writes recorded"),
+            cells[2]
+                .normalized_write_latency(base)
+                .expect("writes recorded"),
+            cells[3]
+                .normalized_write_latency(base)
+                .expect("writes recorded"),
+        ];
+        let read = [
+            1.0,
+            cells[1]
+                .normalized_read_latency(base)
+                .expect("reads recorded"),
+            cells[2]
+                .normalized_read_latency(base)
+                .expect("reads recorded"),
+            cells[3]
+                .normalized_read_latency(base)
+                .expect("reads recorded"),
+        ];
+        rows.push(Fig5Row {
+            benchmark: profile.name.clone(),
+            write,
+            read,
+        });
+    }
+    Ok(rows)
+}
+
+/// The paper's "on average across the benchmarks": arithmetic mean of
+/// per-benchmark normalized values for one architecture column.
+#[must_use]
+pub fn average(rows: &[Fig5Row], arch_index: usize, writes: bool) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = rows
+        .iter()
+        .map(|r| {
+            if writes {
+                r.write[arch_index]
+            } else {
+                r.read[arch_index]
+            }
+        })
+        .sum();
+    sum / rows.len() as f64
+}
+
+/// One point of Figs. 6–7: WCPCM at a given banks/rank.
+#[derive(Debug, Clone)]
+pub struct BankSweepPoint {
+    /// Banks per rank (4, 8, 16, or 32 in the paper).
+    pub banks_per_rank: u32,
+    /// WOM-cache demand hit rate (Fig. 6).
+    pub hit_rate: f64,
+    /// WOM-cache write hit rate.
+    pub write_hit_rate: f64,
+    /// Mean demand write latency in ns (normalized externally for Fig. 7).
+    pub mean_write_ns: f64,
+}
+
+/// Regenerates the Figs. 6–7 banks/rank sweep for one workload.
+///
+/// # Errors
+///
+/// Propagates errors from any cell.
+///
+/// # Panics
+///
+/// Panics if a run reports no cache statistics (cannot happen: the sweep
+/// always runs WCPCM).
+pub fn bank_sweep(
+    profile: &WorkloadProfile,
+    records: usize,
+    seed: u64,
+) -> Result<Vec<BankSweepPoint>, WomPcmError> {
+    [4u32, 8, 16, 32]
+        .iter()
+        .map(|&banks| {
+            let m = run_cell(Architecture::Wcpcm, profile, records, seed, banks)?;
+            let cache = m.cache.expect("wcpcm reports cache stats");
+            Ok(BankSweepPoint {
+                banks_per_rank: banks,
+                hit_rate: cache.hit_rate(),
+                write_hit_rate: cache.write_hit_rate(),
+                mean_write_ns: m.mean_write_ns(),
+            })
+        })
+        .collect()
+}
+
+/// Formats a ratio as the paper's percentages ("reduced by 20.1%").
+#[must_use]
+pub fn reduction_pct(normalized: f64) -> f64 {
+    (1.0 - normalized) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cell_produces_metrics() {
+        let profile = benchmarks::by_name("stringsearch").unwrap();
+        let m = run_cell(Architecture::Baseline, &profile, 2_000, 1, 32).unwrap();
+        assert!(m.writes.count > 0);
+        assert!(m.reads.count > 0);
+    }
+
+    #[test]
+    fn averages_and_reductions() {
+        let rows = vec![
+            Fig5Row {
+                benchmark: "a".into(),
+                write: [1.0, 0.8, 0.4, 0.5],
+                read: [1.0, 0.9, 0.5, 0.6],
+            },
+            Fig5Row {
+                benchmark: "b".into(),
+                write: [1.0, 0.6, 0.6, 0.5],
+                read: [1.0, 0.9, 0.5, 0.6],
+            },
+        ];
+        assert!((average(&rows, 1, true) - 0.7).abs() < 1e-12);
+        assert!((average(&rows, 2, false) - 0.5).abs() < 1e-12);
+        assert!((reduction_pct(0.799) - 20.1).abs() < 0.11);
+        assert_eq!(average(&[], 0, true), 0.0);
+    }
+
+    #[test]
+    fn bank_sweep_runs_all_four_points() {
+        let profile = benchmarks::by_name("stringsearch").unwrap();
+        let points = bank_sweep(&profile, 2_000, 1).unwrap();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].banks_per_rank, 4);
+        assert_eq!(points[3].banks_per_rank, 32);
+    }
+}
+
+/// Minimal JSON emission for figure results — enough structure for
+/// plotting scripts without pulling a serialization dependency into the
+/// workspace.
+pub mod json {
+    use super::{BankSweepPoint, Fig5Row};
+
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+
+    /// Formats Fig. 5 rows as a JSON array of objects.
+    #[must_use]
+    pub fn fig5(rows: &[Fig5Row]) -> String {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"benchmark\":\"{}\",\"write\":[{},{},{},{}],\"read\":[{},{},{},{}]}}",
+                    esc(&r.benchmark),
+                    r.write[0],
+                    r.write[1],
+                    r.write[2],
+                    r.write[3],
+                    r.read[0],
+                    r.read[1],
+                    r.read[2],
+                    r.read[3],
+                )
+            })
+            .collect();
+        format!("[{}]", body.join(","))
+    }
+
+    /// Formats one workload's bank sweep as a JSON array of objects.
+    #[must_use]
+    pub fn bank_sweep(benchmark: &str, points: &[BankSweepPoint]) -> String {
+        let body: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"banks_per_rank\":{},\"hit_rate\":{},\"write_hit_rate\":{},\"mean_write_ns\":{}}}",
+                    p.banks_per_rank, p.hit_rate, p.write_hit_rate, p.mean_write_ns
+                )
+            })
+            .collect();
+        format!(
+            "{{\"benchmark\":\"{}\",\"points\":[{}]}}",
+            esc(benchmark),
+            body.join(",")
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fig5_json_shape() {
+            let rows = vec![Fig5Row {
+                benchmark: "a\"b".into(),
+                write: [1.0, 0.8, 0.5, 0.6],
+                read: [1.0, 0.9, 0.8, 0.8],
+            }];
+            let j = fig5(&rows);
+            assert!(j.starts_with('[') && j.ends_with(']'));
+            assert!(j.contains("\\\"b"), "quotes must be escaped: {j}");
+            assert!(j.contains("\"write\":[1,0.8,0.5,0.6]"));
+        }
+
+        #[test]
+        fn sweep_json_shape() {
+            let points = vec![BankSweepPoint {
+                banks_per_rank: 4,
+                hit_rate: 0.5,
+                write_hit_rate: 0.75,
+                mean_write_ns: 100.0,
+            }];
+            let j = bank_sweep("qsort", &points);
+            assert!(j.contains("\"banks_per_rank\":4"));
+            assert!(j.contains("\"benchmark\":\"qsort\""));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The four PCM architectures evaluated in the paper (Fig. 5).
+
+use core::fmt;
+
+/// Which memory organization provisions the WOM code's extra bits (§3.1).
+///
+/// Both organizations provide identical steady-state performance (the row
+/// buffer sees whole encoded rows either way); they differ in controller
+/// complexity and flexibility, which [`crate::wide_column::WideColumn`]
+/// and [`crate::hidden_page::HiddenPageTable`] model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Organization {
+    /// Fixed wide columns (1.5·Z bits for the ⟨2²⟩²/3 code).
+    #[default]
+    WideColumn,
+    /// Controller-managed hidden pages (dynamic code selection).
+    HiddenPage,
+}
+
+impl fmt::Display for Organization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WideColumn => f.write_str("wide-column"),
+            Self::HiddenPage => f.write_str("hidden-page"),
+        }
+    }
+}
+
+/// One of the paper's four evaluated architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Conventional PCM: every write pays full (SET-gated) latency. The
+    /// normalization baseline of Fig. 5.
+    Baseline,
+    /// WOM-code PCM (§3.1): rewrites within the budget are RESET-only.
+    WomCode,
+    /// WOM-code PCM with PCM-refresh (§3.2): exhausted rows are
+    /// re-initialized during idle rank cycles.
+    WomCodeRefresh,
+    /// WOM-code cached PCM (§4): a per-rank WOM-cache in front of
+    /// conventional PCM main memory.
+    Wcpcm,
+}
+
+impl Architecture {
+    /// The four architectures in the paper's Fig. 5 legend order.
+    #[must_use]
+    pub fn all_paper() -> [Self; 4] {
+        [
+            Self::Baseline,
+            Self::WomCode,
+            Self::WomCodeRefresh,
+            Self::Wcpcm,
+        ]
+    }
+
+    /// The paper's legend label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Baseline => "PCM w/o WOM-code",
+            Self::WomCode => "WOM-code PCM",
+            Self::WomCodeRefresh => "PCM-refresh",
+            Self::Wcpcm => "WCPCM",
+        }
+    }
+
+    /// Whether this architecture WOM-encodes main-memory rows.
+    #[must_use]
+    pub fn encodes_main_memory(self) -> bool {
+        matches!(self, Self::WomCode | Self::WomCodeRefresh)
+    }
+
+    /// Whether a PCM-refresh engine runs (on main memory or the WOM-cache).
+    #[must_use]
+    pub fn uses_refresh(self) -> bool {
+        matches!(self, Self::WomCodeRefresh | Self::Wcpcm)
+    }
+
+    /// Whether a per-rank WOM-cache fronts main memory.
+    #[must_use]
+    pub fn uses_cache(self) -> bool {
+        matches!(self, Self::Wcpcm)
+    }
+
+    /// PCM cell overhead of the architecture for a code with the given
+    /// `expansion`, at `banks_per_rank` banks (§4's comparison): whole-
+    /// array encoding costs `expansion − 1`; WCPCM costs only
+    /// `expansion / N_bank`; the baseline costs nothing.
+    #[must_use]
+    pub fn cell_overhead(self, expansion: f64, banks_per_rank: u32) -> f64 {
+        match self {
+            Self::Baseline => 0.0,
+            Self::WomCode | Self::WomCodeRefresh => expansion - 1.0,
+            Self::Wcpcm => expansion / f64::from(banks_per_rank),
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_order_and_labels() {
+        let all = Architecture::all_paper();
+        assert_eq!(all[0].label(), "PCM w/o WOM-code");
+        assert_eq!(all[3].label(), "WCPCM");
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn feature_flags() {
+        assert!(!Architecture::Baseline.encodes_main_memory());
+        assert!(!Architecture::Baseline.uses_refresh());
+        assert!(Architecture::WomCode.encodes_main_memory());
+        assert!(!Architecture::WomCode.uses_refresh());
+        assert!(Architecture::WomCodeRefresh.uses_refresh());
+        assert!(Architecture::Wcpcm.uses_cache());
+        assert!(Architecture::Wcpcm.uses_refresh());
+        assert!(!Architecture::Wcpcm.encodes_main_memory());
+    }
+
+    #[test]
+    fn overheads_match_paper() {
+        // 50% for whole-array WOM coding; 4.7% for WCPCM at 32 banks/rank.
+        assert!((Architecture::WomCode.cell_overhead(1.5, 32) - 0.5).abs() < 1e-12);
+        let wcpcm = Architecture::Wcpcm.cell_overhead(1.5, 32);
+        assert!(wcpcm > 0.046 && wcpcm < 0.047);
+        assert_eq!(Architecture::Baseline.cell_overhead(1.5, 32), 0.0);
+    }
+
+    #[test]
+    fn organizations_display() {
+        assert_eq!(Organization::WideColumn.to_string(), "wide-column");
+        assert_eq!(Organization::HiddenPage.to_string(), "hidden-page");
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the WOM-code PCM architecture layer.
+
+use core::fmt;
+use pcm_sim::SimError;
+use wom_code::WomCodeError;
+
+/// Errors from building or driving a WOM-code PCM system.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WomPcmError {
+    /// The underlying memory simulator rejected a request.
+    Sim(SimError),
+    /// The WOM code layer failed (bad code geometry, exhausted writes
+    /// reaching the encoder — which the architecture should prevent).
+    Code(WomCodeError),
+    /// Inconsistent architecture configuration; the string names the issue.
+    InvalidConfig(String),
+    /// Trace records arrived out of order (cycles must be non-decreasing).
+    TraceOrder {
+        /// Time already reached.
+        now: u64,
+        /// The (earlier) record cycle.
+        record: u64,
+    },
+}
+
+impl fmt::Display for WomPcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Sim(e) => write!(f, "memory simulator error: {e}"),
+            Self::Code(e) => write!(f, "wom-code error: {e}"),
+            Self::InvalidConfig(what) => write!(f, "invalid architecture configuration: {what}"),
+            Self::TraceOrder { now, record } => {
+                write!(f, "trace record at cycle {record} arrived after time {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WomPcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Sim(e) => Some(e),
+            Self::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for WomPcmError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<WomCodeError> for WomPcmError {
+    fn from(e: WomCodeError) -> Self {
+        Self::Code(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = WomPcmError::from(SimError::QueueFull { capacity: 4 });
+        assert!(e.to_string().contains("queue full"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = WomPcmError::InvalidConfig("r_th out of range".into());
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(e.to_string().contains("r_th"));
+        let e = WomPcmError::TraceOrder { now: 10, record: 5 };
+        assert!(e.to_string().contains("cycle 5"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<WomPcmError>();
+    }
+}

@@ -1,0 +1,236 @@
+//! A data-bearing WOM-code PCM model: real encode/decode, not just timing.
+//!
+//! [`crate::system::WomPcmSystem`] tracks only *latency-relevant* state
+//! (write generations) so that 16 GiB devices simulate fast. This module
+//! complements it with a functional model that stores actual wit patterns
+//! through [`wom_code::BlockCodec`], proving end-to-end that the
+//! architecture's bookkeeping agrees with what real cells would do: every
+//! in-budget write really is RESET-only, every α-write really needs SET,
+//! and data always decodes back intact.
+
+use crate::error::WomPcmError;
+use crate::wom_state::WriteKind;
+use std::collections::HashMap;
+use wom_code::{BlockCodec, Transitions, WitBuffer, WomCode};
+
+/// Outcome of one functional row write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalWrite {
+    /// Whether the write was in budget or an α-write.
+    pub kind: WriteKind,
+    /// The wit transitions the cells actually underwent (for an α-write,
+    /// including the erase back to the initial state).
+    pub transitions: Transitions,
+}
+
+/// A sparse, data-bearing WOM-coded memory: rows materialize on first
+/// write.
+///
+/// ```
+/// use wom_pcm::functional::FunctionalMemory;
+/// use wom_code::{Inverted, Rs23Code};
+///
+/// # fn main() -> Result<(), wom_pcm::WomPcmError> {
+/// // 64-byte rows under the paper's inverted <2^2>^2/3 code.
+/// let mut mem = FunctionalMemory::new(Inverted::new(Rs23Code::new()), 64)?;
+/// let w1 = mem.write(0, &[0xAA; 64])?;
+/// let w2 = mem.write(0, &[0x55; 64])?;
+/// assert!(w1.kind.is_fast() && w2.kind.is_fast());
+/// assert_eq!(w1.transitions.sets + w2.transitions.sets, 0); // RESET-only
+/// let w3 = mem.write(0, &[0x0F; 64])?; // budget exhausted
+/// assert!(!w3.kind.is_fast());
+/// assert!(w3.transitions.sets > 0); // the alpha-write pays SET pulses
+/// assert_eq!(mem.read(0).unwrap(), vec![0x0F; 64]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FunctionalMemory<C> {
+    codec: BlockCodec<C>,
+    rows: HashMap<u64, (WitBuffer, u32)>,
+    row_bytes: usize,
+}
+
+impl<C: WomCode> FunctionalMemory<C> {
+    /// Creates a memory of `row_bytes`-sized rows encoded with `code`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Code`] if `row_bytes` is incompatible with
+    /// the code's symbol size.
+    pub fn new(code: C, row_bytes: usize) -> Result<Self, WomPcmError> {
+        let codec = BlockCodec::new(code, row_bytes * 8)?;
+        Ok(Self {
+            codec,
+            rows: HashMap::new(),
+            row_bytes,
+        })
+    }
+
+    /// Bytes per row.
+    #[must_use]
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// The row-level codec in use.
+    #[must_use]
+    pub fn codec(&self) -> &BlockCodec<C> {
+        &self.codec
+    }
+
+    /// Rows materialized so far.
+    #[must_use]
+    pub fn materialized_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Writes `data` to `row`, WOM-encoding it into the row's wits.
+    ///
+    /// In-budget writes rewrite the wits in place; once the code's budget
+    /// is exhausted the row is erased and rewritten (α-write), with the
+    /// erase's SET transitions included in the reported [`Transitions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Code`] if `data` is not exactly
+    /// [`row_bytes`](Self::row_bytes) long.
+    pub fn write(&mut self, row: u64, data: &[u8]) -> Result<FunctionalWrite, WomPcmError> {
+        let limit = self.codec.rewrite_limit();
+        let entry = self
+            .rows
+            .entry(row)
+            .or_insert_with(|| (self.codec.erased_buffer(), 0));
+        if entry.1 < limit {
+            let gen = entry.1;
+            let transitions = self.codec.encode_row(gen, data, &mut entry.0)?;
+            entry.1 += 1;
+            Ok(FunctionalWrite {
+                kind: WriteKind::InBudget { generation: gen },
+                transitions,
+            })
+        } else {
+            // α-write: erase back to the initial pattern, then first write.
+            let erased = self.codec.erased_buffer();
+            let erase_t = entry.0.transitions_to(&erased)?;
+            let mut fresh = erased;
+            let write_t = self.codec.encode_row(0, data, &mut fresh)?;
+            entry.0 = fresh;
+            entry.1 = 1;
+            Ok(FunctionalWrite {
+                kind: WriteKind::Alpha,
+                transitions: Transitions {
+                    sets: erase_t.sets + write_t.sets,
+                    resets: erase_t.resets + write_t.resets,
+                },
+            })
+        }
+    }
+
+    /// Reads and decodes `row`, or `None` if it was never written.
+    #[must_use]
+    pub fn read(&self, row: u64) -> Option<Vec<u8>> {
+        self.rows
+            .get(&row)
+            .map(|(cells, _)| self.codec.decode_row(cells).expect("stored rows decode"))
+    }
+
+    /// Refreshes `row` back to the erased WOM state (as PCM-refresh does),
+    /// discarding its data. No-op for unmaterialized rows.
+    pub fn refresh(&mut self, row: u64) {
+        self.rows.remove(&row);
+    }
+
+    /// Write generations consumed by `row` since its last erase.
+    #[must_use]
+    pub fn writes_done(&self, row: u64) -> u32 {
+        self.rows.get(&row).map_or(0, |&(_, gen)| gen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wom_code::{Inverted, Rs23Code};
+
+    fn mem() -> FunctionalMemory<Inverted<Rs23Code>> {
+        FunctionalMemory::new(Inverted::new(Rs23Code::new()), 32).unwrap()
+    }
+
+    #[test]
+    fn unwritten_rows_read_none() {
+        assert!(mem().read(0).is_none());
+        assert_eq!(mem().writes_done(0), 0);
+    }
+
+    #[test]
+    fn data_round_trips_across_generations() {
+        let mut m = mem();
+        let patterns: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i.wrapping_mul(37); 32]).collect();
+        for (i, p) in patterns.iter().enumerate() {
+            m.write(3, p).unwrap();
+            assert_eq!(m.read(3).unwrap(), *p, "write #{i}");
+        }
+    }
+
+    #[test]
+    fn budget_matches_the_code() {
+        let mut m = mem();
+        assert!(m.write(0, &[1u8; 32]).unwrap().kind.is_fast());
+        assert!(m.write(0, &[2u8; 32]).unwrap().kind.is_fast());
+        let alpha = m.write(0, &[3u8; 32]).unwrap();
+        assert_eq!(alpha.kind, WriteKind::Alpha);
+        assert_eq!(
+            m.writes_done(0),
+            1,
+            "alpha-write leaves one generation used"
+        );
+        assert!(m.write(0, &[4u8; 32]).unwrap().kind.is_fast());
+    }
+
+    #[test]
+    fn in_budget_writes_never_set() {
+        let mut m = mem();
+        let t1 = m.write(9, &[0xC3u8; 32]).unwrap().transitions;
+        let t2 = m.write(9, &[0x3Cu8; 32]).unwrap().transitions;
+        assert_eq!(t1.sets, 0);
+        assert_eq!(t2.sets, 0);
+        assert!(t1.resets > 0, "real data changes real wits");
+    }
+
+    #[test]
+    fn alpha_write_pays_sets() {
+        let mut m = mem();
+        m.write(0, &[0xFFu8; 32]).unwrap();
+        m.write(0, &[0x00u8; 32]).unwrap();
+        let alpha = m.write(0, &[0xA5u8; 32]).unwrap();
+        assert!(alpha.transitions.sets > 0, "erase must SET wits back to 1");
+        assert_eq!(m.read(0).unwrap(), vec![0xA5u8; 32]);
+    }
+
+    #[test]
+    fn refresh_erases_and_restores_budget() {
+        let mut m = mem();
+        m.write(0, &[1u8; 32]).unwrap();
+        m.write(0, &[2u8; 32]).unwrap();
+        m.refresh(0);
+        assert!(m.read(0).is_none());
+        assert!(m.write(0, &[3u8; 32]).unwrap().kind.is_fast());
+        assert_eq!(m.writes_done(0), 1);
+    }
+
+    #[test]
+    fn wrong_sized_data_is_rejected() {
+        let mut m = mem();
+        assert!(m.write(0, &[0u8; 31]).is_err());
+        assert!(m.write(0, &[0u8; 33]).is_err());
+    }
+
+    #[test]
+    fn rows_materialize_lazily() {
+        let mut m = mem();
+        assert_eq!(m.materialized_rows(), 0);
+        m.write(1_000_000_000, &[1u8; 32]).unwrap();
+        assert_eq!(m.materialized_rows(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! WOM-code PCM architectures: the primary contribution of *"Write-Once-
+//! Memory-Code Phase Change Memory"* (Li & Mohanram, DATE 2014), rebuilt
+//! as a Rust library.
+//!
+//! PCM's SET operation (`0 → 1`) is ~4–10× slower than RESET. This crate
+//! layers inverted write-once-memory codes over a cycle-level PCM
+//! simulator so that most writes become RESET-only:
+//!
+//! * [`system::WomPcmSystem`] — the trace-driven system implementing all
+//!   four architectures of the paper's evaluation: conventional PCM,
+//!   WOM-code PCM, WOM-code PCM with PCM-refresh, and WCPCM.
+//! * [`wom_state`] — per-row rewrite-budget tracking (α-write detection).
+//! * [`wide_column`] / [`hidden_page`] — the two §3.1 memory organizations
+//!   that provision the code's extra bits.
+//! * [`refresh`] — the §3.2 PCM-refresh engine (row address tables,
+//!   round-robin idle-rank selection, refresh threshold).
+//! * [`wcpcm`] — the §4 per-rank WOM-cache (tags, victims, hit rates).
+//! * [`functional`] — a data-bearing memory model (actual WOM encode /
+//!   decode through `wom_code::BlockCodec`) for end-to-end validation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+//! use pcm_trace::synth::benchmarks;
+//!
+//! # fn main() -> Result<(), wom_pcm::WomPcmError> {
+//! let trace = benchmarks::by_name("qsort").unwrap().generate(7, 2_000);
+//!
+//! // Baseline vs WOM-code PCM on the same trace:
+//! let base = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline))?
+//!     .run_trace(trace.clone())?;
+//! let wom = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCode))?
+//!     .run_trace(trace)?;
+//! let normalized = wom.normalized_write_latency(&base).unwrap();
+//! assert!(normalized < 1.0, "WOM coding must speed up writes");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod builder;
+pub mod error;
+pub mod functional;
+pub mod hidden_page;
+pub mod metrics;
+pub mod refresh;
+pub mod system;
+pub mod wcpcm;
+pub mod wear_leveling;
+pub mod wide_column;
+pub mod wom_state;
+
+pub use arch::{Architecture, Organization};
+pub use builder::SystemBuilder;
+pub use error::WomPcmError;
+pub use functional::FunctionalMemory;
+pub use hidden_page::HiddenPageTable;
+pub use metrics::RunMetrics;
+pub use refresh::{RefreshConfig, RefreshEngine, RefreshPlan};
+pub use system::{SystemConfig, WomPcmSystem};
+pub use wcpcm::{CacheStats, CacheWriteOutcome, WomCache};
+pub use wear_leveling::StartGap;
+pub use wide_column::WideColumn;
+pub use wom_state::{BudgetGranularity, ColdPolicy, WomStateTable, WriteKind};

@@ -1,0 +1,257 @@
+//! Per-run results: the quantities Fig. 5–7 of the paper report.
+
+use crate::wcpcm::CacheStats;
+use core::fmt;
+use pcm_sim::{EnergyTally, LatencyHistogram, LatencySummary, WearSummary};
+
+/// Results of driving one trace through one architecture.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// End-to-end demand read latency, in controller cycles.
+    pub reads: LatencySummary,
+    /// End-to-end demand write latency, in controller cycles.
+    pub writes: LatencySummary,
+    /// Read-latency histogram (for percentile/tail queries).
+    pub read_hist: LatencyHistogram,
+    /// Write-latency histogram (for percentile/tail queries).
+    pub write_hist: LatencyHistogram,
+    /// Demand writes serviced at RESET-only speed.
+    pub fast_writes: u64,
+    /// Demand writes that paid full (SET-gated) latency — every write in
+    /// the baseline, only α-writes in WOM-coded architectures.
+    pub slow_writes: u64,
+    /// Demand writes absorbed by the row buffer of an already-pending row
+    /// write (write coalescing): no extra array operation.
+    pub coalesced_writes: u64,
+    /// WCPCM victim rows written back to main memory (internal traffic,
+    /// excluded from demand latency).
+    pub victim_writebacks: u64,
+    /// PCM-refresh operations that completed.
+    pub refreshes_completed: u64,
+    /// PCM-refresh operations aborted by write pausing.
+    pub refreshes_preempted: u64,
+    /// Internal Start-Gap row copies performed (wear-leveling overhead).
+    pub leveling_copies: u64,
+    /// Companion hidden-page accesses issued (only when the hidden-page
+    /// organization's extra traffic is charged; see `SystemConfig`).
+    pub hidden_page_accesses: u64,
+    /// Reads checked against the functional data model (when
+    /// `verify_data` is enabled); every one decoded correctly.
+    pub data_reads_verified: u64,
+    /// WOM-cache hit/miss counters (WCPCM only).
+    pub cache: Option<CacheStats>,
+    /// Array energy across main memory and (for WCPCM) the cache arrays.
+    pub energy: EnergyTally,
+    /// Wear distribution of main-memory rows.
+    pub wear_main: WearSummary,
+    /// Wear distribution of the WOM-cache rows (WCPCM only).
+    pub wear_cache: Option<WearSummary>,
+    /// Controller clock period, for cycle → ns conversion.
+    pub clock_ns: f64,
+}
+
+impl RunMetrics {
+    /// Mean demand write latency in nanoseconds.
+    #[must_use]
+    pub fn mean_write_ns(&self) -> f64 {
+        self.writes.mean() * self.clock_ns
+    }
+
+    /// Mean demand read latency in nanoseconds.
+    #[must_use]
+    pub fn mean_read_ns(&self) -> f64 {
+        self.reads.mean() * self.clock_ns
+    }
+
+    /// Fraction of demand *array* writes that ran at RESET speed
+    /// (coalesced writes never reach the array and are excluded).
+    #[must_use]
+    pub fn fast_write_fraction(&self) -> f64 {
+        let total = self.fast_writes + self.slow_writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_writes as f64 / total as f64
+        }
+    }
+
+    /// A read-latency percentile in nanoseconds (bucketed; see
+    /// [`LatencyHistogram::percentile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn read_percentile_ns(&self, q: f64) -> f64 {
+        self.read_hist.percentile(q) as f64 * self.clock_ns
+    }
+
+    /// A write-latency percentile in nanoseconds (bucketed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn write_percentile_ns(&self, q: f64) -> f64 {
+        self.write_hist.percentile(q) as f64 * self.clock_ns
+    }
+
+    /// Mean array energy per demand access, in picojoules.
+    #[must_use]
+    pub fn energy_per_access_pj(&self) -> f64 {
+        let accesses = self.reads.count + self.writes.count;
+        if accesses == 0 {
+            0.0
+        } else {
+            self.energy.total_pj() / accesses as f64
+        }
+    }
+
+    /// This run's mean write latency normalized to a baseline run
+    /// (the y-axis of Fig. 5(a); 1.0 = no change, lower is better).
+    ///
+    /// Returns `None` when either run recorded no writes.
+    #[must_use]
+    pub fn normalized_write_latency(&self, baseline: &Self) -> Option<f64> {
+        if self.writes.count == 0 || baseline.writes.count == 0 {
+            return None;
+        }
+        Some(self.writes.mean() / baseline.writes.mean())
+    }
+
+    /// This run's mean read latency normalized to a baseline run
+    /// (the y-axis of Fig. 5(b)).
+    ///
+    /// Returns `None` when either run recorded no reads.
+    #[must_use]
+    pub fn normalized_read_latency(&self, baseline: &Self) -> Option<f64> {
+        if self.reads.count == 0 || baseline.reads.count == 0 {
+            return None;
+        }
+        Some(self.reads.mean() / baseline.reads.mean())
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "writes: {} (mean {:.1} ns, {:.1}% fast)",
+            self.writes,
+            self.mean_write_ns(),
+            self.fast_write_fraction() * 100.0
+        )?;
+        writeln!(
+            f,
+            "reads : {} (mean {:.1} ns)",
+            self.reads,
+            self.mean_read_ns()
+        )?;
+        write!(
+            f,
+            "refresh: {} done / {} preempted; victims: {}",
+            self.refreshes_completed, self.refreshes_preempted, self.victim_writebacks
+        )?;
+        if let Some(cache) = &self.cache {
+            write!(f, "; wom-cache hit rate {:.1}%", cache.hit_rate() * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_latency(write_mean: u64, read_mean: u64) -> RunMetrics {
+        let mut m = RunMetrics {
+            clock_ns: 1.25,
+            ..RunMetrics::default()
+        };
+        m.writes.record(write_mean);
+        m.reads.record(read_mean);
+        m
+    }
+
+    #[test]
+    fn normalization_is_a_ratio() {
+        let base = with_latency(120, 26);
+        let faster = with_latency(60, 13);
+        assert!((faster.normalized_write_latency(&base).unwrap() - 0.5).abs() < 1e-12);
+        assert!((faster.normalized_read_latency(&base).unwrap() - 0.5).abs() < 1e-12);
+        assert!((base.normalized_write_latency(&base).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_of_empty_runs_is_none() {
+        let base = with_latency(120, 26);
+        let empty = RunMetrics::default();
+        assert!(empty.normalized_write_latency(&base).is_none());
+        assert!(base.normalized_read_latency(&empty).is_none());
+    }
+
+    #[test]
+    fn ns_conversion_uses_clock() {
+        let m = with_latency(100, 20);
+        assert!((m.mean_write_ns() - 125.0).abs() < 1e-9);
+        assert!((m.mean_read_ns() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_fraction() {
+        let mut m = RunMetrics::default();
+        assert_eq!(m.fast_write_fraction(), 0.0);
+        m.fast_writes = 3;
+        m.slow_writes = 1;
+        assert!((m.fast_write_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut m = with_latency(100, 20);
+        m.cache = Some(CacheStats {
+            write_hits: 1,
+            ..CacheStats::default()
+        });
+        let s = m.to_string();
+        assert!(s.contains("wom-cache hit rate"));
+        assert!(s.contains("writes:"));
+    }
+}
+
+#[cfg(test)]
+mod percentile_tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_convert_to_ns() {
+        let mut m = RunMetrics {
+            clock_ns: 1.25,
+            ..RunMetrics::default()
+        };
+        for l in [20u64, 24, 28, 32, 200] {
+            m.write_hist.record(l);
+            m.read_hist.record(l / 2);
+        }
+        // p50 of the writes lies in the 32-bucket: upper edge 63 cycles.
+        assert!(m.write_percentile_ns(0.5) <= 63.0 * 1.25 + 1e-9);
+        assert!(m.write_percentile_ns(1.0) >= 200.0 * 1.25 - 1e-9);
+        assert!(m.read_percentile_ns(1.0) < m.write_percentile_ns(1.0));
+    }
+
+    #[test]
+    fn empty_histograms_report_zero() {
+        let m = RunMetrics {
+            clock_ns: 1.25,
+            ..RunMetrics::default()
+        };
+        assert_eq!(m.write_percentile_ns(0.99), 0.0);
+        assert_eq!(m.read_percentile_ns(0.5), 0.0);
+    }
+
+    #[test]
+    fn energy_per_access_handles_empty_runs() {
+        let m = RunMetrics::default();
+        assert_eq!(m.energy_per_access_pj(), 0.0);
+    }
+}

@@ -1,0 +1,423 @@
+//! PCM-refresh: opportunistic re-initialization of exhausted rows (§3.2).
+//!
+//! Once a row reaches the WOM rewrite limit, its next write (the α-write)
+//! pays full SET latency. PCM-refresh hides that cost by using idle rank
+//! cycles: every refresh period the controller picks a target rank from
+//! the pool of idle ranks in round-robin fashion and issues a burst-mode
+//! refresh of one exhausted row per bank, guided by a small per-bank *row
+//! address table* (the paper uses 5 entries/bank). A *refresh threshold*
+//! `r_th` skips ranks where too few banks have refreshable work, and write
+//! pausing (implemented in the simulator) lets demand accesses preempt an
+//! ongoing refresh.
+
+use crate::error::WomPcmError;
+use std::collections::VecDeque;
+
+/// Tuning parameters of the PCM-refresh engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshConfig {
+    /// Entries in each bank's row address table. Paper: 5.
+    pub table_depth: usize,
+    /// Refresh threshold `r_th` in percent (§3.2): an idle rank is only
+    /// refreshed when strictly more than `r_th`% of its banks have at
+    /// least one exhausted row recorded. 0 refreshes any idle rank with
+    /// work; 100 effectively disables refresh.
+    pub threshold_pct: u8,
+}
+
+impl RefreshConfig {
+    /// The paper's configuration: 5-entry tables, threshold 0 (any idle
+    /// rank with at least one refreshable row qualifies).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            table_depth: 5,
+            threshold_pct: 0,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] if `table_depth` is zero or
+    /// `threshold_pct > 100`.
+    pub fn validate(&self) -> Result<(), WomPcmError> {
+        if self.table_depth == 0 {
+            return Err(WomPcmError::InvalidConfig(
+                "refresh table_depth must be positive".into(),
+            ));
+        }
+        if self.threshold_pct > 100 {
+            return Err(WomPcmError::InvalidConfig(format!(
+                "refresh threshold must be at most 100%, got {}",
+                self.threshold_pct
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One bank's row address table: the most recent rows that reached the
+/// rewrite limit, FIFO-evicted at the configured depth.
+#[derive(Debug, Clone, Default)]
+struct RowAddressTable {
+    rows: VecDeque<u32>,
+}
+
+impl RowAddressTable {
+    fn record(&mut self, row: u32, depth: usize) {
+        if let Some(pos) = self.rows.iter().position(|&r| r == row) {
+            self.rows.remove(pos);
+        }
+        if self.rows.len() == depth {
+            self.rows.pop_front();
+        }
+        self.rows.push_back(row);
+    }
+
+    fn remove(&mut self, row: u32) {
+        if let Some(pos) = self.rows.iter().position(|&r| r == row) {
+            self.rows.remove(pos);
+        }
+    }
+
+    fn oldest(&self) -> Option<u32> {
+        self.rows.front().copied()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// The PCM-refresh engine: per-bank row address tables plus the
+/// round-robin idle-rank selection policy.
+///
+/// ```
+/// use wom_pcm::refresh::{RefreshConfig, RefreshEngine};
+///
+/// # fn main() -> Result<(), wom_pcm::WomPcmError> {
+/// let mut engine = RefreshEngine::new(RefreshConfig::paper(), 2, 4)?;
+/// // A demand alpha-write tells the engine row 7 of (rank 0, bank 1) is
+/// // exhausted; the next idle period plans its refresh.
+/// engine.record_exhausted(0, 1, 7);
+/// let plan = engine.plan(&[0, 1]).expect("rank 0 has refreshable work");
+/// assert_eq!(plan.rank, 0);
+/// assert_eq!(plan.rows, vec![(1, 7)]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The engine is driven by its owner (the WOM-PCM system): the owner
+/// reports exhausted rows via [`record_exhausted`](RefreshEngine::record_exhausted),
+/// asks for a refresh plan each period via [`plan`](RefreshEngine::plan)
+/// (passing the currently idle ranks), and reports refresh outcomes via
+/// [`row_refreshed`](RefreshEngine::row_refreshed) /
+/// [`row_preempted`](RefreshEngine::row_preempted).
+#[derive(Debug, Clone)]
+pub struct RefreshEngine {
+    config: RefreshConfig,
+    ranks: u32,
+    banks_per_rank: u32,
+    /// Row address tables, indexed by flat bank.
+    tables: Vec<RowAddressTable>,
+    /// Round-robin cursor over ranks.
+    cursor: u32,
+}
+
+/// A refresh plan for one rank: the rows to refresh, one per listed bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefreshPlan {
+    /// Target rank.
+    pub rank: u32,
+    /// `(bank, row)` pairs to refresh in burst mode.
+    pub rows: Vec<(u32, u32)>,
+}
+
+impl RefreshEngine {
+    /// Creates an engine for a channel of `ranks × banks_per_rank` banks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] on a zero-sized channel or an
+    /// invalid [`RefreshConfig`].
+    pub fn new(
+        config: RefreshConfig,
+        ranks: u32,
+        banks_per_rank: u32,
+    ) -> Result<Self, WomPcmError> {
+        config.validate()?;
+        if ranks == 0 || banks_per_rank == 0 {
+            return Err(WomPcmError::InvalidConfig(
+                "channel must have ranks and banks".into(),
+            ));
+        }
+        Ok(Self {
+            config,
+            ranks,
+            banks_per_rank,
+            tables: vec![RowAddressTable::default(); (ranks * banks_per_rank) as usize],
+            cursor: 0,
+        })
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RefreshConfig {
+        &self.config
+    }
+
+    fn flat(&self, rank: u32, bank: u32) -> usize {
+        (rank * self.banks_per_rank + bank) as usize
+    }
+
+    /// Records that `(rank, bank, row)` has reached the rewrite limit. The
+    /// newest entries displace the oldest once the table depth is reached
+    /// ("the most recent 5 pages that have reached the rewrite limit").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank`/`bank` are out of range.
+    pub fn record_exhausted(&mut self, rank: u32, bank: u32, row: u32) {
+        assert!(
+            rank < self.ranks && bank < self.banks_per_rank,
+            "rank/bank out of range"
+        );
+        let depth = self.config.table_depth;
+        let idx = self.flat(rank, bank);
+        self.tables[idx].record(row, depth);
+    }
+
+    /// Removes a row from its table: it was refreshed, or a demand α-write
+    /// re-initialized it anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank`/`bank` are out of range.
+    pub fn row_refreshed(&mut self, rank: u32, bank: u32, row: u32) {
+        assert!(
+            rank < self.ranks && bank < self.banks_per_rank,
+            "rank/bank out of range"
+        );
+        let idx = self.flat(rank, bank);
+        self.tables[idx].remove(row);
+    }
+
+    /// A planned refresh of `(rank, bank, row)` was preempted by write
+    /// pausing: the row stays exhausted and remains in its table.
+    pub fn row_preempted(&mut self, _rank: u32, _bank: u32, _row: u32) {
+        // The row was never removed at plan time, so nothing to restore;
+        // the hook exists for symmetry and future accounting.
+    }
+
+    /// Number of banks of `rank` with at least one exhausted row recorded.
+    #[must_use]
+    pub fn refreshable_banks(&self, rank: u32) -> u32 {
+        (0..self.banks_per_rank)
+            .filter(|&b| !self.tables[self.flat(rank, b)].is_empty())
+            .count() as u32
+    }
+
+    /// Picks the refresh target for this period from `idle_ranks`
+    /// (round-robin, threshold-filtered) and returns the plan, if any.
+    ///
+    /// The plan lists the *oldest* recorded row of every non-empty bank
+    /// table in the target rank. Rows stay recorded until
+    /// [`row_refreshed`](Self::row_refreshed) confirms them, so a
+    /// preempted refresh is retried on a later period.
+    pub fn plan(&mut self, idle_ranks: &[u32]) -> Option<RefreshPlan> {
+        if idle_ranks.is_empty() {
+            return None;
+        }
+        // Round-robin: try ranks starting at the cursor.
+        for offset in 0..self.ranks {
+            let rank = (self.cursor + offset) % self.ranks;
+            if !idle_ranks.contains(&rank) {
+                continue;
+            }
+            let refreshable = self.refreshable_banks(rank);
+            if refreshable == 0 {
+                continue;
+            }
+            // r_th: strictly more than threshold% of banks must have work.
+            let needed = (u64::from(self.banks_per_rank) * u64::from(self.config.threshold_pct))
+                .div_ceil(100);
+            if u64::from(refreshable) < needed.max(1) {
+                continue;
+            }
+            let rows: Vec<(u32, u32)> = (0..self.banks_per_rank)
+                .filter_map(|b| self.tables[self.flat(rank, b)].oldest().map(|row| (b, row)))
+                .collect();
+            self.cursor = (rank + 1) % self.ranks;
+            return Some(RefreshPlan { rank, rows });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> RefreshEngine {
+        RefreshEngine::new(RefreshConfig::paper(), 2, 4).unwrap()
+    }
+
+    #[test]
+    fn empty_engine_plans_nothing() {
+        let mut e = engine();
+        assert_eq!(e.plan(&[0, 1]), None);
+        assert_eq!(e.plan(&[]), None);
+    }
+
+    #[test]
+    fn plan_lists_oldest_row_per_bank() {
+        let mut e = engine();
+        e.record_exhausted(0, 0, 10);
+        e.record_exhausted(0, 0, 11);
+        e.record_exhausted(0, 2, 20);
+        let plan = e.plan(&[0]).unwrap();
+        assert_eq!(plan.rank, 0);
+        assert_eq!(plan.rows, vec![(0, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn busy_ranks_are_skipped() {
+        let mut e = engine();
+        e.record_exhausted(0, 0, 1);
+        assert_eq!(e.plan(&[1]), None, "rank 0 has work but is not idle");
+        assert!(e.plan(&[0]).is_some());
+    }
+
+    #[test]
+    fn round_robin_rotates_between_ranks() {
+        let mut e = engine();
+        e.record_exhausted(0, 0, 1);
+        e.record_exhausted(1, 0, 2);
+        let first = e.plan(&[0, 1]).unwrap();
+        assert_eq!(first.rank, 0);
+        // Rank 0's row was NOT yet confirmed refreshed, but the cursor
+        // advanced, so rank 1 goes next.
+        let second = e.plan(&[0, 1]).unwrap();
+        assert_eq!(second.rank, 1);
+        let third = e.plan(&[0, 1]).unwrap();
+        assert_eq!(third.rank, 0, "wraps back");
+    }
+
+    #[test]
+    fn table_depth_evicts_oldest() {
+        let mut e = RefreshEngine::new(
+            RefreshConfig {
+                table_depth: 2,
+                threshold_pct: 0,
+            },
+            1,
+            1,
+        )
+        .unwrap();
+        e.record_exhausted(0, 0, 1);
+        e.record_exhausted(0, 0, 2);
+        e.record_exhausted(0, 0, 3); // evicts row 1
+        let plan = e.plan(&[0]).unwrap();
+        assert_eq!(plan.rows, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn re_recording_a_row_moves_it_to_newest() {
+        let mut e = RefreshEngine::new(
+            RefreshConfig {
+                table_depth: 2,
+                threshold_pct: 0,
+            },
+            1,
+            1,
+        )
+        .unwrap();
+        e.record_exhausted(0, 0, 1);
+        e.record_exhausted(0, 0, 2);
+        e.record_exhausted(0, 0, 1); // refreshes recency of row 1
+        e.record_exhausted(0, 0, 3); // evicts row 2, not row 1
+        let plan = e.plan(&[0]).unwrap();
+        assert_eq!(plan.rows, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn refreshed_rows_leave_the_table() {
+        let mut e = engine();
+        e.record_exhausted(0, 1, 5);
+        e.row_refreshed(0, 1, 5);
+        assert_eq!(e.plan(&[0]), None);
+    }
+
+    #[test]
+    fn threshold_filters_sparse_ranks() {
+        // 4 banks/rank, threshold 50% -> at least 2 banks must have work.
+        let mut e = RefreshEngine::new(
+            RefreshConfig {
+                table_depth: 5,
+                threshold_pct: 50,
+            },
+            1,
+            4,
+        )
+        .unwrap();
+        e.record_exhausted(0, 0, 1);
+        assert_eq!(
+            e.plan(&[0]),
+            None,
+            "1 of 4 banks is below the 50% threshold"
+        );
+        e.record_exhausted(0, 1, 2);
+        let plan = e.plan(&[0]).unwrap();
+        assert_eq!(plan.rows.len(), 2);
+    }
+
+    #[test]
+    fn threshold_100_requires_all_banks() {
+        let mut e = RefreshEngine::new(
+            RefreshConfig {
+                table_depth: 5,
+                threshold_pct: 100,
+            },
+            1,
+            2,
+        )
+        .unwrap();
+        e.record_exhausted(0, 0, 1);
+        assert_eq!(e.plan(&[0]), None);
+        e.record_exhausted(0, 1, 1);
+        assert!(e.plan(&[0]).is_some());
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(RefreshConfig {
+            table_depth: 0,
+            threshold_pct: 0
+        }
+        .validate()
+        .is_err());
+        assert!(RefreshConfig {
+            table_depth: 5,
+            threshold_pct: 101
+        }
+        .validate()
+        .is_err());
+        assert!(RefreshConfig::paper().validate().is_ok());
+        assert!(RefreshEngine::new(RefreshConfig::paper(), 0, 4).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_bank_panics() {
+        let mut e = engine();
+        e.record_exhausted(0, 99, 0);
+    }
+}

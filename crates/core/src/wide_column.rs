@@ -1,0 +1,131 @@
+//! The wide-column WOM-code PCM organization (§3.1, Fig. 2).
+//!
+//! Every column is physically widened from `Z` to `expansion · Z` bits so
+//! an encoded symbol is stored in consecutive bits of the same row. The
+//! organization is *fixed*: the array is manufactured for one expansion
+//! factor, and no code with a larger expansion can ever be used — but the
+//! memory controller stays simple and fast (no page table, no hidden-page
+//! management).
+
+use crate::error::WomPcmError;
+use pcm_sim::MemoryGeometry;
+use wom_code::WomCode;
+
+/// A wide-column array description: fixed column expansion.
+///
+/// ```
+/// use wom_pcm::wide_column::WideColumn;
+/// use pcm_sim::MemoryGeometry;
+/// use wom_code::{Inverted, Rs23Code};
+///
+/// # fn main() -> Result<(), wom_pcm::WomPcmError> {
+/// // An array manufactured for the <2^2>^2/3 code: columns are 1.5x wide.
+/// let org = WideColumn::new(MemoryGeometry::paper_16gib(), 1.5)?;
+/// assert!(org.supports(&Inverted::new(Rs23Code::new())));
+/// assert_eq!(org.cell_overhead(), 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WideColumn {
+    geometry: MemoryGeometry,
+    expansion: f64,
+}
+
+impl WideColumn {
+    /// Describes an array whose columns are `expansion ≥ 1` times the data
+    /// width (1.5 for the ⟨2²⟩²/3 code).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] if `expansion < 1`.
+    pub fn new(geometry: MemoryGeometry, expansion: f64) -> Result<Self, WomPcmError> {
+        if expansion.is_nan() || expansion < 1.0 {
+            return Err(WomPcmError::InvalidConfig(format!(
+                "column expansion must be at least 1, got {expansion}"
+            )));
+        }
+        Ok(Self {
+            geometry,
+            expansion,
+        })
+    }
+
+    /// The logical (data) geometry of the array.
+    #[must_use]
+    pub fn geometry(&self) -> &MemoryGeometry {
+        &self.geometry
+    }
+
+    /// The manufactured column expansion factor.
+    #[must_use]
+    pub fn expansion(&self) -> f64 {
+        self.expansion
+    }
+
+    /// Whether `code` fits this array: the paper's constraint that a fixed
+    /// wide-column array "cannot accommodate any WOM-code with more than
+    /// [its manufactured] memory overhead".
+    #[must_use]
+    pub fn supports<C: WomCode + ?Sized>(&self, code: &C) -> bool {
+        code.expansion() <= self.expansion + 1e-12
+    }
+
+    /// Physical bits per row (data row bits × expansion).
+    #[must_use]
+    pub fn physical_row_bits(&self) -> u64 {
+        (f64::from(self.geometry.row_bytes) * 8.0 * self.expansion).ceil() as u64
+    }
+
+    /// Extra PCM cells relative to an unencoded array
+    /// (`expansion − 1`, i.e. 0.5 = 50% for the ⟨2²⟩²/3 code).
+    #[must_use]
+    pub fn cell_overhead(&self) -> f64 {
+        self.expansion - 1.0
+    }
+
+    /// Addressable (visible) capacity in bytes — unchanged by widening:
+    /// the extra bits hold code redundancy, not data.
+    #[must_use]
+    pub fn visible_capacity_bytes(&self) -> u64 {
+        self.geometry.capacity_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wom_code::{IdentityCode, Inverted, Orientation, Rs23Code, TabularWomCode};
+
+    fn org() -> WideColumn {
+        WideColumn::new(MemoryGeometry::tiny(), 1.5).unwrap()
+    }
+
+    #[test]
+    fn supports_codes_up_to_the_manufactured_expansion() {
+        let org = org();
+        assert!(org.supports(&Rs23Code::new()));
+        assert!(org.supports(&Inverted::new(Rs23Code::new())));
+        assert!(org.supports(&IdentityCode::new(8).unwrap()), "1.0 <= 1.5");
+        // A 1-bit-in-2-wits code has expansion 2.0 > 1.5: rejected.
+        let wide = TabularWomCode::new(1, 2, Orientation::SetOnly, vec![vec![0b00, 0b01]]).unwrap();
+        assert!(!org.supports(&wide));
+    }
+
+    #[test]
+    fn physical_row_is_widened() {
+        let org = org();
+        assert_eq!(org.physical_row_bits(), 256 * 8 * 3 / 2);
+        assert_eq!(
+            org.visible_capacity_bytes(),
+            MemoryGeometry::tiny().capacity_bytes()
+        );
+        assert!((org.cell_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_sub_unit_expansion() {
+        assert!(WideColumn::new(MemoryGeometry::tiny(), 0.9).is_err());
+        assert!(WideColumn::new(MemoryGeometry::tiny(), f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the architecture layer: conservation,
+//! determinism, and cross-architecture invariants on arbitrary traces.
+
+use pcm_trace::{TraceOp, TraceRecord};
+use proptest::prelude::*;
+use wom_pcm::{Architecture, RunMetrics, SystemConfig, WomPcmSystem};
+
+/// Arbitrary short traces: (gap, line, is_read) tuples over a small
+/// footprint so rewrites actually occur.
+fn raw_trace() -> impl Strategy<Value = Vec<(u8, u16, bool)>> {
+    proptest::collection::vec((any::<u8>(), 0u16..512, any::<bool>()), 1..120)
+}
+
+fn materialize(raw: &[(u8, u16, bool)]) -> Vec<TraceRecord> {
+    let mut cycle = 0u64;
+    raw.iter()
+        .map(|&(gap, line, is_read)| {
+            cycle += u64::from(gap);
+            TraceRecord::new(
+                cycle,
+                u64::from(line) * 64,
+                if is_read {
+                    TraceOp::Read
+                } else {
+                    TraceOp::Write
+                },
+            )
+        })
+        .collect()
+}
+
+fn run(arch: Architecture, trace: Vec<TraceRecord>) -> RunMetrics {
+    let mut sys = WomPcmSystem::new(SystemConfig::tiny(arch)).expect("valid config");
+    sys.run_trace(trace).expect("trace runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Demand accesses are conserved for every architecture.
+    #[test]
+    fn demand_conservation(raw in raw_trace()) {
+        let trace = materialize(&raw);
+        let reads = trace.iter().filter(|r| r.op == TraceOp::Read).count() as u64;
+        let writes = trace.len() as u64 - reads;
+        for arch in Architecture::all_paper() {
+            let m = run(arch, trace.clone());
+            prop_assert_eq!(m.reads.count, reads, "{} reads", arch);
+            prop_assert_eq!(m.writes.count, writes, "{} writes", arch);
+            prop_assert_eq!(
+                m.fast_writes + m.slow_writes + m.coalesced_writes,
+                writes,
+                "{} write decomposition",
+                arch
+            );
+        }
+    }
+
+    /// Runs are reproducible bit-for-bit.
+    #[test]
+    fn determinism(raw in raw_trace()) {
+        let trace = materialize(&raw);
+        for arch in Architecture::all_paper() {
+            let a = run(arch, trace.clone());
+            let b = run(arch, trace.clone());
+            prop_assert_eq!(a.writes.total, b.writes.total);
+            prop_assert_eq!(a.reads.total, b.reads.total);
+            prop_assert_eq!(a.refreshes_completed, b.refreshes_completed);
+            prop_assert!((a.energy.total_pj() - b.energy.total_pj()).abs() < 1e-9);
+        }
+    }
+
+    /// The baseline never produces WOM artifacts; WOM architectures never
+    /// produce cache artifacts (and vice versa).
+    #[test]
+    fn architecture_feature_isolation(raw in raw_trace()) {
+        let trace = materialize(&raw);
+        let base = run(Architecture::Baseline, trace.clone());
+        prop_assert_eq!(base.fast_writes, 0);
+        prop_assert_eq!(base.refreshes_completed + base.refreshes_preempted, 0);
+        prop_assert!(base.cache.is_none());
+
+        let wom = run(Architecture::WomCode, trace.clone());
+        prop_assert_eq!(wom.refreshes_completed + wom.refreshes_preempted, 0);
+        prop_assert!(wom.cache.is_none());
+        prop_assert_eq!(wom.victim_writebacks, 0);
+
+        let wcpcm = run(Architecture::Wcpcm, trace);
+        let cache = wcpcm.cache.expect("wcpcm reports cache stats");
+        // Every victim writeback stems from a write miss or a flush-style
+        // cache refresh.
+        prop_assert!(
+            wcpcm.victim_writebacks <= cache.write_misses + wcpcm.refreshes_completed
+        );
+    }
+
+    /// Wear accounting matches the write-class decomposition: array
+    /// writes (fast + slow + victims + refresh rows) all land in wear.
+    #[test]
+    fn wear_matches_write_classes(raw in raw_trace()) {
+        let trace = materialize(&raw);
+        for arch in [Architecture::Baseline, Architecture::WomCode, Architecture::WomCodeRefresh] {
+            let m = run(arch, trace.clone());
+            let expected =
+                m.fast_writes + m.slow_writes + m.victim_writebacks + m.refreshes_completed;
+            prop_assert_eq!(m.wear_main.writes, expected, "{}", arch);
+        }
+        // WCPCM splits wear between main (victims) and the cache arrays.
+        let m = run(Architecture::Wcpcm, trace);
+        let cache_wear = m.wear_cache.expect("wcpcm tracks cache wear");
+        prop_assert_eq!(m.wear_main.writes, m.victim_writebacks);
+        prop_assert_eq!(
+            cache_wear.writes,
+            m.fast_writes + m.slow_writes + m.refreshes_completed
+        );
+    }
+
+    /// WOM-coded architectures never take *longer* than ~the baseline on
+    /// the same trace (allowing a small refresh-interference margin).
+    #[test]
+    fn wom_never_seriously_regresses(raw in raw_trace()) {
+        let trace = materialize(&raw);
+        prop_assume!(trace.iter().any(|r| r.op == TraceOp::Write));
+        let base = run(Architecture::Baseline, trace.clone());
+        let wom = run(Architecture::WomCode, trace);
+        if let Some(n) = wom.normalized_write_latency(&base) {
+            prop_assert!(n <= 1.10, "WOM-code write latency regressed to {n:.3}x baseline");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Model-based verification of the WCPCM write/read protocol (§4).
+//!
+//! A reference model tracks, for every (rank, bank, row), where the
+//! *latest* data lives: in the WOM-cache or in PCM main memory. Driving
+//! arbitrary operation sequences against [`WomCache`] must agree with the
+//! model at every step — a read may be served from the cache exactly when
+//! the cache holds the latest data, and every eviction must write the
+//! victim's data back so main memory becomes current again.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wom_pcm::wcpcm::{CacheWriteOutcome, WomCache};
+
+const RANKS: u32 = 2;
+const BANKS: u32 = 4;
+const ROWS: u32 = 8;
+
+/// Where the newest version of a row's data currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Holder {
+    Main,
+    Cache,
+}
+
+#[derive(Debug, Default)]
+struct ReferenceModel {
+    /// Latest-data holder per (rank, bank, row); absent = never written
+    /// (main memory trivially current).
+    holders: HashMap<(u32, u32, u32), Holder>,
+}
+
+impl ReferenceModel {
+    fn write(&mut self, rank: u32, bank: u32, row: u32, outcome: CacheWriteOutcome) {
+        if let CacheWriteOutcome::Miss { victim_bank, .. } = outcome {
+            // The victim's data is written back: main memory is current
+            // for the evicted bank again.
+            self.holders.insert((rank, victim_bank, row), Holder::Main);
+        }
+        // The cache now holds the newest data for the written bank.
+        self.holders.insert((rank, bank, row), Holder::Cache);
+    }
+
+    fn holder(&self, rank: u32, bank: u32, row: u32) -> Holder {
+        self.holders
+            .get(&(rank, bank, row))
+            .copied()
+            .unwrap_or(Holder::Main)
+    }
+}
+
+/// An operation in the randomized protocol drive.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write { rank: u32, bank: u32, row: u32 },
+    Read { rank: u32, bank: u32, row: u32 },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0..RANKS, 0..BANKS, 0..ROWS, any::<bool>()).prop_map(|(rank, bank, row, is_write)| {
+            if is_write {
+                Op::Write { rank, bank, row }
+            } else {
+                Op::Read { rank, bank, row }
+            }
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    /// The cache's hit/miss decisions always match the reference model of
+    /// data ownership: no read is ever served stale data, and no fresh
+    /// data is ever lost to an eviction.
+    #[test]
+    fn cache_routing_matches_ownership_model(ops in ops()) {
+        let mut cache = WomCache::new(RANKS, BANKS, ROWS, 16, 2);
+        let mut model = ReferenceModel::default();
+        for op in ops {
+            match op {
+                Op::Write { rank, bank, row } => {
+                    let outcome = cache.write(rank, bank, row, 0);
+                    model.write(rank, bank, row, outcome);
+                }
+                Op::Read { rank, bank, row } => {
+                    let hit = cache.read(rank, bank, row);
+                    let expected = model.holder(rank, bank, row) == Holder::Cache;
+                    prop_assert_eq!(
+                        hit,
+                        expected,
+                        "read ({},{},{}) routed to {} but latest data is in {:?}",
+                        rank,
+                        bank,
+                        row,
+                        if hit { "cache" } else { "main" },
+                        model.holder(rank, bank, row)
+                    );
+                }
+            }
+        }
+    }
+
+    /// At most one bank's data per (rank, row) can live in the cache, and
+    /// every other bank's latest data must be in main memory — the §4
+    /// structural invariant behind the 1-valid-bit selector field.
+    #[test]
+    fn at_most_one_cache_holder_per_row(ops in ops()) {
+        let mut cache = WomCache::new(RANKS, BANKS, ROWS, 16, 2);
+        let mut model = ReferenceModel::default();
+        for op in ops {
+            if let Op::Write { rank, bank, row } = op {
+                let outcome = cache.write(rank, bank, row, 0);
+                model.write(rank, bank, row, outcome);
+            }
+        }
+        for rank in 0..RANKS {
+            for row in 0..ROWS {
+                let holders: Vec<u32> = (0..BANKS)
+                    .filter(|&b| model.holder(rank, b, row) == Holder::Cache)
+                    .collect();
+                prop_assert!(
+                    holders.len() <= 1,
+                    "rank {} row {} has multiple cache holders: {:?}",
+                    rank,
+                    row,
+                    holders
+                );
+                // And the model's holder is exactly the tag the cache reports.
+                prop_assert_eq!(cache.peek_tag(rank, row).is_some(), !holders.is_empty());
+                if let Some(tag) = cache.peek_tag(rank, row) {
+                    prop_assert_eq!(holders, vec![tag]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Top-level simulator configuration.
+
+use crate::address::{AddressMapping, MemoryGeometry};
+use crate::energy::EnergyParams;
+use crate::error::SimError;
+use crate::timing::TimingParams;
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RowPolicy {
+    /// Precharge after every access: every read pays the full row read
+    /// delay. This matches the paper's PCM configuration (PCM row buffers
+    /// are not destructive but closed-page is the standard PCM baseline).
+    #[default]
+    ClosedPage,
+    /// Keep rows open: reads hitting the open row pay only the column
+    /// access latency.
+    OpenPage,
+}
+
+/// Transaction scheduling policy of the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerPolicy {
+    /// Bank-level first-ready scan in arrival order, reads prioritized
+    /// over writes with hysteretic write draining (high/low watermarks).
+    /// The default, equivalent to DRAMSim2's first-ready scheduling.
+    #[default]
+    FrFcfs,
+    /// Strict arrival order: only the head of each queue may issue, so a
+    /// bank-blocked head stalls younger ready transactions.
+    StrictFcfs,
+    /// Reads always bypass writes; the write queue never enters drain
+    /// mode (writes issue only when no read is ready).
+    ReadAlwaysFirst,
+}
+
+/// Configuration of a [`crate::MemorySystem`].
+///
+/// ```
+/// use pcm_sim::MemConfig;
+///
+/// let c = MemConfig::paper_baseline();
+/// assert_eq!(c.geometry.ranks, 16);
+/// c.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Channel geometry.
+    pub geometry: MemoryGeometry,
+    /// Physical address bit mapping.
+    pub mapping: AddressMapping,
+    /// Device and bus timing.
+    pub timing: TimingParams,
+    /// Row-buffer policy.
+    pub row_policy: RowPolicy,
+    /// Capacity of the read queue.
+    pub read_queue_capacity: usize,
+    /// Capacity of the write queue.
+    pub write_queue_capacity: usize,
+    /// When the write queue reaches this occupancy the controller drains
+    /// writes ahead of reads.
+    pub write_high_watermark: usize,
+    /// Draining stops once the write queue falls to this occupancy.
+    pub write_low_watermark: usize,
+    /// Whether demand accesses may preempt in-flight preemptible
+    /// operations (the paper's write pausing, §3.2). Disabling it makes
+    /// demand accesses wait out ongoing PCM-refreshes.
+    pub write_pausing: bool,
+    /// Transaction scheduling policy.
+    pub scheduler: SchedulerPolicy,
+    /// Per-bit array energies used for the energy tally.
+    pub energy: EnergyParams,
+}
+
+impl MemConfig {
+    /// The paper's baseline: 16 GiB, 16 ranks × 32 banks, PCM timing.
+    #[must_use]
+    pub fn paper_baseline() -> Self {
+        Self {
+            geometry: MemoryGeometry::paper_16gib(),
+            mapping: AddressMapping::default(),
+            timing: TimingParams::paper_pcm(),
+            row_policy: RowPolicy::ClosedPage,
+            read_queue_capacity: 64,
+            write_queue_capacity: 64,
+            write_high_watermark: 48,
+            write_low_watermark: 16,
+            write_pausing: true,
+            scheduler: SchedulerPolicy::FrFcfs,
+            energy: EnergyParams::lee_isca2009(),
+        }
+    }
+
+    /// A tiny configuration for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            geometry: MemoryGeometry::tiny(),
+            mapping: AddressMapping::default(),
+            timing: TimingParams::paper_pcm(),
+            row_policy: RowPolicy::ClosedPage,
+            read_queue_capacity: 8,
+            write_queue_capacity: 8,
+            write_high_watermark: 6,
+            write_low_watermark: 2,
+            write_pausing: true,
+            scheduler: SchedulerPolicy::FrFcfs,
+            energy: EnergyParams::lee_isca2009(),
+        }
+    }
+
+    /// Validates geometry, timing, and queue parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.geometry.validate()?;
+        self.timing.validate()?;
+        if self.read_queue_capacity == 0 || self.write_queue_capacity == 0 {
+            return Err(SimError::InvalidConfig(
+                "queue capacities must be positive".into(),
+            ));
+        }
+        if self.write_high_watermark > self.write_queue_capacity {
+            return Err(SimError::InvalidConfig(
+                "write_high_watermark exceeds write_queue_capacity".into(),
+            ));
+        }
+        if self.write_low_watermark >= self.write_high_watermark {
+            return Err(SimError::InvalidConfig(
+                "write_low_watermark must be below write_high_watermark".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MemConfig::paper_baseline().validate().unwrap();
+        MemConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn watermark_ordering_is_enforced() {
+        let mut c = MemConfig::tiny();
+        c.write_low_watermark = c.write_high_watermark;
+        assert!(c.validate().is_err());
+        let mut c = MemConfig::tiny();
+        c.write_high_watermark = c.write_queue_capacity + 1;
+        assert!(c.validate().is_err());
+        let mut c = MemConfig::tiny();
+        c.read_queue_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the PCM memory-system simulator.
+
+use core::fmt;
+
+/// Errors returned by the simulator's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The controller's transaction queue is full; the caller must advance
+    /// simulated time to drain it before submitting more work.
+    QueueFull {
+        /// Capacity of the queue that rejected the transaction.
+        capacity: usize,
+    },
+    /// A physical address decoded outside the configured geometry.
+    AddressOutOfRange {
+        /// The offending byte address.
+        addr: u64,
+        /// Total capacity in bytes.
+        capacity: u64,
+    },
+    /// A rank, bank, or row index exceeded the configured geometry.
+    IndexOutOfRange {
+        /// Which index kind was out of range ("rank", "bank", "row", ...).
+        what: &'static str,
+        /// The offending index.
+        index: u64,
+        /// Number of valid indices.
+        limit: u64,
+    },
+    /// The requested simulated time is in the past.
+    TimeRegression {
+        /// Current simulator time in cycles.
+        now: u64,
+        /// The (earlier) requested time.
+        requested: u64,
+    },
+    /// The configuration is inconsistent (zero-sized geometry, zero clock,
+    /// etc.). The string names the offending field.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QueueFull { capacity } => {
+                write!(f, "transaction queue full (capacity {capacity})")
+            }
+            Self::AddressOutOfRange { addr, capacity } => {
+                write!(
+                    f,
+                    "address {addr:#x} outside the {capacity}-byte address space"
+                )
+            }
+            Self::IndexOutOfRange { what, index, limit } => {
+                write!(f, "{what} index {index} out of range (limit {limit})")
+            }
+            Self::TimeRegression { now, requested } => {
+                write!(f, "cannot advance to cycle {requested}, already at {now}")
+            }
+            Self::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(SimError::AddressOutOfRange {
+            addr: 16,
+            capacity: 8
+        }
+        .to_string()
+        .contains("0x10"));
+        assert!(SimError::InvalidConfig("ranks = 0".into())
+            .to_string()
+            .contains("ranks"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<SimError>();
+    }
+}

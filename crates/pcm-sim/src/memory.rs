@@ -1,0 +1,1166 @@
+//! The event-driven memory system: queues, scheduler, banks, and bus.
+//!
+//! This is the DRAMSim2-equivalent substrate the paper extends: a
+//! transaction-level, cycle-resolution simulator of one memory channel.
+//! Demand reads and writes flow through bounded read/write queues into
+//! per-bank timing state machines; a shared data bus models channel
+//! contention; rank-refresh batches model the paper's burst-mode
+//! PCM-refresh command, preemptible under write pausing.
+//!
+//! The simulator is *event-driven*: time advances directly to the next
+//! bank/bus event rather than ticking every cycle, which keeps multi-
+//! billion-cycle runs tractable while preserving cycle-accurate ordering.
+
+use crate::address::AddressDecoder;
+use crate::bank::BankState;
+use crate::config::{MemConfig, RowPolicy, SchedulerPolicy};
+use crate::error::SimError;
+use crate::stats::MemStats;
+use crate::timing::Cycle;
+use crate::transaction::{Completion, MemOp, ServiceClass, Transaction, TransactionId};
+use crate::wear::WearTracker;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+
+/// A queued burst-mode rank refresh (one row per listed bank).
+#[derive(Debug, Clone)]
+struct RefreshBatch {
+    rank: u32,
+    /// `(bank, row)` pairs to refresh, at most one per bank.
+    rows: Vec<(u32, u32)>,
+}
+
+/// Pending completion ordered by finish cycle (then id for determinism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending(Completion);
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.finish, self.0.id).cmp(&(other.0.finish, other.0.id))
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A single-channel memory system under test.
+///
+/// Drive it by alternating [`advance_to`](MemorySystem::advance_to) (moving
+/// simulated time forward, collecting [`Completion`]s) with
+/// [`enqueue`](MemorySystem::enqueue) calls at the current time.
+///
+/// ```
+/// use pcm_sim::{MemConfig, MemOp, MemorySystem, ServiceClass};
+///
+/// # fn main() -> Result<(), pcm_sim::SimError> {
+/// let mut mem = MemorySystem::new(MemConfig::tiny())?;
+/// mem.enqueue(MemOp::Write, 0x40, ServiceClass::Write)?;
+/// mem.enqueue(MemOp::Read, 0x1000, ServiceClass::Read)?;
+/// let done = mem.drain();
+/// assert_eq!(done.len(), 2);
+/// assert_eq!(mem.stats().write_latency.count, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: MemConfig,
+    decoder: AddressDecoder,
+    now: Cycle,
+    next_id: TransactionId,
+    banks: Vec<BankState>,
+    bus_free_at: Cycle,
+    read_q: VecDeque<Transaction>,
+    write_q: VecDeque<Transaction>,
+    refresh_q: VecDeque<RefreshBatch>,
+    refresh_ids: VecDeque<Vec<TransactionId>>,
+    events: BTreeSet<Cycle>,
+    pending: BinaryHeap<Reverse<Pending>>,
+    cancelled: BTreeSet<TransactionId>,
+    refresh_addrs: HashMap<TransactionId, u64>,
+    out: Vec<Completion>,
+    stats: MemStats,
+    wear: WearTracker,
+    draining_writes: bool,
+    queued_per_rank: Vec<usize>,
+}
+
+impl MemorySystem {
+    /// Builds a memory system from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `config.validate()` fails.
+    pub fn new(config: MemConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        let decoder = AddressDecoder::new(config.geometry, config.mapping)?;
+        let total_banks = config.geometry.total_banks() as usize;
+        Ok(Self {
+            decoder,
+            now: 0,
+            next_id: 0,
+            banks: vec![BankState::new(); total_banks],
+            bus_free_at: 0,
+            read_q: VecDeque::with_capacity(config.read_queue_capacity),
+            write_q: VecDeque::with_capacity(config.write_queue_capacity),
+            refresh_q: VecDeque::new(),
+            refresh_ids: VecDeque::new(),
+            events: BTreeSet::new(),
+            pending: BinaryHeap::new(),
+            cancelled: BTreeSet::new(),
+            refresh_addrs: HashMap::new(),
+            out: Vec::new(),
+            stats: MemStats::new(),
+            wear: WearTracker::new(),
+            draining_writes: false,
+            queued_per_rank: vec![0; config.geometry.ranks as usize],
+            config,
+        })
+    }
+
+    /// Current simulated time in cycles.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// The address decoder (geometry + mapping).
+    #[must_use]
+    pub fn decoder(&self) -> &AddressDecoder {
+        &self.decoder
+    }
+
+    /// Aggregate statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Per-row wear counters accumulated so far.
+    #[must_use]
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+
+    /// Occupancy of the read queue.
+    #[must_use]
+    pub fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Occupancy of the write queue.
+    #[must_use]
+    pub fn write_queue_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    /// Whether another read can be enqueued without [`SimError::QueueFull`].
+    #[must_use]
+    pub fn can_accept_read(&self) -> bool {
+        self.read_q.len() < self.config.read_queue_capacity
+    }
+
+    /// Whether another write can be enqueued without [`SimError::QueueFull`].
+    #[must_use]
+    pub fn can_accept_write(&self) -> bool {
+        self.write_q.len() < self.config.write_queue_capacity
+    }
+
+    /// True when every bank of `rank` is idle and no demand access for the
+    /// rank is queued — the paper's criterion for a PCM-refresh target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn is_rank_idle(&self, rank: u32) -> bool {
+        assert!(
+            rank < self.config.geometry.ranks,
+            "rank {rank} out of range"
+        );
+        if self.queued_per_rank[rank as usize] > 0 {
+            return false;
+        }
+        let banks = self.config.geometry.banks_per_rank as usize;
+        let base = rank as usize * banks;
+        self.banks[base..base + banks]
+            .iter()
+            .all(|b| b.is_free(self.now))
+    }
+
+    /// True when no demand access for `rank` is queued (its banks may
+    /// still be finishing in-flight work). Under write pausing this is
+    /// enough for a refresh to start: any later demand access preempts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    #[must_use]
+    pub fn rank_queue_empty(&self, rank: u32) -> bool {
+        assert!(
+            rank < self.config.geometry.ranks,
+            "rank {rank} out of range"
+        );
+        self.queued_per_rank[rank as usize] == 0
+    }
+
+    /// Whether `(rank, bank)` is free at the current cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` or `bank` are out of range.
+    #[must_use]
+    pub fn is_bank_free(&self, rank: u32, bank: u32) -> bool {
+        assert!(
+            rank < self.config.geometry.ranks,
+            "rank {rank} out of range"
+        );
+        assert!(
+            bank < self.config.geometry.banks_per_rank,
+            "bank {bank} out of range"
+        );
+        self.banks[self.flat_bank(rank, bank)].is_free(self.now)
+    }
+
+    /// Submits a demand access at the current time.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::QueueFull`] when the respective queue is at capacity —
+    ///   advance time and retry.
+    /// * [`SimError::InvalidConfig`] when `op` and `class` are inconsistent
+    ///   (reads must use [`ServiceClass::Read`]; writes must use
+    ///   [`ServiceClass::Write`] or [`ServiceClass::ResetOnlyWrite`]).
+    pub fn enqueue(
+        &mut self,
+        op: MemOp,
+        addr: u64,
+        class: ServiceClass,
+    ) -> Result<TransactionId, SimError> {
+        match (op, class) {
+            (MemOp::Read, ServiceClass::Read)
+            | (MemOp::Write, ServiceClass::Write)
+            | (MemOp::Write, ServiceClass::ResetOnlyWrite) => {}
+            _ => {
+                return Err(SimError::InvalidConfig(format!(
+                    "service class {class:?} is not valid for {op:?}"
+                )))
+            }
+        }
+        let (queue, cap) = match op {
+            MemOp::Read => (&self.read_q, self.config.read_queue_capacity),
+            MemOp::Write => (&self.write_q, self.config.write_queue_capacity),
+        };
+        if queue.len() >= cap {
+            return Err(SimError::QueueFull { capacity: cap });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let txn = Transaction {
+            id,
+            addr,
+            op,
+            class,
+            arrival: self.now,
+        };
+        let rank = self.decoder.decode(addr).rank as usize;
+        self.queued_per_rank[rank] += 1;
+        match op {
+            MemOp::Read => self.read_q.push_back(txn),
+            MemOp::Write => self.write_q.push_back(txn),
+        }
+        self.try_issue();
+        Ok(id)
+    }
+
+    /// Queues a burst-mode PCM-refresh of one row in each listed bank of
+    /// `rank` (§3.2). The batch issues once every listed bank is free and
+    /// occupies them for `t_WR + N_bank · L_burst / 2` cycles; individual
+    /// banks may be preempted by demand accesses (write pausing), in which
+    /// case their row reports a `preempted` completion and is *not*
+    /// refreshed.
+    ///
+    /// Returns the transaction ids assigned to each `(bank, row)` pair, in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IndexOutOfRange`] for a bad rank/bank/row, or
+    /// [`SimError::InvalidConfig`] for an empty batch or duplicate banks.
+    pub fn enqueue_rank_refresh(
+        &mut self,
+        rank: u32,
+        rows: &[(u32, u32)],
+    ) -> Result<Vec<TransactionId>, SimError> {
+        let g = &self.config.geometry;
+        if rank >= g.ranks {
+            return Err(SimError::IndexOutOfRange {
+                what: "rank",
+                index: u64::from(rank),
+                limit: u64::from(g.ranks),
+            });
+        }
+        if rows.is_empty() {
+            return Err(SimError::InvalidConfig(
+                "refresh batch must list at least one row".into(),
+            ));
+        }
+        let mut seen = BTreeSet::new();
+        for &(bank, row) in rows {
+            if bank >= g.banks_per_rank {
+                return Err(SimError::IndexOutOfRange {
+                    what: "bank",
+                    index: u64::from(bank),
+                    limit: u64::from(g.banks_per_rank),
+                });
+            }
+            if row >= g.rows_per_bank {
+                return Err(SimError::IndexOutOfRange {
+                    what: "row",
+                    index: u64::from(row),
+                    limit: u64::from(g.rows_per_bank),
+                });
+            }
+            if !seen.insert(bank) {
+                return Err(SimError::InvalidConfig(format!(
+                    "refresh batch lists bank {bank} twice"
+                )));
+            }
+        }
+        let ids: Vec<TransactionId> = rows
+            .iter()
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                id
+            })
+            .collect();
+        self.refresh_q.push_back(RefreshBatch {
+            rank,
+            rows: rows.to_vec(),
+        });
+        // Remember ids so issue assigns them in order.
+        // (Batches are issued FIFO; stash ids alongside.)
+        self.refresh_ids.push_back(ids.clone());
+        self.try_issue();
+        Ok(ids)
+    }
+
+    /// Advances simulated time to `cycle`, returning every completion that
+    /// finished in the interval (in finish order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TimeRegression`] if `cycle` is in the past.
+    pub fn advance_to(&mut self, cycle: Cycle) -> Result<Vec<Completion>, SimError> {
+        if cycle < self.now {
+            return Err(SimError::TimeRegression {
+                now: self.now,
+                requested: cycle,
+            });
+        }
+        loop {
+            let next = self.events.iter().next().copied();
+            match next {
+                Some(e) if e <= cycle => {
+                    self.events.remove(&e);
+                    if e > self.now {
+                        self.now = e;
+                    }
+                    self.flush_completions();
+                    self.try_issue();
+                }
+                _ => break,
+            }
+        }
+        self.now = cycle;
+        self.flush_completions();
+        self.try_issue();
+        Ok(std::mem::take(&mut self.out))
+    }
+
+    /// Runs until all queues are empty and all in-flight work completes,
+    /// returning the completions.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        loop {
+            let work_left = !(self.read_q.is_empty()
+                && self.write_q.is_empty()
+                && self.refresh_q.is_empty()
+                && self.pending.is_empty());
+            if !work_left {
+                break;
+            }
+            match self.events.iter().next().copied() {
+                Some(e) => {
+                    self.events.remove(&e);
+                    if e > self.now {
+                        self.now = e;
+                    }
+                    self.flush_completions();
+                    self.try_issue();
+                }
+                None => {
+                    // No future event can unblock remaining work; only
+                    // possible if a refresh batch waits on banks that a
+                    // demand stream keeps occupied — impossible once queues
+                    // are empty — so treat as quiesced.
+                    break;
+                }
+            }
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    fn flat_bank(&self, rank: u32, bank: u32) -> usize {
+        (rank * self.config.geometry.banks_per_rank + bank) as usize
+    }
+
+    fn flush_completions(&mut self) {
+        while let Some(Reverse(Pending(c))) = self.pending.peek().copied() {
+            if c.finish > self.now {
+                break;
+            }
+            self.pending.pop();
+            if self.cancelled.remove(&c.id) {
+                continue;
+            }
+            if c.class == ServiceClass::RankRefresh {
+                self.refresh_addrs.remove(&c.id);
+            }
+            self.account_energy_and_wear(&c);
+            self.stats.record(&c);
+            self.out.push(c);
+        }
+    }
+
+    /// Charges a finished operation's energy and wear.
+    fn account_energy_and_wear(&mut self, c: &Completion) {
+        let e = &self.config.energy;
+        let access_bits = u64::from(self.config.geometry.access_bytes) * 8;
+        let row_bits = u64::from(self.config.geometry.row_bytes) * 8;
+        match c.class {
+            ServiceClass::Read => self.stats.energy.read_pj += e.read_pj(access_bits),
+            ServiceClass::Write => {
+                self.stats.energy.full_write_pj += e.full_write_pj(access_bits);
+                let row = self.decoder.decode(c.addr).flat_row(&self.config.geometry);
+                self.wear.record_full_write(row);
+            }
+            ServiceClass::ResetOnlyWrite => {
+                self.stats.energy.reset_write_pj += e.reset_only_write_pj(access_bits);
+                let row = self.decoder.decode(c.addr).flat_row(&self.config.geometry);
+                self.wear.record_reset_write(row);
+            }
+            ServiceClass::RankRefresh => {
+                if !c.preempted {
+                    self.stats.energy.refresh_pj += e.refresh_pj(row_bits);
+                    let row = self.decoder.decode(c.addr).flat_row(&self.config.geometry);
+                    self.wear.record_full_write(row);
+                }
+            }
+        }
+    }
+
+    fn service_cycles(&self, class: ServiceClass, flat_bank: usize, row: u32) -> Cycle {
+        let t = &self.config.timing;
+        match class {
+            ServiceClass::Read => {
+                let hit = self.config.row_policy == RowPolicy::OpenPage
+                    && self.banks[flat_bank].open_row() == Some(row);
+                if hit {
+                    t.row_hit_read_cycles() + t.burst_cycles()
+                } else {
+                    t.read_cycles() + t.burst_cycles()
+                }
+            }
+            ServiceClass::Write => t.write_cycles(),
+            ServiceClass::ResetOnlyWrite => t.reset_cycles(),
+            ServiceClass::RankRefresh => t.rank_refresh_cycles(self.config.geometry.banks_per_rank),
+        }
+        .max(1)
+    }
+
+    /// Issues every transaction that can start at the current cycle.
+    fn try_issue(&mut self) {
+        // Hysteretic write draining (disabled under read-always-first).
+        if self.config.scheduler == SchedulerPolicy::ReadAlwaysFirst {
+            self.draining_writes = false;
+        } else if self.write_q.len() >= self.config.write_high_watermark {
+            self.draining_writes = true;
+        } else if self.write_q.len() <= self.config.write_low_watermark {
+            self.draining_writes = false;
+        }
+        loop {
+            let mut progressed = false;
+            let order: [MemOp; 2] = if self.draining_writes {
+                [MemOp::Write, MemOp::Read]
+            } else {
+                [MemOp::Read, MemOp::Write]
+            };
+            'queues: for op in order {
+                let len = match op {
+                    MemOp::Read => self.read_q.len(),
+                    MemOp::Write => self.write_q.len(),
+                };
+                // Strict FCFS only ever considers the queue head.
+                let window = match self.config.scheduler {
+                    SchedulerPolicy::StrictFcfs => len.min(1),
+                    _ => len,
+                };
+                for idx in 0..window {
+                    let txn = match op {
+                        MemOp::Read => self.read_q[idx],
+                        MemOp::Write => self.write_q[idx],
+                    };
+                    if self.try_issue_demand(&txn) {
+                        match op {
+                            MemOp::Read => {
+                                self.read_q.remove(idx);
+                            }
+                            MemOp::Write => {
+                                self.write_q.remove(idx);
+                            }
+                        }
+                        progressed = true;
+                        break 'queues; // re-evaluate drain mode and order
+                    }
+                }
+            }
+            // Refresh batches issue only behind demand traffic.
+            if !progressed {
+                progressed = self.try_issue_refresh();
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Attempts to start one demand transaction; true if issued.
+    fn try_issue_demand(&mut self, txn: &Transaction) -> bool {
+        let d = self.decoder.decode(txn.addr);
+        let flat = self.flat_bank(d.rank, d.bank);
+        // Write pausing: a bank busy with a preemptible refresh yields to
+        // demand accesses immediately.
+        if !self.banks[flat].is_free(self.now) {
+            if self.config.write_pausing
+                && self.banks[flat]
+                    .in_flight(self.now)
+                    .is_some_and(|f| f.class.is_preemptible())
+            {
+                let aborted = self.banks[flat]
+                    .preempt(self.now)
+                    .expect("checked preemptible");
+                let addr = self.refresh_addrs.remove(&aborted.id).unwrap_or_default();
+                self.cancelled.insert(aborted.id);
+                let c = Completion {
+                    id: aborted.id,
+                    addr,
+                    op: MemOp::Write,
+                    class: ServiceClass::RankRefresh,
+                    arrival: aborted.start,
+                    start: aborted.start,
+                    finish: self.now,
+                    preempted: true,
+                };
+                self.stats.record(&c);
+                self.out.push(c);
+            } else {
+                return false;
+            }
+        }
+        // Shared channel data bus: one burst at a time.
+        if self.bus_free_at > self.now {
+            self.events.insert(self.bus_free_at);
+            return false;
+        }
+        let service = self.service_cycles(txn.class, flat, d.row);
+        let start = self.now;
+        let finish = start + service;
+        self.banks[flat].begin(txn.id, txn.class, start, finish, d.row);
+        self.bus_free_at = self.now + self.config.timing.burst_cycles();
+        self.events.insert(finish);
+        self.queued_per_rank[d.rank as usize] -= 1;
+        self.pending.push(Reverse(Pending(Completion {
+            id: txn.id,
+            addr: txn.addr,
+            op: txn.op,
+            class: txn.class,
+            arrival: txn.arrival,
+            start,
+            finish,
+            preempted: false,
+        })));
+        true
+    }
+
+    /// Attempts to start the oldest refresh batch whose banks are all free;
+    /// true if one issued.
+    fn try_issue_refresh(&mut self) -> bool {
+        let Some(batch) = self.refresh_q.front() else {
+            return false;
+        };
+        let all_free = batch
+            .rows
+            .iter()
+            .all(|&(bank, _)| self.banks[self.flat_bank(batch.rank, bank)].is_free(self.now));
+        if !all_free {
+            return false;
+        }
+        let batch = self.refresh_q.pop_front().expect("checked front");
+        let ids = self
+            .refresh_ids
+            .pop_front()
+            .expect("ids stashed with batch");
+        let dur = self
+            .config
+            .timing
+            .rank_refresh_cycles(self.config.geometry.banks_per_rank);
+        let finish = self.now + dur;
+        for (&(bank, row), &id) in batch.rows.iter().zip(&ids) {
+            let flat = self.flat_bank(batch.rank, bank);
+            self.banks[flat].begin(id, ServiceClass::RankRefresh, self.now, finish, row);
+            let addr = self
+                .decoder
+                .encode(crate::address::DecodedAddr {
+                    rank: batch.rank,
+                    bank,
+                    row,
+                    column: 0,
+                })
+                .expect("validated at enqueue");
+            self.refresh_addrs.insert(id, addr);
+            self.pending.push(Reverse(Pending(Completion {
+                id,
+                addr,
+                op: MemOp::Write,
+                class: ServiceClass::RankRefresh,
+                arrival: self.now,
+                start: self.now,
+                finish,
+                preempted: false,
+            })));
+        }
+        self.events.insert(finish);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingParams;
+
+    fn tiny_system() -> MemorySystem {
+        MemorySystem::new(MemConfig::tiny()).unwrap()
+    }
+
+    /// Address of (rank, bank, row, col) under the tiny geometry's default
+    /// mapping.
+    fn addr_of(mem: &MemorySystem, rank: u32, bank: u32, row: u32, column: u32) -> u64 {
+        mem.decoder()
+            .encode(crate::address::DecodedAddr {
+                rank,
+                bank,
+                row,
+                column,
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn single_read_latency_is_service_time() {
+        let mut mem = tiny_system();
+        let t = TimingParams::paper_pcm();
+        mem.enqueue(MemOp::Read, 0, ServiceClass::Read).unwrap();
+        let done = mem.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].latency(), t.read_cycles() + t.burst_cycles());
+        assert_eq!(done[0].queue_delay(), 0);
+    }
+
+    #[test]
+    fn write_classes_have_distinct_latencies() {
+        let t = TimingParams::paper_pcm();
+        let mut mem = tiny_system();
+        mem.enqueue(MemOp::Write, 0, ServiceClass::Write).unwrap();
+        let full = mem.drain()[0].latency();
+        assert_eq!(full, t.write_cycles());
+
+        let mut mem = tiny_system();
+        mem.enqueue(MemOp::Write, 0, ServiceClass::ResetOnlyWrite)
+            .unwrap();
+        let fast = mem.drain()[0].latency();
+        assert_eq!(fast, t.reset_cycles());
+        assert!(fast < full);
+    }
+
+    #[test]
+    fn same_bank_accesses_serialize() {
+        let mut mem = tiny_system();
+        let a = addr_of(&mem, 0, 0, 0, 0);
+        let b = addr_of(&mem, 0, 0, 1, 0); // same bank, different row
+        mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+        mem.enqueue(MemOp::Read, b, ServiceClass::Read).unwrap();
+        let done = mem.drain();
+        let write = done.iter().find(|c| c.op == MemOp::Write).unwrap();
+        let read = done.iter().find(|c| c.op == MemOp::Read).unwrap();
+        // The read arrived while the long write occupied the bank, so its
+        // latency includes the wait (write blocking - the paper's read
+        // latency effect).
+        assert!(read.start >= write.finish);
+        assert!(read.queue_delay() > 0);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut mem = tiny_system();
+        let a = addr_of(&mem, 0, 0, 0, 0);
+        let b = addr_of(&mem, 0, 1, 0, 0);
+        mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+        mem.enqueue(MemOp::Write, b, ServiceClass::Write).unwrap();
+        let done = mem.drain();
+        let starts: Vec<_> = done.iter().map(|c| c.start).collect();
+        // Second write starts after only the burst-bus gap, not the full
+        // write service time.
+        let burst = TimingParams::paper_pcm().burst_cycles();
+        assert_eq!(starts[1].saturating_sub(starts[0]), burst);
+    }
+
+    #[test]
+    fn reads_prioritized_over_writes() {
+        let mut mem = tiny_system();
+        let w = addr_of(&mem, 0, 0, 0, 0);
+        let r = addr_of(&mem, 0, 0, 1, 0);
+        // Enqueue a write then a read to the same bank at the same cycle:
+        // the write issues first (it was tried first while the queue was
+        // otherwise empty), but with several writes queued behind, a read
+        // arriving later still jumps ahead of them.
+        mem.enqueue(MemOp::Write, w, ServiceClass::Write).unwrap();
+        mem.enqueue(MemOp::Write, w, ServiceClass::Write).unwrap();
+        mem.enqueue(MemOp::Write, w, ServiceClass::Write).unwrap();
+        mem.enqueue(MemOp::Read, r, ServiceClass::Read).unwrap();
+        let done = mem.drain();
+        let read_finish = done.iter().find(|c| c.op == MemOp::Read).unwrap().finish;
+        let last_write_finish = done
+            .iter()
+            .filter(|c| c.op == MemOp::Write)
+            .map(|c| c.finish)
+            .max()
+            .unwrap();
+        assert!(
+            read_finish < last_write_finish,
+            "read must overtake queued writes"
+        );
+    }
+
+    #[test]
+    fn queue_full_is_reported() {
+        let mut mem = tiny_system();
+        let cap = mem.config().write_queue_capacity;
+        // Saturate one bank so nothing drains.
+        let a = addr_of(&mem, 0, 0, 0, 0);
+        let mut rejected = false;
+        for _ in 0..=cap + 2 {
+            match mem.enqueue(MemOp::Write, a, ServiceClass::Write) {
+                Ok(_) => {}
+                Err(SimError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, cap);
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected);
+        // Draining clears the backlog and subsequent enqueues succeed.
+        mem.drain();
+        mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+    }
+
+    #[test]
+    fn mismatched_class_is_rejected() {
+        let mut mem = tiny_system();
+        assert!(mem.enqueue(MemOp::Read, 0, ServiceClass::Write).is_err());
+        assert!(mem.enqueue(MemOp::Write, 0, ServiceClass::Read).is_err());
+        assert!(mem
+            .enqueue(MemOp::Read, 0, ServiceClass::RankRefresh)
+            .is_err());
+    }
+
+    #[test]
+    fn time_regression_is_rejected() {
+        let mut mem = tiny_system();
+        mem.advance_to(100).unwrap();
+        assert!(matches!(
+            mem.advance_to(50),
+            Err(SimError::TimeRegression {
+                now: 100,
+                requested: 50
+            })
+        ));
+    }
+
+    #[test]
+    fn rank_idleness_tracks_queues_and_banks() {
+        let mut mem = tiny_system();
+        assert!(mem.is_rank_idle(0));
+        assert!(mem.is_rank_idle(1));
+        let a = addr_of(&mem, 0, 0, 0, 0);
+        mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+        assert!(!mem.is_rank_idle(0), "bank busy");
+        assert!(mem.is_rank_idle(1), "other rank unaffected");
+        mem.drain();
+        assert!(mem.is_rank_idle(0));
+    }
+
+    #[test]
+    fn rank_refresh_occupies_all_listed_banks() {
+        let mut mem = tiny_system();
+        let t = TimingParams::paper_pcm();
+        let banks = mem.config().geometry.banks_per_rank;
+        let rows: Vec<(u32, u32)> = (0..banks).map(|b| (b, 7)).collect();
+        let ids = mem.enqueue_rank_refresh(0, &rows).unwrap();
+        assert_eq!(ids.len(), banks as usize);
+        assert!(!mem.is_rank_idle(0));
+        let done = mem.drain();
+        assert_eq!(done.len(), banks as usize);
+        let dur = t.rank_refresh_cycles(banks);
+        for c in &done {
+            assert_eq!(c.class, ServiceClass::RankRefresh);
+            assert!(!c.preempted);
+            assert_eq!(c.finish - c.start, dur);
+        }
+        assert_eq!(mem.stats().refreshes_completed, u64::from(banks));
+    }
+
+    #[test]
+    fn write_pausing_preempts_refresh() {
+        let mut mem = tiny_system();
+        let rows: Vec<(u32, u32)> = vec![(0, 5), (1, 5)];
+        mem.enqueue_rank_refresh(0, &rows).unwrap();
+        // Refresh is now in flight on banks 0 and 1 of rank 0. A demand
+        // write to bank 0 preempts that bank's refresh.
+        let a = addr_of(&mem, 0, 0, 3, 0);
+        mem.advance_to(2).unwrap();
+        mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+        let done = mem.drain();
+        let preempted: Vec<_> = done.iter().filter(|c| c.preempted).collect();
+        assert_eq!(preempted.len(), 1, "exactly bank 0's refresh row aborted");
+        let write = done
+            .iter()
+            .find(|c| c.op == MemOp::Write && c.class == ServiceClass::Write)
+            .unwrap();
+        // The write started immediately at its arrival cycle - it did not
+        // wait out the refresh.
+        assert_eq!(write.queue_delay(), 0);
+        // Bank 1's refresh still completed.
+        assert_eq!(mem.stats().refreshes_completed, 1);
+        assert_eq!(mem.stats().refreshes_preempted, 1);
+    }
+
+    #[test]
+    fn refresh_waits_for_busy_banks() {
+        let mut mem = tiny_system();
+        let a = addr_of(&mem, 0, 0, 0, 0);
+        mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+        mem.enqueue_rank_refresh(0, &[(0, 9)]).unwrap();
+        let done = mem.drain();
+        let write = done
+            .iter()
+            .find(|c| c.class == ServiceClass::Write)
+            .unwrap();
+        let refresh = done
+            .iter()
+            .find(|c| c.class == ServiceClass::RankRefresh)
+            .unwrap();
+        assert!(
+            refresh.start >= write.finish,
+            "refresh must wait for the demand write"
+        );
+        assert!(!refresh.preempted);
+    }
+
+    #[test]
+    fn refresh_batch_validation() {
+        let mut mem = tiny_system();
+        assert!(mem.enqueue_rank_refresh(99, &[(0, 0)]).is_err());
+        assert!(mem.enqueue_rank_refresh(0, &[]).is_err());
+        assert!(mem.enqueue_rank_refresh(0, &[(99, 0)]).is_err());
+        assert!(mem.enqueue_rank_refresh(0, &[(0, 9999)]).is_err());
+        assert!(
+            mem.enqueue_rank_refresh(0, &[(0, 1), (0, 2)]).is_err(),
+            "duplicate bank"
+        );
+    }
+
+    #[test]
+    fn advance_to_returns_completions_in_finish_order() {
+        let mut mem = tiny_system();
+        let a = addr_of(&mem, 0, 0, 0, 0);
+        let b = addr_of(&mem, 0, 1, 0, 0);
+        mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+        mem.enqueue(MemOp::Write, b, ServiceClass::ResetOnlyWrite)
+            .unwrap();
+        let done = mem.advance_to(10_000).unwrap();
+        assert_eq!(done.len(), 2);
+        assert!(done[0].finish <= done[1].finish);
+        // The fast write finished first even though enqueued second.
+        assert_eq!(done[0].class, ServiceClass::ResetOnlyWrite);
+    }
+
+    #[test]
+    fn write_drain_mode_prioritizes_writes_when_queue_fills() {
+        let mut mem = tiny_system();
+        let high = mem.config().write_high_watermark;
+        // Fill the write queue to the high watermark against one bank. The
+        // first write issues immediately, so one extra enqueue is needed for
+        // the *queued* occupancy to reach the watermark.
+        let a = addr_of(&mem, 1, 2, 0, 0);
+        for _ in 0..=high {
+            mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+        }
+        // Now a read to the same bank: in drain mode, writes keep priority.
+        let r = addr_of(&mem, 1, 2, 1, 0);
+        mem.enqueue(MemOp::Read, r, ServiceClass::Read).unwrap();
+        let done = mem.drain();
+        let read = done.iter().find(|c| c.op == MemOp::Read).unwrap();
+        let writes_before_read = done
+            .iter()
+            .filter(|c| c.op == MemOp::Write && c.finish <= read.start)
+            .count();
+        // The read could not bypass all queued writes: drain mode forced at
+        // least (high - low) writes ahead of it.
+        let min_ahead = mem.config().write_high_watermark - mem.config().write_low_watermark;
+        assert!(
+            writes_before_read >= min_ahead,
+            "expected >= {min_ahead} writes to finish before the read, got {writes_before_read}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_across_advances() {
+        let mut mem = tiny_system();
+        for i in 0..10u64 {
+            let _ = mem.enqueue(MemOp::Read, i * 64, ServiceClass::Read);
+            mem.advance_to(mem.now() + 50).unwrap();
+        }
+        mem.drain();
+        assert_eq!(mem.stats().read_latency.count, 10);
+        assert!(mem.stats().read_latency.mean() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod row_policy_tests {
+    use super::*;
+    use crate::config::RowPolicy;
+    use crate::timing::TimingParams;
+
+    fn open_page_system() -> MemorySystem {
+        let mut cfg = MemConfig::tiny();
+        cfg.row_policy = RowPolicy::OpenPage;
+        MemorySystem::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn open_page_read_hits_are_faster() {
+        let t = TimingParams::paper_pcm();
+        let mut mem = open_page_system();
+        // First read opens the row (full latency)...
+        mem.enqueue(MemOp::Read, 0, ServiceClass::Read).unwrap();
+        let first = mem.drain()[0].latency();
+        assert_eq!(first, t.read_cycles() + t.burst_cycles());
+        // ...the second read of the same row hits the row buffer.
+        mem.enqueue(MemOp::Read, 64, ServiceClass::Read).unwrap();
+        let second = mem.drain()[0].latency();
+        assert_eq!(second, t.row_hit_read_cycles() + t.burst_cycles());
+        assert!(second < first);
+    }
+
+    #[test]
+    fn open_page_misses_pay_full_latency() {
+        let t = TimingParams::paper_pcm();
+        let mut mem = open_page_system();
+        mem.enqueue(MemOp::Read, 0, ServiceClass::Read).unwrap();
+        mem.drain();
+        // A different row of the same bank: conflict, full latency again.
+        let g = mem.config().geometry;
+        let other_row = mem
+            .decoder()
+            .encode(crate::address::DecodedAddr {
+                rank: 0,
+                bank: 0,
+                row: 1,
+                column: 0,
+            })
+            .unwrap();
+        assert_eq!(mem.decoder().decode(other_row).bank, 0);
+        assert_eq!(mem.decoder().decode(other_row).row, 1);
+        mem.enqueue(MemOp::Read, other_row, ServiceClass::Read)
+            .unwrap();
+        let miss = mem.drain()[0].latency();
+        assert_eq!(miss, t.read_cycles() + t.burst_cycles());
+        let _ = g;
+    }
+
+    #[test]
+    fn closed_page_never_hits() {
+        let t = TimingParams::paper_pcm();
+        let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
+        for _ in 0..3 {
+            mem.enqueue(MemOp::Read, 0, ServiceClass::Read).unwrap();
+            let l = mem.drain()[0].latency();
+            assert_eq!(l, t.read_cycles() + t.burst_cycles());
+        }
+    }
+
+    #[test]
+    fn write_pausing_off_makes_demand_wait() {
+        let mut cfg = MemConfig::tiny();
+        cfg.write_pausing = false;
+        let mut mem = MemorySystem::new(cfg).unwrap();
+        mem.enqueue_rank_refresh(0, &[(0, 5)]).unwrap();
+        mem.advance_to(2).unwrap();
+        // A demand write to the refreshing bank cannot preempt it.
+        let addr = mem
+            .decoder()
+            .encode(crate::address::DecodedAddr {
+                rank: 0,
+                bank: 0,
+                row: 3,
+                column: 0,
+            })
+            .unwrap();
+        mem.enqueue(MemOp::Write, addr, ServiceClass::Write)
+            .unwrap();
+        let done = mem.drain();
+        let refresh = done
+            .iter()
+            .find(|c| c.class == ServiceClass::RankRefresh)
+            .unwrap();
+        let write = done
+            .iter()
+            .find(|c| c.class == ServiceClass::Write)
+            .unwrap();
+        assert!(!refresh.preempted, "pausing disabled: refresh completes");
+        assert!(
+            write.start >= refresh.finish,
+            "demand write waited out the refresh"
+        );
+    }
+}
+
+#[cfg(test)]
+mod scheduler_tests {
+    use super::*;
+    use crate::config::SchedulerPolicy;
+
+    fn system_with(policy: SchedulerPolicy) -> MemorySystem {
+        let mut cfg = MemConfig::tiny();
+        cfg.scheduler = policy;
+        MemorySystem::new(cfg).unwrap()
+    }
+
+    fn addr_of(mem: &MemorySystem, rank: u32, bank: u32, row: u32) -> u64 {
+        mem.decoder()
+            .encode(crate::address::DecodedAddr {
+                rank,
+                bank,
+                row,
+                column: 0,
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn strict_fcfs_head_blocks_younger_ready_work() {
+        // Two writes to bank A back-to-back, then one to free bank B. Under
+        // FR-FCFS the bank-B write bypasses the blocked head; under strict
+        // FCFS it must wait its turn.
+        let run = |policy| {
+            let mut mem = system_with(policy);
+            let a = addr_of(&mem, 0, 0, 0);
+            let b = addr_of(&mem, 0, 1, 0);
+            mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+            mem.enqueue(MemOp::Write, a, ServiceClass::Write).unwrap();
+            mem.enqueue(MemOp::Write, b, ServiceClass::Write).unwrap();
+            let done = mem.drain();
+            done.iter().find(|c| c.addr == b).unwrap().start
+        };
+        let frfcfs_start = run(SchedulerPolicy::FrFcfs);
+        let fcfs_start = run(SchedulerPolicy::StrictFcfs);
+        assert!(
+            fcfs_start > frfcfs_start,
+            "strict FCFS must delay the bank-B write ({fcfs_start} vs {frfcfs_start})"
+        );
+    }
+
+    #[test]
+    fn read_always_first_never_drains_writes() {
+        let mut mem = system_with(SchedulerPolicy::ReadAlwaysFirst);
+        let cap = mem.config().write_queue_capacity;
+        let w = addr_of(&mem, 1, 2, 0);
+        // Saturate the write queue past the (ignored) high watermark.
+        for _ in 0..cap {
+            let _ = mem.enqueue(MemOp::Write, w, ServiceClass::Write);
+        }
+        let r = addr_of(&mem, 1, 2, 1);
+        mem.enqueue(MemOp::Read, r, ServiceClass::Read).unwrap();
+        let done = mem.drain();
+        let read = done.iter().find(|c| c.op == MemOp::Read).unwrap();
+        let writes_before_read = done
+            .iter()
+            .filter(|c| c.op == MemOp::Write && c.finish <= read.start)
+            .count();
+        // Only the in-flight write can precede the read; drain mode never
+        // forces more ahead of it.
+        assert!(
+            writes_before_read <= 1,
+            "read must bypass the whole write queue, {writes_before_read} writes got ahead"
+        );
+    }
+
+    #[test]
+    fn policies_conserve_work() {
+        for policy in [
+            SchedulerPolicy::FrFcfs,
+            SchedulerPolicy::StrictFcfs,
+            SchedulerPolicy::ReadAlwaysFirst,
+        ] {
+            let mut mem = system_with(policy);
+            let mut submitted = 0;
+            for i in 0..40u64 {
+                mem.advance_to(i * 10).unwrap();
+                let op = if i % 2 == 0 {
+                    MemOp::Read
+                } else {
+                    MemOp::Write
+                };
+                let class = if i % 2 == 0 {
+                    ServiceClass::Read
+                } else {
+                    ServiceClass::Write
+                };
+                if mem.enqueue(op, i * 64, class).is_ok() {
+                    submitted += 1;
+                }
+            }
+            mem.drain();
+            let s = mem.stats();
+            assert_eq!(
+                s.read_latency.count + s.write_latency.count,
+                submitted,
+                "{policy:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Timing parameters for the PCM device and channel.
+//!
+//! The defaults follow the paper's §5 configuration for the modified
+//! DRAMSim2 simulator: row read delay 27 ns, row write delay 150 ns, RESET
+//! latency 40 ns, SET latency 150 ns, and a 4000 ns PCM-refresh period, on a
+//! JEDEC-DDR3-style bus.
+
+use crate::error::SimError;
+
+/// Simulated time, measured in memory-controller clock cycles.
+pub type Cycle = u64;
+
+/// Nanosecond-denominated PCM/channel timing, convertible to cycles.
+///
+/// ```
+/// use pcm_sim::TimingParams;
+///
+/// let t = TimingParams::paper_pcm();
+/// assert_eq!(t.set_ns, 150);
+/// assert_eq!(t.reset_ns, 40);
+/// // The slowdown factor S = SET/RESET used throughout the paper:
+/// assert!((t.slowdown_factor() - 3.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Controller clock period in nanoseconds (DDR3-1600: 1.25 ns).
+    pub clock_ns: f64,
+    /// Row read delay (activate + column read) in ns. Paper: 27 ns.
+    pub read_ns: u64,
+    /// Full row write delay (worst case, includes SET) in ns. Paper: 150 ns.
+    pub write_ns: u64,
+    /// RESET pulse latency in ns. Paper: 40 ns.
+    pub reset_ns: u64,
+    /// SET pulse latency in ns. Paper: 150 ns.
+    pub set_ns: u64,
+    /// PCM-refresh scheduling period in ns. Paper: 4000 ns.
+    pub refresh_period_ns: u64,
+    /// Burst length in beats (DDR3: 8); data occupies `burst_length / 2`
+    /// clock cycles on the DDR bus.
+    pub burst_length: u32,
+    /// Row-buffer hit latency for reads (column access only) in ns; used
+    /// only by the open-page row policy.
+    pub row_hit_read_ns: u64,
+}
+
+impl TimingParams {
+    /// The paper's PCM timing (§5) on a DDR3-1600 channel.
+    #[must_use]
+    pub fn paper_pcm() -> Self {
+        Self {
+            clock_ns: 1.25,
+            read_ns: 27,
+            write_ns: 150,
+            reset_ns: 40,
+            set_ns: 150,
+            refresh_period_ns: 4000,
+            burst_length: 8,
+            row_hit_read_ns: 15,
+        }
+    }
+
+    /// DRAM-like timing, useful for comparison experiments.
+    #[must_use]
+    pub fn dram_like() -> Self {
+        Self {
+            clock_ns: 1.25,
+            read_ns: 27,
+            write_ns: 27,
+            reset_ns: 27,
+            set_ns: 27,
+            refresh_period_ns: 7800,
+            burst_length: 8,
+            row_hit_read_ns: 15,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any latency is zero, the clock
+    /// period is non-positive, or SET is faster than RESET (the asymmetry
+    /// the whole architecture depends on must at least be non-negative).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.clock_ns <= 0.0 {
+            return Err(SimError::InvalidConfig("clock_ns must be positive".into()));
+        }
+        for (name, v) in [
+            ("read_ns", self.read_ns),
+            ("write_ns", self.write_ns),
+            ("reset_ns", self.reset_ns),
+            ("set_ns", self.set_ns),
+            ("refresh_period_ns", self.refresh_period_ns),
+        ] {
+            if v == 0 {
+                return Err(SimError::InvalidConfig(format!("{name} must be positive")));
+            }
+        }
+        if self.burst_length == 0 || !self.burst_length.is_multiple_of(2) {
+            return Err(SimError::InvalidConfig(
+                "burst_length must be a positive even beat count".into(),
+            ));
+        }
+        if self.set_ns < self.reset_ns {
+            return Err(SimError::InvalidConfig(
+                "set_ns must be at least reset_ns (PCM SET is the slow operation)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Converts nanoseconds to (rounded-up) controller cycles.
+    #[must_use]
+    pub fn ns_to_cycles(&self, ns: u64) -> Cycle {
+        (ns as f64 / self.clock_ns).ceil() as Cycle
+    }
+
+    /// Row read latency in cycles.
+    #[must_use]
+    pub fn read_cycles(&self) -> Cycle {
+        self.ns_to_cycles(self.read_ns)
+    }
+
+    /// Worst-case (SET-bearing) row write latency in cycles.
+    #[must_use]
+    pub fn write_cycles(&self) -> Cycle {
+        self.ns_to_cycles(self.write_ns)
+    }
+
+    /// RESET-only row write latency in cycles.
+    #[must_use]
+    pub fn reset_cycles(&self) -> Cycle {
+        self.ns_to_cycles(self.reset_ns)
+    }
+
+    /// Row-buffer-hit read latency in cycles.
+    #[must_use]
+    pub fn row_hit_read_cycles(&self) -> Cycle {
+        self.ns_to_cycles(self.row_hit_read_ns)
+    }
+
+    /// PCM-refresh period in cycles.
+    #[must_use]
+    pub fn refresh_period_cycles(&self) -> Cycle {
+        self.ns_to_cycles(self.refresh_period_ns)
+    }
+
+    /// Data burst duration on the DDR bus: `burst_length / 2` cycles.
+    #[must_use]
+    pub fn burst_cycles(&self) -> Cycle {
+        Cycle::from(self.burst_length / 2)
+    }
+
+    /// Burst-mode rank refresh latency (§3.2):
+    /// `t_WR + N_bank · L_burst / 2` cycles.
+    #[must_use]
+    pub fn rank_refresh_cycles(&self, banks_per_rank: u32) -> Cycle {
+        self.write_cycles() + Cycle::from(banks_per_rank) * self.burst_cycles()
+    }
+
+    /// The SET/RESET slowdown factor `S` of §3.2.
+    #[must_use]
+    pub fn slowdown_factor(&self) -> f64 {
+        self.set_ns as f64 / self.reset_ns as f64
+    }
+
+    /// Converts cycles back to nanoseconds.
+    #[must_use]
+    pub fn cycles_to_ns(&self, cycles: Cycle) -> f64 {
+        cycles as f64 * self.clock_ns
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::paper_pcm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_validate() {
+        TimingParams::paper_pcm().validate().unwrap();
+        TimingParams::dram_like().validate().unwrap();
+    }
+
+    #[test]
+    fn cycle_conversions_round_up() {
+        let t = TimingParams::paper_pcm();
+        assert_eq!(t.ns_to_cycles(27), 22); // 27 / 1.25 = 21.6 -> 22
+        assert_eq!(t.ns_to_cycles(150), 120);
+        assert_eq!(t.ns_to_cycles(40), 32);
+        assert_eq!(t.burst_cycles(), 4);
+    }
+
+    #[test]
+    fn rank_refresh_matches_paper_formula() {
+        let t = TimingParams::paper_pcm();
+        // t_WR + N_bank * L_burst/2 with N_bank = 32.
+        assert_eq!(t.rank_refresh_cycles(32), 120 + 32 * 4);
+    }
+
+    #[test]
+    fn slowdown_is_set_over_reset() {
+        assert!((TimingParams::paper_pcm().slowdown_factor() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut t = TimingParams::paper_pcm();
+        t.clock_ns = 0.0;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::paper_pcm();
+        t.read_ns = 0;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::paper_pcm();
+        t.burst_length = 7;
+        assert!(t.validate().is_err());
+
+        let mut t = TimingParams::paper_pcm();
+        t.set_ns = 20; // faster than RESET: nonsense for PCM
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn ns_round_trip() {
+        let t = TimingParams::paper_pcm();
+        assert!((t.cycles_to_ns(t.ns_to_cycles(1000)) - 1000.0).abs() < t.clock_ns);
+    }
+}

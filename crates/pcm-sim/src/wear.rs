@@ -1,0 +1,179 @@
+//! Row-level wear tracking — the paper's stated future work.
+//!
+//! §6: "the proposed WOM-code PCM architectures focus on reducing PCM
+//! write latency; their impact on the endurance of PCM is not explicitly
+//! addressed in this paper, and the problem remains open for future
+//! research." This module closes that gap at the simulator level: every
+//! array write (full, RESET-only, or refresh) is charged to its row, and
+//! the tracker reports the wear distribution — maximum, mean, and the
+//! coefficient of variation that wear-leveling work cares about.
+
+use std::collections::HashMap;
+
+/// Per-row write-pulse counters, kept lazily for touched rows.
+///
+/// ```
+/// use pcm_sim::WearTracker;
+///
+/// let mut wear = WearTracker::new();
+/// wear.record_full_write(3);
+/// wear.record_reset_write(3);
+/// wear.record_reset_write(9);
+/// let s = wear.summary();
+/// assert_eq!((s.rows, s.writes, s.max), (2, 3, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WearTracker {
+    /// Full (SET-bearing) writes per flat row id.
+    full: HashMap<u64, u64>,
+    /// RESET-only writes per flat row id.
+    reset_only: HashMap<u64, u64>,
+}
+
+/// Summary of a wear distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WearSummary {
+    /// Rows with at least one write.
+    pub rows: u64,
+    /// Total array writes.
+    pub writes: u64,
+    /// Writes to the most-written row.
+    pub max: u64,
+    /// Mean writes per touched row.
+    pub mean: f64,
+    /// Coefficient of variation (stddev / mean) of writes per touched
+    /// row: 0 = perfectly level wear.
+    pub cv: f64,
+}
+
+impl WearTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a full (SET-bearing) write to `row`.
+    pub fn record_full_write(&mut self, row: u64) {
+        *self.full.entry(row).or_insert(0) += 1;
+    }
+
+    /// Records a RESET-only write to `row`.
+    pub fn record_reset_write(&mut self, row: u64) {
+        *self.reset_only.entry(row).or_insert(0) += 1;
+    }
+
+    /// Full writes recorded for `row`.
+    #[must_use]
+    pub fn full_writes(&self, row: u64) -> u64 {
+        self.full.get(&row).copied().unwrap_or(0)
+    }
+
+    /// RESET-only writes recorded for `row`.
+    #[must_use]
+    pub fn reset_writes(&self, row: u64) -> u64 {
+        self.reset_only.get(&row).copied().unwrap_or(0)
+    }
+
+    /// Summarizes total writes (both kinds) per row.
+    #[must_use]
+    pub fn summary(&self) -> WearSummary {
+        let mut totals: HashMap<u64, u64> = self.full.clone();
+        for (&row, &n) in &self.reset_only {
+            *totals.entry(row).or_insert(0) += n;
+        }
+        summarize(totals.values().copied())
+    }
+
+    /// Summarizes only the SET-bearing writes — the pulses most relevant
+    /// to melt-cycle endurance.
+    #[must_use]
+    pub fn full_write_summary(&self) -> WearSummary {
+        summarize(self.full.values().copied())
+    }
+}
+
+fn summarize<I: IntoIterator<Item = u64>>(counts: I) -> WearSummary {
+    let counts: Vec<u64> = counts.into_iter().collect();
+    if counts.is_empty() {
+        return WearSummary::default();
+    }
+    let rows = counts.len() as u64;
+    let writes: u64 = counts.iter().sum();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mean = writes as f64 / rows as f64;
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / rows as f64;
+    let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    WearSummary {
+        rows,
+        writes,
+        max,
+        mean,
+        cv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_is_all_zero() {
+        let t = WearTracker::new();
+        assert_eq!(t.summary(), WearSummary::default());
+        assert_eq!(t.full_writes(0), 0);
+    }
+
+    #[test]
+    fn counts_accumulate_per_row() {
+        let mut t = WearTracker::new();
+        t.record_full_write(1);
+        t.record_full_write(1);
+        t.record_reset_write(1);
+        t.record_reset_write(2);
+        assert_eq!(t.full_writes(1), 2);
+        assert_eq!(t.reset_writes(1), 1);
+        let s = t.summary();
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.writes, 4);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_detects_skew() {
+        let mut level = WearTracker::new();
+        let mut skewed = WearTracker::new();
+        for row in 0..10 {
+            for _ in 0..5 {
+                level.record_full_write(row);
+            }
+        }
+        for _ in 0..41 {
+            skewed.record_full_write(0);
+        }
+        for row in 1..10 {
+            skewed.record_full_write(row);
+        }
+        assert!(level.summary().cv < 1e-12, "uniform wear has zero cv");
+        assert!(skewed.summary().cv > 1.0, "hot-row wear must show high cv");
+    }
+
+    #[test]
+    fn full_write_summary_excludes_reset_writes() {
+        let mut t = WearTracker::new();
+        t.record_full_write(0);
+        t.record_reset_write(0);
+        t.record_reset_write(1);
+        let full = t.full_write_summary();
+        assert_eq!(full.writes, 1);
+        assert_eq!(full.rows, 1);
+        let all = t.summary();
+        assert_eq!(all.writes, 3);
+        assert_eq!(all.rows, 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the memory simulator's invariants: work
+//! conservation, latency sanity, determinism, and address decoding.
+
+use pcm_sim::{
+    AddressDecoder, AddressMapping, DecodedAddr, MemConfig, MemOp, MemoryGeometry, MemorySystem,
+    ServiceClass, TimingParams,
+};
+use proptest::prelude::*;
+
+/// A randomized little workload: (gap-cycles, addr-seed, is-read, fast).
+fn accesses() -> impl Strategy<Value = Vec<(u8, u16, bool, bool)>> {
+    proptest::collection::vec(
+        (any::<u8>(), any::<u16>(), any::<bool>(), any::<bool>()),
+        1..80,
+    )
+}
+
+proptest! {
+    /// Every enqueued demand access completes exactly once, whatever the
+    /// interleaving of arrivals, banks, and classes.
+    #[test]
+    fn work_is_conserved(ops in accesses()) {
+        let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
+        let mut submitted = 0u64;
+        for (gap, addr_seed, is_read, fast) in ops {
+            let now = mem.now() + u64::from(gap);
+            mem.advance_to(now).unwrap();
+            let addr = u64::from(addr_seed) * 64;
+            let (op, class) = if is_read {
+                (MemOp::Read, ServiceClass::Read)
+            } else if fast {
+                (MemOp::Write, ServiceClass::ResetOnlyWrite)
+            } else {
+                (MemOp::Write, ServiceClass::Write)
+            };
+            if mem.enqueue(op, addr, class).is_ok() {
+                submitted += 1;
+            }
+        }
+        mem.drain();
+        let s = mem.stats();
+        prop_assert_eq!(s.read_latency.count + s.write_latency.count, submitted);
+    }
+
+    /// No completion can be faster than its service class's raw latency.
+    #[test]
+    fn latency_never_beats_service_time(ops in accesses()) {
+        let t = TimingParams::paper_pcm();
+        let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
+        let mut all = Vec::new();
+        for (gap, addr_seed, is_read, fast) in ops {
+            let now = mem.now() + u64::from(gap);
+            all.extend(mem.advance_to(now).unwrap());
+            let addr = u64::from(addr_seed) * 64;
+            let (op, class) = if is_read {
+                (MemOp::Read, ServiceClass::Read)
+            } else if fast {
+                (MemOp::Write, ServiceClass::ResetOnlyWrite)
+            } else {
+                (MemOp::Write, ServiceClass::Write)
+            };
+            let _ = mem.enqueue(op, addr, class);
+        }
+        all.extend(mem.drain());
+        for c in all {
+            let min = match c.class {
+                ServiceClass::Read => t.read_cycles() + t.burst_cycles(),
+                ServiceClass::Write => t.write_cycles(),
+                ServiceClass::ResetOnlyWrite => t.reset_cycles(),
+                ServiceClass::RankRefresh => 0,
+            };
+            prop_assert!(
+                c.latency() >= min,
+                "{:?} finished in {} cycles, floor is {min}",
+                c.class,
+                c.latency()
+            );
+            prop_assert!(c.start >= c.arrival, "service cannot start before arrival");
+        }
+    }
+
+    /// Identical inputs produce identical completion schedules.
+    #[test]
+    fn simulation_is_deterministic(ops in accesses()) {
+        let run = |ops: &[(u8, u16, bool, bool)]| {
+            let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
+            let mut out = Vec::new();
+            for &(gap, addr_seed, is_read, fast) in ops {
+                let now = mem.now() + u64::from(gap);
+                out.extend(mem.advance_to(now).unwrap());
+                let (op, class) = if is_read {
+                    (MemOp::Read, ServiceClass::Read)
+                } else if fast {
+                    (MemOp::Write, ServiceClass::ResetOnlyWrite)
+                } else {
+                    (MemOp::Write, ServiceClass::Write)
+                };
+                let _ = mem.enqueue(op, u64::from(addr_seed) * 64, class);
+            }
+            out.extend(mem.drain());
+            out
+        };
+        prop_assert_eq!(run(&ops), run(&ops));
+    }
+
+    /// Address decode/encode is bijective on in-range addresses for every
+    /// mapping scheme.
+    #[test]
+    fn decode_encode_bijection(raw in any::<u64>()) {
+        let g = MemoryGeometry::tiny();
+        for mapping in [
+            AddressMapping::RowRankBankCol,
+            AddressMapping::RowColRankBank,
+            AddressMapping::RowBankRankCol,
+            AddressMapping::RankBankRowCol,
+        ] {
+            let dec = AddressDecoder::new(g, mapping).unwrap();
+            let addr = (raw % g.capacity_bytes()) & !(u64::from(g.access_bytes) - 1);
+            let d = dec.decode(addr);
+            prop_assert!(d.rank < g.ranks);
+            prop_assert!(d.bank < g.banks_per_rank);
+            prop_assert!(d.row < g.rows_per_bank);
+            prop_assert!(d.column < g.columns_per_row());
+            prop_assert_eq!(dec.encode(d).unwrap(), addr, "{:?}", mapping);
+        }
+    }
+
+    /// Distinct decoded tuples encode to distinct addresses (injectivity).
+    #[test]
+    fn encode_is_injective(a in 0u32..8, b in 0u32..8, r1 in 0u32..64, r2 in 0u32..64) {
+        let g = MemoryGeometry::tiny();
+        let dec = AddressDecoder::new(g, AddressMapping::default()).unwrap();
+        let d1 = DecodedAddr { rank: a % g.ranks, bank: a % g.banks_per_rank, row: r1, column: 0 };
+        let d2 = DecodedAddr { rank: b % g.ranks, bank: b % g.banks_per_rank, row: r2, column: 0 };
+        let e1 = dec.encode(d1).unwrap();
+        let e2 = dec.encode(d2).unwrap();
+        prop_assert_eq!(d1 == d2, e1 == e2);
+    }
+
+    /// Energy accounting is monotone: more work never reduces the tally.
+    #[test]
+    fn energy_is_monotone(ops in accesses()) {
+        let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
+        let mut last = 0.0f64;
+        for (gap, addr_seed, is_read, _) in ops {
+            let now = mem.now() + u64::from(gap);
+            mem.advance_to(now).unwrap();
+            let (op, class) = if is_read {
+                (MemOp::Read, ServiceClass::Read)
+            } else {
+                (MemOp::Write, ServiceClass::Write)
+            };
+            let _ = mem.enqueue(op, u64::from(addr_seed) * 64, class);
+            let e = mem.stats().energy.total_pj();
+            prop_assert!(e >= last);
+            last = e;
+        }
+    }
+}

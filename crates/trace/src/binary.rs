@@ -1,0 +1,234 @@
+//! A compact binary trace container.
+//!
+//! The DRAMSim2 text format ([`crate::format`]) is interoperable but
+//! bulky (~25 bytes/record); paper-scale captures run to hundreds of
+//! millions of records. This container stores records in 17 fixed bytes —
+//! little-endian `cycle: u64`, `addr: u64`, `op: u8` — behind an 8-byte
+//! magic header with a format version.
+
+use crate::record::{TraceOp, TraceRecord};
+use std::io::{Read, Write};
+
+/// File magic: `WOMTRC` + 2-byte version.
+const MAGIC: &[u8; 8] = b"WOMTRC\x00\x01";
+const RECORD_BYTES: usize = 17;
+
+/// Errors from the binary container.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BinaryTraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the expected magic/version.
+    BadMagic,
+    /// The stream ends in the middle of a record.
+    Truncated {
+        /// Complete records read before the truncation.
+        records_read: u64,
+    },
+    /// A record's op byte is neither 0 (read) nor 1 (write).
+    BadOp {
+        /// The offending byte.
+        value: u8,
+        /// 0-based index of the bad record.
+        index: u64,
+    },
+}
+
+impl core::fmt::Display for BinaryTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "binary trace i/o error: {e}"),
+            Self::BadMagic => f.write_str("not a womtrc binary trace (bad magic or version)"),
+            Self::Truncated { records_read } => {
+                write!(f, "binary trace truncated after {records_read} records")
+            }
+            Self::BadOp { value, index } => {
+                write!(f, "bad op byte {value:#x} in record {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinaryTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BinaryTraceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes `records` to `writer` in the binary container format. A `&mut`
+/// reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Returns [`BinaryTraceError::Io`] on write failure.
+pub fn write_binary<W: Write, I: IntoIterator<Item = TraceRecord>>(
+    mut writer: W,
+    records: I,
+) -> Result<u64, BinaryTraceError> {
+    writer.write_all(MAGIC)?;
+    let mut n = 0u64;
+    let mut buf = [0u8; RECORD_BYTES];
+    for r in records {
+        buf[0..8].copy_from_slice(&r.cycle.to_le_bytes());
+        buf[8..16].copy_from_slice(&r.addr.to_le_bytes());
+        buf[16] = match r.op {
+            TraceOp::Read => 0,
+            TraceOp::Write => 1,
+        };
+        writer.write_all(&buf)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads a whole binary trace from `reader`. A `&mut` reference may be
+/// passed as the reader.
+///
+/// # Errors
+///
+/// See [`BinaryTraceError`].
+pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>, BinaryTraceError> {
+    let mut magic = [0u8; 8];
+    reader
+        .read_exact(&mut magic)
+        .map_err(|_| BinaryTraceError::BadMagic)?;
+    if &magic != MAGIC {
+        return Err(BinaryTraceError::BadMagic);
+    }
+    let mut out = Vec::new();
+    let mut buf = [0u8; RECORD_BYTES];
+    loop {
+        match read_record(&mut reader, &mut buf) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => {
+                return Err(match e.kind() {
+                    std::io::ErrorKind::UnexpectedEof => BinaryTraceError::Truncated {
+                        records_read: out.len() as u64,
+                    },
+                    _ => BinaryTraceError::Io(e),
+                })
+            }
+        }
+        let cycle = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let addr = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        let op = match buf[16] {
+            0 => TraceOp::Read,
+            1 => TraceOp::Write,
+            value => {
+                return Err(BinaryTraceError::BadOp {
+                    value,
+                    index: out.len() as u64,
+                })
+            }
+        };
+        out.push(TraceRecord { cycle, addr, op });
+    }
+    Ok(out)
+}
+
+/// Reads one record into `buf`; `Ok(false)` on a clean end of stream.
+fn read_record<R: Read>(reader: &mut R, buf: &mut [u8; RECORD_BYTES]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < RECORD_BYTES {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(false)
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "partial record",
+                ))
+            };
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::benchmarks;
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let records = benchmarks::by_name("qsort").unwrap().generate(5, 4_000);
+        let mut bytes = Vec::new();
+        let n = write_binary(&mut bytes, records.iter().copied()).unwrap();
+        assert_eq!(n, 4_000);
+        assert_eq!(bytes.len(), 8 + 4_000 * RECORD_BYTES);
+        assert_eq!(read_binary(bytes.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_text() {
+        let records = benchmarks::by_name("mad").unwrap().generate(9, 2_000);
+        let mut bin = Vec::new();
+        write_binary(&mut bin, records.iter().copied()).unwrap();
+        let mut text = Vec::new();
+        crate::format::write_trace(&mut text, records.iter().copied()).unwrap();
+        // Text size varies with address magnitude; binary is fixed-width
+        // and always smaller.
+        assert!(
+            bin.len() < text.len(),
+            "binary {} vs text {}",
+            bin.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut bytes = Vec::new();
+        write_binary(&mut bytes, std::iter::empty()).unwrap();
+        assert_eq!(read_binary(bytes.as_slice()).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(
+            read_binary(&b"NOTATRACE"[..]),
+            Err(BinaryTraceError::BadMagic)
+        ));
+        assert!(matches!(
+            read_binary(&b"WO"[..]),
+            Err(BinaryTraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported_with_progress() {
+        let records = benchmarks::by_name("qsort").unwrap().generate(1, 10);
+        let mut bytes = Vec::new();
+        write_binary(&mut bytes, records.iter().copied()).unwrap();
+        bytes.truncate(8 + 5 * RECORD_BYTES + 3); // mid-record
+        match read_binary(bytes.as_slice()) {
+            Err(BinaryTraceError::Truncated { records_read }) => assert_eq!(records_read, 5),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_op_byte_is_rejected() {
+        let mut bytes = Vec::new();
+        write_binary(&mut bytes, vec![TraceRecord::new(1, 64, TraceOp::Read)]).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] = 7;
+        match read_binary(bytes.as_slice()) {
+            Err(BinaryTraceError::BadOp { value: 7, index: 0 }) => {}
+            other => panic!("expected bad op, got {other:?}"),
+        }
+    }
+}

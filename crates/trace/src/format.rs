@@ -1,0 +1,243 @@
+//! Reading and writing traces in the DRAMSim2 text format.
+//!
+//! Each line is `0xADDRESS OP CYCLE`, where `OP` is `P_MEM_RD` or
+//! `P_MEM_WR` (aliases `READ`/`WRITE` are accepted). Blank lines and lines
+//! starting with `#` or `;` are ignored.
+
+use crate::record::{TraceOp, TraceRecord};
+use core::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors produced while parsing a trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceFormatError {
+    /// An I/O error from the underlying reader or writer.
+    Io(std::io::Error),
+    /// A malformed line; carries the 1-based line number and a reason.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "trace i/o error: {e}"),
+            Self::Parse { line, reason } => write!(f, "trace parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceFormatError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parses one trace line (without trailing newline).
+///
+/// Returns `Ok(None)` for blank/comment lines.
+///
+/// # Errors
+///
+/// Returns [`TraceFormatError::Parse`] (with `line` set to 0; callers add
+/// real line numbers) when the line is malformed.
+pub fn parse_line(line: &str) -> Result<Option<TraceRecord>, TraceFormatError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with(';') {
+        return Ok(None);
+    }
+    let mut parts = trimmed.split_whitespace();
+    let (Some(addr_s), Some(op_s), Some(cycle_s), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(TraceFormatError::Parse {
+            line: 0,
+            reason: "expected exactly three fields: ADDR OP CYCLE".into(),
+        });
+    };
+    let addr = if let Some(hex) = addr_s
+        .strip_prefix("0x")
+        .or_else(|| addr_s.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        addr_s.parse()
+    }
+    .map_err(|e| TraceFormatError::Parse {
+        line: 0,
+        reason: format!("bad address {addr_s:?}: {e}"),
+    })?;
+    let op = match op_s {
+        "P_MEM_RD" | "READ" | "BOFF" => TraceOp::Read,
+        "P_MEM_WR" | "WRITE" | "P_FETCH" => TraceOp::Write,
+        other => {
+            return Err(TraceFormatError::Parse {
+                line: 0,
+                reason: format!("unknown operation {other:?}"),
+            })
+        }
+    };
+    let cycle = cycle_s.parse().map_err(|e| TraceFormatError::Parse {
+        line: 0,
+        reason: format!("bad cycle {cycle_s:?}: {e}"),
+    })?;
+    Ok(Some(TraceRecord { cycle, addr, op }))
+}
+
+/// Streaming trace reader over any [`BufRead`].
+///
+/// ```
+/// use pcm_trace::format::TraceReader;
+/// use pcm_trace::TraceOp;
+///
+/// # fn main() -> Result<(), pcm_trace::format::TraceFormatError> {
+/// let text = "# comment\n0x100 P_MEM_WR 4\n0x140 P_MEM_RD 9\n";
+/// let records: Result<Vec<_>, _> = TraceReader::new(text.as_bytes()).collect();
+/// let records = records?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].op, TraceOp::Write);
+/// assert_eq!(records[1].cycle, 9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a buffered reader. A `&mut` reference may be passed where
+    /// ownership should be retained.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            line_no: 0,
+            buf: String::new(),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceFormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(e.into())),
+            }
+            match parse_line(&self.buf) {
+                Ok(Some(r)) => return Some(Ok(r)),
+                Ok(None) => continue,
+                Err(TraceFormatError::Parse { reason, .. }) => {
+                    return Some(Err(TraceFormatError::Parse {
+                        line: self.line_no,
+                        reason,
+                    }))
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Writes records to `writer` in the DRAMSim2 text format. A `&mut`
+/// reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Returns [`TraceFormatError::Io`] on write failure.
+pub fn write_trace<W: Write, I: IntoIterator<Item = TraceRecord>>(
+    mut writer: W,
+    records: I,
+) -> Result<(), TraceFormatError> {
+    for r in records {
+        writeln!(writer, "{r}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_text() {
+        let records = vec![
+            TraceRecord::new(0, 0x1000, TraceOp::Read),
+            TraceRecord::new(17, 0x2040, TraceOp::Write),
+            TraceRecord::new(250, 0xdead_beef, TraceOp::Read),
+        ];
+        let mut text = Vec::new();
+        write_trace(&mut text, records.clone()).unwrap();
+        let parsed: Result<Vec<_>, _> = TraceReader::new(text.as_slice()).collect();
+        assert_eq!(parsed.unwrap(), records);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "\n# header\n; note\n0x40 P_MEM_RD 1\n\n";
+        let parsed: Vec<_> = TraceReader::new(text.as_bytes())
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn aliases_are_accepted() {
+        assert_eq!(
+            parse_line("0x40 READ 1").unwrap().unwrap().op,
+            TraceOp::Read
+        );
+        assert_eq!(
+            parse_line("0x40 WRITE 1").unwrap().unwrap().op,
+            TraceOp::Write
+        );
+        assert_eq!(
+            parse_line("64 WRITE 1").unwrap().unwrap().addr,
+            64,
+            "decimal addresses"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let text = "0x40 P_MEM_RD 1\n0x41 BANANA 2\n";
+        let results: Vec<_> = TraceReader::new(text.as_bytes()).collect();
+        assert!(results[0].is_ok());
+        match &results[1] {
+            Err(TraceFormatError::Parse { line, reason }) => {
+                assert_eq!(*line, 2);
+                assert!(reason.contains("BANANA"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_field_count_is_rejected() {
+        assert!(parse_line("0x40 P_MEM_RD").is_err());
+        assert!(parse_line("0x40 P_MEM_RD 1 extra").is_err());
+        assert!(parse_line("zz P_MEM_RD 1").is_err());
+        assert!(parse_line("0x40 P_MEM_RD zz").is_err());
+    }
+}

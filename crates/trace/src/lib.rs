@@ -1,0 +1,38 @@
+//! Memory-access traces: formats, statistics, and synthetic workload
+//! generation.
+//!
+//! The paper evaluates on Pin-captured traces of SPEC CPU2006, MiBench,
+//! and SPLASH-2. This crate provides (a) the DRAMSim2-compatible trace
+//! text format (the [`mod@format`] module), (b) descriptive statistics ([`TraceStats`]),
+//! (c) deterministic synthetic generators ([`synth`]) reproducing the
+//! workload properties those suites exercise — the substitution for the
+//! unavailable captures, documented in the repository's `DESIGN.md` —
+//! and (d) trace transformations ([`transform`]) for intensity scaling
+//! and multi-program consolidation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pcm_trace::synth::benchmarks;
+//! use pcm_trace::TraceStats;
+//!
+//! let profile = benchmarks::by_name("464.h264ref").expect("paper workload");
+//! let trace = profile.generate(/*seed*/ 1, /*records*/ 10_000);
+//! let stats = TraceStats::from_records(trace.iter().copied(), 1024);
+//! println!("{} writes, {:.0}% rewrites", stats.writes, stats.rewrite_fraction() * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod format;
+pub mod lackey;
+pub mod record;
+pub mod stats;
+pub mod synth;
+pub mod transform;
+
+pub use record::{TraceOp, TraceRecord};
+pub use stats::TraceStats;
+pub use synth::{Suite, SyntheticTrace, WorkloadProfile};

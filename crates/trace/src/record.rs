@@ -1,0 +1,76 @@
+//! Trace records: one memory access as captured from a workload.
+
+use core::fmt;
+
+/// Direction of a traced memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceOp {
+    /// A read from main memory (LLC miss fill).
+    Read,
+    /// A write to main memory (LLC writeback / streaming store).
+    Write,
+}
+
+impl TraceOp {
+    /// True for [`TraceOp::Read`].
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, Self::Read)
+    }
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // DRAMSim2 trace mnemonics.
+        match self {
+            Self::Read => f.write_str("P_MEM_RD"),
+            Self::Write => f.write_str("P_MEM_WR"),
+        }
+    }
+}
+
+/// One memory access: cycle of arrival at the controller, physical byte
+/// address, and direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Arrival cycle (monotonically non-decreasing within a trace).
+    pub cycle: u64,
+    /// Physical byte address.
+    pub addr: u64,
+    /// Read or write.
+    pub op: TraceOp,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    #[must_use]
+    pub fn new(cycle: u64, addr: u64, op: TraceOp) -> Self {
+        Self { cycle, addr, op }
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    /// DRAMSim2 text format: `0xADDR P_MEM_WR cycle`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x} {} {}", self.addr, self.op, self.cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_dramsim2_format() {
+        let r = TraceRecord::new(250, 0x7fff_1000, TraceOp::Write);
+        assert_eq!(r.to_string(), "0x7fff1000 P_MEM_WR 250");
+        let r = TraceRecord::new(0, 0x40, TraceOp::Read);
+        assert_eq!(r.to_string(), "0x40 P_MEM_RD 0");
+    }
+
+    #[test]
+    fn op_predicates() {
+        assert!(TraceOp::Read.is_read());
+        assert!(!TraceOp::Write.is_read());
+    }
+}

@@ -1,0 +1,178 @@
+//! Descriptive statistics over a trace, for sanity-checking generators and
+//! characterizing captured workloads.
+
+use crate::record::TraceRecord;
+use std::collections::HashMap;
+
+/// Summary statistics of a memory-access trace.
+///
+/// ```
+/// use pcm_trace::synth::benchmarks;
+/// use pcm_trace::TraceStats;
+///
+/// let profile = benchmarks::by_name("mad").unwrap();
+/// let records = profile.generate(1, 10_000);
+/// let stats = TraceStats::from_records(records.iter().copied(), 1024);
+/// assert_eq!(stats.accesses, 10_000);
+/// assert!(stats.read_fraction() > 0.5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Distinct rows touched (footprint at row granularity).
+    pub unique_rows: u64,
+    /// Distinct rows that were written at least twice — candidates for
+    /// in-budget WOM rewrites.
+    pub rewritten_rows: u64,
+    /// Total writes landing on a row already written before.
+    pub rewrite_hits: u64,
+    /// First access cycle.
+    pub first_cycle: u64,
+    /// Last access cycle.
+    pub last_cycle: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics from an iterator of records, bucketing the
+    /// footprint at `row_bytes` granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes` is zero.
+    #[must_use]
+    pub fn from_records<I: IntoIterator<Item = TraceRecord>>(records: I, row_bytes: u64) -> Self {
+        assert!(row_bytes > 0, "row_bytes must be positive");
+        let mut stats = Self::default();
+        let mut row_writes: HashMap<u64, u64> = HashMap::new();
+        let mut first = None;
+        for r in records {
+            stats.accesses += 1;
+            if r.op.is_read() {
+                stats.reads += 1;
+            } else {
+                stats.writes += 1;
+                let row = r.addr / row_bytes;
+                let count = row_writes.entry(row).or_insert(0);
+                if *count > 0 {
+                    stats.rewrite_hits += 1;
+                }
+                *count += 1;
+            }
+            first.get_or_insert(r.cycle);
+            stats.last_cycle = stats.last_cycle.max(r.cycle);
+            // Unique rows counts reads and writes.
+            row_writes.entry(r.addr / row_bytes).or_insert(0);
+        }
+        stats.first_cycle = first.unwrap_or(0);
+        stats.unique_rows = row_writes.len() as u64;
+        stats.rewritten_rows = row_writes.values().filter(|&&c| c >= 2).count() as u64;
+        stats
+    }
+
+    /// Fraction of accesses that are reads.
+    #[must_use]
+    pub fn read_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.reads as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of writes that re-write an already written row — the
+    /// recurrence WOM codes convert into fast RESET-only writes.
+    #[must_use]
+    pub fn rewrite_fraction(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.rewrite_hits as f64 / self.writes as f64
+        }
+    }
+
+    /// Mean accesses per cycle over the trace's span (memory intensity).
+    #[must_use]
+    pub fn intensity(&self) -> f64 {
+        let span = self.last_cycle.saturating_sub(self.first_cycle);
+        if span == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / span as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceOp;
+
+    fn rec(cycle: u64, addr: u64, op: TraceOp) -> TraceRecord {
+        TraceRecord { cycle, addr, op }
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::from_records(std::iter::empty(), 1024);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.read_fraction(), 0.0);
+        assert_eq!(s.rewrite_fraction(), 0.0);
+        assert_eq!(s.intensity(), 0.0);
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        let records = vec![
+            rec(0, 0, TraceOp::Read),
+            rec(5, 1024, TraceOp::Write),
+            rec(9, 1024 + 64, TraceOp::Write), // same row rewritten
+            rec(20, 4096, TraceOp::Write),
+        ];
+        let s = TraceStats::from_records(records, 1024);
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.unique_rows, 3);
+        assert_eq!(s.rewritten_rows, 1);
+        assert_eq!(s.rewrite_hits, 1);
+        assert!((s.read_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.rewrite_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.intensity() - 4.0 / 20.0).abs() < 1e-12);
+        assert_eq!(s.first_cycle, 0);
+        assert_eq!(s.last_cycle, 20);
+    }
+
+    #[test]
+    fn generator_profiles_show_their_knobs() {
+        use crate::synth::benchmarks;
+        // High-rewrite h264ref must show a larger rewrite fraction than the
+        // streaming-dominated bwaves.
+        let h264 = benchmarks::by_name("464.h264ref").unwrap();
+        let bwaves = benchmarks::by_name("410.bwaves").unwrap();
+        let s_h264 = TraceStats::from_records(h264.generate(3, 30_000), 1024);
+        let s_bwaves = TraceStats::from_records(bwaves.generate(3, 30_000), 1024);
+        assert!(
+            s_h264.rewrite_fraction() > s_bwaves.rewrite_fraction(),
+            "h264ref {} vs bwaves {}",
+            s_h264.rewrite_fraction(),
+            s_bwaves.rewrite_fraction()
+        );
+        // And SPLASH-2 must be more intense than MiBench.
+        let ocean = benchmarks::by_name("ocean").unwrap();
+        let typeset = benchmarks::by_name("typeset").unwrap();
+        let s_ocean = TraceStats::from_records(ocean.generate(3, 30_000), 1024);
+        let s_typeset = TraceStats::from_records(typeset.generate(3, 30_000), 1024);
+        assert!(s_ocean.intensity() > s_typeset.intensity());
+    }
+
+    #[test]
+    #[should_panic(expected = "row_bytes must be positive")]
+    fn zero_row_bytes_panics() {
+        let _ = TraceStats::from_records(std::iter::empty(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Adversarial address streams: synthetic worst cases for each mechanism.
+//!
+//! The bundled benchmark profiles model *realistic* behaviour; these
+//! generators model the opposite — the patterns each architecture is
+//! weakest against. They are used by the stress experiment and the test
+//! suite to check that degradation is graceful and bounded, not
+//! catastrophic.
+
+use crate::record::{TraceOp, TraceRecord};
+
+/// Exhausts every line's WOM budget as fast as possible: each line is
+/// written exactly `rewrites + 1` times back-to-back before moving on, so
+/// with a rewrite limit of `rewrites` every group's last write is an
+/// α-write and PCM-refresh gets no idle window to intervene.
+///
+/// ```
+/// use pcm_trace::synth::adversarial::alpha_storm;
+///
+/// let t = alpha_storm(100, 2, 10);
+/// assert_eq!(t.len(), 100);
+/// // Lines are hammered in groups of 3 (rewrite limit 2 + 1).
+/// assert_eq!(t[0].addr, t[1].addr);
+/// assert_eq!(t[1].addr, t[2].addr);
+/// assert_ne!(t[2].addr, t[3].addr);
+/// ```
+#[must_use]
+pub fn alpha_storm(records: usize, rewrites: u32, gap_cycles: u64) -> Vec<TraceRecord> {
+    let group = rewrites as usize + 1;
+    let mut out = Vec::with_capacity(records);
+    let mut cycle = 0;
+    for i in 0..records {
+        let line = (i / group) as u64;
+        cycle += gap_cycles.max(1);
+        out.push(TraceRecord::new(cycle, line * 64, TraceOp::Write));
+    }
+    out
+}
+
+/// The WOM-cache's worst case: writes alternate between two banks at the
+/// same row index of the same rank, so every write evicts the previous
+/// one (tag ping-pong) and the victim writeback stream is maximal.
+///
+/// `stride_bytes` must be the distance between the two aliasing
+/// addresses (bank stride under the system's address mapping).
+#[must_use]
+pub fn cache_pingpong(records: usize, stride_bytes: u64, gap_cycles: u64) -> Vec<TraceRecord> {
+    let mut out = Vec::with_capacity(records);
+    let mut cycle = 0;
+    for i in 0..records {
+        cycle += gap_cycles.max(1);
+        let addr = if i % 2 == 0 { 0 } else { stride_bytes };
+        out.push(TraceRecord::new(cycle, addr, TraceOp::Write));
+    }
+    out
+}
+
+/// Zero idle time: back-to-back accesses with no gaps, alternating
+/// reads and writes over a small footprint — PCM-refresh starvation.
+#[must_use]
+pub fn no_idle(records: usize, footprint_lines: u64) -> Vec<TraceRecord> {
+    let mut out = Vec::with_capacity(records);
+    for i in 0..records {
+        let op = if i % 3 == 0 {
+            TraceOp::Write
+        } else {
+            TraceOp::Read
+        };
+        let line = (i as u64 * 7) % footprint_lines.max(1);
+        out.push(TraceRecord::new(i as u64, line * 64, op));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_storm_groups_lines() {
+        let t = alpha_storm(30, 2, 5);
+        assert_eq!(t.len(), 30);
+        for chunk in t.chunks(3) {
+            assert!(chunk.iter().all(|r| r.addr == chunk[0].addr));
+            assert!(chunk.iter().all(|r| r.op == TraceOp::Write));
+        }
+        assert_ne!(t[0].addr, t[3].addr);
+    }
+
+    #[test]
+    fn pingpong_alternates_two_addresses() {
+        let t = cache_pingpong(10, 4096, 3);
+        let unique: std::collections::HashSet<u64> = t.iter().map(|r| r.addr).collect();
+        assert_eq!(unique.len(), 2);
+        assert_ne!(t[0].addr, t[1].addr);
+        assert_eq!(t[0].addr, t[2].addr);
+    }
+
+    #[test]
+    fn no_idle_is_dense_and_monotonic() {
+        let t = no_idle(100, 16);
+        for (i, r) in t.iter().enumerate() {
+            assert_eq!(r.cycle, i as u64, "no gaps at all");
+            assert!(r.addr < 16 * 64);
+        }
+        assert!(t.iter().any(|r| r.op == TraceOp::Read));
+        assert!(t.iter().any(|r| r.op == TraceOp::Write));
+    }
+
+    #[test]
+    fn cycles_never_regress() {
+        for t in [
+            alpha_storm(50, 3, 2),
+            cache_pingpong(50, 64, 1),
+            no_idle(50, 4),
+        ] {
+            for w in t.windows(2) {
+                assert!(w[0].cycle <= w[1].cycle);
+            }
+        }
+    }
+}

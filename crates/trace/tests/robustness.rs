@@ -1,0 +1,37 @@
+//! Robustness: the trace parsers must never panic, whatever bytes they
+//! are fed, and must reject garbage with useful errors.
+
+use pcm_trace::binary::read_binary;
+use pcm_trace::format::{parse_line, TraceReader};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary text lines never panic the line parser.
+    #[test]
+    fn parse_line_never_panics(line in ".{0,200}") {
+        let _ = parse_line(&line);
+    }
+
+    /// Arbitrary byte streams never panic the text reader.
+    #[test]
+    fn text_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        for result in TraceReader::new(bytes.as_slice()) {
+            let _ = result;
+        }
+    }
+
+    /// Arbitrary byte streams never panic the binary reader.
+    #[test]
+    fn binary_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_binary(bytes.as_slice());
+    }
+
+    /// Every record the text parser accepts round-trips exactly.
+    #[test]
+    fn accepted_lines_round_trip(cycle in any::<u64>(), addr in any::<u64>(), is_read in any::<bool>()) {
+        use pcm_trace::{TraceOp, TraceRecord};
+        let r = TraceRecord::new(cycle, addr, if is_read { TraceOp::Read } else { TraceOp::Write });
+        let parsed = parse_line(&r.to_string()).unwrap().unwrap();
+        prop_assert_eq!(parsed, r);
+    }
+}

@@ -1,0 +1,137 @@
+//! The [`WomCode`] trait: the common interface of all write-once-memory codes.
+
+use crate::error::WomCodeError;
+use crate::wit::{Orientation, Pattern};
+
+/// A ⟨v⟩ᵗ/n write-once-memory code.
+///
+/// A WOM-code stores one of `v = 2^data_bits` values in `n = wits()` wits and
+/// supports `t = writes()` successive writes before the memory must be
+/// erased. Each write may flip wits only in the direction allowed by
+/// [`orientation`](WomCode::orientation).
+///
+/// The canonical example is the Rivest–Shamir [`Rs23Code`], a ⟨2²⟩²/3 code
+/// storing 2 bits in 3 wits for 2 writes (Table 1 of the paper).
+///
+/// # Contract
+///
+/// Implementations must guarantee, for every generation `g < t`, every legal
+/// current pattern `p` produced by generation `g − 1` (or
+/// [`initial_pattern`](WomCode::initial_pattern) for `g = 0`), and every data
+/// value `d < 2^data_bits`:
+///
+/// * `encode(g, d, p)` succeeds and returns a pattern reachable from `p`
+///   under the orientation (write-once-ness);
+/// * `decode(encode(g, d, p)?) == d` (round trip).
+///
+/// These invariants are exercised by the property tests in this crate and by
+/// [`crate::tabular::TabularWomCode`]'s construction-time validation.
+///
+/// [`Rs23Code`]: crate::rs23::Rs23Code
+pub trait WomCode: core::fmt::Debug + Send + Sync {
+    /// Number of data bits stored per symbol (`log2 v`).
+    fn data_bits(&self) -> u32;
+
+    /// Number of wits per symbol (`n`).
+    fn wits(&self) -> u32;
+
+    /// Number of supported writes before erasure (`t`, the rewrite limit).
+    fn writes(&self) -> u32;
+
+    /// Direction in which wits may be programmed.
+    fn orientation(&self) -> Orientation;
+
+    /// The pattern every symbol holds before the first write.
+    fn initial_pattern(&self) -> Pattern {
+        Pattern::initial(self.orientation(), self.wits() as usize)
+    }
+
+    /// Encodes `data` for the 0-based write generation `gen`, given the wits'
+    /// `current` pattern. Returns the pattern to program.
+    ///
+    /// Writing the value the wits already decode to is always a no-op and
+    /// returns `current` unchanged (this is what lets the ⟨2²⟩²/3 code honour
+    /// its two-write guarantee even when consecutive writes repeat a value).
+    ///
+    /// # Errors
+    ///
+    /// * [`WomCodeError::GenerationExhausted`] if `gen >= writes()`.
+    /// * [`WomCodeError::DataOutOfRange`] if `data >= 2^data_bits()`.
+    /// * [`WomCodeError::LengthMismatch`] if `current.len() != wits()`.
+    /// * [`WomCodeError::IllegalTransition`] if `current` is not a pattern
+    ///   this code can rewrite at `gen` (e.g. corrupted state).
+    fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError>;
+
+    /// Decodes a wit pattern back to its data value.
+    ///
+    /// For patterns never produced by [`encode`](WomCode::encode) the result
+    /// is implementation-defined but must not panic.
+    fn decode(&self, pattern: Pattern) -> u64;
+
+    /// Memory overhead of the code relative to storing raw data:
+    /// `wits / data_bits − 1` (e.g. 0.5 for the ⟨2²⟩²/3 code).
+    fn overhead(&self) -> f64 {
+        self.wits() as f64 / self.data_bits() as f64 - 1.0
+    }
+
+    /// Wits per stored data bit (`n / log2 v`), i.e. the expansion ratio.
+    fn expansion(&self) -> f64 {
+        self.wits() as f64 / self.data_bits() as f64
+    }
+}
+
+/// Validates common preconditions shared by `encode` implementations.
+///
+/// Returns `Ok(())` when `gen`, `data`, and `current` are within this code's
+/// geometry.
+///
+/// # Errors
+///
+/// See [`WomCode::encode`].
+pub(crate) fn check_encode_args<C: WomCode + ?Sized>(
+    code: &C,
+    gen: u32,
+    data: u64,
+    current: Pattern,
+) -> Result<(), WomCodeError> {
+    if gen >= code.writes() {
+        return Err(WomCodeError::GenerationExhausted {
+            requested: gen,
+            limit: code.writes(),
+        });
+    }
+    let bits = code.data_bits();
+    if bits < 64 && data >= (1u64 << bits) {
+        return Err(WomCodeError::DataOutOfRange {
+            value: data,
+            data_bits: bits,
+        });
+    }
+    if current.len() != code.wits() as usize {
+        return Err(WomCodeError::LengthMismatch {
+            expected: code.wits() as usize,
+            actual: current.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rs23::Rs23Code;
+
+    #[test]
+    fn overhead_of_rs23_is_50_percent() {
+        let c = Rs23Code::new();
+        assert!((c.overhead() - 0.5).abs() < 1e-12);
+        assert!((c.expansion() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let c: Box<dyn WomCode> = Box::new(Rs23Code::new());
+        assert_eq!(c.wits(), 3);
+        assert_eq!(c.initial_pattern(), Pattern::zeros(3));
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types for WOM-code construction and encoding.
+
+use core::fmt;
+
+/// Errors produced by WOM-code constructors, encoders, and block codecs.
+///
+/// Every fallible public function in this crate returns this type. The
+/// variants distinguish *usage* errors (writing past the rewrite limit,
+/// out-of-range data) from *construction* errors (a user-supplied code table
+/// that is not actually a WOM code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WomCodeError {
+    /// The requested write generation is at or past the code's rewrite limit
+    /// `t`; the memory must be erased (the PCM α-write) before it can hold
+    /// new data.
+    GenerationExhausted {
+        /// The generation that was requested (0-based).
+        requested: u32,
+        /// The code's total number of supported writes `t`.
+        limit: u32,
+    },
+    /// The data value does not fit in the code's `data_bits()`.
+    DataOutOfRange {
+        /// The offending value.
+        value: u64,
+        /// Number of data bits the code encodes per symbol.
+        data_bits: u32,
+    },
+    /// Encoding would require a transition that the write-once orientation
+    /// forbids (e.g. `1 → 0` in a set-only memory).
+    IllegalTransition {
+        /// Bit position (within the pattern) of the first illegal transition.
+        bit: u32,
+    },
+    /// A pattern or buffer length did not match the code's geometry.
+    LengthMismatch {
+        /// Expected length in bits.
+        expected: usize,
+        /// Actual length in bits.
+        actual: usize,
+    },
+    /// A user-supplied code table failed validation (not a WOM code).
+    InvalidTable(String),
+}
+
+impl fmt::Display for WomCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::GenerationExhausted { requested, limit } => write!(
+                f,
+                "write generation {requested} exceeds the code's rewrite limit of {limit}"
+            ),
+            Self::DataOutOfRange { value, data_bits } => {
+                write!(f, "data value {value:#x} does not fit in {data_bits} bits")
+            }
+            Self::IllegalTransition { bit } => {
+                write!(
+                    f,
+                    "encoding requires a forbidden wit transition at bit {bit}"
+                )
+            }
+            Self::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "pattern length mismatch: expected {expected} bits, got {actual}"
+                )
+            }
+            Self::InvalidTable(reason) => write!(f, "invalid WOM-code table: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WomCodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = WomCodeError::GenerationExhausted {
+            requested: 2,
+            limit: 2,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("write generation"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WomCodeError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            WomCodeError::GenerationExhausted {
+                requested: 1,
+                limit: 1,
+            },
+            WomCodeError::DataOutOfRange {
+                value: 9,
+                data_bits: 2,
+            },
+            WomCodeError::IllegalTransition { bit: 3 },
+            WomCodeError::LengthMismatch {
+                expected: 3,
+                actual: 4,
+            },
+            WomCodeError::InvalidTable("duplicate pattern".into()),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

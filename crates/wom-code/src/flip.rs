@@ -1,0 +1,172 @@
+//! The t-write "flip" code ⟨2⟩ᵗ/t: one data bit in `t` wits, `t` writes.
+//!
+//! The stored bit is the parity of the number of programmed wits. A
+//! rewrite that changes the value programs exactly one more wit; a
+//! rewrite that keeps the value is free. This is the oldest WOM
+//! construction (it predates Rivest–Shamir) and, despite its heavy
+//! `t×` expansion, is the natural choice for exploring high rewrite
+//! limits — the paper's §3.2 observation that the latency bound
+//! `(k−1+S)/(kS)` keeps improving with `k`.
+
+use crate::code::{check_encode_args, WomCode};
+use crate::error::WomCodeError;
+use crate::wit::{Orientation, Pattern};
+
+/// The ⟨2⟩ᵗ/t parity flip code (set-only orientation).
+///
+/// ```
+/// use wom_code::{FlipCode, WomCode};
+///
+/// # fn main() -> Result<(), wom_code::WomCodeError> {
+/// let code = FlipCode::new(4)?; // 1 bit, 4 wits, 4 guaranteed writes
+/// let mut p = code.initial_pattern();
+/// for (gen, bit) in [1u64, 0, 1, 1].into_iter().enumerate() {
+///     p = code.encode(gen as u32, bit, p)?;
+///     assert_eq!(code.decode(p), bit);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlipCode {
+    writes: u32,
+}
+
+impl FlipCode {
+    /// Creates a flip code supporting `t` writes (1 ≤ t ≤ 64).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomCodeError::InvalidTable`] for `t` outside `1..=64`.
+    pub fn new(t: u32) -> Result<Self, WomCodeError> {
+        if !(1..=64).contains(&t) {
+            return Err(WomCodeError::InvalidTable(format!(
+                "FlipCode supports 1..=64 writes, got {t}"
+            )));
+        }
+        Ok(Self { writes: t })
+    }
+}
+
+impl WomCode for FlipCode {
+    fn data_bits(&self) -> u32 {
+        1
+    }
+
+    fn wits(&self) -> u32 {
+        self.writes
+    }
+
+    fn writes(&self) -> u32 {
+        self.writes
+    }
+
+    fn orientation(&self) -> Orientation {
+        Orientation::SetOnly
+    }
+
+    fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError> {
+        check_encode_args(self, gen, data, current)?;
+        if self.decode(current) == data {
+            return Ok(current); // value unchanged: no wit flips
+        }
+        let weight = current.count_ones();
+        if weight >= self.writes {
+            // All wits are programmed and the parity is wrong: the scheme
+            // is out of budget even though `gen` claimed otherwise.
+            return Err(WomCodeError::IllegalTransition {
+                bit: self.writes - 1,
+            });
+        }
+        // Program the lowest unprogrammed wit, flipping the parity.
+        let next = current.bits() | (1u64 << current.bits().trailing_ones());
+        Ok(Pattern::from_bits(next, self.writes as usize))
+    }
+
+    fn decode(&self, pattern: Pattern) -> u64 {
+        u64::from(pattern.count_ones() % 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_round_trip_over_full_budget() {
+        let code = FlipCode::new(8).unwrap();
+        let mut p = code.initial_pattern();
+        // Alternate the bit every write: worst case, one wit per write.
+        for gen in 0..8u32 {
+            let bit = u64::from(gen % 2 == 0);
+            let next = code.encode(gen, bit, p).unwrap();
+            assert_eq!(code.decode(next), bit);
+            let t = p.transitions_to(next).unwrap();
+            assert_eq!(t.resets, 0);
+            assert!(t.sets <= 1, "a flip costs at most one wit");
+            p = next;
+        }
+    }
+
+    #[test]
+    fn unchanged_values_are_free() {
+        let code = FlipCode::new(4).unwrap();
+        let p = code.encode(0, 1, code.initial_pattern()).unwrap();
+        let q = code.encode(1, 1, p).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_detected() {
+        let code = FlipCode::new(2).unwrap();
+        let mut p = code.initial_pattern();
+        p = code.encode(0, 1, p).unwrap();
+        p = code.encode(1, 0, p).unwrap();
+        assert!(matches!(
+            code.encode(2, 1, p),
+            Err(WomCodeError::GenerationExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn full_pattern_with_wrong_parity_is_illegal() {
+        let code = FlipCode::new(2).unwrap();
+        let full = Pattern::ones(2); // parity 0
+                                     // gen is within bounds but the wits cannot express a 1 anymore.
+        assert!(matches!(
+            code.encode(1, 1, full),
+            Err(WomCodeError::IllegalTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn expansion_is_t() {
+        for t in [1u32, 2, 4, 16] {
+            let code = FlipCode::new(t).unwrap();
+            assert!((code.expansion() - f64::from(t)).abs() < 1e-12);
+            assert_eq!(code.writes(), t);
+        }
+    }
+
+    #[test]
+    fn invalid_t_is_rejected() {
+        assert!(FlipCode::new(0).is_err());
+        assert!(FlipCode::new(65).is_err());
+        assert!(FlipCode::new(64).is_ok());
+    }
+
+    #[test]
+    fn works_in_block_codec() {
+        use crate::block::BlockCodec;
+        use crate::inverted::Inverted;
+        let codec = BlockCodec::new(Inverted::new(FlipCode::new(4).unwrap()), 16).unwrap();
+        let mut cells = codec.erased_buffer();
+        for (gen, byte) in [0xAAu8, 0x55, 0xFF, 0x00].into_iter().enumerate() {
+            let t = codec
+                .encode_row(gen as u32, &[byte, byte], &mut cells)
+                .unwrap();
+            assert_eq!(t.sets, 0, "inverted flip code rewrites are RESET-only");
+            assert_eq!(codec.decode_row(&cells).unwrap(), vec![byte, byte]);
+        }
+    }
+}

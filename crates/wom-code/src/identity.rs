@@ -1,0 +1,114 @@
+//! The trivial single-write "identity" code, used as the no-WOM baseline.
+
+use crate::code::{check_encode_args, WomCode};
+use crate::error::WomCodeError;
+use crate::wit::{Orientation, Pattern};
+
+/// A degenerate ⟨2ᵏ⟩¹/k code: data is stored verbatim and every write is a
+/// full erase-and-program (the conventional-PCM baseline).
+///
+/// `writes()` is 1, so a [`crate::block::BlockCodec`] built on this code
+/// treats *every* write as an α-write — exactly the behaviour of PCM without
+/// WOM coding that the paper normalizes against.
+///
+/// ```
+/// use wom_code::{IdentityCode, WomCode};
+///
+/// # fn main() -> Result<(), wom_code::WomCodeError> {
+/// let code = IdentityCode::new(4)?;
+/// let p = code.encode(0, 0b1010, code.initial_pattern())?;
+/// assert_eq!(code.decode(p), 0b1010);
+/// assert_eq!(code.overhead(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IdentityCode {
+    bits: u32,
+}
+
+impl IdentityCode {
+    /// Creates an identity code over `bits` data bits (1..=64).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomCodeError::InvalidTable`] if `bits` is 0 or above 64.
+    pub fn new(bits: u32) -> Result<Self, WomCodeError> {
+        if bits == 0 || bits as usize > Pattern::MAX_LEN {
+            return Err(WomCodeError::InvalidTable(format!(
+                "identity code width must be in 1..=64, got {bits}"
+            )));
+        }
+        Ok(Self { bits })
+    }
+}
+
+impl WomCode for IdentityCode {
+    fn data_bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn wits(&self) -> u32 {
+        self.bits
+    }
+
+    fn writes(&self) -> u32 {
+        1
+    }
+
+    fn orientation(&self) -> Orientation {
+        Orientation::SetOnly
+    }
+
+    fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError> {
+        check_encode_args(self, gen, data, current)?;
+        // The identity code ignores `current`: writes always follow an erase,
+        // so any data pattern is programmable.
+        Ok(Pattern::from_bits(data, self.bits as usize))
+    }
+
+    fn decode(&self, pattern: Pattern) -> u64 {
+        pattern.bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_nibbles() {
+        let code = IdentityCode::new(4).unwrap();
+        for d in 0..16u64 {
+            let p = code.encode(0, d, code.initial_pattern()).unwrap();
+            assert_eq!(code.decode(p), d);
+        }
+    }
+
+    #[test]
+    fn zero_overhead() {
+        let code = IdentityCode::new(8).unwrap();
+        assert_eq!(code.overhead(), 0.0);
+        assert_eq!(code.expansion(), 1.0);
+    }
+
+    #[test]
+    fn single_write_limit() {
+        let code = IdentityCode::new(2).unwrap();
+        let p = code.encode(0, 3, code.initial_pattern()).unwrap();
+        assert!(matches!(
+            code.encode(1, 0, p),
+            Err(WomCodeError::GenerationExhausted {
+                requested: 1,
+                limit: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_width() {
+        assert!(IdentityCode::new(0).is_err());
+        assert!(IdentityCode::new(65).is_err());
+        assert!(IdentityCode::new(64).is_ok());
+    }
+}

@@ -1,0 +1,193 @@
+//! Inversion adapter: turn any set-only WOM-code into the reset-only code
+//! used for PCM (Fig. 1(b) of the paper).
+//!
+//! In PCM, programming `1 → 0` (RESET) takes ~40 ns while `0 → 1` (SET)
+//! takes ~150 ns. The paper therefore complements every code word so that
+//! all rewrites consist purely of fast RESET operations; the complemented
+//! tables are computed offline, so runtime cost is identical to the original
+//! code. [`Inverted`] performs exactly that complementation.
+
+use crate::code::{check_encode_args, WomCode};
+use crate::error::WomCodeError;
+use crate::wit::{Orientation, Pattern};
+
+/// A WOM-code with every pattern complemented, flipping its orientation.
+///
+/// `Inverted<Rs23Code>` is the paper's inverted ⟨2²⟩²/3 code: wits start at
+/// `111` and every rewrite only RESETs wits.
+///
+/// ```
+/// use wom_code::{Inverted, Rs23Code, WomCode, Pattern};
+///
+/// # fn main() -> Result<(), wom_code::WomCodeError> {
+/// let code = Inverted::new(Rs23Code::new());
+/// assert_eq!(code.initial_pattern(), Pattern::ones(3));
+/// let first = code.encode(0, 0b01, code.initial_pattern())?;
+/// assert_eq!(first, Pattern::from_bits(0b011, 3)); // complement of 100
+/// let second = code.encode(1, 0b10, first)?;
+/// // Only 1→0 transitions happened.
+/// assert_eq!(first.transitions_to(second)?.sets, 0);
+/// assert_eq!(code.decode(second), 0b10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Inverted<C> {
+    inner: C,
+}
+
+impl<C: WomCode> Inverted<C> {
+    /// Wraps `inner`, complementing all of its patterns.
+    #[must_use]
+    pub fn new(inner: C) -> Self {
+        Self { inner }
+    }
+
+    /// A reference to the wrapped code.
+    #[must_use]
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the adapter, returning the wrapped code.
+    #[must_use]
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: WomCode> From<C> for Inverted<C> {
+    fn from(inner: C) -> Self {
+        Self::new(inner)
+    }
+}
+
+impl<C: WomCode> WomCode for Inverted<C> {
+    fn data_bits(&self) -> u32 {
+        self.inner.data_bits()
+    }
+
+    fn wits(&self) -> u32 {
+        self.inner.wits()
+    }
+
+    fn writes(&self) -> u32 {
+        self.inner.writes()
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.inner.orientation().inverted()
+    }
+
+    fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError> {
+        check_encode_args(self, gen, data, current)?;
+        let inner_result = self.inner.encode(gen, data, current.complement())?;
+        Ok(inner_result.complement())
+    }
+
+    fn decode(&self, pattern: Pattern) -> u64 {
+        self.inner.decode(pattern.complement())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rs23::{Rs23Code, FIRST_WRITE, SECOND_WRITE};
+
+    fn code() -> Inverted<Rs23Code> {
+        Inverted::new(Rs23Code::new())
+    }
+
+    #[test]
+    fn orientation_is_flipped() {
+        assert_eq!(code().orientation(), Orientation::ResetOnly);
+        assert_eq!(code().initial_pattern(), Pattern::ones(3));
+    }
+
+    #[test]
+    fn double_inversion_restores_behaviour() {
+        let twice = Inverted::new(code());
+        let plain = Rs23Code::new();
+        assert_eq!(twice.orientation(), plain.orientation());
+        let erased = plain.initial_pattern();
+        for d in 0..4 {
+            assert_eq!(
+                twice.encode(0, d, erased).unwrap(),
+                plain.encode(0, d, erased).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn patterns_are_complements_of_table1() {
+        let c = code();
+        let erased = c.initial_pattern();
+        for (data, &bits) in FIRST_WRITE.iter().enumerate() {
+            let p = c.encode(0, data as u64, erased).unwrap();
+            assert_eq!(p.bits(), !bits & 0b111);
+        }
+        for x in 0..4u64 {
+            let first = Pattern::from_bits(!FIRST_WRITE[x as usize] & 0b111, 3);
+            for y in 0..4u64 {
+                if y == x {
+                    continue;
+                }
+                let second = c.encode(1, y, first).unwrap();
+                assert_eq!(second.bits(), !SECOND_WRITE[y as usize] & 0b111);
+            }
+        }
+    }
+
+    #[test]
+    fn all_rewrites_are_reset_only() {
+        let c = code();
+        for x in 0..4u64 {
+            let first = c.encode(0, x, c.initial_pattern()).unwrap();
+            // First write from the erased state is also reset-only: that is
+            // the whole point of the inverted code.
+            let t0 = c.initial_pattern().transitions_to(first).unwrap();
+            assert_eq!(t0.sets, 0, "first write of {x:02b} must be reset-only");
+            for y in 0..4u64 {
+                let second = c.encode(1, y, first).unwrap();
+                let t = first.transitions_to(second).unwrap();
+                assert_eq!(t.sets, 0, "rewrite {x:02b}->{y:02b} must be reset-only");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_decodes() {
+        let c = code();
+        for x in 0..4u64 {
+            let first = c.encode(0, x, c.initial_pattern()).unwrap();
+            assert_eq!(c.decode(first), x);
+            for y in 0..4u64 {
+                let second = c.encode(1, y, first).unwrap();
+                assert_eq!(c.decode(second), y);
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_is_preserved() {
+        let c = code();
+        assert_eq!(c.data_bits(), 2);
+        assert_eq!(c.wits(), 3);
+        assert_eq!(c.writes(), 2);
+        assert!((c.overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_pass_through() {
+        let c = code();
+        assert!(matches!(
+            c.encode(2, 0, Pattern::zeros(3)),
+            Err(WomCodeError::GenerationExhausted { .. })
+        ));
+        assert!(matches!(
+            c.encode(0, 9, Pattern::ones(3)),
+            Err(WomCodeError::DataOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! The generalized two-write Rivest–Shamir family ⟨2ᵏ⟩²/(2ᵏ−1).
+//!
+//! Table 1's ⟨2²⟩²/3 code is the `k = 2` member of a family that stores
+//! `k` bits in `n = 2ᵏ − 1` wits for two writes:
+//!
+//! * **first write** of value `x`: program the unit pattern `e_x` (wit
+//!   `x` set) — or the all-zeros pattern for `x = 0`;
+//! * **second write** of value `y ≠ x`: program the complement `¬e_y`
+//!   (every wit except `y` set). From any first-write pattern `e_x` this
+//!   needs only `0 → 1` transitions because bit `x` of `¬e_y` is 1
+//!   whenever `x ≠ y`.
+//!
+//! Decoding is by pattern weight: weight ≤ 1 is a first-generation word
+//! (`x` = index of the set wit, or 0), weight ≥ n−1 is second-generation
+//! (`y` = index of the cleared wit, or 0 for all-ones).
+//!
+//! Note the wit-index convention differs from [`crate::rs23`]'s Table 1
+//! bit layout; both are valid ⟨2²⟩²/3 codes, and `rs23` remains the
+//! paper-exact implementation.
+
+use crate::code::{check_encode_args, WomCode};
+use crate::error::WomCodeError;
+use crate::wit::{Orientation, Pattern};
+
+/// A ⟨2ᵏ⟩²/(2ᵏ−1) two-write WOM-code (set-only orientation).
+///
+/// ```
+/// use wom_code::{Rs2Code, WomCode};
+///
+/// # fn main() -> Result<(), wom_code::WomCodeError> {
+/// // 3 bits in 7 wits, two writes: expansion 2.33 (vs 1.5 at k = 2).
+/// let code = Rs2Code::new(3)?;
+/// assert_eq!(code.wits(), 7);
+/// let first = code.encode(0, 5, code.initial_pattern())?;
+/// assert_eq!(code.decode(first), 5);
+/// let second = code.encode(1, 2, first)?;
+/// assert_eq!(code.decode(second), 2);
+/// // The rewrite used only 0 -> 1 transitions.
+/// assert_eq!(first.transitions_to(second)?.resets, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rs2Code {
+    data_bits: u32,
+}
+
+impl Rs2Code {
+    /// Creates the family member for `data_bits = k` (2 ≤ k ≤ 6, so the
+    /// weight-based decoder is unambiguous and the symbol fits a
+    /// [`Pattern`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomCodeError::InvalidTable`] for `k` outside `2..=6`.
+    pub fn new(data_bits: u32) -> Result<Self, WomCodeError> {
+        if !(2..=6).contains(&data_bits) {
+            return Err(WomCodeError::InvalidTable(format!(
+                "Rs2Code supports 2..=6 data bits, got {data_bits}"
+            )));
+        }
+        Ok(Self { data_bits })
+    }
+
+    fn n(&self) -> u32 {
+        (1u32 << self.data_bits) - 1
+    }
+
+    fn mask(&self) -> u64 {
+        (1u64 << self.n()) - 1
+    }
+
+    /// First-write pattern of `data`: `e_data` (all-zeros for 0).
+    fn first_pattern(&self, data: u64) -> u64 {
+        if data == 0 {
+            0
+        } else {
+            1u64 << (data - 1)
+        }
+    }
+
+    /// Second-write pattern of `data`: `¬e_data` (all-ones for 0).
+    fn second_pattern(&self, data: u64) -> u64 {
+        self.mask() & !self.first_pattern(data)
+    }
+}
+
+impl WomCode for Rs2Code {
+    fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    fn wits(&self) -> u32 {
+        self.n()
+    }
+
+    fn writes(&self) -> u32 {
+        2
+    }
+
+    fn orientation(&self) -> Orientation {
+        Orientation::SetOnly
+    }
+
+    fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError> {
+        check_encode_args(self, gen, data, current)?;
+        if self.decode(current) == data
+            && (current.bits() == self.first_pattern(data)
+                || current.bits() == self.second_pattern(data))
+        {
+            return Ok(current);
+        }
+        let bits = if gen == 0 {
+            self.first_pattern(data)
+        } else {
+            self.second_pattern(data)
+        };
+        let target = Pattern::from_bits(bits, self.n() as usize);
+        if !current.can_program_to(target, Orientation::SetOnly)? {
+            let bad = (current.bits() & !target.bits()).trailing_zeros();
+            return Err(WomCodeError::IllegalTransition { bit: bad });
+        }
+        Ok(target)
+    }
+
+    fn decode(&self, pattern: Pattern) -> u64 {
+        let bits = pattern.bits() & self.mask();
+        let weight = bits.count_ones();
+        let n = self.n();
+        if weight <= 1 {
+            // First generation: index of the set wit (1-based), or 0.
+            if bits == 0 {
+                0
+            } else {
+                u64::from(bits.trailing_zeros() + 1)
+            }
+        } else if weight >= n - 1 {
+            // Second generation: index of the cleared wit, or 0.
+            let cleared = !bits & self.mask();
+            if cleared == 0 {
+                0
+            } else {
+                u64::from(cleared.trailing_zeros() + 1)
+            }
+        } else {
+            0 // not a codeword; implementation-defined
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k2_matches_table1_structure() {
+        // At k = 2 the family is a <2^2>^2/3 code (different wit layout
+        // than Table 1, same geometry and properties).
+        let code = Rs2Code::new(2).unwrap();
+        assert_eq!(code.wits(), 3);
+        assert_eq!(code.writes(), 2);
+        assert!((code.overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_two_write_round_trip_all_k() {
+        for k in 2..=6u32 {
+            let code = Rs2Code::new(k).unwrap();
+            let erased = code.initial_pattern();
+            for x in 0..(1u64 << k) {
+                let first = code.encode(0, x, erased).unwrap();
+                assert_eq!(code.decode(first), x, "k={k} first write of {x}");
+                assert_eq!(
+                    erased.transitions_to(first).unwrap().resets,
+                    0,
+                    "k={k} first write must be set-only"
+                );
+                for y in 0..(1u64 << k) {
+                    let second = code.encode(1, y, first).unwrap();
+                    assert_eq!(code.decode(second), y, "k={k} rewrite {x}->{y}");
+                    let t = first.transitions_to(second).unwrap();
+                    assert_eq!(t.resets, 0, "k={k} rewrite {x}->{y} must be set-only");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_second_writes_are_noops() {
+        let code = Rs2Code::new(3).unwrap();
+        let first = code.encode(0, 4, code.initial_pattern()).unwrap();
+        let second = code.encode(1, 4, first).unwrap();
+        assert_eq!(second, first, "rewriting the stored value costs nothing");
+    }
+
+    #[test]
+    fn expansion_grows_with_k() {
+        // (2^k - 1)/k: 1, 1.5, 2.33, 3.75, 6.2, 10.5 — the paper's point
+        // that richer codes cost steeply more memory.
+        let expansions: Vec<f64> = (2..=6)
+            .map(|k| Rs2Code::new(k).unwrap().expansion())
+            .collect();
+        for w in expansions.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!((expansions[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn third_write_is_rejected() {
+        let code = Rs2Code::new(2).unwrap();
+        let first = code.encode(0, 1, code.initial_pattern()).unwrap();
+        let second = code.encode(1, 2, first).unwrap();
+        assert!(matches!(
+            code.encode(2, 3, second),
+            Err(WomCodeError::GenerationExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_k_is_rejected() {
+        assert!(Rs2Code::new(0).is_err());
+        assert!(Rs2Code::new(1).is_err());
+        assert!(Rs2Code::new(7).is_err());
+    }
+
+    #[test]
+    fn inverted_variant_is_reset_only() {
+        let code = crate::inverted::Inverted::new(Rs2Code::new(3).unwrap());
+        let first = code.encode(0, 6, code.initial_pattern()).unwrap();
+        let second = code.encode(1, 1, first).unwrap();
+        assert_eq!(
+            code.initial_pattern().transitions_to(first).unwrap().sets,
+            0
+        );
+        assert_eq!(first.transitions_to(second).unwrap().sets, 0);
+        assert_eq!(code.decode(second), 1);
+    }
+}

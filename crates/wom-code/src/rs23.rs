@@ -1,0 +1,224 @@
+//! The Rivest–Shamir ⟨2²⟩²/3 WOM-code (Table 1 of the paper).
+//!
+//! Stores 2 data bits in 3 wits and supports 2 writes. The first write of
+//! value `x` programs pattern `r(x)`; a second write of `y ≠ x` programs
+//! `r'(y)`, which differs from every first-write pattern only by `0 → 1`
+//! transitions. Decoding is two XORs: for pattern `abc`, data `uv` is
+//! `u = b ⊕ c`, `v = a ⊕ c`.
+//!
+//! | data `uv` | first write `r(x)` | second write `r'(x)` |
+//! |-----------|--------------------|----------------------|
+//! | 00        | 000                | 111                  |
+//! | 01        | 100                | 011                  |
+//! | 10        | 010                | 101                  |
+//! | 11        | 001                | 110                  |
+
+use crate::code::{check_encode_args, WomCode};
+use crate::error::WomCodeError;
+use crate::wit::{Orientation, Pattern};
+
+/// First-write patterns `r(x)`, indexed by data value, in "abc" bit order
+/// (`a` = bit 2, `b` = bit 1, `c` = bit 0).
+pub const FIRST_WRITE: [u64; 4] = [0b000, 0b100, 0b010, 0b001];
+
+/// Second-write patterns `r'(x)`, indexed by data value.
+pub const SECOND_WRITE: [u64; 4] = [0b111, 0b011, 0b101, 0b110];
+
+/// The Rivest–Shamir ⟨2²⟩²/3 WOM-code in the classic set-only orientation.
+///
+/// This is the code the paper builds its WOM-code PCM architecture around
+/// (inverted for PCM via [`crate::inverted::Inverted`]).
+///
+/// ```
+/// use wom_code::{Rs23Code, WomCode, Pattern};
+///
+/// # fn main() -> Result<(), wom_code::WomCodeError> {
+/// let code = Rs23Code::new();
+/// let erased = code.initial_pattern();
+/// // First write: store 0b01.
+/// let first = code.encode(0, 0b01, erased)?;
+/// assert_eq!(first, Pattern::from_bits(0b100, 3));
+/// assert_eq!(code.decode(first), 0b01);
+/// // Second write: overwrite with 0b10 using only 0→1 transitions.
+/// let second = code.encode(1, 0b10, first)?;
+/// assert_eq!(second, Pattern::from_bits(0b101, 3));
+/// assert_eq!(code.decode(second), 0b10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rs23Code;
+
+impl Rs23Code {
+    /// Creates the code. Equivalent to [`Default::default`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl WomCode for Rs23Code {
+    fn data_bits(&self) -> u32 {
+        2
+    }
+
+    fn wits(&self) -> u32 {
+        3
+    }
+
+    fn writes(&self) -> u32 {
+        2
+    }
+
+    fn orientation(&self) -> Orientation {
+        Orientation::SetOnly
+    }
+
+    fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError> {
+        check_encode_args(self, gen, data, current)?;
+        // Re-writing the currently stored value never costs a wit.
+        if self.decode(current) == data && (gen > 0 || current.bits() == FIRST_WRITE[data as usize])
+        {
+            return Ok(current);
+        }
+        let table = if gen == 0 {
+            &FIRST_WRITE
+        } else {
+            &SECOND_WRITE
+        };
+        let target = Pattern::from_bits(table[data as usize], 3);
+        if !current.can_program_to(target, Orientation::SetOnly)? {
+            // Find the offending bit for diagnostics.
+            let bad = (current.bits() & !target.bits()).trailing_zeros();
+            return Err(WomCodeError::IllegalTransition { bit: bad });
+        }
+        Ok(target)
+    }
+
+    fn decode(&self, pattern: Pattern) -> u64 {
+        // pattern = abc with a = bit 2, b = bit 1, c = bit 0.
+        let a = (pattern.bits() >> 2) & 1;
+        let b = (pattern.bits() >> 1) & 1;
+        let c = pattern.bits() & 1;
+        let u = b ^ c;
+        let v = a ^ c;
+        (u << 1) | v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_first_write_patterns() {
+        let code = Rs23Code::new();
+        let erased = code.initial_pattern();
+        for (data, &expect) in FIRST_WRITE.iter().enumerate() {
+            let p = code.encode(0, data as u64, erased).unwrap();
+            assert_eq!(p.bits(), expect, "first write of {data:02b}");
+            assert_eq!(code.decode(p), data as u64);
+        }
+    }
+
+    #[test]
+    fn table1_second_write_patterns() {
+        let code = Rs23Code::new();
+        for x in 0..4u64 {
+            let first = Pattern::from_bits(FIRST_WRITE[x as usize], 3);
+            for y in 0..4u64 {
+                let second = code.encode(1, y, first).unwrap();
+                assert_eq!(code.decode(second), y, "second write {y:02b} over {x:02b}");
+                if y != x {
+                    assert_eq!(second.bits(), SECOND_WRITE[y as usize]);
+                } else {
+                    // Repeating a value is a no-op, not r'(x) (which could
+                    // need a forbidden 1→0 flip, e.g. r(01)=100 → r'(01)=011).
+                    assert_eq!(second, first);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn second_write_uses_only_sets() {
+        let code = Rs23Code::new();
+        for x in 0..4u64 {
+            let first = Pattern::from_bits(FIRST_WRITE[x as usize], 3);
+            for y in 0..4u64 {
+                let second = code.encode(1, y, first).unwrap();
+                let t = first.transitions_to(second).unwrap();
+                assert_eq!(t.resets, 0, "rewrite {x:02b}->{y:02b} must be set-only");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_xor_rule_matches_table() {
+        let code = Rs23Code::new();
+        // Exhaustively check the XOR decode rule over all 8 patterns that the
+        // two tables produce.
+        for &bits in FIRST_WRITE.iter().chain(SECOND_WRITE.iter()) {
+            let p = Pattern::from_bits(bits, 3);
+            let d = code.decode(p);
+            assert!(d < 4);
+        }
+        assert_eq!(code.decode(Pattern::from_bits(0b100, 3)), 0b01);
+        assert_eq!(code.decode(Pattern::from_bits(0b011, 3)), 0b01);
+        assert_eq!(code.decode(Pattern::from_bits(0b010, 3)), 0b10);
+        assert_eq!(code.decode(Pattern::from_bits(0b101, 3)), 0b10);
+        assert_eq!(code.decode(Pattern::from_bits(0b001, 3)), 0b11);
+        assert_eq!(code.decode(Pattern::from_bits(0b110, 3)), 0b11);
+        assert_eq!(code.decode(Pattern::from_bits(0b000, 3)), 0b00);
+        assert_eq!(code.decode(Pattern::from_bits(0b111, 3)), 0b00);
+    }
+
+    #[test]
+    fn third_write_is_rejected() {
+        let code = Rs23Code::new();
+        let p = Pattern::from_bits(0b111, 3);
+        assert!(matches!(
+            code.encode(2, 0, p),
+            Err(WomCodeError::GenerationExhausted {
+                requested: 2,
+                limit: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_data_is_rejected() {
+        let code = Rs23Code::new();
+        assert!(matches!(
+            code.encode(0, 4, code.initial_pattern()),
+            Err(WomCodeError::DataOutOfRange {
+                value: 4,
+                data_bits: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn wrong_width_pattern_is_rejected() {
+        let code = Rs23Code::new();
+        assert!(matches!(
+            code.encode(0, 0, Pattern::zeros(4)),
+            Err(WomCodeError::LengthMismatch {
+                expected: 3,
+                actual: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupt_state_reports_illegal_transition() {
+        let code = Rs23Code::new();
+        // From 111 the only reachable set-only patterns are 111 itself, so a
+        // first-generation encode of a different value must fail.
+        let full = Pattern::from_bits(0b111, 3);
+        assert!(matches!(
+            code.encode(0, 0b01, full),
+            Err(WomCodeError::IllegalTransition { .. })
+        ));
+    }
+}

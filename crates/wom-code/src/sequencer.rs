@@ -1,0 +1,201 @@
+//! [`Sequencer`]: owned write-sequence state over a symbol code.
+//!
+//! [`crate::WomCode::encode`] is deliberately stateless — the memory
+//! controller owns patterns and generation counters. For application code
+//! and tests that just want "write values, read them back, tell me what
+//! each write cost", the sequencer bundles that state and handles the
+//! erase-on-exhaustion (α-write) automatically.
+
+use crate::code::WomCode;
+use crate::error::WomCodeError;
+use crate::wit::{Pattern, Transitions};
+
+/// What one sequenced write physically did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequencedWrite {
+    /// Wit transitions, including the erase when the budget wrapped.
+    pub transitions: Transitions,
+    /// True when the budget was exhausted and the symbol was erased
+    /// first (the α-write).
+    pub erased: bool,
+    /// Write generation used after any erase (0-based).
+    pub generation: u32,
+}
+
+/// Stateful writer over one code symbol: tracks the pattern and the
+/// generation, erasing automatically at the rewrite limit.
+///
+/// ```
+/// use wom_code::{Inverted, Rs23Code, Sequencer};
+///
+/// # fn main() -> Result<(), wom_code::WomCodeError> {
+/// let mut seq = Sequencer::new(Inverted::new(Rs23Code::new()));
+/// let a = seq.write(0b01)?;
+/// let b = seq.write(0b10)?;
+/// assert!(!a.erased && !b.erased);
+/// assert_eq!(a.transitions.sets + b.transitions.sets, 0); // RESET-only
+/// assert_eq!(seq.read(), 0b10);
+///
+/// let c = seq.write(0b11)?; // budget exhausted: automatic alpha-write
+/// assert!(c.erased);
+/// assert_eq!(seq.read(), 0b11);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sequencer<C> {
+    code: C,
+    pattern: Pattern,
+    generation: u32,
+    erases: u64,
+    writes: u64,
+}
+
+impl<C: WomCode> Sequencer<C> {
+    /// Starts from the code's erased state.
+    #[must_use]
+    pub fn new(code: C) -> Self {
+        let pattern = code.initial_pattern();
+        Self {
+            code,
+            pattern,
+            generation: 0,
+            erases: 0,
+            writes: 0,
+        }
+    }
+
+    /// The code in use.
+    #[must_use]
+    pub fn code(&self) -> &C {
+        &self.code
+    }
+
+    /// The current wit pattern.
+    #[must_use]
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// Decodes the currently stored value.
+    #[must_use]
+    pub fn read(&self) -> u64 {
+        self.code.decode(self.pattern)
+    }
+
+    /// Total erases (α-writes) performed so far.
+    #[must_use]
+    pub fn erases(&self) -> u64 {
+        self.erases
+    }
+
+    /// Total writes performed so far.
+    #[must_use]
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Writes `data`, erasing first if the rewrite budget is exhausted,
+    /// and reports what the cells did.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomCodeError::DataOutOfRange`] if `data` does not fit
+    /// the code's `data_bits()`.
+    pub fn write(&mut self, data: u64) -> Result<SequencedWrite, WomCodeError> {
+        let before = self.pattern;
+        let (erased, base) = if self.generation >= self.code.writes() {
+            (true, self.code.initial_pattern())
+        } else {
+            (false, self.pattern)
+        };
+        let gen = if erased { 0 } else { self.generation };
+        let next = self.code.encode(gen, data, base)?;
+        let mut transitions = before.transitions_to(base)?;
+        let write_t = base.transitions_to(next)?;
+        transitions.sets += write_t.sets;
+        transitions.resets += write_t.resets;
+        self.pattern = next;
+        self.generation = gen + 1;
+        self.writes += 1;
+        if erased {
+            self.erases += 1;
+        }
+        Ok(SequencedWrite {
+            transitions,
+            erased,
+            generation: gen,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flip::FlipCode;
+    use crate::inverted::Inverted;
+    use crate::rs23::Rs23Code;
+
+    #[test]
+    fn long_sequences_always_read_back() {
+        let mut seq = Sequencer::new(Inverted::new(Rs23Code::new()));
+        for i in 0..50u64 {
+            let v = (i * 3) % 4;
+            seq.write(v).unwrap();
+            assert_eq!(seq.read(), v, "write #{i}");
+        }
+        assert_eq!(seq.writes(), 50);
+        assert!(seq.erases() >= 50 / 3, "t = 2 forces regular erases");
+    }
+
+    #[test]
+    fn erases_happen_exactly_at_the_limit() {
+        let mut seq = Sequencer::new(Rs23Code::new());
+        assert!(!seq.write(1).unwrap().erased);
+        assert!(!seq.write(2).unwrap().erased);
+        let third = seq.write(3).unwrap();
+        assert!(third.erased);
+        assert_eq!(third.generation, 0);
+        assert_eq!(seq.erases(), 1);
+    }
+
+    #[test]
+    fn erase_transitions_include_the_wipe() {
+        // In the inverted code an erase SETs wits back to 1.
+        let mut seq = Sequencer::new(Inverted::new(Rs23Code::new()));
+        seq.write(1).unwrap();
+        seq.write(2).unwrap();
+        let alpha = seq.write(1).unwrap();
+        assert!(alpha.erased);
+        assert!(alpha.transitions.sets > 0, "the erase must pay SET pulses");
+    }
+
+    #[test]
+    fn repeat_values_are_free_within_budget() {
+        let mut seq = Sequencer::new(Rs23Code::new());
+        seq.write(2).unwrap();
+        let again = seq.write(2).unwrap();
+        assert!(again.transitions.is_noop());
+        assert!(!again.erased);
+    }
+
+    #[test]
+    fn works_with_high_rewrite_codes() {
+        let mut seq = Sequencer::new(FlipCode::new(8).unwrap());
+        for i in 0..8u64 {
+            let w = seq.write(i % 2).unwrap();
+            assert!(!w.erased, "8 writes fit the t = 8 budget");
+        }
+        assert!(seq.write(1).unwrap().erased);
+    }
+
+    #[test]
+    fn out_of_range_data_is_rejected_without_state_change() {
+        let mut seq = Sequencer::new(Rs23Code::new());
+        seq.write(1).unwrap();
+        let p = seq.pattern();
+        assert!(seq.write(9).is_err());
+        assert_eq!(seq.pattern(), p, "failed writes must not disturb state");
+        assert_eq!(seq.writes(), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Write-once bits ("wits") and small fixed-width bit patterns.
+//!
+//! In the Rivest–Shamir write-once-memory model, storage is an array of
+//! *wits*: bits that transition irreversibly in one direction. Classic WOM
+//! (punch cards, optical discs, flash) allows only `0 → 1` transitions; the
+//! *inverted* orientation used for PCM in the paper allows only `1 → 0`,
+//! because in PCM the `1 → 0` RESET is 4–5× faster than the `0 → 1` SET.
+
+use crate::error::WomCodeError;
+use core::fmt;
+
+/// Direction in which wits may be programmed.
+///
+/// See the crate docs for why PCM uses [`Orientation::ResetOnly`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// Wits start at `0`; only `0 → 1` (SET) transitions are allowed.
+    /// This is the classic Rivest–Shamir orientation (flash, optical media).
+    #[default]
+    SetOnly,
+    /// Wits start at `1`; only `1 → 0` (RESET) transitions are allowed.
+    /// This is the inverted orientation used for PCM, where RESET is fast.
+    ResetOnly,
+}
+
+impl Orientation {
+    /// The opposite orientation.
+    #[must_use]
+    pub fn inverted(self) -> Self {
+        match self {
+            Self::SetOnly => Self::ResetOnly,
+            Self::ResetOnly => Self::SetOnly,
+        }
+    }
+
+    /// The wit value every cell holds before the first write.
+    #[must_use]
+    pub fn initial_bit(self) -> bool {
+        matches!(self, Self::ResetOnly)
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SetOnly => f.write_str("set-only"),
+            Self::ResetOnly => f.write_str("reset-only"),
+        }
+    }
+}
+
+/// A fixed-width pattern of up to 64 wits.
+///
+/// Codes in this crate operate on short symbols (the ⟨2²⟩²/3 code uses 3
+/// wits), so a single `u64` word suffices; longer rows are handled by
+/// [`crate::block::BlockCodec`].
+///
+/// ```
+/// use wom_code::Pattern;
+///
+/// let p = Pattern::from_bits(0b100, 3);
+/// assert_eq!(p.len(), 3);
+/// assert!(p.bit(2));
+/// assert!(!p.bit(0));
+/// assert_eq!(p.count_ones(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    bits: u64,
+    len: u8,
+}
+
+impl Pattern {
+    /// Maximum supported pattern width in bits.
+    pub const MAX_LEN: usize = 64;
+
+    /// Creates a pattern from the low `len` bits of `bits`.
+    ///
+    /// Bit index 0 is the least-significant bit. For a 3-wit pattern written
+    /// "abc" as in the paper's Table 1, `a` is bit 2, `b` is bit 1 and `c`
+    /// is bit 0, so the textual pattern `100` is `0b100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or if `bits` has bits set above `len`.
+    #[must_use]
+    pub fn from_bits(bits: u64, len: usize) -> Self {
+        assert!(len <= Self::MAX_LEN, "pattern length {len} exceeds 64");
+        if len < 64 {
+            assert!(
+                bits < (1u64 << len),
+                "bits {bits:#x} exceed pattern length {len}"
+            );
+        }
+        Self {
+            bits,
+            len: len as u8,
+        }
+    }
+
+    /// The all-zeros pattern of the given length.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self::from_bits(0, len)
+    }
+
+    /// The all-ones pattern of the given length.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        assert!(len <= Self::MAX_LEN, "pattern length {len} exceeds 64");
+        let bits = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
+        Self {
+            bits,
+            len: len as u8,
+        }
+    }
+
+    /// The erased (pre-first-write) pattern for an orientation.
+    #[must_use]
+    pub fn initial(orientation: Orientation, len: usize) -> Self {
+        match orientation {
+            Orientation::SetOnly => Self::zeros(len),
+            Orientation::ResetOnly => Self::ones(len),
+        }
+    }
+
+    /// Number of wits in the pattern.
+    #[must_use]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// The raw bits (low `len()` bits meaningful).
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Value of the wit at `index` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn bit(self, index: usize) -> bool {
+        assert!(
+            index < self.len(),
+            "bit index {index} out of range for {} wits",
+            self.len()
+        );
+        (self.bits >> index) & 1 == 1
+    }
+
+    /// Number of wits currently `1`.
+    #[must_use]
+    pub fn count_ones(self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// The bitwise complement within the pattern width.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        let mask = if self.len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.len) - 1
+        };
+        Self {
+            bits: !self.bits & mask,
+            len: self.len,
+        }
+    }
+
+    /// Counts the `(sets, resets)` transitions needed to go from `self` to
+    /// `to`: `sets` is the number of `0 → 1` flips, `resets` the `1 → 0`.
+    ///
+    /// This is the quantity that decides PCM write latency: a write is fast
+    /// iff `sets == 0` (RESET-only) in the physical cell array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomCodeError::LengthMismatch`] if the lengths differ.
+    pub fn transitions_to(self, to: Self) -> Result<Transitions, WomCodeError> {
+        if self.len != to.len {
+            return Err(WomCodeError::LengthMismatch {
+                expected: self.len(),
+                actual: to.len(),
+            });
+        }
+        let sets = (!self.bits & to.bits).count_ones();
+        let resets = (self.bits & !to.bits).count_ones();
+        Ok(Transitions { sets, resets })
+    }
+
+    /// Whether `self` can be programmed into `to` under `orientation`
+    /// without violating write-once-ness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomCodeError::LengthMismatch`] if the lengths differ.
+    pub fn can_program_to(self, to: Self, orientation: Orientation) -> Result<bool, WomCodeError> {
+        let t = self.transitions_to(to)?;
+        Ok(match orientation {
+            Orientation::SetOnly => t.resets == 0,
+            Orientation::ResetOnly => t.sets == 0,
+        })
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({self})")
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Formats most-significant wit first, matching the paper's "abc" order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len()).rev() {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+/// Bit-flip counts between two patterns, split by direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Transitions {
+    /// Number of `0 → 1` transitions (PCM SET — slow).
+    pub sets: u32,
+    /// Number of `1 → 0` transitions (PCM RESET — fast).
+    pub resets: u32,
+}
+
+impl Transitions {
+    /// Total number of flipped wits.
+    #[must_use]
+    pub fn total(self) -> u32 {
+        self.sets + self.resets
+    }
+
+    /// True when no wit changes at all.
+    #[must_use]
+    pub fn is_noop(self) -> bool {
+        self.total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_patterns_match_orientation() {
+        assert_eq!(Pattern::initial(Orientation::SetOnly, 3), Pattern::zeros(3));
+        assert_eq!(
+            Pattern::initial(Orientation::ResetOnly, 3),
+            Pattern::ones(3)
+        );
+        assert!(!Orientation::SetOnly.initial_bit());
+        assert!(Orientation::ResetOnly.initial_bit());
+    }
+
+    #[test]
+    fn orientation_inversion_is_involutive() {
+        for o in [Orientation::SetOnly, Orientation::ResetOnly] {
+            assert_eq!(o.inverted().inverted(), o);
+        }
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let p = Pattern::from_bits(0b100, 3);
+        assert_eq!(p.to_string(), "100");
+        assert_eq!(Pattern::from_bits(0b011, 3).to_string(), "011");
+    }
+
+    #[test]
+    fn transitions_counts_both_directions() {
+        let a = Pattern::from_bits(0b101, 3);
+        let b = Pattern::from_bits(0b011, 3);
+        let t = a.transitions_to(b).unwrap();
+        assert_eq!(t, Transitions { sets: 1, resets: 1 });
+        assert_eq!(t.total(), 2);
+        assert!(!t.is_noop());
+    }
+
+    #[test]
+    fn transitions_noop() {
+        let a = Pattern::from_bits(0b110, 3);
+        assert!(a.transitions_to(a).unwrap().is_noop());
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = Pattern::zeros(3);
+        let b = Pattern::zeros(4);
+        assert!(matches!(
+            a.transitions_to(b),
+            Err(WomCodeError::LengthMismatch {
+                expected: 3,
+                actual: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn can_program_respects_orientation() {
+        let zero = Pattern::zeros(3);
+        let one = Pattern::ones(3);
+        assert!(zero.can_program_to(one, Orientation::SetOnly).unwrap());
+        assert!(!zero.can_program_to(one, Orientation::ResetOnly).unwrap());
+        assert!(one.can_program_to(zero, Orientation::ResetOnly).unwrap());
+        assert!(!one.can_program_to(zero, Orientation::SetOnly).unwrap());
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let p = Pattern::from_bits(0b0110, 4);
+        assert_eq!(p.complement().complement(), p);
+        assert_eq!(p.complement(), Pattern::from_bits(0b1001, 4));
+    }
+
+    #[test]
+    fn full_width_patterns() {
+        let p = Pattern::ones(64);
+        assert_eq!(p.count_ones(), 64);
+        assert_eq!(p.complement(), Pattern::zeros(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed pattern length")]
+    fn from_bits_rejects_overflow() {
+        let _ = Pattern::from_bits(0b1000, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_rejects_out_of_range() {
+        let _ = Pattern::zeros(3).bit(3);
+    }
+}

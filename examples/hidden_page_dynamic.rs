@@ -1,0 +1,94 @@
+//! Demonstrates the hidden-page organization's dynamic-code flexibility
+//! (§3.1): the memory controller reserves hidden pages, recruits them as
+//! rows are written, and can switch WOM codes at runtime — something the
+//! fixed wide-column organization cannot do.
+//!
+//! Run with `cargo run --example hidden_page_dynamic`.
+
+use womcode_pcm::arch::{HiddenPageTable, WideColumn};
+use womcode_pcm::code::{IdentityCode, Inverted, Orientation, Rs23Code, TabularWomCode, WomCode};
+use womcode_pcm::sim::MemoryGeometry;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = MemoryGeometry::paper_16gib();
+
+    // A wide-column array is manufactured for one expansion factor.
+    let wide = WideColumn::new(geometry, 1.5)?;
+    // A hidden-page reservation offers the same budget dynamically.
+    let mut hidden = HiddenPageTable::new(geometry, 1.5)?;
+
+    println!(
+        "geometry: {} ranks x {} banks x {} rows of {} B",
+        geometry.ranks, geometry.banks_per_rank, geometry.rows_per_bank, geometry.row_bytes
+    );
+    println!(
+        "hidden-page split: {} visible + {} hidden rows per bank ({} GiB visible)",
+        hidden.visible_rows(),
+        hidden.hidden_rows(),
+        hidden.visible_capacity_bytes() >> 30
+    );
+
+    // Three candidate codes the controller may want over the device's life.
+    let rs = Inverted::new(Rs23Code::new());
+    let identity = IdentityCode::new(2)?;
+    // A hypothetical high-endurance code: 1 bit in 2 wits (expansion 2.0).
+    let wide_code = TabularWomCode::new(
+        1,
+        2,
+        Orientation::SetOnly,
+        vec![vec![0b00, 0b01], vec![0b11, 0b10]],
+    )?;
+
+    println!(
+        "\n{:28}{:>12}{:>14}{:>14}",
+        "code", "expansion", "wide-column", "hidden-page"
+    );
+    for (name, expansion, wc, hp) in [
+        (
+            "identity (no WOM)",
+            identity.expansion(),
+            wide.supports(&identity),
+            hidden.supports(&identity),
+        ),
+        (
+            "inverted <2^2>^2/3",
+            rs.expansion(),
+            wide.supports(&rs),
+            hidden.supports(&rs),
+        ),
+        (
+            "<2>^2/2 (expansion 2.0)",
+            wide_code.expansion(),
+            wide.supports(&wide_code),
+            hidden.supports(&wide_code),
+        ),
+    ] {
+        println!(
+            "{name:28}{expansion:>12.2}{:>14}{:>14}",
+            if wc { "supported" } else { "too wide" },
+            if hp { "supported" } else { "too wide" }
+        );
+    }
+
+    // Recruit hidden rows as visible rows get written, then release them
+    // (e.g. when the OS reclaims the region or the code is switched).
+    println!("\nrecruiting hidden pages for the first 8 written rows of bank 0:");
+    for row in 0..8 {
+        let h = hidden.recruit(0, row)?;
+        println!("  visible row {row:>3} -> hidden row {h}");
+    }
+    println!("mapped pages: {}", hidden.mapped_count());
+    for row in 0..8 {
+        hidden.release(0, row);
+    }
+    println!(
+        "after release: {} (pool recycled for the next code)",
+        hidden.mapped_count()
+    );
+
+    println!(
+        "\nwide-column: fixed 1.5x columns, zero controller bookkeeping;\n\
+         hidden-page: page table + free lists, but any code with expansion <= 1.5"
+    );
+    Ok(())
+}

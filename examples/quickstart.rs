@@ -1,0 +1,60 @@
+//! Quickstart: encode data with the paper's inverted ⟨2²⟩²/3 WOM-code,
+//! then compare conventional PCM against WOM-code PCM on a small trace.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::code::{BlockCodec, Inverted, Rs23Code, WomCode};
+use womcode_pcm::trace::synth::benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. The coding layer: rewrite a cache line twice with zero SETs.
+    // ------------------------------------------------------------------
+    let code = Inverted::new(Rs23Code::new());
+    println!(
+        "inverted <2^2>^2/3 WOM-code: {} data bits in {} wits, {} writes, {:.0}% cell overhead",
+        code.data_bits(),
+        code.wits(),
+        code.writes(),
+        code.overhead() * 100.0
+    );
+
+    let codec = BlockCodec::new(code, 64 * 8)?; // one 64-byte line
+    let mut cells = codec.erased_buffer();
+
+    let first = codec.encode_row(0, &[0xAB; 64], &mut cells)?;
+    let second = codec.encode_row(1, &[0xCD; 64], &mut cells)?;
+    println!(
+        "two writes to the same line: {} RESET pulses, {} SET pulses (SET is the slow one)",
+        first.resets + second.resets,
+        first.sets + second.sets
+    );
+    assert_eq!(codec.decode_row(&cells)?, vec![0xCD; 64]);
+
+    // ------------------------------------------------------------------
+    // 2. The architecture layer: run a trace through two architectures.
+    // ------------------------------------------------------------------
+    let profile = benchmarks::by_name("qsort").expect("bundled workload");
+    let trace = profile.generate(/*seed*/ 7, /*records*/ 20_000);
+
+    let mut baseline = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline))?;
+    let base = baseline.run_trace(trace.clone())?;
+
+    let mut wom = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCode))?;
+    let coded = wom.run_trace(trace)?;
+
+    println!(
+        "\nqsort on conventional PCM : mean write {:.1} ns, mean read {:.1} ns",
+        base.mean_write_ns(),
+        base.mean_read_ns()
+    );
+    println!(
+        "qsort on WOM-code PCM     : mean write {:.1} ns ({:.1}% of baseline), \
+         {:.1}% of writes RESET-only",
+        coded.mean_write_ns(),
+        coded.normalized_write_latency(&base).unwrap_or(f64::NAN) * 100.0,
+        coded.fast_write_fraction() * 100.0
+    );
+    Ok(())
+}

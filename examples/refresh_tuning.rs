@@ -1,0 +1,62 @@
+//! Explores the PCM-refresh engine's tuning space: the refresh threshold
+//! `r_th` (§3.2) and the row-address-table depth (the paper uses 5
+//! entries per bank). Prints how each setting trades refresh traffic
+//! against write latency on an embedded workload.
+//!
+//! Run with `cargo run --release --example refresh_tuning`.
+
+use womcode_pcm::arch::{Architecture, SystemBuilder};
+use womcode_pcm::trace::synth::benchmarks;
+
+const RECORDS: usize = 25_000;
+const SEED: u64 = 11;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = benchmarks::by_name("FFT.mi").expect("bundled workload");
+    let trace = profile.generate(SEED, RECORDS);
+
+    println!("workload: {} ({} records)\n", profile.name, RECORDS);
+
+    println!("refresh threshold sweep (table depth 5):");
+    println!(
+        "{:>8}{:>16}{:>14}{:>14}{:>12}",
+        "r_th %", "mean write ns", "fast writes", "refreshes", "preempted"
+    );
+    for threshold in [0u8, 25, 50, 75, 100] {
+        let mut sys = SystemBuilder::new(Architecture::WomCodeRefresh)
+            .rows_per_bank(4096)
+            .refresh_threshold_pct(threshold)
+            .build()?;
+        let m = sys.run_trace(trace.clone())?;
+        println!(
+            "{:>8}{:>16.1}{:>13.1}%{:>14}{:>12}",
+            threshold,
+            m.mean_write_ns(),
+            m.fast_write_fraction() * 100.0,
+            m.refreshes_completed,
+            m.refreshes_preempted
+        );
+    }
+
+    println!("\nrow-address-table depth sweep (r_th = 0):");
+    println!(
+        "{:>8}{:>16}{:>14}{:>14}",
+        "depth", "mean write ns", "fast writes", "refreshes"
+    );
+    for depth in [1usize, 2, 5, 10, 20] {
+        let mut sys = SystemBuilder::new(Architecture::WomCodeRefresh)
+            .rows_per_bank(4096)
+            .refresh_table_depth(depth)
+            .build()?;
+        let m = sys.run_trace(trace.clone())?;
+        println!(
+            "{:>8}{:>16.1}{:>13.1}%{:>14}",
+            depth,
+            m.mean_write_ns(),
+            m.fast_write_fraction() * 100.0,
+            m.refreshes_completed
+        );
+    }
+    println!("\nthe paper fixes depth = 5; higher thresholds refresh less aggressively");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from the harness's JSON output.
+
+Usage:
+    cargo run -p wom-pcm-bench --bin fig5 --release -- 120000 2014 --json > fig5.json
+    cargo run -p wom-pcm-bench --bin fig6 --release -- 120000 2014 --json > fig6.json
+    cargo run -p wom-pcm-bench --bin fig7 --release -- 120000 2014 --json > fig7.json
+    python3 scripts/plot_figures.py fig5.json fig6.json fig7.json
+
+Writes fig5a.png, fig5b.png, fig6.png, fig7.png next to the inputs.
+Requires matplotlib.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover - tooling convenience only
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+ARCHS = ["baseline", "wom-code", "pcm-refresh", "wcpcm"]
+BANKS = [4, 8, 16, 32]
+
+
+def plot_fig5(rows, panel, outfile):
+    key = "write" if panel == "a" else "read"
+    names = [r["benchmark"] for r in rows]
+    x = range(len(names))
+    width = 0.2
+    fig, ax = plt.subplots(figsize=(14, 4))
+    for i, arch in enumerate(ARCHS):
+        vals = [r[key][i] for r in rows]
+        ax.bar([xi + (i - 1.5) * width for xi in x], vals, width, label=arch)
+    ax.set_xticks(list(x))
+    ax.set_xticklabels(names, rotation=60, ha="right", fontsize=8)
+    ax.set_ylabel(f"normalized {key} latency")
+    ax.set_title(f"Figure 5({panel}): normalized {key} latency")
+    ax.legend(fontsize=8)
+    ax.axhline(1.0, color="gray", linewidth=0.5)
+    fig.tight_layout()
+    fig.savefig(outfile, dpi=150)
+    print(f"wrote {outfile}")
+
+
+def plot_sweep(docs, field, ylabel, title, outfile, normalize=False):
+    fig, ax = plt.subplots(figsize=(7, 5))
+    for doc in docs:
+        pts = doc["points"]
+        vals = [p[field] for p in pts]
+        if normalize and vals[0]:
+            vals = [v / vals[0] for v in vals]
+        ax.plot(BANKS, vals, marker="o", linewidth=0.8, alpha=0.5, label=doc["benchmark"])
+    ax.set_xscale("log", base=2)
+    ax.set_xticks(BANKS)
+    ax.set_xticklabels([str(b) for b in BANKS])
+    ax.set_xlabel("banks per rank")
+    ax.set_ylabel(ylabel)
+    ax.set_title(title)
+    ax.legend(fontsize=6, ncol=2)
+    fig.tight_layout()
+    fig.savefig(outfile, dpi=150)
+    print(f"wrote {outfile}")
+
+
+def main(paths):
+    for path in paths:
+        p = Path(path)
+        data = json.loads(p.read_text())
+        if "fig5" in p.name:
+            plot_fig5(data, "a", p.with_name("fig5a.png"))
+            plot_fig5(data, "b", p.with_name("fig5b.png"))
+        elif "fig6" in p.name:
+            plot_sweep(data, "hit_rate", "WOM-cache hit rate",
+                       "Figure 6: WOM-cache hit rate", p.with_name("fig6.png"))
+        elif "fig7" in p.name:
+            plot_sweep(data, "mean_write_ns", "normalized write latency",
+                       "Figure 7: WCPCM write latency (vs 4 banks/rank)",
+                       p.with_name("fig7.png"), normalize=True)
+        else:
+            print(f"skipping {p}: name must contain fig5/fig6/fig7")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    main(sys.argv[1:])

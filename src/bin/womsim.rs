@@ -1,0 +1,303 @@
+//! `womsim` — command-line driver for the WOM-code PCM stack.
+//!
+//! ```console
+//! $ womsim list                          # bundled workload profiles
+//! $ womsim gen qsort 100000 7 > q.trace  # emit a DRAMSim2-format trace
+//! $ womsim stats q.trace                 # trace characteristics
+//! $ womsim run wcpcm q.trace             # simulate a trace file
+//! $ womsim run refresh qsort:50000       # or a bundled workload directly
+//! $ womsim run wom qsort:50000 --verify  # with functional data checking
+//! $ womsim compare qsort:50000           # all four architectures, one table
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, Write};
+use std::process::ExitCode;
+
+use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::trace::format::{write_trace, TraceReader};
+use womcode_pcm::trace::synth::benchmarks;
+use womcode_pcm::trace::{TraceRecord, TraceStats};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  womsim list\n  womsim gen <workload> <records> [seed] [--binary]\n  \
+         womsim stats <trace-file>\n  womsim run <baseline|wom|refresh|wcpcm> \
+         <trace-file | workload:records[:seed]> [--verify]\n  \
+         womsim compare <trace-file | workload:records[:seed]>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_arch(name: &str) -> Option<Architecture> {
+    match name {
+        "baseline" => Some(Architecture::Baseline),
+        "wom" | "wom-code" => Some(Architecture::WomCode),
+        "refresh" | "pcm-refresh" => Some(Architecture::WomCodeRefresh),
+        "wcpcm" => Some(Architecture::Wcpcm),
+        _ => None,
+    }
+}
+
+fn load_records(spec: &str) -> Result<Vec<TraceRecord>, String> {
+    // `workload:records[:seed]` selects a bundled generator...
+    if let Some((name, rest)) = spec.split_once(':') {
+        if let Some(profile) = benchmarks::by_name(name) {
+            let mut parts = rest.split(':');
+            let records: usize = parts
+                .next()
+                .ok_or("missing record count")?
+                .parse()
+                .map_err(|e| format!("bad record count: {e}"))?;
+            let seed: u64 = match parts.next() {
+                Some(s) => s.parse().map_err(|e| format!("bad seed: {e}"))?,
+                None => 2014,
+            };
+            return Ok(profile.generate(seed, records));
+        }
+    }
+    // ...anything else is a trace file path; the container is picked by
+    // extension (.womtrc = binary, .lackey = Valgrind capture, else text).
+    let file = File::open(spec).map_err(|e| format!("cannot open {spec}: {e}"))?;
+    if spec.ends_with(".womtrc") {
+        return womcode_pcm::trace::binary::read_binary(BufReader::new(file))
+            .map_err(|e| e.to_string());
+    }
+    if spec.ends_with(".lackey") {
+        // A Valgrind capture: `valgrind --tool=lackey --trace-mem=yes ...`.
+        return womcode_pcm::trace::lackey::read_lackey(BufReader::new(file), 20)
+            .map_err(|e| e.to_string());
+    }
+    TraceReader::new(BufReader::new(file))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_list() -> ExitCode {
+    // Write through a fallible handle so `womsim list | head` exits
+    // quietly on a closed pipe instead of panicking.
+    let mut out = io::stdout().lock();
+    let _ = writeln!(
+        out,
+        "{:16}{:>14}{:>8}{:>10}{:>10}",
+        "workload", "suite", "reads%", "wss MiB", "gap cyc"
+    );
+    for p in benchmarks::all() {
+        if writeln!(
+            out,
+            "{:16}{:>14}{:>8.0}{:>10}{:>10.0}",
+            p.name,
+            p.suite.to_string(),
+            p.read_fraction * 100.0,
+            p.working_set_bytes >> 20,
+            p.mean_gap_cycles
+        )
+        .is_err()
+        {
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let binary = args.iter().any(|a| a == "--binary");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--binary").cloned().collect();
+    let (Some(name), Some(records)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(profile) = benchmarks::by_name(name) else {
+        eprintln!("unknown workload {name:?}; try `womsim list`");
+        return ExitCode::FAILURE;
+    };
+    let Ok(records) = records.parse::<usize>() else {
+        eprintln!("bad record count {records:?}");
+        return ExitCode::FAILURE;
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2014);
+    let out = io::stdout().lock();
+    let result: Result<(), String> = if binary {
+        womcode_pcm::trace::binary::write_binary(out, profile.generator(seed).take(records))
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    } else {
+        write_trace(out, profile.generator(seed).take(records)).map_err(|e| e.to_string())
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let Some(spec) = args.first() else {
+        return usage();
+    };
+    let records = match load_records(spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = TraceStats::from_records(records.iter().copied(), 1024);
+    let mut out = io::stdout().lock();
+    let _ = writeln!(out, "accesses      : {}", stats.accesses);
+    let _ = writeln!(out, "reads / writes: {} / {}", stats.reads, stats.writes);
+    let _ = writeln!(out, "read fraction : {:.1}%", stats.read_fraction() * 100.0);
+    let _ = writeln!(out, "unique rows   : {}", stats.unique_rows);
+    let _ = writeln!(out, "rewritten rows: {}", stats.rewritten_rows);
+    let _ = writeln!(
+        out,
+        "rewrite frac  : {:.1}%",
+        stats.rewrite_fraction() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "span (cycles) : {}..{}",
+        stats.first_cycle, stats.last_cycle
+    );
+    let _ = writeln!(
+        out,
+        "intensity     : {:.4} accesses/cycle",
+        stats.intensity()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let verify = args.iter().any(|a| a == "--verify");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--verify").cloned().collect();
+    let (Some(arch_name), Some(spec)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let Some(arch) = parse_arch(arch_name) else {
+        eprintln!("unknown architecture {arch_name:?}; use baseline|wom|refresh|wcpcm");
+        return ExitCode::FAILURE;
+    };
+    let records = match load_records(spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = SystemConfig::paper(arch);
+    // Bound lazily-allocated simulator state for interactive use.
+    cfg.mem.geometry.rows_per_bank = 4096;
+    cfg.verify_data = verify;
+    let mut sys = match WomPcmSystem::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("configuration rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = match sys.run_trace(records) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = io::stdout().lock();
+    let _ = writeln!(out, "architecture : {}", arch.label());
+    let _ = writeln!(out, "{metrics}");
+    let _ = writeln!(
+        out,
+        "tail latency : read p95 {:.0} ns, write p95 {:.0} ns",
+        metrics.read_percentile_ns(0.95),
+        metrics.write_percentile_ns(0.95)
+    );
+    let _ = writeln!(
+        out,
+        "energy       : {:.1} uJ ({:.0} pJ/access)",
+        metrics.energy.total_uj(),
+        metrics.energy_per_access_pj()
+    );
+    let _ = writeln!(
+        out,
+        "wear (main)  : {} rows, max {} writes/row, cv {:.2}",
+        metrics.wear_main.rows, metrics.wear_main.max, metrics.wear_main.cv
+    );
+    if verify {
+        let _ = writeln!(
+            out,
+            "data check   : {} reads decoded correctly",
+            metrics.data_reads_verified
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let Some(spec) = args.first() else {
+        return usage();
+    };
+    let records = match load_records(spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = io::stdout().lock();
+    let _ = writeln!(
+        out,
+        "{:22}{:>11}{:>11}{:>11}{:>11}{:>10}{:>12}",
+        "architecture", "write ns", "read ns", "w p95 ns", "r p95 ns", "fast %", "energy uJ"
+    );
+    let mut base_write = 0.0;
+    for arch in Architecture::all_paper() {
+        let mut cfg = SystemConfig::paper(arch);
+        cfg.mem.geometry.rows_per_bank = 4096;
+        let mut sys = match WomPcmSystem::new(cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("configuration rejected: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let m = match sys.run_trace(records.clone()) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if arch == Architecture::Baseline {
+            base_write = m.mean_write_ns();
+        }
+        let _ = writeln!(
+            out,
+            "{:22}{:>11.1}{:>11.1}{:>11.0}{:>11.0}{:>9.1}%{:>12.1}",
+            arch.label(),
+            m.mean_write_ns(),
+            m.mean_read_ns(),
+            m.write_percentile_ns(0.95),
+            m.read_percentile_ns(0.95),
+            m.fast_write_fraction() * 100.0,
+            m.energy.total_uj(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(baseline mean write: {base_write:.1} ns; lower is better everywhere)"
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => usage(),
+    }
+}

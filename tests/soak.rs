@@ -1,0 +1,50 @@
+//! Long-running soak tests, excluded from the default run.
+//!
+//! ```console
+//! cargo test --release --test soak -- --ignored
+//! ```
+
+use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::trace::synth::benchmarks;
+use womcode_pcm::trace::TraceOp;
+
+/// Half a million records through every architecture: conservation,
+/// bounded queues, and no drain stalls at scale.
+#[test]
+#[ignore = "multi-minute soak; run with --ignored"]
+fn half_million_records_per_architecture() {
+    const RECORDS: usize = 500_000;
+    for profile_name in ["401.bzip2", "qsort", "ocean"] {
+        let trace = benchmarks::by_name(profile_name)
+            .unwrap()
+            .generate(99, RECORDS);
+        let reads = trace.iter().filter(|r| r.op == TraceOp::Read).count() as u64;
+        for arch in Architecture::all_paper() {
+            let mut cfg = SystemConfig::paper(arch);
+            cfg.mem.geometry.rows_per_bank = 4096;
+            let mut sys = WomPcmSystem::new(cfg).unwrap();
+            let m = sys.run_trace(trace.clone()).unwrap();
+            assert_eq!(m.reads.count, reads, "{profile_name}/{arch}");
+            assert_eq!(
+                m.writes.count,
+                RECORDS as u64 - reads,
+                "{profile_name}/{arch}"
+            );
+            assert!(m.writes.mean() > 0.0);
+        }
+    }
+}
+
+/// The functional data checker survives a long refresh-heavy run.
+#[test]
+#[ignore = "multi-minute soak; run with --ignored"]
+fn data_verification_soak() {
+    let trace = benchmarks::by_name("FFT.mi").unwrap().generate(7, 200_000);
+    let mut cfg = SystemConfig::paper(Architecture::WomCodeRefresh);
+    cfg.mem.geometry.rows_per_bank = 4096;
+    cfg.verify_data = true;
+    let mut sys = WomPcmSystem::new(cfg).unwrap();
+    let m = sys.run_trace(trace).unwrap();
+    assert!(m.data_reads_verified > 50_000);
+    assert!(m.refreshes_completed > 1_000);
+}

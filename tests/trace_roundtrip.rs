@@ -1,0 +1,53 @@
+//! Trace-format integration: synthetic traces survive a round trip
+//! through the DRAMSim2 text format and drive the simulator identically.
+
+use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::trace::format::{write_trace, TraceReader};
+use womcode_pcm::trace::synth::benchmarks;
+use womcode_pcm::trace::TraceStats;
+
+#[test]
+fn text_round_trip_preserves_every_record() {
+    let records = benchmarks::by_name("465.tonto")
+        .unwrap()
+        .generate(17, 10_000);
+    let mut text = Vec::new();
+    write_trace(&mut text, records.iter().copied()).unwrap();
+    let parsed: Vec<_> = TraceReader::new(text.as_slice())
+        .collect::<Result<_, _>>()
+        .expect("well-formed trace");
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn parsed_traces_simulate_identically() {
+    let records = benchmarks::by_name("mad").unwrap().generate(23, 5_000);
+    let mut text = Vec::new();
+    write_trace(&mut text, records.iter().copied()).unwrap();
+    let parsed: Vec<_> = TraceReader::new(text.as_slice())
+        .collect::<Result<_, _>>()
+        .expect("well-formed trace");
+
+    let run = |t: Vec<_>| {
+        let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCode)).unwrap();
+        sys.run_trace(t).unwrap()
+    };
+    let direct = run(records);
+    let roundtripped = run(parsed);
+    assert_eq!(direct.writes.total, roundtripped.writes.total);
+    assert_eq!(direct.reads.total, roundtripped.reads.total);
+    assert_eq!(direct.fast_writes, roundtripped.fast_writes);
+}
+
+#[test]
+fn stats_survive_the_round_trip() {
+    let records = benchmarks::by_name("ocean").unwrap().generate(31, 8_000);
+    let before = TraceStats::from_records(records.iter().copied(), 1024);
+    let mut text = Vec::new();
+    write_trace(&mut text, records.iter().copied()).unwrap();
+    let parsed: Vec<_> = TraceReader::new(text.as_slice())
+        .collect::<Result<_, _>>()
+        .expect("well-formed trace");
+    let after = TraceStats::from_records(parsed.iter().copied(), 1024);
+    assert_eq!(before, after);
+}
