@@ -2,81 +2,74 @@
 //! row-level block encoding — the operations a WOM-code memory controller
 //! performs on every access.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 use wom_code::{BlockCodec, Inverted, Pattern, Rs23Code, TabularWomCode, WomCode};
+use wom_pcm_bench::timing::bench;
 
-fn symbol_encode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symbol_encode");
+fn symbol_encode() {
     let plain = Rs23Code::new();
     let inverted = Inverted::new(Rs23Code::new());
     let tabular = TabularWomCode::rivest_shamir_23();
 
-    group.bench_function("rs23_first_write", |b| {
-        let erased = plain.initial_pattern();
-        b.iter(|| plain.encode(0, black_box(0b10), erased).unwrap())
+    let erased = plain.initial_pattern();
+    bench("symbol_encode/rs23_first_write", || {
+        plain.encode(0, black_box(0b10), erased).unwrap()
     });
-    group.bench_function("rs23_second_write", |b| {
-        let first = plain.encode(0, 0b01, plain.initial_pattern()).unwrap();
-        b.iter(|| plain.encode(1, black_box(0b10), first).unwrap())
+    let first = plain.encode(0, 0b01, plain.initial_pattern()).unwrap();
+    bench("symbol_encode/rs23_second_write", || {
+        plain.encode(1, black_box(0b10), first).unwrap()
     });
-    group.bench_function("inverted_rs23_second_write", |b| {
-        let first = inverted
-            .encode(0, 0b01, inverted.initial_pattern())
-            .unwrap();
-        b.iter(|| inverted.encode(1, black_box(0b10), first).unwrap())
+    let first = inverted
+        .encode(0, 0b01, inverted.initial_pattern())
+        .unwrap();
+    bench("symbol_encode/inverted_rs23_second_write", || {
+        inverted.encode(1, black_box(0b10), first).unwrap()
     });
-    group.bench_function("tabular_rs23_second_write", |b| {
-        let first = tabular.encode(0, 0b01, tabular.initial_pattern()).unwrap();
-        b.iter(|| tabular.encode(1, black_box(0b10), first).unwrap())
+    let first = tabular.encode(0, 0b01, tabular.initial_pattern()).unwrap();
+    bench("symbol_encode/tabular_rs23_second_write", || {
+        tabular.encode(1, black_box(0b10), first).unwrap()
     });
-    group.finish();
 }
 
-fn symbol_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("symbol_decode");
+fn symbol_decode() {
     let plain = Rs23Code::new();
     let inverted = Inverted::new(Rs23Code::new());
-    group.bench_function("rs23_xor_decode", |b| {
-        let p = Pattern::from_bits(0b101, 3);
-        b.iter(|| plain.decode(black_box(p)))
+    let p = Pattern::from_bits(0b101, 3);
+    bench("symbol_decode/rs23_xor_decode", || {
+        plain.decode(black_box(p))
     });
-    group.bench_function("inverted_rs23_decode", |b| {
-        let p = Pattern::from_bits(0b010, 3);
-        b.iter(|| inverted.decode(black_box(p)))
+    let q = Pattern::from_bits(0b010, 3);
+    bench("symbol_decode/inverted_rs23_decode", || {
+        inverted.decode(black_box(q))
     });
-    group.finish();
 }
 
-fn block_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("block_codec");
+fn block_codec() {
     // A 1 KiB PCM row, the paper's row size.
     const ROW_BYTES: usize = 1024;
-    group.throughput(Throughput::Bytes(ROW_BYTES as u64));
     let codec = BlockCodec::new(Inverted::new(Rs23Code::new()), ROW_BYTES * 8).unwrap();
     let data1 = vec![0xA5u8; ROW_BYTES];
     let data2 = vec![0x3Cu8; ROW_BYTES];
 
-    group.bench_function("encode_row_first_write", |b| {
-        b.iter(|| {
-            let mut cells = codec.erased_buffer();
-            codec.encode_row(0, black_box(&data1), &mut cells).unwrap()
-        })
-    });
-    group.bench_function("encode_row_rewrite", |b| {
-        let mut base = codec.erased_buffer();
-        codec.encode_row(0, &data1, &mut base).unwrap();
-        b.iter(|| {
-            let mut cells = base.clone();
-            codec.encode_row(1, black_box(&data2), &mut cells).unwrap()
-        })
-    });
-    group.bench_function("decode_row", |b| {
+    bench("block_codec/encode_row_first_write", || {
         let mut cells = codec.erased_buffer();
-        codec.encode_row(0, &data1, &mut cells).unwrap();
-        b.iter(|| codec.decode_row(black_box(&cells)).unwrap())
+        codec.encode_row(0, black_box(&data1), &mut cells).unwrap()
     });
-    group.finish();
+    let mut base = codec.erased_buffer();
+    codec.encode_row(0, &data1, &mut base).unwrap();
+    bench("block_codec/encode_row_rewrite", || {
+        let mut cells = base.clone();
+        codec.encode_row(1, black_box(&data2), &mut cells).unwrap()
+    });
+    let mut cells = codec.erased_buffer();
+    codec.encode_row(0, &data1, &mut cells).unwrap();
+    bench("block_codec/decode_row", || {
+        codec.decode_row(black_box(&cells)).unwrap()
+    });
 }
 
-criterion_group!(benches, symbol_encode, symbol_decode, block_codec);
-criterion_main!(benches);
+fn main() {
+    symbol_encode();
+    symbol_decode();
+    block_codec();
+}

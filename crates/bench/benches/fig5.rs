@@ -1,27 +1,19 @@
-//! Criterion wrapper over the Fig. 5 experiment cells: time one
-//! (architecture x workload) simulation at reduced scale. Regenerating the
-//! actual figure is `cargo run -p wom-pcm-bench --bin fig5 --release`.
+//! Timing of the Fig. 5 experiment cells: one (architecture x workload)
+//! simulation at reduced scale. Regenerating the actual figure is
+//! `cargo run -p wom-pcm-bench --bin fig5 --release`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_trace::synth::benchmarks;
 use wom_pcm::Architecture;
 use wom_pcm_bench::run_cell;
+use wom_pcm_bench::timing::bench;
 
 const RECORDS: usize = 5_000;
 
-fn fig5_cells(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5_write");
-    group.sample_size(10);
+fn main() {
     let profile = benchmarks::by_name("qsort").expect("paper workload");
     for arch in Architecture::all_paper() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(arch.label()),
-            &arch,
-            |b, &arch| b.iter(|| run_cell(arch, &profile, RECORDS, 1, 32).expect("cell runs")),
-        );
+        bench(&format!("fig5_write/{}", arch.label()), || {
+            run_cell(arch, &profile, RECORDS, 1, 32).expect("cell runs")
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig5_cells);
-criterion_main!(benches);

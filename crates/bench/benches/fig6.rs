@@ -1,29 +1,20 @@
-//! Criterion wrapper over the Fig. 6 experiment: time the WCPCM hit-rate
-//! measurement per banks/rank point. Regenerating the figure itself is
+//! Timing of the Fig. 6 experiment: the WCPCM hit-rate measurement per
+//! banks/rank point. Regenerating the figure itself is
 //! `cargo run -p wom-pcm-bench --bin fig6 --release`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_trace::synth::benchmarks;
 use wom_pcm::Architecture;
 use wom_pcm_bench::run_cell;
+use wom_pcm_bench::timing::bench;
 
 const RECORDS: usize = 5_000;
 
-fn fig6_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_hit_rate");
-    group.sample_size(10);
+fn main() {
     let profile = benchmarks::by_name("water-ns").expect("paper workload");
     for banks in [4u32, 8, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
-            b.iter(|| {
-                let m =
-                    run_cell(Architecture::Wcpcm, &profile, RECORDS, 1, banks).expect("cell runs");
-                m.cache.expect("wcpcm has cache stats").hit_rate()
-            })
+        bench(&format!("fig6_hit_rate/{banks}"), || {
+            let m = run_cell(Architecture::Wcpcm, &profile, RECORDS, 1, banks).expect("cell runs");
+            m.cache.expect("wcpcm has cache stats").hit_rate()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig6_points);
-criterion_main!(benches);

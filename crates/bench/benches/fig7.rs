@@ -1,29 +1,21 @@
-//! Criterion wrapper over the Fig. 7 experiment: time the WCPCM write-
-//! latency measurement per banks/rank point. Regenerating the figure
-//! itself is `cargo run -p wom-pcm-bench --bin fig7 --release`.
+//! Timing of the Fig. 7 experiment: the WCPCM write-latency measurement
+//! per banks/rank point. Regenerating the figure itself is
+//! `cargo run -p wom-pcm-bench --bin fig7 --release`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcm_trace::synth::benchmarks;
 use wom_pcm::Architecture;
 use wom_pcm_bench::run_cell;
+use wom_pcm_bench::timing::bench;
 
 const RECORDS: usize = 5_000;
 
-fn fig7_points(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_write_latency");
-    group.sample_size(10);
+fn main() {
     let profile = benchmarks::by_name("typeset").expect("paper workload");
     for banks in [4u32, 8, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
-            b.iter(|| {
-                run_cell(Architecture::Wcpcm, &profile, RECORDS, 1, banks)
-                    .expect("cell runs")
-                    .mean_write_ns()
-            })
+        bench(&format!("fig7_write_latency/{banks}"), || {
+            run_cell(Architecture::Wcpcm, &profile, RECORDS, 1, banks)
+                .expect("cell runs")
+                .mean_write_ns()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig7_points);
-criterion_main!(benches);

@@ -1,47 +1,40 @@
 //! Throughput benches: how fast the substrate itself runs — trace
 //! generation rate and end-to-end simulation rate per architecture.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcm_trace::synth::benchmarks;
 use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm_bench::timing::bench_throughput;
 
 const RECORDS: usize = 10_000;
 
-fn trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    group.throughput(Throughput::Elements(RECORDS as u64));
+fn trace_generation() {
     for name in ["qsort", "410.bwaves"] {
         let profile = benchmarks::by_name(name).expect("paper workload");
-        group.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
-            b.iter(|| p.generate(7, RECORDS))
+        bench_throughput(&format!("trace_generation/{name}"), RECORDS as u64, || {
+            profile.generate(7, RECORDS)
         });
     }
-    group.finish();
 }
 
-fn simulation_rate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulation_rate");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(RECORDS as u64));
+fn simulation_rate() {
     let trace = benchmarks::by_name("mad")
         .expect("paper workload")
         .generate(7, RECORDS);
     for arch in Architecture::all_paper() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(arch.label()),
-            &arch,
-            |b, &arch| {
-                b.iter(|| {
-                    let mut cfg = SystemConfig::paper(arch);
-                    cfg.mem.geometry.rows_per_bank = 4096;
-                    let mut sys = WomPcmSystem::new(cfg).expect("valid config");
-                    sys.run_trace(trace.clone()).expect("trace runs")
-                })
+        bench_throughput(
+            &format!("simulation_rate/{}", arch.label()),
+            RECORDS as u64,
+            || {
+                let mut cfg = SystemConfig::paper(arch);
+                cfg.mem.geometry.rows_per_bank = 4096;
+                let mut sys = WomPcmSystem::new(cfg).expect("valid config");
+                sys.run_trace(trace.clone()).expect("trace runs")
             },
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, trace_generation, simulation_rate);
-criterion_main!(benches);
+fn main() {
+    trace_generation();
+    simulation_rate();
+}

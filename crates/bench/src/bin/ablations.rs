@@ -1,4 +1,4 @@
-//! Ablation studies over the design choices called out in `DESIGN.md` §7:
+//! Ablation studies over the design choices called out in `DESIGN.md` §8:
 //!
 //! * `rth`      — PCM-refresh threshold r_th sweep (0–100%).
 //! * `rat`      — row-address-table depth sweep (the paper fixes 5).
@@ -10,25 +10,26 @@
 //! * `cold`     — cold-cell assumption (erased / steady-state / dirty).
 //! * `org`      — wide-column vs hidden-page capacity accounting.
 //!
-//! Usage: `ablations [study] [records] [seed]`; with no study, runs all.
+//! Usage: `ablations [study] [records] [seed] [--threads N]`;
+//! with no study, runs all. Each study's cells run in parallel.
 
 use pcm_sim::MemoryGeometry;
 use pcm_trace::synth::benchmarks;
 use wom_pcm::{
     Architecture, BudgetGranularity, ColdPolicy, HiddenPageTable, RunMetrics, SystemConfig,
-    WideColumn, WomPcmSystem,
+    WideColumn,
 };
+use wom_pcm_bench::{run_configs_parallel, take_threads_flag};
 
 const DEFAULT_RECORDS: usize = 30_000;
 const WORKLOAD: &str = "FFT.mi";
 
-fn run(cfg: SystemConfig, records: usize, seed: u64) -> RunMetrics {
+/// Runs one study's config variants as a parallel batch, in input order.
+fn run_all(cfgs: Vec<SystemConfig>, records: usize, seed: u64, threads: usize) -> Vec<RunMetrics> {
     let profile = benchmarks::by_name(WORKLOAD).expect("bundled workload");
     let trace = profile.generate(seed, records);
-    WomPcmSystem::new(cfg)
-        .expect("valid config")
-        .run_trace(trace)
-        .expect("trace runs")
+    let jobs: Vec<_> = cfgs.into_iter().map(|cfg| (cfg, trace.clone())).collect();
+    run_configs_parallel(&jobs, threads).expect("ablation cells run")
 }
 
 fn base_config(arch: Architecture) -> SystemConfig {
@@ -37,16 +38,22 @@ fn base_config(arch: Architecture) -> SystemConfig {
     cfg
 }
 
-fn ablate_rth(records: usize, seed: u64) {
+fn ablate_rth(records: usize, seed: u64, threads: usize) {
     println!("\n== refresh threshold r_th (WOM-code PCM + refresh, {WORKLOAD}) ==");
     println!(
         "{:>8}{:>16}{:>13}{:>12}{:>12}",
         "r_th %", "mean write ns", "fast writes", "refreshes", "preempted"
     );
-    for pct in [0u8, 25, 50, 75, 100] {
-        let mut cfg = base_config(Architecture::WomCodeRefresh);
-        cfg.refresh.threshold_pct = pct;
-        let m = run(cfg, records, seed);
+    const PCTS: [u8; 5] = [0, 25, 50, 75, 100];
+    let cfgs = PCTS
+        .iter()
+        .map(|&pct| {
+            let mut cfg = base_config(Architecture::WomCodeRefresh);
+            cfg.refresh.threshold_pct = pct;
+            cfg
+        })
+        .collect();
+    for (pct, m) in PCTS.iter().zip(run_all(cfgs, records, seed, threads)) {
         println!(
             "{:>8}{:>16.1}{:>12.1}%{:>12}{:>12}",
             pct,
@@ -58,16 +65,22 @@ fn ablate_rth(records: usize, seed: u64) {
     }
 }
 
-fn ablate_rat(records: usize, seed: u64) {
+fn ablate_rat(records: usize, seed: u64, threads: usize) {
     println!("\n== row-address-table depth (paper fixes 5) ==");
     println!(
         "{:>8}{:>16}{:>13}{:>12}",
         "depth", "mean write ns", "fast writes", "refreshes"
     );
-    for depth in [1usize, 2, 5, 10, 20, 50] {
-        let mut cfg = base_config(Architecture::WomCodeRefresh);
-        cfg.refresh.table_depth = depth;
-        let m = run(cfg, records, seed);
+    const DEPTHS: [usize; 6] = [1, 2, 5, 10, 20, 50];
+    let cfgs = DEPTHS
+        .iter()
+        .map(|&depth| {
+            let mut cfg = base_config(Architecture::WomCodeRefresh);
+            cfg.refresh.table_depth = depth;
+            cfg
+        })
+        .collect();
+    for (depth, m) in DEPTHS.iter().zip(run_all(cfgs, records, seed, threads)) {
         println!(
             "{:>8}{:>16.1}{:>12.1}%{:>12}",
             depth,
@@ -78,19 +91,25 @@ fn ablate_rat(records: usize, seed: u64) {
     }
 }
 
-fn ablate_pausing(records: usize, seed: u64) {
+fn ablate_pausing(records: usize, seed: u64, threads: usize) {
     println!("\n== write pausing during PCM-refresh ==");
     println!(
         "{:>10}{:>16}{:>15}{:>12}{:>12}",
         "pausing", "mean write ns", "mean read ns", "refreshes", "preempted"
     );
-    for pausing in [true, false] {
-        let mut cfg = base_config(Architecture::WomCodeRefresh);
-        cfg.mem.write_pausing = pausing;
-        let m = run(cfg, records, seed);
+    const PAUSING: [bool; 2] = [true, false];
+    let cfgs = PAUSING
+        .iter()
+        .map(|&pausing| {
+            let mut cfg = base_config(Architecture::WomCodeRefresh);
+            cfg.mem.write_pausing = pausing;
+            cfg
+        })
+        .collect();
+    for (pausing, m) in PAUSING.iter().zip(run_all(cfgs, records, seed, threads)) {
         println!(
             "{:>10}{:>16.1}{:>15.1}{:>12}{:>12}",
-            if pausing { "on" } else { "off" },
+            if *pausing { "on" } else { "off" },
             m.mean_write_ns(),
             m.mean_read_ns(),
             m.refreshes_completed,
@@ -99,21 +118,27 @@ fn ablate_pausing(records: usize, seed: u64) {
     }
 }
 
-fn ablate_sched(records: usize, seed: u64) {
+fn ablate_sched(records: usize, seed: u64, threads: usize) {
     use pcm_sim::SchedulerPolicy;
     println!("\n== controller scheduling policy (WOM-code PCM + refresh) ==");
     println!(
         "{:>18}{:>16}{:>15}{:>13}",
         "policy", "mean write ns", "mean read ns", "fast writes"
     );
-    for (name, policy) in [
+    const POLICIES: [(&str, SchedulerPolicy); 3] = [
         ("fr-fcfs", SchedulerPolicy::FrFcfs),
         ("strict fcfs", SchedulerPolicy::StrictFcfs),
         ("read-first", SchedulerPolicy::ReadAlwaysFirst),
-    ] {
-        let mut cfg = base_config(Architecture::WomCodeRefresh);
-        cfg.mem.scheduler = policy;
-        let m = run(cfg, records, seed);
+    ];
+    let cfgs = POLICIES
+        .iter()
+        .map(|&(_, policy)| {
+            let mut cfg = base_config(Architecture::WomCodeRefresh);
+            cfg.mem.scheduler = policy;
+            cfg
+        })
+        .collect();
+    for ((name, _), m) in POLICIES.iter().zip(run_all(cfgs, records, seed, threads)) {
         println!(
             "{:>18}{:>16.1}{:>15.1}{:>12.1}%",
             name,
@@ -124,16 +149,22 @@ fn ablate_sched(records: usize, seed: u64) {
     }
 }
 
-fn ablate_period(records: usize, seed: u64) {
+fn ablate_period(records: usize, seed: u64, threads: usize) {
     println!("\n== PCM-refresh period (paper fixes 4000 ns) ==");
     println!(
         "{:>12}{:>16}{:>13}{:>12}{:>12}",
         "period ns", "mean write ns", "fast writes", "refreshes", "preempted"
     );
-    for period in [1000u64, 2000, 4000, 8000, 16000] {
-        let mut cfg = base_config(Architecture::WomCodeRefresh);
-        cfg.mem.timing.refresh_period_ns = period;
-        let m = run(cfg, records, seed);
+    const PERIODS: [u64; 5] = [1000, 2000, 4000, 8000, 16000];
+    let cfgs = PERIODS
+        .iter()
+        .map(|&period| {
+            let mut cfg = base_config(Architecture::WomCodeRefresh);
+            cfg.mem.timing.refresh_period_ns = period;
+            cfg
+        })
+        .collect();
+    for (period, m) in PERIODS.iter().zip(run_all(cfgs, records, seed, threads)) {
         println!(
             "{:>12}{:>16.1}{:>12.1}%{:>12}{:>12}",
             period,
@@ -145,19 +176,28 @@ fn ablate_period(records: usize, seed: u64) {
     }
 }
 
-fn ablate_budget(records: usize, seed: u64) {
+fn ablate_budget(records: usize, seed: u64, threads: usize) {
     println!("\n== WOM budget granularity (WOM-code PCM) ==");
     println!(
         "{:>10}{:>16}{:>13}",
         "budget", "mean write ns", "fast writes"
     );
-    for (name, g) in [
+    const GRANULARITIES: [(&str, BudgetGranularity); 2] = [
         ("column", BudgetGranularity::Column),
         ("row", BudgetGranularity::Row),
-    ] {
-        let mut cfg = base_config(Architecture::WomCode);
-        cfg.budget_granularity = g;
-        let m = run(cfg, records, seed);
+    ];
+    let cfgs = GRANULARITIES
+        .iter()
+        .map(|&(_, g)| {
+            let mut cfg = base_config(Architecture::WomCode);
+            cfg.budget_granularity = g;
+            cfg
+        })
+        .collect();
+    for ((name, _), m) in GRANULARITIES
+        .iter()
+        .zip(run_all(cfgs, records, seed, threads))
+    {
         println!(
             "{:>10}{:>16.1}{:>12.1}%",
             name,
@@ -167,20 +207,26 @@ fn ablate_budget(records: usize, seed: u64) {
     }
 }
 
-fn ablate_cold(records: usize, seed: u64) {
+fn ablate_cold(records: usize, seed: u64, threads: usize) {
     println!("\n== cold-cell assumption (WOM-code PCM) ==");
     println!(
         "{:>14}{:>16}{:>13}",
         "cold policy", "mean write ns", "fast writes"
     );
-    for (name, c) in [
+    const COLD: [(&str, ColdPolicy); 3] = [
         ("erased", ColdPolicy::Erased),
         ("steady-state", ColdPolicy::SteadyState),
         ("dirty", ColdPolicy::Dirty),
-    ] {
-        let mut cfg = base_config(Architecture::WomCode);
-        cfg.cold_policy = c;
-        let m = run(cfg, records, seed);
+    ];
+    let cfgs = COLD
+        .iter()
+        .map(|&(_, c)| {
+            let mut cfg = base_config(Architecture::WomCode);
+            cfg.cold_policy = c;
+            cfg
+        })
+        .collect();
+    for ((name, _), m) in COLD.iter().zip(run_all(cfgs, records, seed, threads)) {
         println!(
             "{:>14}{:>16.1}{:>12.1}%",
             name,
@@ -190,22 +236,28 @@ fn ablate_cold(records: usize, seed: u64) {
     }
 }
 
-fn ablate_org_timing(records: usize, seed: u64) {
+fn ablate_org_timing(records: usize, seed: u64, threads: usize) {
     use wom_pcm::Organization;
     println!("\n== hidden-page companion-traffic charge (WOM-code PCM) ==");
     println!(
         "{:>28}{:>16}{:>15}{:>20}",
         "organization", "mean write ns", "mean read ns", "companion accesses"
     );
-    for (name, org, charge) in [
+    const ORGS: [(&str, Organization, bool); 3] = [
         ("wide-column", Organization::WideColumn, false),
         ("hidden-page (uncharged)", Organization::HiddenPage, false),
         ("hidden-page (charged)", Organization::HiddenPage, true),
-    ] {
-        let mut cfg = base_config(Architecture::WomCode);
-        cfg.organization = org;
-        cfg.charge_hidden_page_traffic = charge;
-        let m = run(cfg, records, seed);
+    ];
+    let cfgs = ORGS
+        .iter()
+        .map(|&(_, org, charge)| {
+            let mut cfg = base_config(Architecture::WomCode);
+            cfg.organization = org;
+            cfg.charge_hidden_page_traffic = charge;
+            cfg
+        })
+        .collect();
+    for ((name, _, _), m) in ORGS.iter().zip(run_all(cfgs, records, seed, threads)) {
         println!(
             "{:>28}{:>16.1}{:>15.1}{:>20}",
             name,
@@ -243,7 +295,9 @@ fn ablate_org() {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args);
+    let mut args = args.into_iter();
     let study = args.next().unwrap_or_else(|| "all".into());
     let records: usize = args
         .next()
@@ -251,27 +305,27 @@ fn main() {
     let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
 
     match study.as_str() {
-        "rth" => ablate_rth(records, seed),
-        "rat" => ablate_rat(records, seed),
-        "pausing" => ablate_pausing(records, seed),
-        "budget" => ablate_budget(records, seed),
-        "sched" => ablate_sched(records, seed),
-        "period" => ablate_period(records, seed),
-        "cold" => ablate_cold(records, seed),
+        "rth" => ablate_rth(records, seed, threads),
+        "rat" => ablate_rat(records, seed, threads),
+        "pausing" => ablate_pausing(records, seed, threads),
+        "budget" => ablate_budget(records, seed, threads),
+        "sched" => ablate_sched(records, seed, threads),
+        "period" => ablate_period(records, seed, threads),
+        "cold" => ablate_cold(records, seed, threads),
         "org" => {
             ablate_org();
-            ablate_org_timing(records, seed);
+            ablate_org_timing(records, seed, threads);
         }
         "all" => {
-            ablate_rth(records, seed);
-            ablate_rat(records, seed);
-            ablate_pausing(records, seed);
-            ablate_budget(records, seed);
-            ablate_sched(records, seed);
-            ablate_period(records, seed);
-            ablate_cold(records, seed);
+            ablate_rth(records, seed, threads);
+            ablate_rat(records, seed, threads);
+            ablate_pausing(records, seed, threads);
+            ablate_budget(records, seed, threads);
+            ablate_sched(records, seed, threads);
+            ablate_period(records, seed, threads);
+            ablate_cold(records, seed, threads);
             ablate_org();
-            ablate_org_timing(records, seed);
+            ablate_org_timing(records, seed, threads);
         }
         other => {
             eprintln!(

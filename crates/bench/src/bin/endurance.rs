@@ -9,13 +9,17 @@
 //! PCM-refresh adds whole-row rewrites of its own, and WCPCM
 //! concentrates all write traffic on the small per-rank cache arrays.
 //!
-//! Usage: `endurance [records] [seed]` (defaults: 30000, 2014).
+//! Usage: `endurance [records] [seed] [--threads N]`
+//! (defaults: 30000, 2014, available parallelism).
 
 use pcm_trace::synth::benchmarks;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, SystemConfig};
+use wom_pcm_bench::{run_configs_parallel, take_threads_flag};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args);
+    let mut args = args.into_iter();
     let records: usize = args.next().map_or(30_000, |s| s.parse().expect("records"));
     let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
 
@@ -26,7 +30,7 @@ fn main() {
         "{:23}{:>12}{:>13}{:>11}{:>10}{:>14}",
         "architecture", "SET writes", "RESET-only", "max/row", "wear CV", "cache max/row"
     );
-    for (label, arch, leveling) in [
+    const CASES: [(&str, Architecture, Option<u64>); 5] = [
         ("PCM w/o WOM-code", Architecture::Baseline, None),
         ("WOM-code PCM", Architecture::WomCode, None),
         ("PCM-refresh", Architecture::WomCodeRefresh, None),
@@ -34,14 +38,20 @@ fn main() {
         (
             "PCM-refresh + start-gap",
             Architecture::WomCodeRefresh,
-            Some(64u64),
+            Some(64),
         ),
-    ] {
-        let mut cfg = SystemConfig::paper(arch);
-        cfg.mem.geometry.rows_per_bank = 4096;
-        cfg.wear_leveling = leveling;
-        let mut sys = WomPcmSystem::new(cfg).expect("valid config");
-        let m = sys.run_trace(trace.clone()).expect("trace runs");
+    ];
+    let jobs: Vec<_> = CASES
+        .iter()
+        .map(|&(_, arch, leveling)| {
+            let mut cfg = SystemConfig::paper(arch);
+            cfg.mem.geometry.rows_per_bank = 4096;
+            cfg.wear_leveling = leveling;
+            (cfg, trace.clone())
+        })
+        .collect();
+    let metrics = run_configs_parallel(&jobs, threads).expect("endurance cells run");
+    for ((label, _, _), m) in CASES.iter().zip(&metrics) {
         let w = m.wear_main;
         let cache_max = m.wear_cache.map_or("-".to_string(), |c| c.max.to_string());
         println!(
@@ -75,12 +85,18 @@ fn main() {
         "{:>22}{:>11}{:>10}{:>14}",
         "start-gap interval", "max/row", "wear CV", "copy overhead"
     );
-    for leveling in [None, Some(256u64), Some(64), Some(16)] {
-        let mut cfg = SystemConfig::paper(Architecture::WomCode);
-        cfg.mem.geometry.rows_per_bank = 64;
-        cfg.wear_leveling = leveling;
-        let mut sys = WomPcmSystem::new(cfg).expect("valid config");
-        let m = sys.run_trace(hot.clone()).expect("trace runs");
+    const INTERVALS: [Option<u64>; 4] = [None, Some(256), Some(64), Some(16)];
+    let hot_jobs: Vec<_> = INTERVALS
+        .iter()
+        .map(|&leveling| {
+            let mut cfg = SystemConfig::paper(Architecture::WomCode);
+            cfg.mem.geometry.rows_per_bank = 64;
+            cfg.wear_leveling = leveling;
+            (cfg, hot.clone())
+        })
+        .collect();
+    let hot_metrics = run_configs_parallel(&hot_jobs, threads).expect("hot-row cells run");
+    for (leveling, m) in INTERVALS.iter().zip(&hot_metrics) {
         println!(
             "{:>22}{:>11}{:>10.2}{:>13.1}%",
             leveling.map_or("off".to_string(), |i| i.to_string()),

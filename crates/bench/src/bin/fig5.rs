@@ -2,12 +2,16 @@
 //! (panel a) and read latency (panel b) of the four PCM architectures
 //! across the 20 SPEC CPU2006 / MiBench / SPLASH-2 workloads.
 //!
-//! Usage: `fig5 [records] [seed] [--json]` (defaults: 120000, 2014).
+//! Usage: `fig5 [records] [seed] [--json] [--threads N]`
+//! (defaults: 120000, 2014, available parallelism).
 
-use wom_pcm_bench::{average, fig5, json, reduction_pct, DEFAULT_RECORDS, DEFAULT_SEED};
+use wom_pcm_bench::{
+    average, fig5, json, reduction_pct, take_threads_flag, DEFAULT_RECORDS, DEFAULT_SEED,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args);
     let json_out = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     let mut args = args.into_iter();
@@ -18,8 +22,10 @@ fn main() {
         .next()
         .map_or(DEFAULT_SEED, |s| s.parse().expect("seed must be a number"));
 
-    eprintln!("running fig5: 20 workloads x 4 architectures, {records} records each ...");
-    let rows = fig5(records, seed).expect("figure runs");
+    eprintln!(
+        "running fig5: 20 workloads x 4 architectures, {records} records each, {threads} threads ..."
+    );
+    let rows = fig5(records, seed, threads).expect("figure runs");
     if json_out {
         println!("{}", json::fig5(&rows));
         return;

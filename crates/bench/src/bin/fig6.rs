@@ -3,13 +3,14 @@
 //! more banks per rank, the lower the hit rate (more banks conflict on
 //! each per-row tag).
 //!
-//! Usage: `fig6 [records] [seed]` (defaults: 120000, 2014).
+//! Usage: `fig6 [records] [seed] [--json] [--threads N]`
+//! (defaults: 120000, 2014, available parallelism).
 
-use pcm_trace::synth::benchmarks;
-use wom_pcm_bench::{bank_sweep, json, DEFAULT_RECORDS, DEFAULT_SEED};
+use wom_pcm_bench::{bank_sweep_all, json, take_threads_flag, DEFAULT_RECORDS, DEFAULT_SEED};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args);
     let json_out = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     let mut args = args.into_iter();
@@ -20,19 +21,19 @@ fn main() {
         .next()
         .map_or(DEFAULT_SEED, |s| s.parse().expect("seed must be a number"));
 
+    eprintln!(
+        "running fig6: 20 workloads x 4 bank counts, {records} records each, {threads} threads ..."
+    );
+    let sweeps = bank_sweep_all(records, seed, threads).expect("sweep runs");
+
     if json_out {
-        let docs: Vec<String> = pcm_trace::synth::benchmarks::all()
+        let docs: Vec<String> = sweeps
             .iter()
-            .map(|p| {
-                let points = bank_sweep(p, records, seed).expect("sweep runs");
-                json::bank_sweep(&p.name, &points)
-            })
+            .map(|(name, points)| json::bank_sweep(name, points))
             .collect();
         println!("[{}]", docs.join(","));
         return;
     }
-
-    eprintln!("running fig6: 20 workloads x 4 bank counts, {records} records each ...");
 
     println!("\nFigure 6: WOM-cache hit rate in WCPCM");
     println!(
@@ -41,9 +42,8 @@ fn main() {
     );
     let mut sums = [0.0f64; 4];
     let mut count = 0usize;
-    for profile in benchmarks::all() {
-        let points = bank_sweep(&profile, records, seed).expect("sweep runs");
-        print!("{:16}", profile.name);
+    for (name, points) in &sweeps {
+        print!("{name:16}");
         for (i, p) in points.iter().enumerate() {
             print!("{:>14.3}", p.hit_rate);
             sums[i] += p.hit_rate;

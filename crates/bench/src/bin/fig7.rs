@@ -3,13 +3,14 @@
 //! paper's trend: write latency decreases as banks/rank increases (more
 //! bank-level parallelism outweighs the lower cache hit rate).
 //!
-//! Usage: `fig7 [records] [seed]` (defaults: 120000, 2014).
+//! Usage: `fig7 [records] [seed] [--json] [--threads N]`
+//! (defaults: 120000, 2014, available parallelism).
 
-use pcm_trace::synth::benchmarks;
-use wom_pcm_bench::{bank_sweep, json, DEFAULT_RECORDS, DEFAULT_SEED};
+use wom_pcm_bench::{bank_sweep_all, json, take_threads_flag, DEFAULT_RECORDS, DEFAULT_SEED};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args);
     let json_out = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
     let mut args = args.into_iter();
@@ -20,19 +21,19 @@ fn main() {
         .next()
         .map_or(DEFAULT_SEED, |s| s.parse().expect("seed must be a number"));
 
+    eprintln!(
+        "running fig7: 20 workloads x 4 bank counts, {records} records each, {threads} threads ..."
+    );
+    let sweeps = bank_sweep_all(records, seed, threads).expect("sweep runs");
+
     if json_out {
-        let docs: Vec<String> = pcm_trace::synth::benchmarks::all()
+        let docs: Vec<String> = sweeps
             .iter()
-            .map(|p| {
-                let points = bank_sweep(p, records, seed).expect("sweep runs");
-                json::bank_sweep(&p.name, &points)
-            })
+            .map(|(name, points)| json::bank_sweep(name, points))
             .collect();
         println!("[{}]", docs.join(","));
         return;
     }
-
-    eprintln!("running fig7: 20 workloads x 4 bank counts, {records} records each ...");
 
     println!("\nFigure 7: normalized write latency in WCPCM (vs 4 banks/rank)");
     println!(
@@ -41,10 +42,9 @@ fn main() {
     );
     let mut sums = [0.0f64; 4];
     let mut count = 0usize;
-    for profile in benchmarks::all() {
-        let points = bank_sweep(&profile, records, seed).expect("sweep runs");
+    for (name, points) in &sweeps {
         let base = points[0].mean_write_ns;
-        print!("{:16}", profile.name);
+        print!("{name:16}");
         for (i, p) in points.iter().enumerate() {
             let norm = p.mean_write_ns / base;
             print!("{norm:>14.3}");

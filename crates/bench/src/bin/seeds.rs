@@ -3,19 +3,22 @@
 //! must be shown robust to the seed. Runs the Fig. 5 averages over
 //! several seeds and reports the spread.
 //!
-//! Usage: `seeds [records] [n_seeds]` (defaults: 40000, 5).
+//! Usage: `seeds [records] [n_seeds] [--threads N]`
+//! (defaults: 40000, 5, available parallelism).
 
-use wom_pcm_bench::{average, fig5};
+use wom_pcm_bench::{average, fig5, take_threads_flag};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args);
+    let mut args = args.into_iter();
     let records: usize = args.next().map_or(40_000, |s| s.parse().expect("records"));
     let n_seeds: u64 = args.next().map_or(5, |s| s.parse().expect("seed count"));
 
     let mut per_seed: Vec<[f64; 3]> = Vec::new();
     for seed in 0..n_seeds {
-        eprintln!("seed {seed} ({records} records x 80 cells) ...");
-        let rows = fig5(records, seed).expect("figure runs");
+        eprintln!("seed {seed} ({records} records x 80 cells, {threads} threads) ...");
+        let rows = fig5(records, seed, threads).expect("figure runs");
         per_seed.push([
             average(&rows, 1, true),
             average(&rows, 2, true),

@@ -7,29 +7,40 @@
 //! Percentiles are log₂-bucketed (within 2× of exact; see
 //! `pcm_sim::LatencyHistogram`).
 //!
-//! Usage: `tail_latency [records] [seed]` (defaults: 30000, 2014).
+//! Usage: `tail_latency [records] [seed] [--threads N]`
+//! (defaults: 30000, 2014, available parallelism).
 
 use pcm_trace::synth::benchmarks;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::Architecture;
+use wom_pcm_bench::{run_cells_parallel, take_threads_flag, CellSpec};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args);
+    let mut args = args.into_iter();
     let records: usize = args.next().map_or(30_000, |s| s.parse().expect("records"));
     let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
 
-    for bench in ["464.h264ref", "qsort", "water-ns"] {
-        let profile = benchmarks::by_name(bench).expect("paper workload");
-        let trace = profile.generate(seed, records);
+    const BENCHES: [&str; 3] = ["464.h264ref", "qsort", "water-ns"];
+    let specs: Vec<CellSpec> = BENCHES
+        .iter()
+        .flat_map(|name| {
+            let profile = benchmarks::by_name(name).expect("paper workload");
+            Architecture::all_paper()
+                .iter()
+                .map(|&arch| CellSpec::new(arch, profile.clone(), records, seed))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let metrics = run_cells_parallel(&specs, threads).expect("tail cells run");
+
+    for (bench, cells) in BENCHES.iter().zip(metrics.chunks_exact(4)) {
         println!("\n{bench} ({records} records) - latencies in ns");
         println!(
             "{:22}{:>9}{:>9}{:>9}{:>4}{:>9}{:>9}{:>9}",
             "architecture", "w p50", "w p95", "w p99", "|", "r p50", "r p95", "r p99"
         );
-        for arch in Architecture::all_paper() {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096;
-            let mut sys = WomPcmSystem::new(cfg).expect("valid config");
-            let m = sys.run_trace(trace.clone()).expect("trace runs");
+        for (arch, m) in Architecture::all_paper().iter().zip(cells) {
             println!(
                 "{:22}{:>9.0}{:>9.0}{:>9.0}{:>4}{:>9.0}{:>9.0}{:>9.0}",
                 arch.label(),

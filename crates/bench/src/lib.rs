@@ -1,15 +1,19 @@
 //! Experiment harness regenerating every table and figure of the paper.
 //!
 //! Each figure has a binary (`fig5`, `fig6`, `fig7`, `table1`, `bounds`)
-//! that prints the same rows/series the paper reports, plus Criterion
+//! that prints the same rows/series the paper reports, plus timing
 //! benches over the same code paths. The functions here are the shared
 //! machinery: run one (architecture × workload) cell, sweep the paper's
-//! parameter spaces, and format results.
+//! parameter spaces in parallel (see [`run_cells_parallel`]), and format
+//! results. Every cell is an independent deterministic simulation, so
+//! sweeps parallelize perfectly and results are identical at any thread
+//! count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use pcm_trace::synth::{benchmarks, WorkloadProfile};
+use pcm_trace::TraceRecord;
 use wom_pcm::{Architecture, RunMetrics, SystemConfig, WomPcmError, WomPcmSystem};
 
 /// Default records per run for figure regeneration. Large enough for
@@ -49,6 +53,126 @@ pub fn run_cell(
     sys.run_trace(trace)
 }
 
+/// Work distribution for experiment sweeps: a dependency-free parallel
+/// map over scoped threads ([`std::thread::scope`]).
+pub mod parallel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// The default worker count: the machine's available parallelism
+    /// (1 when it cannot be determined).
+    #[must_use]
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Applies `f` to every item on up to `threads` worker threads and
+    /// returns the results in input order.
+    ///
+    /// Scheduling order is nondeterministic, but each item's result
+    /// depends only on that item, so the output is identical to the
+    /// serial `items.iter().map(f)` at any thread count. `threads` is
+    /// clamped to `[1, items.len()]`; with one thread (or one item) no
+    /// threads are spawned at all.
+    pub fn map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let threads = threads.clamp(1, items.len().max(1));
+        if threads <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<R>>> = Mutex::new(items.iter().map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let r = f(item);
+                    slots.lock().expect("no worker panicked")[i] = Some(r);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("no worker panicked")
+            .into_iter()
+            .map(|r| r.expect("every index was computed"))
+            .collect()
+    }
+}
+
+/// One cell of an experiment sweep: one architecture over one workload.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Architecture to simulate.
+    pub arch: Architecture,
+    /// Workload profile generating the trace.
+    pub profile: WorkloadProfile,
+    /// Trace records to generate.
+    pub records: usize,
+    /// Trace RNG seed.
+    pub seed: u64,
+    /// Banks per rank (32 is the paper's default organization).
+    pub banks_per_rank: u32,
+}
+
+impl CellSpec {
+    /// A cell at the paper's default 32 banks/rank.
+    #[must_use]
+    pub fn new(arch: Architecture, profile: WorkloadProfile, records: usize, seed: u64) -> Self {
+        Self {
+            arch,
+            profile,
+            records,
+            seed,
+            banks_per_rank: 32,
+        }
+    }
+}
+
+/// Runs a batch of independent cells on up to `threads` worker threads,
+/// returning metrics in cell order — bit-identical to running the cells
+/// serially through [`run_cell`].
+///
+/// # Errors
+///
+/// Propagates the first (by cell order) [`WomPcmError`] of any cell.
+pub fn run_cells_parallel(
+    cells: &[CellSpec],
+    threads: usize,
+) -> Result<Vec<RunMetrics>, WomPcmError> {
+    parallel::map(cells, threads, |c| {
+        run_cell(c.arch, &c.profile, c.records, c.seed, c.banks_per_rank)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Runs pre-built `(config, trace)` cells on up to `threads` workers —
+/// the custom-config sibling of [`run_cells_parallel`] for ablation-style
+/// sweeps whose cells differ by more than architecture and bank count.
+/// Results come back in cell order, identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates the first (by cell order) [`WomPcmError`] of any cell.
+pub fn run_configs_parallel(
+    jobs: &[(SystemConfig, Vec<TraceRecord>)],
+    threads: usize,
+) -> Result<Vec<RunMetrics>, WomPcmError> {
+    parallel::map(jobs, threads, |(cfg, trace)| {
+        WomPcmSystem::new(cfg.clone())?.run_trace(trace.iter().copied())
+    })
+    .into_iter()
+    .collect()
+}
+
 /// One benchmark's row of Fig. 5: normalized write and read latency for
 /// each of the paper's four architectures (baseline first, always 1.0).
 #[derive(Debug, Clone)]
@@ -62,7 +186,8 @@ pub struct Fig5Row {
     pub read: [f64; 4],
 }
 
-/// Regenerates Fig. 5 (both panels) for the paper's 20 workloads.
+/// Regenerates Fig. 5 (both panels) for the paper's 20 workloads,
+/// running the 80 (architecture × workload) cells on `threads` workers.
 ///
 /// # Errors
 ///
@@ -72,13 +197,20 @@ pub struct Fig5Row {
 ///
 /// Panics if a run records no reads or writes (cannot happen for the
 /// bundled profiles with a non-trivial record count).
-pub fn fig5(records: usize, seed: u64) -> Result<Vec<Fig5Row>, WomPcmError> {
+pub fn fig5(records: usize, seed: u64, threads: usize) -> Result<Vec<Fig5Row>, WomPcmError> {
+    let profiles = benchmarks::all();
+    let specs: Vec<CellSpec> = profiles
+        .iter()
+        .flat_map(|profile| {
+            Architecture::all_paper()
+                .iter()
+                .map(|&arch| CellSpec::new(arch, profile.clone(), records, seed))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let metrics = run_cells_parallel(&specs, threads)?;
     let mut rows = Vec::new();
-    for profile in benchmarks::all() {
-        let cells: Vec<RunMetrics> = Architecture::all_paper()
-            .iter()
-            .map(|&arch| run_cell(arch, &profile, records, seed, 32))
-            .collect::<Result<_, _>>()?;
+    for (profile, cells) in profiles.iter().zip(metrics.chunks_exact(4)) {
         let base = &cells[0];
         let write = [
             1.0,
@@ -111,6 +243,16 @@ pub fn fig5(records: usize, seed: u64) -> Result<Vec<Fig5Row>, WomPcmError> {
         });
     }
     Ok(rows)
+}
+
+/// Serial [`fig5`] — kept for spot checks and the parallel-equivalence
+/// test.
+///
+/// # Errors
+///
+/// Propagates errors from any cell.
+pub fn fig5_serial(records: usize, seed: u64) -> Result<Vec<Fig5Row>, WomPcmError> {
+    fig5(records, seed, 1)
 }
 
 /// The paper's "on average across the benchmarks": arithmetic mean of
@@ -146,7 +288,8 @@ pub struct BankSweepPoint {
     pub mean_write_ns: f64,
 }
 
-/// Regenerates the Figs. 6–7 banks/rank sweep for one workload.
+/// Regenerates the Figs. 6–7 banks/rank sweep for one workload, running
+/// the four points on `threads` workers.
 ///
 /// # Errors
 ///
@@ -160,20 +303,110 @@ pub fn bank_sweep(
     profile: &WorkloadProfile,
     records: usize,
     seed: u64,
+    threads: usize,
 ) -> Result<Vec<BankSweepPoint>, WomPcmError> {
-    [4u32, 8, 16, 32]
+    const BANKS: [u32; 4] = [4, 8, 16, 32];
+    let specs: Vec<CellSpec> = BANKS
         .iter()
-        .map(|&banks| {
-            let m = run_cell(Architecture::Wcpcm, profile, records, seed, banks)?;
+        .map(|&banks| CellSpec {
+            banks_per_rank: banks,
+            ..CellSpec::new(Architecture::Wcpcm, profile.clone(), records, seed)
+        })
+        .collect();
+    let metrics = run_cells_parallel(&specs, threads)?;
+    Ok(BANKS
+        .iter()
+        .zip(&metrics)
+        .map(|(&banks, m)| {
             let cache = m.cache.expect("wcpcm reports cache stats");
-            Ok(BankSweepPoint {
+            BankSweepPoint {
                 banks_per_rank: banks,
                 hit_rate: cache.hit_rate(),
                 write_hit_rate: cache.write_hit_rate(),
                 mean_write_ns: m.mean_write_ns(),
+            }
+        })
+        .collect())
+}
+
+/// Runs the banks/rank sweep for all 20 bundled workloads as one
+/// parallel batch (80 cells), returning `(workload name, points)` pairs
+/// in catalog order.
+///
+/// # Errors
+///
+/// Propagates errors from any cell.
+///
+/// # Panics
+///
+/// Panics if a run reports no cache statistics (cannot happen: the sweep
+/// always runs WCPCM).
+pub fn bank_sweep_all(
+    records: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<(String, Vec<BankSweepPoint>)>, WomPcmError> {
+    const BANKS: [u32; 4] = [4, 8, 16, 32];
+    let profiles = benchmarks::all();
+    let specs: Vec<CellSpec> = profiles
+        .iter()
+        .flat_map(|profile| {
+            BANKS.map(|banks| CellSpec {
+                banks_per_rank: banks,
+                ..CellSpec::new(Architecture::Wcpcm, profile.clone(), records, seed)
             })
         })
-        .collect()
+        .collect();
+    let metrics = run_cells_parallel(&specs, threads)?;
+    Ok(profiles
+        .iter()
+        .zip(metrics.chunks_exact(4))
+        .map(|(profile, cells)| {
+            let points = BANKS
+                .iter()
+                .zip(cells)
+                .map(|(&banks, m)| {
+                    let cache = m.cache.expect("wcpcm reports cache stats");
+                    BankSweepPoint {
+                        banks_per_rank: banks,
+                        hit_rate: cache.hit_rate(),
+                        write_hit_rate: cache.write_hit_rate(),
+                        mean_write_ns: m.mean_write_ns(),
+                    }
+                })
+                .collect();
+            (profile.name.clone(), points)
+        })
+        .collect())
+}
+
+/// Extracts a `--threads N` flag from a binary's argument list (removing
+/// both tokens), defaulting to the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics with a clear message when the flag is malformed — binaries
+/// want the one-line error, not a recovery path.
+pub fn take_threads_flag(args: &mut Vec<String>) -> usize {
+    let mut threads = parallel::default_threads();
+    // Consume every occurrence (last one wins) so a repeated flag is not
+    // left behind to misparse as a positional argument.
+    while let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --threads requires a value");
+            std::process::exit(2);
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        threads = match value.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: invalid --threads value '{value}' (want a positive integer)");
+                std::process::exit(2);
+            }
+        };
+    }
+    threads
 }
 
 /// Formats a ratio as the paper's percentages ("reduced by 20.1%").
@@ -217,10 +450,82 @@ mod tests {
     #[test]
     fn bank_sweep_runs_all_four_points() {
         let profile = benchmarks::by_name("stringsearch").unwrap();
-        let points = bank_sweep(&profile, 2_000, 1).unwrap();
+        let points = bank_sweep(&profile, 2_000, 1, 2).unwrap();
         assert_eq!(points.len(), 4);
         assert_eq!(points[0].banks_per_rank, 4);
         assert_eq!(points[3].banks_per_rank, 32);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 3, 8, 200] {
+            let out = parallel::map(&items, threads, |&x| x * x);
+            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        }
+        assert!(parallel::map(&Vec::<u64>::new(), 4, |&x| x).is_empty());
+    }
+
+    /// The acceptance bar for the sweep runner: a multi-threaded sweep is
+    /// bit-identical to the serial one (each cell is an independent
+    /// deterministic simulation; threading only changes scheduling).
+    #[test]
+    fn parallel_cells_match_serial_exactly() {
+        let profiles = ["qsort", "mad", "typeset"];
+        let specs: Vec<CellSpec> = profiles
+            .iter()
+            .flat_map(|name| {
+                let profile = benchmarks::by_name(name).unwrap();
+                Architecture::all_paper()
+                    .iter()
+                    .map(|&arch| CellSpec::new(arch, profile.clone(), 2_000, 7))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let serial = run_cells_parallel(&specs, 1).unwrap();
+        let parallel = run_cells_parallel(&specs, 4).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(format!("{s:#?}"), format!("{p:#?}"));
+        }
+    }
+}
+
+/// Plain-`std` micro-benchmark timing for the `benches/` targets: warm
+/// up, calibrate an iteration count, measure, and print one line per
+/// case. Keeps the workspace free of a benchmark-harness dependency.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Target measurement window per case.
+    const MEASURE: Duration = Duration::from_millis(200);
+    /// Calibration window used to pick the iteration count.
+    const CALIBRATE: Duration = Duration::from_millis(30);
+
+    /// Times `f` after a calibration warm-up and prints mean ns/iter.
+    /// Returns the mean so callers can derive throughput lines.
+    pub fn bench<R>(label: &str, mut f: impl FnMut() -> R) -> f64 {
+        let t0 = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while t0.elapsed() < CALIBRATE {
+            std::hint::black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos() / u128::from(calib_iters.max(1));
+        let iters = (MEASURE.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("{label:<48} {ns:>14.1} ns/iter  ({iters} iters)");
+        ns
+    }
+
+    /// Times `f` and reports element throughput for `elems` items/call.
+    pub fn bench_throughput<R>(label: &str, elems: u64, f: impl FnMut() -> R) {
+        let ns = bench(label, f);
+        let rate = elems as f64 / (ns * 1e-9);
+        println!("{label:<48} {:>14.0} elems/s", rate);
     }
 }
 

@@ -1,0 +1,176 @@
+//! System-wide configuration shared by the engine, the architecture
+//! policies, and the public facade.
+
+use crate::arch::{Architecture, Organization};
+use crate::error::WomPcmError;
+use crate::refresh::RefreshConfig;
+use crate::wom_state::{BudgetGranularity, ColdPolicy};
+use pcm_sim::MemConfig;
+
+/// Full configuration of a [`crate::WomPcmSystem`].
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Which of the paper's architectures to run.
+    pub arch: Architecture,
+    /// How WOM-coded arrays provision their extra bits (bookkeeping; both
+    /// organizations time identically, see `DESIGN.md`).
+    pub organization: Organization,
+    /// Main-memory simulator configuration.
+    pub mem: MemConfig,
+    /// The WOM code's rewrite limit `t` (2 for the ⟨2²⟩²/3 code).
+    pub rewrite_limit: u32,
+    /// The WOM code's expansion ratio (1.5 for the ⟨2²⟩²/3 code).
+    pub expansion: f64,
+    /// PCM-refresh engine parameters (used by `WomCodeRefresh` and
+    /// `Wcpcm`).
+    pub refresh: RefreshConfig,
+    /// Granularity of WOM rewrite-budget tracking. The wide-column
+    /// organization encodes "in the unit of a column", so
+    /// [`BudgetGranularity::Column`] is the default;
+    /// [`BudgetGranularity::Row`] is the conservative single-counter-per-
+    /// page ablation (see `DESIGN.md` §8).
+    pub budget_granularity: BudgetGranularity,
+    /// What state untouched main-memory cells are assumed to hold. The
+    /// default, [`ColdPolicy::SteadyState`], is the boundary condition of
+    /// a long-running WOM-coded system and matches the paper's
+    /// mid-execution trace captures. The WOM-cache of WCPCM always starts
+    /// erased — it is small and managed by the controller.
+    pub cold_policy: ColdPolicy,
+    /// Optional Start-Gap wear leveling on main memory (an endurance
+    /// extension beyond the paper; see `DESIGN.md` §8): `Some(interval)`
+    /// moves each bank's gap every `interval` demand writes to that bank,
+    /// at the cost of one internal row copy per move and one reserved row
+    /// per bank.
+    pub wear_leveling: Option<u64>,
+    /// Charge the hidden-page organization's companion accesses: when the
+    /// organization is [`Organization::HiddenPage`], every WOM-coded main-
+    /// memory write also writes the recruited hidden row (and reads read
+    /// it), occupying the bank twice. The paper treats both organizations
+    /// as timing-identical (the row buffer presents the whole encoded
+    /// row); this flag quantifies that assumption as an ablation. Default
+    /// off.
+    pub charge_hidden_page_traffic: bool,
+    /// Functional data verification: carry real WOM-encoded cell contents
+    /// alongside the timing simulation and assert that every read decodes
+    /// to the last written data. Costs memory proportional to the write
+    /// footprint; supported for the non-cached architectures (the WCPCM
+    /// protocol is model-checked separately) and incompatible with wear
+    /// leveling (relocated rows would invalidate the reference keys).
+    pub verify_data: bool,
+}
+
+impl SystemConfig {
+    /// The paper's configuration for a given architecture: 16 GiB PCM,
+    /// ⟨2²⟩²/3 code, 5-entry refresh tables.
+    #[must_use]
+    pub fn paper(arch: Architecture) -> Self {
+        Self {
+            arch,
+            organization: Organization::WideColumn,
+            mem: MemConfig::paper_baseline(),
+            rewrite_limit: 2,
+            expansion: 1.5,
+            refresh: RefreshConfig::paper(),
+            budget_granularity: BudgetGranularity::Column,
+            cold_policy: ColdPolicy::SteadyState,
+            wear_leveling: None,
+            charge_hidden_page_traffic: false,
+            verify_data: false,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    #[must_use]
+    pub fn tiny(arch: Architecture) -> Self {
+        Self {
+            mem: MemConfig::tiny(),
+            ..Self::paper(arch)
+        }
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] (or a wrapped simulator
+    /// error) on the first inconsistency.
+    pub fn validate(&self) -> Result<(), WomPcmError> {
+        self.mem.validate()?;
+        self.refresh.validate()?;
+        if self.rewrite_limit == 0 {
+            return Err(WomPcmError::InvalidConfig(
+                "rewrite_limit must be at least 1".into(),
+            ));
+        }
+        if self.expansion.is_nan() || self.expansion < 1.0 {
+            return Err(WomPcmError::InvalidConfig(format!(
+                "expansion must be at least 1, got {}",
+                self.expansion
+            )));
+        }
+        if self.wear_leveling == Some(0) {
+            return Err(WomPcmError::InvalidConfig(
+                "wear-leveling gap-move interval must be positive".into(),
+            ));
+        }
+        if self.wear_leveling.is_some() && self.mem.geometry.rows_per_bank < 2 {
+            return Err(WomPcmError::InvalidConfig(
+                "wear leveling needs at least 2 rows per bank".into(),
+            ));
+        }
+        if self.charge_hidden_page_traffic && self.organization != Organization::HiddenPage {
+            return Err(WomPcmError::InvalidConfig(
+                "charge_hidden_page_traffic requires the hidden-page organization".into(),
+            ));
+        }
+        if self.verify_data {
+            if self.arch.uses_cache() {
+                return Err(WomPcmError::InvalidConfig(
+                    "data verification is not supported for WCPCM (see wcpcm_model tests)".into(),
+                ));
+            }
+            if self.wear_leveling.is_some() {
+                return Err(WomPcmError::InvalidConfig(
+                    "data verification is incompatible with wear leveling".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_and_tiny_configs_validate() {
+        for arch in Architecture::all_paper() {
+            SystemConfig::paper(arch).validate().unwrap();
+            SystemConfig::tiny(arch).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
+        cfg.rewrite_limit = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
+        cfg.expansion = 0.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
+        cfg.refresh.threshold_pct = 101;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::tiny(Architecture::Wcpcm);
+        cfg.verify_data = true;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
+        cfg.wear_leveling = Some(0);
+        assert!(cfg.validate().is_err());
+    }
+}

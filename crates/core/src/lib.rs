@@ -8,7 +8,11 @@
 //!
 //! * [`system::WomPcmSystem`] — the trace-driven system implementing all
 //!   four architectures of the paper's evaluation: conventional PCM,
-//!   WOM-code PCM, WOM-code PCM with PCM-refresh, and WCPCM.
+//!   WOM-code PCM, WOM-code PCM with PCM-refresh, and WCPCM. It is a
+//!   thin facade over [`engine::Engine`], the architecture-agnostic
+//!   simulation core, running one [`policy::ArchPolicy`] — the trait
+//!   behind which each architecture's state and decisions live (and the
+//!   extension point for architectures beyond the paper's four).
 //! * [`wom_state`] — per-row rewrite-budget tracking (α-write detection).
 //! * [`wide_column`] / [`hidden_page`] — the two §3.1 memory organizations
 //!   that provision the code's extra bits.
@@ -43,10 +47,13 @@
 
 pub mod arch;
 pub mod builder;
+pub mod config;
+pub mod engine;
 pub mod error;
 pub mod functional;
 pub mod hidden_page;
 pub mod metrics;
+pub mod policy;
 pub mod refresh;
 pub mod system;
 pub mod wcpcm;
@@ -56,10 +63,12 @@ pub mod wom_state;
 
 pub use arch::{Architecture, Organization};
 pub use builder::SystemBuilder;
+pub use engine::{Engine, EngineCore};
 pub use error::WomPcmError;
 pub use functional::FunctionalMemory;
 pub use hidden_page::HiddenPageTable;
 pub use metrics::RunMetrics;
+pub use policy::ArchPolicy;
 pub use refresh::{RefreshConfig, RefreshEngine, RefreshPlan};
 pub use system::{SystemConfig, WomPcmSystem};
 pub use wcpcm::{CacheStats, CacheWriteOutcome, WomCache};

@@ -1,0 +1,54 @@
+//! The conventional-PCM baseline: no WOM coding, no refresh, no cache.
+
+use super::{ArchPolicy, ArraySide, ReadAction, WriteAction};
+use crate::engine::EngineCore;
+use crate::error::WomPcmError;
+use pcm_sim::{Completion, ServiceClass};
+
+/// Every write is a full (SET-bearing) PCM write; reads go straight to
+/// main memory. The baseline keeps no architecture state at all — the
+/// engine's shared machinery (coalescing, wear leveling, data checking)
+/// is everything it uses.
+#[derive(Debug, Default)]
+pub struct BaselinePolicy;
+
+impl BaselinePolicy {
+    /// Creates the (stateless) baseline policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ArchPolicy for BaselinePolicy {
+    fn on_read(&mut self, core: &mut EngineCore, addr: u64) -> Result<ReadAction, WomPcmError> {
+        let physical = core.remap_main(addr)?;
+        core.check_read(physical)?;
+        Ok(ReadAction::Main {
+            addr: physical,
+            companion: None,
+        })
+    }
+
+    fn on_write(&mut self, core: &mut EngineCore, addr: u64) -> Result<WriteAction, WomPcmError> {
+        let addr = core.remap_main(addr)?;
+        core.check_write(addr)?;
+        let row_id = core
+            .decoder()
+            .decode(addr)
+            .flat_row(&core.config().mem.geometry);
+        if core.try_coalesce(false, row_id) {
+            return Ok(WriteAction::Coalesced);
+        }
+        Ok(WriteAction::Main {
+            addr,
+            class: ServiceClass::Write,
+            row_key: row_id,
+            companion: None,
+        })
+    }
+
+    fn on_completion(&mut self, _core: &mut EngineCore, _side: ArraySide, _c: &Completion) {
+        unreachable!("the baseline never schedules rank refreshes");
+    }
+}

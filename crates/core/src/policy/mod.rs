@@ -1,0 +1,207 @@
+//! The architecture-policy layer: per-architecture behaviour behind one
+//! trait.
+//!
+//! Each of the paper's four architectures is one [`ArchPolicy`]
+//! implementation owning its architecture-specific state:
+//!
+//! * [`BaselinePolicy`] — stateless; every write is a full PCM write.
+//! * [`WomCodePolicy`] — per-row WOM rewrite budgets (and, optionally,
+//!   the hidden-page companion table).
+//! * [`WomCodeRefreshPolicy`] — WOM budgets plus the §3.2 PCM-refresh
+//!   engine re-initializing exhausted rows during idle periods.
+//! * [`WcpcmPolicy`] — the §4 per-rank WOM-cache with victim writebacks
+//!   and cache refresh.
+//!
+//! The shared [`Engine`](crate::engine::Engine) drives the clock, the
+//! memory arrays, and the metrics; policies decide *what* each demand
+//! access does by returning a [`ReadAction`] / [`WriteAction`], and react
+//! to refresh ticks and refresh completions. Adding a fifth architecture
+//! means implementing this trait in a new file — the engine does not
+//! change (see `DESIGN.md`, "Policy layer").
+
+mod baseline;
+mod refresh;
+mod wcpcm;
+mod wom_code;
+
+pub use baseline::BaselinePolicy;
+pub use refresh::WomCodeRefreshPolicy;
+pub use wcpcm::WcpcmPolicy;
+pub use wom_code::WomCodePolicy;
+
+use crate::arch::Architecture;
+use crate::config::SystemConfig;
+use crate::engine::EngineCore;
+use crate::error::WomPcmError;
+use crate::metrics::RunMetrics;
+use pcm_sim::{Completion, DecodedAddr, ServiceClass};
+
+/// Which memory array a completion came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArraySide {
+    /// The PCM main-memory arrays.
+    Main,
+    /// The per-rank WOM-cache arrays.
+    Cache,
+}
+
+/// What a demand read should do, as decided by the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadAction {
+    /// Read main memory.
+    Main {
+        /// Physical (post-remap) address to read.
+        addr: u64,
+        /// Hidden-page companion read to charge alongside, if any.
+        companion: Option<u64>,
+    },
+    /// Read the WOM-cache row of `(rank, row)`.
+    Cache {
+        /// Rank whose cache array holds the data.
+        rank: u32,
+        /// Cache row to read.
+        row: u32,
+    },
+}
+
+/// What a demand write should do, as decided by the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteAction {
+    /// Absorbed into an open coalescing window; the policy has already
+    /// recorded the merged write's metrics via
+    /// [`EngineCore::try_coalesce`].
+    Coalesced,
+    /// Issue a write to main memory.
+    Main {
+        /// Physical (post-remap) address to write.
+        addr: u64,
+        /// Service class (full write vs RESET-only).
+        class: ServiceClass,
+        /// Coalescing-window key (flat row id).
+        row_key: u64,
+        /// Hidden-page companion write to charge alongside, if any.
+        companion: Option<u64>,
+    },
+    /// Issue a write to the WOM-cache row of `(rank, row)`.
+    Cache {
+        /// Rank whose cache array receives the write.
+        rank: u32,
+        /// Cache row to write.
+        row: u32,
+        /// Service class (full write vs RESET-only).
+        class: ServiceClass,
+        /// Coalescing-window key (`rank << 32 | row`).
+        merge_key: u64,
+    },
+}
+
+/// Architecture-specific behaviour plugged into the shared engine.
+///
+/// Hooks receive `&mut EngineCore` for the shared machinery (clock,
+/// address decoding, coalescing, victim queue, metrics); the policy's own
+/// state (WOM budgets, refresh tables, cache tags) lives in `self`.
+/// Demand enqueues — which may stall and re-enter [`Self::on_tick`] /
+/// [`Self::on_completion`] through time advancement — are performed by
+/// the engine from the returned actions, never by the policy.
+pub trait ArchPolicy: std::fmt::Debug {
+    /// Whether the engine should run [`Self::on_tick`] on the staggered
+    /// per-rank refresh schedule.
+    fn wants_ticks(&self) -> bool {
+        false
+    }
+
+    /// Decides where a demand read goes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-decoding and data-verification errors.
+    fn on_read(&mut self, core: &mut EngineCore, addr: u64) -> Result<ReadAction, WomPcmError>;
+
+    /// Decides what a demand write does (and updates write-state such as
+    /// WOM budgets or cache tags).
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-decoding and data-verification errors.
+    fn on_write(&mut self, core: &mut EngineCore, addr: u64) -> Result<WriteAction, WomPcmError>;
+
+    /// Periodic refresh opportunity (only called when
+    /// [`Self::wants_ticks`] is true).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from refresh enqueues.
+    fn on_tick(&mut self, core: &mut EngineCore) -> Result<(), WomPcmError> {
+        let _ = core;
+        Ok(())
+    }
+
+    /// Reacts to a rank-refresh completion (or preemption) on `side`.
+    fn on_completion(&mut self, core: &mut EngineCore, side: ArraySide, c: &Completion);
+
+    /// Reacts to a wear-leveling row copy: the destination physical row
+    /// `dest` was erased and rewritten once.
+    fn on_wear_level_copy(&mut self, core: &mut EngineCore, dest: DecodedAddr) {
+        let _ = (core, dest);
+    }
+
+    /// Contributes policy-owned statistics to the finalized metrics.
+    fn finish(&mut self, core: &EngineCore, result: &mut RunMetrics) {
+        let _ = (core, result);
+    }
+}
+
+impl ArchPolicy for Box<dyn ArchPolicy> {
+    fn wants_ticks(&self) -> bool {
+        (**self).wants_ticks()
+    }
+
+    fn on_read(&mut self, core: &mut EngineCore, addr: u64) -> Result<ReadAction, WomPcmError> {
+        (**self).on_read(core, addr)
+    }
+
+    fn on_write(&mut self, core: &mut EngineCore, addr: u64) -> Result<WriteAction, WomPcmError> {
+        (**self).on_write(core, addr)
+    }
+
+    fn on_tick(&mut self, core: &mut EngineCore) -> Result<(), WomPcmError> {
+        (**self).on_tick(core)
+    }
+
+    fn on_completion(&mut self, core: &mut EngineCore, side: ArraySide, c: &Completion) {
+        (**self).on_completion(core, side, c);
+    }
+
+    fn on_wear_level_copy(&mut self, core: &mut EngineCore, dest: DecodedAddr) {
+        (**self).on_wear_level_copy(core, dest);
+    }
+
+    fn finish(&mut self, core: &EngineCore, result: &mut RunMetrics) {
+        (**self).finish(core, result);
+    }
+}
+
+/// Builds the policy matching `config.arch` — the only place the
+/// architecture is dispatched on; the engine's per-record paths are
+/// architecture-free.
+///
+/// # Errors
+///
+/// Returns [`WomPcmError::InvalidConfig`] for inconsistent parameters.
+pub fn build(config: &SystemConfig) -> Result<Box<dyn ArchPolicy>, WomPcmError> {
+    Ok(match config.arch {
+        Architecture::Baseline => Box::new(BaselinePolicy::new()),
+        Architecture::WomCode => Box::new(WomCodePolicy::new(config)?),
+        Architecture::WomCodeRefresh => Box::new(WomCodeRefreshPolicy::new(config)?),
+        Architecture::Wcpcm => Box::new(WcpcmPolicy::new(config)?),
+    })
+}
+
+/// The WOM rewrite-budget column index of a decoded address under the
+/// configured budget granularity.
+pub(crate) fn budget_column(config: &SystemConfig, d: &DecodedAddr) -> u32 {
+    match config.budget_granularity {
+        crate::wom_state::BudgetGranularity::Row => 0,
+        crate::wom_state::BudgetGranularity::Column => d.column,
+    }
+}

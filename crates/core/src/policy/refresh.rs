@@ -1,0 +1,130 @@
+//! PCM-refresh (§3.2): WOM-code PCM plus a periodic engine that
+//! re-initializes exhausted rows in idle ranks.
+
+use super::wom_code::WomCodePolicy;
+use super::{ArchPolicy, ArraySide, ReadAction, WriteAction};
+use crate::config::SystemConfig;
+use crate::engine::EngineCore;
+use crate::error::WomPcmError;
+use crate::metrics::RunMetrics;
+use crate::refresh::{RefreshConfig, RefreshEngine};
+use pcm_sim::{Completion, DecodedAddr, TransactionId};
+use std::collections::BTreeMap;
+
+/// The main-array refresh machinery shared by the refresh-capable
+/// policies: the [`RefreshEngine`] (row address tables, round-robin
+/// idle-rank selection) plus the bookkeeping mapping in-flight refresh
+/// transactions back to their `(rank, bank, row)`.
+#[derive(Debug)]
+pub(super) struct RefreshDriver {
+    engine: RefreshEngine,
+    // Ordered map (determinism invariant; see `EngineCore`).
+    planned: BTreeMap<TransactionId, (u32, u32, u32)>,
+}
+
+impl RefreshDriver {
+    pub(super) fn new(config: RefreshConfig, ranks: u32, banks: u32) -> Result<Self, WomPcmError> {
+        Ok(Self {
+            engine: RefreshEngine::new(config, ranks, banks)?,
+            planned: BTreeMap::new(),
+        })
+    }
+
+    pub(super) fn record_exhausted(&mut self, rank: u32, bank: u32, row: u32) {
+        self.engine.record_exhausted(rank, bank, row);
+    }
+
+    pub(super) fn row_refreshed(&mut self, rank: u32, bank: u32, row: u32) {
+        self.engine.row_refreshed(rank, bank, row);
+    }
+
+    pub(super) fn row_preempted(&mut self, rank: u32, bank: u32, row: u32) {
+        self.engine.row_preempted(rank, bank, row);
+    }
+
+    /// Removes and returns the planned target of a finished refresh.
+    pub(super) fn take_planned(&mut self, id: TransactionId) -> (u32, u32, u32) {
+        self.planned
+            .remove(&id)
+            .expect("refresh completion must have been planned")
+    }
+
+    /// One staggered refresh opportunity on the main arrays.
+    ///
+    /// A rank qualifies when no demand access for it is queued; banks
+    /// still finishing in-flight work are simply skipped from the batch.
+    /// Write pausing lets any later demand access preempt the refresh, so
+    /// this is safe for demand latency.
+    pub(super) fn tick(&mut self, core: &mut EngineCore) -> Result<(), WomPcmError> {
+        let ranks = core.config().mem.geometry.ranks;
+        let idle: Vec<u32> = (0..ranks).filter(|&r| core.main_rank_idle(r)).collect();
+        if let Some(plan) = self.engine.plan(&idle) {
+            let rows: Vec<(u32, u32)> = plan
+                .rows
+                .iter()
+                .copied()
+                .filter(|&(bank, _)| core.main_bank_free(plan.rank, bank))
+                .collect();
+            if rows.is_empty() {
+                return Ok(());
+            }
+            let ids = core.enqueue_main_rank_refresh(plan.rank, &rows)?;
+            for (&(bank, row), id) in rows.iter().zip(&ids) {
+                self.planned.insert(*id, (plan.rank, bank, row));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// WOM-code PCM with PCM-refresh: the [`WomCodePolicy`] write path plus a
+/// refresh engine restoring rewrite budgets during idle periods.
+#[derive(Debug)]
+pub struct WomCodeRefreshPolicy {
+    inner: WomCodePolicy,
+}
+
+impl WomCodeRefreshPolicy {
+    /// Builds the refresh-enabled WOM-code policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] for inconsistent parameters.
+    pub fn new(config: &SystemConfig) -> Result<Self, WomPcmError> {
+        let g = config.mem.geometry;
+        let driver = RefreshDriver::new(config.refresh, g.ranks, g.banks_per_rank)?;
+        Ok(Self {
+            inner: WomCodePolicy::with_driver(config, Some(driver))?,
+        })
+    }
+}
+
+impl ArchPolicy for WomCodeRefreshPolicy {
+    fn wants_ticks(&self) -> bool {
+        true
+    }
+
+    fn on_read(&mut self, core: &mut EngineCore, addr: u64) -> Result<ReadAction, WomPcmError> {
+        self.inner.on_read(core, addr)
+    }
+
+    fn on_write(&mut self, core: &mut EngineCore, addr: u64) -> Result<WriteAction, WomPcmError> {
+        self.inner.on_write(core, addr)
+    }
+
+    fn on_tick(&mut self, core: &mut EngineCore) -> Result<(), WomPcmError> {
+        self.inner.tick(core)
+    }
+
+    fn on_completion(&mut self, core: &mut EngineCore, side: ArraySide, c: &Completion) {
+        self.inner.on_completion(core, side, c);
+    }
+
+    fn on_wear_level_copy(&mut self, core: &mut EngineCore, dest: DecodedAddr) {
+        self.inner.on_wear_level_copy(core, dest);
+    }
+
+    fn finish(&mut self, core: &EngineCore, result: &mut RunMetrics) {
+        self.inner.finish(core, result);
+    }
+}

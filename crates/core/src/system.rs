@@ -1,5 +1,5 @@
-//! The top-level WOM-code PCM system: architecture logic driving the
-//! cycle-level simulator.
+//! The top-level WOM-code PCM system: a thin facade over the shared
+//! [`Engine`] running the policy of the configured architecture.
 //!
 //! [`WomPcmSystem`] consumes a memory-access trace and implements, per
 //! architecture:
@@ -11,240 +11,21 @@
 //! * **WCPCM** — a per-rank WOM-cache absorbs writes; misses write victims
 //!   back to conventional main memory; the cache itself is refreshed.
 //!
-//! The WOM-cache arrays are modelled as a second, clock-synchronized
-//! [`MemorySystem`] with one array (bank) per rank, matching §4's
-//! organization where cache and main memory are accessed in parallel.
+//! The architecture-specific behaviour lives in
+//! [`crate::policy`] (one [`ArchPolicy`] implementation per
+//! architecture); the clock, memory arrays, back-pressure, and metrics
+//! live in [`crate::engine`]. The WOM-cache arrays are modelled as a
+//! second, clock-synchronized memory system with one array (bank) per
+//! rank, matching §4's organization where cache and main memory are
+//! accessed in parallel.
 
-use crate::arch::{Architecture, Organization};
+pub use crate::config::SystemConfig;
+use crate::engine::Engine;
 use crate::error::WomPcmError;
-use crate::functional::FunctionalMemory;
-use crate::hidden_page::HiddenPageTable;
 use crate::metrics::RunMetrics;
-use crate::refresh::{RefreshConfig, RefreshEngine};
-use crate::wcpcm::{CacheWriteOutcome, WomCache};
-use crate::wear_leveling::StartGap;
-use crate::wom_state::{BudgetGranularity, ColdPolicy, WomStateTable};
-use pcm_sim::{
-    Completion, Cycle, DecodedAddr, MemConfig, MemOp, MemorySystem, ServiceClass, SimError,
-    TransactionId,
-};
-use pcm_trace::{TraceOp, TraceRecord};
-use std::collections::{HashMap, HashSet, VecDeque};
-use wom_code::{Inverted, Rs23Code};
-
-/// Cycles the system stalls before retrying when a controller queue is
-/// full (models CPU-side back-pressure).
-const STALL_QUANTUM: Cycle = 32;
-
-/// Full configuration of a [`WomPcmSystem`].
-#[derive(Debug, Clone)]
-pub struct SystemConfig {
-    /// Which of the paper's architectures to run.
-    pub arch: Architecture,
-    /// How WOM-coded arrays provision their extra bits (bookkeeping; both
-    /// organizations time identically, see `DESIGN.md`).
-    pub organization: Organization,
-    /// Main-memory simulator configuration.
-    pub mem: MemConfig,
-    /// The WOM code's rewrite limit `t` (2 for the ⟨2²⟩²/3 code).
-    pub rewrite_limit: u32,
-    /// The WOM code's expansion ratio (1.5 for the ⟨2²⟩²/3 code).
-    pub expansion: f64,
-    /// PCM-refresh engine parameters (used by `WomCodeRefresh` and
-    /// `Wcpcm`).
-    pub refresh: RefreshConfig,
-    /// Granularity of WOM rewrite-budget tracking. The wide-column
-    /// organization encodes "in the unit of a column", so
-    /// [`BudgetGranularity::Column`] is the default;
-    /// [`BudgetGranularity::Row`] is the conservative single-counter-per-
-    /// page ablation (see `DESIGN.md` §7).
-    pub budget_granularity: BudgetGranularity,
-    /// What state untouched main-memory cells are assumed to hold. The
-    /// default, [`ColdPolicy::SteadyState`], is the boundary condition of
-    /// a long-running WOM-coded system and matches the paper's
-    /// mid-execution trace captures. The WOM-cache of WCPCM always starts
-    /// erased — it is small and managed by the controller.
-    pub cold_policy: ColdPolicy,
-    /// Optional Start-Gap wear leveling on main memory (an endurance
-    /// extension beyond the paper; see `DESIGN.md` §7): `Some(interval)`
-    /// moves each bank's gap every `interval` demand writes to that bank,
-    /// at the cost of one internal row copy per move and one reserved row
-    /// per bank.
-    pub wear_leveling: Option<u64>,
-    /// Charge the hidden-page organization's companion accesses: when the
-    /// organization is [`Organization::HiddenPage`], every WOM-coded main-
-    /// memory write also writes the recruited hidden row (and reads read
-    /// it), occupying the bank twice. The paper treats both organizations
-    /// as timing-identical (the row buffer presents the whole encoded
-    /// row); this flag quantifies that assumption as an ablation. Default
-    /// off.
-    pub charge_hidden_page_traffic: bool,
-    /// Functional data verification: carry real WOM-encoded cell contents
-    /// alongside the timing simulation and assert that every read decodes
-    /// to the last written data. Costs memory proportional to the write
-    /// footprint; supported for the non-cached architectures (the WCPCM
-    /// protocol is model-checked separately) and incompatible with wear
-    /// leveling (relocated rows would invalidate the reference keys).
-    pub verify_data: bool,
-}
-
-impl SystemConfig {
-    /// The paper's configuration for a given architecture: 16 GiB PCM,
-    /// ⟨2²⟩²/3 code, 5-entry refresh tables.
-    #[must_use]
-    pub fn paper(arch: Architecture) -> Self {
-        Self {
-            arch,
-            organization: Organization::WideColumn,
-            mem: MemConfig::paper_baseline(),
-            rewrite_limit: 2,
-            expansion: 1.5,
-            refresh: RefreshConfig::paper(),
-            budget_granularity: BudgetGranularity::Column,
-            cold_policy: ColdPolicy::SteadyState,
-            wear_leveling: None,
-            charge_hidden_page_traffic: false,
-            verify_data: false,
-        }
-    }
-
-    /// A small configuration for fast tests.
-    #[must_use]
-    pub fn tiny(arch: Architecture) -> Self {
-        Self {
-            mem: MemConfig::tiny(),
-            ..Self::paper(arch)
-        }
-    }
-
-    /// Validates all parameters.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`WomPcmError::InvalidConfig`] (or a wrapped simulator
-    /// error) on the first inconsistency.
-    pub fn validate(&self) -> Result<(), WomPcmError> {
-        self.mem.validate()?;
-        self.refresh.validate()?;
-        if self.rewrite_limit == 0 {
-            return Err(WomPcmError::InvalidConfig(
-                "rewrite_limit must be at least 1".into(),
-            ));
-        }
-        if self.expansion.is_nan() || self.expansion < 1.0 {
-            return Err(WomPcmError::InvalidConfig(format!(
-                "expansion must be at least 1, got {}",
-                self.expansion
-            )));
-        }
-        if self.wear_leveling == Some(0) {
-            return Err(WomPcmError::InvalidConfig(
-                "wear-leveling gap-move interval must be positive".into(),
-            ));
-        }
-        if self.wear_leveling.is_some() && self.mem.geometry.rows_per_bank < 2 {
-            return Err(WomPcmError::InvalidConfig(
-                "wear leveling needs at least 2 rows per bank".into(),
-            ));
-        }
-        if self.charge_hidden_page_traffic && self.organization != Organization::HiddenPage {
-            return Err(WomPcmError::InvalidConfig(
-                "charge_hidden_page_traffic requires the hidden-page organization".into(),
-            ));
-        }
-        if self.verify_data {
-            if self.arch.uses_cache() {
-                return Err(WomPcmError::InvalidConfig(
-                    "data verification is not supported for WCPCM (see wcpcm_model tests)".into(),
-                ));
-            }
-            if self.wear_leveling.is_some() {
-                return Err(WomPcmError::InvalidConfig(
-                    "data verification is incompatible with wear leveling".into(),
-                ));
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Line size of the functional data checker.
-const CHECK_LINE_BYTES: usize = 64;
-
-/// Functional shadow of main memory: real WOM-encoded cells per 64-byte
-/// line, plus the reference of the last data written to each line.
-#[derive(Debug)]
-struct DataCheck {
-    mem: FunctionalMemory<Inverted<Rs23Code>>,
-    expected: HashMap<u64, [u8; CHECK_LINE_BYTES]>,
-    seq: u64,
-    reads_verified: u64,
-}
-
-impl DataCheck {
-    fn new() -> Self {
-        Self {
-            mem: FunctionalMemory::new(Inverted::new(Rs23Code::new()), CHECK_LINE_BYTES)
-                .expect("64-byte lines tile the RS code"),
-            expected: HashMap::new(),
-            seq: 0,
-            reads_verified: 0,
-        }
-    }
-
-    fn line_of(addr: u64) -> u64 {
-        addr / CHECK_LINE_BYTES as u64
-    }
-
-    /// Deterministic per-write payload: unique per (line, sequence).
-    fn payload(line: u64, seq: u64) -> [u8; CHECK_LINE_BYTES] {
-        let mut data = [0u8; CHECK_LINE_BYTES];
-        let mut z = line.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seq);
-        for chunk in data.chunks_mut(8) {
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
-        }
-        data
-    }
-
-    /// Writes fresh data through the real codec.
-    fn on_write(&mut self, addr: u64) -> Result<(), WomPcmError> {
-        let line = Self::line_of(addr);
-        self.seq += 1;
-        let data = Self::payload(line, self.seq);
-        self.mem.write(line, &data)?;
-        self.expected.insert(line, data);
-        Ok(())
-    }
-
-    /// §3.2 refresh: the line's data is read out, the wits erased, and the
-    /// data written back in the first-write pattern.
-    fn on_refresh_line(&mut self, line: u64) -> Result<(), WomPcmError> {
-        if let Some(data) = self.expected.get(&line).copied() {
-            self.mem.refresh(line);
-            self.mem.write(line, &data)?;
-        }
-        Ok(())
-    }
-
-    /// Decodes the cells and checks them against the reference.
-    fn on_read(&mut self, addr: u64) -> Result<(), WomPcmError> {
-        let line = Self::line_of(addr);
-        if let Some(expected) = self.expected.get(&line) {
-            let stored = self
-                .mem
-                .read(line)
-                .ok_or_else(|| WomPcmError::InvalidConfig("written line vanished".into()))?;
-            if stored != expected {
-                return Err(WomPcmError::InvalidConfig(format!(
-                    "data corruption at line {line:#x}: cells decode differently from the                      last write"
-                )));
-            }
-            self.reads_verified += 1;
-        }
-        Ok(())
-    }
-}
+use crate::policy::ArchPolicy;
+use pcm_sim::Cycle;
+use pcm_trace::TraceRecord;
 
 /// A trace-driven WOM-code PCM system (see module docs).
 ///
@@ -267,32 +48,7 @@ impl DataCheck {
 /// ```
 #[derive(Debug)]
 pub struct WomPcmSystem {
-    config: SystemConfig,
-    main: MemorySystem,
-    cache_mem: Option<MemorySystem>,
-    wom: Option<WomStateTable>,
-    engine: Option<RefreshEngine>,
-    cache: Option<WomCache>,
-    next_refresh_at: Cycle,
-    refresh_rows_main: HashMap<TransactionId, (u32, u32, u32)>,
-    refresh_rows_cache: HashMap<TransactionId, (u32, u32)>,
-    victim_ids: HashSet<TransactionId>,
-    leveling_ids: HashSet<TransactionId>,
-    /// Per-flat-main-bank Start-Gap remappers, when wear leveling is on.
-    start_gaps: Option<Vec<StartGap>>,
-    /// Functional data checker, when `verify_data` is on.
-    data_check: Option<DataCheck>,
-    /// Hidden-page table, when companion traffic is charged.
-    hidden: Option<HiddenPageTable>,
-    pending_victims: VecDeque<u64>,
-    /// Open write-coalescing windows: rows with an array write still
-    /// pending, keyed by (is_cache, row id), valued with the cycle the
-    /// window closes.
-    merge_windows: HashMap<(bool, u64), Cycle>,
-    outstanding_main: u64,
-    outstanding_cache: u64,
-    metrics: RunMetrics,
-    last_record_cycle: Cycle,
+    engine: Engine<Box<dyn ArchPolicy>>,
 }
 
 impl WomPcmSystem {
@@ -302,106 +58,28 @@ impl WomPcmSystem {
     ///
     /// Returns [`WomPcmError::InvalidConfig`] for inconsistent parameters.
     pub fn new(config: SystemConfig) -> Result<Self, WomPcmError> {
-        config.validate()?;
-        let main = MemorySystem::new(config.mem.clone())?;
-        let g = config.mem.geometry;
-
-        let cache_mem = if config.arch.uses_cache() {
-            let mut cache_cfg = config.mem.clone();
-            cache_cfg.geometry.banks_per_rank = 1; // one WOM-cache array per rank
-            Some(MemorySystem::new(cache_cfg)?)
-        } else {
-            None
-        };
-        let budget_columns = match config.budget_granularity {
-            BudgetGranularity::Row => 1,
-            BudgetGranularity::Column => g.columns_per_row(),
-        };
-        let cache = config.arch.uses_cache().then(|| {
-            WomCache::new(
-                g.ranks,
-                g.banks_per_rank,
-                g.rows_per_bank,
-                budget_columns,
-                config.rewrite_limit,
-            )
-        });
-        let wom = config.arch.encodes_main_memory().then(|| {
-            WomStateTable::with_cold_policy(
-                config.rewrite_limit,
-                budget_columns,
-                config.cold_policy,
-            )
-        });
-        let engine = if config.arch.uses_refresh() {
-            let banks = if config.arch.uses_cache() {
-                1
-            } else {
-                g.banks_per_rank
-            };
-            Some(RefreshEngine::new(config.refresh, g.ranks, banks)?)
-        } else {
-            None
-        };
-        let hidden = if config.charge_hidden_page_traffic && config.arch.encodes_main_memory() {
-            Some(HiddenPageTable::new(g, config.expansion)?)
-        } else {
-            None
-        };
-        let start_gaps = match config.wear_leveling {
-            Some(interval) => {
-                let logical_rows = u64::from(g.rows_per_bank) - 1;
-                let sg = StartGap::new(logical_rows, interval)?;
-                Some(vec![sg; g.total_banks() as usize])
-            }
-            None => None,
-        };
-        let period = config.mem.timing.refresh_period_cycles();
-        let clock_ns = config.mem.timing.clock_ns;
         Ok(Self {
-            main,
-            cache_mem,
-            wom,
-            engine,
-            cache,
-            next_refresh_at: period,
-            refresh_rows_main: HashMap::new(),
-            refresh_rows_cache: HashMap::new(),
-            victim_ids: HashSet::new(),
-            leveling_ids: HashSet::new(),
-            start_gaps,
-            data_check: config.verify_data.then(DataCheck::new),
-            hidden,
-            pending_victims: VecDeque::new(),
-            merge_windows: HashMap::new(),
-            outstanding_main: 0,
-            outstanding_cache: 0,
-            metrics: RunMetrics {
-                clock_ns,
-                ..RunMetrics::default()
-            },
-            last_record_cycle: 0,
-            config,
+            engine: Engine::from_config(config)?,
         })
     }
 
     /// The system's configuration.
     #[must_use]
     pub fn config(&self) -> &SystemConfig {
-        &self.config
+        self.engine.config()
     }
 
     /// Current simulated time in cycles.
     #[must_use]
     pub fn now(&self) -> Cycle {
-        self.main.now()
+        self.engine.now()
     }
 
     /// Results accumulated so far (finalized copies come from
     /// [`finish`](Self::finish) / [`run_trace`](Self::run_trace)).
     #[must_use]
     pub fn metrics(&self) -> &RunMetrics {
-        &self.metrics
+        self.engine.metrics()
     }
 
     /// Feeds one trace record to the system, advancing simulated time to
@@ -412,19 +90,7 @@ impl WomPcmSystem {
     /// * [`WomPcmError::TraceOrder`] when record cycles decrease.
     /// * Simulator errors for malformed addresses.
     pub fn submit(&mut self, record: TraceRecord) -> Result<(), WomPcmError> {
-        if record.cycle < self.last_record_cycle {
-            return Err(WomPcmError::TraceOrder {
-                now: self.last_record_cycle,
-                record: record.cycle,
-            });
-        }
-        self.last_record_cycle = record.cycle;
-        let target = record.cycle.max(self.now());
-        self.advance(target)?;
-        match record.op {
-            TraceOp::Read => self.submit_read(record.addr),
-            TraceOp::Write => self.submit_write(record.addr),
-        }
+        self.engine.submit(record)
     }
 
     /// Runs a whole trace and finalizes the metrics.
@@ -436,10 +102,7 @@ impl WomPcmSystem {
         &mut self,
         records: I,
     ) -> Result<RunMetrics, WomPcmError> {
-        for r in records {
-            self.submit(r)?;
-        }
-        self.finish()
+        self.engine.run_trace(records)
     }
 
     /// Completes all outstanding work and returns the final metrics.
@@ -448,740 +111,34 @@ impl WomPcmSystem {
     ///
     /// Propagates simulator errors (none are expected during a drain).
     pub fn finish(&mut self) -> Result<RunMetrics, WomPcmError> {
-        let mut guard = 0u64;
-        while self.outstanding_main + self.outstanding_cache > 0 || !self.pending_victims.is_empty()
-        {
-            let next = self.now() + 1_000;
-            self.advance_all_to(next)?;
-            guard += 1;
-            assert!(guard < 10_000_000, "drain failed to make progress");
-        }
-        let mut result = self.metrics.clone();
-        if let Some(cache) = &self.cache {
-            result.cache = Some(*cache.stats());
-        }
-        result.energy = self.main.stats().energy;
-        result.wear_main = self.main.wear().summary();
-        if let Some(check) = &self.data_check {
-            result.data_reads_verified = check.reads_verified;
-        }
-        if let Some(cm) = &self.cache_mem {
-            result.energy.merge(&cm.stats().energy);
-            result.wear_cache = Some(cm.wear().summary());
-        }
-        self.metrics = result.clone();
-        Ok(result)
-    }
-
-    // ------------------------------------------------------------------
-    // Time advancement
-    // ------------------------------------------------------------------
-
-    /// Advances to `cycle`, running PCM-refresh checks on the way.
-    ///
-    /// As in DRAMSim2, the refresh period is per rank and checks are
-    /// staggered: with a 4000 ns period and 16 ranks, a check fires every
-    /// 250 ns, each visiting the next rank in round-robin order, so every
-    /// rank is considered once per period.
-    fn advance(&mut self, cycle: Cycle) -> Result<(), WomPcmError> {
-        if self.engine.is_some() {
-            let period = self.config.mem.timing.refresh_period_cycles();
-            let stagger = (period / Cycle::from(self.config.mem.geometry.ranks)).max(1);
-            while self.next_refresh_at <= cycle {
-                let at = self.next_refresh_at;
-                self.advance_all_to(at)?;
-                self.refresh_tick()?;
-                self.next_refresh_at += stagger;
-            }
-        }
-        self.advance_all_to(cycle)
-    }
-
-    /// Advances both memory systems in lockstep, handling completions.
-    fn advance_all_to(&mut self, cycle: Cycle) -> Result<(), WomPcmError> {
-        if cycle > self.main.now() {
-            for c in self.main.advance_to(cycle)? {
-                self.handle_main_completion(&c);
-            }
-        }
-        if let Some(cm) = &mut self.cache_mem {
-            if cycle > cm.now() {
-                let completions = cm.advance_to(cycle)?;
-                for c in completions {
-                    self.handle_cache_completion(&c);
-                }
-            }
-        }
-        self.flush_victims();
-        Ok(())
-    }
-
-    fn handle_main_completion(&mut self, c: &Completion) {
-        self.outstanding_main -= 1;
-        if c.class == ServiceClass::RankRefresh {
-            let (rank, bank, row) = self
-                .refresh_rows_main
-                .remove(&c.id)
-                .expect("refresh completion must have been planned");
-            if c.preempted {
-                self.metrics.refreshes_preempted += 1;
-                if let Some(engine) = &mut self.engine {
-                    engine.row_preempted(rank, bank, row);
-                }
-            } else {
-                self.metrics.refreshes_completed += 1;
-                if let Some(engine) = &mut self.engine {
-                    engine.row_refreshed(rank, bank, row);
-                }
-                if let Some(wom) = &mut self.wom {
-                    // §3.2: the refresh writes the data back in the
-                    // first-write pattern, consuming one generation.
-                    let d = DecodedAddr {
-                        rank,
-                        bank,
-                        row,
-                        column: 0,
-                    };
-                    wom.mark_copied(d.flat_row(&self.config.mem.geometry));
-                }
-                let g = self.config.mem.geometry;
-                let decoder = *self.main.decoder();
-                if let Some(check) = &mut self.data_check {
-                    for column in 0..g.columns_per_row() {
-                        let d = DecodedAddr {
-                            rank,
-                            bank,
-                            row,
-                            column,
-                        };
-                        let addr = decoder.encode(d).expect("refresh rows are in range");
-                        if let Err(e) = check.on_refresh_line(DataCheck::line_of(addr)) {
-                            panic!("functional refresh failed: {e}");
-                        }
-                    }
-                }
-            }
-            return;
-        }
-        if self.victim_ids.remove(&c.id) {
-            self.metrics.victim_writebacks += 1;
-            return;
-        }
-        if self.leveling_ids.remove(&c.id) {
-            return; // internal wear-leveling row copy
-        }
-        self.record_demand(c);
-    }
-
-    fn handle_cache_completion(&mut self, c: &Completion) {
-        self.outstanding_cache -= 1;
-        if c.class == ServiceClass::RankRefresh {
-            let (rank, row) = self
-                .refresh_rows_cache
-                .remove(&c.id)
-                .expect("cache refresh completion must have been planned");
-            if c.preempted {
-                self.metrics.refreshes_preempted += 1;
-                if let Some(engine) = &mut self.engine {
-                    engine.row_preempted(rank, 0, row);
-                }
-            } else {
-                self.metrics.refreshes_completed += 1;
-                if let Some(engine) = &mut self.engine {
-                    engine.row_refreshed(rank, 0, row);
-                }
-                if let Some(cache) = &mut self.cache {
-                    // The WOM-cache refreshes by flushing: the entry's data
-                    // is written back to main memory and the row erased to
-                    // the full-budget state (a write cache may evict; main
-                    // memory rows must instead preserve data, §3.2).
-                    if let Some(victim_bank) = cache.flush(rank, row) {
-                        let victim = DecodedAddr {
-                            rank,
-                            bank: victim_bank,
-                            row,
-                            column: 0,
-                        };
-                        match self.main.decoder().encode(victim) {
-                            Ok(addr) => match self.remap_main(addr) {
-                                Ok(physical) => {
-                                    self.pending_victims.push_back(physical);
-                                    self.flush_victims();
-                                }
-                                Err(e) => panic!("victim remap failed: {e}"),
-                            },
-                            Err(e) => panic!("victim encode failed: {e}"),
-                        }
-                    }
-                }
-            }
-            return;
-        }
-        self.record_demand(c);
-    }
-
-    fn record_demand(&mut self, c: &Completion) {
-        match c.op {
-            MemOp::Read => {
-                self.metrics.reads.record(c.latency());
-                self.metrics.read_hist.record(c.latency());
-            }
-            MemOp::Write => {
-                self.metrics.writes.record(c.latency());
-                self.metrics.write_hist.record(c.latency());
-                if c.class == ServiceClass::ResetOnlyWrite {
-                    self.metrics.fast_writes += 1;
-                } else {
-                    self.metrics.slow_writes += 1;
-                }
-            }
-        }
-    }
-
-    /// Retries queued victim writebacks while the main write queue has
-    /// room.
-    fn flush_victims(&mut self) {
-        while let Some(&addr) = self.pending_victims.front() {
-            if !self.main.can_accept_write() {
-                break;
-            }
-            let id = self
-                .main
-                .enqueue(MemOp::Write, addr, ServiceClass::Write)
-                .expect("capacity checked");
-            self.victim_ids.insert(id);
-            self.outstanding_main += 1;
-            self.pending_victims.pop_front();
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // PCM-refresh
-    // ------------------------------------------------------------------
-
-    fn refresh_tick(&mut self) -> Result<(), WomPcmError> {
-        let Some(engine) = &mut self.engine else {
-            return Ok(());
-        };
-        let ranks = self.config.mem.geometry.ranks;
-        // A rank qualifies when no demand access for it is queued; banks
-        // still finishing in-flight work are simply skipped from the
-        // batch. Write pausing lets any later demand access preempt the
-        // refresh, so this is safe for demand latency.
-        if self.config.arch.uses_cache() {
-            let Some(cm) = &mut self.cache_mem else {
-                return Ok(());
-            };
-            let idle: Vec<u32> = (0..ranks).filter(|&r| cm.rank_queue_empty(r)).collect();
-            if let Some(plan) = engine.plan(&idle) {
-                let rows: Vec<(u32, u32)> = plan
-                    .rows
-                    .iter()
-                    .copied()
-                    .filter(|&(bank, _)| cm.is_bank_free(plan.rank, bank))
-                    .collect();
-                if rows.is_empty() {
-                    return Ok(());
-                }
-                let ids = cm.enqueue_rank_refresh(plan.rank, &rows)?;
-                for (&(_, row), id) in rows.iter().zip(&ids) {
-                    self.refresh_rows_cache.insert(*id, (plan.rank, row));
-                }
-                self.outstanding_cache += ids.len() as u64;
-            }
-        } else {
-            let idle: Vec<u32> = (0..ranks)
-                .filter(|&r| self.main.rank_queue_empty(r))
-                .collect();
-            if let Some(plan) = engine.plan(&idle) {
-                let rows: Vec<(u32, u32)> = plan
-                    .rows
-                    .iter()
-                    .copied()
-                    .filter(|&(bank, _)| self.main.is_bank_free(plan.rank, bank))
-                    .collect();
-                if rows.is_empty() {
-                    return Ok(());
-                }
-                let ids = self.main.enqueue_rank_refresh(plan.rank, &rows)?;
-                for (&(bank, row), id) in rows.iter().zip(&ids) {
-                    self.refresh_rows_main.insert(*id, (plan.rank, bank, row));
-                }
-                self.outstanding_main += ids.len() as u64;
-            }
-        }
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Demand paths
-    // ------------------------------------------------------------------
-
-    /// Remaps a main-memory address through the bank's Start-Gap layer
-    /// (identity when wear leveling is off).
-    fn remap_main(&self, addr: u64) -> Result<u64, WomPcmError> {
-        let Some(sgs) = &self.start_gaps else {
-            return Ok(addr);
-        };
-        let g = self.config.mem.geometry;
-        let d = self.main.decoder().decode(addr);
-        // One row per bank is the gap spare: logical rows = rows - 1.
-        let logical = u64::from(d.row) % (u64::from(g.rows_per_bank) - 1);
-        let physical = sgs[d.flat_bank(&g) as usize].physical_of(logical) as u32;
-        Ok(self
-            .main
-            .decoder()
-            .encode(DecodedAddr { row: physical, ..d })?)
-    }
-
-    /// Accounts a demand write for wear leveling; if the bank's gap moves,
-    /// issues the internal row copy and updates WOM/refresh state for the
-    /// freshly rewritten destination row.
-    fn account_leveling_write(&mut self, physical_addr: u64) -> Result<(), WomPcmError> {
-        let Some(sgs) = &mut self.start_gaps else {
-            return Ok(());
-        };
-        let g = self.config.mem.geometry;
-        let d = self.main.decoder().decode(physical_addr);
-        let flat = d.flat_bank(&g) as usize;
-        let Some((from_row, to_row)) = sgs[flat].record_write() else {
-            return Ok(());
-        };
-        self.metrics.leveling_copies += 1;
-        let from_addr = self.main.decoder().encode(DecodedAddr {
-            row: from_row as u32,
-            column: 0,
-            ..d
-        })?;
-        let to_addr = self.main.decoder().encode(DecodedAddr {
-            row: to_row as u32,
-            column: 0,
-            ..d
-        })?;
-        // The copy is one row read plus one full row write.
-        self.enqueue_main_internal(MemOp::Read, from_addr, ServiceClass::Read)?;
-        self.enqueue_main_internal(MemOp::Write, to_addr, ServiceClass::Write)?;
-        // The destination physical row was erased and rewritten once.
-        if let Some(wom) = &mut self.wom {
-            let to_d = self.main.decoder().decode(to_addr);
-            let row_id = to_d.flat_row(&g);
-            wom.mark_copied(row_id);
-            if let Some(engine) = &mut self.engine {
-                engine.row_refreshed(to_d.rank, to_d.bank, to_d.row);
-            }
-        }
-        Ok(())
-    }
-
-    /// Issues the hidden-page companion access for a WOM-coded main-memory
-    /// demand access, when that traffic is charged.
-    fn charge_hidden_companion(
-        &mut self,
-        op: MemOp,
-        addr: u64,
-        class: ServiceClass,
-    ) -> Result<(), WomPcmError> {
-        if self.hidden.is_none() {
-            return Ok(());
-        }
-        let g = self.config.mem.geometry;
-        let d = self.main.decoder().decode(addr);
-        let flat_bank = d.flat_bank(&g);
-        let hidden = self.hidden.as_mut().expect("checked above");
-        let visible = d.row % hidden.visible_rows();
-        let hidden_row = match op {
-            // Writes recruit a hidden page on first touch...
-            MemOp::Write => hidden.recruit(flat_bank, visible)?,
-            // ...reads only touch one that already exists.
-            MemOp::Read => match hidden.lookup(flat_bank, visible) {
-                Some(row) => row,
-                None => return Ok(()),
-            },
-        };
-        let companion = self.main.decoder().encode(DecodedAddr {
-            row: hidden_row,
-            column: 0,
-            ..d
-        })?;
-        self.metrics.hidden_page_accesses += 1;
-        self.enqueue_main_internal(op, companion, class)
-    }
-
-    /// Enqueues internal (non-demand) main-memory traffic, stalling on
-    /// back-pressure.
-    fn enqueue_main_internal(
-        &mut self,
-        op: MemOp,
-        addr: u64,
-        class: ServiceClass,
-    ) -> Result<(), WomPcmError> {
-        loop {
-            match self.main.enqueue(op, addr, class) {
-                Ok(id) => {
-                    self.leveling_ids.insert(id);
-                    self.outstanding_main += 1;
-                    return Ok(());
-                }
-                Err(SimError::QueueFull { .. }) => {
-                    let next = self.now() + STALL_QUANTUM;
-                    self.advance(next)?;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-    }
-
-    fn submit_read(&mut self, addr: u64) -> Result<(), WomPcmError> {
-        if self.config.arch.uses_cache() {
-            // §4's read protocol: cache and main memory are accessed in
-            // parallel and the right side forwards the data, costing only
-            // the one-to-two-cycle tag comparison. The tags (6 bits per
-            // row at 32 banks/rank) are mirrored in the controller, so the
-            // losing side's access is squashed before it occupies an
-            // array; we therefore route the read to the owning side only.
-            let d = self.main.decoder().decode(addr);
-            let hit = self
-                .cache
-                .as_mut()
-                .expect("wcpcm has a cache")
-                .read(d.rank, d.bank, d.row);
-            if hit {
-                let cache_addr = self.cache_addr(d.rank, d.row)?;
-                return self.enqueue_cache(MemOp::Read, cache_addr, ServiceClass::Read);
-            }
-            let physical = self.remap_main(addr)?;
-            return self.enqueue_main(MemOp::Read, physical, ServiceClass::Read);
-        }
-        let physical = self.remap_main(addr)?;
-        if let Some(check) = &mut self.data_check {
-            check.on_read(physical)?;
-        }
-        self.enqueue_main(MemOp::Read, physical, ServiceClass::Read)?;
-        self.charge_hidden_companion(MemOp::Read, physical, ServiceClass::Read)
-    }
-
-    /// Absorbs a write into an already-pending array write of the same
-    /// row, if its coalescing window is still open. Coalesced writes cost
-    /// one data burst (the row buffer merges them) and consume no WOM
-    /// budget — the row is written back to the array once.
-    fn try_coalesce(&mut self, is_cache: bool, row_key: u64) -> bool {
-        let now = self.now();
-        if self.merge_windows.len() > 8192 {
-            self.merge_windows.retain(|_, &mut until| until > now);
-        }
-        match self.merge_windows.get(&(is_cache, row_key)) {
-            Some(&until) if now < until => {
-                self.metrics.coalesced_writes += 1;
-                let burst = self.config.mem.timing.burst_cycles();
-                self.metrics.writes.record(burst);
-                self.metrics.write_hist.record(burst);
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// Opens (or extends) the coalescing window of a row after issuing an
-    /// array write for it.
-    fn open_merge_window(&mut self, is_cache: bool, row_key: u64, class: ServiceClass) {
-        let t = &self.config.mem.timing;
-        let service = match class {
-            ServiceClass::ResetOnlyWrite => t.reset_cycles(),
-            _ => t.write_cycles(),
-        };
-        let until = self.now() + service;
-        self.merge_windows.insert((is_cache, row_key), until);
-    }
-
-    fn submit_write(&mut self, addr: u64) -> Result<(), WomPcmError> {
-        match self.config.arch {
-            Architecture::Baseline => {
-                let addr = self.remap_main(addr)?;
-                if let Some(check) = &mut self.data_check {
-                    check.on_write(addr)?;
-                }
-                let row_id = self
-                    .main
-                    .decoder()
-                    .decode(addr)
-                    .flat_row(&self.config.mem.geometry);
-                if self.try_coalesce(false, row_id) {
-                    return Ok(());
-                }
-                self.enqueue_main(MemOp::Write, addr, ServiceClass::Write)?;
-                self.open_merge_window(false, row_id, ServiceClass::Write);
-                self.account_leveling_write(addr)?;
-                Ok(())
-            }
-            Architecture::WomCode | Architecture::WomCodeRefresh => {
-                let addr = self.remap_main(addr)?;
-                if let Some(check) = &mut self.data_check {
-                    check.on_write(addr)?;
-                }
-                let d = self.main.decoder().decode(addr);
-                let row_id = d.flat_row(&self.config.mem.geometry);
-                if self.try_coalesce(false, row_id) {
-                    return Ok(());
-                }
-                let budget_col = match self.config.budget_granularity {
-                    BudgetGranularity::Row => 0,
-                    BudgetGranularity::Column => d.column,
-                };
-                let wom = self.wom.as_mut().expect("wom-coded main memory");
-                let kind = wom.classify_write(row_id, budget_col);
-                if let Some(engine) = &mut self.engine {
-                    // A row with any exhausted column is a refresh
-                    // candidate; refresh re-initializes the whole row.
-                    if wom.row_exhausted(row_id) {
-                        engine.record_exhausted(d.rank, d.bank, d.row);
-                    }
-                }
-                let class = if kind.is_fast() {
-                    ServiceClass::ResetOnlyWrite
-                } else {
-                    ServiceClass::Write
-                };
-                self.enqueue_main(MemOp::Write, addr, class)?;
-                self.open_merge_window(false, row_id, class);
-                self.account_leveling_write(addr)?;
-                self.charge_hidden_companion(MemOp::Write, addr, class)?;
-                Ok(())
-            }
-            Architecture::Wcpcm => {
-                let d = self.main.decoder().decode(addr);
-                let cache_key = (u64::from(d.rank) << 32) | u64::from(d.row);
-                // Coalescing requires the pending cache-row write to hold
-                // the same bank's data (a tag conflict must evict instead).
-                let tag_matches = self
-                    .cache
-                    .as_ref()
-                    .expect("wcpcm has a cache")
-                    .peek_tag(d.rank, d.row)
-                    == Some(d.bank);
-                if tag_matches && self.try_coalesce(true, cache_key) {
-                    return Ok(());
-                }
-                let budget_col = match self.config.budget_granularity {
-                    BudgetGranularity::Row => 0,
-                    BudgetGranularity::Column => d.column,
-                };
-                let cache = self.cache.as_mut().expect("wcpcm has a cache");
-                let outcome = cache.write(d.rank, d.bank, d.row, budget_col);
-                let at_limit = cache.row_at_limit(d.rank, d.row);
-                if let Some(engine) = &mut self.engine {
-                    if at_limit {
-                        engine.record_exhausted(d.rank, 0, d.row);
-                    }
-                }
-                if let CacheWriteOutcome::Miss { victim_bank, .. } = outcome {
-                    // §4's write protocol: the victim data is read out of
-                    // the row buffer into a register during the same row
-                    // activation that programs the new data (no extra array
-                    // occupancy), then written back to PCM main memory.
-                    let victim = DecodedAddr {
-                        rank: d.rank,
-                        bank: victim_bank,
-                        row: d.row,
-                        column: 0,
-                    };
-                    let victim_addr = self.remap_main(self.main.decoder().encode(victim)?)?;
-                    self.pending_victims.push_back(victim_addr);
-                    self.flush_victims();
-                }
-                let class = if outcome.kind().is_fast() {
-                    ServiceClass::ResetOnlyWrite
-                } else {
-                    ServiceClass::Write
-                };
-                let cache_addr = self.cache_addr(d.rank, d.row)?;
-                self.enqueue_cache(MemOp::Write, cache_addr, class)?;
-                self.open_merge_window(true, cache_key, class);
-                Ok(())
-            }
-        }
-    }
-
-    fn cache_addr(&self, rank: u32, row: u32) -> Result<u64, WomPcmError> {
-        let cm = self.cache_mem.as_ref().expect("wcpcm has a cache array");
-        Ok(cm.decoder().encode(DecodedAddr {
-            rank,
-            bank: 0,
-            row,
-            column: 0,
-        })?)
-    }
-
-    /// Enqueues on main memory, stalling (advancing time) on back-pressure.
-    fn enqueue_main(
-        &mut self,
-        op: MemOp,
-        addr: u64,
-        class: ServiceClass,
-    ) -> Result<(), WomPcmError> {
-        loop {
-            match self.main.enqueue(op, addr, class) {
-                Ok(_) => {
-                    self.outstanding_main += 1;
-                    return Ok(());
-                }
-                Err(SimError::QueueFull { .. }) => {
-                    let next = self.now() + STALL_QUANTUM;
-                    self.advance(next)?;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-    }
-
-    /// Enqueues on the WOM-cache arrays, stalling on back-pressure.
-    fn enqueue_cache(
-        &mut self,
-        op: MemOp,
-        addr: u64,
-        class: ServiceClass,
-    ) -> Result<(), WomPcmError> {
-        loop {
-            let result = self
-                .cache_mem
-                .as_mut()
-                .expect("wcpcm has a cache array")
-                .enqueue(op, addr, class);
-            match result {
-                Ok(_) => {
-                    self.outstanding_cache += 1;
-                    return Ok(());
-                }
-                Err(SimError::QueueFull { .. }) => {
-                    let next = self.now() + STALL_QUANTUM;
-                    self.advance(next)?;
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
+        self.engine.finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arch::Architecture;
     use pcm_trace::TraceOp;
 
-    fn record(cycle: Cycle, addr: u64, op: TraceOp) -> TraceRecord {
-        TraceRecord::new(cycle, addr, op)
-    }
-
     #[test]
-    fn paper_and_tiny_configs_validate() {
+    fn all_architectures_construct() {
         for arch in Architecture::all_paper() {
-            SystemConfig::paper(arch).validate().unwrap();
-            SystemConfig::tiny(arch).validate().unwrap();
             WomPcmSystem::new(SystemConfig::tiny(arch)).unwrap();
         }
     }
 
     #[test]
-    fn invalid_configs_are_rejected() {
+    fn invalid_configs_are_rejected_at_construction() {
         let mut cfg = SystemConfig::tiny(Architecture::WomCode);
         cfg.rewrite_limit = 0;
         assert!(WomPcmSystem::new(cfg).is_err());
-
-        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
-        cfg.expansion = 0.5;
-        assert!(WomPcmSystem::new(cfg).is_err());
-
-        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
-        cfg.refresh.threshold_pct = 101;
-        assert!(WomPcmSystem::new(cfg).is_err());
-    }
-
-    #[test]
-    fn write_coalescing_merges_back_to_back_row_writes() {
-        let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline)).unwrap();
-        // Two writes to the same row, 4 cycles apart: the second lands
-        // while the first row write is still in flight.
-        sys.submit(record(0, 0x00, TraceOp::Write)).unwrap();
-        sys.submit(record(4, 0x40, TraceOp::Write)).unwrap();
-        let m = sys.finish().unwrap();
-        assert_eq!(m.coalesced_writes, 1);
-        assert_eq!(m.slow_writes, 1, "one array write for the merged pair");
-    }
-
-    #[test]
-    fn distant_writes_do_not_coalesce() {
-        let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline)).unwrap();
-        sys.submit(record(0, 0x00, TraceOp::Write)).unwrap();
-        sys.submit(record(10_000, 0x40, TraceOp::Write)).unwrap();
-        let m = sys.finish().unwrap();
-        assert_eq!(m.coalesced_writes, 0);
-        assert_eq!(m.slow_writes, 2);
-    }
-
-    #[test]
-    fn wcpcm_tag_conflict_blocks_coalescing() {
-        let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Wcpcm)).unwrap();
-        let g = sys.config().mem.geometry;
-        let dec = pcm_sim::AddressDecoder::new(g, sys.config().mem.mapping).unwrap();
-        // Same (rank, row) but different banks: must not merge - the
-        // second write evicts the first bank's data instead.
-        let a = dec
-            .encode(DecodedAddr {
-                rank: 0,
-                bank: 0,
-                row: 0,
-                column: 0,
-            })
-            .unwrap();
-        let b = dec
-            .encode(DecodedAddr {
-                rank: 0,
-                bank: 1,
-                row: 0,
-                column: 0,
-            })
-            .unwrap();
-        sys.submit(record(0, a, TraceOp::Write)).unwrap();
-        sys.submit(record(2, b, TraceOp::Write)).unwrap();
-        let m = sys.finish().unwrap();
-        assert_eq!(m.coalesced_writes, 0);
-        assert_eq!(m.victim_writebacks, 1);
-        assert_eq!(m.cache.unwrap().write_misses, 1);
-    }
-
-    #[test]
-    fn refresh_engine_runs_during_idle_gaps() {
-        let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCodeRefresh)).unwrap();
-        // Exhaust a row's budget (steady-state cold may need 1-2 writes),
-        // then idle long enough for several refresh periods.
-        for i in 0..4u64 {
-            sys.submit(record(i * 2_000, 0x00, TraceOp::Write)).unwrap();
-        }
-        sys.submit(record(200_000, 0x1000, TraceOp::Read)).unwrap();
-        let m = sys.finish().unwrap();
-        assert!(
-            m.refreshes_completed > 0,
-            "an idle stretch after exhausting writes must trigger refresh"
-        );
-    }
-
-    #[test]
-    fn wcpcm_read_hits_are_served_without_touching_main_wear() {
-        let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Wcpcm)).unwrap();
-        sys.submit(record(0, 0x80, TraceOp::Write)).unwrap();
-        sys.submit(record(5_000, 0x80, TraceOp::Read)).unwrap();
-        let m = sys.finish().unwrap();
-        let cache = m.cache.unwrap();
-        assert_eq!(cache.read_hits, 1);
-        assert_eq!(cache.read_misses, 0);
-        assert_eq!(
-            m.wear_main.writes, 0,
-            "no victim, so main memory was never written"
-        );
     }
 
     #[test]
     fn metrics_are_cumulative_until_finish() {
         let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline)).unwrap();
-        sys.submit(record(0, 0, TraceOp::Write)).unwrap();
+        sys.submit(TraceRecord::new(0, 0, TraceOp::Write)).unwrap();
         assert_eq!(sys.metrics().writes.count, 0, "write still in flight");
         let m = sys.finish().unwrap();
         assert_eq!(m.writes.count, 1);
@@ -1195,9 +152,9 @@ mod tests {
     #[test]
     fn submit_rejects_regressing_cycles() {
         let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline)).unwrap();
-        sys.submit(record(10, 0, TraceOp::Read)).unwrap();
+        sys.submit(TraceRecord::new(10, 0, TraceOp::Read)).unwrap();
         assert!(matches!(
-            sys.submit(record(9, 0, TraceOp::Read)),
+            sys.submit(TraceRecord::new(9, 0, TraceOp::Read)),
             Err(WomPcmError::TraceOrder { .. })
         ));
     }

@@ -1,14 +1,28 @@
-//! Property-based tests of the architecture layer: conservation,
+//! Randomized tests of the architecture layer: conservation,
 //! determinism, and cross-architecture invariants on arbitrary traces.
+//!
+//! Deterministically seeded loops replace fuzzing: each case derives from
+//! a fixed seed, so any failure reproduces with plain `cargo test`.
 
+use pcm_rng::Rng;
 use pcm_trace::{TraceOp, TraceRecord};
-use proptest::prelude::*;
 use wom_pcm::{Architecture, RunMetrics, SystemConfig, WomPcmSystem};
+
+const CASES: u64 = 48;
 
 /// Arbitrary short traces: (gap, line, is_read) tuples over a small
 /// footprint so rewrites actually occur.
-fn raw_trace() -> impl Strategy<Value = Vec<(u8, u16, bool)>> {
-    proptest::collection::vec((any::<u8>(), 0u16..512, any::<bool>()), 1..120)
+fn raw_trace(rng: &mut Rng) -> Vec<(u8, u16, bool)> {
+    let len = rng.gen_range_usize(1, 120);
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u64() as u8,
+                rng.gen_range_u64(0, 512) as u16,
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect()
 }
 
 fn materialize(raw: &[(u8, u16, bool)]) -> Vec<TraceRecord> {
@@ -34,97 +48,114 @@ fn run(arch: Architecture, trace: Vec<TraceRecord>) -> RunMetrics {
     sys.run_trace(trace).expect("trace runs")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Demand accesses are conserved for every architecture.
-    #[test]
-    fn demand_conservation(raw in raw_trace()) {
-        let trace = materialize(&raw);
+/// Demand accesses are conserved for every architecture.
+#[test]
+fn demand_conservation() {
+    let mut rng = Rng::seed_from_u64(0xC04);
+    for _ in 0..CASES {
+        let trace = materialize(&raw_trace(&mut rng));
         let reads = trace.iter().filter(|r| r.op == TraceOp::Read).count() as u64;
         let writes = trace.len() as u64 - reads;
         for arch in Architecture::all_paper() {
             let m = run(arch, trace.clone());
-            prop_assert_eq!(m.reads.count, reads, "{} reads", arch);
-            prop_assert_eq!(m.writes.count, writes, "{} writes", arch);
-            prop_assert_eq!(
+            assert_eq!(m.reads.count, reads, "{arch} reads");
+            assert_eq!(m.writes.count, writes, "{arch} writes");
+            assert_eq!(
                 m.fast_writes + m.slow_writes + m.coalesced_writes,
                 writes,
-                "{} write decomposition",
-                arch
+                "{arch} write decomposition"
             );
         }
     }
+}
 
-    /// Runs are reproducible bit-for-bit.
-    #[test]
-    fn determinism(raw in raw_trace()) {
-        let trace = materialize(&raw);
+/// Runs are reproducible bit-for-bit.
+#[test]
+fn determinism() {
+    let mut rng = Rng::seed_from_u64(0xDE7);
+    for _ in 0..CASES {
+        let trace = materialize(&raw_trace(&mut rng));
         for arch in Architecture::all_paper() {
             let a = run(arch, trace.clone());
             let b = run(arch, trace.clone());
-            prop_assert_eq!(a.writes.total, b.writes.total);
-            prop_assert_eq!(a.reads.total, b.reads.total);
-            prop_assert_eq!(a.refreshes_completed, b.refreshes_completed);
-            prop_assert!((a.energy.total_pj() - b.energy.total_pj()).abs() < 1e-9);
+            assert_eq!(a.writes.total, b.writes.total);
+            assert_eq!(a.reads.total, b.reads.total);
+            assert_eq!(a.refreshes_completed, b.refreshes_completed);
+            assert!((a.energy.total_pj() - b.energy.total_pj()).abs() < 1e-9);
         }
     }
+}
 
-    /// The baseline never produces WOM artifacts; WOM architectures never
-    /// produce cache artifacts (and vice versa).
-    #[test]
-    fn architecture_feature_isolation(raw in raw_trace()) {
-        let trace = materialize(&raw);
+/// The baseline never produces WOM artifacts; WOM architectures never
+/// produce cache artifacts (and vice versa).
+#[test]
+fn architecture_feature_isolation() {
+    let mut rng = Rng::seed_from_u64(0x150);
+    for _ in 0..CASES {
+        let trace = materialize(&raw_trace(&mut rng));
         let base = run(Architecture::Baseline, trace.clone());
-        prop_assert_eq!(base.fast_writes, 0);
-        prop_assert_eq!(base.refreshes_completed + base.refreshes_preempted, 0);
-        prop_assert!(base.cache.is_none());
+        assert_eq!(base.fast_writes, 0);
+        assert_eq!(base.refreshes_completed + base.refreshes_preempted, 0);
+        assert!(base.cache.is_none());
 
         let wom = run(Architecture::WomCode, trace.clone());
-        prop_assert_eq!(wom.refreshes_completed + wom.refreshes_preempted, 0);
-        prop_assert!(wom.cache.is_none());
-        prop_assert_eq!(wom.victim_writebacks, 0);
+        assert_eq!(wom.refreshes_completed + wom.refreshes_preempted, 0);
+        assert!(wom.cache.is_none());
+        assert_eq!(wom.victim_writebacks, 0);
 
         let wcpcm = run(Architecture::Wcpcm, trace);
         let cache = wcpcm.cache.expect("wcpcm reports cache stats");
         // Every victim writeback stems from a write miss or a flush-style
         // cache refresh.
-        prop_assert!(
-            wcpcm.victim_writebacks <= cache.write_misses + wcpcm.refreshes_completed
-        );
+        assert!(wcpcm.victim_writebacks <= cache.write_misses + wcpcm.refreshes_completed);
     }
+}
 
-    /// Wear accounting matches the write-class decomposition: array
-    /// writes (fast + slow + victims + refresh rows) all land in wear.
-    #[test]
-    fn wear_matches_write_classes(raw in raw_trace()) {
-        let trace = materialize(&raw);
-        for arch in [Architecture::Baseline, Architecture::WomCode, Architecture::WomCodeRefresh] {
+/// Wear accounting matches the write-class decomposition: array
+/// writes (fast + slow + victims + refresh rows) all land in wear.
+#[test]
+fn wear_matches_write_classes() {
+    let mut rng = Rng::seed_from_u64(0x3EA9);
+    for _ in 0..CASES {
+        let trace = materialize(&raw_trace(&mut rng));
+        for arch in [
+            Architecture::Baseline,
+            Architecture::WomCode,
+            Architecture::WomCodeRefresh,
+        ] {
             let m = run(arch, trace.clone());
             let expected =
                 m.fast_writes + m.slow_writes + m.victim_writebacks + m.refreshes_completed;
-            prop_assert_eq!(m.wear_main.writes, expected, "{}", arch);
+            assert_eq!(m.wear_main.writes, expected, "{arch}");
         }
         // WCPCM splits wear between main (victims) and the cache arrays.
         let m = run(Architecture::Wcpcm, trace);
         let cache_wear = m.wear_cache.expect("wcpcm tracks cache wear");
-        prop_assert_eq!(m.wear_main.writes, m.victim_writebacks);
-        prop_assert_eq!(
+        assert_eq!(m.wear_main.writes, m.victim_writebacks);
+        assert_eq!(
             cache_wear.writes,
             m.fast_writes + m.slow_writes + m.refreshes_completed
         );
     }
+}
 
-    /// WOM-coded architectures never take *longer* than ~the baseline on
-    /// the same trace (allowing a small refresh-interference margin).
-    #[test]
-    fn wom_never_seriously_regresses(raw in raw_trace()) {
-        let trace = materialize(&raw);
-        prop_assume!(trace.iter().any(|r| r.op == TraceOp::Write));
+/// WOM-coded architectures never take *longer* than ~the baseline on
+/// the same trace (allowing a small refresh-interference margin).
+#[test]
+fn wom_never_seriously_regresses() {
+    let mut rng = Rng::seed_from_u64(0x3097);
+    for _ in 0..CASES {
+        let trace = materialize(&raw_trace(&mut rng));
+        if !trace.iter().any(|r| r.op == TraceOp::Write) {
+            continue;
+        }
         let base = run(Architecture::Baseline, trace.clone());
         let wom = run(Architecture::WomCode, trace);
         if let Some(n) = wom.normalized_write_latency(&base) {
-            prop_assert!(n <= 1.10, "WOM-code write latency regressed to {n:.3}x baseline");
+            assert!(
+                n <= 1.10,
+                "WOM-code write latency regressed to {n:.3}x baseline"
+            );
         }
     }
 }

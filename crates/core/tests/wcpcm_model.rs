@@ -2,18 +2,20 @@
 //!
 //! A reference model tracks, for every (rank, bank, row), where the
 //! *latest* data lives: in the WOM-cache or in PCM main memory. Driving
-//! arbitrary operation sequences against [`WomCache`] must agree with the
-//! model at every step — a read may be served from the cache exactly when
-//! the cache holds the latest data, and every eviction must write the
-//! victim's data back so main memory becomes current again.
+//! randomized (but deterministically seeded) operation sequences against
+//! [`WomCache`] must agree with the model at every step — a read may be
+//! served from the cache exactly when the cache holds the latest data,
+//! and every eviction must write the victim's data back so main memory
+//! becomes current again.
 
-use proptest::prelude::*;
+use pcm_rng::Rng;
 use std::collections::HashMap;
 use wom_pcm::wcpcm::{CacheWriteOutcome, WomCache};
 
 const RANKS: u32 = 2;
 const BANKS: u32 = 4;
 const ROWS: u32 = 8;
+const CASES: u64 = 256;
 
 /// Where the newest version of a row's data currently lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,28 +57,32 @@ enum Op {
     Read { rank: u32, bank: u32, row: u32 },
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        (0..RANKS, 0..BANKS, 0..ROWS, any::<bool>()).prop_map(|(rank, bank, row, is_write)| {
-            if is_write {
+fn ops(rng: &mut Rng) -> Vec<Op> {
+    let len = rng.gen_range_usize(1, 200);
+    (0..len)
+        .map(|_| {
+            let rank = rng.gen_range_u32(0, RANKS);
+            let bank = rng.gen_range_u32(0, BANKS);
+            let row = rng.gen_range_u32(0, ROWS);
+            if rng.gen_bool(0.5) {
                 Op::Write { rank, bank, row }
             } else {
                 Op::Read { rank, bank, row }
             }
-        }),
-        1..200,
-    )
+        })
+        .collect()
 }
 
-proptest! {
-    /// The cache's hit/miss decisions always match the reference model of
-    /// data ownership: no read is ever served stale data, and no fresh
-    /// data is ever lost to an eviction.
-    #[test]
-    fn cache_routing_matches_ownership_model(ops in ops()) {
+/// The cache's hit/miss decisions always match the reference model of
+/// data ownership: no read is ever served stale data, and no fresh
+/// data is ever lost to an eviction.
+#[test]
+fn cache_routing_matches_ownership_model() {
+    let mut rng = Rng::seed_from_u64(0x3C9C);
+    for _ in 0..CASES {
         let mut cache = WomCache::new(RANKS, BANKS, ROWS, 16, 2);
         let mut model = ReferenceModel::default();
-        for op in ops {
+        for op in ops(&mut rng) {
             match op {
                 Op::Write { rank, bank, row } => {
                     let outcome = cache.write(rank, bank, row, 0);
@@ -85,7 +91,7 @@ proptest! {
                 Op::Read { rank, bank, row } => {
                     let hit = cache.read(rank, bank, row);
                     let expected = model.holder(rank, bank, row) == Holder::Cache;
-                    prop_assert_eq!(
+                    assert_eq!(
                         hit,
                         expected,
                         "read ({},{},{}) routed to {} but latest data is in {:?}",
@@ -99,15 +105,18 @@ proptest! {
             }
         }
     }
+}
 
-    /// At most one bank's data per (rank, row) can live in the cache, and
-    /// every other bank's latest data must be in main memory — the §4
-    /// structural invariant behind the 1-valid-bit selector field.
-    #[test]
-    fn at_most_one_cache_holder_per_row(ops in ops()) {
+/// At most one bank's data per (rank, row) can live in the cache, and
+/// every other bank's latest data must be in main memory — the §4
+/// structural invariant behind the 1-valid-bit selector field.
+#[test]
+fn at_most_one_cache_holder_per_row() {
+    let mut rng = Rng::seed_from_u64(0x401D);
+    for _ in 0..CASES {
         let mut cache = WomCache::new(RANKS, BANKS, ROWS, 16, 2);
         let mut model = ReferenceModel::default();
-        for op in ops {
+        for op in ops(&mut rng) {
             if let Op::Write { rank, bank, row } = op {
                 let outcome = cache.write(rank, bank, row, 0);
                 model.write(rank, bank, row, outcome);
@@ -118,17 +127,14 @@ proptest! {
                 let holders: Vec<u32> = (0..BANKS)
                     .filter(|&b| model.holder(rank, b, row) == Holder::Cache)
                     .collect();
-                prop_assert!(
+                assert!(
                     holders.len() <= 1,
-                    "rank {} row {} has multiple cache holders: {:?}",
-                    rank,
-                    row,
-                    holders
+                    "rank {rank} row {row} has multiple cache holders: {holders:?}"
                 );
                 // And the model's holder is exactly the tag the cache reports.
-                prop_assert_eq!(cache.peek_tag(rank, row).is_some(), !holders.is_empty());
+                assert_eq!(cache.peek_tag(rank, row).is_some(), !holders.is_empty());
                 if let Some(tag) = cache.peek_tag(rank, row) {
-                    prop_assert_eq!(holders, vec![tag]);
+                    assert_eq!(holders, vec![tag]);
                 }
             }
         }

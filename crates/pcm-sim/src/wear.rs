@@ -8,7 +8,7 @@
 //! the tracker reports the wear distribution — maximum, mean, and the
 //! coefficient of variation that wear-leveling work cares about.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-row write-pulse counters, kept lazily for touched rows.
 ///
@@ -24,10 +24,13 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct WearTracker {
+    // Ordered maps, not hash maps: summaries reduce these counters with
+    // floating-point sums, and f64 rounding depends on iteration order.
+    // Deterministic order keeps run metrics bit-identical across runs.
     /// Full (SET-bearing) writes per flat row id.
-    full: HashMap<u64, u64>,
+    full: BTreeMap<u64, u64>,
     /// RESET-only writes per flat row id.
-    reset_only: HashMap<u64, u64>,
+    reset_only: BTreeMap<u64, u64>,
 }
 
 /// Summary of a wear distribution.
@@ -78,7 +81,7 @@ impl WearTracker {
     /// Summarizes total writes (both kinds) per row.
     #[must_use]
     pub fn summary(&self) -> WearSummary {
-        let mut totals: HashMap<u64, u64> = self.full.clone();
+        let mut totals: BTreeMap<u64, u64> = self.full.clone();
         for (&row, &n) in &self.reset_only {
             *totals.entry(row).or_insert(0) += n;
         }

@@ -1,64 +1,79 @@
-//! Property-based tests of the memory simulator's invariants: work
+//! Randomized tests of the memory simulator's invariants: work
 //! conservation, latency sanity, determinism, and address decoding.
+//!
+//! Deterministically seeded loops — same binary, same failures.
 
+use pcm_rng::Rng;
 use pcm_sim::{
     AddressDecoder, AddressMapping, DecodedAddr, MemConfig, MemOp, MemoryGeometry, MemorySystem,
     ServiceClass, TimingParams,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
 
 /// A randomized little workload: (gap-cycles, addr-seed, is-read, fast).
-fn accesses() -> impl Strategy<Value = Vec<(u8, u16, bool, bool)>> {
-    proptest::collection::vec(
-        (any::<u8>(), any::<u16>(), any::<bool>(), any::<bool>()),
-        1..80,
-    )
+fn accesses(rng: &mut Rng) -> Vec<(u8, u16, bool, bool)> {
+    let len = rng.gen_range_usize(1, 80);
+    (0..len)
+        .map(|_| {
+            (
+                rng.next_u64() as u8,
+                rng.next_u64() as u16,
+                rng.gen_bool(0.5),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    /// Every enqueued demand access completes exactly once, whatever the
-    /// interleaving of arrivals, banks, and classes.
-    #[test]
-    fn work_is_conserved(ops in accesses()) {
+fn op_class(is_read: bool, fast: bool) -> (MemOp, ServiceClass) {
+    if is_read {
+        (MemOp::Read, ServiceClass::Read)
+    } else if fast {
+        (MemOp::Write, ServiceClass::ResetOnlyWrite)
+    } else {
+        (MemOp::Write, ServiceClass::Write)
+    }
+}
+
+/// Every enqueued demand access completes exactly once, whatever the
+/// interleaving of arrivals, banks, and classes.
+#[test]
+fn work_is_conserved() {
+    let mut rng = Rng::seed_from_u64(0xC095);
+    for _ in 0..CASES {
+        let ops = accesses(&mut rng);
         let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
         let mut submitted = 0u64;
         for (gap, addr_seed, is_read, fast) in ops {
             let now = mem.now() + u64::from(gap);
             mem.advance_to(now).unwrap();
             let addr = u64::from(addr_seed) * 64;
-            let (op, class) = if is_read {
-                (MemOp::Read, ServiceClass::Read)
-            } else if fast {
-                (MemOp::Write, ServiceClass::ResetOnlyWrite)
-            } else {
-                (MemOp::Write, ServiceClass::Write)
-            };
+            let (op, class) = op_class(is_read, fast);
             if mem.enqueue(op, addr, class).is_ok() {
                 submitted += 1;
             }
         }
         mem.drain();
         let s = mem.stats();
-        prop_assert_eq!(s.read_latency.count + s.write_latency.count, submitted);
+        assert_eq!(s.read_latency.count + s.write_latency.count, submitted);
     }
+}
 
-    /// No completion can be faster than its service class's raw latency.
-    #[test]
-    fn latency_never_beats_service_time(ops in accesses()) {
-        let t = TimingParams::paper_pcm();
+/// No completion can be faster than its service class's raw latency.
+#[test]
+fn latency_never_beats_service_time() {
+    let mut rng = Rng::seed_from_u64(0x1A7E);
+    let t = TimingParams::paper_pcm();
+    for _ in 0..CASES {
+        let ops = accesses(&mut rng);
         let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
         let mut all = Vec::new();
         for (gap, addr_seed, is_read, fast) in ops {
             let now = mem.now() + u64::from(gap);
             all.extend(mem.advance_to(now).unwrap());
             let addr = u64::from(addr_seed) * 64;
-            let (op, class) = if is_read {
-                (MemOp::Read, ServiceClass::Read)
-            } else if fast {
-                (MemOp::Write, ServiceClass::ResetOnlyWrite)
-            } else {
-                (MemOp::Write, ServiceClass::Write)
-            };
+            let (op, class) = op_class(is_read, fast);
             let _ = mem.enqueue(op, addr, class);
         }
         all.extend(mem.drain());
@@ -69,44 +84,46 @@ proptest! {
                 ServiceClass::ResetOnlyWrite => t.reset_cycles(),
                 ServiceClass::RankRefresh => 0,
             };
-            prop_assert!(
+            assert!(
                 c.latency() >= min,
                 "{:?} finished in {} cycles, floor is {min}",
                 c.class,
                 c.latency()
             );
-            prop_assert!(c.start >= c.arrival, "service cannot start before arrival");
+            assert!(c.start >= c.arrival, "service cannot start before arrival");
         }
     }
+}
 
-    /// Identical inputs produce identical completion schedules.
-    #[test]
-    fn simulation_is_deterministic(ops in accesses()) {
-        let run = |ops: &[(u8, u16, bool, bool)]| {
-            let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
-            let mut out = Vec::new();
-            for &(gap, addr_seed, is_read, fast) in ops {
-                let now = mem.now() + u64::from(gap);
-                out.extend(mem.advance_to(now).unwrap());
-                let (op, class) = if is_read {
-                    (MemOp::Read, ServiceClass::Read)
-                } else if fast {
-                    (MemOp::Write, ServiceClass::ResetOnlyWrite)
-                } else {
-                    (MemOp::Write, ServiceClass::Write)
-                };
-                let _ = mem.enqueue(op, u64::from(addr_seed) * 64, class);
-            }
-            out.extend(mem.drain());
-            out
-        };
-        prop_assert_eq!(run(&ops), run(&ops));
+/// Identical inputs produce identical completion schedules.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0xDE7E);
+    let run = |ops: &[(u8, u16, bool, bool)]| {
+        let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
+        let mut out = Vec::new();
+        for &(gap, addr_seed, is_read, fast) in ops {
+            let now = mem.now() + u64::from(gap);
+            out.extend(mem.advance_to(now).unwrap());
+            let (op, class) = op_class(is_read, fast);
+            let _ = mem.enqueue(op, u64::from(addr_seed) * 64, class);
+        }
+        out.extend(mem.drain());
+        out
+    };
+    for _ in 0..CASES {
+        let ops = accesses(&mut rng);
+        assert_eq!(run(&ops), run(&ops));
     }
+}
 
-    /// Address decode/encode is bijective on in-range addresses for every
-    /// mapping scheme.
-    #[test]
-    fn decode_encode_bijection(raw in any::<u64>()) {
+/// Address decode/encode is bijective on in-range addresses for every
+/// mapping scheme.
+#[test]
+fn decode_encode_bijection() {
+    let mut rng = Rng::seed_from_u64(0xB17E);
+    for _ in 0..512 {
+        let raw = rng.next_u64();
         let g = MemoryGeometry::tiny();
         for mapping in [
             AddressMapping::RowRankBankCol,
@@ -117,29 +134,50 @@ proptest! {
             let dec = AddressDecoder::new(g, mapping).unwrap();
             let addr = (raw % g.capacity_bytes()) & !(u64::from(g.access_bytes) - 1);
             let d = dec.decode(addr);
-            prop_assert!(d.rank < g.ranks);
-            prop_assert!(d.bank < g.banks_per_rank);
-            prop_assert!(d.row < g.rows_per_bank);
-            prop_assert!(d.column < g.columns_per_row());
-            prop_assert_eq!(dec.encode(d).unwrap(), addr, "{:?}", mapping);
+            assert!(d.rank < g.ranks);
+            assert!(d.bank < g.banks_per_rank);
+            assert!(d.row < g.rows_per_bank);
+            assert!(d.column < g.columns_per_row());
+            assert_eq!(dec.encode(d).unwrap(), addr, "{mapping:?}");
         }
     }
+}
 
-    /// Distinct decoded tuples encode to distinct addresses (injectivity).
-    #[test]
-    fn encode_is_injective(a in 0u32..8, b in 0u32..8, r1 in 0u32..64, r2 in 0u32..64) {
-        let g = MemoryGeometry::tiny();
-        let dec = AddressDecoder::new(g, AddressMapping::default()).unwrap();
-        let d1 = DecodedAddr { rank: a % g.ranks, bank: a % g.banks_per_rank, row: r1, column: 0 };
-        let d2 = DecodedAddr { rank: b % g.ranks, bank: b % g.banks_per_rank, row: r2, column: 0 };
+/// Distinct decoded tuples encode to distinct addresses (injectivity).
+#[test]
+fn encode_is_injective() {
+    let mut rng = Rng::seed_from_u64(0x13EC);
+    let g = MemoryGeometry::tiny();
+    let dec = AddressDecoder::new(g, AddressMapping::default()).unwrap();
+    for _ in 0..512 {
+        let a = rng.gen_range_u32(0, 8);
+        let b = rng.gen_range_u32(0, 8);
+        let r1 = rng.gen_range_u32(0, 64);
+        let r2 = rng.gen_range_u32(0, 64);
+        let d1 = DecodedAddr {
+            rank: a % g.ranks,
+            bank: a % g.banks_per_rank,
+            row: r1,
+            column: 0,
+        };
+        let d2 = DecodedAddr {
+            rank: b % g.ranks,
+            bank: b % g.banks_per_rank,
+            row: r2,
+            column: 0,
+        };
         let e1 = dec.encode(d1).unwrap();
         let e2 = dec.encode(d2).unwrap();
-        prop_assert_eq!(d1 == d2, e1 == e2);
+        assert_eq!(d1 == d2, e1 == e2);
     }
+}
 
-    /// Energy accounting is monotone: more work never reduces the tally.
-    #[test]
-    fn energy_is_monotone(ops in accesses()) {
+/// Energy accounting is monotone: more work never reduces the tally.
+#[test]
+fn energy_is_monotone() {
+    let mut rng = Rng::seed_from_u64(0xE4E3);
+    for _ in 0..CASES {
+        let ops = accesses(&mut rng);
         let mut mem = MemorySystem::new(MemConfig::tiny()).unwrap();
         let mut last = 0.0f64;
         for (gap, addr_seed, is_read, _) in ops {
@@ -152,7 +190,7 @@ proptest! {
             };
             let _ = mem.enqueue(op, u64::from(addr_seed) * 64, class);
             let e = mem.stats().energy.total_pj();
-            prop_assert!(e >= last);
+            assert!(e >= last);
             last = e;
         }
     }

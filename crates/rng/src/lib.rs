@@ -1,0 +1,240 @@
+//! Deterministic pseudo-random numbers for the simulator workspace.
+//!
+//! Everything in this reproduction must be bit-reproducible from a `u64`
+//! seed: synthetic traces, randomized property tests, and parallel sweep
+//! shards all rely on "same seed, same stream". This crate provides a
+//! single, dependency-free generator — xoshiro256++ seeded through
+//! SplitMix64 — with the handful of sampling helpers the workspace needs.
+//!
+//! The stream is a stable, versioned artifact: golden-metric tests in
+//! `crates/core` encode metrics derived from these streams, so any change
+//! to the algorithm or the sampling helpers invalidates them.
+//!
+//! ```
+//! use pcm_rng::Rng;
+//!
+//! let mut a = Rng::seed_from_u64(42);
+//! let mut b = Rng::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// SplitMix64 step: the standard seeding generator for xoshiro, and a
+/// fine standalone mixer.
+#[inline]
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ generator (Blackman & Vigna), seeded via SplitMix64.
+///
+/// Not cryptographic. Period 2^256 − 1; every helper consumes exactly one
+/// `next_u64` call so streams stay alignment-stable across refactors that
+/// do not change the *sequence* of sampling calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose full 256-bit state is expanded from
+    /// `seed` with SplitMix64 (the seeding procedure xoshiro's authors
+    /// recommend).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of one 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift. The
+    /// modulo bias is below 2^-32 for every bound the workspace uses —
+    /// irrelevant for simulation, and rejection-free so each draw costs
+    /// exactly one `next_u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.gen_below(hi - lo)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.gen_range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    #[inline]
+    pub fn gen_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && (hi - lo).is_finite(), "bad range [{lo}, {hi})");
+        lo + self.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_from_splitmix_seed() {
+        // xoshiro256++ seeded via SplitMix64(0); first outputs computed by
+        // the reference C implementations chained together.
+        let mut r = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        // The stream must never change: golden metrics depend on it.
+        assert_eq!(
+            first,
+            [
+                0x53175D61490B23DF,
+                0x61DA6F3DC380D507,
+                0x5C0FDF91EC9A7BFC,
+                0x02EEBF8C3BBE5E1A
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(1234);
+        let mut b = Rng::seed_from_u64(1234);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert!((0..8).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut r = Rng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_below_respects_bound() {
+        let mut r = Rng::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(r.gen_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range_usize(0, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn gen_bool_rejects_bad_probability() {
+        Rng::seed_from_u64(0).gen_bool(1.5);
+    }
+}

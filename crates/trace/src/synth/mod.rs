@@ -23,8 +23,7 @@ pub mod adversarial;
 pub mod benchmarks;
 
 use crate::record::{TraceOp, TraceRecord};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pcm_rng::Rng;
 use std::collections::VecDeque;
 
 /// Cache-line granularity of generated addresses.
@@ -193,7 +192,7 @@ const READ_REUSE_DEPTH: usize = 16;
 #[derive(Debug, Clone)]
 pub struct SyntheticTrace {
     profile: WorkloadProfile,
-    rng: StdRng,
+    rng: Rng,
     cycle: u64,
     last_line: u64,
     burst_left: u32,
@@ -211,7 +210,7 @@ impl SyntheticTrace {
         let burst_left = profile.burst_len;
         let window = profile.reuse_window;
         Self {
-            rng: StdRng::seed_from_u64(mixed),
+            rng: Rng::seed_from_u64(mixed),
             cycle: 0,
             last_line: 0,
             burst_left,
@@ -236,8 +235,9 @@ impl SyntheticTrace {
         if mean <= 0.0 {
             return 0;
         }
-        // Inverse-CDF exponential, rounded; deterministic via StdRng.
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        // Inverse-CDF exponential, rounded; deterministic via the seeded
+        // generator.
+        let u: f64 = self.rng.gen_f64_range(f64::EPSILON, 1.0);
         (-mean * u.ln()).round() as u64
     }
 
@@ -269,16 +269,16 @@ impl SyntheticTrace {
             } else {
                 self.recent_lines.len().min(READ_REUSE_DEPTH)
             };
-            let idx = self.recent_lines.len() - 1 - self.rng.gen_range(0..span);
+            let idx = self.recent_lines.len() - 1 - self.rng.gen_range_usize(0, span);
             self.last_line = self.recent_lines[idx] % lines;
             return self.last_line;
         }
         // Hot-set or cold uniform access.
         let hot_lines = ((lines as f64 * p.hot_set_fraction) as u64).max(1);
         self.last_line = if self.rng.gen_bool(p.hot_fraction) {
-            self.rng.gen_range(0..hot_lines)
+            self.rng.gen_below(hot_lines)
         } else {
-            self.rng.gen_range(0..lines)
+            self.rng.gen_below(lines)
         };
         self.last_line
     }
@@ -293,7 +293,7 @@ impl Iterator for SyntheticTrace {
             self.cycle += self.sample_gap();
             self.burst_left = self.profile.burst_len;
         } else {
-            self.cycle += u64::from(self.rng.gen_range(1..=4u32));
+            self.cycle += u64::from(self.rng.gen_range_u32(1, 5));
         }
         self.burst_left -= 1;
 

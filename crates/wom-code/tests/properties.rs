@@ -1,122 +1,176 @@
-//! Property-based tests for the WOM-code invariants: write-once-ness,
+//! Randomized tests for the WOM-code invariants: write-once-ness,
 //! round-trip decoding, and block codec consistency.
+//!
+//! Deterministically seeded: every case reproduces from the fixed seeds
+//! below, so a failure is a plain `cargo test` failure, not a fuzz find.
 
-use proptest::prelude::*;
+use pcm_rng::Rng;
 use wom_code::{
     BlockCodec, IdentityCode, Inverted, Orientation, Pattern, Rs23Code, Sequencer, TabularWomCode,
     WitBuffer, WomCode,
 };
 
-proptest! {
-    /// Every encode sequence within the rewrite limit of the plain RS code
-    /// round-trips and only uses 0→1 transitions.
-    #[test]
-    fn rs23_sequences_are_set_only_and_round_trip(values in proptest::collection::vec(0u64..4, 1..=2)) {
+const CASES: u64 = 256;
+
+fn value_vec(rng: &mut Rng, max: u64, lo: usize, hi: usize) -> Vec<u64> {
+    let len = rng.gen_range_usize(lo, hi);
+    (0..len).map(|_| rng.gen_below(max)).collect()
+}
+
+/// Every encode sequence within the rewrite limit of the plain RS code
+/// round-trips and only uses 0→1 transitions.
+#[test]
+fn rs23_sequences_are_set_only_and_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x5E70);
+    for _ in 0..CASES {
+        let values = value_vec(&mut rng, 4, 1, 3);
         let code = Rs23Code::new();
         let mut current = code.initial_pattern();
         for (gen, &v) in values.iter().enumerate() {
             let next = code.encode(gen as u32, v, current).unwrap();
             let t = current.transitions_to(next).unwrap();
-            prop_assert_eq!(t.resets, 0, "set-only code must never reset");
-            prop_assert_eq!(code.decode(next), v);
+            assert_eq!(t.resets, 0, "set-only code must never reset");
+            assert_eq!(code.decode(next), v);
             current = next;
         }
     }
+}
 
-    /// The inverted code is the mirror image: reset-only and round-trips.
-    #[test]
-    fn inverted_rs23_sequences_are_reset_only(values in proptest::collection::vec(0u64..4, 1..=2)) {
+/// The inverted code is the mirror image: reset-only and round-trips.
+#[test]
+fn inverted_rs23_sequences_are_reset_only() {
+    let mut rng = Rng::seed_from_u64(0x1721);
+    for _ in 0..CASES {
+        let values = value_vec(&mut rng, 4, 1, 3);
         let code = Inverted::new(Rs23Code::new());
         let mut current = code.initial_pattern();
         for (gen, &v) in values.iter().enumerate() {
             let next = code.encode(gen as u32, v, current).unwrap();
             let t = current.transitions_to(next).unwrap();
-            prop_assert_eq!(t.sets, 0, "inverted code must never SET");
-            prop_assert_eq!(code.decode(next), v);
+            assert_eq!(t.sets, 0, "inverted code must never SET");
+            assert_eq!(code.decode(next), v);
             current = next;
         }
     }
+}
 
-    /// Inversion commutes with encoding: invert(encode(x)) == encode'(x).
-    #[test]
-    fn inversion_commutes(first in 0u64..4, second in 0u64..4) {
-        let plain = Rs23Code::new();
-        let inv = Inverted::new(Rs23Code::new());
-        let p1 = plain.encode(0, first, plain.initial_pattern()).unwrap();
-        let q1 = inv.encode(0, first, inv.initial_pattern()).unwrap();
-        prop_assert_eq!(p1.complement(), q1);
-        let p2 = plain.encode(1, second, p1).unwrap();
-        let q2 = inv.encode(1, second, q1).unwrap();
-        prop_assert_eq!(p2.complement(), q2);
+/// Inversion commutes with encoding: invert(encode(x)) == encode'(x).
+#[test]
+fn inversion_commutes() {
+    for first in 0u64..4 {
+        for second in 0u64..4 {
+            let plain = Rs23Code::new();
+            let inv = Inverted::new(Rs23Code::new());
+            let p1 = plain.encode(0, first, plain.initial_pattern()).unwrap();
+            let q1 = inv.encode(0, first, inv.initial_pattern()).unwrap();
+            assert_eq!(p1.complement(), q1);
+            let p2 = plain.encode(1, second, p1).unwrap();
+            let q2 = inv.encode(1, second, q1).unwrap();
+            assert_eq!(p2.complement(), q2);
+        }
     }
+}
 
-    /// The tabular reconstruction of the RS code agrees with the native one
-    /// on every two-write sequence.
-    #[test]
-    fn tabular_matches_native(first in 0u64..4, second in 0u64..4) {
-        let native = Rs23Code::new();
-        let tab = TabularWomCode::rivest_shamir_23();
-        let n1 = native.encode(0, first, native.initial_pattern()).unwrap();
-        let t1 = tab.encode(0, first, tab.initial_pattern()).unwrap();
-        prop_assert_eq!(n1, t1);
-        prop_assert_eq!(
-            native.encode(1, second, n1).unwrap(),
-            tab.encode(1, second, t1).unwrap()
-        );
+/// The tabular reconstruction of the RS code agrees with the native one
+/// on every two-write sequence (exhaustive: only 16 pairs exist).
+#[test]
+fn tabular_matches_native() {
+    for first in 0u64..4 {
+        for second in 0u64..4 {
+            let native = Rs23Code::new();
+            let tab = TabularWomCode::rivest_shamir_23();
+            let n1 = native.encode(0, first, native.initial_pattern()).unwrap();
+            let t1 = tab.encode(0, first, tab.initial_pattern()).unwrap();
+            assert_eq!(n1, t1);
+            assert_eq!(
+                native.encode(1, second, n1).unwrap(),
+                tab.encode(1, second, t1).unwrap()
+            );
+        }
     }
+}
 
-    /// Block codec round-trips arbitrary data through both generations and
-    /// never SETs in the inverted orientation.
-    #[test]
-    fn block_codec_round_trip(d1 in proptest::collection::vec(any::<u8>(), 16),
-                              d2 in proptest::collection::vec(any::<u8>(), 16)) {
+/// Block codec round-trips arbitrary data through both generations and
+/// never SETs in the inverted orientation.
+#[test]
+fn block_codec_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xB10C);
+    for _ in 0..CASES {
+        let d1: Vec<u8> = (0..16).map(|_| rng.next_u64() as u8).collect();
+        let d2: Vec<u8> = (0..16).map(|_| rng.next_u64() as u8).collect();
         let codec = BlockCodec::new(Inverted::new(Rs23Code::new()), 16 * 8).unwrap();
         let mut cells = codec.erased_buffer();
         let t1 = codec.encode_row(0, &d1, &mut cells).unwrap();
-        prop_assert_eq!(t1.sets, 0);
-        prop_assert_eq!(codec.decode_row(&cells).unwrap(), d1);
+        assert_eq!(t1.sets, 0);
+        assert_eq!(codec.decode_row(&cells).unwrap(), d1);
         let t2 = codec.encode_row(1, &d2, &mut cells).unwrap();
-        prop_assert_eq!(t2.sets, 0);
-        prop_assert_eq!(codec.decode_row(&cells).unwrap(), d2);
+        assert_eq!(t2.sets, 0);
+        assert_eq!(codec.decode_row(&cells).unwrap(), d2);
     }
+}
 
-    /// The identity (baseline) code round-trips any value at generation 0.
-    #[test]
-    fn identity_round_trips(width in 1u32..=64, raw in any::<u64>()) {
+/// The identity (baseline) code round-trips any value at generation 0.
+#[test]
+fn identity_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x1DE4);
+    for _ in 0..CASES {
+        let width = rng.gen_range_u32(1, 65);
+        let raw = rng.next_u64();
         let code = IdentityCode::new(width).unwrap();
-        let data = if width == 64 { raw } else { raw & ((1u64 << width) - 1) };
+        let data = if width == 64 {
+            raw
+        } else {
+            raw & ((1u64 << width) - 1)
+        };
         let p = code.encode(0, data, code.initial_pattern()).unwrap();
-        prop_assert_eq!(code.decode(p), data);
+        assert_eq!(code.decode(p), data);
     }
+}
 
-    /// WitBuffer chunk writes at arbitrary aligned offsets round-trip and do
-    /// not disturb neighbouring bits.
-    #[test]
-    fn witbuffer_chunks_are_isolated(offset in 0usize..200, width in 1usize..=64, value in any::<u64>()) {
-        let len = 280;
-        prop_assume!(offset + width <= len);
-        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+/// WitBuffer chunk writes at arbitrary aligned offsets round-trip and do
+/// not disturb neighbouring bits.
+#[test]
+fn witbuffer_chunks_are_isolated() {
+    let mut rng = Rng::seed_from_u64(0x3B1F);
+    let len = 280;
+    for _ in 0..CASES {
+        let offset = rng.gen_range_usize(0, 200);
+        let width = rng.gen_range_usize(1, 65);
+        if offset + width > len {
+            continue;
+        }
+        let value = rng.next_u64();
+        let masked = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
         let mut buf = WitBuffer::zeros(len);
         buf.set_chunk(offset, width, masked);
-        prop_assert_eq!(buf.chunk(offset, width), masked);
-        prop_assert_eq!(buf.count_ones(), u64::from(masked.count_ones()));
+        assert_eq!(buf.chunk(offset, width), masked);
+        assert_eq!(buf.count_ones(), u64::from(masked.count_ones()));
     }
+}
 
-    /// Transition counts are symmetric under direction swap.
-    #[test]
-    fn transitions_swap_symmetry(a in any::<u64>(), b in any::<u64>()) {
-        let pa = Pattern::from_bits(a, 64);
-        let pb = Pattern::from_bits(b, 64);
+/// Transition counts are symmetric under direction swap.
+#[test]
+fn transitions_swap_symmetry() {
+    let mut rng = Rng::seed_from_u64(0x5A9);
+    for _ in 0..CASES {
+        let pa = Pattern::from_bits(rng.next_u64(), 64);
+        let pb = Pattern::from_bits(rng.next_u64(), 64);
         let fwd = pa.transitions_to(pb).unwrap();
         let back = pb.transitions_to(pa).unwrap();
-        prop_assert_eq!(fwd.sets, back.resets);
-        prop_assert_eq!(fwd.resets, back.sets);
+        assert_eq!(fwd.sets, back.resets);
+        assert_eq!(fwd.resets, back.sets);
     }
+}
 
-    /// The erased pattern is a fixed point of the orientation's initial
-    /// state and every first write is legal from it.
-    #[test]
-    fn first_writes_always_legal(v in 0u64..4) {
+/// The erased pattern is a fixed point of the orientation's initial
+/// state and every first write is legal from it.
+#[test]
+fn first_writes_always_legal() {
+    for v in 0u64..4 {
         for orientation in [Orientation::SetOnly, Orientation::ResetOnly] {
             let code: Box<dyn WomCode> = match orientation {
                 Orientation::SetOnly => Box::new(Rs23Code::new()),
@@ -124,104 +178,132 @@ proptest! {
             };
             let erased = code.initial_pattern();
             let p = code.encode(0, v, erased).unwrap();
-            prop_assert!(erased.can_program_to(p, orientation).unwrap());
+            assert!(erased.can_program_to(p, orientation).unwrap());
         }
     }
 }
 
-proptest! {
-    /// The generalized two-write family round-trips and stays set-only for
-    /// every k and every write pair.
-    #[test]
-    fn rs2_family_obeys_wom_invariants(k in 2u32..=6, x in 0u64..64, y in 0u64..64) {
-        use wom_code::Rs2Code;
+/// The generalized two-write family round-trips and stays set-only for
+/// every k and every write pair.
+#[test]
+fn rs2_family_obeys_wom_invariants() {
+    use wom_code::Rs2Code;
+    let mut rng = Rng::seed_from_u64(0x252);
+    for _ in 0..CASES {
+        let k = rng.gen_range_u32(2, 7);
         let code = Rs2Code::new(k).unwrap();
         let values = 1u64 << k;
-        let (x, y) = (x % values, y % values);
+        let x = rng.gen_below(values);
+        let y = rng.gen_below(values);
         let first = code.encode(0, x, code.initial_pattern()).unwrap();
-        prop_assert_eq!(code.decode(first), x);
+        assert_eq!(code.decode(first), x);
         let t0 = code.initial_pattern().transitions_to(first).unwrap();
-        prop_assert_eq!(t0.resets, 0);
+        assert_eq!(t0.resets, 0);
         let second = code.encode(1, y, first).unwrap();
-        prop_assert_eq!(code.decode(second), y);
+        assert_eq!(code.decode(second), y);
         let t1 = first.transitions_to(second).unwrap();
-        prop_assert_eq!(t1.resets, 0);
+        assert_eq!(t1.resets, 0);
     }
+}
 
-    /// The flip code absorbs any bit sequence of length t, one wit at most
-    /// per value change, and decodes correctly at every step.
-    #[test]
-    fn flip_code_absorbs_any_sequence(t in 1u32..=32, bits in proptest::collection::vec(any::<bool>(), 1..32)) {
-        use wom_code::FlipCode;
+/// The flip code absorbs any bit sequence of length t, one wit at most
+/// per value change, and decodes correctly at every step.
+#[test]
+fn flip_code_absorbs_any_sequence() {
+    use wom_code::FlipCode;
+    let mut rng = Rng::seed_from_u64(0xF11);
+    for _ in 0..CASES {
+        let t = rng.gen_range_u32(1, 33);
+        let bits: Vec<bool> = (0..rng.gen_range_usize(1, 32))
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
         let code = FlipCode::new(t).unwrap();
         let mut p = code.initial_pattern();
         for (gen, &bit) in bits.iter().take(t as usize).enumerate() {
             let next = code.encode(gen as u32, u64::from(bit), p).unwrap();
-            prop_assert_eq!(code.decode(next), u64::from(bit));
+            assert_eq!(code.decode(next), u64::from(bit));
             let tr = p.transitions_to(next).unwrap();
-            prop_assert!(tr.sets <= 1);
-            prop_assert_eq!(tr.resets, 0);
+            assert!(tr.sets <= 1);
+            assert_eq!(tr.resets, 0);
             p = next;
         }
     }
+}
 
-    /// Inversion preserves the rs2 family's semantics wholesale.
-    #[test]
-    fn inverted_rs2_is_reset_only(k in 2u32..=5, x in 0u64..32, y in 0u64..32) {
-        use wom_code::{Inverted, Rs2Code};
+/// Inversion preserves the rs2 family's semantics wholesale.
+#[test]
+fn inverted_rs2_is_reset_only() {
+    use wom_code::{Inverted, Rs2Code};
+    let mut rng = Rng::seed_from_u64(0x1372);
+    for _ in 0..CASES {
+        let k = rng.gen_range_u32(2, 6);
         let code = Inverted::new(Rs2Code::new(k).unwrap());
         let values = 1u64 << k;
-        let (x, y) = (x % values, y % values);
+        let x = rng.gen_below(values);
+        let y = rng.gen_below(values);
         let first = code.encode(0, x, code.initial_pattern()).unwrap();
         let second = code.encode(1, y, first).unwrap();
-        prop_assert_eq!(code.initial_pattern().transitions_to(first).unwrap().sets, 0);
-        prop_assert_eq!(first.transitions_to(second).unwrap().sets, 0);
-        prop_assert_eq!(code.decode(second), y);
-    }
-
-    /// Lifetime rate never exceeds the Rivest-Shamir capacity, for any
-    /// bundled code geometry.
-    #[test]
-    fn rates_respect_capacity(k in 2u32..=6, t in 1u32..=16) {
-        use wom_code::analysis::{lifetime_rate, wom_capacity_bits_per_wit};
-        use wom_code::{FlipCode, Rs2Code};
-        let rs2 = Rs2Code::new(k).unwrap();
-        prop_assert!(lifetime_rate(&rs2) <= wom_capacity_bits_per_wit(2) + 1e-12);
-        let flip = FlipCode::new(t).unwrap();
-        prop_assert!(lifetime_rate(&flip) <= wom_capacity_bits_per_wit(t) + 1e-12);
+        assert_eq!(
+            code.initial_pattern().transitions_to(first).unwrap().sets,
+            0
+        );
+        assert_eq!(first.transitions_to(second).unwrap().sets, 0);
+        assert_eq!(code.decode(second), y);
     }
 }
 
-proptest! {
-    /// The sequencer reads back the last written value for ANY value
-    /// sequence on any bundled code, and its erase count matches the
-    /// code's rewrite limit exactly.
-    #[test]
-    fn sequencer_reads_back_and_counts_erases(values in proptest::collection::vec(0u64..4, 1..60)) {
-        use wom_code::{Rs2Code, Sequencer};
+/// Lifetime rate never exceeds the Rivest-Shamir capacity, for any
+/// bundled code geometry (exhaustive over the small parameter grid).
+#[test]
+fn rates_respect_capacity() {
+    use wom_code::analysis::{lifetime_rate, wom_capacity_bits_per_wit};
+    use wom_code::{FlipCode, Rs2Code};
+    for k in 2u32..=6 {
+        let rs2 = Rs2Code::new(k).unwrap();
+        assert!(lifetime_rate(&rs2) <= wom_capacity_bits_per_wit(2) + 1e-12);
+    }
+    for t in 1u32..=16 {
+        let flip = FlipCode::new(t).unwrap();
+        assert!(lifetime_rate(&flip) <= wom_capacity_bits_per_wit(t) + 1e-12);
+    }
+}
+
+/// The sequencer reads back the last written value for ANY value
+/// sequence on any bundled code, and its erase count matches the
+/// code's rewrite limit exactly.
+#[test]
+fn sequencer_reads_back_and_counts_erases() {
+    use wom_code::{Rs2Code, Sequencer};
+    let mut rng = Rng::seed_from_u64(0x5E8);
+    for _ in 0..CASES {
+        let values = value_vec(&mut rng, 4, 1, 60);
         let mut seq = Sequencer::new(Inverted::new(Rs23Code::new()));
         let mut seq2 = Sequencer::new(Rs2Code::new(2).unwrap());
         for &v in &values {
             seq.write(v).unwrap();
-            prop_assert_eq!(seq.read(), v);
+            assert_eq!(seq.read(), v);
             seq2.write(v).unwrap();
-            prop_assert_eq!(seq2.read(), v);
+            assert_eq!(seq2.read(), v);
         }
-        prop_assert_eq!(seq.writes(), values.len() as u64);
+        assert_eq!(seq.writes(), values.len() as u64);
         // With t = 2, erases happen on writes 3, 5, 7, ... at the latest;
         // repeats can defer them, so only the upper bound is tight.
-        prop_assert!(seq.erases() <= (values.len() as u64) / 2);
+        assert!(seq.erases() <= (values.len() as u64) / 2);
     }
+}
 
-    /// In-budget sequencer writes on an inverted code never SET; erases
-    /// always do (when wits actually changed since the erase state).
-    #[test]
-    fn sequencer_set_pulses_only_on_erase(values in proptest::collection::vec(0u64..4, 1..60)) {
+/// In-budget sequencer writes on an inverted code never SET; erases
+/// always do (when wits actually changed since the erase state).
+#[test]
+fn sequencer_set_pulses_only_on_erase() {
+    let mut rng = Rng::seed_from_u64(0x9015);
+    for _ in 0..CASES {
+        let values = value_vec(&mut rng, 4, 1, 60);
         let mut seq = Sequencer::new(Inverted::new(Rs23Code::new()));
         for &v in &values {
             let w = seq.write(v).unwrap();
             if !w.erased {
-                prop_assert_eq!(w.transitions.sets, 0, "in-budget writes are RESET-only");
+                assert_eq!(w.transitions.sets, 0, "in-budget writes are RESET-only");
             }
         }
     }

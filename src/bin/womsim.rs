@@ -14,6 +14,7 @@ use std::fs::File;
 use std::io::{self, BufReader, Write};
 use std::process::ExitCode;
 
+use wom_pcm_bench::{run_configs_parallel, take_threads_flag};
 use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
 use womcode_pcm::trace::format::{write_trace, TraceReader};
 use womcode_pcm::trace::synth::benchmarks;
@@ -24,7 +25,7 @@ fn usage() -> ExitCode {
         "usage:\n  womsim list\n  womsim gen <workload> <records> [seed] [--binary]\n  \
          womsim stats <trace-file>\n  womsim run <baseline|wom|refresh|wcpcm> \
          <trace-file | workload:records[:seed]> [--verify]\n  \
-         womsim compare <trace-file | workload:records[:seed]>"
+         womsim compare <trace-file | workload:records[:seed]> [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -233,7 +234,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_compare(args: &[String]) -> ExitCode {
+fn cmd_compare(args: &[String], threads: usize) -> ExitCode {
     let Some(spec) = args.first() else {
         return usage();
     };
@@ -244,6 +245,23 @@ fn cmd_compare(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The four architectures are independent deterministic runs — dispatch
+    // them to the bench crate's parallel sweep runner.
+    let jobs: Vec<_> = Architecture::all_paper()
+        .iter()
+        .map(|&arch| {
+            let mut cfg = SystemConfig::paper(arch);
+            cfg.mem.geometry.rows_per_bank = 4096;
+            (cfg, records.clone())
+        })
+        .collect();
+    let metrics = match run_configs_parallel(&jobs, threads) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut out = io::stdout().lock();
     let _ = writeln!(
         out,
@@ -251,24 +269,8 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         "architecture", "write ns", "read ns", "w p95 ns", "r p95 ns", "fast %", "energy uJ"
     );
     let mut base_write = 0.0;
-    for arch in Architecture::all_paper() {
-        let mut cfg = SystemConfig::paper(arch);
-        cfg.mem.geometry.rows_per_bank = 4096;
-        let mut sys = match WomPcmSystem::new(cfg) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("configuration rejected: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let m = match sys.run_trace(records.clone()) {
-            Ok(m) => m,
-            Err(e) => {
-                eprintln!("simulation failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if arch == Architecture::Baseline {
+    for (arch, m) in Architecture::all_paper().iter().zip(&metrics) {
+        if *arch == Architecture::Baseline {
             base_write = m.mean_write_ns();
         }
         let _ = writeln!(
@@ -291,13 +293,14 @@ fn cmd_compare(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = take_threads_flag(&mut args);
     match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("gen") => cmd_gen(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
-        Some("compare") => cmd_compare(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..], threads),
         _ => usage(),
     }
 }
