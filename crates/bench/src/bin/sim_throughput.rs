@@ -1,0 +1,124 @@
+//! End-to-end simulator throughput: trace records per second through
+//! each architecture, plus the data-verified WOM-code mode where every
+//! record exercises the real row codec.
+//!
+//! With `--json PATH` the results are also written as a machine-readable
+//! file — `BENCH_throughput.json` at the repo root is the committed
+//! baseline; see EXPERIMENTS.md for how to regenerate it and
+//! `scripts/bench_compare.sh` for diffing two baselines.
+
+use pcm_trace::synth::benchmarks;
+use std::fmt::Write as _;
+use std::time::Instant;
+use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm_bench::EXPERIMENT_ROWS_PER_BANK;
+
+/// Measurement repetitions per case; the best (fastest) run is reported,
+/// minimizing scheduler noise — every run simulates identically.
+const REPS: usize = 3;
+
+struct Outcome {
+    name: String,
+    records: usize,
+    records_per_sec: f64,
+    ns_per_record: f64,
+}
+
+fn build_config(arch: Architecture, verify_data: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::paper(arch);
+    cfg.mem.geometry.rows_per_bank = EXPERIMENT_ROWS_PER_BANK;
+    cfg.verify_data = verify_data;
+    cfg
+}
+
+fn run_case(name: &str, cfg: &SystemConfig, trace: &[pcm_trace::TraceRecord]) -> Outcome {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut sys = WomPcmSystem::new(cfg.clone()).expect("benchmark configs validate");
+        let start = Instant::now();
+        sys.run_trace(trace.iter().copied())
+            .expect("benchmark traces run clean");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let records_per_sec = trace.len() as f64 / best;
+    println!(
+        "{name:<28} {records_per_sec:>14.0} records/s  ({:.3} s best of {REPS})",
+        best
+    );
+    Outcome {
+        name: name.to_string(),
+        records: trace.len(),
+        records_per_sec,
+        ns_per_record: best * 1e9 / trace.len() as f64,
+    }
+}
+
+fn to_json(outcomes: &[Outcome], workload: &str, seed: u64) -> String {
+    let mut body = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        write!(
+            body,
+            "\n  {{\"case\":\"{}\",\"records\":{},\"records_per_sec\":{:.0},\
+             \"ns_per_record\":{:.1}}}",
+            o.name, o.records, o.records_per_sec, o.ns_per_record,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    format!(
+        "{{\"bench\":\"sim_throughput\",\"workload\":\"{workload}\",\"seed\":{seed},\
+         \"cases\":[{body}\n]}}\n"
+    )
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut records = 200_000usize;
+    let mut json_path = None;
+    while let Some(pos) = args.iter().position(|a| a == "--records" || a == "--json") {
+        if pos + 1 >= args.len() {
+            eprintln!("error: {} requires a value", args[pos]);
+            std::process::exit(2);
+        }
+        let value = args.remove(pos + 1);
+        let flag = args.remove(pos);
+        if flag == "--records" {
+            records = value.parse().unwrap_or_else(|_| {
+                eprintln!("error: invalid --records value '{value}'");
+                std::process::exit(2);
+            });
+        } else {
+            json_path = Some(value);
+        }
+    }
+    if let Some(unknown) = args.first() {
+        eprintln!(
+            "error: unknown argument '{unknown}' \
+             (usage: sim_throughput [--records N] [--json PATH])"
+        );
+        std::process::exit(2);
+    }
+
+    let workload = "qsort";
+    let seed = wom_pcm_bench::DEFAULT_SEED;
+    let profile = benchmarks::by_name(workload).expect("bundled workload");
+    let trace = profile.generate(seed, records);
+    println!("simulator throughput: {records} '{workload}' records per run, best of {REPS}\n");
+
+    let mut outcomes = Vec::new();
+    for arch in Architecture::all_paper() {
+        let cfg = build_config(arch, false);
+        outcomes.push(run_case(arch.label(), &cfg, &trace));
+    }
+    // Data-verified mode: every write WOM-encodes a real 64-byte line and
+    // every read decodes and checks it — the row codec is the hot path.
+    let cfg = build_config(Architecture::WomCode, true);
+    outcomes.push(run_case("womcode_pcm_verified", &cfg, &trace));
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&outcomes, workload, seed)).expect("writing the JSON report");
+        println!("\nwrote {path}");
+    }
+}

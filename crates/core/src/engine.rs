@@ -44,6 +44,8 @@ struct DataCheck {
     expected: HashMap<u64, [u8; CHECK_LINE_BYTES]>,
     seq: u64,
     reads_verified: u64,
+    /// Reused decode target so verified reads don't allocate.
+    line_buf: [u8; CHECK_LINE_BYTES],
 }
 
 impl DataCheck {
@@ -54,6 +56,7 @@ impl DataCheck {
             expected: HashMap::new(),
             seq: 0,
             reads_verified: 0,
+            line_buf: [0u8; CHECK_LINE_BYTES],
         }
     }
 
@@ -96,11 +99,10 @@ impl DataCheck {
     fn on_read(&mut self, addr: u64) -> Result<(), WomPcmError> {
         let line = Self::line_of(addr);
         if let Some(expected) = self.expected.get(&line) {
-            let stored = self
-                .mem
-                .read(line)
-                .ok_or_else(|| WomPcmError::InvalidConfig("written line vanished".into()))?;
-            if stored != expected {
+            if !self.mem.read_into(line, &mut self.line_buf) {
+                return Err(WomPcmError::InvalidConfig("written line vanished".into()));
+            }
+            if &self.line_buf != expected {
                 return Err(WomPcmError::InvalidConfig(format!(
                     "data corruption at line {line:#x}: cells decode differently from the                      last write"
                 )));
@@ -135,7 +137,9 @@ pub struct EngineCore {
     /// Per-flat-main-bank Start-Gap remappers, when wear leveling is on.
     start_gaps: Option<Vec<StartGap>>,
     /// Functional data checker, when `verify_data` is on.
-    data_check: Option<DataCheck>,
+    /// Boxed so the (large, rarely enabled) checker does not bloat
+    /// `EngineCore` for the common verify-free runs.
+    data_check: Option<Box<DataCheck>>,
     pending_victims: VecDeque<u64>,
     /// Open write-coalescing windows: rows with an array write still
     /// pending, keyed by (is_cache, row id), valued with the cycle the
@@ -177,7 +181,7 @@ impl EngineCore {
             victim_ids: BTreeSet::new(),
             leveling_ids: BTreeSet::new(),
             start_gaps,
-            data_check: config.verify_data.then(DataCheck::new),
+            data_check: config.verify_data.then(|| Box::new(DataCheck::new())),
             pending_victims: VecDeque::new(),
             merge_windows: BTreeMap::new(),
             outstanding_main: 0,
@@ -562,7 +566,9 @@ impl<P: ArchPolicy> Engine<P> {
             guard += 1;
             assert!(guard < 10_000_000, "drain failed to make progress");
         }
-        let mut result = self.core.metrics.clone();
+        // Take the accumulated metrics, finalize in place, and store one
+        // clone back — no policy's `finish` reads `core.metrics`.
+        let mut result = std::mem::take(&mut self.core.metrics);
         self.policy.finish(&self.core, &mut result);
         result.energy = self.core.main.stats().energy;
         result.wear_main = self.core.main.wear().summary();

@@ -11,7 +11,7 @@
 use crate::error::WomPcmError;
 use crate::wom_state::WriteKind;
 use std::collections::HashMap;
-use wom_code::{BlockCodec, Transitions, WitBuffer, WomCode};
+use wom_code::{BlockCodec, RowScratch, Transitions, WitBuffer, WomCode};
 
 /// Outcome of one functional row write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +49,8 @@ pub struct FunctionalMemory<C> {
     codec: BlockCodec<C>,
     rows: HashMap<u64, (WitBuffer, u32)>,
     row_bytes: usize,
+    /// Reused across writes so the steady-state path never allocates.
+    scratch: RowScratch,
 }
 
 impl<C: WomCode> FunctionalMemory<C> {
@@ -64,6 +66,7 @@ impl<C: WomCode> FunctionalMemory<C> {
             codec,
             rows: HashMap::new(),
             row_bytes,
+            scratch: RowScratch::new(),
         })
     }
 
@@ -103,7 +106,9 @@ impl<C: WomCode> FunctionalMemory<C> {
             .or_insert_with(|| (self.codec.erased_buffer(), 0));
         if entry.1 < limit {
             let gen = entry.1;
-            let transitions = self.codec.encode_row(gen, data, &mut entry.0)?;
+            let transitions =
+                self.codec
+                    .encode_row_into(gen, data, &mut entry.0, &mut self.scratch)?;
             entry.1 += 1;
             Ok(FunctionalWrite {
                 kind: WriteKind::InBudget { generation: gen },
@@ -114,7 +119,9 @@ impl<C: WomCode> FunctionalMemory<C> {
             let erased = self.codec.erased_buffer();
             let erase_t = entry.0.transitions_to(&erased)?;
             let mut fresh = erased;
-            let write_t = self.codec.encode_row(0, data, &mut fresh)?;
+            let write_t = self
+                .codec
+                .encode_row_into(0, data, &mut fresh, &mut self.scratch)?;
             entry.0 = fresh;
             entry.1 = 1;
             Ok(FunctionalWrite {
@@ -133,6 +140,24 @@ impl<C: WomCode> FunctionalMemory<C> {
         self.rows
             .get(&row)
             .map(|(cells, _)| self.codec.decode_row(cells).expect("stored rows decode"))
+    }
+
+    /// Reads and decodes `row` into `out` without allocating. Returns
+    /// `false` (leaving `out` untouched) if the row was never written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly [`row_bytes`](Self::row_bytes) long.
+    pub fn read_into(&self, row: u64, out: &mut [u8]) -> bool {
+        match self.rows.get(&row) {
+            Some((cells, _)) => {
+                self.codec
+                    .decode_row_into(cells, out)
+                    .expect("stored rows decode");
+                true
+            }
+            None => false,
+        }
     }
 
     /// Refreshes `row` back to the erased WOM state (as PCM-refresh does),
@@ -224,6 +249,16 @@ mod tests {
         let mut m = mem();
         assert!(m.write(0, &[0u8; 31]).is_err());
         assert!(m.write(0, &[0u8; 33]).is_err());
+    }
+
+    #[test]
+    fn read_into_matches_read_without_allocating_results() {
+        let mut m = mem();
+        let mut out = [0u8; 32];
+        assert!(!m.read_into(7, &mut out), "unwritten rows report false");
+        m.write(7, &[0x42u8; 32]).unwrap();
+        assert!(m.read_into(7, &mut out));
+        assert_eq!(out.to_vec(), m.read(7).unwrap());
     }
 
     #[test]

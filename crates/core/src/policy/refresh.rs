@@ -20,6 +20,10 @@ pub(super) struct RefreshDriver {
     engine: RefreshEngine,
     // Ordered map (determinism invariant; see `EngineCore`).
     planned: BTreeMap<TransactionId, (u32, u32, u32)>,
+    // Tick-time scratch, reused so the no-plan steady state of every
+    // tick is allocation-free.
+    idle_scratch: Vec<u32>,
+    rows_scratch: Vec<(u32, u32)>,
 }
 
 impl RefreshDriver {
@@ -27,6 +31,8 @@ impl RefreshDriver {
         Ok(Self {
             engine: RefreshEngine::new(config, ranks, banks)?,
             planned: BTreeMap::new(),
+            idle_scratch: Vec::new(),
+            rows_scratch: Vec::new(),
         })
     }
 
@@ -57,19 +63,22 @@ impl RefreshDriver {
     /// this is safe for demand latency.
     pub(super) fn tick(&mut self, core: &mut EngineCore) -> Result<(), WomPcmError> {
         let ranks = core.config().mem.geometry.ranks;
-        let idle: Vec<u32> = (0..ranks).filter(|&r| core.main_rank_idle(r)).collect();
-        if let Some(plan) = self.engine.plan(&idle) {
-            let rows: Vec<(u32, u32)> = plan
-                .rows
-                .iter()
-                .copied()
-                .filter(|&(bank, _)| core.main_bank_free(plan.rank, bank))
-                .collect();
-            if rows.is_empty() {
+        self.idle_scratch.clear();
+        self.idle_scratch
+            .extend((0..ranks).filter(|&r| core.main_rank_idle(r)));
+        if let Some(plan) = self.engine.plan(&self.idle_scratch) {
+            self.rows_scratch.clear();
+            self.rows_scratch.extend(
+                plan.rows
+                    .iter()
+                    .copied()
+                    .filter(|&(bank, _)| core.main_bank_free(plan.rank, bank)),
+            );
+            if self.rows_scratch.is_empty() {
                 return Ok(());
             }
-            let ids = core.enqueue_main_rank_refresh(plan.rank, &rows)?;
-            for (&(bank, row), id) in rows.iter().zip(&ids) {
+            let ids = core.enqueue_main_rank_refresh(plan.rank, &self.rows_scratch)?;
+            for (&(bank, row), id) in self.rows_scratch.iter().zip(&ids) {
                 self.planned.insert(*id, (plan.rank, bank, row));
             }
         }

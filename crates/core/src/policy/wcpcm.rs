@@ -21,6 +21,10 @@ pub struct WcpcmPolicy {
     engine: RefreshEngine,
     // Ordered map (determinism invariant; see `EngineCore`).
     planned: BTreeMap<TransactionId, (u32, u32)>,
+    // Tick-time scratch, reused so the no-plan steady state of every
+    // tick is allocation-free.
+    idle_scratch: Vec<u32>,
+    rows_scratch: Vec<(u32, u32)>,
 }
 
 impl WcpcmPolicy {
@@ -48,6 +52,8 @@ impl WcpcmPolicy {
             cache,
             engine,
             planned: BTreeMap::new(),
+            idle_scratch: Vec::new(),
+            rows_scratch: Vec::new(),
         })
     }
 }
@@ -123,19 +129,22 @@ impl ArchPolicy for WcpcmPolicy {
     /// `RefreshDriver::tick` for the rank/bank qualification rules).
     fn on_tick(&mut self, core: &mut EngineCore) -> Result<(), WomPcmError> {
         let ranks = core.config().mem.geometry.ranks;
-        let idle: Vec<u32> = (0..ranks).filter(|&r| core.cache_rank_idle(r)).collect();
-        if let Some(plan) = self.engine.plan(&idle) {
-            let rows: Vec<(u32, u32)> = plan
-                .rows
-                .iter()
-                .copied()
-                .filter(|&(bank, _)| core.cache_bank_free(plan.rank, bank))
-                .collect();
-            if rows.is_empty() {
+        self.idle_scratch.clear();
+        self.idle_scratch
+            .extend((0..ranks).filter(|&r| core.cache_rank_idle(r)));
+        if let Some(plan) = self.engine.plan(&self.idle_scratch) {
+            self.rows_scratch.clear();
+            self.rows_scratch.extend(
+                plan.rows
+                    .iter()
+                    .copied()
+                    .filter(|&(bank, _)| core.cache_bank_free(plan.rank, bank)),
+            );
+            if self.rows_scratch.is_empty() {
                 return Ok(());
             }
-            let ids = core.enqueue_cache_rank_refresh(plan.rank, &rows)?;
-            for (&(_, row), id) in rows.iter().zip(&ids) {
+            let ids = core.enqueue_cache_rank_refresh(plan.rank, &self.rows_scratch)?;
+            for (&(_, row), id) in self.rows_scratch.iter().zip(&ids) {
                 self.planned.insert(*id, (plan.rank, row));
             }
         }

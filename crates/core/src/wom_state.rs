@@ -180,11 +180,22 @@ impl WomStateTable {
     }
 
     fn materialize(&mut self, row: u64) -> &mut Box<[u8]> {
-        if !self.rows.contains_key(&row) {
-            let counts: Vec<u8> = (0..self.columns).map(|c| self.cold_count(row, c)).collect();
-            self.rows.insert(row, counts.into_boxed_slice());
-        }
-        self.rows.get_mut(&row).expect("just inserted")
+        let (cold, limit, columns) = (self.cold, self.rewrite_limit, self.columns);
+        self.rows.entry(row).or_insert_with(|| {
+            // One zero-filled allocation, written in place — no
+            // intermediate collect, and a single hash-map probe.
+            let mut counts = vec![0u8; columns as usize].into_boxed_slice();
+            match cold {
+                ColdPolicy::Erased => {}
+                ColdPolicy::Dirty => counts.fill(limit as u8),
+                ColdPolicy::SteadyState => {
+                    for (c, slot) in counts.iter_mut().enumerate() {
+                        *slot = 1 + (cell_hash(row, c as u32) % u64::from(limit)) as u8;
+                    }
+                }
+            }
+            counts
+        })
     }
 
     /// The code's rewrite limit `t`.

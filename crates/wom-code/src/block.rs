@@ -8,7 +8,9 @@
 
 use crate::code::WomCode;
 use crate::error::WomCodeError;
+use crate::lut::SymbolLut;
 use crate::wit::{Pattern, Transitions};
+use std::sync::Arc;
 
 /// A growable bit buffer representing the wit states of a memory row.
 ///
@@ -142,6 +144,19 @@ impl WitBuffer {
         }
     }
 
+    /// Copies `other`'s bits into `self` without reallocating — the
+    /// in-place counterpart of `clone` for hot loops that reset a buffer
+    /// to a saved state (e.g. re-erasing a row between benchmark
+    /// iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "copy_from requires equal lengths");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Counts the `(sets, resets)` transitions from `self` to `other`.
     ///
     /// # Errors
@@ -193,6 +208,10 @@ pub struct BlockCodec<C> {
     code: C,
     symbols: usize,
     data_bits: usize,
+    /// Precompiled symbol tables (shared across clones); `None` when the
+    /// code's geometry is too large to tabulate — the per-symbol
+    /// reference path is used then.
+    lut: Option<Arc<SymbolLut>>,
 }
 
 impl<C: WomCode> BlockCodec<C> {
@@ -214,11 +233,26 @@ impl<C: WomCode> BlockCodec<C> {
                 actual: row_data_bits,
             });
         }
+        let lut = SymbolLut::build(&code).map(Arc::new);
         Ok(Self {
             code,
             symbols: row_data_bits / per_symbol,
             data_bits: row_data_bits,
+            lut,
         })
+    }
+
+    /// Whether the word-parallel LUT fast path is available for this
+    /// code's geometry.
+    #[must_use]
+    pub fn has_fast_path(&self) -> bool {
+        self.lut.is_some()
+    }
+
+    /// The precompiled symbol tables, when the geometry allowed them.
+    #[must_use]
+    pub fn symbol_lut(&self) -> Option<&SymbolLut> {
+        self.lut.as_deref()
     }
 
     /// The symbol code used per chunk.
@@ -277,18 +311,30 @@ impl<C: WomCode> BlockCodec<C> {
         data: &[u8],
         cells: &mut WitBuffer,
     ) -> Result<Transitions, WomCodeError> {
-        if data.len() * 8 != self.data_bits {
-            return Err(WomCodeError::LengthMismatch {
-                expected: self.data_bits,
-                actual: data.len() * 8,
-            });
+        if self.lut.is_some() {
+            let mut scratch = RowScratch::new();
+            self.encode_row_into(gen, data, cells, &mut scratch)
+        } else {
+            self.encode_row_reference(gen, data, cells)
         }
-        if cells.len() != self.encoded_bits() {
-            return Err(WomCodeError::LengthMismatch {
-                expected: self.encoded_bits(),
-                actual: cells.len(),
-            });
-        }
+    }
+
+    /// The per-symbol reference implementation of [`Self::encode_row`]:
+    /// one [`WomCode::encode`] call per symbol, with a `Vec<Pattern>`
+    /// staging buffer. Kept public as the validation oracle the LUT fast
+    /// path is tested against (and as the only path for codes too large
+    /// to tabulate).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::encode_row`].
+    pub fn encode_row_reference(
+        &self,
+        gen: u32,
+        data: &[u8],
+        cells: &mut WitBuffer,
+    ) -> Result<Transitions, WomCodeError> {
+        self.check_row_args(data.len(), cells.len())?;
         let dbits = self.code.data_bits() as usize;
         let wbits = self.code.wits() as usize;
         // Two-pass: validate all symbols first so a failure cannot leave the
@@ -317,20 +363,270 @@ impl<C: WomCode> BlockCodec<C> {
     /// Returns [`WomCodeError::LengthMismatch`] if `cells` has the wrong
     /// size.
     pub fn decode_row(&self, cells: &WitBuffer) -> Result<Vec<u8>, WomCodeError> {
-        if cells.len() != self.encoded_bits() {
-            return Err(WomCodeError::LengthMismatch {
-                expected: self.encoded_bits(),
-                actual: cells.len(),
+        let mut out = vec![0u8; self.data_bits / 8];
+        self.decode_row_into(cells, &mut out)?;
+        Ok(out)
+    }
+
+    /// Word-parallel row encode into caller-provided scratch: symbols are
+    /// read straight out of the [`WitBuffer`]'s `u64` words, looked up in
+    /// the precompiled [`SymbolLut`], and staged in `scratch` — no heap
+    /// allocation once `scratch` has warmed up. Transition totals come
+    /// from whole-word XOR popcounts rather than per-symbol counting.
+    ///
+    /// Behaviour is bit-identical to [`Self::encode_row_reference`],
+    /// including the all-or-nothing guarantee: on any error `cells` is
+    /// left unmodified. Codes too large to tabulate (no
+    /// [`Self::has_fast_path`]) fall back to the reference path, which
+    /// allocates its staging buffer per call.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::encode_row`].
+    pub fn encode_row_into(
+        &self,
+        gen: u32,
+        data: &[u8],
+        cells: &mut WitBuffer,
+        scratch: &mut RowScratch,
+    ) -> Result<Transitions, WomCodeError> {
+        let Some(lut) = self.lut.as_deref() else {
+            return self.encode_row_reference(gen, data, cells);
+        };
+        self.check_row_args(data.len(), cells.len())?;
+        if gen >= self.code.writes() {
+            return Err(WomCodeError::GenerationExhausted {
+                requested: gen,
+                limit: self.code.writes(),
             });
         }
-        let dbits = self.code.data_bits() as usize;
+        let dbits = self.code.data_bits();
         let wbits = self.code.wits() as usize;
-        let mut out = vec![0u8; self.data_bits / 8];
+        scratch.words.clear();
+        scratch.words.resize(cells.words.len(), 0);
+        let mut reader = BitReader::new(data);
+        let mut bit = 0usize;
+        for _ in 0..self.symbols {
+            let current = word_chunk(&cells.words, bit, wbits);
+            let value = reader.read(dbits);
+            let Some(next) = lut.encode_bits(gen, current, value) else {
+                // Cold path: re-run the symbol code to surface the exact
+                // error the reference path would have produced. `cells`
+                // has not been touched.
+                return Err(self.symbol_error(gen, value, current, wbits));
+            };
+            word_merge(&mut scratch.words, bit, next);
+            bit += wbits;
+        }
+        let mut total = Transitions::default();
+        for (&old, &new) in cells.words.iter().zip(&scratch.words) {
+            total.sets += (!old & new).count_ones();
+            total.resets += (old & !new).count_ones();
+        }
+        cells.words.copy_from_slice(&scratch.words);
+        Ok(total)
+    }
+
+    /// Decodes the row's cells into a caller-provided byte slice without
+    /// allocating — the word-parallel counterpart of
+    /// [`Self::decode_row`]. Uses the [`SymbolLut`] when available and
+    /// the per-symbol reference decode otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomCodeError::LengthMismatch`] if `cells` or `out` have
+    /// the wrong size.
+    pub fn decode_row_into(&self, cells: &WitBuffer, out: &mut [u8]) -> Result<(), WomCodeError> {
+        let Some(lut) = self.lut.as_deref() else {
+            return self.decode_row_reference(cells, out);
+        };
+        self.check_row_args(out.len(), cells.len())?;
+        let dbits = self.code.data_bits();
+        let wbits = self.code.wits() as usize;
+        let mut writer = BitWriter::new(out);
+        let mut bit = 0usize;
+        for _ in 0..self.symbols {
+            let current = word_chunk(&cells.words, bit, wbits);
+            writer.write(lut.decode(current), dbits);
+            bit += wbits;
+        }
+        Ok(())
+    }
+
+    /// The per-symbol reference implementation of
+    /// [`Self::decode_row_into`]: one [`Pattern`] construction and
+    /// [`WomCode::decode`] call per symbol. Kept public as the validation
+    /// oracle and benchmark baseline for the LUT decode (and as the only
+    /// path for codes too large to tabulate).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::decode_row_into`].
+    pub fn decode_row_reference(
+        &self,
+        cells: &WitBuffer,
+        out: &mut [u8],
+    ) -> Result<(), WomCodeError> {
+        self.check_row_args(out.len(), cells.len())?;
+        let dbits = self.code.data_bits();
+        let wbits = self.code.wits() as usize;
         for s in 0..self.symbols {
             let pattern = Pattern::from_bits(cells.chunk(s * wbits, wbits), wbits);
-            write_bits(&mut out, s * dbits, dbits, self.code.decode(pattern));
+            write_bits(
+                out,
+                s * dbits as usize,
+                dbits as usize,
+                self.code.decode(pattern),
+            );
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Validates row-level argument sizes shared by encode and decode.
+    fn check_row_args(&self, data_bytes: usize, cell_bits: usize) -> Result<(), WomCodeError> {
+        if data_bytes * 8 != self.data_bits {
+            return Err(WomCodeError::LengthMismatch {
+                expected: self.data_bits,
+                actual: data_bytes * 8,
+            });
+        }
+        if cell_bits != self.encoded_bits() {
+            return Err(WomCodeError::LengthMismatch {
+                expected: self.encoded_bits(),
+                actual: cell_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reproduces the exact symbol-level error for a LUT miss.
+    #[cold]
+    fn symbol_error(&self, gen: u32, data: u64, current: u64, wbits: usize) -> WomCodeError {
+        match self
+            .code
+            .encode(gen, data, Pattern::from_bits(current, wbits))
+        {
+            Err(e) => e,
+            Ok(_) => unreachable!("SymbolLut and WomCode disagree on encode success"),
+        }
+    }
+}
+
+/// Caller-owned staging buffer for [`BlockCodec::encode_row_into`].
+///
+/// Holds the next row image while symbols are validated, so a failed
+/// encode cannot leave the row half-written and a warm scratch makes the
+/// whole encode allocation-free. One scratch can be reused across codecs
+/// and row sizes; it grows to the largest row it has seen.
+#[derive(Debug, Clone, Default)]
+pub struct RowScratch {
+    words: Vec<u64>,
+}
+
+impl RowScratch {
+    /// Creates an empty scratch (it sizes itself on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current capacity in bits (diagnostics only).
+    #[must_use]
+    pub fn capacity_bits(&self) -> usize {
+        self.words.capacity() * 64
+    }
+}
+
+/// Reads a `width`-bit chunk starting at `offset` from packed words,
+/// crossing at most one word boundary (`width ≤ 16 < 64`).
+#[inline]
+fn word_chunk(words: &[u64], offset: usize, width: usize) -> u64 {
+    let word = offset / 64;
+    let shift = offset % 64;
+    let mut value = words[word] >> shift;
+    if shift + width > 64 {
+        value |= words[word + 1] << (64 - shift);
+    }
+    value & ((1u64 << width) - 1)
+}
+
+/// ORs `value` into zero-initialized packed words at bit `offset` (the
+/// staging buffer starts all-zeros, so no clearing mask is needed).
+#[inline]
+fn word_merge(words: &mut [u64], offset: usize, value: u64) {
+    let word = offset / 64;
+    let shift = offset % 64;
+    words[word] |= value << shift;
+    if shift != 0 {
+        if let Some(high) = words.get_mut(word + 1) {
+            *high |= value >> (64 - shift);
+        }
+    }
+}
+
+/// Sequential little-endian bit reader over a byte slice (symbol widths
+/// are at most 16 bits, so the accumulator never overflows).
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    acc_bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    #[inline]
+    fn read(&mut self, width: u32) -> u64 {
+        while self.acc_bits < width {
+            self.acc |= u64::from(self.bytes[self.pos]) << self.acc_bits;
+            self.pos += 1;
+            self.acc_bits += 8;
+        }
+        let value = self.acc & ((1u64 << width) - 1);
+        self.acc >>= width;
+        self.acc_bits -= width;
+        value
+    }
+}
+
+/// Sequential little-endian bit writer over a byte slice; flushes whole
+/// bytes as they fill, so a row whose data bits are a byte multiple ends
+/// exactly flush.
+struct BitWriter<'a> {
+    bytes: &'a mut [u8],
+    pos: usize,
+    acc: u64,
+    acc_bits: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    fn new(bytes: &'a mut [u8]) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            acc: 0,
+            acc_bits: 0,
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, value: u64, width: u32) {
+        self.acc |= value << self.acc_bits;
+        self.acc_bits += width;
+        while self.acc_bits >= 8 {
+            self.bytes[self.pos] = self.acc as u8;
+            self.pos += 1;
+            self.acc >>= 8;
+            self.acc_bits -= 8;
+        }
     }
 }
 

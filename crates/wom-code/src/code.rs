@@ -80,6 +80,38 @@ pub trait WomCode: core::fmt::Debug + Send + Sync {
     }
 }
 
+/// Boxed trait objects are codes too, so heterogeneous collections of
+/// codes (and [`crate::block::BlockCodec`]s over them) work directly.
+impl<C: WomCode + ?Sized> WomCode for Box<C> {
+    fn data_bits(&self) -> u32 {
+        (**self).data_bits()
+    }
+
+    fn wits(&self) -> u32 {
+        (**self).wits()
+    }
+
+    fn writes(&self) -> u32 {
+        (**self).writes()
+    }
+
+    fn orientation(&self) -> Orientation {
+        (**self).orientation()
+    }
+
+    fn initial_pattern(&self) -> Pattern {
+        (**self).initial_pattern()
+    }
+
+    fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError> {
+        (**self).encode(gen, data, current)
+    }
+
+    fn decode(&self, pattern: Pattern) -> u64 {
+        (**self).decode(pattern)
+    }
+}
+
 /// Validates common preconditions shared by `encode` implementations.
 ///
 /// Returns `Ok(())` when `gen`, `data`, and `current` are within this code's

@@ -45,6 +45,8 @@
 //!   codes from the literature.
 //! * [`identity`] — the single-write baseline code (conventional PCM).
 //! * [`block`] — row-level tiling of symbol codes.
+//! * [`lut`] — precompiled dense symbol tables backing the word-parallel
+//!   row fast path.
 //! * [`analysis`] — the paper's §3.2 latency/speedup bounds.
 
 #![forbid(unsafe_code)]
@@ -57,18 +59,20 @@ pub mod error;
 pub mod flip;
 pub mod identity;
 pub mod inverted;
+pub mod lut;
 pub mod rs2;
 pub mod rs23;
 pub mod sequencer;
 pub mod tabular;
 pub mod wit;
 
-pub use block::{BlockCodec, WitBuffer};
+pub use block::{BlockCodec, RowScratch, WitBuffer};
 pub use code::WomCode;
 pub use error::WomCodeError;
 pub use flip::FlipCode;
 pub use identity::IdentityCode;
 pub use inverted::Inverted;
+pub use lut::SymbolLut;
 pub use rs2::Rs2Code;
 pub use rs23::Rs23Code;
 pub use sequencer::{SequencedWrite, Sequencer};

@@ -1,0 +1,261 @@
+//! Dense symbol lookup tables: the word-parallel fast path's substrate.
+//!
+//! Every [`WomCode`] in this crate operates on small symbols (2–16 wits),
+//! so the full transition function
+//! `(generation, current_pattern, data_value) → (next_pattern, transitions)`
+//! fits in a dense table that [`SymbolLut::build`] precompiles once per
+//! codec. Row encoding then becomes a table walk over raw `u64` words —
+//! no [`Pattern`] construction, no trait dispatch, no per-symbol
+//! validation — which is where WOM-codec throughput comes from (cf. the
+//! word-level treatment in the WIRE and fine-grain coset-coding PCM
+//! literature).
+//!
+//! The table is bit-identical to the code it was built from *by
+//! construction*: every entry is the memoized result of one
+//! [`WomCode::encode`] / [`WomCode::decode`] call, including the
+//! implementation-defined decode of non-codewords. Codes whose geometry
+//! would need more than [`SymbolLut::MAX_TABLE_ENTRIES`] encode entries
+//! (e.g. [`crate::rs2::Rs2Code`] at `k ≥ 5`, wide identity codes) do not
+//! get a table; [`crate::block::BlockCodec`] falls back to the per-symbol
+//! reference path for them.
+
+use crate::code::WomCode;
+use crate::wit::{Pattern, Transitions};
+
+/// Packed encode-table entry layout (one `u32` per entry):
+///
+/// * bits `0..16` — the next pattern's bits;
+/// * bits `16..22` — SET transition count (`0 → 1` flips);
+/// * bits `22..28` — RESET transition count (`1 → 0` flips);
+/// * bit `31` — entry valid (clear means the symbol code errors for this
+///   `(generation, pattern, data)` triple, e.g. an illegal transition).
+const NEXT_MASK: u32 = 0xFFFF;
+const SETS_SHIFT: u32 = 16;
+const RESETS_SHIFT: u32 = 22;
+const COUNT_MASK: u32 = 0x3F;
+const VALID_BIT: u32 = 1 << 31;
+
+/// A dense, validated lookup table for one symbol [`WomCode`].
+///
+/// ```
+/// use wom_code::{Inverted, Rs23Code, SymbolLut, WomCode};
+///
+/// let code = Inverted::new(Rs23Code::new());
+/// let lut = SymbolLut::build(&code).expect("rs23 is tiny");
+/// // Every lookup agrees with the code it memoizes:
+/// let erased = code.initial_pattern().bits();
+/// let (next, t) = lut.encode(0, erased, 0b01).expect("legal first write");
+/// assert_eq!(next, code.encode(0, 0b01, code.initial_pattern()).unwrap().bits());
+/// assert_eq!(t.sets, 0); // inverted codes rewrite RESET-only
+/// assert_eq!(lut.decode(next), 0b01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymbolLut {
+    data_bits: u32,
+    wits: u32,
+    writes: u32,
+    values: usize,
+    patterns: usize,
+    /// `entries[(gen * patterns + pattern) * values + data]`.
+    entries: Box<[u32]>,
+    /// `decode[pattern]` — the code's decode of every possible pattern.
+    decode: Box<[u16]>,
+}
+
+impl SymbolLut {
+    /// Upper bound on `writes × 2^wits × 2^data_bits`; larger geometries
+    /// are not tabulated and use the per-symbol reference path instead.
+    pub const MAX_TABLE_ENTRIES: usize = 1 << 22;
+
+    /// Widest symbol (in wits or data bits) a table entry can represent.
+    pub const MAX_SYMBOL_BITS: u32 = 16;
+
+    /// Precompiles `code` into dense tables, or `None` when the geometry
+    /// is too large to tabulate (see [`Self::MAX_TABLE_ENTRIES`]).
+    #[must_use]
+    pub fn build<C: WomCode + ?Sized>(code: &C) -> Option<Self> {
+        let data_bits = code.data_bits();
+        let wits = code.wits();
+        let writes = code.writes();
+        if data_bits > Self::MAX_SYMBOL_BITS || wits > Self::MAX_SYMBOL_BITS || writes == 0 {
+            return None;
+        }
+        let values = 1usize << data_bits;
+        let patterns = 1usize << wits;
+        let total = (writes as usize)
+            .checked_mul(patterns)?
+            .checked_mul(values)?;
+        if total > Self::MAX_TABLE_ENTRIES {
+            return None;
+        }
+        let wlen = wits as usize;
+        let mut entries = vec![0u32; total].into_boxed_slice();
+        for gen in 0..writes {
+            for bits in 0..patterns {
+                let current = Pattern::from_bits(bits as u64, wlen);
+                for data in 0..values {
+                    let idx = (gen as usize * patterns + bits) * values + data;
+                    if let Ok(next) = code.encode(gen, data as u64, current) {
+                        let t = current
+                            .transitions_to(next)
+                            .expect("encode preserves width");
+                        entries[idx] = VALID_BIT
+                            | (next.bits() as u32 & NEXT_MASK)
+                            | ((t.sets & COUNT_MASK) << SETS_SHIFT)
+                            | ((t.resets & COUNT_MASK) << RESETS_SHIFT);
+                    }
+                }
+            }
+        }
+        let decode = (0..patterns)
+            .map(|bits| code.decode(Pattern::from_bits(bits as u64, wlen)) as u16)
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Some(Self {
+            data_bits,
+            wits,
+            writes,
+            values,
+            patterns,
+            entries,
+            decode,
+        })
+    }
+
+    /// Data bits per symbol of the tabulated code.
+    #[must_use]
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Wits per symbol of the tabulated code.
+    #[must_use]
+    pub fn wits(&self) -> u32 {
+        self.wits
+    }
+
+    /// Write generations the table covers (the code's `writes()`).
+    #[must_use]
+    pub fn writes(&self) -> u32 {
+        self.writes
+    }
+
+    /// Total encode-table entries (for size accounting).
+    #[must_use]
+    pub fn table_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up one symbol encode: the next pattern's bits and the wit
+    /// transitions from `current`. Returns `None` exactly when the
+    /// tabulated code's [`WomCode::encode`] errors for this triple (the
+    /// caller re-runs the code to surface the precise error).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) / indexes out of range (release) if `gen`,
+    /// `current`, or `data` exceed the tabulated geometry; the block
+    /// codec validates them once per row, not once per symbol.
+    #[inline]
+    #[must_use]
+    pub fn encode(&self, gen: u32, current: u64, data: u64) -> Option<(u64, Transitions)> {
+        let e = self.entry(gen, current, data)?;
+        Some((
+            u64::from(e & NEXT_MASK),
+            Transitions {
+                sets: (e >> SETS_SHIFT) & COUNT_MASK,
+                resets: (e >> RESETS_SHIFT) & COUNT_MASK,
+            },
+        ))
+    }
+
+    /// Like [`Self::encode`] but returns only the next pattern's bits —
+    /// the row fast path counts transitions word-parallel instead.
+    #[inline]
+    #[must_use]
+    pub fn encode_bits(&self, gen: u32, current: u64, data: u64) -> Option<u64> {
+        self.entry(gen, current, data)
+            .map(|e| u64::from(e & NEXT_MASK))
+    }
+
+    #[inline]
+    fn entry(&self, gen: u32, current: u64, data: u64) -> Option<u32> {
+        let idx = (gen as usize * self.patterns + current as usize) * self.values + data as usize;
+        let e = self.entries[idx];
+        (e & VALID_BIT != 0).then_some(e)
+    }
+
+    /// Looks up the decode of a pattern (total over all `2^wits`
+    /// patterns, exactly as the tabulated code's [`WomCode::decode`]).
+    #[inline]
+    #[must_use]
+    pub fn decode(&self, pattern: u64) -> u64 {
+        u64::from(self.decode[pattern as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flip::FlipCode;
+    use crate::identity::IdentityCode;
+    use crate::inverted::Inverted;
+    use crate::rs2::Rs2Code;
+    use crate::rs23::Rs23Code;
+
+    #[test]
+    fn rs23_table_matches_code_everywhere() {
+        let code = Rs23Code::new();
+        let lut = SymbolLut::build(&code).unwrap();
+        assert_eq!(lut.table_entries(), 2 * 8 * 4);
+        for gen in 0..2 {
+            for bits in 0..8u64 {
+                let p = Pattern::from_bits(bits, 3);
+                for data in 0..4u64 {
+                    match code.encode(gen, data, p) {
+                        Ok(next) => {
+                            let (nb, t) = lut.encode(gen, bits, data).unwrap();
+                            assert_eq!(nb, next.bits());
+                            assert_eq!(t, p.transitions_to(next).unwrap());
+                        }
+                        Err(_) => assert!(lut.encode(gen, bits, data).is_none()),
+                    }
+                }
+                assert_eq!(lut.decode(bits), code.decode(p));
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_codes_tabulate_reset_only_rewrites() {
+        let code = Inverted::new(Rs23Code::new());
+        let lut = SymbolLut::build(&code).unwrap();
+        for data in 0..4u64 {
+            let (first, t) = lut.encode(0, 0b111, data).unwrap();
+            assert_eq!(t.sets, 0, "inverted first writes are RESET-only");
+            for y in 0..4u64 {
+                let (_, t2) = lut.encode(1, first, y).unwrap();
+                assert_eq!(t2.sets, 0, "inverted rewrites are RESET-only");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_geometries_are_refused() {
+        // k = 5 ⇒ 31 wits ⇒ 2^31 patterns: far past the table budget.
+        assert!(SymbolLut::build(&Rs2Code::new(5).unwrap()).is_none());
+        assert!(SymbolLut::build(&IdentityCode::new(32).unwrap()).is_none());
+        // Flip t = 16 is 2 × 16 × 65536 entries: comfortably inside.
+        assert!(SymbolLut::build(&FlipCode::new(16).unwrap()).is_some());
+        assert!(SymbolLut::build(&FlipCode::new(24).unwrap()).is_none());
+    }
+
+    #[test]
+    fn geometry_accessors_mirror_the_code() {
+        let code = Rs2Code::new(3).unwrap();
+        let lut = SymbolLut::build(&code).unwrap();
+        assert_eq!(lut.data_bits(), 3);
+        assert_eq!(lut.wits(), 7);
+        assert_eq!(lut.writes(), 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Exhaustive equivalence of the LUT fast path against the per-symbol
+//! reference path.
+//!
+//! Two layers are pinned here:
+//!
+//! 1. **Symbol level** — for every tabulated code, [`SymbolLut`] must
+//!    agree with [`WomCode::encode`]/[`WomCode::decode`] on *every*
+//!    `(generation, current_pattern, data_value)` triple, including which
+//!    triples error, and on the transition counts (patterns *and*
+//!    transitions, not just round-trip values).
+//! 2. **Row level** — [`BlockCodec::encode_row_into`] /
+//!    [`BlockCodec::decode_row_into`] must be bit-identical to
+//!    [`BlockCodec::encode_row_reference`] / [`BlockCodec::decode_row`]
+//!    across whole write lifetimes, including the exhaustion error (same
+//!    error, cells untouched).
+//!
+//! The code matrix covers rs23, rs2 (k = 2..=4), flip, tabular, and
+//! identity, each in both orientations (plain and [`Inverted`]).
+
+use pcm_rng::Rng;
+use wom_code::{
+    BlockCodec, FlipCode, IdentityCode, Inverted, Pattern, RowScratch, Rs23Code, Rs2Code,
+    SymbolLut, TabularWomCode, WitBuffer, WomCode, WomCodeError,
+};
+
+/// Every code variant under test, boxed for uniform handling. Each entry
+/// is `(label, code, row_data_bits)` with a row size that tiles the
+/// code's symbol width.
+fn code_matrix() -> Vec<(String, Box<dyn WomCode>, usize)> {
+    let mut out: Vec<(String, Box<dyn WomCode>, usize)> = Vec::new();
+    let mut push = |label: &str, plain: Box<dyn WomCode>, inverted: Box<dyn WomCode>, bits| {
+        out.push((label.to_string(), plain, bits));
+        out.push((format!("inverted_{label}"), inverted, bits));
+    };
+    push(
+        "rs23",
+        Box::new(Rs23Code::new()),
+        Box::new(Inverted::new(Rs23Code::new())),
+        256,
+    );
+    for k in 2..=4u32 {
+        push(
+            &format!("rs2_k{k}"),
+            Box::new(Rs2Code::new(k).unwrap()),
+            Box::new(Inverted::new(Rs2Code::new(k).unwrap())),
+            24 * k as usize, // multiple of 8 and of k for k in 2..=4
+        );
+    }
+    for t in [1u32, 2, 4, 7] {
+        push(
+            &format!("flip_t{t}"),
+            Box::new(FlipCode::new(t).unwrap()),
+            Box::new(Inverted::new(FlipCode::new(t).unwrap())),
+            64,
+        );
+    }
+    push(
+        "tabular_rs23",
+        Box::new(TabularWomCode::rivest_shamir_23()),
+        Box::new(Inverted::new(TabularWomCode::rivest_shamir_23())),
+        256,
+    );
+    for bits in [1u32, 2, 8] {
+        push(
+            &format!("identity_{bits}"),
+            Box::new(IdentityCode::new(bits).unwrap()),
+            Box::new(Inverted::new(IdentityCode::new(bits).unwrap())),
+            64,
+        );
+    }
+    out
+}
+
+/// Symbol-level exhaustion: every `(gen, pattern, data)` triple agrees
+/// between the LUT and the code — success set, resulting patterns,
+/// transition counts, and decode of all `2^wits` patterns.
+#[test]
+fn symbol_lut_is_bit_identical_to_every_code() {
+    for (label, code, _) in code_matrix() {
+        let lut = SymbolLut::build(code.as_ref())
+            .unwrap_or_else(|| panic!("{label}: matrix codes are all tabulable"));
+        let wits = code.wits() as usize;
+        let patterns = 1u64 << wits;
+        let values = 1u64 << code.data_bits();
+        for gen in 0..code.writes() {
+            for bits in 0..patterns {
+                let current = Pattern::from_bits(bits, wits);
+                for data in 0..values {
+                    match code.encode(gen, data, current) {
+                        Ok(next) => {
+                            let (lut_bits, lut_t) =
+                                lut.encode(gen, bits, data).unwrap_or_else(|| {
+                                    panic!("{label}: LUT missing g{gen} p{bits:b} d{data}")
+                                });
+                            assert_eq!(lut_bits, next.bits(), "{label}: pattern mismatch");
+                            assert_eq!(
+                                lut_t,
+                                current.transitions_to(next).unwrap(),
+                                "{label}: transition mismatch at g{gen} p{bits:b} d{data}"
+                            );
+                            assert_eq!(
+                                lut.encode_bits(gen, bits, data),
+                                Some(next.bits()),
+                                "{label}: encode_bits disagrees with encode"
+                            );
+                        }
+                        Err(_) => {
+                            assert!(
+                                lut.encode(gen, bits, data).is_none(),
+                                "{label}: LUT accepts a triple the code rejects \
+                                 (g{gen} p{bits:b} d{data})"
+                            );
+                        }
+                    }
+                }
+                assert_eq!(
+                    lut.decode(bits),
+                    code.decode(current),
+                    "{label}: decode mismatch at p{bits:b}"
+                );
+            }
+        }
+    }
+}
+
+/// Row-level equivalence over whole write lifetimes: the fast path and
+/// the reference path, fed identical data streams, must produce
+/// identical cells, identical transition totals, and identical decodes
+/// at every generation.
+#[test]
+fn row_fast_path_matches_reference_across_generations() {
+    let mut rng = Rng::seed_from_u64(0x10_7E57);
+    for (label, code, row_bits) in code_matrix() {
+        let codec = BlockCodec::new(code, row_bits).unwrap();
+        assert!(codec.has_fast_path(), "{label}: matrix codes tabulate");
+        let mut scratch = RowScratch::new();
+        for _round in 0..8 {
+            let mut fast = codec.erased_buffer();
+            let mut reference = codec.erased_buffer();
+            for gen in 0..codec.rewrite_limit() {
+                let data: Vec<u8> = (0..row_bits / 8).map(|_| rng.next_u64() as u8).collect();
+                let t_fast = codec.encode_row_into(gen, &data, &mut fast, &mut scratch);
+                let t_ref = codec.encode_row_reference(gen, &data, &mut reference);
+                match (t_fast, t_ref) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "{label}: transitions diverge at g{gen}"),
+                    (a, b) => panic!("{label}: result mismatch at g{gen}: {a:?} vs {b:?}"),
+                }
+                assert_eq!(fast, reference, "{label}: cells diverge at g{gen}");
+                let mut decoded = vec![0u8; row_bits / 8];
+                codec.decode_row_into(&fast, &mut decoded).unwrap();
+                assert_eq!(decoded, data, "{label}: fast decode wrong at g{gen}");
+                assert_eq!(
+                    codec.decode_row(&reference).unwrap(),
+                    data,
+                    "{label}: reference decode wrong at g{gen}"
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustion: one generation past the rewrite limit, both paths return
+/// `GenerationExhausted` and leave the cells bit-for-bit untouched.
+#[test]
+fn row_fast_path_exhaustion_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0xDEAD_BEEF);
+    for (label, code, row_bits) in code_matrix() {
+        let codec = BlockCodec::new(code, row_bits).unwrap();
+        let mut scratch = RowScratch::new();
+        let mut cells = codec.erased_buffer();
+        for gen in 0..codec.rewrite_limit() {
+            let data: Vec<u8> = (0..row_bits / 8).map(|_| rng.next_u64() as u8).collect();
+            codec
+                .encode_row_into(gen, &data, &mut cells, &mut scratch)
+                .unwrap();
+        }
+        let snapshot = cells.clone();
+        let over = codec.rewrite_limit();
+        let data = vec![0x5Au8; row_bits / 8];
+        let fast_err = codec.encode_row_into(over, &data, &mut cells, &mut scratch);
+        assert!(
+            matches!(fast_err, Err(WomCodeError::GenerationExhausted { .. })),
+            "{label}: fast path must exhaust, got {fast_err:?}"
+        );
+        assert_eq!(cells, snapshot, "{label}: failed fast encode touched cells");
+        let mut ref_cells = snapshot.clone();
+        let ref_err = codec.encode_row_reference(over, &data, &mut ref_cells);
+        assert!(
+            matches!(ref_err, Err(WomCodeError::GenerationExhausted { .. })),
+            "{label}: reference path must exhaust"
+        );
+        assert_eq!(
+            ref_cells, snapshot,
+            "{label}: failed reference encode touched cells"
+        );
+    }
+}
+
+/// Illegal transitions (corrupted current state) surface the same error
+/// through the fast path's cold fallback, with cells untouched.
+#[test]
+fn row_fast_path_reports_reference_errors_for_corrupt_state() {
+    // From all-ones cells, a set-only rs23 first write of a value other
+    // than the stored one is an illegal transition.
+    let codec = BlockCodec::new(Rs23Code::new(), 64).unwrap();
+    let mut cells = WitBuffer::ones(codec.encoded_bits());
+    let snapshot = cells.clone();
+    let mut scratch = RowScratch::new();
+    let data = vec![0x55u8; 8];
+    let fast = codec.encode_row_into(0, &data, &mut cells, &mut scratch);
+    let mut ref_cells = snapshot.clone();
+    let reference = codec.encode_row_reference(0, &data, &mut ref_cells);
+    match (&fast, &reference) {
+        (
+            Err(WomCodeError::IllegalTransition { bit: a }),
+            Err(WomCodeError::IllegalTransition { bit: b }),
+        ) => assert_eq!(a, b, "both paths name the same offending bit"),
+        other => panic!("expected matching IllegalTransition, got {other:?}"),
+    }
+    assert_eq!(cells, snapshot, "failed fast encode must not modify cells");
+    assert_eq!(ref_cells, snapshot);
+}
+
+/// Length mismatches error identically through both entry points.
+#[test]
+fn row_fast_path_validates_sizes_like_reference() {
+    let codec = BlockCodec::new(Inverted::new(Rs23Code::new()), 64).unwrap();
+    let mut scratch = RowScratch::new();
+    let mut cells = codec.erased_buffer();
+    assert!(codec
+        .encode_row_into(0, &[0u8; 7], &mut cells, &mut scratch)
+        .is_err());
+    assert!(codec
+        .encode_row_into(0, &[0u8; 8], &mut WitBuffer::zeros(5), &mut scratch)
+        .is_err());
+    let mut out = [0u8; 7];
+    assert!(codec.decode_row_into(&cells, &mut out).is_err());
+    assert!(codec
+        .decode_row_into(&WitBuffer::zeros(5), &mut [0u8; 8])
+        .is_err());
+}
+
+/// A single scratch serves codecs of different geometries back to back.
+#[test]
+fn scratch_is_reusable_across_codecs() {
+    let mut scratch = RowScratch::new();
+    let small = BlockCodec::new(Inverted::new(Rs23Code::new()), 64).unwrap();
+    let large = BlockCodec::new(Inverted::new(Rs23Code::new()), 4096 * 8).unwrap();
+    let mut cells_small = small.erased_buffer();
+    let mut cells_large = large.erased_buffer();
+    small
+        .encode_row_into(0, &[0xAB; 8], &mut cells_small, &mut scratch)
+        .unwrap();
+    large
+        .encode_row_into(0, &vec![0xCD; 4096], &mut cells_large, &mut scratch)
+        .unwrap();
+    small
+        .encode_row_into(1, &[0x12; 8], &mut cells_small, &mut scratch)
+        .unwrap();
+    assert_eq!(small.decode_row(&cells_small).unwrap(), vec![0x12; 8]);
+    assert_eq!(large.decode_row(&cells_large).unwrap(), vec![0xCD; 4096]);
+}

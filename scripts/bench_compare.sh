@@ -1,0 +1,73 @@
+#!/usr/bin/env sh
+# Diff two BENCH_*.json files (codec_hotpath or sim_throughput output)
+# and print per-metric deltas.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json
+#
+# Works on both report shapes: cases are matched by their "name"/"case"
+# key, every shared numeric metric is compared, and the delta is printed
+# as a percentage (negative = NEW is smaller). For *_ns metrics smaller
+# is faster; for records_per_sec and *_speedup larger is better.
+
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+
+exec python3 - "$1" "$2" <<'PY'
+import json
+import sys
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+with open(old_path) as f:
+    old = json.load(f)
+with open(new_path) as f:
+    new = json.load(f)
+
+if old.get("bench") != new.get("bench"):
+    print(
+        f"warning: comparing different benches "
+        f"({old.get('bench')!r} vs {new.get('bench')!r})",
+        file=sys.stderr,
+    )
+
+
+def case_key(case):
+    return case.get("name") or case.get("case")
+
+
+def index(report):
+    return {case_key(c): c for c in report.get("cases", [])}
+
+
+old_cases, new_cases = index(old), index(new)
+shared = [k for k in old_cases if k in new_cases]
+for gone in sorted(set(old_cases) - set(new_cases)):
+    print(f"only in {old_path}: {gone}")
+for added in sorted(set(new_cases) - set(old_cases)):
+    print(f"only in {new_path}: {added}")
+if not shared:
+    print("no shared cases to compare", file=sys.stderr)
+    sys.exit(1)
+
+print(f"{'case':<28} {'metric':<22} {'old':>14} {'new':>14} {'delta':>9}")
+worst = 0.0
+for key in shared:
+    o, n = old_cases[key], new_cases[key]
+    for metric in o:
+        if metric in ("name", "case") or metric not in n:
+            continue
+        ov, nv = o[metric], n[metric]
+        if not isinstance(ov, (int, float)) or not isinstance(nv, (int, float)):
+            continue
+        delta = (nv - ov) / ov * 100.0 if ov else float("inf")
+        # Track the worst regression: time-like metrics regress upward,
+        # rate-like metrics regress downward.
+        signed = delta if metric.endswith("_ns") else -delta
+        worst = max(worst, signed)
+        print(f"{key:<28} {metric:<22} {ov:>14.1f} {nv:>14.1f} {delta:>+8.1f}%")
+
+print(f"\nworst regression: {worst:+.1f}%")
+PY

@@ -51,7 +51,7 @@ pub mod prelude {
     pub use crate::arch::{
         Architecture, RunMetrics, SystemBuilder, SystemConfig, WomPcmError, WomPcmSystem,
     };
-    pub use crate::code::{BlockCodec, Inverted, Rs23Code, Sequencer, WomCode};
+    pub use crate::code::{BlockCodec, Inverted, RowScratch, Rs23Code, Sequencer, WomCode};
     pub use crate::sim::{MemConfig, MemoryGeometry, TimingParams};
     pub use crate::trace::synth::benchmarks;
     pub use crate::trace::{TraceOp, TraceRecord, TraceStats};
