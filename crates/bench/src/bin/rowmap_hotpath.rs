@@ -1,0 +1,223 @@
+//! Row-state store microbenchmarks: `RowMap` against `std::HashMap`
+//! over the key distributions the simulator actually produces.
+//!
+//! Four distributions over a fixed op sequence:
+//! * `dense`   — trace-like row ids: a bounded working set walked with
+//!   sequential runs and hot-set reuse (the engine/wom-state hot path).
+//! * `banked`  — `flat_row`-style keys (`bank << 32 | row`) with the
+//!   banks round-robined, so consecutive ops land on different leaf
+//!   pages; this is what the WOM-state table actually sees and what the
+//!   direct-mapped page cache exists for.
+//! * `strided` — sweeps where the key jumps a fixed stride, changing
+//!   leaf page every few accesses.
+//! * `sparse`  — uniformly random u64 keys: the adversarial case where
+//!   the radix layout buys nothing and a plain map is the right tool.
+//!
+//! Each distribution is measured for `update` (the `classify_write`
+//! pattern: entry-or-insert, then mutate) and `lookup` (read probes on
+//! a populated map). With `--json PATH` the results are also written as
+//! a machine-readable file — `BENCH_rowmap.json` at the repo root is
+//! the committed baseline; see EXPERIMENTS.md for how to regenerate it
+//! and `scripts/bench_compare.sh` for diffing two baselines.
+
+use pcm_rng::Rng;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use wom_pcm::RowMap;
+use wom_pcm_bench::timing;
+
+/// Operations per measured pass.
+const OPS: usize = 65_536;
+/// Distinct rows in the bounded working sets.
+const WORKING_SET: u64 = 4_096;
+
+struct Outcome {
+    name: String,
+    rowmap_ns: f64,
+    hashmap_ns: f64,
+}
+
+impl Outcome {
+    fn speedup(&self) -> f64 {
+        self.hashmap_ns / self.rowmap_ns
+    }
+}
+
+/// Trace-like dense keys: sequential runs over a bounded row space with
+/// hot-set reuse, the distribution `WomStateTable`/`FunctionalMemory`
+/// see from real traces.
+fn dense_keys(rng: &mut Rng) -> Vec<u64> {
+    let mut keys = Vec::with_capacity(OPS);
+    let mut cursor = 0u64;
+    for _ in 0..OPS {
+        if rng.gen_bool(0.7) {
+            cursor = (cursor + 1) % WORKING_SET; // sequential run
+        } else if rng.gen_bool(0.6) {
+            cursor = rng.gen_below(WORKING_SET / 8); // hot set
+        } else {
+            cursor = rng.gen_below(WORKING_SET);
+        }
+        keys.push(cursor);
+    }
+    keys
+}
+
+/// `flat_row`-shaped keys: the paper channel's 512 flat banks in the
+/// high word, round-robined, with the row inside each bank advancing
+/// slowly with hot-set reuse. Every consecutive op switches leaf page
+/// (one active page per bank).
+fn banked_keys(rng: &mut Rng) -> Vec<u64> {
+    const BANKS: u64 = 512;
+    const ROWS_PER_BANK: u64 = 64;
+    let mut keys = Vec::with_capacity(OPS);
+    let mut rows = [0u64; BANKS as usize];
+    for i in 0..OPS as u64 {
+        let bank = i % BANKS;
+        let row = &mut rows[bank as usize];
+        if rng.gen_bool(0.8) {
+            *row = (*row + 1) % ROWS_PER_BANK;
+        } else {
+            *row = rng.gen_below(ROWS_PER_BANK);
+        }
+        keys.push((bank << 32) | *row);
+    }
+    keys
+}
+
+/// Strided sweep: consecutive ops land 64 rows apart, so the
+/// leaf page changes every 8 accesses.
+fn strided_keys(_rng: &mut Rng) -> Vec<u64> {
+    (0..OPS as u64)
+        .map(|i| (i * 64) % (WORKING_SET * 64))
+        .collect()
+}
+
+/// Structureless keys over the full u64 space (4096 distinct values):
+/// every key owns its own leaf page.
+fn sparse_keys(rng: &mut Rng) -> Vec<u64> {
+    let universe: Vec<u64> = (0..WORKING_SET).map(|_| rng.next_u64()).collect();
+    (0..OPS)
+        .map(|_| universe[rng.gen_below(WORKING_SET) as usize])
+        .collect()
+}
+
+/// One distribution, both op patterns, both maps.
+fn run_distribution(name: &str, keys: &[u64], outcomes: &mut Vec<Outcome>) {
+    // `update`: the classify_write pattern — materialize on first touch,
+    // then bump a counter.
+    let mut rowmap: RowMap<u64> = RowMap::new();
+    let row_update = timing::bench(&format!("{name}/update/rowmap"), || {
+        let mut acc = 0u64;
+        for &k in keys {
+            let v = rowmap.get_or_insert_with(k, || 0);
+            *v = v.wrapping_add(1);
+            acc = acc.wrapping_add(*v);
+        }
+        acc
+    }) / OPS as f64;
+    let mut hashmap: HashMap<u64, u64> = HashMap::new();
+    let hash_update = timing::bench(&format!("{name}/update/hashmap"), || {
+        let mut acc = 0u64;
+        for &k in keys {
+            let v = hashmap.entry(k).or_insert(0);
+            *v = v.wrapping_add(1);
+            acc = acc.wrapping_add(*v);
+        }
+        acc
+    }) / OPS as f64;
+    outcomes.push(Outcome {
+        name: format!("{name}/update"),
+        rowmap_ns: row_update,
+        hashmap_ns: hash_update,
+    });
+
+    // `lookup`: read probes on the maps the update pass populated.
+    let row_lookup = timing::bench(&format!("{name}/lookup/rowmap"), || {
+        let mut acc = 0u64;
+        for &k in keys {
+            if let Some(&v) = rowmap.get(k) {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        acc
+    }) / OPS as f64;
+    let hash_lookup = timing::bench(&format!("{name}/lookup/hashmap"), || {
+        let mut acc = 0u64;
+        for &k in keys {
+            if let Some(&v) = hashmap.get(&k) {
+                acc = acc.wrapping_add(v);
+            }
+        }
+        acc
+    }) / OPS as f64;
+    outcomes.push(Outcome {
+        name: format!("{name}/lookup"),
+        rowmap_ns: row_lookup,
+        hashmap_ns: hash_lookup,
+    });
+}
+
+fn to_json(outcomes: &[Outcome]) -> String {
+    let mut body = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        write!(
+            body,
+            "\n  {{\"name\":\"{}\",\"ops\":{OPS},\
+             \"rowmap_ns\":{:.2},\"hashmap_ns\":{:.2},\"speedup\":{:.2}}}",
+            o.name,
+            o.rowmap_ns,
+            o.hashmap_ns,
+            o.speedup(),
+        )
+        .expect("writing to a String cannot fail");
+    }
+    format!("{{\"bench\":\"rowmap_hotpath\",\"unit\":\"ns_per_op\",\"cases\":[{body}\n]}}\n")
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args.iter().position(|a| a == "--json").map(|pos| {
+        if pos + 1 >= args.len() {
+            eprintln!("error: --json requires a path");
+            std::process::exit(2);
+        }
+        let path = args.remove(pos + 1);
+        args.remove(pos);
+        path
+    });
+    if let Some(unknown) = args.first() {
+        eprintln!("error: unknown argument '{unknown}' (usage: rowmap_hotpath [--json PATH])");
+        std::process::exit(2);
+    }
+
+    println!("row-state store hot path: RowMap vs std::HashMap, {OPS} ops/pass\n");
+    let mut rng = Rng::seed_from_u64(wom_pcm_bench::DEFAULT_SEED);
+    let mut outcomes = Vec::new();
+    run_distribution("dense", &dense_keys(&mut rng), &mut outcomes);
+    run_distribution("banked", &banked_keys(&mut rng), &mut outcomes);
+    run_distribution("strided", &strided_keys(&mut rng), &mut outcomes);
+    run_distribution("sparse", &sparse_keys(&mut rng), &mut outcomes);
+
+    println!();
+    println!(
+        "{:<20} {:>14} {:>14} {:>9}",
+        "case", "rowmap ns/op", "hashmap ns/op", "speedup"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<20} {:>14.2} {:>14.2} {:>8.2}x",
+            o.name,
+            o.rowmap_ns,
+            o.hashmap_ns,
+            o.speedup(),
+        );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&outcomes)).expect("writing the JSON report");
+        println!("\nwrote {path}");
+    }
+}

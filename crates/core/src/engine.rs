@@ -20,13 +20,14 @@ use crate::error::WomPcmError;
 use crate::functional::FunctionalMemory;
 use crate::metrics::RunMetrics;
 use crate::policy::{self, ArchPolicy, ArraySide, ReadAction, WriteAction};
+use crate::rowmap::RowMap;
 use crate::wear_leveling::StartGap;
 use pcm_sim::{
     AddressDecoder, Completion, Cycle, DecodedAddr, MemOp, MemorySystem, ServiceClass, SimError,
     TransactionId,
 };
 use pcm_trace::{TraceOp, TraceRecord};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wom_code::{Inverted, Rs23Code};
 
 /// Cycles the system stalls before retrying when a controller queue is
@@ -41,7 +42,9 @@ const CHECK_LINE_BYTES: usize = 64;
 #[derive(Debug)]
 struct DataCheck {
     mem: FunctionalMemory<Inverted<Rs23Code>>,
-    expected: HashMap<u64, [u8; CHECK_LINE_BYTES]>,
+    /// Reference of the last data written per line, in the page-grained
+    /// store (line ids are dense and clustered).
+    expected: RowMap<[u8; CHECK_LINE_BYTES]>,
     seq: u64,
     reads_verified: u64,
     /// Reused decode target so verified reads don't allocate.
@@ -53,7 +56,7 @@ impl DataCheck {
         Self {
             mem: FunctionalMemory::new(Inverted::new(Rs23Code::new()), CHECK_LINE_BYTES)
                 .expect("64-byte lines tile the RS code"),
-            expected: HashMap::new(),
+            expected: RowMap::new(),
             seq: 0,
             reads_verified: 0,
             line_buf: [0u8; CHECK_LINE_BYTES],
@@ -88,7 +91,7 @@ impl DataCheck {
     /// §3.2 refresh: the line's data is read out, the wits erased, and the
     /// data written back in the first-write pattern.
     fn on_refresh_line(&mut self, line: u64) -> Result<(), WomPcmError> {
-        if let Some(data) = self.expected.get(&line).copied() {
+        if let Some(data) = self.expected.get(line).copied() {
             self.mem.refresh(line);
             self.mem.write(line, &data)?;
         }
@@ -98,7 +101,7 @@ impl DataCheck {
     /// Decodes the cells and checks them against the reference.
     fn on_read(&mut self, addr: u64) -> Result<(), WomPcmError> {
         let line = Self::line_of(addr);
-        if let Some(expected) = self.expected.get(&line) {
+        if let Some(expected) = self.expected.get(line) {
             if !self.mem.read_into(line, &mut self.line_buf) {
                 return Err(WomPcmError::InvalidConfig("written line vanished".into()));
             }

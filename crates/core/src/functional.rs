@@ -9,8 +9,8 @@
 //! and data always decodes back intact.
 
 use crate::error::WomPcmError;
+use crate::rowmap::RowMap;
 use crate::wom_state::WriteKind;
-use std::collections::HashMap;
 use wom_code::{BlockCodec, RowScratch, Transitions, WitBuffer, WomCode};
 
 /// Outcome of one functional row write.
@@ -40,14 +40,18 @@ pub struct FunctionalWrite {
 /// let w3 = mem.write(0, &[0x0F; 64])?; // budget exhausted
 /// assert!(!w3.kind.is_fast());
 /// assert!(w3.transitions.sets > 0); // the alpha-write pays SET pulses
-/// assert_eq!(mem.read(0).unwrap(), vec![0x0F; 64]);
+/// let mut line = [0u8; 64];
+/// assert!(mem.read_into(0, &mut line));
+/// assert_eq!(line, [0x0F; 64]);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct FunctionalMemory<C> {
     codec: BlockCodec<C>,
-    rows: HashMap<u64, (WitBuffer, u32)>,
+    /// Wits and consumed generations per touched row, in the
+    /// page-grained store (line ids are dense and clustered).
+    rows: RowMap<(WitBuffer, u32)>,
     row_bytes: usize,
     /// Reused across writes so the steady-state path never allocates.
     scratch: RowScratch,
@@ -64,7 +68,7 @@ impl<C: WomCode> FunctionalMemory<C> {
         let codec = BlockCodec::new(code, row_bytes * 8)?;
         Ok(Self {
             codec,
-            rows: HashMap::new(),
+            rows: RowMap::new(),
             row_bytes,
             scratch: RowScratch::new(),
         })
@@ -102,8 +106,7 @@ impl<C: WomCode> FunctionalMemory<C> {
         let limit = self.codec.rewrite_limit();
         let entry = self
             .rows
-            .entry(row)
-            .or_insert_with(|| (self.codec.erased_buffer(), 0));
+            .get_or_insert_with(row, || (self.codec.erased_buffer(), 0));
         if entry.1 < limit {
             let gen = entry.1;
             let transitions =
@@ -135,10 +138,15 @@ impl<C: WomCode> FunctionalMemory<C> {
     }
 
     /// Reads and decodes `row`, or `None` if it was never written.
+    ///
+    /// Allocates the result, so it is compiled only for unit tests —
+    /// every engine path reads through the allocation-free
+    /// [`read_into`](Self::read_into).
+    #[cfg(test)]
     #[must_use]
-    pub fn read(&self, row: u64) -> Option<Vec<u8>> {
+    fn read(&self, row: u64) -> Option<Vec<u8>> {
         self.rows
-            .get(&row)
+            .get(row)
             .map(|(cells, _)| self.codec.decode_row(cells).expect("stored rows decode"))
     }
 
@@ -149,7 +157,7 @@ impl<C: WomCode> FunctionalMemory<C> {
     ///
     /// Panics if `out` is not exactly [`row_bytes`](Self::row_bytes) long.
     pub fn read_into(&self, row: u64, out: &mut [u8]) -> bool {
-        match self.rows.get(&row) {
+        match self.rows.get(row) {
             Some((cells, _)) => {
                 self.codec
                     .decode_row_into(cells, out)
@@ -163,13 +171,13 @@ impl<C: WomCode> FunctionalMemory<C> {
     /// Refreshes `row` back to the erased WOM state (as PCM-refresh does),
     /// discarding its data. No-op for unmaterialized rows.
     pub fn refresh(&mut self, row: u64) {
-        self.rows.remove(&row);
+        self.rows.remove(row);
     }
 
     /// Write generations consumed by `row` since its last erase.
     #[must_use]
     pub fn writes_done(&self, row: u64) -> u32 {
-        self.rows.get(&row).map_or(0, |&(_, gen)| gen)
+        self.rows.get(row).map_or(0, |&(_, gen)| gen)
     }
 }
 

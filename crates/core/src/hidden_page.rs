@@ -9,9 +9,16 @@
 //! code selection: any code whose expansion fits the reserved fraction.
 
 use crate::error::WomPcmError;
+use crate::rowmap::RowMap;
 use pcm_sim::MemoryGeometry;
-use std::collections::HashMap;
 use wom_code::WomCode;
+
+/// Packs a `(bank, row)` pair into one [`RowMap`] key. Rows of one bank
+/// occupy one contiguous key range, so consecutive accesses to nearby
+/// rows of a bank land on the same leaf page.
+fn pack(bank: u32, row: u32) -> u64 {
+    (u64::from(bank) << 32) | u64::from(row)
+}
 
 /// Dynamic hidden-page manager: page table + per-bank free lists.
 ///
@@ -43,10 +50,10 @@ pub struct HiddenPageTable {
     /// How many visible rows share one hidden row
     /// (`⌊1 / (expansion − 1)⌋`, e.g. 2 for the ⟨2²⟩²/3 code).
     slots_per_hidden: u32,
-    /// visible (bank, row) → hidden row index in the same bank.
-    page_table: HashMap<(u32, u32), u32>,
-    /// Occupied slots per (bank, hidden row).
-    slot_usage: HashMap<(u32, u32), u32>,
+    /// visible packed (bank, row) → hidden row index in the same bank.
+    page_table: RowMap<u32>,
+    /// Occupied slots per packed (bank, hidden row).
+    slot_usage: RowMap<u32>,
     /// Per-bank free lists of completely unused hidden rows.
     free: Vec<Vec<u32>>,
     /// Per-bank partially filled hidden row, if any.
@@ -91,8 +98,8 @@ impl HiddenPageTable {
             expansion,
             visible_rows,
             slots_per_hidden,
-            page_table: HashMap::new(),
-            slot_usage: HashMap::new(),
+            page_table: RowMap::new(),
+            slot_usage: RowMap::new(),
             free,
             partial: vec![None; banks],
         })
@@ -141,7 +148,7 @@ impl HiddenPageTable {
     /// one has been recruited.
     #[must_use]
     pub fn lookup(&self, bank: u32, row: u32) -> Option<u32> {
-        self.page_table.get(&(bank, row)).copied()
+        self.page_table.get(pack(bank, row)).copied()
     }
 
     /// Recruits (or returns the existing) hidden row for a visible row.
@@ -167,7 +174,7 @@ impl HiddenPageTable {
                 self.visible_rows
             )));
         }
-        if let Some(&hidden) = self.page_table.get(&(bank, row)) {
+        if let Some(&hidden) = self.page_table.get(pack(bank, row)) {
             return Ok(hidden);
         }
         // Fill the bank's partial hidden row first; otherwise take a fresh
@@ -182,28 +189,28 @@ impl HiddenPageTable {
                 fresh
             }
         };
-        let used = self.slot_usage.entry((bank, hidden)).or_insert(0);
+        let used = self.slot_usage.get_or_insert_with(pack(bank, hidden), || 0);
         *used += 1;
         if *used >= self.slots_per_hidden {
             self.partial[bank as usize] = None; // row is full
         }
-        self.page_table.insert((bank, row), hidden);
+        self.page_table.insert(pack(bank, row), hidden);
         Ok(hidden)
     }
 
     /// Releases the hidden row paired with `(bank, row)` back to the free
     /// pool. Releasing an unmapped row is a no-op.
     pub fn release(&mut self, bank: u32, row: u32) {
-        let Some(hidden) = self.page_table.remove(&(bank, row)) else {
+        let Some(hidden) = self.page_table.remove(pack(bank, row)) else {
             return;
         };
         let used = self
             .slot_usage
-            .get_mut(&(bank, hidden))
+            .get_mut(pack(bank, hidden))
             .expect("mapped rows have slot usage");
         *used -= 1;
         if *used == 0 {
-            self.slot_usage.remove(&(bank, hidden));
+            self.slot_usage.remove(pack(bank, hidden));
             if self.partial[bank as usize] == Some(hidden) {
                 self.partial[bank as usize] = None;
             }

@@ -19,6 +19,8 @@
 //! * [`refresh`] — the §3.2 PCM-refresh engine (row address tables,
 //!   round-robin idle-rank selection, refresh threshold).
 //! * [`wcpcm`] — the §4 per-rank WOM-cache (tags, victims, hit rates).
+//! * [`rowmap`] — the page-grained row-state store backing every
+//!   hot-path row-keyed table above.
 //! * [`functional`] — a data-bearing memory model (actual WOM encode /
 //!   decode through `wom_code::BlockCodec`) for end-to-end validation.
 //!
@@ -55,6 +57,7 @@ pub mod hidden_page;
 pub mod metrics;
 pub mod policy;
 pub mod refresh;
+pub mod rowmap;
 pub mod system;
 pub mod wcpcm;
 pub mod wear_leveling;
@@ -70,6 +73,7 @@ pub use hidden_page::HiddenPageTable;
 pub use metrics::RunMetrics;
 pub use policy::ArchPolicy;
 pub use refresh::{RefreshConfig, RefreshEngine, RefreshPlan};
+pub use rowmap::RowMap;
 pub use system::{SystemConfig, WomPcmSystem};
 pub use wcpcm::{CacheStats, CacheWriteOutcome, WomCache};
 pub use wear_leveling::StartGap;

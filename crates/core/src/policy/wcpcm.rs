@@ -128,24 +128,25 @@ impl ArchPolicy for WcpcmPolicy {
     /// One staggered refresh opportunity on the cache arrays (see
     /// `RefreshDriver::tick` for the rank/bank qualification rules).
     fn on_tick(&mut self, core: &mut EngineCore) -> Result<(), WomPcmError> {
+        if !self.engine.has_work() {
+            return Ok(());
+        }
         let ranks = core.config().mem.geometry.ranks;
         self.idle_scratch.clear();
         self.idle_scratch
             .extend((0..ranks).filter(|&r| core.cache_rank_idle(r)));
-        if let Some(plan) = self.engine.plan(&self.idle_scratch) {
-            self.rows_scratch.clear();
-            self.rows_scratch.extend(
-                plan.rows
-                    .iter()
-                    .copied()
-                    .filter(|&(bank, _)| core.cache_bank_free(plan.rank, bank)),
-            );
+        if let Some(rank) = self
+            .engine
+            .plan_into(&self.idle_scratch, &mut self.rows_scratch)
+        {
+            self.rows_scratch
+                .retain(|&(bank, _)| core.cache_bank_free(rank, bank));
             if self.rows_scratch.is_empty() {
                 return Ok(());
             }
-            let ids = core.enqueue_cache_rank_refresh(plan.rank, &self.rows_scratch)?;
+            let ids = core.enqueue_cache_rank_refresh(rank, &self.rows_scratch)?;
             for (&(_, row), id) in self.rows_scratch.iter().zip(&ids) {
-                self.planned.insert(*id, (plan.rank, row));
+                self.planned.insert(*id, (rank, row));
             }
         }
         Ok(())

@@ -73,6 +73,11 @@ struct RowAddressTable {
 
 impl RowAddressTable {
     fn record(&mut self, row: u32, depth: usize) {
+        // Hot case: a row being hammered past its budget re-records
+        // itself every write; already-newest needs no scan at all.
+        if self.rows.back() == Some(&row) {
+            return;
+        }
         if let Some(pos) = self.rows.iter().position(|&r| r == row) {
             self.rows.remove(pos);
         }
@@ -130,6 +135,13 @@ pub struct RefreshEngine {
     tables: Vec<RowAddressTable>,
     /// Round-robin cursor over ranks.
     cursor: u32,
+    /// Non-empty tables per rank, maintained incrementally so both the
+    /// per-tick no-work test and the threshold check
+    /// ([`refreshable_banks`](Self::refreshable_banks)) are integer
+    /// reads instead of bank scans.
+    pending_banks: Vec<u32>,
+    /// Non-empty tables across the channel (the sum of `pending_banks`).
+    pending_total: u32,
 }
 
 /// A refresh plan for one rank: the rows to refresh, one per listed bank.
@@ -165,6 +177,8 @@ impl RefreshEngine {
             banks_per_rank,
             tables: vec![RowAddressTable::default(); (ranks * banks_per_rank) as usize],
             cursor: 0,
+            pending_banks: vec![0; ranks as usize],
+            pending_total: 0,
         })
     }
 
@@ -192,7 +206,12 @@ impl RefreshEngine {
         );
         let depth = self.config.table_depth;
         let idx = self.flat(rank, bank);
-        self.tables[idx].record(row, depth);
+        let table = &mut self.tables[idx];
+        if table.is_empty() {
+            self.pending_banks[rank as usize] += 1;
+            self.pending_total += 1;
+        }
+        table.record(row, depth);
     }
 
     /// Removes a row from its table: it was refreshed, or a demand α-write
@@ -207,7 +226,13 @@ impl RefreshEngine {
             "rank/bank out of range"
         );
         let idx = self.flat(rank, bank);
-        self.tables[idx].remove(row);
+        let table = &mut self.tables[idx];
+        let was_empty = table.is_empty();
+        table.remove(row);
+        if !was_empty && table.is_empty() {
+            self.pending_banks[rank as usize] -= 1;
+            self.pending_total -= 1;
+        }
     }
 
     /// A planned refresh of `(rank, bank, row)` was preempted by write
@@ -217,23 +242,45 @@ impl RefreshEngine {
         // the hook exists for symmetry and future accounting.
     }
 
-    /// Number of banks of `rank` with at least one exhausted row recorded.
+    /// True when any bank has a refreshable row recorded. O(1): periodic
+    /// tick paths use this to skip idle-rank qualification entirely in
+    /// the (common) steady state where nothing is exhausted.
+    #[must_use]
+    pub fn has_work(&self) -> bool {
+        self.pending_total > 0
+    }
+
+    /// Number of banks of `rank` with at least one exhausted row
+    /// recorded. O(1): read off the incrementally maintained counters.
     #[must_use]
     pub fn refreshable_banks(&self, rank: u32) -> u32 {
-        (0..self.banks_per_rank)
-            .filter(|&b| !self.tables[self.flat(rank, b)].is_empty())
-            .count() as u32
+        self.pending_banks[rank as usize]
     }
 
     /// Picks the refresh target for this period from `idle_ranks`
     /// (round-robin, threshold-filtered) and returns the plan, if any.
     ///
+    /// Convenience wrapper over [`plan_into`](Self::plan_into) that
+    /// allocates the row list; periodic callers should pass a reused
+    /// scratch buffer to `plan_into` instead.
+    pub fn plan(&mut self, idle_ranks: &[u32]) -> Option<RefreshPlan> {
+        let mut rows = Vec::new();
+        self.plan_into(idle_ranks, &mut rows)
+            .map(|rank| RefreshPlan { rank, rows })
+    }
+
+    /// Allocation-free [`plan`](Self::plan): fills `rows` with the
+    /// target rank's `(bank, row)` pairs (clearing it first) and returns
+    /// the rank, or `None` (with `rows` cleared) when no idle rank
+    /// qualifies.
+    ///
     /// The plan lists the *oldest* recorded row of every non-empty bank
     /// table in the target rank. Rows stay recorded until
     /// [`row_refreshed`](Self::row_refreshed) confirms them, so a
     /// preempted refresh is retried on a later period.
-    pub fn plan(&mut self, idle_ranks: &[u32]) -> Option<RefreshPlan> {
-        if idle_ranks.is_empty() {
+    pub fn plan_into(&mut self, idle_ranks: &[u32], rows: &mut Vec<(u32, u32)>) -> Option<u32> {
+        rows.clear();
+        if self.pending_total == 0 || idle_ranks.is_empty() {
             return None;
         }
         // Round-robin: try ranks starting at the cursor.
@@ -252,11 +299,12 @@ impl RefreshEngine {
             if u64::from(refreshable) < needed.max(1) {
                 continue;
             }
-            let rows: Vec<(u32, u32)> = (0..self.banks_per_rank)
-                .filter_map(|b| self.tables[self.flat(rank, b)].oldest().map(|row| (b, row)))
-                .collect();
+            rows.extend(
+                (0..self.banks_per_rank)
+                    .filter_map(|b| self.tables[self.flat(rank, b)].oldest().map(|row| (b, row))),
+            );
             self.cursor = (rank + 1) % self.ranks;
-            return Some(RefreshPlan { rank, rows });
+            return Some(rank);
         }
         None
     }
@@ -419,5 +467,101 @@ mod tests {
     fn out_of_range_bank_panics() {
         let mut e = engine();
         e.record_exhausted(0, 99, 0);
+    }
+
+    #[test]
+    fn pending_counters_track_table_occupancy() {
+        let mut e = engine(); // 2 ranks × 4 banks
+        assert!(!e.has_work());
+        e.record_exhausted(0, 1, 5);
+        e.record_exhausted(0, 1, 6); // same bank: still one refreshable bank
+        e.record_exhausted(1, 0, 7);
+        assert!(e.has_work());
+        assert_eq!(e.refreshable_banks(0), 1);
+        assert_eq!(e.refreshable_banks(1), 1);
+        e.row_refreshed(0, 1, 5);
+        assert_eq!(e.refreshable_banks(0), 1, "row 6 is still recorded");
+        e.row_refreshed(0, 1, 6);
+        assert_eq!(e.refreshable_banks(0), 0);
+        e.row_refreshed(1, 0, 99); // absent row: no change
+        assert_eq!(e.refreshable_banks(1), 1);
+        e.row_refreshed(1, 0, 7);
+        assert!(!e.has_work());
+    }
+
+    #[test]
+    fn plan_into_matches_plan_and_reuses_the_buffer() {
+        let mut a = engine();
+        let mut b = engine();
+        for e in [&mut a, &mut b] {
+            e.record_exhausted(0, 0, 10);
+            e.record_exhausted(0, 2, 20);
+            e.record_exhausted(1, 1, 30);
+        }
+        let mut scratch = vec![(9, 9); 8]; // stale content must not leak
+        let rank = a.plan_into(&[0, 1], &mut scratch);
+        let plan = b.plan(&[0, 1]).unwrap();
+        assert_eq!(rank, Some(plan.rank));
+        assert_eq!(scratch, plan.rows);
+        // A no-plan call clears the buffer instead of leaving stale rows.
+        assert_eq!(a.plan_into(&[], &mut scratch), None);
+        assert!(scratch.is_empty());
+    }
+
+    /// Pins the paper-depth (5) row-address-table semantics so a future
+    /// reimplementation of the O(depth) scans cannot drift: re-recording
+    /// dedups and moves the row to most-recent, and the sixth distinct
+    /// row displaces the oldest.
+    mod table_semantics_at_depth_5 {
+        use super::*;
+
+        fn paper_engine() -> RefreshEngine {
+            let e = RefreshEngine::new(RefreshConfig::paper(), 1, 1).unwrap();
+            assert_eq!(e.config().table_depth, 5);
+            e
+        }
+
+        /// The full table content, oldest first, via repeated
+        /// plan/confirm rounds (each plan reports the oldest row).
+        fn drain(e: &mut RefreshEngine) -> Vec<u32> {
+            let mut rows = Vec::new();
+            while let Some(plan) = e.plan(&[0]) {
+                let &(bank, row) = &plan.rows[0];
+                rows.push(row);
+                e.row_refreshed(0, bank, row);
+            }
+            rows
+        }
+
+        #[test]
+        fn sixth_distinct_row_evicts_the_oldest() {
+            let mut e = paper_engine();
+            for row in 1..=6 {
+                e.record_exhausted(0, 0, row);
+            }
+            assert_eq!(drain(&mut e), vec![2, 3, 4, 5, 6], "row 1 displaced");
+        }
+
+        #[test]
+        fn re_recording_dedups_and_renews_recency() {
+            let mut e = paper_engine();
+            for row in 1..=5 {
+                e.record_exhausted(0, 0, row);
+            }
+            e.record_exhausted(0, 0, 1); // full table: renew, don't evict
+            e.record_exhausted(0, 0, 6); // displaces row 2, not row 1
+            assert_eq!(drain(&mut e), vec![3, 4, 5, 1, 6]);
+        }
+
+        #[test]
+        fn repeated_hammering_of_one_row_keeps_one_entry() {
+            let mut e = paper_engine();
+            e.record_exhausted(0, 0, 1);
+            e.record_exhausted(0, 0, 2);
+            for _ in 0..100 {
+                e.record_exhausted(0, 0, 2); // already newest: no-op
+            }
+            assert_eq!(drain(&mut e), vec![1, 2]);
+        }
     }
 }

@@ -1,0 +1,419 @@
+//! Page-grained row-state store: the shared map behind every hot-path
+//! row-keyed structure.
+//!
+//! Trace-driven PCM simulation touches per-row metadata once (or more)
+//! per record: WOM rewrite budgets, functional wit buffers, data-check
+//! references, hidden-page mappings. A `std::HashMap` serves each of
+//! those lookups with a SipHash over the key and a probe into a
+//! cache-unfriendly table — per record, that hash dominates once the
+//! row codec is fast. Real traces, however, have dense spatial
+//! locality: consecutive records hit the same row or its neighbours,
+//! and row ids are clustered (per bank, per rank). [`RowMap`] exploits
+//! that with a two-level radix layout, the same reason DRAMSim2-style
+//! substrates keep per-bank state in dense arrays.
+//!
+//! Layout: a key is split into a *page id* (`key >> 9`) and a *slot*
+//! (`key & 511`). Leaf pages are dense 512-slot arrays living in an
+//! arena; a sparse, ordered directory maps page ids to arena indexes.
+//! A small direct-mapped cache remembers recently touched pages, so
+//! the common cases — the next record lands on the same 512-row
+//! neighbourhood, or the trace round-robins a few dozen banks whose
+//! rows live on different pages — cost a multiply, a compare, and two
+//! array indexes: no hashing of the full key, no tree walk. Iteration
+//! follows the ordered directory and then slot order,
+//! so it is deterministic in ascending key order (a repo invariant:
+//! anything that influences simulated behaviour must iterate
+//! deterministically; see `EngineCore`).
+//!
+//! When *not* to use it: keys with no spatial clustering (uniformly
+//! random u64s) still work but allocate a 512-slot page per key in the
+//! worst case — a plain map is the better fit for such cold-path,
+//! structureless key sets.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+/// log2 of the leaf-page size: 512 slots per page.
+const PAGE_BITS: u32 = 9;
+/// Slots per leaf page.
+const PAGE_SLOTS: usize = 1 << PAGE_BITS;
+/// Cache sentinel: no page id can equal `u64::MAX` because page ids are
+/// keys shifted right by [`PAGE_BITS`].
+const NO_PAGE: u64 = u64::MAX;
+/// log2 of the page-cache ways. `flat_row` keys put the bank in the
+/// high bits, so a bank-interleaved trace cycles through one active
+/// page per bank and a single-entry cache would thrash on every access.
+/// 1024 ways (16 KiB) covers the paper's 16-rank × 32-bank channel —
+/// 512 concurrently active pages — with headroom for hash collisions.
+const CACHE_BITS: u32 = 10;
+/// Direct-mapped page-cache entries.
+const CACHE_WAYS: usize = 1 << CACHE_BITS;
+
+/// One dense leaf page: 512 optional values plus an occupancy count.
+#[derive(Debug, Clone)]
+struct Page<T> {
+    slots: Box<[Option<T>]>,
+    used: u32,
+}
+
+impl<T> Page<T> {
+    fn new() -> Self {
+        Self {
+            slots: (0..PAGE_SLOTS).map(|_| None).collect(),
+            used: 0,
+        }
+    }
+}
+
+/// A map from `u64` row ids to `T`, tuned for the dense, clustered key
+/// distributions of trace-driven simulation.
+///
+/// Two-level radix structure: a sparse ordered directory of dense
+/// 512-slot leaf pages, with a direct-mapped cache of recently touched
+/// pages. Lookups on a cached page cost a multiply, a compare, and two
+/// indexes; cache misses fall back to an ordered-map walk. Iteration is
+/// always in ascending key order.
+///
+/// ```
+/// use wom_pcm::rowmap::RowMap;
+///
+/// let mut map: RowMap<u32> = RowMap::new();
+/// *map.get_or_insert_with(7, || 0) += 1;
+/// map.insert(520, 9); // a different leaf page
+/// assert_eq!(map.get(7), Some(&1));
+/// assert_eq!(map.len(), 2);
+/// let keys: Vec<u64> = map.iter().map(|(k, _)| k).collect();
+/// assert_eq!(keys, vec![7, 520], "iteration is key-ordered");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowMap<T> {
+    /// page id → arena index, ordered so iteration is deterministic.
+    directory: BTreeMap<u64, u32>,
+    /// Leaf-page arena. Pages are never freed individually (an emptied
+    /// page is almost always re-touched — refresh erases a row and the
+    /// workload rewrites it), only by [`clear`](Self::clear).
+    pages: Vec<Page<T>>,
+    /// Direct-mapped cache of recently touched pages, each entry a
+    /// `(page id, arena index)` pair. `Cell`s so read paths can refresh
+    /// entries without `&mut self`; boxed so the map itself stays small
+    /// to move.
+    cache: Box<[Cell<(u64, u32)>]>,
+    len: usize,
+}
+
+impl<T> Default for RowMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RowMap<T> {
+    /// Creates an empty map (no pages allocated).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            directory: BTreeMap::new(),
+            pages: Vec::new(),
+            cache: (0..CACHE_WAYS).map(|_| Cell::new((NO_PAGE, 0))).collect(),
+            len: 0,
+        }
+    }
+
+    /// Entries stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Leaf pages allocated (diagnostic; includes emptied pages that are
+    /// kept for reuse).
+    #[must_use]
+    pub fn pages_allocated(&self) -> usize {
+        self.pages.len()
+    }
+
+    #[inline]
+    fn split(key: u64) -> (u64, usize) {
+        (key >> PAGE_BITS, (key & (PAGE_SLOTS as u64 - 1)) as usize)
+    }
+
+    /// Page-cache way for `page`: a multiplicative (Fibonacci) hash, so
+    /// page ids differing only in high bits — distinct banks under the
+    /// `flat_row` packing — spread across the ways.
+    #[inline]
+    fn cache_way(page: u64) -> usize {
+        (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - CACHE_BITS)) as usize
+    }
+
+    /// Arena index of `page`, consulting the page cache first.
+    #[inline]
+    fn find_page(&self, page: u64) -> Option<u32> {
+        let way = &self.cache[Self::cache_way(page)];
+        let (cached_page, cached_idx) = way.get();
+        if cached_page == page {
+            return Some(cached_idx);
+        }
+        let idx = *self.directory.get(&page)?;
+        way.set((page, idx));
+        Some(idx)
+    }
+
+    /// Arena index of `page`, allocating a fresh leaf if absent.
+    #[inline]
+    fn find_or_alloc_page(&mut self, page: u64) -> u32 {
+        if let Some(idx) = self.find_page(page) {
+            return idx;
+        }
+        let idx = u32::try_from(self.pages.len()).expect("fewer than 2^32 leaf pages");
+        self.pages.push(Page::new());
+        self.directory.insert(page, idx);
+        self.cache[Self::cache_way(page)].set((page, idx));
+        idx
+    }
+
+    /// Returns a reference to the value at `key`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let (page, slot) = Self::split(key);
+        let idx = self.find_page(page)?;
+        self.pages[idx as usize].slots[slot].as_ref()
+    }
+
+    /// Returns a mutable reference to the value at `key`.
+    #[inline]
+    #[must_use]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let (page, slot) = Self::split(key);
+        let idx = self.find_page(page)?;
+        self.pages[idx as usize].slots[slot].as_mut()
+    }
+
+    /// True when `key` has a value.
+    #[must_use]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns the value at `key`, inserting `default()` first when the
+    /// slot is vacant — the `entry`-style hook for materialize-on-first-
+    /// touch state tables.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, key: u64, default: impl FnOnce() -> T) -> &mut T {
+        let (page, slot) = Self::split(key);
+        let idx = self.find_or_alloc_page(page) as usize;
+        let entry = &mut self.pages[idx].slots[slot];
+        if entry.is_none() {
+            *entry = Some(default());
+            self.pages[idx].used += 1;
+            self.len += 1;
+        }
+        self.pages[idx].slots[slot]
+            .as_mut()
+            .expect("slot was just filled")
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        let (page, slot) = Self::split(key);
+        let idx = self.find_or_alloc_page(page) as usize;
+        let old = self.pages[idx].slots[slot].replace(value);
+        if old.is_none() {
+            self.pages[idx].used += 1;
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value at `key`. The leaf page stays
+    /// allocated for reuse.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let (page, slot) = Self::split(key);
+        let idx = self.find_page(page)?;
+        let old = self.pages[idx as usize].slots[slot].take();
+        if old.is_some() {
+            self.pages[idx as usize].used -= 1;
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Drops every entry and every page.
+    pub fn clear(&mut self) {
+        self.directory.clear();
+        self.pages.clear();
+        for way in self.cache.iter() {
+            way.set((NO_PAGE, 0));
+        }
+        self.len = 0;
+    }
+
+    /// Keeps only the entries for which `f` returns true, visiting them
+    /// in ascending key order.
+    pub fn retain(&mut self, mut f: impl FnMut(u64, &mut T) -> bool) {
+        let mut removed = 0usize;
+        for (&page, &idx) in &self.directory {
+            let leaf = &mut self.pages[idx as usize];
+            for (slot, value) in leaf.slots.iter_mut().enumerate() {
+                let keep = match value {
+                    Some(v) => f((page << PAGE_BITS) | slot as u64, v),
+                    None => continue,
+                };
+                if !keep {
+                    *value = None;
+                    leaf.used -= 1;
+                    removed += 1;
+                }
+            }
+        }
+        self.len -= removed;
+    }
+
+    /// Iterates `(key, &value)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
+        let pages = &self.pages;
+        self.directory.iter().flat_map(move |(&page, &idx)| {
+            pages[idx as usize]
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(move |(slot, v)| {
+                    v.as_ref().map(|v| ((page << PAGE_BITS) | slot as u64, v))
+                })
+        })
+    }
+
+    /// Iterates stored values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map() {
+        let map: RowMap<u8> = RowMap::new();
+        assert_eq!(map.len(), 0);
+        assert!(map.is_empty());
+        assert_eq!(map.get(0), None);
+        assert_eq!(map.iter().count(), 0);
+        assert_eq!(map.pages_allocated(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut map = RowMap::new();
+        assert_eq!(map.insert(3, "a"), None);
+        assert_eq!(map.insert(3, "b"), Some("a"));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get(3), Some(&"b"));
+        assert_eq!(map.remove(3), Some("b"));
+        assert_eq!(map.remove(3), None);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn keys_sharing_a_page_share_its_allocation() {
+        let mut map = RowMap::new();
+        for k in 0..512u64 {
+            map.insert(k, k);
+        }
+        assert_eq!(map.pages_allocated(), 1);
+        map.insert(512, 512);
+        assert_eq!(map.pages_allocated(), 2);
+        assert_eq!(map.len(), 513);
+    }
+
+    #[test]
+    fn get_or_insert_with_materializes_once() {
+        let mut map = RowMap::new();
+        let mut calls = 0;
+        *map.get_or_insert_with(9, || {
+            calls += 1;
+            10u32
+        }) += 1;
+        *map.get_or_insert_with(9, || {
+            calls += 1;
+            10u32
+        }) += 1;
+        assert_eq!(calls, 1);
+        assert_eq!(map.get(9), Some(&12));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered_across_pages() {
+        let mut map = RowMap::new();
+        for &k in &[5000u64, 3, 511, 512, 1024, 4] {
+            map.insert(k, ());
+        }
+        let keys: Vec<u64> = map.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![3, 4, 511, 512, 1024, 5000]);
+    }
+
+    #[test]
+    fn retain_drops_by_key_and_value() {
+        let mut map = RowMap::new();
+        for k in 0..1000u64 {
+            map.insert(k, k as u32);
+        }
+        map.retain(|k, v| k % 2 == 0 && *v < 500);
+        assert_eq!(map.len(), 250);
+        assert!(map.iter().all(|(k, &v)| k % 2 == 0 && v < 500));
+    }
+
+    #[test]
+    fn clear_releases_pages() {
+        let mut map = RowMap::new();
+        map.insert(1, 1u8);
+        map.insert(100_000, 2u8);
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.pages_allocated(), 0);
+        assert_eq!(map.get(1), None);
+        // The map is fully reusable after a clear.
+        map.insert(1, 3u8);
+        assert_eq!(map.get(1), Some(&3));
+    }
+
+    #[test]
+    fn extreme_keys() {
+        let mut map = RowMap::new();
+        map.insert(u64::MAX, 1u8);
+        map.insert(0, 2u8);
+        assert_eq!(map.get(u64::MAX), Some(&1));
+        assert_eq!(map.get(u64::MAX - 1), None);
+        let keys: Vec<u64> = map.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![0, u64::MAX]);
+    }
+
+    #[test]
+    fn removed_slots_leave_the_page_for_reuse() {
+        let mut map = RowMap::new();
+        map.insert(7, 1u8);
+        map.remove(7);
+        assert_eq!(map.pages_allocated(), 1);
+        map.insert(8, 2u8);
+        assert_eq!(map.pages_allocated(), 1, "page 0 is reused");
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = RowMap::new();
+        a.insert(1, 1u8);
+        let mut b = a.clone();
+        b.insert(2, 2u8);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -17,7 +17,7 @@
 //! State is kept lazily per touched row, so simulating a 16 GiB device
 //! costs memory proportional to the trace footprint only.
 
-use std::collections::HashMap;
+use crate::rowmap::RowMap;
 
 /// What state untouched (cold) cells are assumed to hold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -111,8 +111,9 @@ pub struct WomStateTable {
     rewrite_limit: u32,
     columns: u32,
     cold: ColdPolicy,
-    /// Per-row boxed slice of per-column write counters.
-    rows: HashMap<u64, Box<[u8]>>,
+    /// Per-row boxed slice of per-column write counters, in the
+    /// page-grained store (row ids are dense and clustered).
+    rows: RowMap<Box<[u8]>>,
 }
 
 impl WomStateTable {
@@ -159,7 +160,7 @@ impl WomStateTable {
             rewrite_limit,
             columns,
             cold,
-            rows: HashMap::new(),
+            rows: RowMap::new(),
         }
     }
 
@@ -181,9 +182,9 @@ impl WomStateTable {
 
     fn materialize(&mut self, row: u64) -> &mut Box<[u8]> {
         let (cold, limit, columns) = (self.cold, self.rewrite_limit, self.columns);
-        self.rows.entry(row).or_insert_with(|| {
+        self.rows.get_or_insert_with(row, || {
             // One zero-filled allocation, written in place — no
-            // intermediate collect, and a single hash-map probe.
+            // intermediate collect, and a single map probe.
             let mut counts = vec![0u8; columns as usize].into_boxed_slice();
             match cold {
                 ColdPolicy::Erased => {}
@@ -247,7 +248,7 @@ impl WomStateTable {
         assert!(column < self.columns, "column {column} out of range");
         let done = self
             .rows
-            .get(&row)
+            .get(row)
             .map_or_else(|| self.cold_count(row, column), |c| c[column as usize]);
         u32::from(done) >= self.rewrite_limit
     }
@@ -256,7 +257,7 @@ impl WomStateTable {
     /// criterion for entering a bank's row address table.
     #[must_use]
     pub fn row_exhausted(&self, row: u64) -> bool {
-        match self.rows.get(&row) {
+        match self.rows.get(row) {
             Some(counts) => counts.iter().any(|&c| u32::from(c) >= self.rewrite_limit),
             None => {
                 (0..self.columns).any(|c| u32::from(self.cold_count(row, c)) >= self.rewrite_limit)
@@ -275,7 +276,7 @@ impl WomStateTable {
         assert!(column < self.columns, "column {column} out of range");
         u32::from(
             self.rows
-                .get(&row)
+                .get(row)
                 .map_or_else(|| self.cold_count(row, column), |c| c[column as usize]),
         )
     }
@@ -285,7 +286,7 @@ impl WomStateTable {
     /// column are fast again.
     pub fn mark_refreshed(&mut self, row: u64) {
         if self.cold == ColdPolicy::Erased {
-            self.rows.remove(&row);
+            self.rows.remove(row);
         } else {
             // Under non-erased cold policies an absent entry is not
             // necessarily fresh, so the refreshed state must be stored

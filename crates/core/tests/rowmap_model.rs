@@ -1,0 +1,158 @@
+//! Lockstep model test: [`wom_pcm::RowMap`] against a `HashMap`
+//! reference over randomized operation sequences, plus the edge cases
+//! a radix layout is most likely to get wrong (page boundaries, the
+//! extreme key, empty iteration).
+//!
+//! Deterministically seeded (pcm-rng), so any failure reproduces with
+//! plain `cargo test`.
+
+use pcm_rng::Rng;
+use std::collections::HashMap;
+use wom_pcm::RowMap;
+
+const CASES: u64 = 64;
+const OPS_PER_CASE: usize = 600;
+
+/// Key universes stressing different layout regimes: one leaf page,
+/// a few neighbouring pages, page-boundary stripes, and keys scattered
+/// over the full u64 space (including near `u64::MAX`).
+fn arbitrary_key(rng: &mut Rng) -> u64 {
+    match rng.gen_below(4) {
+        0 => rng.gen_below(512),
+        1 => rng.gen_below(4096),
+        2 => 510 + rng.gen_below(4) * 512 + rng.gen_below(4),
+        _ => u64::MAX - rng.gen_below(2048),
+    }
+}
+
+fn check_equal(map: &RowMap<u64>, reference: &HashMap<u64, u64>) {
+    assert_eq!(map.len(), reference.len());
+    assert_eq!(map.is_empty(), reference.is_empty());
+    let mut expected: Vec<(u64, u64)> = reference.iter().map(|(&k, &v)| (k, v)).collect();
+    expected.sort_unstable();
+    let actual: Vec<(u64, u64)> = map.iter().map(|(k, &v)| (k, v)).collect();
+    assert_eq!(actual, expected, "key-ordered iteration must match");
+}
+
+#[test]
+fn lockstep_against_hashmap_reference() {
+    let mut rng = Rng::seed_from_u64(0x2014_0DA7);
+    for case in 0..CASES {
+        let mut map: RowMap<u64> = RowMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for op in 0..OPS_PER_CASE {
+            let key = arbitrary_key(&mut rng);
+            match rng.gen_below(8) {
+                0 | 1 => {
+                    let value = rng.next_u64();
+                    assert_eq!(
+                        map.insert(key, value),
+                        reference.insert(key, value),
+                        "insert at {key:#x} (case {case}, op {op})"
+                    );
+                }
+                2 | 3 => {
+                    let value = rng.next_u64();
+                    let got = *map.get_or_insert_with(key, || value);
+                    let want = *reference.entry(key).or_insert(value);
+                    assert_eq!(got, want, "entry at {key:#x} (case {case}, op {op})");
+                }
+                4 => {
+                    // In-place update through the mutable lookup.
+                    let delta = rng.next_u64();
+                    let got = map.get_mut(key).map(|v| {
+                        *v = v.wrapping_add(delta);
+                        *v
+                    });
+                    let want = reference.get_mut(&key).map(|v| {
+                        *v = v.wrapping_add(delta);
+                        *v
+                    });
+                    assert_eq!(got, want, "get_mut at {key:#x} (case {case}, op {op})");
+                }
+                5 => {
+                    assert_eq!(
+                        map.remove(key),
+                        reference.remove(&key),
+                        "remove at {key:#x} (case {case}, op {op})"
+                    );
+                }
+                6 => {
+                    assert_eq!(map.get(key), reference.get(&key));
+                    assert_eq!(map.contains_key(key), reference.contains_key(&key));
+                }
+                _ => {
+                    // Rare structural ops: retain by a random predicate,
+                    // or clear everything.
+                    if rng.gen_bool(0.9) {
+                        let bit = rng.gen_below(64);
+                        map.retain(|k, _| (k >> bit) & 1 == 0);
+                        reference.retain(|&k, _| (k >> bit) & 1 == 0);
+                    } else {
+                        map.clear();
+                        reference.clear();
+                    }
+                }
+            }
+        }
+        check_equal(&map, &reference);
+    }
+}
+
+#[test]
+fn page_boundary_keys_are_distinct() {
+    let mut map = RowMap::new();
+    // Straddle every boundary of the first pages: 511|512, 1023|1024, …
+    for boundary in (1..8u64).map(|p| p * 512) {
+        map.insert(boundary - 1, boundary - 1);
+        map.insert(boundary, boundary);
+    }
+    for boundary in (1..8u64).map(|p| p * 512) {
+        assert_eq!(map.get(boundary - 1), Some(&(boundary - 1)));
+        assert_eq!(map.get(boundary), Some(&boundary));
+    }
+    assert_eq!(map.len(), 14);
+}
+
+#[test]
+fn extreme_key_round_trips() {
+    let mut map = RowMap::new();
+    map.insert(u64::MAX, 1u8);
+    assert_eq!(map.get(u64::MAX), Some(&1));
+    assert_eq!(map.get(u64::MAX - 1), None);
+    assert_eq!(map.iter().next(), Some((u64::MAX, &1)));
+    assert_eq!(map.remove(u64::MAX), Some(1));
+    assert!(map.is_empty());
+}
+
+#[test]
+fn empty_map_iterates_nothing() {
+    let map: RowMap<u8> = RowMap::new();
+    assert_eq!(map.iter().count(), 0);
+    assert_eq!(map.values().count(), 0);
+    let mut cleared: RowMap<u8> = RowMap::new();
+    cleared.insert(3, 1);
+    cleared.clear();
+    assert_eq!(cleared.iter().count(), 0);
+}
+
+#[test]
+fn iteration_order_is_deterministic_and_ascending() {
+    // Insertion order must not matter: two maps filled in opposite
+    // orders iterate identically, ascending by key.
+    let keys: Vec<u64> = vec![9000, 3, 512, 511, u64::MAX, 0, 1024, 77];
+    let mut forward = RowMap::new();
+    let mut backward = RowMap::new();
+    for &k in &keys {
+        forward.insert(k, k);
+    }
+    for &k in keys.iter().rev() {
+        backward.insert(k, k);
+    }
+    let f: Vec<u64> = forward.iter().map(|(k, _)| k).collect();
+    let b: Vec<u64> = backward.iter().map(|(k, _)| k).collect();
+    assert_eq!(f, b);
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(f, sorted);
+}

@@ -8,6 +8,10 @@
 # key, every shared numeric metric is compared, and the delta is printed
 # as a percentage (negative = NEW is smaller). For *_ns metrics smaller
 # is faster; for records_per_sec and *_speedup larger is better.
+#
+# Exits non-zero when a baseline (OLD) case is missing from NEW — a
+# renamed or dropped case would otherwise silently stop being compared.
+# Cases only in NEW are fine (a freshly added case has no baseline yet).
 
 set -eu
 
@@ -44,8 +48,9 @@ def index(report):
 
 old_cases, new_cases = index(old), index(new)
 shared = [k for k in old_cases if k in new_cases]
-for gone in sorted(set(old_cases) - set(new_cases)):
-    print(f"only in {old_path}: {gone}")
+missing = sorted(set(old_cases) - set(new_cases))
+for gone in missing:
+    print(f"error: baseline case missing from {new_path}: {gone}", file=sys.stderr)
 for added in sorted(set(new_cases) - set(old_cases)):
     print(f"only in {new_path}: {added}")
 if not shared:
@@ -70,4 +75,11 @@ for key in shared:
         print(f"{key:<28} {metric:<22} {ov:>14.1f} {nv:>14.1f} {delta:>+8.1f}%")
 
 print(f"\nworst regression: {worst:+.1f}%")
+if missing:
+    print(
+        f"{len(missing)} baseline case(s) missing from {new_path} "
+        f"(renamed or dropped?)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
 PY
