@@ -20,6 +20,10 @@
 //! the committed baseline; see EXPERIMENTS.md for how to regenerate it
 //! and `scripts/bench_compare.sh` for diffing two baselines.
 
+// HashMap is the comparison baseline this benchmark exists to measure
+// against; the determinism ban targets simulation code.
+#![allow(clippy::disallowed_types)]
+
 use pcm_rng::Rng;
 use std::collections::HashMap;
 use std::fmt::Write as _;

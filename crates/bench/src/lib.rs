@@ -493,6 +493,9 @@ mod tests {
 /// Plain-`std` micro-benchmark timing for the `benches/` targets: warm
 /// up, calibrate an iteration count, measure, and print one line per
 /// case. Keeps the workspace free of a benchmark-harness dependency.
+// Wall-clock time is what a micro-benchmark measures; the determinism
+// ban on `Instant::now` targets simulation code, not the harness.
+#[allow(clippy::disallowed_methods)]
 pub mod timing {
     use std::time::{Duration, Instant};
 

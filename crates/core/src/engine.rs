@@ -106,6 +106,7 @@ impl DataCheck {
                 return Err(WomPcmError::InvalidConfig("written line vanished".into()));
             }
             if &self.line_buf != expected {
+                // womlint::allow(hotpath/alloc, reason = "corruption error path: allocates once, then the run aborts")
                 return Err(WomPcmError::InvalidConfig(format!(
                     "data corruption at line {line:#x}: cells decode differently from the                      last write"
                 )));
@@ -355,11 +356,11 @@ impl EngineCore {
     /// Re-initializes every line of a refreshed main-memory row in the
     /// functional checker (no-op when verification is off).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the functional refresh itself fails — that is a bug,
-    /// not a configuration error.
-    pub fn check_refresh_row(&mut self, rank: u32, bank: u32, row: u32) {
+    /// Returns an error when the functional refresh itself fails — that
+    /// is a simulator bug, not a configuration error.
+    pub fn check_refresh_row(&mut self, rank: u32, bank: u32, row: u32) -> Result<(), WomPcmError> {
         let g = self.config.mem.geometry;
         let decoder = *self.main.decoder();
         if let Some(check) = &mut self.data_check {
@@ -370,12 +371,11 @@ impl EngineCore {
                     row,
                     column,
                 };
-                let addr = decoder.encode(d).expect("refresh rows are in range");
-                if let Err(e) = check.on_refresh_line(DataCheck::line_of(addr)) {
-                    panic!("functional refresh failed: {e}");
-                }
+                let addr = decoder.encode(d)?;
+                check.on_refresh_line(DataCheck::line_of(addr))?;
             }
         }
+        Ok(())
     }
 
     /// Queues a victim writeback to main memory (issued as soon as the
@@ -615,14 +615,14 @@ impl<P: ArchPolicy> Engine<P> {
     fn advance_all_to(&mut self, cycle: Cycle) -> Result<(), WomPcmError> {
         if cycle > self.core.main.now() {
             for c in self.core.main.advance_to(cycle)? {
-                self.handle_main_completion(&c);
+                self.handle_main_completion(&c)?;
             }
         }
         if let Some(cm) = &mut self.core.cache_mem {
             if cycle > cm.now() {
                 let completions = cm.advance_to(cycle)?;
                 for c in completions {
-                    self.handle_cache_completion(&c);
+                    self.handle_cache_completion(&c)?;
                 }
             }
         }
@@ -630,31 +630,33 @@ impl<P: ArchPolicy> Engine<P> {
         Ok(())
     }
 
-    fn handle_main_completion(&mut self, c: &Completion) {
+    fn handle_main_completion(&mut self, c: &Completion) -> Result<(), WomPcmError> {
         self.core.outstanding_main -= 1;
         if c.class == ServiceClass::RankRefresh {
-            self.policy
+            return self
+                .policy
                 .on_completion(&mut self.core, ArraySide::Main, c);
-            return;
         }
         if self.core.victim_ids.remove(&c.id) {
             self.core.metrics.victim_writebacks += 1;
-            return;
+            return Ok(());
         }
         if self.core.leveling_ids.remove(&c.id) {
-            return; // internal wear-leveling row copy
+            return Ok(()); // internal wear-leveling row copy
         }
         self.core.record_demand(c);
+        Ok(())
     }
 
-    fn handle_cache_completion(&mut self, c: &Completion) {
+    fn handle_cache_completion(&mut self, c: &Completion) -> Result<(), WomPcmError> {
         self.core.outstanding_cache -= 1;
         if c.class == ServiceClass::RankRefresh {
-            self.policy
+            return self
+                .policy
                 .on_completion(&mut self.core, ArraySide::Cache, c);
-            return;
         }
         self.core.record_demand(c);
+        Ok(())
     }
 
     // ------------------------------------------------------------------

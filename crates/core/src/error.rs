@@ -22,6 +22,10 @@ pub enum WomPcmError {
         /// The (earlier) record cycle.
         record: u64,
     },
+    /// An internal invariant was violated — a simulator bug, not a user
+    /// error. Returned instead of panicking so a broken invariant aborts
+    /// one run of a parallel sweep, not the whole process.
+    Internal(String),
 }
 
 impl fmt::Display for WomPcmError {
@@ -33,6 +37,7 @@ impl fmt::Display for WomPcmError {
             Self::TraceOrder { now, record } => {
                 write!(f, "trace record at cycle {record} arrived after time {now}")
             }
+            Self::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

@@ -286,7 +286,7 @@ mod tests {
         }
         // 42 visible rows packed 2-per-hidden-row use 21 of the 22
         // reserved rows.
-        let used: std::collections::HashSet<u32> = (0..t.visible_rows())
+        let used: std::collections::BTreeSet<u32> = (0..t.visible_rows())
             .map(|r| t.lookup(0, r).unwrap())
             .collect();
         assert_eq!(used.len() as u32, t.visible_rows().div_ceil(2));

@@ -48,7 +48,14 @@ impl ArchPolicy for BaselinePolicy {
         })
     }
 
-    fn on_completion(&mut self, _core: &mut EngineCore, _side: ArraySide, _c: &Completion) {
-        unreachable!("the baseline never schedules rank refreshes");
+    fn on_completion(
+        &mut self,
+        _core: &mut EngineCore,
+        _side: ArraySide,
+        _c: &Completion,
+    ) -> Result<(), WomPcmError> {
+        Err(WomPcmError::Internal(
+            "the baseline never schedules rank refreshes".into(),
+        ))
     }
 }

@@ -137,7 +137,19 @@ pub trait ArchPolicy: std::fmt::Debug {
     }
 
     /// Reacts to a rank-refresh completion (or preemption) on `side`.
-    fn on_completion(&mut self, core: &mut EngineCore, side: ArraySide, c: &Completion);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Internal`] when the completion does not
+    /// match a planned refresh (a scheduling bug), and propagates
+    /// address-decoding or data-verification errors from the policy's
+    /// post-refresh bookkeeping.
+    fn on_completion(
+        &mut self,
+        core: &mut EngineCore,
+        side: ArraySide,
+        c: &Completion,
+    ) -> Result<(), WomPcmError>;
 
     /// Reacts to a wear-leveling row copy: the destination physical row
     /// `dest` was erased and rewritten once.
@@ -168,8 +180,13 @@ impl ArchPolicy for Box<dyn ArchPolicy> {
         (**self).on_tick(core)
     }
 
-    fn on_completion(&mut self, core: &mut EngineCore, side: ArraySide, c: &Completion) {
-        (**self).on_completion(core, side, c);
+    fn on_completion(
+        &mut self,
+        core: &mut EngineCore,
+        side: ArraySide,
+        c: &Completion,
+    ) -> Result<(), WomPcmError> {
+        (**self).on_completion(core, side, c)
     }
 
     fn on_wear_level_copy(&mut self, core: &mut EngineCore, dest: DecodedAddr) {

@@ -49,10 +49,18 @@ impl RefreshDriver {
     }
 
     /// Removes and returns the planned target of a finished refresh.
-    pub(super) fn take_planned(&mut self, id: TransactionId) -> (u32, u32, u32) {
-        self.planned
-            .remove(&id)
-            .expect("refresh completion must have been planned")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Internal`] when `id` was never planned —
+    /// a refresh-scheduling bug.
+    pub(super) fn take_planned(
+        &mut self,
+        id: TransactionId,
+    ) -> Result<(u32, u32, u32), WomPcmError> {
+        self.planned.remove(&id).ok_or_else(|| {
+            WomPcmError::Internal(format!("refresh completion {id:?} was never planned"))
+        })
     }
 
     /// One staggered refresh opportunity on the main arrays.
@@ -126,8 +134,13 @@ impl ArchPolicy for WomCodeRefreshPolicy {
         self.inner.tick(core)
     }
 
-    fn on_completion(&mut self, core: &mut EngineCore, side: ArraySide, c: &Completion) {
-        self.inner.on_completion(core, side, c);
+    fn on_completion(
+        &mut self,
+        core: &mut EngineCore,
+        side: ArraySide,
+        c: &Completion,
+    ) -> Result<(), WomPcmError> {
+        self.inner.on_completion(core, side, c)
     }
 
     fn on_wear_level_copy(&mut self, core: &mut EngineCore, dest: DecodedAddr) {

@@ -152,12 +152,23 @@ impl ArchPolicy for WcpcmPolicy {
         Ok(())
     }
 
-    fn on_completion(&mut self, core: &mut EngineCore, side: ArraySide, c: &Completion) {
-        assert_eq!(side, ArraySide::Cache, "WCPCM refreshes only its cache");
-        let (rank, row) = self
-            .planned
-            .remove(&c.id)
-            .expect("cache refresh completion must have been planned");
+    fn on_completion(
+        &mut self,
+        core: &mut EngineCore,
+        side: ArraySide,
+        c: &Completion,
+    ) -> Result<(), WomPcmError> {
+        if side != ArraySide::Cache {
+            return Err(WomPcmError::Internal(
+                "WCPCM refreshes only its cache".into(),
+            ));
+        }
+        let (rank, row) = self.planned.remove(&c.id).ok_or_else(|| {
+            WomPcmError::Internal(format!(
+                "cache refresh completion {:?} was never planned",
+                c.id
+            ))
+        })?;
         if c.preempted {
             core.metrics_mut().refreshes_preempted += 1;
             self.engine.row_preempted(rank, 0, row);
@@ -175,15 +186,12 @@ impl ArchPolicy for WcpcmPolicy {
                     row,
                     column: 0,
                 };
-                match core.decoder().encode(victim) {
-                    Ok(addr) => match core.remap_main(addr) {
-                        Ok(physical) => core.push_victim(physical),
-                        Err(e) => panic!("victim remap failed: {e}"),
-                    },
-                    Err(e) => panic!("victim encode failed: {e}"),
-                }
+                let addr = core.decoder().encode(victim)?;
+                let physical = core.remap_main(addr)?;
+                core.push_victim(physical);
             }
         }
+        Ok(())
     }
 
     fn finish(&mut self, _core: &EngineCore, result: &mut RunMetrics) {

@@ -65,7 +65,7 @@ impl WomCodePolicy {
     pub(super) fn tick(&mut self, core: &mut EngineCore) -> Result<(), WomPcmError> {
         self.refresh
             .as_mut()
-            .expect("tick requires the refresh driver")
+            .ok_or_else(|| WomPcmError::Internal("tick requires the refresh driver".into()))?
             .tick(core)
     }
 
@@ -145,13 +145,21 @@ impl ArchPolicy for WomCodePolicy {
         })
     }
 
-    fn on_completion(&mut self, core: &mut EngineCore, side: ArraySide, c: &Completion) {
-        assert_eq!(side, ArraySide::Main, "WOM-code PCM has no cache array");
-        let driver = self
-            .refresh
-            .as_mut()
-            .expect("refresh completion must have been planned");
-        let (rank, bank, row) = driver.take_planned(c.id);
+    fn on_completion(
+        &mut self,
+        core: &mut EngineCore,
+        side: ArraySide,
+        c: &Completion,
+    ) -> Result<(), WomPcmError> {
+        if side != ArraySide::Main {
+            return Err(WomPcmError::Internal(
+                "WOM-code PCM has no cache array".into(),
+            ));
+        }
+        let driver = self.refresh.as_mut().ok_or_else(|| {
+            WomPcmError::Internal("refresh completion without a refresh driver".into())
+        })?;
+        let (rank, bank, row) = driver.take_planned(c.id)?;
         if c.preempted {
             core.metrics_mut().refreshes_preempted += 1;
             driver.row_preempted(rank, bank, row);
@@ -168,8 +176,9 @@ impl ArchPolicy for WomCodePolicy {
             };
             self.wom
                 .mark_copied(d.flat_row(&core.config().mem.geometry));
-            core.check_refresh_row(rank, bank, row);
+            core.check_refresh_row(rank, bank, row)?;
         }
+        Ok(())
     }
 
     fn on_wear_level_copy(&mut self, core: &mut EngineCore, dest: DecodedAddr) {

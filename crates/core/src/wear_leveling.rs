@@ -146,7 +146,7 @@ impl StartGap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn construction_validates() {
@@ -161,7 +161,7 @@ mod tests {
     fn mapping_is_always_a_bijection() {
         let mut sg = StartGap::new(16, 3).unwrap();
         for step in 0..500 {
-            let mapped: HashSet<u64> = (0..16).map(|l| sg.physical_of(l)).collect();
+            let mapped: BTreeSet<u64> = (0..16).map(|l| sg.physical_of(l)).collect();
             assert_eq!(mapped.len(), 16, "collision after {step} writes");
             for p in &mapped {
                 assert!(*p < sg.physical_rows());
@@ -199,7 +199,7 @@ mod tests {
         // Hammer logical row 0 and observe its physical location visiting
         // every slot within one full rotation's worth of writes.
         let mut sg = StartGap::new(8, 1).unwrap();
-        let mut visited = HashSet::new();
+        let mut visited = BTreeSet::new();
         for _ in 0..(sg.writes_per_full_rotation() * 9) {
             visited.insert(sg.physical_of(0));
             sg.record_write();

@@ -9,7 +9,7 @@
 //! becomes current again.
 
 use pcm_rng::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use wom_pcm::wcpcm::{CacheWriteOutcome, WomCache};
 
 const RANKS: u32 = 2;
@@ -28,7 +28,7 @@ enum Holder {
 struct ReferenceModel {
     /// Latest-data holder per (rank, bank, row); absent = never written
     /// (main memory trivially current).
-    holders: HashMap<(u32, u32, u32), Holder>,
+    holders: BTreeMap<(u32, u32, u32), Holder>,
 }
 
 impl ReferenceModel {

@@ -393,7 +393,7 @@ mod tests {
     fn flat_indices_are_unique() {
         let g = MemoryGeometry::tiny();
         let dec = AddressDecoder::new(g, AddressMapping::default()).unwrap();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for addr in (0..g.capacity_bytes()).step_by(g.row_bytes as usize) {
             let d = dec.decode(addr);
             seen.insert(d.flat_row(&g));

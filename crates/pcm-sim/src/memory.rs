@@ -20,7 +20,7 @@ use crate::timing::Cycle;
 use crate::transaction::{Completion, MemOp, ServiceClass, Transaction, TransactionId};
 use crate::wear::WearTracker;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// A queued burst-mode rank refresh (one row per listed bank).
 #[derive(Debug, Clone)]
@@ -80,7 +80,9 @@ pub struct MemorySystem {
     events: BTreeSet<Cycle>,
     pending: BinaryHeap<Reverse<Pending>>,
     cancelled: BTreeSet<TransactionId>,
-    refresh_addrs: HashMap<TransactionId, u64>,
+    /// Keyed by transaction id; `BTreeMap` so any future iteration stays
+    /// deterministic (womlint: determinism/banned-type).
+    refresh_addrs: BTreeMap<TransactionId, u64>,
     out: Vec<Completion>,
     stats: MemStats,
     wear: WearTracker,
@@ -111,7 +113,7 @@ impl MemorySystem {
             events: BTreeSet::new(),
             pending: BinaryHeap::new(),
             cancelled: BTreeSet::new(),
-            refresh_addrs: HashMap::new(),
+            refresh_addrs: BTreeMap::new(),
             out: Vec::new(),
             stats: MemStats::new(),
             wear: WearTracker::new(),
@@ -551,31 +553,28 @@ impl MemorySystem {
         // Write pausing: a bank busy with a preemptible refresh yields to
         // demand accesses immediately.
         if !self.banks[flat].is_free(self.now) {
-            if self.config.write_pausing
-                && self.banks[flat]
-                    .in_flight(self.now)
-                    .is_some_and(|f| f.class.is_preemptible())
-            {
-                let aborted = self.banks[flat]
-                    .preempt(self.now)
-                    .expect("checked preemptible");
-                let addr = self.refresh_addrs.remove(&aborted.id).unwrap_or_default();
-                self.cancelled.insert(aborted.id);
-                let c = Completion {
-                    id: aborted.id,
-                    addr,
-                    op: MemOp::Write,
-                    class: ServiceClass::RankRefresh,
-                    arrival: aborted.start,
-                    start: aborted.start,
-                    finish: self.now,
-                    preempted: true,
-                };
-                self.stats.record(&c);
-                self.out.push(c);
-            } else {
+            if !self.config.write_pausing {
                 return false;
             }
+            // `preempt` refuses idle banks and non-preemptible classes, so
+            // it doubles as the write-pausing eligibility check.
+            let Some(aborted) = self.banks[flat].preempt(self.now) else {
+                return false;
+            };
+            let addr = self.refresh_addrs.remove(&aborted.id).unwrap_or_default();
+            self.cancelled.insert(aborted.id);
+            let c = Completion {
+                id: aborted.id,
+                addr,
+                op: MemOp::Write,
+                class: ServiceClass::RankRefresh,
+                arrival: aborted.start,
+                start: aborted.start,
+                finish: self.now,
+                preempted: true,
+            };
+            self.stats.record(&c);
+            self.out.push(c);
         }
         // Shared channel data bus: one burst at a time.
         if self.bus_free_at > self.now {
@@ -615,28 +614,31 @@ impl MemorySystem {
         if !all_free {
             return false;
         }
-        let batch = self.refresh_q.pop_front().expect("checked front");
-        let ids = self
-            .refresh_ids
-            .pop_front()
-            .expect("ids stashed with batch");
+        // Batches and their id lists are pushed together at enqueue, so
+        // both queues pop in lockstep.
+        let (batch, ids) = match (self.refresh_q.pop_front(), self.refresh_ids.pop_front()) {
+            (Some(batch), Some(ids)) => (batch, ids),
+            _ => return false,
+        };
         let dur = self
             .config
             .timing
             .rank_refresh_cycles(self.config.geometry.banks_per_rank);
         let finish = self.now + dur;
         for (&(bank, row), &id) in batch.rows.iter().zip(&ids) {
+            // Encode before `begin` so a failure (impossible: coordinates
+            // are validated at enqueue) cannot leave a bank busy with no
+            // pending completion.
+            let Ok(addr) = self.decoder.encode(crate::address::DecodedAddr {
+                rank: batch.rank,
+                bank,
+                row,
+                column: 0,
+            }) else {
+                continue;
+            };
             let flat = self.flat_bank(batch.rank, bank);
             self.banks[flat].begin(id, ServiceClass::RankRefresh, self.now, finish, row);
-            let addr = self
-                .decoder
-                .encode(crate::address::DecodedAddr {
-                    rank: batch.rank,
-                    bank,
-                    row,
-                    column: 0,
-                })
-                .expect("validated at enqueue");
             self.refresh_addrs.insert(id, addr);
             self.pending.push(Reverse(Pending(Completion {
                 id,

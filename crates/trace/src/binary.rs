@@ -120,9 +120,11 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>, BinaryTra
                 })
             }
         }
-        let cycle = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
-        let addr = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
-        let op = match buf[16] {
+        // Infallible split: RECORD_BYTES = 8 (cycle) + 8 (addr) + 1 (op).
+        let [c0, c1, c2, c3, c4, c5, c6, c7, a0, a1, a2, a3, a4, a5, a6, a7, op_byte] = buf;
+        let cycle = u64::from_le_bytes([c0, c1, c2, c3, c4, c5, c6, c7]);
+        let addr = u64::from_le_bytes([a0, a1, a2, a3, a4, a5, a6, a7]);
+        let op = match op_byte {
             0 => TraceOp::Read,
             1 => TraceOp::Write,
             value => {

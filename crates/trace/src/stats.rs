@@ -2,7 +2,7 @@
 //! characterizing captured workloads.
 
 use crate::record::TraceRecord;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Summary statistics of a memory-access trace.
 ///
@@ -48,7 +48,9 @@ impl TraceStats {
     pub fn from_records<I: IntoIterator<Item = TraceRecord>>(records: I, row_bytes: u64) -> Self {
         assert!(row_bytes > 0, "row_bytes must be positive");
         let mut stats = Self::default();
-        let mut row_writes: HashMap<u64, u64> = HashMap::new();
+        // Row-keyed: iterated below, so the map must be key-ordered for
+        // deterministic traversal (womlint: determinism/banned-type).
+        let mut row_writes: BTreeMap<u64, u64> = BTreeMap::new();
         let mut first = None;
         for r in records {
             stats.accesses += 1;

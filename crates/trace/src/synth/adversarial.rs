@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn pingpong_alternates_two_addresses() {
         let t = cache_pingpong(10, 4096, 3);
-        let unique: std::collections::HashSet<u64> = t.iter().map(|r| r.addr).collect();
+        let unique: std::collections::BTreeSet<u64> = t.iter().map(|r| r.addr).collect();
         assert_eq!(unique.len(), 2);
         assert_ne!(t[0].addr, t[1].addr);
         assert_eq!(t[0].addr, t[2].addr);

@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn names_are_unique() {
         let a = all();
-        let names: std::collections::HashSet<_> = a.iter().map(|p| p.name.as_str()).collect();
+        let names: std::collections::BTreeSet<_> = a.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(names.len(), a.len());
     }
 

@@ -400,7 +400,7 @@ mod tests {
             .filter(|r| !r.op.is_read())
             .map(|r| r.addr / ROW_BYTES)
             .collect();
-        let unique: std::collections::HashSet<_> = writes.iter().collect();
+        let unique: std::collections::BTreeSet<_> = writes.iter().collect();
         // Strong recurrence means far fewer unique rows than writes.
         assert!(
             unique.len() * 3 < writes.len(),

@@ -408,6 +408,7 @@ impl<C: WomCode> BlockCodec<C> {
         let mut bit = 0usize;
         for _ in 0..self.symbols {
             let current = word_chunk(&cells.words, bit, wbits);
+            // womlint::allow(hotpath/alloc, reason = "BitReader::read pulls bits from the input slice; it does not allocate (the ban targets FunctionalMemory::read)")
             let value = reader.read(dbits);
             let Some(next) = lut.encode_bits(gen, current, value) else {
                 // Cold path: re-run the symbol code to surface the exact

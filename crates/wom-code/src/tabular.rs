@@ -11,7 +11,7 @@
 use crate::code::{check_encode_args, WomCode};
 use crate::error::WomCodeError;
 use crate::wit::{Orientation, Pattern};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A WOM-code defined by explicit per-generation pattern tables.
 ///
@@ -43,7 +43,10 @@ pub struct TabularWomCode {
     wits: u32,
     orientation: Orientation,
     tables: Vec<Vec<u64>>,
-    decode_map: HashMap<u64, u64>,
+    /// `(pattern, value)` pairs sorted by pattern — binary-searched on
+    /// decode. Key-ordered and contiguous: deterministic iteration
+    /// (womlint: determinism/banned-type) and cache-friendly lookups.
+    decode_map: Vec<(u64, u64)>,
 }
 
 impl TabularWomCode {
@@ -88,7 +91,7 @@ impl TabularWomCode {
         } else {
             (1u64 << wits) - 1
         };
-        let mut decode_map: HashMap<u64, u64> = HashMap::new();
+        let mut decode_map: BTreeMap<u64, u64> = BTreeMap::new();
         for (g, table) in tables.iter().enumerate() {
             if table.len() != values {
                 return Err(WomCodeError::InvalidTable(format!(
@@ -146,7 +149,7 @@ impl TabularWomCode {
             wits,
             orientation,
             tables,
-            decode_map,
+            decode_map: decode_map.into_iter().collect(),
         })
     }
 
@@ -172,6 +175,15 @@ impl TabularWomCode {
     pub fn tables(&self) -> &[Vec<u64>] {
         &self.tables
     }
+
+    /// Decoded value for `bits`, if `bits` is a table pattern.
+    fn lookup(&self, bits: u64) -> Option<u64> {
+        self.decode_map
+            .binary_search_by_key(&bits, |&(pattern, _)| pattern)
+            .ok()
+            .and_then(|i| self.decode_map.get(i))
+            .map(|&(_, value)| value)
+    }
 }
 
 impl WomCode for TabularWomCode {
@@ -193,7 +205,7 @@ impl WomCode for TabularWomCode {
 
     fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError> {
         check_encode_args(self, gen, data, current)?;
-        if self.decode(current) == data && self.decode_map.contains_key(&current.bits()) {
+        if self.decode(current) == data && self.lookup(current.bits()).is_some() {
             return Ok(current);
         }
         let target =
@@ -211,7 +223,7 @@ impl WomCode for TabularWomCode {
     }
 
     fn decode(&self, pattern: Pattern) -> u64 {
-        self.decode_map.get(&pattern.bits()).copied().unwrap_or(0)
+        self.lookup(pattern.bits()).unwrap_or(0)
     }
 }
 

@@ -1,0 +1,374 @@
+//! Typed view of `womlint.toml` and the panic-ratchet baseline file.
+
+use crate::toml::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// One crate in scope: a display name and the path to its root
+/// (the directory containing `src/`), relative to the workspace root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeCrate {
+    /// Name used in diagnostics and as the baseline table key.
+    pub name: String,
+    /// Crate root relative to the workspace root (e.g. `crates/core`).
+    pub path: String,
+}
+
+/// A `[[determinism.allow]]` entry: a justified exception for one banned
+/// token (type name or path) in one file. The reason is mandatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetAllow {
+    /// File the exception applies to, relative to the workspace root.
+    pub file: String,
+    /// The banned type name or path being allowed (e.g. `BTreeSet`).
+    pub token: String,
+    /// Why the use is sound (e.g. "keys are transaction ids; iteration
+    /// is key-ordered and deterministic").
+    pub reason: String,
+}
+
+/// A module/function region tagged hot in `womlint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotRegion {
+    /// File the region lives in, relative to the workspace root.
+    pub file: String,
+    /// Function names covered; empty means the whole file is hot.
+    pub functions: Vec<String>,
+}
+
+/// Parsed `womlint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Crates scanned at all.
+    pub scope: Vec<ScopeCrate>,
+    /// Crate names (subset of scope) under the determinism rules.
+    pub determinism_crates: Vec<String>,
+    /// Type identifiers banned wherever they appear in determinism crates.
+    pub banned_types: Vec<String>,
+    /// `::`-separated paths (or single identifiers) banned in
+    /// determinism crates.
+    pub banned_paths: Vec<String>,
+    /// Config-level allowlist for determinism bans.
+    pub det_allow: Vec<DetAllow>,
+    /// Calls (method names, `Type::fn` paths, or `name!` macros) banned
+    /// inside hot regions.
+    pub hot_banned_calls: Vec<String>,
+    /// Hot regions.
+    pub hot_regions: Vec<HotRegion>,
+    /// Crate names (subset of scope) under the panic inventory.
+    pub panic_crates: Vec<String>,
+    /// Path of the ratchet baseline file, relative to the workspace root.
+    pub baseline_file: String,
+}
+
+/// Panic-capable site counts for one crate's library code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PanicCounts {
+    /// `.unwrap()` calls.
+    pub unwrap: u64,
+    /// `.expect(...)` calls.
+    pub expect: u64,
+    /// `panic!(...)` invocations.
+    pub panic: u64,
+    /// Index expressions (`x[i]` — may panic, unlike `x.get(i)`).
+    pub index: u64,
+}
+
+impl PanicCounts {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.unwrap + self.expect + self.panic + self.index
+    }
+
+    /// Per-category (name, count) pairs, in stable order.
+    #[must_use]
+    pub fn categories(&self) -> [(&'static str, u64); 4] {
+        [
+            ("unwrap", self.unwrap),
+            ("expect", self.expect),
+            ("panic", self.panic),
+            ("index", self.index),
+        ]
+    }
+}
+
+/// The ratchet baseline: per-crate panic counts.
+pub type Baseline = BTreeMap<String, PanicCounts>;
+
+/// Configuration loading/validation error.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn cfg_err(msg: impl Into<String>) -> ConfigError {
+    ConfigError(msg.into())
+}
+
+fn str_list(value: Option<&Value>, what: &str) -> Result<Vec<String>, ConfigError> {
+    let Some(value) = value else {
+        return Ok(Vec::new());
+    };
+    let items = value
+        .as_array()
+        .ok_or_else(|| cfg_err(format!("{what} must be an array of strings")))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| cfg_err(format!("{what} must contain only strings")))
+        })
+        .collect()
+}
+
+impl Config {
+    /// Parses `womlint.toml` content.
+    pub fn parse(src: &str) -> Result<Self, ConfigError> {
+        let doc = toml::parse(src).map_err(|e| cfg_err(format!("womlint.toml: {e}")))?;
+
+        let scope_tbl = doc
+            .get("scope")
+            .ok_or_else(|| cfg_err("womlint.toml: missing [scope]"))?;
+        let mut scope = Vec::new();
+        for path in str_list(scope_tbl.get("crates"), "scope.crates")? {
+            let name = match path.rsplit('/').next() {
+                Some(".") | Some("") | None => "root".to_string(),
+                Some(last) => last.to_string(),
+            };
+            scope.push(ScopeCrate { name, path });
+        }
+        if scope.is_empty() {
+            return Err(cfg_err("womlint.toml: scope.crates is empty"));
+        }
+
+        let det = doc.get("determinism");
+        let determinism_crates = str_list(det.and_then(|d| d.get("crates")), "determinism.crates")?;
+        let banned_types = str_list(
+            det.and_then(|d| d.get("banned_types")),
+            "determinism.banned_types",
+        )?;
+        let banned_paths = str_list(
+            det.and_then(|d| d.get("banned_paths")),
+            "determinism.banned_paths",
+        )?;
+        let mut det_allow = Vec::new();
+        if let Some(entries) = det.and_then(|d| d.get("allow")) {
+            let entries = entries
+                .as_array()
+                .ok_or_else(|| cfg_err("determinism.allow must be [[determinism.allow]] tables"))?;
+            for e in entries {
+                let field = |key: &str| -> Result<String, ConfigError> {
+                    e.get(key)
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| {
+                            cfg_err(format!("[[determinism.allow]] missing `{key}` string"))
+                        })
+                };
+                let entry = DetAllow {
+                    file: field("file")?,
+                    token: field("token")?,
+                    reason: field("reason")?,
+                };
+                if entry.reason.trim().is_empty() {
+                    return Err(cfg_err(format!(
+                        "[[determinism.allow]] for `{}` in {} has an empty reason — \
+                         allowlist entries must be justified",
+                        entry.token, entry.file
+                    )));
+                }
+                det_allow.push(entry);
+            }
+        }
+
+        let hot = doc.get("hotpath");
+        let hot_banned_calls = str_list(
+            hot.and_then(|h| h.get("banned_calls")),
+            "hotpath.banned_calls",
+        )?;
+        let mut hot_regions = Vec::new();
+        if let Some(regions) = hot.and_then(|h| h.get("region")) {
+            let regions = regions
+                .as_array()
+                .ok_or_else(|| cfg_err("hotpath.region must be [[hotpath.region]] tables"))?;
+            for r in regions {
+                let file = r
+                    .get("file")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| cfg_err("[[hotpath.region]] missing `file`"))?
+                    .to_string();
+                let functions = str_list(r.get("functions"), "hotpath.region.functions")?;
+                hot_regions.push(HotRegion { file, functions });
+            }
+        }
+
+        let panic = doc.get("panic");
+        let panic_crates = str_list(panic.and_then(|p| p.get("crates")), "panic.crates")?;
+        let baseline_file = panic
+            .and_then(|p| p.get("baseline"))
+            .and_then(Value::as_str)
+            .unwrap_or("womlint-baseline.toml")
+            .to_string();
+
+        let known: Vec<&str> = scope.iter().map(|c| c.name.as_str()).collect();
+        for name in determinism_crates.iter().chain(&panic_crates) {
+            if !known.contains(&name.as_str()) {
+                return Err(cfg_err(format!(
+                    "womlint.toml: crate `{name}` is not in scope.crates"
+                )));
+            }
+        }
+
+        Ok(Self {
+            scope,
+            determinism_crates,
+            banned_types,
+            banned_paths,
+            det_allow,
+            hot_banned_calls,
+            hot_regions,
+            panic_crates,
+            baseline_file,
+        })
+    }
+
+    /// Loads `womlint.toml` from `root`.
+    pub fn load(root: &Path) -> Result<Self, ConfigError> {
+        let path = root.join("womlint.toml");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| cfg_err(format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&src)
+    }
+}
+
+/// Parses a `womlint-baseline.toml` document (`[crate]` tables with
+/// `unwrap`/`expect`/`panic`/`index` integer counts).
+pub fn parse_baseline(src: &str) -> Result<Baseline, ConfigError> {
+    let doc = toml::parse(src).map_err(|e| cfg_err(format!("baseline: {e}")))?;
+    let table = doc
+        .as_table()
+        .ok_or_else(|| cfg_err("baseline: not a table"))?;
+    let mut out = Baseline::new();
+    for (name, value) in table {
+        let t = value
+            .as_table()
+            .ok_or_else(|| cfg_err(format!("baseline: [{name}] is not a table")))?;
+        let count = |key: &str| -> Result<u64, ConfigError> {
+            match t.get(key) {
+                None => Ok(0),
+                Some(v) => v
+                    .as_int()
+                    .filter(|i| *i >= 0)
+                    .map(|i| i as u64)
+                    .ok_or_else(|| {
+                        cfg_err(format!(
+                            "baseline: [{name}] {key} must be a non-negative integer"
+                        ))
+                    }),
+            }
+        };
+        out.insert(
+            name.clone(),
+            PanicCounts {
+                unwrap: count("unwrap")?,
+                expect: count("expect")?,
+                panic: count("panic")?,
+                index: count("index")?,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Renders a baseline document (used by `--update-baseline`).
+#[must_use]
+pub fn render_baseline(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# womlint panic-safety ratchet baseline.\n\
+         #\n\
+         # Counts of panic-capable sites (unwrap/expect/panic!/index exprs)\n\
+         # in each crate's library code (non-test, non-bin). The lint fails\n\
+         # if any count rises above this file; after burning sites down,\n\
+         # regenerate with:\n\
+         #\n\
+         #     cargo run -p womlint -- --update-baseline\n\n",
+    );
+    for (name, counts) in baseline {
+        out.push_str(&format!("[{name}]\n"));
+        for (cat, n) in counts.categories() {
+            out.push_str(&format!("{cat} = {n}\n"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_config() {
+        let cfg = Config::parse(
+            r#"
+[scope]
+crates = ["crates/core", "crates/rng", "."]
+
+[determinism]
+crates = ["core", "rng"]
+banned_types = ["HashMap"]
+banned_paths = ["std::time::Instant"]
+
+[hotpath]
+banned_calls = ["collect"]
+
+[[hotpath.region]]
+file = "crates/core/src/engine.rs"
+functions = ["submit"]
+
+[panic]
+crates = ["core"]
+baseline = "womlint-baseline.toml"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.scope.len(), 3);
+        assert_eq!(cfg.scope[0].name, "core");
+        assert_eq!(cfg.scope[2].name, "root");
+        assert_eq!(cfg.hot_regions[0].functions, vec!["submit"]);
+    }
+
+    #[test]
+    fn rejects_unknown_crates() {
+        let e = Config::parse(
+            "[scope]\ncrates = [\"crates/core\"]\n[determinism]\ncrates = [\"nope\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut b = Baseline::new();
+        b.insert(
+            "core".into(),
+            PanicCounts {
+                unwrap: 1,
+                expect: 2,
+                panic: 3,
+                index: 4,
+            },
+        );
+        let rendered = render_baseline(&b);
+        assert_eq!(parse_baseline(&rendered).unwrap(), b);
+    }
+}

@@ -1,0 +1,349 @@
+//! A minimal token-level Rust lexer — just enough syntax awareness to
+//! scan for banned identifiers, paths, and call shapes without pulling a
+//! full parser (the workspace is offline; no `syn`).
+//!
+//! The lexer distinguishes identifiers, punctuation, literals, and
+//! lifetimes, tracks the 1-based line of every token, skips comments
+//! (collecting them separately so suppression comments like
+//! `// womlint::allow(rule, reason = "...")` can be parsed), and never
+//! looks inside string/char literals — `"HashMap"` in a diagnostic
+//! message must not trip the determinism rule.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and text.
+    pub kind: TokenKind,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// Kinds of token the scanner distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#match` → `match`).
+    Ident(String),
+    /// Single punctuation character (`.`, `:`, `(`, `[`, `!`, ...).
+    Punct(char),
+    /// String, char, byte, or numeric literal (content discarded).
+    Literal,
+    /// Lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// A comment captured during lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens outside comments and literals.
+    pub tokens: Vec<Token>,
+    /// All comments (line and block), in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Unterminated constructs are tolerated (the lexer
+/// consumes to end-of-file); this is a linter, not a compiler.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..j].trim().to_string(),
+                    line,
+                });
+                i = j;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end].trim().to_string(),
+                    line: start_line,
+                });
+                i = j;
+            }
+            b'"' => {
+                i = skip_string(bytes, i + 1, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                let tok_line = line;
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a` not followed by a closing quote) or char
+                // literal (`'a'`, `'\n'`).
+                let next = bytes.get(i + 1).copied();
+                let is_lifetime = matches!(next, Some(n) if n == b'_' || n.is_ascii_alphabetic())
+                    && bytes.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric())
+                    {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char_literal(bytes, i + 1, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line,
+                    });
+                }
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..j].to_string()),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                {
+                    // `0..10` range: stop the numeric literal at `..`.
+                    if bytes[j] == b'.' && bytes.get(j + 1) == Some(&b'.') {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                // `r#ident` raw identifiers: lex as the bare identifier.
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // r"..." | r#"..."# | br"..." | b"..." | rb is not valid Rust.
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    if !raw {
+        // b"..." — ordinary escape rules.
+        debug_assert_eq!(bytes.get(i), Some(&b'"'));
+        return skip_string(bytes, i + 1, line);
+    }
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        // `r#ident` raw identifier, not a string: caller treated `r` as the
+        // start of a string; re-lex conservatively by skipping just `r#`.
+        return i;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+fn skip_char_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn literals_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "HashMap"; "#), vec!["let", "x"]);
+        assert_eq!(idents(r##"let y = r#"HashSet"#; "##), vec!["let", "y"]);
+        assert_eq!(idents("let c = 'H';"), vec!["let", "c"]);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("// womlint::allow(x, reason = \"y\")\nfn f() {}\n/* HashMap */");
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident("HashMap".into())));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.starts_with("womlint::allow"));
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_block_comments_and_strings() {
+        let l = lex("/* a\nb */\nfn f() {\n  \"x\ny\";\n  g();\n}");
+        let g = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("g".into()))
+            .unwrap();
+        assert_eq!(g.line, 6);
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_swallow_dots() {
+        let l = lex("for i in 0..10 {}");
+        let dots = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,411 @@
+//! `womlint` — the repo's in-tree static-analysis pass.
+//!
+//! Three PRs' worth of implicit contracts — bit-determinism, an
+//! allocation-free hot path, and a shrinking panic surface — are cheap to
+//! break silently: the compiler cannot see them. `womlint` walks every
+//! crate's library source (token-level; the workspace is offline, so no
+//! `syn`) and enforces the rules declared in `womlint.toml`:
+//!
+//! * **determinism** — ban `HashMap`/`HashSet`/`BTreeSet` (and wall-clock,
+//!   env, foreign-RNG paths) in simulation-state crates; row-keyed state
+//!   must use `wom_pcm::rowmap::RowMap` or key-ordered structures.
+//! * **hotpath** — ban allocating calls inside modules/functions tagged
+//!   hot in `womlint.toml` (engine tick, codec row paths, refresh loops).
+//! * **panic** — inventory `unwrap()`/`expect()`/`panic!`/index
+//!   expressions in library code against a ratcheting baseline, so the
+//!   count can only go down.
+//!
+//! Violations can be suppressed in place with
+//! `// womlint::allow(<rule>, reason = "...")`; a suppression without a
+//! reason is itself a violation. See `DESIGN.md` §9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod scan;
+pub mod toml;
+
+use config::{Baseline, Config, PanicCounts};
+use scan::FileScan;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule ID for banned collection types in determinism crates.
+pub const RULE_BANNED_TYPE: &str = "determinism/banned-type";
+/// Rule ID for banned paths (wall-clock, env, foreign RNG).
+pub const RULE_BANNED_PATH: &str = "determinism/banned-path";
+/// Rule ID for allocating calls in hot regions.
+pub const RULE_HOTPATH_ALLOC: &str = "hotpath/alloc";
+/// Rule ID for panic-inventory regressions against the baseline.
+pub const RULE_PANIC_RATCHET: &str = "panic/ratchet";
+/// Rule ID for `womlint::allow` comments missing a reason.
+pub const RULE_SUPPRESSION_REASON: &str = "suppression/missing-reason";
+/// Rule ID for `womlint::allow` naming an unknown rule.
+pub const RULE_SUPPRESSION_UNKNOWN: &str = "suppression/unknown-rule";
+
+/// Every suppressible rule ID (`panic/ratchet` and the suppression rules
+/// themselves are aggregate/meta diagnostics and cannot be allowed away).
+pub const SUPPRESSIBLE_RULES: &[&str] = &[RULE_BANNED_TYPE, RULE_BANNED_PATH, RULE_HOTPATH_ALLOC];
+
+/// One diagnostic, pointing at a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule ID, e.g. `determinism/banned-type`.
+    pub rule: String,
+    /// File path relative to the workspace root (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations; non-empty means exit non-zero.
+    pub violations: Vec<Diagnostic>,
+    /// Violations silenced by a well-formed `womlint::allow`.
+    pub suppressed: Vec<Diagnostic>,
+    /// Current panic inventory per crate (only crates under the rule).
+    pub inventory: BTreeMap<String, PanicCounts>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the scan found no unsuppressed violations.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Scan error (I/O or configuration).
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<config::ConfigError> for LintError {
+    fn from(e: config::ConfigError) -> Self {
+        LintError(e.to_string())
+    }
+}
+
+/// Runs every rule over the workspace at `root`.
+///
+/// `baseline` is compared against the measured panic inventory when
+/// present; pass `None` when regenerating the baseline.
+pub fn run(root: &Path, cfg: &Config, baseline: Option<&Baseline>) -> Result<Report, LintError> {
+    let mut report = Report::default();
+    for krate in &cfg.scope {
+        let src_dir = root.join(&krate.path).join("src");
+        let files = rust_files(&src_dir)
+            .map_err(|e| LintError(format!("walking {}: {e}", src_dir.display())))?;
+        let mut counts = PanicCounts::default();
+        let in_panic_scope = cfg.panic_crates.iter().any(|c| c == &krate.name);
+        for file in files {
+            let rel = relative_display(root, &file);
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| LintError(format!("reading {rel}: {e}")))?;
+            let scan = scan::scan(&src);
+            report.files_scanned += 1;
+            check_suppression_comments(&scan, &rel, &mut report);
+            if cfg.determinism_crates.iter().any(|c| c == &krate.name) {
+                check_determinism(cfg, &scan, &rel, &mut report);
+            }
+            check_hotpath(cfg, &scan, &rel, &mut report);
+            if in_panic_scope {
+                let sites = scan::panic_sites(&scan.tokens);
+                counts.unwrap += sites.unwrap.len() as u64;
+                counts.expect += sites.expect.len() as u64;
+                counts.panic += sites.panic.len() as u64;
+                counts.index += sites.index.len() as u64;
+            }
+        }
+        if in_panic_scope {
+            report.inventory.insert(krate.name.clone(), counts);
+        }
+    }
+    if let Some(baseline) = baseline {
+        check_ratchet(cfg, baseline, &mut report);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// All `.rs` files under `dir` (recursive, sorted for determinism),
+/// excluding `bin/` — binaries are operator tooling, not simulation
+/// library code.
+fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        if !d.exists() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&d)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<Result<_, _>>()?;
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "bin") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn relative_display(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn push(report: &mut Report, scan: &FileScan, diag: Diagnostic) {
+    let suppressible = SUPPRESSIBLE_RULES.contains(&diag.rule.as_str());
+    if suppressible && scan.is_suppressed(&diag.rule, diag.line) {
+        report.suppressed.push(diag);
+    } else {
+        report.violations.push(diag);
+    }
+}
+
+fn check_suppression_comments(scan: &FileScan, file: &str, report: &mut Report) {
+    for &line in &scan.malformed_suppressions {
+        report.violations.push(Diagnostic {
+            rule: RULE_SUPPRESSION_REASON.into(),
+            file: file.into(),
+            line,
+            message: "womlint::allow requires a non-empty reason: \
+                      `// womlint::allow(<rule>, reason = \"...\")`"
+                .into(),
+        });
+    }
+    for s in &scan.suppressions {
+        let known = SUPPRESSIBLE_RULES.contains(&s.rule.as_str());
+        if !known {
+            report.violations.push(Diagnostic {
+                rule: RULE_SUPPRESSION_UNKNOWN.into(),
+                file: file.into(),
+                line: s.line,
+                message: format!(
+                    "womlint::allow names `{}`, which is not a suppressible rule ({})",
+                    s.rule,
+                    SUPPRESSIBLE_RULES.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+fn check_determinism(cfg: &Config, scan: &FileScan, file: &str, report: &mut Report) {
+    let allowlisted = |token: &str| {
+        cfg.det_allow
+            .iter()
+            .any(|a| a.file == file && a.token == token)
+    };
+    for hit in scan::find_idents(&scan.tokens, &cfg.banned_types) {
+        if allowlisted(&hit.pattern) {
+            report.suppressed.push(Diagnostic {
+                rule: RULE_BANNED_TYPE.into(),
+                file: file.into(),
+                line: hit.line,
+                message: format!("`{}` allowlisted in womlint.toml", hit.pattern),
+            });
+            continue;
+        }
+        push(
+            report,
+            scan,
+            Diagnostic {
+                rule: RULE_BANNED_TYPE.into(),
+                file: file.into(),
+                line: hit.line,
+                message: format!(
+                    "`{}` in simulation state code: iteration order is not \
+                     deterministic (or invites order-dependent refactors) — use \
+                     `wom_pcm::rowmap::RowMap` for row-keyed state or `BTreeMap` \
+                     for other keys, or justify with a womlint::allow",
+                    hit.pattern
+                ),
+            },
+        );
+    }
+    for hit in scan::find_paths(&scan.tokens, &cfg.banned_paths) {
+        if allowlisted(&hit.pattern) {
+            report.suppressed.push(Diagnostic {
+                rule: RULE_BANNED_PATH.into(),
+                file: file.into(),
+                line: hit.line,
+                message: format!("`{}` allowlisted in womlint.toml", hit.pattern),
+            });
+            continue;
+        }
+        push(
+            report,
+            scan,
+            Diagnostic {
+                rule: RULE_BANNED_PATH.into(),
+                file: file.into(),
+                line: hit.line,
+                message: format!(
+                    "`{}` breaks bit-reproducibility: simulation crates must not \
+                     read wall-clock time, the environment, or any RNG other than \
+                     `pcm-rng`",
+                    hit.pattern
+                ),
+            },
+        );
+    }
+}
+
+fn check_hotpath(cfg: &Config, scan: &FileScan, file: &str, report: &mut Report) {
+    for region in cfg.hot_regions.iter().filter(|r| r.file == file) {
+        let spans: Vec<(usize, usize)> = if region.functions.is_empty() {
+            vec![(0, scan.tokens.len())]
+        } else {
+            scan.functions
+                .iter()
+                .filter(|f| region.functions.iter().any(|n| n == &f.name))
+                .map(|f| (f.body_start, f.body_end))
+                .collect()
+        };
+        for (start, end) in spans {
+            for hit in scan::find_calls(&scan.tokens, start, end, &cfg.hot_banned_calls) {
+                push(
+                    report,
+                    scan,
+                    Diagnostic {
+                        rule: RULE_HOTPATH_ALLOC.into(),
+                        file: file.into(),
+                        line: hit.line,
+                        message: format!(
+                            "`{}` in a hot region: the engine tick / codec row path \
+                             must stay allocation-free — reuse scratch buffers \
+                             (`read_into`, `encode_row_into`, `RowScratch`), or \
+                             justify with a womlint::allow",
+                            hit.pattern
+                        ),
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn check_ratchet(cfg: &Config, baseline: &Baseline, report: &mut Report) {
+    let inventory = report.inventory.clone();
+    for (krate, current) in &inventory {
+        let Some(base) = baseline.get(krate) else {
+            report.violations.push(Diagnostic {
+                rule: RULE_PANIC_RATCHET.into(),
+                file: cfg.baseline_file.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{krate}` is missing from the panic baseline — run \
+                     `cargo run -p womlint -- --update-baseline`"
+                ),
+            });
+            continue;
+        };
+        for ((cat, cur), (_, base)) in current.categories().iter().zip(base.categories().iter()) {
+            if cur > base {
+                report.violations.push(Diagnostic {
+                    rule: RULE_PANIC_RATCHET.into(),
+                    file: cfg.baseline_file.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate `{krate}`: {cur} `{cat}` site(s) in library code, \
+                         baseline allows {base} — the panic surface may only \
+                         shrink; convert new sites to typed errors"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Renders the report as JSON for CI consumption. Hand-rolled — the
+/// workspace is offline, so no `serde`.
+#[must_use]
+pub fn to_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn diag_json(d: &Diagnostic) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            esc(&d.rule),
+            esc(&d.file),
+            d.line,
+            esc(&d.message)
+        )
+    }
+    let violations: Vec<String> = report.violations.iter().map(diag_json).collect();
+    let suppressed: Vec<String> = report.suppressed.iter().map(diag_json).collect();
+    let inventory: Vec<String> = report
+        .inventory
+        .iter()
+        .map(|(krate, c)| {
+            format!(
+                "\"{}\":{{\"unwrap\":{},\"expect\":{},\"panic\":{},\"index\":{},\"total\":{}}}",
+                esc(krate),
+                c.unwrap,
+                c.expect,
+                c.panic,
+                c.index,
+                c.total()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"violations\": [{}],\n  \"suppressed\": [{}],\n  \"panic_inventory\": {{{}}},\n  \"summary\": {{\"violations\": {}, \"suppressed\": {}, \"files_scanned\": {}}}\n}}\n",
+        violations.join(","),
+        suppressed.join(","),
+        inventory.join(","),
+        report.violations.len(),
+        report.suppressed.len(),
+        report.files_scanned
+    )
+}

@@ -1,0 +1,150 @@
+//! `womlint` CLI.
+//!
+//! ```text
+//! cargo run -p womlint --                      # lint the workspace
+//! cargo run -p womlint -- --json report.json   # also write a JSON report
+//! cargo run -p womlint -- --update-baseline    # regenerate the ratchet
+//! cargo run -p womlint -- --root ../repo       # explicit workspace root
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/config error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use womlint::config::{self, Config};
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        update_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "--help" | "-h" => {
+                return Err("usage: womlint [--root DIR] [--json FILE] [--update-baseline]".into())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("womlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let cfg = Config::load(&args.root).map_err(|e| e.to_string())?;
+    let baseline_path = args.root.join(&cfg.baseline_file);
+    let baseline = if args.update_baseline {
+        None
+    } else {
+        let src = std::fs::read_to_string(&baseline_path).map_err(|e| {
+            format!(
+                "cannot read baseline {} ({e}); run with --update-baseline to create it",
+                baseline_path.display()
+            )
+        })?;
+        Some(config::parse_baseline(&src).map_err(|e| e.to_string())?)
+    };
+    let report = womlint::run(&args.root, &cfg, baseline.as_ref()).map_err(|e| e.to_string())?;
+
+    if args.update_baseline {
+        let rendered = config::render_baseline(&report.inventory);
+        std::fs::write(&baseline_path, rendered)
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "wrote {} ({} crates)",
+            baseline_path.display(),
+            report.inventory.len()
+        );
+    }
+
+    if let Some(json_path) = &args.json {
+        let json = womlint::to_json(&report);
+        if json_path.as_os_str() == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(json_path, json)
+                .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+        }
+    }
+
+    for d in &report.violations {
+        println!("{d}");
+    }
+    println!(
+        "womlint: {} file(s), {} violation(s), {} suppressed",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    );
+    for (krate, counts) in &report.inventory {
+        println!(
+            "  panic inventory [{krate}]: unwrap={} expect={} panic={} index={} (total {})",
+            counts.unwrap,
+            counts.expect,
+            counts.panic,
+            counts.index,
+            counts.total()
+        );
+    }
+    // Ratchet-down hint: if any crate is now strictly below its baseline,
+    // invite tightening so the improvement cannot regress silently.
+    if let Some(baseline) = &baseline {
+        let improved: Vec<&str> = report
+            .inventory
+            .iter()
+            .filter(|(k, cur)| baseline.get(*k).is_some_and(|b| cur.total() < b.total()))
+            .map(|(k, _)| k.as_str())
+            .collect();
+        if !improved.is_empty() && report.is_clean() {
+            println!(
+                "  note: panic inventory below baseline for {} — lock it in with \
+                 `cargo run -p womlint -- --update-baseline`",
+                improved.join(", ")
+            );
+        }
+    }
+    if !report.is_clean() {
+        println!(
+            "womlint: FAILED — fix the sites above or, for a justified exception, add\n\
+             `// womlint::allow(<rule>, reason = \"...\")` on (or directly above) the line"
+        );
+    }
+    Ok(report.is_clean())
+}

@@ -1,0 +1,544 @@
+//! Per-file analysis: strips `#[cfg(test)]` items, parses suppression
+//! comments, locates function bodies, and matches the token patterns the
+//! rules care about.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+
+/// A `// womlint::allow(rule, reason = "...")` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule ID being suppressed, e.g. `determinism/banned-type`.
+    pub rule: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Whether a non-empty `reason = "..."` was given.
+    pub has_reason: bool,
+    /// Lines the suppression covers: its own (trailing-comment form) and
+    /// the next line that has code on it.
+    pub covers: (u32, u32),
+}
+
+/// A function body located in the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Token index of the opening `{`.
+    pub body_start: usize,
+    /// Token index one past the closing `}`.
+    pub body_end: usize,
+}
+
+/// Analyzed source file: test-stripped tokens plus side tables.
+#[derive(Debug)]
+pub struct FileScan {
+    /// Tokens with `#[cfg(test)]` items removed.
+    pub tokens: Vec<Token>,
+    /// Parsed suppression comments (malformed ones excluded — they are
+    /// reported via [`FileScan::malformed_suppressions`]).
+    pub suppressions: Vec<Suppression>,
+    /// Lines of `womlint::allow` comments missing a non-empty reason.
+    pub malformed_suppressions: Vec<u32>,
+    /// Function bodies, in source order.
+    pub functions: Vec<FnSpan>,
+}
+
+/// Statement-position keywords that may directly precede `[` without the
+/// bracket being an index expression (`let [a, b] = ...`, `for [x, y] in`,
+/// `return [0; 4]`, ...).
+const NON_INDEXABLE_KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "do", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+/// Lexes and analyzes one source file.
+#[must_use]
+pub fn scan(src: &str) -> FileScan {
+    let lexed = lex(src);
+    let tokens = strip_cfg_test(lexed.tokens);
+    let (suppressions, malformed_suppressions) = parse_suppressions(&lexed.comments, &tokens);
+    let functions = find_functions(&tokens);
+    FileScan {
+        tokens,
+        suppressions,
+        malformed_suppressions,
+        functions,
+    }
+}
+
+impl FileScan {
+    /// True if a suppression for `rule` covers `line`.
+    #[must_use]
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.rule == rule && (s.covers.0 == line || s.covers.1 == line))
+    }
+}
+
+/// Removes every item guarded by an attribute whose tokens contain
+/// `cfg(...test...)` — `#[cfg(test)] mod tests { ... }`, test-only
+/// functions, impls, and use declarations.
+fn strip_cfg_test(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(&tokens, i, '#') && is_punct(&tokens, i + 1, '[') {
+            let attr_end = match matching_close(&tokens, i + 1, '[', ']') {
+                Some(end) => end,
+                None => {
+                    out.extend_from_slice(&tokens[i..]);
+                    break;
+                }
+            };
+            if attr_is_cfg_test(&tokens[i + 2..attr_end]) {
+                // Skip the attribute, any further attributes, and the item.
+                i = skip_item(&tokens, attr_end + 1);
+                continue;
+            }
+            out.extend_from_slice(&tokens[i..=attr_end]);
+            i = attr_end + 1;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// True if attribute body tokens look like `cfg(test)` / `cfg(all(test, ..))`.
+fn attr_is_cfg_test(body: &[Token]) -> bool {
+    let mentions_cfg = body
+        .iter()
+        .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "cfg"));
+    let mentions_test = body
+        .iter()
+        .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "test"));
+    // `cfg(not(test))` guards production code — keep scanning it.
+    let mentions_not = body
+        .iter()
+        .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "not"));
+    mentions_cfg && mentions_test && !mentions_not
+}
+
+/// Skips one item starting at `i` (which may begin with more attributes):
+/// consumes to the end of a balanced `{ ... }` block, or past a top-level
+/// `;`, whichever comes first.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Leading attributes of the item itself.
+    while is_punct(tokens, i, '#') && is_punct(tokens, i + 1, '[') {
+        match matching_close(tokens, i + 1, '[', ']') {
+            Some(end) => i = end + 1,
+            None => return tokens.len(),
+        }
+    }
+    let mut depth_paren = 0i32;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('{') => {
+                return matching_close(tokens, i, '{', '}').map_or(tokens.len(), |end| end + 1);
+            }
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth_paren += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth_paren -= 1,
+            TokenKind::Punct(';') if depth_paren <= 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the matching closer for the opener at `open_idx`.
+fn matching_close(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        match t.kind {
+            TokenKind::Punct(c) if c == open => depth += 1,
+            TokenKind::Punct(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i), Some(t) if t.kind == TokenKind::Punct(c))
+}
+
+fn is_ident(tokens: &[Token], i: usize, name: &str) -> bool {
+    matches!(tokens.get(i), Some(t) if matches!(&t.kind, TokenKind::Ident(s) if s == name))
+}
+
+/// Parses `womlint::allow(rule, reason = "...")` comments. Returns the
+/// well-formed suppressions and the lines of ones missing a reason.
+fn parse_suppressions(comments: &[Comment], tokens: &[Token]) -> (Vec<Suppression>, Vec<u32>) {
+    let mut ok = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("womlint::allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(args) = rest
+            .strip_prefix('(')
+            .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+        else {
+            malformed.push(c.line);
+            continue;
+        };
+        let (rule, tail) = match args.split_once(',') {
+            Some((rule, tail)) => (rule.trim(), tail.trim()),
+            None => (args.trim(), ""),
+        };
+        let reason = tail
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|t| t.strip_prefix('='))
+            .map(str::trim)
+            .and_then(|t| t.strip_prefix('"'))
+            .and_then(|t| t.rfind('"').map(|end| t[..end].trim().to_string()));
+        let has_reason = reason.is_some_and(|r| !r.is_empty());
+        if rule.is_empty() || !has_reason {
+            // A reason-less suppression is itself a violation AND does not
+            // suppress — otherwise the reason requirement would be free to
+            // ignore.
+            malformed.push(c.line);
+            continue;
+        }
+        let next_code_line = tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > c.line)
+            .unwrap_or(c.line);
+        ok.push(Suppression {
+            rule: rule.to_string(),
+            line: c.line,
+            has_reason,
+            covers: (c.line, next_code_line),
+        });
+    }
+    (ok, malformed)
+}
+
+/// Locates every `fn name ... { body }` in the (test-stripped) stream.
+fn find_functions(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_ident(tokens, i, "fn") {
+            if let Some(TokenKind::Ident(name)) = tokens.get(i + 1).map(|t| &t.kind) {
+                // Body: first `{` after the signature. Signatures cannot
+                // contain `{` (womlint does not support const-generic block
+                // expressions in signatures), but a `;` first means a trait
+                // method declaration without a body.
+                let mut j = i + 2;
+                let mut body = None;
+                while j < tokens.len() {
+                    match tokens[j].kind {
+                        TokenKind::Punct('{') => {
+                            body = Some(j);
+                            break;
+                        }
+                        TokenKind::Punct(';') => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(start) = body {
+                    if let Some(end) = matching_close(tokens, start, '{', '}') {
+                        out.push(FnSpan {
+                            name: name.clone(),
+                            body_start: start,
+                            body_end: end + 1,
+                        });
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A matched banned pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternHit {
+    /// What matched (the configured pattern text).
+    pub pattern: String,
+    /// 1-based line of the match.
+    pub line: u32,
+}
+
+/// Finds bare identifier occurrences of any of `names` in `tokens[range]`.
+pub fn find_idents(tokens: &[Token], names: &[String]) -> Vec<PatternHit> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if let TokenKind::Ident(s) = &t.kind {
+            if names.iter().any(|n| n == s) {
+                out.push(PatternHit {
+                    pattern: s.clone(),
+                    line: t.line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Finds occurrences of `::`-separated paths (e.g. `std::time::Instant`).
+/// A path matches if its segments appear consecutively joined by `::`;
+/// single-segment paths fall back to bare identifier matches.
+pub fn find_paths(tokens: &[Token], paths: &[String]) -> Vec<PatternHit> {
+    let mut out = Vec::new();
+    for path in paths {
+        let segments: Vec<&str> = path.split("::").collect();
+        if segments.len() == 1 {
+            for t in tokens {
+                if matches!(&t.kind, TokenKind::Ident(s) if s == segments[0]) {
+                    out.push(PatternHit {
+                        pattern: path.clone(),
+                        line: t.line,
+                    });
+                }
+            }
+            continue;
+        }
+        let mut i = 0;
+        while i < tokens.len() {
+            if path_matches_at(tokens, i, &segments) {
+                out.push(PatternHit {
+                    pattern: path.clone(),
+                    line: tokens[i].line,
+                });
+                i += segments.len() * 3 - 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    out.sort_by_key(|h| h.line);
+    out
+}
+
+fn path_matches_at(tokens: &[Token], mut i: usize, segments: &[&str]) -> bool {
+    for (k, seg) in segments.iter().enumerate() {
+        if !is_ident(tokens, i, seg) {
+            return false;
+        }
+        i += 1;
+        if k + 1 < segments.len() {
+            if !(is_punct(tokens, i, ':') && is_punct(tokens, i + 1, ':')) {
+                return false;
+            }
+            i += 2;
+        }
+    }
+    true
+}
+
+/// Finds banned calls inside `tokens[start..end]`. Patterns:
+///
+/// * `name`      — method call `.name(`
+/// * `Type::fn`  — path call `Type::fn` (parens not required: also bans
+///   passing the function as a value)
+/// * `name!`     — macro invocation `name!`
+pub fn find_calls(tokens: &[Token], start: usize, end: usize, calls: &[String]) -> Vec<PatternHit> {
+    let mut out = Vec::new();
+    let window = &tokens[start..end.min(tokens.len())];
+    for call in calls {
+        if let Some(mac) = call.strip_suffix('!') {
+            for (j, t) in window.iter().enumerate() {
+                if matches!(&t.kind, TokenKind::Ident(s) if s == mac)
+                    && matches!(window.get(j + 1), Some(n) if n.kind == TokenKind::Punct('!'))
+                {
+                    out.push(PatternHit {
+                        pattern: call.clone(),
+                        line: t.line,
+                    });
+                }
+            }
+        } else if call.contains("::") {
+            let segments: Vec<&str> = call.split("::").collect();
+            for j in 0..window.len() {
+                if path_matches_at(window, j, &segments) {
+                    out.push(PatternHit {
+                        pattern: call.clone(),
+                        line: window[j].line,
+                    });
+                }
+            }
+        } else {
+            for (j, t) in window.iter().enumerate() {
+                if t.kind == TokenKind::Punct('.')
+                    && matches!(window.get(j + 1), Some(n) if matches!(&n.kind, TokenKind::Ident(s) if s == call))
+                    && matches!(window.get(j + 2), Some(n) if n.kind == TokenKind::Punct('('))
+                {
+                    out.push(PatternHit {
+                        pattern: call.clone(),
+                        line: window[j + 1].line,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|h| h.line);
+    out
+}
+
+/// Panic-capable sites found in a file.
+#[derive(Debug, Clone, Default)]
+pub struct PanicSites {
+    /// Lines of `.unwrap()` calls.
+    pub unwrap: Vec<u32>,
+    /// Lines of `.expect(` calls.
+    pub expect: Vec<u32>,
+    /// Lines of `panic!` invocations.
+    pub panic: Vec<u32>,
+    /// Lines of index expressions (`x[i]`).
+    pub index: Vec<u32>,
+}
+
+/// Counts panic-capable sites in the (test-stripped) token stream.
+#[must_use]
+pub fn panic_sites(tokens: &[Token]) -> PanicSites {
+    let mut out = PanicSites::default();
+    for j in 0..tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('.') => {
+                if is_ident(tokens, j + 1, "unwrap")
+                    && is_punct(tokens, j + 2, '(')
+                    && is_punct(tokens, j + 3, ')')
+                {
+                    out.unwrap.push(tokens[j + 1].line);
+                } else if is_ident(tokens, j + 1, "expect") && is_punct(tokens, j + 2, '(') {
+                    out.expect.push(tokens[j + 1].line);
+                }
+            }
+            TokenKind::Ident(s) if s == "panic" && is_punct(tokens, j + 1, '!') => {
+                out.panic.push(tokens[j].line);
+            }
+            TokenKind::Punct('[') if j > 0 => {
+                let prev = &tokens[j - 1].kind;
+                let indexable = match prev {
+                    TokenKind::Ident(s) => !NON_INDEXABLE_KEYWORDS.contains(&s.as_str()),
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+                    _ => false,
+                };
+                if indexable {
+                    out.index.push(tokens[j].line);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let s =
+            scan("fn lib() {}\n#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n}\n");
+        assert!(find_idents(&s.tokens, &["HashMap".into()]).is_empty());
+        assert_eq!(s.functions.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_fn_with_extra_attrs_is_stripped() {
+        let s = scan(
+            "#[cfg(test)]\n#[allow(dead_code)]\nfn only_test() { x.unwrap() }\nfn keep() {}\n",
+        );
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.functions[0].name, "keep");
+        assert!(panic_sites(&s.tokens).unwrap.is_empty());
+    }
+
+    #[test]
+    fn non_test_cfg_attr_is_kept() {
+        let s = scan("#[cfg(feature = \"x\")]\nfn gated() {}\n");
+        assert_eq!(s.functions.len(), 1);
+    }
+
+    #[test]
+    fn suppressions_cover_their_own_and_next_code_line() {
+        let src = "\
+// womlint::allow(determinism/banned-type, reason = \"transaction ids\")
+use std::collections::BTreeSet;
+fn f() {} // womlint::allow(hotpath/alloc, reason = \"cold slow path\")
+// womlint::allow(determinism/banned-type)
+";
+        let s = scan(src);
+        assert!(s.is_suppressed("determinism/banned-type", 2));
+        assert!(s.is_suppressed("hotpath/alloc", 3));
+        assert!(!s.is_suppressed("determinism/banned-type", 3));
+        assert_eq!(s.malformed_suppressions, vec![4]);
+    }
+
+    #[test]
+    fn panic_sites_are_counted_by_kind() {
+        let src = "\
+fn f(v: &[u8], o: Option<u8>) -> u8 {
+    let x = o.unwrap();
+    let y = o.expect(\"set\");
+    if v[0] > 1 { panic!(\"bad {}\", x) }
+    let [a, _b] = [y, x];
+    a
+}
+";
+        let p = panic_sites(&scan(src).tokens);
+        assert_eq!(p.unwrap, vec![2]);
+        assert_eq!(p.expect, vec![3]);
+        assert_eq!(p.panic, vec![4]);
+        // `v[0]` counts; `let [a, _b]` and the array literal do not.
+        assert_eq!(p.index, vec![4]);
+    }
+
+    #[test]
+    fn call_patterns_match_their_shapes() {
+        let src = "\
+fn hot(xs: &mut Vec<u8>) {
+    let v: Vec<u8> = Vec::new();
+    let w = vec![1u8];
+    let c: Vec<u8> = xs.iter().copied().collect();
+    let d = xs.clone();
+    drop((v, w, c, d));
+}
+";
+        let s = scan(src);
+        let f = &s.functions[0];
+        let hits = find_calls(
+            &s.tokens,
+            f.body_start,
+            f.body_end,
+            &[
+                "Vec::new".into(),
+                "vec!".into(),
+                "collect".into(),
+                "clone".into(),
+            ],
+        );
+        let pats: Vec<&str> = hits.iter().map(|h| h.pattern.as_str()).collect();
+        assert_eq!(pats, vec!["Vec::new", "vec!", "collect", "clone"]);
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 3);
+    }
+
+    #[test]
+    fn paths_match_across_turbofish_free_tokens() {
+        let s = scan("fn f() { let t = std::time::Instant::now(); drop(t); }\n");
+        let hits = find_paths(&s.tokens, &["std::time::Instant".into()]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+    }
+}

@@ -1,0 +1,440 @@
+//! A deliberately small TOML-subset parser — the workspace is fully
+//! offline, so `womlint` cannot depend on the `toml` crate.
+//!
+//! Supported: comments, `[table.path]`, `[[array.of.tables]]`, bare and
+//! quoted keys, and values that are strings, integers, booleans, or
+//! (possibly multi-line) arrays of those. That is exactly the grammar
+//! `womlint.toml` and `womlint-baseline.toml` use; anything fancier is a
+//! configuration error, reported with a line number.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A (sub-)table. `BTreeMap` keeps reporting order deterministic.
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The table fields, if this is a table.
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a table value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table().and_then(|t| t.get(key))
+    }
+}
+
+/// A parse error with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TomlError {
+    /// 1-based line of the offending input.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: u32, message: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a TOML-subset document into its root table.
+pub fn parse(src: &str) -> Result<Value, TomlError> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // Path of the table currently being filled; empty = root.
+    let mut current: Vec<String> = Vec::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let path = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unterminated [[table]] header"))?;
+            let path = parse_key_path(path, lineno)?;
+            push_array_table(&mut root, &path, lineno)?;
+            current = path;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let path = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated [table] header"))?;
+            let path = parse_key_path(path, lineno)?;
+            ensure_table(&mut root, &path, lineno)?;
+            current = path;
+        } else {
+            let eq = line
+                .find('=')
+                .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+            let key = unquote_key(line[..eq].trim(), lineno)?;
+            let mut value_text = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming until brackets balance
+            // outside strings.
+            while !brackets_balanced(&value_text) {
+                let Some((_, more)) = lines.next() else {
+                    return Err(err(lineno, "unterminated array value"));
+                };
+                value_text.push(' ');
+                value_text.push_str(strip_comment(more).trim());
+            }
+            let value = parse_value(value_text.trim(), lineno)?;
+            let table = resolve_mut(&mut root, &current, lineno)?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(err(lineno, format!("duplicate key `{key}`")));
+            }
+        }
+    }
+    Ok(Value::Table(root))
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn brackets_balanced(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'[' if !in_str => depth += 1,
+            b']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    depth <= 0
+}
+
+fn parse_key_path(path: &str, line: u32) -> Result<Vec<String>, TomlError> {
+    path.split('.')
+        .map(|part| unquote_key(part.trim(), line))
+        .collect()
+}
+
+fn unquote_key(key: &str, line: u32) -> Result<String, TomlError> {
+    if key.is_empty() {
+        return Err(err(line, "empty key"));
+    }
+    if let Some(inner) = key.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| err(line, "unterminated quoted key"))?;
+        return Ok(inner.to_string());
+    }
+    if key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(key.to_string())
+    } else {
+        Err(err(line, format!("invalid bare key `{key}`")))
+    }
+}
+
+fn parse_value(text: &str, line: u32) -> Result<Value, TomlError> {
+    if text.starts_with('"') {
+        let (s, rest) = parse_string(text, line)?;
+        if !rest.trim().is_empty() {
+            return Err(err(line, format!("trailing input after string: `{rest}`")));
+        }
+        return Ok(Value::Str(s));
+    }
+    if text.starts_with('[') {
+        let (items, rest) = parse_array(text, line)?;
+        if !rest.trim().is_empty() {
+            return Err(err(line, format!("trailing input after array: `{rest}`")));
+        }
+        return Ok(Value::Array(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let digits = text.replace('_', "");
+    digits
+        .parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| err(line, format!("unsupported value `{text}`")))
+}
+
+/// Parses a leading quoted string; returns (content, rest-of-input).
+fn parse_string(text: &str, line: u32) -> Result<(String, &str), TomlError> {
+    let bytes = text.as_bytes();
+    debug_assert_eq!(bytes[0], b'"');
+    let mut out = String::new();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                let esc = bytes
+                    .get(i + 1)
+                    .ok_or_else(|| err(line, "dangling escape in string"))?;
+                out.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    other => {
+                        return Err(err(
+                            line,
+                            format!("unsupported escape `\\{}`", *other as char),
+                        ))
+                    }
+                });
+                i += 2;
+            }
+            b'"' => return Ok((out, &text[i + 1..])),
+            _ => {
+                // Multi-byte UTF-8 is copied through verbatim.
+                let ch_len = utf8_len(bytes[i]);
+                out.push_str(&text[i..i + ch_len]);
+                i += ch_len;
+            }
+        }
+    }
+    Err(err(line, "unterminated string"))
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+fn parse_array(text: &str, line: u32) -> Result<(Vec<Value>, &str), TomlError> {
+    debug_assert!(text.starts_with('['));
+    let mut rest = text[1..].trim_start();
+    let mut items = Vec::new();
+    loop {
+        if rest.is_empty() {
+            return Err(err(line, "unterminated array"));
+        }
+        if let Some(after) = rest.strip_prefix(']') {
+            return Ok((items, after));
+        }
+        let (value, after) = if rest.starts_with('"') {
+            let (s, after) = parse_string(rest, line)?;
+            (Value::Str(s), after)
+        } else if rest.starts_with('[') {
+            let (inner, after) = parse_array(rest, line)?;
+            (Value::Array(inner), after)
+        } else {
+            // Bare scalar up to `,` or `]`.
+            let end = rest
+                .find([',', ']'])
+                .ok_or_else(|| err(line, "unterminated array item"))?;
+            let scalar = parse_value(rest[..end].trim(), line)?;
+            (scalar, &rest[end..])
+        };
+        items.push(value);
+        rest = after.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        }
+    }
+}
+
+fn ensure_table<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    line: u32,
+) -> Result<&'a mut BTreeMap<String, Value>, TomlError> {
+    let mut table = root;
+    for part in path {
+        let entry = table
+            .entry(part.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        table = match entry {
+            Value::Table(t) => t,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return Err(err(line, format!("`{part}` is not a table"))),
+            },
+            _ => return Err(err(line, format!("`{part}` is not a table"))),
+        };
+    }
+    Ok(table)
+}
+
+fn push_array_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    line: u32,
+) -> Result<(), TomlError> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| err(line, "empty [[table]] path"))?;
+    let parent = ensure_table(root, parents, line)?;
+    let entry = parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::Array(Vec::new()));
+    match entry {
+        Value::Array(items) => {
+            items.push(Value::Table(BTreeMap::new()));
+            Ok(())
+        }
+        _ => Err(err(line, format!("`{last}` is not an array of tables"))),
+    }
+}
+
+/// Resolves a table path for key insertion, following array-of-table
+/// tails to their most recent element.
+fn resolve_mut<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    line: u32,
+) -> Result<&'a mut BTreeMap<String, Value>, TomlError> {
+    ensure_table(root, path, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = r#"
+# top comment
+[scope]
+crates = ["core", "pcm-sim"] # trailing
+max = 42
+strict = true
+
+[panic.baseline]
+core = 3
+
+[[hotpath.region]]
+file = "a.rs"
+functions = ["f", "g"]
+
+[[hotpath.region]]
+file = "b.rs"
+"#;
+        let v = parse(doc).unwrap();
+        let crates = v.get("scope").unwrap().get("crates").unwrap();
+        assert_eq!(crates.as_array().unwrap()[1], Value::Str("pcm-sim".into()));
+        assert_eq!(
+            v.get("scope").unwrap().get("max").unwrap().as_int(),
+            Some(42)
+        );
+        assert_eq!(
+            v.get("scope").unwrap().get("strict").unwrap(),
+            &Value::Bool(true)
+        );
+        assert_eq!(
+            v.get("panic")
+                .unwrap()
+                .get("baseline")
+                .unwrap()
+                .get("core")
+                .unwrap()
+                .as_int(),
+            Some(3)
+        );
+        let regions = v.get("hotpath").unwrap().get("region").unwrap();
+        let regions = regions.as_array().unwrap();
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].get("file").unwrap().as_str(), Some("a.rs"));
+        assert_eq!(regions[1].get("file").unwrap().as_str(), Some("b.rs"));
+    }
+
+    #[test]
+    fn multiline_arrays_and_hash_in_strings() {
+        let doc = "[t]\nxs = [\n  \"a#b\", # comment\n  \"c\",\n]\n";
+        let v = parse(doc).unwrap();
+        let xs = v.get("t").unwrap().get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].as_str(), Some("a#b"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("[t]\nbad line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("[t]\nk = {}\n").is_err());
+        let dup = parse("[t]\nk = 1\nk = 2\n").unwrap_err();
+        assert!(dup.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn quoted_keys_and_dotted_headers() {
+        let v = parse("[a.\"b-c\"]\n\"x y\" = 1\n").unwrap();
+        let inner = v.get("a").unwrap().get("b-c").unwrap();
+        assert_eq!(inner.get("x y").unwrap().as_int(), Some(1));
+    }
+}

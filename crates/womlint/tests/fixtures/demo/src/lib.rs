@@ -1,0 +1,37 @@
+//! Fixture crate: one seeded violation per womlint rule, each on a
+//! line the integration tests assert exactly.
+
+use std::collections::HashMap;
+
+/// Banned path: wall-clock time (one hit on the signature, one on the call).
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// Hot region (tagged in womlint.toml): allocating call.
+pub fn hot_tick(input: &[u32]) -> Vec<u32> {
+    input.iter().map(|x| x + 1).collect()
+}
+
+/// Well-formed suppression: the banned type lands in `suppressed`.
+pub fn justified() -> usize {
+    // womlint::allow(determinism/banned-type, reason = "fixture: justified use")
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+/// Reason-less suppression: itself a violation, and it does not suppress.
+pub fn unjustified() -> usize {
+    // womlint::allow(determinism/banned-type)
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+// womlint::allow(nonexistent/rule, reason = "unknown rule ids are flagged")
+pub fn unknown_rule() {}
+
+/// Two panic-capable sites for the zeroed ratchet baseline to catch.
+pub fn panicky(v: &[u32]) -> u32 {
+    let first = v.first().copied().unwrap();
+    first + v[0]
+}

@@ -1,0 +1,8 @@
+//! Clean fixture: nothing for womlint to object to.
+
+/// Adds one to every element, reusing the caller's buffer (hot-tagged
+/// in the fixture config, so it must stay allocation-free).
+pub fn add_one_into(input: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(input.iter().map(|x| x + 1));
+}

@@ -1,0 +1,160 @@
+//! End-to-end tests over the seeded fixture tree in `tests/fixtures/`
+//! (one violation per rule, each on a known line) and the clean tree in
+//! `tests/fixtures_clean/` — both through the library API and through
+//! the `womlint` binary's exit codes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use womlint::config::{parse_baseline, Config};
+use womlint::{
+    run, Report, RULE_BANNED_PATH, RULE_BANNED_TYPE, RULE_HOTPATH_ALLOC, RULE_PANIC_RATCHET,
+    RULE_SUPPRESSION_REASON, RULE_SUPPRESSION_UNKNOWN,
+};
+
+fn fixture_root(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(name)
+}
+
+fn lint(root: &Path) -> Report {
+    let cfg = Config::load(root).unwrap();
+    let src = std::fs::read_to_string(root.join(&cfg.baseline_file)).unwrap();
+    let baseline = parse_baseline(&src).unwrap();
+    run(root, &cfg, Some(&baseline)).unwrap()
+}
+
+#[test]
+fn seeded_violations_carry_exact_rule_ids_and_lines() {
+    let report = lint(&fixture_root("fixtures"));
+    let got: Vec<(String, String, u32)> = report
+        .violations
+        .iter()
+        .map(|d| (d.rule.clone(), d.file.clone(), d.line))
+        .collect();
+    let lib = "demo/src/lib.rs".to_string();
+    let baseline = "womlint-baseline.toml".to_string();
+    let expected = vec![
+        (RULE_BANNED_TYPE.to_string(), lib.clone(), 4),
+        (RULE_BANNED_PATH.to_string(), lib.clone(), 7),
+        (RULE_BANNED_PATH.to_string(), lib.clone(), 8),
+        (RULE_HOTPATH_ALLOC.to_string(), lib.clone(), 13),
+        (RULE_SUPPRESSION_REASON.to_string(), lib.clone(), 25),
+        // Two `HashMap` occurrences on the one unsuppressed line.
+        (RULE_BANNED_TYPE.to_string(), lib.clone(), 26),
+        (RULE_BANNED_TYPE.to_string(), lib.clone(), 26),
+        (RULE_SUPPRESSION_UNKNOWN.to_string(), lib, 30),
+        // Ratchet regressions point at the baseline file.
+        (RULE_PANIC_RATCHET.to_string(), baseline.clone(), 1),
+        (RULE_PANIC_RATCHET.to_string(), baseline, 1),
+    ];
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn ratchet_regressions_name_each_category() {
+    let report = lint(&fixture_root("fixtures"));
+    let ratchet: Vec<&str> = report
+        .violations
+        .iter()
+        .filter(|d| d.rule == RULE_PANIC_RATCHET)
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(ratchet.len(), 2);
+    assert!(ratchet.iter().any(|m| m.contains("`unwrap`")));
+    assert!(ratchet.iter().any(|m| m.contains("`index`")));
+    let demo = &report.inventory["demo"];
+    assert_eq!(
+        (demo.unwrap, demo.expect, demo.panic, demo.index),
+        (1, 0, 0, 1)
+    );
+}
+
+#[test]
+fn well_formed_suppressions_silence_the_diagnostic() {
+    let report = lint(&fixture_root("fixtures"));
+    // Line 19's two HashMap hits are justified with a reason: suppressed,
+    // not violations.
+    assert!(!report.violations.iter().any(|d| d.line == 19));
+    let silenced: Vec<u32> = report
+        .suppressed
+        .iter()
+        .filter(|d| d.rule == RULE_BANNED_TYPE)
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(silenced, vec![19, 19]);
+}
+
+#[test]
+fn reasonless_suppression_is_flagged_and_does_not_suppress() {
+    let report = lint(&fixture_root("fixtures"));
+    assert!(report
+        .violations
+        .iter()
+        .any(|d| d.rule == RULE_SUPPRESSION_REASON && d.line == 25));
+    // The banned type on the covered line still violates.
+    assert!(report
+        .violations
+        .iter()
+        .any(|d| d.rule == RULE_BANNED_TYPE && d.line == 26));
+}
+
+#[test]
+fn clean_tree_reports_nothing() {
+    let report = lint(&fixture_root("fixtures_clean"));
+    assert!(report.is_clean(), "unexpected: {:?}", report.violations);
+    assert!(report.suppressed.is_empty());
+    assert_eq!(report.inventory["demo"].total(), 0);
+}
+
+#[test]
+fn binary_exits_nonzero_on_the_seeded_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_womlint"))
+        .args(["--root"])
+        .arg(fixture_root("fixtures"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        RULE_BANNED_TYPE,
+        RULE_BANNED_PATH,
+        RULE_HOTPATH_ALLOC,
+        RULE_PANIC_RATCHET,
+        RULE_SUPPRESSION_REASON,
+        RULE_SUPPRESSION_UNKNOWN,
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_the_clean_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_womlint"))
+        .args(["--root"])
+        .arg(fixture_root("fixtures_clean"))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn binary_emits_json_for_ci() {
+    let out = Command::new(env!("CARGO_BIN_EXE_womlint"))
+        .args(["--root"])
+        .arg(fixture_root("fixtures"))
+        .args(["--json", "-"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"violations\"", "\"panic_inventory\"", "\"summary\""] {
+        assert!(stdout.contains(key), "missing {key} in:\n{stdout}");
+    }
+    assert!(stdout.contains(RULE_BANNED_TYPE));
+}

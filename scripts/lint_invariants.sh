@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Run womlint (DESIGN.md §9) and, on failure, print the violations as a
+# readable table from the JSON report — the CI-facing counterpart of
+# bench_compare.sh.
+#
+# Usage: scripts/lint_invariants.sh [REPORT.json]
+#
+# The JSON report is written to REPORT.json (default: a temp file) and
+# kept on failure so CI can upload it. Exit code is womlint's: 0 clean,
+# 1 violations, 2 usage/config error.
+
+set -u
+
+report="${1:-$(mktemp /tmp/womlint-XXXXXX.json)}"
+
+cargo run -q -p womlint -- --json "$report"
+status=$?
+if [ "$status" -eq 0 ]; then
+    exit 0
+fi
+
+echo ""
+echo "lint-invariants: FAILED (womlint exit $status); report: $report" >&2
+python3 - "$report" <<'PY' >&2 || true
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+rows = [(d["rule"], f'{d["file"]}:{d["line"]}', d["message"]) for d in report["violations"]]
+if rows:
+    rule_w = max(len(r[0]) for r in rows)
+    loc_w = max(len(r[1]) for r in rows)
+    for rule, loc, message in rows:
+        print(f"  {rule:<{rule_w}}  {loc:<{loc_w}}  {message}")
+summary = report["summary"]
+print(
+    f'  {summary["violations"]} violation(s) across '
+    f'{summary["files_scanned"]} file(s), {summary["suppressed"]} suppressed'
+)
+PY
+exit "$status"
