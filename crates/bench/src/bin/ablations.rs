@@ -1,4 +1,4 @@
-//! Ablation studies over the design choices called out in `DESIGN.md` §10:
+//! Ablation studies over the design choices called out in `DESIGN.md` §11:
 //!
 //! * `rth`      — PCM-refresh threshold r_th sweep (0–100%).
 //! * `rat`      — row-address-table depth sweep (the paper fixes 5).
@@ -16,10 +16,10 @@
 use pcm_sim::MemoryGeometry;
 use pcm_trace::synth::benchmarks;
 use wom_pcm::{
-    Architecture, BudgetGranularity, ColdPolicy, HiddenPageTable, RunMetrics, SystemConfig,
-    WideColumn,
+    Architecture, BudgetGranularity, ColdPolicy, HiddenPageTable, RunMetrics, SystemBuilder,
+    SystemConfig, WideColumn,
 };
-use wom_pcm_bench::{run_configs_parallel, take_threads_flag};
+use wom_pcm_bench::{cli, run_configs_parallel};
 
 const DEFAULT_RECORDS: usize = 30_000;
 const WORKLOAD: &str = "FFT.mi";
@@ -32,10 +32,9 @@ fn run_all(cfgs: Vec<SystemConfig>, records: usize, seed: u64, threads: usize) -
     run_configs_parallel(&jobs, threads).expect("ablation cells run")
 }
 
-fn base_config(arch: Architecture) -> SystemConfig {
-    let mut cfg = SystemConfig::paper(arch);
-    cfg.mem.geometry.rows_per_bank = 4096;
-    cfg
+fn base(arch: Architecture) -> SystemBuilder {
+    // Bound lazily-allocated simulator state for ablation-scale runs.
+    SystemBuilder::new(arch).rows_per_bank(4096)
 }
 
 fn ablate_rth(records: usize, seed: u64, threads: usize) {
@@ -48,9 +47,9 @@ fn ablate_rth(records: usize, seed: u64, threads: usize) {
     let cfgs = PCTS
         .iter()
         .map(|&pct| {
-            let mut cfg = base_config(Architecture::WomCodeRefresh);
-            cfg.refresh.threshold_pct = pct;
-            cfg
+            base(Architecture::WomCodeRefresh)
+                .refresh_threshold_pct(pct)
+                .into_config()
         })
         .collect();
     for (pct, m) in PCTS.iter().zip(run_all(cfgs, records, seed, threads)) {
@@ -75,9 +74,9 @@ fn ablate_rat(records: usize, seed: u64, threads: usize) {
     let cfgs = DEPTHS
         .iter()
         .map(|&depth| {
-            let mut cfg = base_config(Architecture::WomCodeRefresh);
-            cfg.refresh.table_depth = depth;
-            cfg
+            base(Architecture::WomCodeRefresh)
+                .refresh_table_depth(depth)
+                .into_config()
         })
         .collect();
     for (depth, m) in DEPTHS.iter().zip(run_all(cfgs, records, seed, threads)) {
@@ -101,9 +100,9 @@ fn ablate_pausing(records: usize, seed: u64, threads: usize) {
     let cfgs = PAUSING
         .iter()
         .map(|&pausing| {
-            let mut cfg = base_config(Architecture::WomCodeRefresh);
-            cfg.mem.write_pausing = pausing;
-            cfg
+            base(Architecture::WomCodeRefresh)
+                .write_pausing(pausing)
+                .into_config()
         })
         .collect();
     for (pausing, m) in PAUSING.iter().zip(run_all(cfgs, records, seed, threads)) {
@@ -133,9 +132,9 @@ fn ablate_sched(records: usize, seed: u64, threads: usize) {
     let cfgs = POLICIES
         .iter()
         .map(|&(_, policy)| {
-            let mut cfg = base_config(Architecture::WomCodeRefresh);
-            cfg.mem.scheduler = policy;
-            cfg
+            base(Architecture::WomCodeRefresh)
+                .scheduler(policy)
+                .into_config()
         })
         .collect();
     for ((name, _), m) in POLICIES.iter().zip(run_all(cfgs, records, seed, threads)) {
@@ -159,9 +158,10 @@ fn ablate_period(records: usize, seed: u64, threads: usize) {
     let cfgs = PERIODS
         .iter()
         .map(|&period| {
-            let mut cfg = base_config(Architecture::WomCodeRefresh);
-            cfg.mem.timing.refresh_period_ns = period;
-            cfg
+            let b = base(Architecture::WomCodeRefresh);
+            let mut timing = b.config().mem.timing;
+            timing.refresh_period_ns = period;
+            b.timing(timing).into_config()
         })
         .collect();
     for (period, m) in PERIODS.iter().zip(run_all(cfgs, records, seed, threads)) {
@@ -189,9 +189,9 @@ fn ablate_budget(records: usize, seed: u64, threads: usize) {
     let cfgs = GRANULARITIES
         .iter()
         .map(|&(_, g)| {
-            let mut cfg = base_config(Architecture::WomCode);
-            cfg.budget_granularity = g;
-            cfg
+            base(Architecture::WomCode)
+                .budget_granularity(g)
+                .into_config()
         })
         .collect();
     for ((name, _), m) in GRANULARITIES
@@ -220,11 +220,7 @@ fn ablate_cold(records: usize, seed: u64, threads: usize) {
     ];
     let cfgs = COLD
         .iter()
-        .map(|&(_, c)| {
-            let mut cfg = base_config(Architecture::WomCode);
-            cfg.cold_policy = c;
-            cfg
-        })
+        .map(|&(_, c)| base(Architecture::WomCode).cold_policy(c).into_config())
         .collect();
     for ((name, _), m) in COLD.iter().zip(run_all(cfgs, records, seed, threads)) {
         println!(
@@ -251,10 +247,10 @@ fn ablate_org_timing(records: usize, seed: u64, threads: usize) {
     let cfgs = ORGS
         .iter()
         .map(|&(_, org, charge)| {
-            let mut cfg = base_config(Architecture::WomCode);
-            cfg.organization = org;
-            cfg.charge_hidden_page_traffic = charge;
-            cfg
+            base(Architecture::WomCode)
+                .organization(org)
+                .charge_hidden_page_traffic(charge)
+                .into_config()
         })
         .collect();
     for ((name, _, _), m) in ORGS.iter().zip(run_all(cfgs, records, seed, threads)) {
@@ -294,15 +290,16 @@ fn ablate_org() {
     );
 }
 
+const USAGE: &str =
+    "ablations [rth|rat|pausing|budget|sched|period|cold|org|all] [records] [seed] [--threads N]";
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_threads_flag(&mut args);
-    let mut args = args.into_iter();
-    let study = args.next().unwrap_or_else(|| "all".into());
-    let records: usize = args
-        .next()
-        .map_or(DEFAULT_RECORDS, |s| s.parse().expect("records"));
-    let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
+    let mut cli = cli::Parser::from_env(USAGE);
+    let threads = cli.threads();
+    let study = cli.next_arg().unwrap_or_else(|| "all".into());
+    let records: usize = cli.positional("records", DEFAULT_RECORDS);
+    let seed: u64 = cli.positional("seed", 2014);
+    cli.finish();
 
     match study.as_str() {
         "rth" => ablate_rth(records, seed, threads),

@@ -7,6 +7,7 @@ use wom_code::analysis::{latency_ratio_bound, refresh_speedup_bound, wcpcm_overh
 use wom_code::Rs23Code;
 
 fn main() {
+    wom_pcm_bench::cli::Parser::from_env("bounds").finish();
     // The paper's PCM: SET 150 ns, RESET 40 ns.
     let paper_s = 150.0 / 40.0;
 

@@ -178,21 +178,12 @@ fn to_json(outcomes: &[Outcome]) -> String {
     format!("{{\"bench\":\"codec_hotpath\",\"unit\":\"ns_per_row_op\",\"cases\":[{body}\n]}}\n")
 }
 
+const USAGE: &str = "codec_hotpath [--json PATH]";
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args.iter().position(|a| a == "--json").map(|pos| {
-        if pos + 1 >= args.len() {
-            eprintln!("error: --json requires a path");
-            std::process::exit(2);
-        }
-        let path = args.remove(pos + 1);
-        args.remove(pos);
-        path
-    });
-    if let Some(unknown) = args.first() {
-        eprintln!("error: unknown argument '{unknown}' (usage: codec_hotpath [--json PATH])");
-        std::process::exit(2);
-    }
+    let mut cli = wom_pcm_bench::cli::Parser::from_env(USAGE);
+    let json_path = cli.value("--json");
+    cli.finish();
 
     println!("row codec hot path: LUT fast path vs per-symbol reference\n");
     let outcomes: Vec<Outcome> = cases().iter().map(run_case).collect();

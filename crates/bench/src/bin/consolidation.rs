@@ -11,7 +11,7 @@
 use pcm_trace::synth::benchmarks;
 use pcm_trace::transform::{interleave, offset_addresses};
 use pcm_trace::TraceRecord;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, SystemBuilder};
 
 const PROGRAMS: [&str; 4] = ["401.bzip2", "464.h264ref", "482.sphinx3", "water-ns"];
 
@@ -31,10 +31,13 @@ fn consolidated(n_programs: usize, records: usize, seed: u64) -> Vec<TraceRecord
     interleave(&traces)
 }
 
+const USAGE: &str = "consolidation [records-per-program] [seed]";
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let records: usize = args.next().map_or(20_000, |s| s.parse().expect("records"));
-    let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
+    let mut cli = wom_pcm_bench::cli::Parser::from_env(USAGE);
+    let records: usize = cli.positional("records", 20_000);
+    let seed: u64 = cli.positional("seed", 2014);
+    cli.finish();
 
     println!(
         "{:>10}{:>14}{:>12}{:>14}{:>12}",
@@ -45,9 +48,10 @@ fn main() {
         let mut row = Vec::new();
         let mut base = 0.0;
         for arch in Architecture::all_paper() {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096;
-            let mut sys = WomPcmSystem::new(cfg).expect("valid config");
+            let mut sys = SystemBuilder::new(arch)
+                .rows_per_bank(4096)
+                .build()
+                .expect("valid config");
             let m = sys.run_trace(trace.clone()).expect("trace runs");
             if arch == Architecture::Baseline {
                 base = m.mean_write_ns();

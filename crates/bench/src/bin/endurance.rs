@@ -9,19 +9,25 @@
 //! PCM-refresh adds whole-row rewrites of its own, and WCPCM
 //! concentrates all write traffic on the small per-rank cache arrays.
 //!
-//! Usage: `endurance [records] [seed] [--threads N]`
+//! Usage: `endurance [records] [seed] [--threads N]
+//! [--observe PATH [--epoch-cycles N]]`
 //! (defaults: 30000, 2014, available parallelism).
 
 use pcm_trace::synth::benchmarks;
-use wom_pcm::{Architecture, SystemConfig};
-use wom_pcm_bench::{run_configs_parallel, take_threads_flag};
+use wom_pcm::{Architecture, SystemBuilder};
+use wom_pcm_bench::{
+    cli, run_configs_observed, run_configs_parallel, write_observed_jsonl, ObservedSeries,
+};
+
+const USAGE: &str = "endurance [records] [seed] [--threads N] [--observe PATH [--epoch-cycles N]]";
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_threads_flag(&mut args);
-    let mut args = args.into_iter();
-    let records: usize = args.next().map_or(30_000, |s| s.parse().expect("records"));
-    let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
+    let mut cli = cli::Parser::from_env(USAGE);
+    let threads = cli.threads();
+    let observe = cli.observe();
+    let records: usize = cli.positional("records", 30_000);
+    let seed: u64 = cli.positional("seed", 2014);
+    cli.finish();
 
     let profile = benchmarks::by_name("464.h264ref").expect("paper workload");
     let trace = profile.generate(seed, records);
@@ -44,13 +50,33 @@ fn main() {
     let jobs: Vec<_> = CASES
         .iter()
         .map(|&(_, arch, leveling)| {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096;
-            cfg.wear_leveling = leveling;
-            (cfg, trace.clone())
+            let mut b = SystemBuilder::new(arch).rows_per_bank(4096);
+            if let Some(interval) = leveling {
+                b = b.wear_leveling(interval);
+            }
+            (b.into_config(), trace.clone())
         })
         .collect();
-    let metrics = run_configs_parallel(&jobs, threads).expect("endurance cells run");
+    let metrics = if let Some(obs) = &observe {
+        let runs =
+            run_configs_observed(&jobs, threads, obs.epoch_cycles).expect("endurance cells run");
+        let mut metrics = Vec::new();
+        let mut observed = Vec::new();
+        for ((label, arch, _), (m, series)) in CASES.iter().zip(runs) {
+            metrics.push(m);
+            observed.push(ObservedSeries {
+                arch: *arch,
+                workload: format!("464.h264ref/{label}"),
+                banks_per_rank: 32,
+                series,
+            });
+        }
+        write_observed_jsonl(&obs.path, &observed).expect("writing the epoch JSONL");
+        eprintln!("wrote {} epoch series to {}", observed.len(), obs.path);
+        metrics
+    } else {
+        run_configs_parallel(&jobs, threads).expect("endurance cells run")
+    };
     for ((label, _, _), m) in CASES.iter().zip(&metrics) {
         let w = m.wear_main;
         let cache_max = m.wear_cache.map_or("-".to_string(), |c| c.max.to_string());
@@ -89,10 +115,11 @@ fn main() {
     let hot_jobs: Vec<_> = INTERVALS
         .iter()
         .map(|&leveling| {
-            let mut cfg = SystemConfig::paper(Architecture::WomCode);
-            cfg.mem.geometry.rows_per_bank = 64;
-            cfg.wear_leveling = leveling;
-            (cfg, hot.clone())
+            let mut b = SystemBuilder::new(Architecture::WomCode).rows_per_bank(64);
+            if let Some(interval) = leveling {
+                b = b.wear_leveling(interval);
+            }
+            (b.into_config(), hot.clone())
         })
         .collect();
     let hot_metrics = run_configs_parallel(&hot_jobs, threads).expect("hot-row cells run");

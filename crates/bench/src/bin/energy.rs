@@ -7,14 +7,17 @@
 //! Usage: `energy [records] [seed]` (defaults: 30000, 2014).
 
 use pcm_trace::synth::benchmarks;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, SystemBuilder};
 
 const WORKLOADS: [&str; 4] = ["401.bzip2", "464.h264ref", "qsort", "water-ns"];
 
+const USAGE: &str = "energy [records] [seed]";
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let records: usize = args.next().map_or(30_000, |s| s.parse().expect("records"));
-    let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
+    let mut cli = wom_pcm_bench::cli::Parser::from_env(USAGE);
+    let records: usize = cli.positional("records", 30_000);
+    let seed: u64 = cli.positional("seed", 2014);
+    cli.finish();
 
     println!("Array energy per demand access (pJ), {records} records per run\n");
     println!(
@@ -27,9 +30,10 @@ fn main() {
         let mut row = Vec::new();
         let mut refresh_share = 0.0;
         for arch in Architecture::all_paper() {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096;
-            let mut sys = WomPcmSystem::new(cfg).expect("valid config");
+            let mut sys = SystemBuilder::new(arch)
+                .rows_per_bank(4096)
+                .build()
+                .expect("valid config");
             let m = sys.run_trace(trace.clone()).expect("trace runs");
             if arch == Architecture::WomCodeRefresh {
                 refresh_share = m.energy.refresh_pj / m.energy.total_pj();

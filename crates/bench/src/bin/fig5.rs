@@ -2,30 +2,39 @@
 //! (panel a) and read latency (panel b) of the four PCM architectures
 //! across the 20 SPEC CPU2006 / MiBench / SPLASH-2 workloads.
 //!
-//! Usage: `fig5 [records] [seed] [--json] [--threads N]`
+//! Usage: `fig5 [records] [seed] [--json] [--threads N]
+//! [--observe PATH [--epoch-cycles N]]`
 //! (defaults: 120000, 2014, available parallelism).
 
 use wom_pcm_bench::{
-    average, fig5, json, reduction_pct, take_threads_flag, DEFAULT_RECORDS, DEFAULT_SEED,
+    average, cli, fig5, fig5_observed, json, reduction_pct, write_observed_jsonl, DEFAULT_RECORDS,
+    DEFAULT_SEED,
 };
 
+const USAGE: &str =
+    "fig5 [records] [seed] [--json] [--threads N] [--observe PATH [--epoch-cycles N]]";
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_threads_flag(&mut args);
-    let json_out = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
-    let mut args = args.into_iter();
-    let records: usize = args.next().map_or(DEFAULT_RECORDS, |s| {
-        s.parse().expect("records must be a number")
-    });
-    let seed: u64 = args
-        .next()
-        .map_or(DEFAULT_SEED, |s| s.parse().expect("seed must be a number"));
+    let mut cli = cli::Parser::from_env(USAGE);
+    let threads = cli.threads();
+    let json_out = cli.flag("--json");
+    let observe = cli.observe();
+    let records: usize = cli.positional("records", DEFAULT_RECORDS);
+    let seed: u64 = cli.positional("seed", DEFAULT_SEED);
+    cli.finish();
 
     eprintln!(
         "running fig5: 20 workloads x 4 architectures, {records} records each, {threads} threads ..."
     );
-    let rows = fig5(records, seed, threads).expect("figure runs");
+    let rows = if let Some(obs) = &observe {
+        let (rows, observed) =
+            fig5_observed(records, seed, threads, obs.epoch_cycles).expect("figure runs");
+        write_observed_jsonl(&obs.path, &observed).expect("writing the epoch JSONL");
+        eprintln!("wrote {} epoch series to {}", observed.len(), obs.path);
+        rows
+    } else {
+        fig5(records, seed, threads).expect("figure runs")
+    };
     if json_out {
         println!("{}", json::fig5(&rows));
         return;

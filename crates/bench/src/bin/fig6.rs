@@ -3,28 +3,39 @@
 //! more banks per rank, the lower the hit rate (more banks conflict on
 //! each per-row tag).
 //!
-//! Usage: `fig6 [records] [seed] [--json] [--threads N]`
+//! Usage: `fig6 [records] [seed] [--json] [--threads N]
+//! [--observe PATH [--epoch-cycles N]]`
 //! (defaults: 120000, 2014, available parallelism).
 
-use wom_pcm_bench::{bank_sweep_all, json, take_threads_flag, DEFAULT_RECORDS, DEFAULT_SEED};
+use wom_pcm_bench::{
+    bank_sweep_all, bank_sweep_all_observed, cli, json, write_observed_jsonl, DEFAULT_RECORDS,
+    DEFAULT_SEED,
+};
+
+const USAGE: &str =
+    "fig6 [records] [seed] [--json] [--threads N] [--observe PATH [--epoch-cycles N]]";
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_threads_flag(&mut args);
-    let json_out = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
-    let mut args = args.into_iter();
-    let records: usize = args.next().map_or(DEFAULT_RECORDS, |s| {
-        s.parse().expect("records must be a number")
-    });
-    let seed: u64 = args
-        .next()
-        .map_or(DEFAULT_SEED, |s| s.parse().expect("seed must be a number"));
+    let mut cli = cli::Parser::from_env(USAGE);
+    let threads = cli.threads();
+    let json_out = cli.flag("--json");
+    let observe = cli.observe();
+    let records: usize = cli.positional("records", DEFAULT_RECORDS);
+    let seed: u64 = cli.positional("seed", DEFAULT_SEED);
+    cli.finish();
 
     eprintln!(
         "running fig6: 20 workloads x 4 bank counts, {records} records each, {threads} threads ..."
     );
-    let sweeps = bank_sweep_all(records, seed, threads).expect("sweep runs");
+    let sweeps = if let Some(obs) = &observe {
+        let (sweeps, observed) =
+            bank_sweep_all_observed(records, seed, threads, obs.epoch_cycles).expect("sweep runs");
+        write_observed_jsonl(&obs.path, &observed).expect("writing the epoch JSONL");
+        eprintln!("wrote {} epoch series to {}", observed.len(), obs.path);
+        sweeps
+    } else {
+        bank_sweep_all(records, seed, threads).expect("sweep runs")
+    };
 
     if json_out {
         let docs: Vec<String> = sweeps

@@ -10,12 +10,15 @@
 
 use pcm_sim::TimingParams;
 use pcm_trace::synth::benchmarks;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, SystemBuilder};
+
+const USAGE: &str = "motivation [records] [seed]";
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let records: usize = args.next().map_or(30_000, |s| s.parse().expect("records"));
-    let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
+    let mut cli = wom_pcm_bench::cli::Parser::from_env(USAGE);
+    let records: usize = cli.positional("records", 30_000);
+    let seed: u64 = cli.positional("seed", 2014);
+    cli.finish();
 
     println!(
         "{:16}{:>10}{:>12}{:>12}{:>14}{:>10}",
@@ -26,18 +29,18 @@ fn main() {
         let trace = profile.generate(seed, records);
 
         // DRAM-class device: symmetric 27 ns writes.
-        let mut dram_cfg = SystemConfig::paper(Architecture::Baseline);
-        dram_cfg.mem.geometry.rows_per_bank = 4096;
-        dram_cfg.mem.timing = TimingParams::dram_like();
-        let dram = WomPcmSystem::new(dram_cfg)
+        let dram = SystemBuilder::new(Architecture::Baseline)
+            .rows_per_bank(4096)
+            .timing(TimingParams::dram_like())
+            .build()
             .expect("valid config")
             .run_trace(trace.clone())
             .expect("trace runs");
 
         let run = |arch: Architecture| {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096;
-            WomPcmSystem::new(cfg)
+            SystemBuilder::new(arch)
+                .rows_per_bank(4096)
+                .build()
                 .expect("valid config")
                 .run_trace(trace.clone())
                 .expect("trace runs")

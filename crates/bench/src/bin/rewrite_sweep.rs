@@ -11,21 +11,24 @@
 use pcm_trace::synth::benchmarks;
 use wom_code::analysis::latency_ratio_bound;
 use wom_code::{FlipCode, WomCode};
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, SystemBuilder};
+
+const USAGE: &str = "rewrite_sweep [records] [seed]";
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let records: usize = args.next().map_or(30_000, |s| s.parse().expect("records"));
-    let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
+    let mut cli = wom_pcm_bench::cli::Parser::from_env(USAGE);
+    let records: usize = cli.positional("records", 30_000);
+    let seed: u64 = cli.positional("seed", 2014);
+    cli.finish();
 
     let profile = benchmarks::by_name("464.h264ref").expect("paper workload");
     let trace = profile.generate(seed, records);
     let s = 150.0 / 40.0;
 
     // Baseline for normalization.
-    let mut base_cfg = SystemConfig::paper(Architecture::Baseline);
-    base_cfg.mem.geometry.rows_per_bank = 4096;
-    let base = WomPcmSystem::new(base_cfg)
+    let base = SystemBuilder::new(Architecture::Baseline)
+        .rows_per_bank(4096)
+        .build()
         .expect("valid config")
         .run_trace(trace.clone())
         .expect("trace runs");
@@ -40,11 +43,11 @@ fn main() {
     );
     for k in [1u32, 2, 3, 4, 8] {
         let run = |arch: Architecture| {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096;
-            cfg.rewrite_limit = k;
-            cfg.expansion = FlipCode::new(k).expect("valid t").expansion();
-            WomPcmSystem::new(cfg)
+            SystemBuilder::new(arch)
+                .rows_per_bank(4096)
+                .rewrite_limit(k)
+                .expansion(FlipCode::new(k).expect("valid t").expansion())
+                .build()
                 .expect("valid config")
                 .run_trace(trace.clone())
                 .expect("trace runs")

@@ -181,21 +181,12 @@ fn to_json(outcomes: &[Outcome]) -> String {
     format!("{{\"bench\":\"rowmap_hotpath\",\"unit\":\"ns_per_op\",\"cases\":[{body}\n]}}\n")
 }
 
+const USAGE: &str = "rowmap_hotpath [--json PATH]";
+
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = args.iter().position(|a| a == "--json").map(|pos| {
-        if pos + 1 >= args.len() {
-            eprintln!("error: --json requires a path");
-            std::process::exit(2);
-        }
-        let path = args.remove(pos + 1);
-        args.remove(pos);
-        path
-    });
-    if let Some(unknown) = args.first() {
-        eprintln!("error: unknown argument '{unknown}' (usage: rowmap_hotpath [--json PATH])");
-        std::process::exit(2);
-    }
+    let mut cli = wom_pcm_bench::cli::Parser::from_env(USAGE);
+    let json_path = cli.value("--json");
+    cli.finish();
 
     println!("row-state store hot path: RowMap vs std::HashMap, {OPS} ops/pass\n");
     let mut rng = Rng::seed_from_u64(wom_pcm_bench::DEFAULT_SEED);

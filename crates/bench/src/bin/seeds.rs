@@ -6,14 +6,16 @@
 //! Usage: `seeds [records] [n_seeds] [--threads N]`
 //! (defaults: 40000, 5, available parallelism).
 
-use wom_pcm_bench::{average, fig5, take_threads_flag};
+use wom_pcm_bench::{average, cli, fig5};
+
+const USAGE: &str = "seeds [records] [n_seeds] [--threads N]";
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_threads_flag(&mut args);
-    let mut args = args.into_iter();
-    let records: usize = args.next().map_or(40_000, |s| s.parse().expect("records"));
-    let n_seeds: u64 = args.next().map_or(5, |s| s.parse().expect("seed count"));
+    let mut cli = cli::Parser::from_env(USAGE);
+    let threads = cli.threads();
+    let records: usize = cli.positional("records", 40_000);
+    let n_seeds: u64 = cli.positional("n_seeds", 5);
+    cli.finish();
 
     let mut per_seed: Vec<[f64; 3]> = Vec::new();
     for seed in 0..n_seeds {

@@ -6,12 +6,21 @@
 //! file — `BENCH_throughput.json` at the repo root is the committed
 //! baseline; see EXPERIMENTS.md for how to regenerate it and
 //! `scripts/bench_compare.sh` for diffing two baselines.
+//!
+//! With `--observe PATH [--epoch-cycles N]` an extra *untimed* observed
+//! pass per architecture writes its epoch series as JSON-Lines — the CI
+//! bench-smoke job diffs this against the committed fixture
+//! (`crates/bench/fixtures/sim_throughput_observed.jsonl`). The timed
+//! runs themselves always use the disabled (no-op) observer.
 
 use pcm_trace::synth::benchmarks;
 use std::fmt::Write as _;
 use std::time::Instant;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
-use wom_pcm_bench::EXPERIMENT_ROWS_PER_BANK;
+use wom_pcm::{Architecture, SystemBuilder, SystemConfig, WomPcmSystem};
+use wom_pcm_bench::{cli, run_cells_observed, write_observed_jsonl, CellSpec};
+
+const USAGE: &str =
+    "sim_throughput [--records N] [--json PATH] [--observe PATH [--epoch-cycles N]]";
 
 /// Measurement repetitions per case; the best (fastest) run is reported,
 /// minimizing scheduler noise — every run simulates identically.
@@ -25,10 +34,10 @@ struct Outcome {
 }
 
 fn build_config(arch: Architecture, verify_data: bool) -> SystemConfig {
-    let mut cfg = SystemConfig::paper(arch);
-    cfg.mem.geometry.rows_per_bank = EXPERIMENT_ROWS_PER_BANK;
-    cfg.verify_data = verify_data;
-    cfg
+    SystemBuilder::new(arch)
+        .rows_per_bank(wom_pcm_bench::EXPERIMENT_ROWS_PER_BANK)
+        .verify_data(verify_data)
+        .into_config()
 }
 
 fn run_case(name: &str, cfg: &SystemConfig, trace: &[pcm_trace::TraceRecord]) -> Outcome {
@@ -77,32 +86,11 @@ fn to_json(outcomes: &[Outcome], workload: &str, seed: u64) -> String {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut records = 200_000usize;
-    let mut json_path = None;
-    while let Some(pos) = args.iter().position(|a| a == "--records" || a == "--json") {
-        if pos + 1 >= args.len() {
-            eprintln!("error: {} requires a value", args[pos]);
-            std::process::exit(2);
-        }
-        let value = args.remove(pos + 1);
-        let flag = args.remove(pos);
-        if flag == "--records" {
-            records = value.parse().unwrap_or_else(|_| {
-                eprintln!("error: invalid --records value '{value}'");
-                std::process::exit(2);
-            });
-        } else {
-            json_path = Some(value);
-        }
-    }
-    if let Some(unknown) = args.first() {
-        eprintln!(
-            "error: unknown argument '{unknown}' \
-             (usage: sim_throughput [--records N] [--json PATH])"
-        );
-        std::process::exit(2);
-    }
+    let mut cli = cli::Parser::from_env(USAGE);
+    let records: usize = cli.parsed("--records").unwrap_or(200_000);
+    let json_path = cli.value("--json");
+    let observe = cli.observe();
+    cli.finish();
 
     let workload = "qsort";
     let seed = wom_pcm_bench::DEFAULT_SEED;
@@ -123,5 +111,22 @@ fn main() {
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(&outcomes, workload, seed)).expect("writing the JSON report");
         println!("\nwrote {path}");
+    }
+
+    // Observed passes are untimed and separate from the throughput runs
+    // above, whose observer stays the zero-overhead disabled sink.
+    if let Some(obs) = observe {
+        let specs: Vec<CellSpec> = Architecture::all_paper()
+            .iter()
+            .map(|&arch| CellSpec::new(arch, profile.clone(), records, seed))
+            .collect();
+        let (_, observed) =
+            run_cells_observed(&specs, 1, obs.epoch_cycles).expect("observed passes run");
+        write_observed_jsonl(&obs.path, &observed).expect("writing the epoch JSONL");
+        println!(
+            "\nwrote epoch series for {} architectures to {}",
+            observed.len(),
+            obs.path
+        );
     }
 }

@@ -22,6 +22,7 @@ fn patterns_of<C: WomCode>(code: &C) -> Vec<(u64, Pattern, Pattern)> {
 }
 
 fn main() {
+    wom_pcm_bench::cli::Parser::from_env("table1").finish();
     println!("Table 1: <2^2>^2/3 WOM-code (Rivest-Shamir)");
     println!("{:>6} {:>14} {:>14}", "data", "first write", "second write");
     for (data, first, second) in patterns_of(&Rs23Code::new()) {

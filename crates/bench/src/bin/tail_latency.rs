@@ -5,21 +5,27 @@
 //! and WCPCM compress the tail even more than the mean.
 //!
 //! Percentiles are log₂-bucketed (within 2× of exact; see
-//! `pcm_sim::LatencyHistogram`).
+//! `pcm_sim::Histogram`).
 //!
-//! Usage: `tail_latency [records] [seed] [--threads N]`
+//! Usage: `tail_latency [records] [seed] [--threads N]
+//! [--observe PATH [--epoch-cycles N]]`
 //! (defaults: 30000, 2014, available parallelism).
 
+use pcm_sim::MemOp;
 use pcm_trace::synth::benchmarks;
 use wom_pcm::Architecture;
-use wom_pcm_bench::{run_cells_parallel, take_threads_flag, CellSpec};
+use wom_pcm_bench::{cli, run_cells_observed, run_cells_parallel, write_observed_jsonl, CellSpec};
+
+const USAGE: &str =
+    "tail_latency [records] [seed] [--threads N] [--observe PATH [--epoch-cycles N]]";
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_threads_flag(&mut args);
-    let mut args = args.into_iter();
-    let records: usize = args.next().map_or(30_000, |s| s.parse().expect("records"));
-    let seed: u64 = args.next().map_or(2014, |s| s.parse().expect("seed"));
+    let mut cli = cli::Parser::from_env(USAGE);
+    let threads = cli.threads();
+    let observe = cli.observe();
+    let records: usize = cli.positional("records", 30_000);
+    let seed: u64 = cli.positional("seed", 2014);
+    cli.finish();
 
     const BENCHES: [&str; 3] = ["464.h264ref", "qsort", "water-ns"];
     let specs: Vec<CellSpec> = BENCHES
@@ -32,7 +38,15 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let metrics = run_cells_parallel(&specs, threads).expect("tail cells run");
+    let metrics = if let Some(obs) = &observe {
+        let (metrics, observed) =
+            run_cells_observed(&specs, threads, obs.epoch_cycles).expect("tail cells run");
+        write_observed_jsonl(&obs.path, &observed).expect("writing the epoch JSONL");
+        eprintln!("wrote {} epoch series to {}", observed.len(), obs.path);
+        metrics
+    } else {
+        run_cells_parallel(&specs, threads).expect("tail cells run")
+    };
 
     for (bench, cells) in BENCHES.iter().zip(metrics.chunks_exact(4)) {
         println!("\n{bench} ({records} records) - latencies in ns");
@@ -44,13 +58,13 @@ fn main() {
             println!(
                 "{:22}{:>9.0}{:>9.0}{:>9.0}{:>4}{:>9.0}{:>9.0}{:>9.0}",
                 arch.label(),
-                m.write_percentile_ns(0.50),
-                m.write_percentile_ns(0.95),
-                m.write_percentile_ns(0.99),
+                m.percentile_ns(MemOp::Write, 0.50),
+                m.percentile_ns(MemOp::Write, 0.95),
+                m.percentile_ns(MemOp::Write, 0.99),
                 "|",
-                m.read_percentile_ns(0.50),
-                m.read_percentile_ns(0.95),
-                m.read_percentile_ns(0.99),
+                m.percentile_ns(MemOp::Read, 0.50),
+                m.percentile_ns(MemOp::Read, 0.95),
+                m.percentile_ns(MemOp::Read, 0.99),
             );
         }
     }

@@ -1,0 +1,213 @@
+//! The shared argument parser for the experiment binaries.
+//!
+//! Every binary in this crate (and `womsim`) speaks the same flag
+//! dialect through [`Parser`]: `--threads N`, `--json [PATH]`,
+//! `--observe PATH`, `--epoch-cycles N`, plus per-binary flags and
+//! positionals. Malformed or unknown arguments all exit with status 2
+//! and a one-line `error:` + `usage:` message, so the sixteen binaries
+//! no longer hand-roll three different parsing styles.
+//!
+//! The protocol: construct with the binary's usage line, pull flags and
+//! valued options first, then positionals in order, then call
+//! [`Parser::finish`] (or let the last [`Parser::positional`] consume
+//! the tail) so leftovers are rejected rather than ignored.
+
+use pcm_sim::Cycle;
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Default epoch width for `--observe` when `--epoch-cycles` is absent:
+/// wide enough to smooth scheduler jitter, narrow enough that a
+/// 120k-record figure cell still spans hundreds of epochs.
+pub const DEFAULT_EPOCH_CYCLES: Cycle = 50_000;
+
+/// A validated `--observe PATH [--epoch-cycles N]` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObserveSpec {
+    /// Output path for the epoch JSON-Lines.
+    pub path: String,
+    /// Epoch width in cycles ([`DEFAULT_EPOCH_CYCLES`] unless given).
+    pub epoch_cycles: Cycle,
+}
+
+/// Destructive flag/positional extractor over a binary's arguments.
+#[derive(Debug)]
+pub struct Parser {
+    usage: &'static str,
+    args: Vec<String>,
+}
+
+impl Parser {
+    /// Captures the process arguments (program name dropped).
+    #[must_use]
+    pub fn from_env(usage: &'static str) -> Self {
+        Self {
+            usage,
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// A parser over explicit arguments, for tests.
+    #[must_use]
+    pub fn from_args(usage: &'static str, args: &[&str]) -> Self {
+        Self {
+            usage,
+            args: args.iter().map(|a| (*a).to_string()).collect(),
+        }
+    }
+
+    /// Uniform exit-2 error path: `error:` line plus the usage line.
+    fn fail(&self, msg: &str) -> ! {
+        eprintln!("error: {msg}");
+        eprintln!("usage: {}", self.usage);
+        std::process::exit(2)
+    }
+
+    /// Consumes every occurrence of a boolean flag; true if any was seen.
+    pub fn flag(&mut self, name: &str) -> bool {
+        let before = self.args.len();
+        self.args.retain(|a| a != name);
+        self.args.len() != before
+    }
+
+    /// Consumes every `name VALUE` pair (last value wins).
+    pub fn value(&mut self, name: &str) -> Option<String> {
+        let mut out = None;
+        while let Some(pos) = self.args.iter().position(|a| a == name) {
+            if pos + 1 >= self.args.len() {
+                self.fail(&format!("{name} requires a value"));
+            }
+            let v = self.args.remove(pos + 1);
+            self.args.remove(pos);
+            out = Some(v);
+        }
+        out
+    }
+
+    /// [`value`](Self::value), parsed; exits 2 on a malformed value.
+    pub fn parsed<T: FromStr>(&mut self, name: &str) -> Option<T>
+    where
+        T::Err: Display,
+    {
+        let raw = self.value(name)?;
+        match raw.parse::<T>() {
+            Ok(v) => Some(v),
+            Err(e) => self.fail(&format!("invalid {name} value '{raw}': {e}")),
+        }
+    }
+
+    /// Consumes `--threads N`, defaulting to available parallelism.
+    pub fn threads(&mut self) -> usize {
+        match self.parsed::<usize>("--threads") {
+            Some(0) => self.fail("--threads wants a positive integer"),
+            Some(n) => n,
+            None => crate::parallel::default_threads(),
+        }
+    }
+
+    /// Consumes `--observe PATH` and `--epoch-cycles N`. `--epoch-cycles`
+    /// without `--observe` (or a zero width) exits 2.
+    pub fn observe(&mut self) -> Option<ObserveSpec> {
+        let epoch_cycles = self.parsed::<Cycle>("--epoch-cycles");
+        let path = self.value("--observe");
+        match (path, epoch_cycles) {
+            (Some(_), Some(0)) => self.fail("--epoch-cycles wants a positive integer"),
+            (Some(path), cycles) => Some(ObserveSpec {
+                path,
+                epoch_cycles: cycles.unwrap_or(DEFAULT_EPOCH_CYCLES),
+            }),
+            (None, Some(_)) => self.fail("--epoch-cycles requires --observe"),
+            (None, None) => None,
+        }
+    }
+
+    /// Takes the next raw positional argument, if any. A leftover
+    /// `--flag` in that position exits 2 as unknown.
+    pub fn next_arg(&mut self) -> Option<String> {
+        self.reject_leading_flag();
+        if self.args.is_empty() {
+            return None;
+        }
+        Some(self.args.remove(0))
+    }
+
+    /// Takes and parses the next positional argument, defaulting when
+    /// the arguments are exhausted; exits 2 on a malformed value.
+    pub fn positional<T: FromStr>(&mut self, name: &str, default: T) -> T
+    where
+        T::Err: Display,
+    {
+        let Some(raw) = self.next_arg() else {
+            return default;
+        };
+        match raw.parse::<T>() {
+            Ok(v) => v,
+            Err(e) => self.fail(&format!("invalid {name} '{raw}': {e}")),
+        }
+    }
+
+    /// Ends parsing: anything left over — unknown flag or stray
+    /// positional — exits 2.
+    pub fn finish(mut self) {
+        self.reject_leading_flag();
+        if let Some(extra) = self.args.first() {
+            self.fail(&format!("unexpected argument '{extra}'"));
+        }
+    }
+
+    fn reject_leading_flag(&mut self) {
+        let unknown = match self.args.first() {
+            Some(a) if a.starts_with("--") => a.clone(),
+            _ => return,
+        };
+        self.fail(&format!("unknown flag '{unknown}'"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_and_values_are_extracted_in_any_order() {
+        let mut p = Parser::from_args("t", &["10", "--json", "--threads", "3", "20"]);
+        assert_eq!(p.threads(), 3);
+        assert!(p.flag("--json"));
+        assert!(!p.flag("--json"), "flag was consumed");
+        assert_eq!(p.positional::<usize>("records", 1), 10);
+        assert_eq!(p.positional::<u64>("seed", 7), 20);
+        assert_eq!(p.positional::<u64>("extra", 7), 7, "default on exhaustion");
+        p.finish();
+    }
+
+    #[test]
+    fn repeated_value_flags_last_one_wins() {
+        let mut p = Parser::from_args("t", &["--threads", "2", "--threads", "5"]);
+        assert_eq!(p.threads(), 5);
+        p.finish();
+    }
+
+    #[test]
+    fn observe_defaults_the_epoch_width() {
+        let mut p = Parser::from_args("t", &["--observe", "out.jsonl"]);
+        assert_eq!(
+            p.observe(),
+            Some(ObserveSpec {
+                path: "out.jsonl".into(),
+                epoch_cycles: DEFAULT_EPOCH_CYCLES,
+            })
+        );
+        let mut p = Parser::from_args("t", &["--observe", "o.jsonl", "--epoch-cycles", "1000"]);
+        assert_eq!(p.observe().map(|o| o.epoch_cycles), Some(1000));
+        let mut p = Parser::from_args("t", &[]);
+        assert_eq!(p.observe(), None);
+    }
+
+    #[test]
+    fn next_arg_pops_in_order() {
+        let mut p = Parser::from_args("t", &["run", "wcpcm"]);
+        assert_eq!(p.next_arg().as_deref(), Some("run"));
+        assert_eq!(p.next_arg().as_deref(), Some("wcpcm"));
+        assert_eq!(p.next_arg(), None);
+    }
+}

@@ -12,9 +12,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use pcm_sim::Cycle;
 use pcm_trace::synth::{benchmarks, WorkloadProfile};
 use pcm_trace::TraceRecord;
-use wom_pcm::{Architecture, RunMetrics, SystemConfig, WomPcmError, WomPcmSystem};
+use wom_pcm::{
+    Architecture, EpochSeries, RunMetrics, SystemBuilder, SystemConfig, WomPcmError, WomPcmSystem,
+};
+
+pub mod cli;
 
 /// Default records per run for figure regeneration. Large enough for
 /// steady-state behaviour, small enough that all 80 Fig. 5 cells run in
@@ -42,15 +47,45 @@ pub fn run_cell(
     banks_per_rank: u32,
 ) -> Result<RunMetrics, WomPcmError> {
     let trace = profile.generate(seed, records);
-    let mut cfg = SystemConfig::paper(arch);
-    // The Figs. 6-7 sweep reorganizes a fixed-capacity device: fewer banks
-    // per rank means proportionally more rows per bank (and a larger
-    // WOM-cache array, which has "the same number of rows ... as a
-    // conventional PCM array in a bank").
-    cfg.mem.geometry.banks_per_rank = banks_per_rank;
-    cfg.mem.geometry.rows_per_bank = EXPERIMENT_ROWS_PER_BANK * 32 / banks_per_rank;
-    let mut sys = WomPcmSystem::new(cfg)?;
+    let mut sys = cell_builder(arch, banks_per_rank).build()?;
     sys.run_trace(trace)
+}
+
+/// The experiment-cell configuration as a [`SystemBuilder`]: the paper's
+/// defaults at `banks_per_rank`. The Figs. 6-7 sweep reorganizes a
+/// fixed-capacity device: fewer banks per rank means proportionally more
+/// rows per bank (and a larger WOM-cache array, which has "the same
+/// number of rows ... as a conventional PCM array in a bank").
+#[must_use]
+pub fn cell_builder(arch: Architecture, banks_per_rank: u32) -> SystemBuilder {
+    SystemBuilder::new(arch)
+        .banks_per_rank(banks_per_rank)
+        .rows_per_bank(EXPERIMENT_ROWS_PER_BANK * 32 / banks_per_rank)
+}
+
+/// [`run_cell`] with epoch observation enabled: returns the run's
+/// metrics plus its recorded epoch time-series.
+///
+/// # Errors
+///
+/// Propagates [`WomPcmError`] from system construction or the run.
+pub fn run_cell_observed(
+    arch: Architecture,
+    profile: &WorkloadProfile,
+    records: usize,
+    seed: u64,
+    banks_per_rank: u32,
+    epoch_cycles: Cycle,
+) -> Result<(RunMetrics, EpochSeries), WomPcmError> {
+    let trace = profile.generate(seed, records);
+    let mut sys = cell_builder(arch, banks_per_rank)
+        .epoch_cycles(epoch_cycles)
+        .build()?;
+    let metrics = sys.run_trace(trace)?;
+    let series = sys.take_epochs().ok_or_else(|| {
+        WomPcmError::Internal("epoch observation was enabled but recorded no series".into())
+    })?;
+    Ok((metrics, series))
 }
 
 /// Work distribution for experiment sweeps: a dependency-free parallel
@@ -154,6 +189,80 @@ pub fn run_cells_parallel(
     .collect()
 }
 
+/// One observed cell's epoch time-series plus the tags identifying it
+/// in exported JSON-Lines (`arch`, `workload`, `banks_per_rank`).
+#[derive(Debug, Clone)]
+pub struct ObservedSeries {
+    /// Architecture the cell simulated.
+    pub arch: Architecture,
+    /// Workload name (the `workload` tag).
+    pub workload: String,
+    /// Banks per rank (the `banks_per_rank` tag).
+    pub banks_per_rank: u32,
+    /// The recorded epoch series.
+    pub series: EpochSeries,
+}
+
+/// [`run_cells_parallel`] with epoch observation: every cell also
+/// records a `epoch_cycles`-wide time-series, returned alongside the
+/// metrics in cell order.
+///
+/// # Errors
+///
+/// Propagates the first (by cell order) [`WomPcmError`] of any cell.
+pub fn run_cells_observed(
+    cells: &[CellSpec],
+    threads: usize,
+    epoch_cycles: Cycle,
+) -> Result<(Vec<RunMetrics>, Vec<ObservedSeries>), WomPcmError> {
+    let results: Vec<(RunMetrics, EpochSeries)> = parallel::map(cells, threads, |c| {
+        run_cell_observed(
+            c.arch,
+            &c.profile,
+            c.records,
+            c.seed,
+            c.banks_per_rank,
+            epoch_cycles,
+        )
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let mut metrics = Vec::with_capacity(cells.len());
+    let mut observed = Vec::with_capacity(cells.len());
+    for (c, (m, series)) in cells.iter().zip(results) {
+        metrics.push(m);
+        observed.push(ObservedSeries {
+            arch: c.arch,
+            workload: c.profile.name.clone(),
+            banks_per_rank: c.banks_per_rank,
+            series,
+        });
+    }
+    Ok((metrics, observed))
+}
+
+/// Writes a batch of observed epoch series to `path` as one JSON-Lines
+/// file; each line carries its cell's identifying tags (see
+/// [`wom_pcm::observe::write_jsonl`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_observed_jsonl(path: &str, observed: &[ObservedSeries]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for o in observed {
+        let banks = o.banks_per_rank.to_string();
+        let tags = [
+            ("arch", o.arch.label()),
+            ("workload", o.workload.as_str()),
+            ("banks_per_rank", banks.as_str()),
+        ];
+        wom_pcm::observe::write_jsonl(&mut w, &o.series, &tags)?;
+    }
+    w.flush()
+}
+
 /// Runs pre-built `(config, trace)` cells on up to `threads` workers —
 /// the custom-config sibling of [`run_cells_parallel`] for ablation-style
 /// sweeps whose cells differ by more than architecture and bank count.
@@ -168,6 +277,32 @@ pub fn run_configs_parallel(
 ) -> Result<Vec<RunMetrics>, WomPcmError> {
     parallel::map(jobs, threads, |(cfg, trace)| {
         WomPcmSystem::new(cfg.clone())?.run_trace(trace.iter().copied())
+    })
+    .into_iter()
+    .collect()
+}
+
+/// [`run_configs_parallel`] with epoch observation: each job's config is
+/// run with an `epoch_cycles`-wide epoch recorder attached, and its
+/// series is returned alongside the metrics.
+///
+/// # Errors
+///
+/// Propagates the first (by cell order) [`WomPcmError`] of any cell.
+pub fn run_configs_observed(
+    jobs: &[(SystemConfig, Vec<TraceRecord>)],
+    threads: usize,
+    epoch_cycles: Cycle,
+) -> Result<Vec<(RunMetrics, EpochSeries)>, WomPcmError> {
+    parallel::map(jobs, threads, |(cfg, trace)| {
+        let mut cfg = cfg.clone();
+        cfg.epoch_cycles = Some(epoch_cycles);
+        let mut sys = WomPcmSystem::new(cfg)?;
+        let metrics = sys.run_trace(trace.iter().copied())?;
+        let series = sys.take_epochs().ok_or_else(|| {
+            WomPcmError::Internal("epoch observation was enabled but recorded no series".into())
+        })?;
+        Ok((metrics, series))
     })
     .into_iter()
     .collect()
@@ -198,8 +333,35 @@ pub struct Fig5Row {
 /// Panics if a run records no reads or writes (cannot happen for the
 /// bundled profiles with a non-trivial record count).
 pub fn fig5(records: usize, seed: u64, threads: usize) -> Result<Vec<Fig5Row>, WomPcmError> {
-    let profiles = benchmarks::all();
-    let specs: Vec<CellSpec> = profiles
+    let metrics = run_cells_parallel(&fig5_specs(records, seed), threads)?;
+    Ok(fig5_rows(&metrics))
+}
+
+/// [`fig5`] with epoch observation: also returns one tagged epoch series
+/// per (architecture × workload) cell.
+///
+/// # Errors
+///
+/// Propagates errors from any cell.
+///
+/// # Panics
+///
+/// Panics if a run records no reads or writes (cannot happen for the
+/// bundled profiles with a non-trivial record count).
+pub fn fig5_observed(
+    records: usize,
+    seed: u64,
+    threads: usize,
+    epoch_cycles: Cycle,
+) -> Result<(Vec<Fig5Row>, Vec<ObservedSeries>), WomPcmError> {
+    let (metrics, observed) =
+        run_cells_observed(&fig5_specs(records, seed), threads, epoch_cycles)?;
+    Ok((fig5_rows(&metrics), observed))
+}
+
+/// The 80 (architecture × workload) cells of Fig. 5, in row order.
+fn fig5_specs(records: usize, seed: u64) -> Vec<CellSpec> {
+    benchmarks::all()
         .iter()
         .flat_map(|profile| {
             Architecture::all_paper()
@@ -207,8 +369,12 @@ pub fn fig5(records: usize, seed: u64, threads: usize) -> Result<Vec<Fig5Row>, W
                 .map(|&arch| CellSpec::new(arch, profile.clone(), records, seed))
                 .collect::<Vec<_>>()
         })
-        .collect();
-    let metrics = run_cells_parallel(&specs, threads)?;
+        .collect()
+}
+
+/// Folds [`fig5_specs`]-ordered metrics into normalized Fig. 5 rows.
+fn fig5_rows(metrics: &[RunMetrics]) -> Vec<Fig5Row> {
+    let profiles = benchmarks::all();
     let mut rows = Vec::new();
     for (profile, cells) in profiles.iter().zip(metrics.chunks_exact(4)) {
         let base = &cells[0];
@@ -242,7 +408,7 @@ pub fn fig5(records: usize, seed: u64, threads: usize) -> Result<Vec<Fig5Row>, W
             read,
         });
     }
-    Ok(rows)
+    rows
 }
 
 /// Serial [`fig5`] — kept for spot checks and the parallel-equivalence
@@ -329,6 +495,10 @@ pub fn bank_sweep(
         .collect())
 }
 
+/// One `(workload name, points)` pair per bundled workload, in catalog
+/// order — the shape both bank-sweep drivers return.
+pub type BankSweep = Vec<(String, Vec<BankSweepPoint>)>;
+
 /// Runs the banks/rank sweep for all 20 bundled workloads as one
 /// parallel batch (80 cells), returning `(workload name, points)` pairs
 /// in catalog order.
@@ -341,28 +511,56 @@ pub fn bank_sweep(
 ///
 /// Panics if a run reports no cache statistics (cannot happen: the sweep
 /// always runs WCPCM).
-pub fn bank_sweep_all(
+pub fn bank_sweep_all(records: usize, seed: u64, threads: usize) -> Result<BankSweep, WomPcmError> {
+    let metrics = run_cells_parallel(&bank_sweep_specs(records, seed), threads)?;
+    Ok(bank_sweep_fold(&metrics))
+}
+
+/// [`bank_sweep_all`] with epoch observation: also returns one tagged
+/// epoch series per (workload × banks/rank) cell.
+///
+/// # Errors
+///
+/// Propagates errors from any cell.
+///
+/// # Panics
+///
+/// Panics if a run reports no cache statistics (cannot happen: the sweep
+/// always runs WCPCM).
+pub fn bank_sweep_all_observed(
     records: usize,
     seed: u64,
     threads: usize,
-) -> Result<Vec<(String, Vec<BankSweepPoint>)>, WomPcmError> {
-    const BANKS: [u32; 4] = [4, 8, 16, 32];
-    let profiles = benchmarks::all();
-    let specs: Vec<CellSpec> = profiles
+    epoch_cycles: Cycle,
+) -> Result<(BankSweep, Vec<ObservedSeries>), WomPcmError> {
+    let (metrics, observed) =
+        run_cells_observed(&bank_sweep_specs(records, seed), threads, epoch_cycles)?;
+    Ok((bank_sweep_fold(&metrics), observed))
+}
+
+/// The Figs. 6–7 bank counts, in sweep order.
+const SWEEP_BANKS: [u32; 4] = [4, 8, 16, 32];
+
+/// The 80 (workload × banks/rank) WCPCM cells of Figs. 6–7.
+fn bank_sweep_specs(records: usize, seed: u64) -> Vec<CellSpec> {
+    benchmarks::all()
         .iter()
         .flat_map(|profile| {
-            BANKS.map(|banks| CellSpec {
+            SWEEP_BANKS.map(|banks| CellSpec {
                 banks_per_rank: banks,
                 ..CellSpec::new(Architecture::Wcpcm, profile.clone(), records, seed)
             })
         })
-        .collect();
-    let metrics = run_cells_parallel(&specs, threads)?;
-    Ok(profiles
+        .collect()
+}
+
+/// Folds [`bank_sweep_specs`]-ordered metrics into per-workload points.
+fn bank_sweep_fold(metrics: &[RunMetrics]) -> BankSweep {
+    benchmarks::all()
         .iter()
         .zip(metrics.chunks_exact(4))
         .map(|(profile, cells)| {
-            let points = BANKS
+            let points = SWEEP_BANKS
                 .iter()
                 .zip(cells)
                 .map(|(&banks, m)| {
@@ -377,36 +575,7 @@ pub fn bank_sweep_all(
                 .collect();
             (profile.name.clone(), points)
         })
-        .collect())
-}
-
-/// Extracts a `--threads N` flag from a binary's argument list (removing
-/// both tokens), defaulting to the machine's available parallelism.
-///
-/// # Panics
-///
-/// Panics with a clear message when the flag is malformed — binaries
-/// want the one-line error, not a recovery path.
-pub fn take_threads_flag(args: &mut Vec<String>) -> usize {
-    let mut threads = parallel::default_threads();
-    // Consume every occurrence (last one wins) so a repeated flag is not
-    // left behind to misparse as a positional argument.
-    while let Some(pos) = args.iter().position(|a| a == "--threads") {
-        if pos + 1 >= args.len() {
-            eprintln!("error: --threads requires a value");
-            std::process::exit(2);
-        }
-        let value = args.remove(pos + 1);
-        args.remove(pos);
-        threads = match value.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                eprintln!("error: invalid --threads value '{value}' (want a positive integer)");
-                std::process::exit(2);
-            }
-        };
-    }
-    threads
+        .collect()
 }
 
 /// Formats a ratio as the paper's percentages ("reduced by 20.1%").

@@ -2,9 +2,11 @@
 
 use crate::arch::{Architecture, Organization};
 use crate::error::WomPcmError;
+use crate::observe::Observer;
 use crate::refresh::RefreshConfig;
 use crate::system::{SystemConfig, WomPcmSystem};
-use pcm_sim::{MemConfig, TimingParams};
+use crate::wom_state::{BudgetGranularity, ColdPolicy};
+use pcm_sim::{Cycle, MemConfig, SchedulerPolicy, TimingParams};
 
 /// Builder over [`SystemConfig`], starting from the paper's defaults.
 ///
@@ -22,9 +24,13 @@ use pcm_sim::{MemConfig, TimingParams};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SystemBuilder {
     config: SystemConfig,
+    /// Custom observer to attach at build time (overrides the epoch
+    /// recorder implied by `config.epoch_cycles`). Boxed trait objects
+    /// are not `Clone`, so neither is the builder.
+    observer: Option<Box<dyn Observer>>,
 }
 
 impl SystemBuilder {
@@ -33,6 +39,7 @@ impl SystemBuilder {
     pub fn new(arch: Architecture) -> Self {
         Self {
             config: SystemConfig::paper(arch),
+            observer: None,
         }
     }
 
@@ -41,6 +48,7 @@ impl SystemBuilder {
     pub fn tiny(arch: Architecture) -> Self {
         Self {
             config: SystemConfig::tiny(arch),
+            observer: None,
         }
     }
 
@@ -129,10 +137,85 @@ impl SystemBuilder {
         self
     }
 
+    /// Sets the WOM rewrite-budget tracking granularity (per column —
+    /// the wide-column default — or one counter per row).
+    #[must_use]
+    pub fn budget_granularity(mut self, granularity: BudgetGranularity) -> Self {
+        self.config.budget_granularity = granularity;
+        self
+    }
+
+    /// Sets the assumed state of untouched main-memory cells.
+    #[must_use]
+    pub fn cold_policy(mut self, policy: ColdPolicy) -> Self {
+        self.config.cold_policy = policy;
+        self
+    }
+
+    /// Enables or disables functional data verification (decode every
+    /// read against the last written data).
+    #[must_use]
+    pub fn verify_data(mut self, on: bool) -> Self {
+        self.config.verify_data = on;
+        self
+    }
+
+    /// Charges the hidden-page organization's companion traffic (an
+    /// ablation of the paper's timing-identical assumption).
+    #[must_use]
+    pub fn charge_hidden_page_traffic(mut self, on: bool) -> Self {
+        self.config.charge_hidden_page_traffic = on;
+        self
+    }
+
+    /// Enables or disables write pausing (demand writes preempting an
+    /// in-flight refresh).
+    #[must_use]
+    pub fn write_pausing(mut self, on: bool) -> Self {
+        self.config.mem.write_pausing = on;
+        self
+    }
+
+    /// Sets the controller's scheduling policy.
+    #[must_use]
+    pub fn scheduler(mut self, policy: SchedulerPolicy) -> Self {
+        self.config.mem.scheduler = policy;
+        self
+    }
+
+    /// Enables epoch observation: the built system folds instrumentation
+    /// events into `width`-cycle epochs (see [`crate::observe`]),
+    /// retrievable with
+    /// [`WomPcmSystem::take_epochs`](crate::WomPcmSystem::take_epochs).
+    /// A custom [`observer`](Self::observer) takes precedence.
+    #[must_use]
+    pub fn epoch_cycles(mut self, width: Cycle) -> Self {
+        self.config.epoch_cycles = Some(width);
+        self
+    }
+
+    /// Attaches a custom [`Observer`] to the built system, receiving
+    /// every instrumentation event (overrides
+    /// [`epoch_cycles`](Self::epoch_cycles)).
+    #[must_use]
+    pub fn observer(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// The assembled configuration (for inspection before building).
     #[must_use]
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Consumes the builder, returning the assembled configuration (for
+    /// sweep runners that construct systems themselves; a custom
+    /// [`observer`](Self::observer) cannot travel through a
+    /// `SystemConfig` and is dropped).
+    #[must_use]
+    pub fn into_config(self) -> SystemConfig {
+        self.config
     }
 
     /// Builds the system.
@@ -142,7 +225,11 @@ impl SystemBuilder {
     /// Returns [`WomPcmError::InvalidConfig`] when the assembled
     /// configuration is inconsistent.
     pub fn build(self) -> Result<WomPcmSystem, WomPcmError> {
-        WomPcmSystem::new(self.config)
+        let mut sys = WomPcmSystem::new(self.config)?;
+        if let Some(observer) = self.observer {
+            sys.set_observer(observer);
+        }
+        Ok(sys)
     }
 }
 
@@ -181,6 +268,52 @@ mod tests {
         assert_eq!(c.refresh.table_depth, 7);
         assert_eq!(c.wear_leveling, Some(100));
         b.build().unwrap();
+    }
+
+    #[test]
+    fn every_config_field_is_reachable() {
+        let b = SystemBuilder::tiny(Architecture::WomCode)
+            .budget_granularity(BudgetGranularity::Row)
+            .cold_policy(ColdPolicy::Erased)
+            .verify_data(true)
+            .organization(Organization::HiddenPage)
+            .charge_hidden_page_traffic(true)
+            .write_pausing(false)
+            .scheduler(SchedulerPolicy::StrictFcfs)
+            .epoch_cycles(25_000);
+        let c = b.config();
+        assert_eq!(c.budget_granularity, BudgetGranularity::Row);
+        assert_eq!(c.cold_policy, ColdPolicy::Erased);
+        assert!(c.verify_data);
+        assert!(c.charge_hidden_page_traffic);
+        assert!(!c.mem.write_pausing);
+        assert_eq!(c.mem.scheduler, SchedulerPolicy::StrictFcfs);
+        assert_eq!(c.epoch_cycles, Some(25_000));
+        let cfg = b.into_config();
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn custom_observer_is_attached_at_build() {
+        use crate::observe::{Event, Observer};
+
+        #[derive(Debug, Default)]
+        struct Counting(u64);
+        impl Observer for Counting {
+            fn on_event(&mut self, _event: &Event) {
+                self.0 += 1;
+            }
+        }
+        let mut sys = SystemBuilder::tiny(Architecture::Baseline)
+            .observer(Box::new(Counting::default()))
+            .build()
+            .unwrap();
+        sys.submit(pcm_trace::TraceRecord::new(0, 0, pcm_trace::TraceOp::Write))
+            .unwrap();
+        sys.finish().unwrap();
+        // The observer replaced the (absent) epoch recorder, so no
+        // series is available — the custom sink consumed the events.
+        assert!(sys.take_epochs().is_none());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::arch::{Architecture, Organization};
 use crate::error::WomPcmError;
 use crate::refresh::RefreshConfig;
 use crate::wom_state::{BudgetGranularity, ColdPolicy};
-use pcm_sim::MemConfig;
+use pcm_sim::{Cycle, MemConfig};
 
 /// Full configuration of a [`crate::WomPcmSystem`].
 #[derive(Debug, Clone)]
@@ -57,6 +57,12 @@ pub struct SystemConfig {
     /// protocol is model-checked separately) and incompatible with wear
     /// leveling (relocated rows would invalidate the reference keys).
     pub verify_data: bool,
+    /// Epoch width in cycles for the built-in observability recorder:
+    /// `Some(n)` attaches an [`EpochRecorder`](crate::observe::EpochRecorder)
+    /// folding instrumentation events into fixed-width per-epoch
+    /// time-series (see [`crate::observe`]); `None` (the default) keeps
+    /// observation off with zero hot-path cost.
+    pub epoch_cycles: Option<Cycle>,
 }
 
 impl SystemConfig {
@@ -76,6 +82,7 @@ impl SystemConfig {
             wear_leveling: None,
             charge_hidden_page_traffic: false,
             verify_data: false,
+            epoch_cycles: None,
         }
     }
 
@@ -116,6 +123,11 @@ impl SystemConfig {
         if self.wear_leveling.is_some() && self.mem.geometry.rows_per_bank < 2 {
             return Err(WomPcmError::InvalidConfig(
                 "wear leveling needs at least 2 rows per bank".into(),
+            ));
+        }
+        if self.epoch_cycles == Some(0) {
+            return Err(WomPcmError::InvalidConfig(
+                "epoch_cycles must be positive when set".into(),
             ));
         }
         if self.charge_hidden_page_traffic && self.organization != Organization::HiddenPage {
@@ -172,5 +184,11 @@ mod tests {
         let mut cfg = SystemConfig::tiny(Architecture::WomCode);
         cfg.wear_leveling = Some(0);
         assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
+        cfg.epoch_cycles = Some(0);
+        assert!(cfg.validate().is_err());
+        cfg.epoch_cycles = Some(10_000);
+        cfg.validate().unwrap();
     }
 }

@@ -7,7 +7,7 @@
 //! data checker, and [`RunMetrics`] accumulation. Everything
 //! architecture-*specific* — WOM budget tables, the PCM-refresh engine,
 //! the WOM-cache policy — lives behind the
-//! [`ArchPolicy`](crate::policy::ArchPolicy) trait and reaches the shared
+//! [`ArchPolicy`] trait and reaches the shared
 //! machinery through [`EngineCore`].
 //!
 //! The split keeps the per-record hot path free of architecture
@@ -19,6 +19,7 @@ use crate::config::SystemConfig;
 use crate::error::WomPcmError;
 use crate::functional::FunctionalMemory;
 use crate::metrics::RunMetrics;
+use crate::observe::{EpochRecorder, EpochSeries, Event, Observer, ObserverSink, WriteClass};
 use crate::policy::{self, ArchPolicy, ArraySide, ReadAction, WriteAction};
 use crate::rowmap::RowMap;
 use crate::wear_leveling::StartGap;
@@ -123,8 +124,8 @@ impl DataCheck {
 /// arrays, the coalescing windows, the victim-writeback queue, and the
 /// metrics through the methods below. Policies never enqueue demand
 /// traffic themselves — they return
-/// [`ReadAction`](crate::policy::ReadAction) /
-/// [`WriteAction`](crate::policy::WriteAction) values and the engine
+/// [`ReadAction`] /
+/// [`WriteAction`] values and the engine
 /// performs the (possibly stalling) enqueues.
 #[derive(Debug)]
 pub struct EngineCore {
@@ -152,6 +153,9 @@ pub struct EngineCore {
     outstanding_main: u64,
     outstanding_cache: u64,
     metrics: RunMetrics,
+    /// Instrumentation sink (see [`crate::observe`]); `Off` by default,
+    /// so the demand hot path pays one predicted branch per event.
+    observer: ObserverSink,
     last_record_cycle: Cycle,
 }
 
@@ -194,6 +198,10 @@ impl EngineCore {
                 clock_ns,
                 ..RunMetrics::default()
             },
+            observer: match config.epoch_cycles {
+                Some(width) => ObserverSink::Epochs(EpochRecorder::new(width)),
+                None => ObserverSink::Off,
+            },
             last_record_cycle: 0,
             config,
         })
@@ -226,6 +234,50 @@ impl EngineCore {
     /// Mutable access to the accumulating metrics (for policy counters).
     pub fn metrics_mut(&mut self) -> &mut RunMetrics {
         &mut self.metrics
+    }
+
+    /// Reports one instrumentation event to the attached observer. A
+    /// single predicted branch and no work when observation is off;
+    /// events are `Copy`, so emitting never allocates.
+    #[inline]
+    pub fn emit(&mut self, event: Event) {
+        self.observer.on_event(&event);
+    }
+
+    /// Records the outcome of one planned row refresh: updates the
+    /// refresh counters *and* emits the [`Event::RefreshRow`] event in
+    /// one step, so per-epoch series always reconcile with
+    /// [`RunMetrics`]. Policies call this from their refresh-completion
+    /// handlers instead of poking `metrics_mut()`.
+    pub fn note_refresh_row(
+        &mut self,
+        side: ArraySide,
+        rank: u32,
+        bank: u32,
+        row: u32,
+        c: &Completion,
+    ) {
+        if c.preempted {
+            self.metrics.refreshes_preempted += 1;
+        } else {
+            self.metrics.refreshes_completed += 1;
+        }
+        self.observer.on_event(&Event::RefreshRow {
+            cycle: c.finish,
+            side,
+            rank,
+            bank,
+            row,
+            preempted: c.preempted,
+        });
+    }
+
+    /// Records one hidden-page companion access (counter plus
+    /// [`Event::HiddenPageAccess`]).
+    pub fn note_hidden_page_access(&mut self) {
+        self.metrics.hidden_page_accesses += 1;
+        let cycle = self.main.now();
+        self.observer.on_event(&Event::HiddenPageAccess { cycle });
     }
 
     /// Whether `rank` of main memory has no demand access queued.
@@ -279,6 +331,13 @@ impl EngineCore {
     ) -> Result<Vec<TransactionId>, WomPcmError> {
         let ids = self.main.enqueue_rank_refresh(rank, rows)?;
         self.outstanding_main += ids.len() as u64;
+        let cycle = self.main.now();
+        self.observer.on_event(&Event::RefreshBurst {
+            cycle,
+            side: ArraySide::Main,
+            rank,
+            rows: ids.len() as u32,
+        });
         Ok(ids)
     }
 
@@ -302,6 +361,13 @@ impl EngineCore {
             .expect("architecture has a cache array")
             .enqueue_rank_refresh(rank, rows)?;
         self.outstanding_cache += ids.len() as u64;
+        let cycle = self.main.now();
+        self.observer.on_event(&Event::RefreshBurst {
+            cycle,
+            side: ArraySide::Cache,
+            rank,
+            rows: ids.len() as u32,
+        });
         Ok(ids)
     }
 
@@ -400,6 +466,11 @@ impl EngineCore {
                 let burst = self.config.mem.timing.burst_cycles();
                 self.metrics.writes.record(burst);
                 self.metrics.write_hist.record(burst);
+                self.observer.on_event(&Event::WriteCompleted {
+                    cycle: now,
+                    latency: burst,
+                    class: WriteClass::Coalesced,
+                });
                 true
             }
             _ => false,
@@ -440,15 +511,26 @@ impl EngineCore {
             MemOp::Read => {
                 self.metrics.reads.record(c.latency());
                 self.metrics.read_hist.record(c.latency());
+                self.observer.on_event(&Event::ReadCompleted {
+                    cycle: c.finish,
+                    latency: c.latency(),
+                });
             }
             MemOp::Write => {
                 self.metrics.writes.record(c.latency());
                 self.metrics.write_hist.record(c.latency());
-                if c.class == ServiceClass::ResetOnlyWrite {
+                let class = if c.class == ServiceClass::ResetOnlyWrite {
                     self.metrics.fast_writes += 1;
+                    WriteClass::Fast
                 } else {
                     self.metrics.slow_writes += 1;
-                }
+                    WriteClass::Slow
+                };
+                self.observer.on_event(&Event::WriteCompleted {
+                    cycle: c.finish,
+                    latency: c.latency(),
+                    class,
+                });
             }
         }
     }
@@ -516,6 +598,25 @@ impl<P: ArchPolicy> Engine<P> {
         self.core.metrics()
     }
 
+    /// Attaches a custom [`Observer`], replacing any epoch recorder
+    /// configured via `SystemConfig::epoch_cycles`.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.core.observer = ObserverSink::Custom(observer);
+    }
+
+    /// The epoch series recorded so far, when epoch observation is
+    /// enabled (`SystemConfig::epoch_cycles`).
+    #[must_use]
+    pub fn epochs(&self) -> Option<&EpochSeries> {
+        self.core.observer.epochs()
+    }
+
+    /// Detaches and returns the recorded epoch series; observation is
+    /// off afterwards. `None` when epoch observation was not enabled.
+    pub fn take_epochs(&mut self) -> Option<EpochSeries> {
+        self.core.observer.take_epochs()
+    }
+
     /// Feeds one trace record to the engine, advancing simulated time to
     /// its arrival cycle first.
     ///
@@ -569,6 +670,8 @@ impl<P: ArchPolicy> Engine<P> {
             guard += 1;
             assert!(guard < 10_000_000, "drain failed to make progress");
         }
+        let now = self.now();
+        self.core.observer.on_finish(now);
         // Take the accumulated metrics, finalize in place, and store one
         // clone back — no policy's `finish` reads `core.metrics`.
         let mut result = std::mem::take(&mut self.core.metrics);
@@ -639,6 +742,7 @@ impl<P: ArchPolicy> Engine<P> {
         }
         if self.core.victim_ids.remove(&c.id) {
             self.core.metrics.victim_writebacks += 1;
+            self.core.emit(Event::VictimWriteback { cycle: c.finish });
             return Ok(());
         }
         if self.core.leveling_ids.remove(&c.id) {
@@ -664,6 +768,8 @@ impl<P: ArchPolicy> Engine<P> {
     // ------------------------------------------------------------------
 
     fn submit_read(&mut self, addr: u64) -> Result<(), WomPcmError> {
+        let cycle = self.core.main.now();
+        self.core.emit(Event::ReadIssued { cycle, addr });
         match self.policy.on_read(&mut self.core, addr)? {
             ReadAction::Main { addr, companion } => {
                 self.enqueue_main(MemOp::Read, addr, ServiceClass::Read)?;
@@ -680,6 +786,8 @@ impl<P: ArchPolicy> Engine<P> {
     }
 
     fn submit_write(&mut self, addr: u64) -> Result<(), WomPcmError> {
+        let cycle = self.core.main.now();
+        self.core.emit(Event::WriteIssued { cycle, addr });
         match self.policy.on_write(&mut self.core, addr)? {
             WriteAction::Coalesced => Ok(()),
             WriteAction::Main {
@@ -724,6 +832,11 @@ impl<P: ArchPolicy> Engine<P> {
             return Ok(());
         };
         self.core.metrics.leveling_copies += 1;
+        self.core.emit(Event::GapMove {
+            cycle: self.core.main.now(),
+            rank: d.rank,
+            bank: d.bank,
+        });
         let from_addr = self.core.main.decoder().encode(DecodedAddr {
             row: from_row as u32,
             column: 0,

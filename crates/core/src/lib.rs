@@ -19,6 +19,8 @@
 //! * [`refresh`] — the §3.2 PCM-refresh engine (row address tables,
 //!   round-robin idle-rank selection, refresh threshold).
 //! * [`wcpcm`] — the §4 per-rank WOM-cache (tags, victims, hit rates).
+//! * [`observe`] — the instrumentation layer: structured events from the
+//!   engine and policies, per-epoch time-series, JSONL/CSV exporters.
 //! * [`rowmap`] — the page-grained row-state store backing every
 //!   hot-path row-keyed table above.
 //! * [`functional`] — a data-bearing memory model (actual WOM encode /
@@ -55,6 +57,7 @@ pub mod error;
 pub mod functional;
 pub mod hidden_page;
 pub mod metrics;
+pub mod observe;
 pub mod policy;
 pub mod refresh;
 pub mod rowmap;
@@ -71,6 +74,7 @@ pub use error::WomPcmError;
 pub use functional::FunctionalMemory;
 pub use hidden_page::HiddenPageTable;
 pub use metrics::RunMetrics;
+pub use observe::{EpochCounters, EpochRecorder, EpochSeries, Event, NullObserver, Observer};
 pub use policy::ArchPolicy;
 pub use refresh::{RefreshConfig, RefreshEngine, RefreshPlan};
 pub use rowmap::RowMap;

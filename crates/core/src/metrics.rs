@@ -2,7 +2,7 @@
 
 use crate::wcpcm::CacheStats;
 use core::fmt;
-use pcm_sim::{EnergyTally, LatencyHistogram, LatencySummary, WearSummary};
+use pcm_sim::{EnergyTally, Histogram, LatencyHistogram, LatencySummary, MemOp, WearSummary};
 
 /// Results of driving one trace through one architecture.
 #[derive(Debug, Clone, Default)]
@@ -75,25 +75,48 @@ impl RunMetrics {
         }
     }
 
-    /// A read-latency percentile in nanoseconds (bucketed; see
-    /// [`LatencyHistogram::percentile`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// The latency histogram for one operation kind (the shared
+    /// [`Histogram`] every latency population in the stack records
+    /// into).
     #[must_use]
-    pub fn read_percentile_ns(&self, q: f64) -> f64 {
-        self.read_hist.percentile(q) as f64 * self.clock_ns
+    pub fn histogram(&self, op: MemOp) -> &Histogram {
+        match op {
+            MemOp::Read => &self.read_hist,
+            MemOp::Write => &self.write_hist,
+        }
     }
 
-    /// A write-latency percentile in nanoseconds (bucketed).
+    /// A demand-latency percentile in nanoseconds for one operation
+    /// kind (bucketed; see [`Histogram::percentile`]).
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     #[must_use]
+    pub fn percentile_ns(&self, op: MemOp, q: f64) -> f64 {
+        self.histogram(op).percentile(q) as f64 * self.clock_ns
+    }
+
+    /// A read-latency percentile in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[deprecated(since = "0.3.0", note = "use percentile_ns(MemOp::Read, q)")]
+    #[must_use]
+    pub fn read_percentile_ns(&self, q: f64) -> f64 {
+        self.percentile_ns(MemOp::Read, q)
+    }
+
+    /// A write-latency percentile in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[deprecated(since = "0.3.0", note = "use percentile_ns(MemOp::Write, q)")]
+    #[must_use]
     pub fn write_percentile_ns(&self, q: f64) -> f64 {
-        self.write_hist.percentile(q) as f64 * self.clock_ns
+        self.percentile_ns(MemOp::Write, q)
     }
 
     /// Mean array energy per demand access, in picojoules.
@@ -234,9 +257,26 @@ mod percentile_tests {
             m.read_hist.record(l / 2);
         }
         // p50 of the writes lies in the 32-bucket: upper edge 63 cycles.
-        assert!(m.write_percentile_ns(0.5) <= 63.0 * 1.25 + 1e-9);
-        assert!(m.write_percentile_ns(1.0) >= 200.0 * 1.25 - 1e-9);
-        assert!(m.read_percentile_ns(1.0) < m.write_percentile_ns(1.0));
+        assert!(m.percentile_ns(MemOp::Write, 0.5) <= 63.0 * 1.25 + 1e-9);
+        assert!(m.percentile_ns(MemOp::Write, 1.0) >= 200.0 * 1.25 - 1e-9);
+        assert!(m.percentile_ns(MemOp::Read, 1.0) < m.percentile_ns(MemOp::Write, 1.0));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_unified_accessor() {
+        let mut m = RunMetrics {
+            clock_ns: 1.25,
+            ..RunMetrics::default()
+        };
+        for l in [20u64, 24, 28, 32, 200] {
+            m.write_hist.record(l);
+            m.read_hist.record(l / 2);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(m.read_percentile_ns(q), m.percentile_ns(MemOp::Read, q));
+            assert_eq!(m.write_percentile_ns(q), m.percentile_ns(MemOp::Write, q));
+        }
     }
 
     #[test]
@@ -245,8 +285,8 @@ mod percentile_tests {
             clock_ns: 1.25,
             ..RunMetrics::default()
         };
-        assert_eq!(m.write_percentile_ns(0.99), 0.0);
-        assert_eq!(m.read_percentile_ns(0.5), 0.0);
+        assert_eq!(m.percentile_ns(MemOp::Write, 0.99), 0.0);
+        assert_eq!(m.percentile_ns(MemOp::Read, 0.5), 0.0);
     }
 
     #[test]

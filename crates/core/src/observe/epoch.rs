@@ -1,0 +1,406 @@
+//! Folding the event stream into fixed-width epoch time-series.
+
+use super::event::{Event, WriteClass};
+use pcm_sim::{Cycle, Histogram};
+
+/// Everything counted within one epoch.
+///
+/// The fields mirror the run-level [`RunMetrics`](crate::RunMetrics)
+/// fold over the same event stream, so summing a series' epochs
+/// reconciles exactly with the end-of-run aggregates (pinned by the
+/// `epoch_reconciliation` integration test).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochCounters {
+    /// Demand reads submitted.
+    pub reads_issued: u64,
+    /// Demand writes submitted.
+    pub writes_issued: u64,
+    /// Demand reads completed.
+    pub reads_completed: u64,
+    /// Demand writes completed (including coalesced ones).
+    pub writes_completed: u64,
+    /// Sum of completed-read latencies, in cycles.
+    pub read_cycles: u128,
+    /// Sum of completed-write latencies, in cycles.
+    pub write_cycles: u128,
+    /// Completed writes serviced at RESET-only speed.
+    pub fast_writes: u64,
+    /// Completed writes that paid the full SET-gated latency.
+    pub slow_writes: u64,
+    /// Writes absorbed into a pending row write (no array operation).
+    pub coalesced_writes: u64,
+    /// Refresh bursts planned on idle ranks.
+    pub refresh_bursts: u64,
+    /// Rows enqueued across those bursts.
+    pub refresh_rows_planned: u64,
+    /// Row refreshes that ran to completion.
+    pub refreshes_completed: u64,
+    /// Row refreshes aborted by write pausing.
+    pub refreshes_preempted: u64,
+    /// WOM-cache read-tag hits (WCPCM only).
+    pub cache_read_hits: u64,
+    /// WOM-cache read-tag misses.
+    pub cache_read_misses: u64,
+    /// WOM-cache write hits.
+    pub cache_write_hits: u64,
+    /// WOM-cache write misses (each evicts a victim).
+    pub cache_write_misses: u64,
+    /// Victim rows that finished writing back to main memory.
+    pub victim_writebacks: u64,
+    /// Start-Gap wear-leveling row copies.
+    pub gap_moves: u64,
+    /// Rows whose WOM rewrite budget ran out.
+    pub budgets_exhausted: u64,
+    /// Hidden-page companion accesses issued.
+    pub hidden_page_accesses: u64,
+    /// Completed-read latency histogram for this epoch.
+    pub read_hist: Histogram,
+    /// Completed-write latency histogram for this epoch.
+    pub write_hist: Histogram,
+}
+
+impl EpochCounters {
+    /// Folds one event into the counters.
+    pub fn fold(&mut self, event: &Event) {
+        match *event {
+            Event::ReadIssued { .. } => self.reads_issued += 1,
+            Event::WriteIssued { .. } => self.writes_issued += 1,
+            Event::ReadCompleted { latency, .. } => {
+                self.reads_completed += 1;
+                self.read_cycles += u128::from(latency);
+                self.read_hist.record(latency);
+            }
+            Event::WriteCompleted { latency, class, .. } => {
+                self.writes_completed += 1;
+                self.write_cycles += u128::from(latency);
+                self.write_hist.record(latency);
+                match class {
+                    WriteClass::Fast => self.fast_writes += 1,
+                    WriteClass::Slow => self.slow_writes += 1,
+                    WriteClass::Coalesced => self.coalesced_writes += 1,
+                }
+            }
+            Event::RefreshBurst { rows, .. } => {
+                self.refresh_bursts += 1;
+                self.refresh_rows_planned += u64::from(rows);
+            }
+            Event::RefreshRow { preempted, .. } => {
+                if preempted {
+                    self.refreshes_preempted += 1;
+                } else {
+                    self.refreshes_completed += 1;
+                }
+            }
+            Event::CacheRead { hit, .. } => {
+                if hit {
+                    self.cache_read_hits += 1;
+                } else {
+                    self.cache_read_misses += 1;
+                }
+            }
+            Event::CacheWrite { hit, .. } => {
+                if hit {
+                    self.cache_write_hits += 1;
+                } else {
+                    self.cache_write_misses += 1;
+                }
+            }
+            Event::VictimWriteback { .. } => self.victim_writebacks += 1,
+            Event::GapMove { .. } => self.gap_moves += 1,
+            Event::BudgetExhausted { .. } => self.budgets_exhausted += 1,
+            Event::HiddenPageAccess { .. } => self.hidden_page_accesses += 1,
+        }
+    }
+
+    /// Merges another epoch's counters into this one. Merging is
+    /// associative and commutative — the basis of reconciling epoch sums
+    /// against run-level aggregates.
+    pub fn merge(&mut self, other: &Self) {
+        self.reads_issued += other.reads_issued;
+        self.writes_issued += other.writes_issued;
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.read_cycles += other.read_cycles;
+        self.write_cycles += other.write_cycles;
+        self.fast_writes += other.fast_writes;
+        self.slow_writes += other.slow_writes;
+        self.coalesced_writes += other.coalesced_writes;
+        self.refresh_bursts += other.refresh_bursts;
+        self.refresh_rows_planned += other.refresh_rows_planned;
+        self.refreshes_completed += other.refreshes_completed;
+        self.refreshes_preempted += other.refreshes_preempted;
+        self.cache_read_hits += other.cache_read_hits;
+        self.cache_read_misses += other.cache_read_misses;
+        self.cache_write_hits += other.cache_write_hits;
+        self.cache_write_misses += other.cache_write_misses;
+        self.victim_writebacks += other.victim_writebacks;
+        self.gap_moves += other.gap_moves;
+        self.budgets_exhausted += other.budgets_exhausted;
+        self.hidden_page_accesses += other.hidden_page_accesses;
+        self.read_hist.merge(&other.read_hist);
+        self.write_hist.merge(&other.write_hist);
+    }
+}
+
+/// A completed fixed-width epoch time-series: one [`EpochCounters`] per
+/// `epoch_cycles`-wide window, indexed from cycle 0.
+///
+/// Epoch `i` covers cycles `[i * epoch_cycles, (i + 1) * epoch_cycles)`;
+/// an event stamped exactly on an edge belongs to the epoch it starts.
+/// A run ending exactly on an edge does *not* materialize the zero-length
+/// epoch after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSeries {
+    epoch_cycles: Cycle,
+    end_cycle: Cycle,
+    epochs: Vec<EpochCounters>,
+}
+
+impl EpochSeries {
+    /// The configured epoch width in cycles.
+    #[must_use]
+    pub fn epoch_cycles(&self) -> Cycle {
+        self.epoch_cycles
+    }
+
+    /// The cycle the run ended at (the last epoch may be truncated).
+    #[must_use]
+    pub fn end_cycle(&self) -> Cycle {
+        self.end_cycle
+    }
+
+    /// Number of materialized epochs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether the series holds no epochs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// The epochs, in time order.
+    #[must_use]
+    pub fn epochs(&self) -> &[EpochCounters] {
+        &self.epochs
+    }
+
+    /// First cycle of epoch `i`.
+    #[must_use]
+    pub fn epoch_start(&self, i: usize) -> Cycle {
+        i as Cycle * self.epoch_cycles
+    }
+
+    /// One-past-last cycle of epoch `i` (the final epoch is truncated to
+    /// the run's end cycle).
+    #[must_use]
+    pub fn epoch_end(&self, i: usize) -> Cycle {
+        let full = (i as Cycle + 1).saturating_mul(self.epoch_cycles);
+        if i + 1 == self.epochs.len() && self.end_cycle > self.epoch_start(i) {
+            full.min(self.end_cycle)
+        } else {
+            full
+        }
+    }
+
+    /// All epochs merged back into run-level totals.
+    #[must_use]
+    pub fn totals(&self) -> EpochCounters {
+        let mut t = EpochCounters::default();
+        for e in &self.epochs {
+            t.merge(e);
+        }
+        t
+    }
+}
+
+/// An [`Observer`](super::Observer) folding events into an
+/// [`EpochSeries`] as they arrive.
+///
+/// Events need not arrive in cycle order (the main-memory and WOM-cache
+/// completion drains interleave): the recorder indexes epochs by
+/// `cycle / epoch_cycles` rather than assuming a monotone cursor.
+#[derive(Debug, Clone)]
+pub struct EpochRecorder {
+    series: EpochSeries,
+}
+
+impl EpochRecorder {
+    /// Creates a recorder with the given epoch width in cycles (clamped
+    /// to at least 1; [`SystemConfig`](crate::SystemConfig) validation
+    /// rejects 0 before a recorder is ever built).
+    #[must_use]
+    pub fn new(epoch_cycles: Cycle) -> Self {
+        Self {
+            series: EpochSeries {
+                epoch_cycles: epoch_cycles.max(1),
+                end_cycle: 0,
+                epochs: Vec::new(),
+            },
+        }
+    }
+
+    /// Ensures the epoch containing `cycle` is materialized and returns
+    /// its index.
+    fn materialize(&mut self, cycle: Cycle) -> usize {
+        let idx = usize::try_from(cycle / self.series.epoch_cycles).unwrap_or(usize::MAX);
+        if idx >= self.series.epochs.len() {
+            self.series
+                .epochs
+                .resize_with(idx.saturating_add(1), EpochCounters::default);
+        }
+        idx
+    }
+
+    /// Folds one event into its epoch.
+    pub fn on_event(&mut self, event: &Event) {
+        let cycle = event.cycle();
+        self.series.end_cycle = self.series.end_cycle.max(cycle + 1);
+        let idx = self.materialize(cycle);
+        if let Some(slot) = self.series.epochs.get_mut(idx) {
+            slot.fold(event);
+        }
+    }
+
+    /// Marks the run's end: records the final cycle and materializes any
+    /// trailing event-free epochs so the timeline is contiguous. A run
+    /// ending exactly on an epoch edge leaves no zero-length epoch.
+    pub fn on_finish(&mut self, now: Cycle) {
+        self.series.end_cycle = self.series.end_cycle.max(now);
+        if self.series.end_cycle > 0 {
+            let _ = self.materialize(self.series.end_cycle - 1);
+        }
+    }
+
+    /// The series recorded so far.
+    #[must_use]
+    pub fn series(&self) -> &EpochSeries {
+        &self.series
+    }
+
+    /// Consumes the recorder, returning the series.
+    #[must_use]
+    pub fn into_series(self) -> EpochSeries {
+        self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_done(cycle: Cycle, latency: Cycle) -> Event {
+        Event::ReadCompleted { cycle, latency }
+    }
+
+    #[test]
+    fn events_on_an_epoch_edge_open_the_next_epoch() {
+        let mut r = EpochRecorder::new(100);
+        r.on_event(&read_done(99, 10));
+        r.on_event(&read_done(100, 10)); // exactly on the edge
+        let s = r.into_series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.epochs()[0].reads_completed, 1);
+        assert_eq!(s.epochs()[1].reads_completed, 1);
+        assert_eq!(s.epoch_start(1), 100);
+    }
+
+    #[test]
+    fn finish_on_an_edge_leaves_no_zero_length_epoch() {
+        let mut r = EpochRecorder::new(100);
+        r.on_event(&read_done(42, 10));
+        r.on_finish(200); // exactly two full epochs
+        let s = r.into_series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.end_cycle(), 200);
+        assert_eq!(s.epoch_end(1), 200);
+        assert_eq!(s.epochs()[1], EpochCounters::default());
+    }
+
+    #[test]
+    fn final_epoch_is_truncated_to_the_end_cycle() {
+        let mut r = EpochRecorder::new(100);
+        r.on_event(&read_done(150, 10));
+        r.on_finish(151);
+        let s = r.into_series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.epoch_end(0), 100);
+        assert_eq!(s.epoch_end(1), 151);
+    }
+
+    #[test]
+    fn out_of_order_events_land_in_their_epochs() {
+        let mut r = EpochRecorder::new(10);
+        r.on_event(&read_done(35, 1));
+        r.on_event(&read_done(5, 1)); // earlier epoch, after a later one
+        let s = r.into_series();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.epochs()[0].reads_completed, 1);
+        assert_eq!(s.epochs()[3].reads_completed, 1);
+        assert_eq!(s.epochs()[1].reads_completed, 0);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mut parts = Vec::new();
+        for k in 0..3u64 {
+            let mut c = EpochCounters::default();
+            for i in 0..5 {
+                c.fold(&read_done(i, 10 * (k + 1) + i));
+                c.fold(&Event::WriteCompleted {
+                    cycle: i,
+                    latency: 100 + k,
+                    class: if i % 2 == 0 {
+                        WriteClass::Fast
+                    } else {
+                        WriteClass::Slow
+                    },
+                });
+            }
+            parts.push(c);
+        }
+        // (a ⊕ b) ⊕ c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.reads_completed, 15);
+        assert_eq!(left.read_hist.count(), 15);
+    }
+
+    #[test]
+    fn totals_equal_a_single_epoch_fold() {
+        let events = [
+            read_done(1, 20),
+            read_done(205, 30),
+            Event::VictimWriteback { cycle: 120 },
+            Event::GapMove {
+                cycle: 150,
+                rank: 0,
+                bank: 1,
+            },
+        ];
+        let mut wide = EpochRecorder::new(1_000_000);
+        let mut narrow = EpochRecorder::new(100);
+        for e in &events {
+            wide.on_event(e);
+            narrow.on_event(e);
+        }
+        assert_eq!(wide.into_series().totals(), narrow.into_series().totals());
+    }
+
+    #[test]
+    fn zero_epoch_width_is_clamped() {
+        let mut r = EpochRecorder::new(0);
+        r.on_event(&read_done(3, 1));
+        assert_eq!(r.series().epoch_cycles(), 1);
+        assert_eq!(r.series().len(), 4);
+    }
+}

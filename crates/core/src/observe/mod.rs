@@ -1,0 +1,192 @@
+//! Per-epoch time-series instrumentation behind a unified metrics API.
+//!
+//! The engine and the architecture policies report structured
+//! [`Event`]s — demand issue/completion with latency class, refresh
+//! bursts and per-row refresh outcomes, WOM-cache hits/misses/victim
+//! writebacks, wear-leveling gap moves, rewrite-budget exhaustion —
+//! into an [`Observer`]. Observation is off by default and costs one
+//! predictable branch per event when disabled: events are `Copy` values
+//! built inline, so the hot path stays allocation-free (enforced by the
+//! womlint `hotpath/alloc` regions over the dispatch sites).
+//!
+//! The built-in observer is the [`EpochRecorder`], which folds the
+//! stream into a fixed-width [`EpochSeries`] (configure it with
+//! [`SystemConfig::epoch_cycles`](crate::SystemConfig) or
+//! [`SystemBuilder::epoch_cycles`](crate::SystemBuilder)); export a
+//! series with [`write_jsonl`] / [`write_csv`]. Run-level
+//! [`RunMetrics`](crate::RunMetrics) is a fold over the same stream, so
+//! epoch sums reconcile exactly with the end-of-run aggregates.
+//!
+//! ```
+//! use wom_pcm::{Architecture, SystemBuilder};
+//! use pcm_trace::synth::benchmarks;
+//!
+//! # fn main() -> Result<(), wom_pcm::WomPcmError> {
+//! let trace = benchmarks::by_name("qsort").unwrap().generate(1, 2_000);
+//! let mut sys = SystemBuilder::tiny(Architecture::WomCode)
+//!     .epoch_cycles(10_000)
+//!     .build()?;
+//! let metrics = sys.run_trace(trace)?;
+//! let series = sys.take_epochs().expect("observation was enabled");
+//! assert_eq!(series.totals().writes_completed, metrics.writes.count);
+//! # Ok(())
+//! # }
+//! ```
+
+mod epoch;
+mod event;
+mod export;
+
+pub use epoch::{EpochCounters, EpochRecorder, EpochSeries};
+pub use event::{Event, WriteClass};
+pub use export::{write_csv, write_jsonl};
+
+use pcm_sim::Cycle;
+
+/// A sink for instrumentation [`Event`]s.
+///
+/// Implementations must be cheap: `on_event` runs inside the engine's
+/// per-record hot path. The engine guarantees events within one array's
+/// completion drain arrive in cycle order, but streams from the main and
+/// cache arrays may interleave non-monotonically — fold by the event's
+/// own [`Event::cycle`], as [`EpochRecorder`] does.
+pub trait Observer: std::fmt::Debug {
+    /// Receives one event.
+    fn on_event(&mut self, event: &Event);
+
+    /// Called once when the run drains, with the final simulated cycle.
+    fn on_finish(&mut self, now: Cycle) {
+        let _ = now;
+    }
+}
+
+impl Observer for EpochRecorder {
+    fn on_event(&mut self, event: &Event) {
+        EpochRecorder::on_event(self, event);
+    }
+
+    fn on_finish(&mut self, now: Cycle) {
+        EpochRecorder::on_finish(self, now);
+    }
+}
+
+/// An [`Observer`] that drops every event (the disabled default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline]
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// The engine's observer slot: off by default, an epoch recorder when
+/// `SystemConfig::epoch_cycles` is set, or a caller-supplied observer.
+///
+/// Dispatch is a single match; the `Off` arm is the first pattern so the
+/// disabled path is one predicted branch and provably allocation-free.
+#[derive(Debug, Default)]
+pub(crate) enum ObserverSink {
+    /// Observation disabled; events are discarded at the dispatch site.
+    #[default]
+    Off,
+    /// The built-in epoch time-series recorder.
+    Epochs(EpochRecorder),
+    /// A caller-supplied observer.
+    Custom(Box<dyn Observer>),
+}
+
+impl ObserverSink {
+    #[inline]
+    pub(crate) fn on_event(&mut self, event: &Event) {
+        match self {
+            Self::Off => {}
+            Self::Epochs(r) => r.on_event(event),
+            Self::Custom(o) => o.on_event(event),
+        }
+    }
+
+    pub(crate) fn on_finish(&mut self, now: Cycle) {
+        match self {
+            Self::Off => {}
+            Self::Epochs(r) => EpochRecorder::on_finish(r, now),
+            Self::Custom(o) => o.on_finish(now),
+        }
+    }
+
+    /// The recorded epoch series, when the built-in recorder is attached.
+    pub(crate) fn epochs(&self) -> Option<&EpochSeries> {
+        match self {
+            Self::Epochs(r) => Some(r.series()),
+            _ => None,
+        }
+    }
+
+    /// Detaches and returns the recorded series (the sink reverts to
+    /// `Off`), when the built-in recorder is attached.
+    pub(crate) fn take_epochs(&mut self) -> Option<EpochSeries> {
+        match std::mem::take(self) {
+            Self::Epochs(r) => Some(r.into_series()),
+            other => {
+                *self = other;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_sink_discards_and_yields_no_series() {
+        let mut sink = ObserverSink::Off;
+        sink.on_event(&Event::VictimWriteback { cycle: 5 });
+        sink.on_finish(10);
+        assert!(sink.epochs().is_none());
+        assert!(sink.take_epochs().is_none());
+    }
+
+    #[test]
+    fn epoch_sink_records_and_take_resets_to_off() {
+        let mut sink = ObserverSink::Epochs(EpochRecorder::new(100));
+        sink.on_event(&Event::VictimWriteback { cycle: 5 });
+        sink.on_finish(10);
+        assert_eq!(sink.epochs().unwrap().totals().victim_writebacks, 1);
+        let series = sink.take_epochs().unwrap();
+        assert_eq!(series.end_cycle(), 10);
+        assert!(matches!(sink, ObserverSink::Off));
+    }
+
+    #[test]
+    fn custom_observer_sees_events_and_finish() {
+        #[derive(Debug, Default)]
+        struct Counting {
+            events: u64,
+            finished_at: Cycle,
+        }
+        impl Observer for Counting {
+            fn on_event(&mut self, _event: &Event) {
+                self.events += 1;
+            }
+            fn on_finish(&mut self, now: Cycle) {
+                self.finished_at = now;
+            }
+        }
+        let mut sink = ObserverSink::Custom(Box::new(Counting::default()));
+        sink.on_event(&Event::VictimWriteback { cycle: 5 });
+        sink.on_event(&Event::HiddenPageAccess { cycle: 6 });
+        sink.on_finish(42);
+        assert!(sink.take_epochs().is_none(), "custom sink is preserved");
+        match sink {
+            ObserverSink::Custom(o) => {
+                let s = format!("{o:?}");
+                assert!(
+                    s.contains("events: 2") && s.contains("finished_at: 42"),
+                    "{s}"
+                );
+            }
+            _ => unreachable!("custom sink survived take_epochs"),
+        }
+    }
+}

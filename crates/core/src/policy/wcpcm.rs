@@ -6,6 +6,7 @@ use crate::config::SystemConfig;
 use crate::engine::EngineCore;
 use crate::error::WomPcmError;
 use crate::metrics::RunMetrics;
+use crate::observe::Event;
 use crate::refresh::RefreshEngine;
 use crate::wcpcm::{CacheWriteOutcome, WomCache};
 use crate::wom_state::BudgetGranularity;
@@ -71,7 +72,12 @@ impl ArchPolicy for WcpcmPolicy {
         // losing side's access is squashed before it occupies an
         // array; we therefore route the read to the owning side only.
         let d = core.decoder().decode(addr);
-        if self.cache.read(d.rank, d.bank, d.row) {
+        let hit = self.cache.read(d.rank, d.bank, d.row);
+        core.emit(Event::CacheRead {
+            cycle: core.now(),
+            hit,
+        });
+        if hit {
             return Ok(ReadAction::Cache {
                 rank: d.rank,
                 row: d.row,
@@ -95,8 +101,19 @@ impl ArchPolicy for WcpcmPolicy {
         }
         let budget_col = super::budget_column(core.config(), &d);
         let outcome = self.cache.write(d.rank, d.bank, d.row, budget_col);
+        core.emit(Event::CacheWrite {
+            cycle: core.now(),
+            hit: matches!(outcome, CacheWriteOutcome::Hit { .. }),
+        });
         if self.cache.row_at_limit(d.rank, d.row) {
             self.engine.record_exhausted(d.rank, 0, d.row);
+            core.emit(Event::BudgetExhausted {
+                cycle: core.now(),
+                side: ArraySide::Cache,
+                rank: d.rank,
+                bank: 0,
+                row: d.row,
+            });
         }
         if let CacheWriteOutcome::Miss { victim_bank, .. } = outcome {
             // §4's write protocol: the victim data is read out of
@@ -169,11 +186,10 @@ impl ArchPolicy for WcpcmPolicy {
                 c.id
             ))
         })?;
+        core.note_refresh_row(ArraySide::Cache, rank, 0, row, c);
         if c.preempted {
-            core.metrics_mut().refreshes_preempted += 1;
             self.engine.row_preempted(rank, 0, row);
         } else {
-            core.metrics_mut().refreshes_completed += 1;
             self.engine.row_refreshed(rank, 0, row);
             // The WOM-cache refreshes by flushing: the entry's data
             // is written back to main memory and the row erased to

@@ -6,6 +6,7 @@ use crate::config::SystemConfig;
 use crate::engine::EngineCore;
 use crate::error::WomPcmError;
 use crate::hidden_page::HiddenPageTable;
+use crate::observe::Event;
 use crate::wom_state::{BudgetGranularity, WomStateTable};
 use pcm_sim::{Completion, DecodedAddr, MemOp, ServiceClass};
 
@@ -98,7 +99,7 @@ impl WomCodePolicy {
             column: 0,
             ..d
         })?;
-        core.metrics_mut().hidden_page_accesses += 1;
+        core.note_hidden_page_access();
         Ok(Some(companion))
     }
 }
@@ -129,6 +130,13 @@ impl ArchPolicy for WomCodePolicy {
             // refresh re-initializes the whole row.
             if self.wom.row_exhausted(row_id) {
                 driver.record_exhausted(d.rank, d.bank, d.row);
+                core.emit(Event::BudgetExhausted {
+                    cycle: core.now(),
+                    side: ArraySide::Main,
+                    rank: d.rank,
+                    bank: d.bank,
+                    row: d.row,
+                });
             }
         }
         let class = if kind.is_fast() {
@@ -160,11 +168,10 @@ impl ArchPolicy for WomCodePolicy {
             WomPcmError::Internal("refresh completion without a refresh driver".into())
         })?;
         let (rank, bank, row) = driver.take_planned(c.id)?;
+        core.note_refresh_row(ArraySide::Main, rank, bank, row, c);
         if c.preempted {
-            core.metrics_mut().refreshes_preempted += 1;
             driver.row_preempted(rank, bank, row);
         } else {
-            core.metrics_mut().refreshes_completed += 1;
             driver.row_refreshed(rank, bank, row);
             // §3.2: the refresh writes the data back in the first-write
             // pattern, consuming one generation.

@@ -23,6 +23,7 @@ pub use crate::config::SystemConfig;
 use crate::engine::Engine;
 use crate::error::WomPcmError;
 use crate::metrics::RunMetrics;
+use crate::observe::{EpochSeries, Observer};
 use crate::policy::ArchPolicy;
 use pcm_sim::Cycle;
 use pcm_trace::TraceRecord;
@@ -80,6 +81,27 @@ impl WomPcmSystem {
     #[must_use]
     pub fn metrics(&self) -> &RunMetrics {
         self.engine.metrics()
+    }
+
+    /// Attaches a custom [`Observer`] receiving every instrumentation
+    /// event, replacing any epoch recorder configured via
+    /// [`SystemConfig::epoch_cycles`] (see [`crate::observe`]).
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.engine.set_observer(observer);
+    }
+
+    /// The epoch time-series recorded so far, when epoch observation is
+    /// enabled ([`SystemConfig::epoch_cycles`]).
+    #[must_use]
+    pub fn epochs(&self) -> Option<&EpochSeries> {
+        self.engine.epochs()
+    }
+
+    /// Detaches and returns the recorded epoch series (typically after
+    /// [`finish`](Self::finish)); observation is off afterwards. `None`
+    /// when epoch observation was not enabled.
+    pub fn take_epochs(&mut self) -> Option<EpochSeries> {
+        self.engine.take_epochs()
     }
 
     /// Feeds one trace record to the system, advancing simulated time to

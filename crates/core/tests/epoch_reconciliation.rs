@@ -1,0 +1,194 @@
+//! Epoch-series ↔ run-metrics reconciliation: the epoch recorder and
+//! `RunMetrics` are two folds over the same event stream, so summing a
+//! series' epochs must reproduce the run-level aggregates *exactly* —
+//! same counts, same latency-cycle sums, same histogram buckets.
+//!
+//! Also pins the zero-perturbation guarantee: enabling observation must
+//! not change a single simulated quantity, checked by comparing the full
+//! `Debug` rendering of observed vs unobserved metrics byte-for-byte.
+
+use pcm_trace::synth::{Suite, WorkloadProfile};
+use wom_pcm::observe::EpochCounters;
+use wom_pcm::{Architecture, RunMetrics, SystemBuilder, SystemConfig, WomPcmSystem};
+
+const RECORDS: usize = 4_000;
+const SEED: u64 = 2014;
+const EPOCH_CYCLES: u64 = 10_000;
+
+/// Same fixed workload as the golden-metrics test: fits the tiny
+/// geometry, recurs enough to drive refresh, eviction, and budget
+/// exhaustion in every architecture.
+fn profile() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "golden".into(),
+        suite: Suite::SpecCpu2006,
+        read_fraction: 0.55,
+        working_set_bytes: 32 * 1024,
+        hot_fraction: 0.6,
+        hot_set_fraction: 0.15,
+        sequential_run: 0.3,
+        row_rewrite_prob: 0.55,
+        read_reuse_prob: 0.25,
+        mean_gap_cycles: 40.0,
+        burst_len: 4,
+        reuse_window: 48,
+        scatter_pages: false,
+    }
+}
+
+fn run(
+    arch: Architecture,
+    epoch_cycles: Option<u64>,
+) -> (RunMetrics, Option<wom_pcm::EpochSeries>) {
+    let trace = profile().generate(SEED, RECORDS);
+    let mut cfg = SystemConfig::tiny(arch);
+    cfg.epoch_cycles = epoch_cycles;
+    let mut sys = WomPcmSystem::new(cfg).expect("valid config");
+    let metrics = sys.run_trace(trace).expect("trace runs");
+    let series = sys.take_epochs();
+    (metrics, series)
+}
+
+fn reconcile(arch: Architecture) {
+    let (unobserved, none) = run(arch, None);
+    assert!(none.is_none(), "no series without epoch_cycles");
+    let (metrics, series) = run(arch, Some(EPOCH_CYCLES));
+    let series = series.expect("observation was enabled");
+
+    // Zero perturbation: the observer must be invisible to the
+    // simulation. `{:#?}` covers every field, including f64 sums and
+    // histogram buckets.
+    assert_eq!(
+        format!("{metrics:#?}"),
+        format!("{unobserved:#?}"),
+        "observation changed the metrics for {}",
+        arch.label()
+    );
+
+    let t: EpochCounters = series.totals();
+
+    // A drained run completes everything it issued.
+    assert_eq!(t.reads_issued, t.reads_completed, "{}", arch.label());
+    assert_eq!(t.writes_issued, t.writes_completed, "{}", arch.label());
+
+    // Latency populations: counts, cycle sums, and full histograms.
+    assert_eq!(t.reads_completed, metrics.reads.count, "{}", arch.label());
+    assert_eq!(t.writes_completed, metrics.writes.count, "{}", arch.label());
+    assert_eq!(t.read_cycles, metrics.reads.total, "{}", arch.label());
+    assert_eq!(t.write_cycles, metrics.writes.total, "{}", arch.label());
+    assert_eq!(t.read_hist, metrics.read_hist, "{}", arch.label());
+    assert_eq!(t.write_hist, metrics.write_hist, "{}", arch.label());
+
+    // Write classes and the policy-side machinery.
+    assert_eq!(t.fast_writes, metrics.fast_writes, "{}", arch.label());
+    assert_eq!(t.slow_writes, metrics.slow_writes, "{}", arch.label());
+    assert_eq!(
+        t.coalesced_writes,
+        metrics.coalesced_writes,
+        "{}",
+        arch.label()
+    );
+    assert_eq!(
+        t.refreshes_completed,
+        metrics.refreshes_completed,
+        "{}",
+        arch.label()
+    );
+    assert_eq!(
+        t.refreshes_preempted,
+        metrics.refreshes_preempted,
+        "{}",
+        arch.label()
+    );
+    assert_eq!(
+        t.victim_writebacks,
+        metrics.victim_writebacks,
+        "{}",
+        arch.label()
+    );
+    assert_eq!(t.gap_moves, metrics.leveling_copies, "{}", arch.label());
+    assert_eq!(
+        t.hidden_page_accesses,
+        metrics.hidden_page_accesses,
+        "{}",
+        arch.label()
+    );
+
+    // WOM-cache traffic (WCPCM only; zero elsewhere).
+    match &metrics.cache {
+        Some(cache) => {
+            assert_eq!(t.cache_read_hits, cache.read_hits);
+            assert_eq!(t.cache_read_misses, cache.read_misses);
+            assert_eq!(t.cache_write_hits, cache.write_hits);
+            assert_eq!(t.cache_write_misses, cache.write_misses);
+        }
+        None => {
+            assert_eq!(t.cache_read_hits + t.cache_read_misses, 0);
+            assert_eq!(t.cache_write_hits + t.cache_write_misses, 0);
+        }
+    }
+
+    // Refresh bookkeeping is internally consistent: every row outcome
+    // belongs to a planned burst.
+    assert!(
+        t.refreshes_completed + t.refreshes_preempted <= t.refresh_rows_planned,
+        "{}: more refresh outcomes than rows planned",
+        arch.label()
+    );
+    if t.refresh_rows_planned > 0 {
+        assert!(t.refresh_bursts > 0, "{}", arch.label());
+    }
+
+    // The series itself covers the run contiguously and saw real work.
+    assert!(!series.is_empty(), "{}", arch.label());
+    assert!(
+        series.len() > 1,
+        "{}: widen the trace or narrow the epoch",
+        arch.label()
+    );
+    assert_eq!(series.epoch_cycles(), EPOCH_CYCLES);
+    for i in 0..series.len() {
+        assert!(series.epoch_start(i) < series.epoch_end(i));
+        if i + 1 < series.len() {
+            assert_eq!(series.epoch_end(i), series.epoch_start(i + 1));
+        }
+    }
+}
+
+#[test]
+fn baseline_epochs_reconcile() {
+    reconcile(Architecture::Baseline);
+}
+
+#[test]
+fn wom_code_epochs_reconcile() {
+    reconcile(Architecture::WomCode);
+}
+
+#[test]
+fn wom_code_refresh_epochs_reconcile() {
+    reconcile(Architecture::WomCodeRefresh);
+}
+
+#[test]
+fn wcpcm_epochs_reconcile() {
+    reconcile(Architecture::Wcpcm);
+}
+
+/// The builder route (`.epoch_cycles(..)`) and the config-field route
+/// must produce the same series.
+#[test]
+fn builder_route_matches_config_route() {
+    let trace = profile().generate(SEED, RECORDS);
+    let mut via_builder = SystemBuilder::new(Architecture::WomCodeRefresh)
+        .epoch_cycles(EPOCH_CYCLES)
+        .build()
+        .expect("valid config");
+    // Builder uses the full paper geometry; mirror it via the config.
+    let mut cfg = via_builder.config().clone();
+    cfg.epoch_cycles = Some(EPOCH_CYCLES);
+    let mut via_config = WomPcmSystem::new(cfg).expect("valid config");
+    via_builder.run_trace(trace.clone()).expect("trace runs");
+    via_config.run_trace(trace).expect("trace runs");
+    assert_eq!(via_builder.take_epochs(), via_config.take_epochs());
+}

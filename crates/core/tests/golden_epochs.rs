@@ -1,0 +1,126 @@
+//! Golden epoch-series regression test: one small cell per architecture,
+//! its JSON-Lines export checked byte-for-byte against captured
+//! fixtures under `tests/golden/`.
+//!
+//! This freezes the exporter schema (key names, column order, number
+//! formatting, histogram encoding) as well as the recorded counters; an
+//! intentional schema or behaviour change must regenerate the fixtures
+//! (and say so in review):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p wom-pcm --test golden_epochs
+//! ```
+
+use pcm_trace::synth::{Suite, WorkloadProfile};
+use std::path::PathBuf;
+use wom_pcm::observe::write_jsonl;
+use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+
+const RECORDS: usize = 4_000;
+const SEED: u64 = 2014;
+const EPOCH_CYCLES: u64 = 5_000;
+
+/// Same fixed workload as the golden-metrics test.
+fn golden_profile() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "golden".into(),
+        suite: Suite::SpecCpu2006,
+        read_fraction: 0.55,
+        working_set_bytes: 32 * 1024,
+        hot_fraction: 0.6,
+        hot_set_fraction: 0.15,
+        sequential_run: 0.3,
+        row_rewrite_prob: 0.55,
+        read_reuse_prob: 0.25,
+        mean_gap_cycles: 40.0,
+        burst_len: 4,
+        reuse_window: 48,
+        scatter_pages: false,
+    }
+}
+
+fn render_epochs(arch: Architecture) -> String {
+    let trace = golden_profile().generate(SEED, RECORDS);
+    let mut cfg = SystemConfig::tiny(arch);
+    cfg.epoch_cycles = Some(EPOCH_CYCLES);
+    let mut sys = WomPcmSystem::new(cfg).expect("valid config");
+    sys.run_trace(trace).expect("trace runs");
+    let series = sys.take_epochs().expect("observation was enabled");
+    let mut out = Vec::new();
+    write_jsonl(
+        &mut out,
+        &series,
+        &[("arch", arch.label()), ("workload", "golden")],
+    )
+    .expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("exporter emits UTF-8")
+}
+
+fn golden_path(arch: Architecture) -> PathBuf {
+    let stem = match arch {
+        Architecture::Baseline => "baseline",
+        Architecture::WomCode => "wom-code",
+        Architecture::WomCodeRefresh => "wom-code-refresh",
+        Architecture::Wcpcm => "wcpcm",
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{stem}-epochs.jsonl"))
+}
+
+fn check(arch: Architecture) {
+    let rendered = render_epochs(arch);
+    let path = golden_path(arch);
+    // GOLDEN_REGEN gates regeneration of the checked-in files; it never
+    // affects a verifying run, so the env ban does not apply.
+    #[allow(clippy::disallowed_methods)]
+    let regen = std::env::var_os("GOLDEN_REGEN").is_some();
+    if regen {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with GOLDEN_REGEN=1 to capture",
+            path.display()
+        )
+    });
+    if rendered != expected {
+        for (i, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+            if got != want {
+                panic!(
+                    "golden epochs diverge for {} at line {}:\n  expected: {want}\n  actual:   {got}",
+                    arch.label(),
+                    i + 1
+                );
+            }
+        }
+        panic!(
+            "golden epochs diverge for {} (line counts differ: {} vs {})",
+            arch.label(),
+            rendered.lines().count(),
+            expected.lines().count()
+        );
+    }
+}
+
+#[test]
+fn baseline_reproduces_golden_epochs() {
+    check(Architecture::Baseline);
+}
+
+#[test]
+fn wom_code_reproduces_golden_epochs() {
+    check(Architecture::WomCode);
+}
+
+#[test]
+fn wom_code_refresh_reproduces_golden_epochs() {
+    check(Architecture::WomCodeRefresh);
+}
+
+#[test]
+fn wcpcm_reproduces_golden_epochs() {
+    check(Architecture::Wcpcm);
+}

@@ -51,7 +51,7 @@ pub use config::{MemConfig, RowPolicy, SchedulerPolicy};
 pub use energy::{EnergyParams, EnergyTally};
 pub use error::SimError;
 pub use memory::MemorySystem;
-pub use stats::{LatencyHistogram, LatencySummary, MemStats};
+pub use stats::{Histogram, LatencyHistogram, LatencySummary, MemStats};
 pub use timing::{Cycle, TimingParams};
 pub use transaction::{Completion, MemOp, ServiceClass, Transaction, TransactionId};
 pub use wear::{WearSummary, WearTracker};

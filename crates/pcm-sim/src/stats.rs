@@ -88,6 +88,10 @@ pub struct MemStats {
     pub read_latency: LatencySummary,
     /// End-to-end write latency (arrival → cells programmed).
     pub write_latency: LatencySummary,
+    /// Read-latency histogram (percentiles via the shared [`Histogram`]).
+    pub read_hist: Histogram,
+    /// Write-latency histogram (percentiles via the shared [`Histogram`]).
+    pub write_hist: Histogram,
     /// Queueing delay for reads.
     pub read_queue_delay: LatencySummary,
     /// Queueing delay for writes.
@@ -129,13 +133,37 @@ impl MemStats {
         match c.op {
             MemOp::Read => {
                 self.read_latency.record(c.latency());
+                self.read_hist.record(c.latency());
                 self.read_queue_delay.record(c.queue_delay());
             }
             MemOp::Write => {
                 self.write_latency.record(c.latency());
+                self.write_hist.record(c.latency());
                 self.write_queue_delay.record(c.queue_delay());
             }
         }
+    }
+
+    /// A read-latency percentile in cycles, delegated to the shared
+    /// [`Histogram`] (bucketed; see [`Histogram::percentile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn read_percentile(&self, q: f64) -> Cycle {
+        self.read_hist.percentile(q)
+    }
+
+    /// A write-latency percentile in cycles, delegated to the shared
+    /// [`Histogram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn write_percentile(&self, q: f64) -> Cycle {
+        self.write_hist.percentile(q)
     }
 
     /// Total demand accesses recorded.
@@ -291,6 +319,16 @@ pub struct LatencyHistogram {
     count: u64,
 }
 
+/// The canonical name for the workspace's one shared latency histogram.
+///
+/// Every latency population in the stack — `MemStats` read/write
+/// latencies here, `RunMetrics` demand histograms and the per-epoch
+/// observability snapshots in `wom-pcm` — records into this type, so
+/// percentile queries are bucketed identically everywhere. (The struct
+/// keeps its historical `LatencyHistogram` name because golden-metrics
+/// fixtures pin the `Debug` rendering of metrics containing it.)
+pub type Histogram = LatencyHistogram;
+
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
@@ -321,6 +359,30 @@ impl LatencyHistogram {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The inclusive upper edge of bucket `i` in cycles (bucket `i` holds
+    /// latencies in `[2^i, 2^(i+1))`; bucket 0 also holds 0).
+    #[must_use]
+    pub fn bucket_upper_bound(i: usize) -> Cycle {
+        (1u64 << (i + 1).min(63)).saturating_sub(1)
+    }
+
+    /// Iterates the non-empty buckets as `(bucket index, sample count)`,
+    /// in ascending latency order. Allocation-free; the basis of the
+    /// observability exporters' sparse histogram encoding.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
     }
 
     /// The latency below which a `q` fraction of samples fall, resolved to

@@ -13,7 +13,7 @@
 //!
 //! [`read_lackey`]: womcode_pcm::trace::lackey::read_lackey
 
-use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::arch::{Architecture, SystemBuilder};
 use womcode_pcm::trace::lackey::read_lackey;
 use womcode_pcm::trace::TraceStats;
 
@@ -50,9 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for arch in [Architecture::Baseline, Architecture::WomCodeRefresh] {
-        let mut cfg = SystemConfig::paper(arch);
-        cfg.mem.geometry.rows_per_bank = 4096;
-        let mut sys = WomPcmSystem::new(cfg)?;
+        let mut sys = SystemBuilder::new(arch).rows_per_bank(4096).build()?;
         let m = sys.run_trace(records.clone())?;
         println!(
             "{:22} mean write {:6.1} ns, mean read {:5.1} ns, {:.0}% fast writes",

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example spec_workloads`.
 
-use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::arch::{Architecture, SystemBuilder};
 use womcode_pcm::trace::synth::{benchmarks, Suite};
 use womcode_pcm::trace::TraceStats;
 
@@ -23,9 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut normalized = Vec::new();
         let mut base_mean = 0.0;
         for arch in Architecture::all_paper() {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096; // bound state for the demo
-            let mut sys = WomPcmSystem::new(cfg)?;
+            // Bound lazily-allocated state for the demo.
+            let mut sys = SystemBuilder::new(arch).rows_per_bank(4096).build()?;
             let metrics = sys.run_trace(trace.clone())?;
             if arch == Architecture::Baseline {
                 base_mean = metrics.writes.mean();

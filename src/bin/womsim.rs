@@ -14,19 +14,22 @@ use std::fs::File;
 use std::io::{self, BufReader, Write};
 use std::process::ExitCode;
 
-use wom_pcm_bench::{run_configs_parallel, take_threads_flag};
-use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm_bench::cli::{ObserveSpec, Parser};
+use wom_pcm_bench::run_configs_parallel;
+use womcode_pcm::arch::{Architecture, SystemBuilder};
+use womcode_pcm::sim::MemOp;
 use womcode_pcm::trace::format::{write_trace, TraceReader};
 use womcode_pcm::trace::synth::benchmarks;
 use womcode_pcm::trace::{TraceRecord, TraceStats};
 
+const USAGE: &str = "\n  womsim list\n  womsim gen <workload> <records> [seed] [--binary]\n  \
+     womsim stats <trace-file>\n  womsim run <baseline|wom|refresh|wcpcm> \
+     <trace-file | workload:records[:seed]> [--verify] \
+     [--observe PATH [--epoch-cycles N]]\n  \
+     womsim compare <trace-file | workload:records[:seed]> [--threads N]";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  womsim list\n  womsim gen <workload> <records> [seed] [--binary]\n  \
-         womsim stats <trace-file>\n  womsim run <baseline|wom|refresh|wcpcm> \
-         <trace-file | workload:records[:seed]> [--verify]\n  \
-         womsim compare <trace-file | workload:records[:seed]> [--threads N]"
-    );
+    eprintln!("usage:{USAGE}");
     ExitCode::from(2)
 }
 
@@ -101,9 +104,7 @@ fn cmd_list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_gen(args: &[String]) -> ExitCode {
-    let binary = args.iter().any(|a| a == "--binary");
-    let args: Vec<String> = args.iter().filter(|a| *a != "--binary").cloned().collect();
+fn cmd_gen(args: &[String], binary: bool) -> ExitCode {
     let (Some(name), Some(records)) = (args.first(), args.get(1)) else {
         return usage();
     };
@@ -169,9 +170,7 @@ fn cmd_stats(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_run(args: &[String]) -> ExitCode {
-    let verify = args.iter().any(|a| a == "--verify");
-    let args: Vec<String> = args.iter().filter(|a| *a != "--verify").cloned().collect();
+fn cmd_run(args: &[String], verify: bool, observe: Option<&ObserveSpec>) -> ExitCode {
     let (Some(arch_name), Some(spec)) = (args.first(), args.get(1)) else {
         return usage();
     };
@@ -186,11 +185,14 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut cfg = SystemConfig::paper(arch);
     // Bound lazily-allocated simulator state for interactive use.
-    cfg.mem.geometry.rows_per_bank = 4096;
-    cfg.verify_data = verify;
-    let mut sys = match WomPcmSystem::new(cfg) {
+    let mut builder = SystemBuilder::new(arch)
+        .rows_per_bank(4096)
+        .verify_data(verify);
+    if let Some(obs) = observe {
+        builder = builder.epoch_cycles(obs.epoch_cycles);
+    }
+    let mut sys = match builder.build() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("configuration rejected: {e}");
@@ -204,14 +206,44 @@ fn cmd_run(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(obs) = observe {
+        match sys.take_epochs() {
+            Some(series) => {
+                let tags = [("arch", arch.label()), ("workload", spec.as_str())];
+                let write = std::fs::File::create(&obs.path).and_then(|f| {
+                    womcode_pcm::arch::observe::write_jsonl(
+                        &mut io::BufWriter::new(f),
+                        &series,
+                        &tags,
+                    )
+                });
+                match write {
+                    Ok(()) => eprintln!(
+                        "wrote {} epochs ({} cycles each) to {}",
+                        series.len(),
+                        series.epoch_cycles(),
+                        obs.path
+                    ),
+                    Err(e) => {
+                        eprintln!("cannot write {}: {e}", obs.path);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => {
+                eprintln!("internal error: epoch observation recorded no series");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut out = io::stdout().lock();
     let _ = writeln!(out, "architecture : {}", arch.label());
     let _ = writeln!(out, "{metrics}");
     let _ = writeln!(
         out,
         "tail latency : read p95 {:.0} ns, write p95 {:.0} ns",
-        metrics.read_percentile_ns(0.95),
-        metrics.write_percentile_ns(0.95)
+        metrics.percentile_ns(MemOp::Read, 0.95),
+        metrics.percentile_ns(MemOp::Write, 0.95)
     );
     let _ = writeln!(
         out,
@@ -250,8 +282,7 @@ fn cmd_compare(args: &[String], threads: usize) -> ExitCode {
     let jobs: Vec<_> = Architecture::all_paper()
         .iter()
         .map(|&arch| {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096;
+            let cfg = SystemBuilder::new(arch).rows_per_bank(4096).into_config();
             (cfg, records.clone())
         })
         .collect();
@@ -279,8 +310,8 @@ fn cmd_compare(args: &[String], threads: usize) -> ExitCode {
             arch.label(),
             m.mean_write_ns(),
             m.mean_read_ns(),
-            m.write_percentile_ns(0.95),
-            m.read_percentile_ns(0.95),
+            m.percentile_ns(MemOp::Write, 0.95),
+            m.percentile_ns(MemOp::Read, 0.95),
             m.fast_write_fraction() * 100.0,
             m.energy.total_uj(),
         );
@@ -293,14 +324,29 @@ fn cmd_compare(args: &[String], threads: usize) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = take_threads_flag(&mut args);
-    match args.first().map(String::as_str) {
-        Some("list") => cmd_list(),
-        Some("gen") => cmd_gen(&args[1..]),
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("compare") => cmd_compare(&args[1..], threads),
+    let mut cli = Parser::from_env(USAGE);
+    let threads = cli.threads();
+    let observe = cli.observe();
+    let binary = cli.flag("--binary");
+    let verify = cli.flag("--verify");
+    let Some(command) = cli.next_arg() else {
+        return usage();
+    };
+    let mut rest = Vec::new();
+    while let Some(arg) = cli.next_arg() {
+        rest.push(arg);
+    }
+    cli.finish();
+    if observe.is_some() && command != "run" {
+        eprintln!("error: --observe only applies to `womsim run`");
+        return ExitCode::from(2);
+    }
+    match command.as_str() {
+        "list" => cmd_list(),
+        "gen" => cmd_gen(&rest, binary),
+        "stats" => cmd_stats(&rest),
+        "run" => cmd_run(&rest, verify, observe.as_ref()),
+        "compare" => cmd_compare(&rest, threads),
         _ => usage(),
     }
 }

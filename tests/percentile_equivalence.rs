@@ -1,0 +1,89 @@
+//! Cross-crate percentile equivalence: `pcm_sim::MemStats` and
+//! `wom_pcm::RunMetrics` both delegate their percentile queries to the
+//! one shared `pcm_sim::Histogram`, so the same latency population must
+//! answer every quantile identically through either API (modulo the
+//! cycle → ns conversion `RunMetrics` applies).
+
+use womcode_pcm::arch::{Architecture, RunMetrics, SystemBuilder};
+use womcode_pcm::sim::{Completion, Histogram, MemOp, MemStats, ServiceClass};
+use womcode_pcm::trace::synth::benchmarks;
+
+/// A fixed, spread-out latency population: mixes sub-bucket values,
+/// exact powers of two (bucket edges), and heavy-tail outliers.
+fn population() -> Vec<u64> {
+    let mut v = Vec::new();
+    for i in 0..200u64 {
+        v.push(20 + (i * 7) % 160); // bulk: 20..180 cycles
+    }
+    v.extend([1, 2, 4, 64, 128, 1024, 4096, 65_536]); // edges + tail
+    v
+}
+
+#[test]
+fn memstats_and_runmetrics_answer_percentiles_identically() {
+    let pop = population();
+
+    // Route 1: raw histogram.
+    let mut hist = Histogram::default();
+    for &c in &pop {
+        hist.record(c);
+    }
+
+    // Route 2: pcm-sim's MemStats fold (via recorded completions).
+    let mut stats = MemStats::new();
+    for (i, &c) in pop.iter().enumerate() {
+        stats.record(&Completion {
+            id: i as u64,
+            addr: 0,
+            op: MemOp::Write,
+            class: ServiceClass::Write,
+            arrival: 0,
+            start: 0,
+            finish: c,
+            preempted: false,
+        });
+    }
+
+    // Route 3: wom-pcm's RunMetrics (histogram installed directly; the
+    // engine records into the identical type).
+    let metrics = RunMetrics {
+        write_hist: hist.clone(),
+        clock_ns: 1.0,
+        ..RunMetrics::default()
+    };
+
+    for q in [0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+        let direct = hist.percentile(q);
+        assert_eq!(stats.write_percentile(q), direct, "MemStats at q={q}");
+        assert_eq!(
+            metrics.percentile_ns(MemOp::Write, q),
+            direct as f64,
+            "RunMetrics at q={q}"
+        );
+    }
+}
+
+/// End to end: a real simulation's `RunMetrics` percentiles equal the
+/// shared histogram queried directly — the run-level accessor is a
+/// delegation, not a reimplementation.
+#[test]
+fn simulated_runmetrics_percentiles_delegate_to_the_shared_histogram() {
+    let profile = benchmarks::by_name("qsort").expect("bundled workload");
+    let trace = profile.generate(2014, 5_000);
+    let mut sys = SystemBuilder::new(Architecture::WomCodeRefresh)
+        .rows_per_bank(4096)
+        .build()
+        .expect("valid config");
+    let m = sys.run_trace(trace).expect("trace runs");
+    assert!(m.writes.count > 0 && m.reads.count > 0);
+    for q in [0.5, 0.95, 0.99] {
+        assert_eq!(
+            m.percentile_ns(MemOp::Write, q),
+            m.histogram(MemOp::Write).percentile(q) as f64 * m.clock_ns
+        );
+        assert_eq!(
+            m.percentile_ns(MemOp::Read, q),
+            m.histogram(MemOp::Read).percentile(q) as f64 * m.clock_ns
+        );
+    }
+}
