@@ -10,7 +10,7 @@ use wom_pcm_bench::timing::bench;
 const RECORDS: usize = 5_000;
 
 fn main() {
-    let profile = benchmarks::by_name("qsort").expect("paper workload");
+    let profile = benchmarks::by_name("qsort").expect("paper workload").into();
     for arch in Architecture::all_paper() {
         bench(&format!("fig5_write/{}", arch.label()), || {
             run_cell(arch, &profile, RECORDS, 1, 32).expect("cell runs")

@@ -1,6 +1,7 @@
 //! Throughput benches: how fast the substrate itself runs — trace
 //! generation rate and end-to-end simulation rate per architecture.
 
+use pcm_trace::stream::TraceSpec;
 use pcm_trace::synth::benchmarks;
 use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
 use wom_pcm_bench::timing::bench_throughput;
@@ -17,9 +18,11 @@ fn trace_generation() {
 }
 
 fn simulation_rate() {
-    let trace = benchmarks::by_name("mad")
-        .expect("paper workload")
-        .generate(7, RECORDS);
+    let spec = TraceSpec::synth(
+        benchmarks::by_name("mad").expect("paper workload"),
+        7,
+        RECORDS as u64,
+    );
     for arch in Architecture::all_paper() {
         bench_throughput(
             &format!("simulation_rate/{}", arch.label()),
@@ -28,7 +31,8 @@ fn simulation_rate() {
                 let mut cfg = SystemConfig::paper(arch);
                 cfg.mem.geometry.rows_per_bank = 4096;
                 let mut sys = WomPcmSystem::new(cfg).expect("valid config");
-                sys.run_trace(trace.clone()).expect("trace runs")
+                let mut source = spec.open().expect("benchmark sources open");
+                sys.run_source(&mut source).expect("trace runs")
             },
         );
     }

@@ -1,4 +1,4 @@
-//! Ablation studies over the design choices called out in `DESIGN.md` §11:
+//! Ablation studies over the design choices called out in `DESIGN.md` §12:
 //!
 //! * `rth`      — PCM-refresh threshold r_th sweep (0–100%).
 //! * `rat`      — row-address-table depth sweep (the paper fixes 5).
@@ -14,6 +14,7 @@
 //! with no study, runs all. Each study's cells run in parallel.
 
 use pcm_sim::MemoryGeometry;
+use pcm_trace::stream::TraceSpec;
 use pcm_trace::synth::benchmarks;
 use wom_pcm::{
     Architecture, BudgetGranularity, ColdPolicy, HiddenPageTable, RunMetrics, SystemBuilder,
@@ -27,8 +28,8 @@ const WORKLOAD: &str = "FFT.mi";
 /// Runs one study's config variants as a parallel batch, in input order.
 fn run_all(cfgs: Vec<SystemConfig>, records: usize, seed: u64, threads: usize) -> Vec<RunMetrics> {
     let profile = benchmarks::by_name(WORKLOAD).expect("bundled workload");
-    let trace = profile.generate(seed, records);
-    let jobs: Vec<_> = cfgs.into_iter().map(|cfg| (cfg, trace.clone())).collect();
+    let spec = TraceSpec::synth(profile, seed, records as u64);
+    let jobs: Vec<_> = cfgs.into_iter().map(|cfg| (cfg, spec.clone())).collect();
     run_configs_parallel(&jobs, threads).expect("ablation cells run")
 }
 

@@ -9,29 +9,39 @@
 //! PCM-refresh adds whole-row rewrites of its own, and WCPCM
 //! concentrates all write traffic on the small per-rank cache arrays.
 //!
-//! Usage: `endurance [records] [seed] [--threads N]
+//! Usage: `endurance [records] [seed] [--workload NAME] [--threads N]
 //! [--observe PATH [--epoch-cycles N]]`
-//! (defaults: 30000, 2014, available parallelism).
+//! (defaults: 30000, 2014, 464.h264ref, available parallelism). The
+//! workload may be any paper-suite or datacenter profile (`womsim list`
+//! names them); the trace is streamed, never materialized, so record
+//! counts far beyond memory are fine.
 
-use pcm_trace::synth::benchmarks;
+use pcm_trace::stream::{TraceProfile, TraceSpec};
 use wom_pcm::{Architecture, SystemBuilder};
 use wom_pcm_bench::{
     cli, run_configs_observed, run_configs_parallel, write_observed_jsonl, ObservedSeries,
 };
 
-const USAGE: &str = "endurance [records] [seed] [--threads N] [--observe PATH [--epoch-cycles N]]";
+const USAGE: &str = "endurance [records] [seed] [--workload NAME] [--threads N] \
+                     [--observe PATH [--epoch-cycles N]]";
 
 fn main() {
     let mut cli = cli::Parser::from_env(USAGE);
     let threads = cli.threads();
     let observe = cli.observe();
+    let workload = cli
+        .value("--workload")
+        .unwrap_or_else(|| "464.h264ref".into());
     let records: usize = cli.positional("records", 30_000);
     let seed: u64 = cli.positional("seed", 2014);
     cli.finish();
 
-    let profile = benchmarks::by_name("464.h264ref").expect("paper workload");
-    let trace = profile.generate(seed, records);
-    println!("workload: {} ({records} records)\n", profile.name);
+    let Some(profile) = TraceProfile::by_name(&workload) else {
+        eprintln!("error: unknown workload '{workload}' (see `womsim list`)");
+        std::process::exit(2);
+    };
+    let spec = TraceSpec::synth(profile.clone(), seed, records as u64);
+    println!("workload: {} ({records} records)\n", profile.name());
     println!(
         "{:23}{:>12}{:>13}{:>11}{:>10}{:>14}",
         "architecture", "SET writes", "RESET-only", "max/row", "wear CV", "cache max/row"
@@ -54,7 +64,7 @@ fn main() {
             if let Some(interval) = leveling {
                 b = b.wear_leveling(interval);
             }
-            (b.into_config(), trace.clone())
+            (b.into_config(), spec.clone())
         })
         .collect();
     let metrics = if let Some(obs) = &observe {
@@ -66,7 +76,7 @@ fn main() {
             metrics.push(m);
             observed.push(ObservedSeries {
                 arch: *arch,
-                workload: format!("464.h264ref/{label}"),
+                workload: format!("{workload}/{label}"),
                 banks_per_rank: 32,
                 series,
             });
@@ -100,9 +110,10 @@ fn main() {
 
     // Hot-row microbenchmark: hammer one line so gap moves actually occur.
     use pcm_trace::{TraceOp, TraceRecord};
-    let hot: Vec<TraceRecord> = (0..30_000u64)
+    let hot: TraceSpec = (0..30_000u64)
         .map(|i| TraceRecord::new(i * 300, 0, TraceOp::Write))
-        .collect();
+        .collect::<Vec<TraceRecord>>()
+        .into();
     println!(
         "\nhot-row microbenchmark (30k writes to one line, 64-row banks so the\n\
          gap completes rotations), WOM-code PCM:"

@@ -6,6 +6,7 @@
 //!
 //! Usage: `energy [records] [seed]` (defaults: 30000, 2014).
 
+use pcm_trace::stream::TraceProfile;
 use pcm_trace::synth::benchmarks;
 use wom_pcm::{Architecture, SystemBuilder};
 
@@ -25,16 +26,18 @@ fn main() {
         "benchmark", "baseline", "wom-code", "pcm-refresh", "wcpcm", "refresh share"
     );
     for bench in WORKLOADS {
-        let profile = benchmarks::by_name(bench).expect("paper workload");
-        let trace = profile.generate(seed, records);
+        let profile = TraceProfile::from(benchmarks::by_name(bench).expect("paper workload"));
         let mut row = Vec::new();
         let mut refresh_share = 0.0;
         for arch in Architecture::all_paper() {
+            let mut source = profile
+                .source(seed, records as u64)
+                .expect("paper workloads validate");
             let mut sys = SystemBuilder::new(arch)
                 .rows_per_bank(4096)
                 .build()
                 .expect("valid config");
-            let m = sys.run_trace(trace.clone()).expect("trace runs");
+            let m = sys.run_source(&mut source).expect("trace runs");
             if arch == Architecture::WomCodeRefresh {
                 refresh_share = m.energy.refresh_pj / m.energy.total_pj();
             }

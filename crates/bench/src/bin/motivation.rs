@@ -9,6 +9,7 @@
 //! Usage: `motivation [records] [seed]` (defaults: 30000, 2014).
 
 use pcm_sim::TimingParams;
+use pcm_trace::stream::TraceProfile;
 use pcm_trace::synth::benchmarks;
 use wom_pcm::{Architecture, SystemBuilder};
 
@@ -25,8 +26,12 @@ fn main() {
         "benchmark", "dram ns", "pcm ns", "pcm/dram", "best wom ns", "closed"
     );
     for bench in ["401.bzip2", "464.h264ref", "470.lbm", "qsort", "ocean"] {
-        let profile = benchmarks::by_name(bench).expect("paper workload");
-        let trace = profile.generate(seed, records);
+        let profile = TraceProfile::from(benchmarks::by_name(bench).expect("paper workload"));
+        let source = || {
+            profile
+                .source(seed, records as u64)
+                .expect("paper workloads validate")
+        };
 
         // DRAM-class device: symmetric 27 ns writes.
         let dram = SystemBuilder::new(Architecture::Baseline)
@@ -34,7 +39,7 @@ fn main() {
             .timing(TimingParams::dram_like())
             .build()
             .expect("valid config")
-            .run_trace(trace.clone())
+            .run_source(&mut source())
             .expect("trace runs");
 
         let run = |arch: Architecture| {
@@ -42,7 +47,7 @@ fn main() {
                 .rows_per_bank(4096)
                 .build()
                 .expect("valid config")
-                .run_trace(trace.clone())
+                .run_source(&mut source())
                 .expect("trace runs")
         };
         let pcm = run(Architecture::Baseline);

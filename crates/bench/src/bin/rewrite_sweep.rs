@@ -8,6 +8,7 @@
 //!
 //! Usage: `rewrite_sweep [records] [seed]` (defaults: 30000, 2014).
 
+use pcm_trace::stream::TraceProfile;
 use pcm_trace::synth::benchmarks;
 use wom_code::analysis::latency_ratio_bound;
 use wom_code::{FlipCode, WomCode};
@@ -21,8 +22,12 @@ fn main() {
     let seed: u64 = cli.positional("seed", 2014);
     cli.finish();
 
-    let profile = benchmarks::by_name("464.h264ref").expect("paper workload");
-    let trace = profile.generate(seed, records);
+    let profile = TraceProfile::from(benchmarks::by_name("464.h264ref").expect("paper workload"));
+    let source = || {
+        profile
+            .source(seed, records as u64)
+            .expect("paper workloads validate")
+    };
     let s = 150.0 / 40.0;
 
     // Baseline for normalization.
@@ -30,12 +35,12 @@ fn main() {
         .rows_per_bank(4096)
         .build()
         .expect("valid config")
-        .run_trace(trace.clone())
+        .run_source(&mut source())
         .expect("trace runs");
 
     println!(
         "workload: {} ({records} records), S = {s:.2}\n",
-        profile.name
+        profile.name()
     );
     println!(
         "{:>4}{:>14}{:>12}{:>12}{:>14}{:>14}",
@@ -49,7 +54,7 @@ fn main() {
                 .expansion(FlipCode::new(k).expect("valid t").expansion())
                 .build()
                 .expect("valid config")
-                .run_trace(trace.clone())
+                .run_source(&mut source())
                 .expect("trace runs")
         };
         let wom = run(Architecture::WomCode);

@@ -13,6 +13,7 @@
 //! (`crates/bench/fixtures/sim_throughput_observed.jsonl`). The timed
 //! runs themselves always use the disabled (no-op) observer.
 
+use pcm_trace::stream::{TraceSource, TraceSpec};
 use pcm_trace::synth::benchmarks;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -40,28 +41,35 @@ fn build_config(arch: Architecture, verify_data: bool) -> SystemConfig {
         .into_config()
 }
 
-fn run_case(name: &str, cfg: &SystemConfig, trace: &[pcm_trace::TraceRecord]) -> Outcome {
+fn run_case(name: &str, cfg: &SystemConfig, spec: &TraceSpec, records: usize) -> Outcome {
+    // One streaming source per case, reset between reps: the timed loop
+    // measures the simulator fed at O(chunk) trace-side memory, the same
+    // shape every production run now uses.
+    let mut source = spec.open().expect("benchmark trace sources open");
     let mut best = f64::INFINITY;
-    for _ in 0..REPS {
+    for rep in 0..REPS {
+        if rep > 0 {
+            source.reset().expect("benchmark trace sources reset");
+        }
         let mut sys = WomPcmSystem::new(cfg.clone()).expect("benchmark configs validate");
         // Wall-clock is the quantity measured here; the `Instant::now`
         // ban targets simulation code, not the benchmark harness.
         #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
-        sys.run_trace(trace.iter().copied())
+        sys.run_source(&mut source)
             .expect("benchmark traces run clean");
         best = best.min(start.elapsed().as_secs_f64());
     }
-    let records_per_sec = trace.len() as f64 / best;
+    let records_per_sec = records as f64 / best;
     println!(
         "{name:<28} {records_per_sec:>14.0} records/s  ({:.3} s best of {REPS})",
         best
     );
     Outcome {
         name: name.to_string(),
-        records: trace.len(),
+        records,
         records_per_sec,
-        ns_per_record: best * 1e9 / trace.len() as f64,
+        ns_per_record: best * 1e9 / records as f64,
     }
 }
 
@@ -95,18 +103,18 @@ fn main() {
     let workload = "qsort";
     let seed = wom_pcm_bench::DEFAULT_SEED;
     let profile = benchmarks::by_name(workload).expect("bundled workload");
-    let trace = profile.generate(seed, records);
+    let spec = TraceSpec::synth(profile.clone(), seed, records as u64);
     println!("simulator throughput: {records} '{workload}' records per run, best of {REPS}\n");
 
     let mut outcomes = Vec::new();
     for arch in Architecture::all_paper() {
         let cfg = build_config(arch, false);
-        outcomes.push(run_case(arch.label(), &cfg, &trace));
+        outcomes.push(run_case(arch.label(), &cfg, &spec, records));
     }
     // Data-verified mode: every write WOM-encodes a real 64-byte line and
     // every read decodes and checks it — the row codec is the hot path.
     let cfg = build_config(Architecture::WomCode, true);
-    outcomes.push(run_case("womcode_pcm_verified", &cfg, &trace));
+    outcomes.push(run_case("womcode_pcm_verified", &cfg, &spec, records));
 
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(&outcomes, workload, seed)).expect("writing the JSON report");

@@ -7,31 +7,43 @@
 //! Percentiles are log₂-bucketed (within 2× of exact; see
 //! `pcm_sim::Histogram`).
 //!
-//! Usage: `tail_latency [records] [seed] [--threads N]
+//! Usage: `tail_latency [records] [seed] [--workload NAME]... [--threads N]
 //! [--observe PATH [--epoch-cycles N]]`
-//! (defaults: 30000, 2014, available parallelism).
+//! (defaults: 30000, 2014, the three paper workloads below, available
+//! parallelism). `--workload` replaces the default set and may name any
+//! paper-suite or datacenter profile (`womsim list`); datacenter tails —
+//! zipfian KV, WAL, GC sweeps — are exactly where p99 diverges from the
+//! mean.
 
 use pcm_sim::MemOp;
-use pcm_trace::synth::benchmarks;
+use pcm_trace::stream::TraceProfile;
 use wom_pcm::Architecture;
 use wom_pcm_bench::{cli, run_cells_observed, run_cells_parallel, write_observed_jsonl, CellSpec};
 
-const USAGE: &str =
-    "tail_latency [records] [seed] [--threads N] [--observe PATH [--epoch-cycles N]]";
+const USAGE: &str = "tail_latency [records] [seed] [--workload NAME]... [--threads N] \
+                     [--observe PATH [--epoch-cycles N]]";
 
 fn main() {
     let mut cli = cli::Parser::from_env(USAGE);
     let threads = cli.threads();
     let observe = cli.observe();
+    let mut workloads = cli.values("--workload");
     let records: usize = cli.positional("records", 30_000);
     let seed: u64 = cli.positional("seed", 2014);
     cli.finish();
 
-    const BENCHES: [&str; 3] = ["464.h264ref", "qsort", "water-ns"];
-    let specs: Vec<CellSpec> = BENCHES
+    if workloads.is_empty() {
+        workloads = ["464.h264ref", "qsort", "water-ns"]
+            .map(String::from)
+            .into();
+    }
+    let specs: Vec<CellSpec> = workloads
         .iter()
         .flat_map(|name| {
-            let profile = benchmarks::by_name(name).expect("paper workload");
+            let Some(profile) = TraceProfile::by_name(name) else {
+                eprintln!("error: unknown workload '{name}' (see `womsim list`)");
+                std::process::exit(2);
+            };
             Architecture::all_paper()
                 .iter()
                 .map(|&arch| CellSpec::new(arch, profile.clone(), records, seed))
@@ -48,7 +60,7 @@ fn main() {
         run_cells_parallel(&specs, threads).expect("tail cells run")
     };
 
-    for (bench, cells) in BENCHES.iter().zip(metrics.chunks_exact(4)) {
+    for (bench, cells) in workloads.iter().zip(metrics.chunks_exact(4)) {
         println!("\n{bench} ({records} records) - latencies in ns");
         println!(
             "{:22}{:>9}{:>9}{:>9}{:>4}{:>9}{:>9}{:>9}",

@@ -1,0 +1,141 @@
+//! Trace-pipeline microbenchmarks: the streaming layer the simulator is
+//! fed through. Cases cover lazy synthetic generation (paper suite and
+//! datacenter profiles), binary-container encoding through the
+//! incremental writer, and chunked decoding back out of the container —
+//! the ingest loop whose per-record cost bounds every multi-billion-
+//! record endurance run.
+//!
+//! With `--json PATH` the results are also written as a machine-readable
+//! file — `BENCH_trace.json` at the repo root is the committed baseline;
+//! see EXPERIMENTS.md for how to regenerate it and
+//! `scripts/bench_compare.sh` for diffing two baselines.
+//!
+//! Usage: `trace_stream [--records N] [--json PATH]` (default 200000).
+
+use pcm_trace::binary::BinaryWriter;
+use pcm_trace::stream::{BinaryStreamSource, TraceSource, TraceSpec};
+use pcm_trace::synth::benchmarks;
+use pcm_trace::TraceRecord;
+use std::fmt::Write as _;
+use std::io::Cursor;
+use wom_pcm_bench::timing;
+
+const USAGE: &str = "trace_stream [--records N] [--json PATH]";
+
+struct Outcome {
+    name: &'static str,
+    records: usize,
+    records_per_sec: f64,
+    ns_per_record: f64,
+}
+
+/// Drains a freshly opened source, returning the record count (the
+/// value `timing::bench` black-boxes so the loop cannot be elided).
+fn drain(spec: &TraceSpec) -> u64 {
+    let mut source = spec.open().expect("benchmark sources open");
+    let mut n = 0u64;
+    while let Some(chunk) = source.next_chunk().expect("benchmark sources stream") {
+        n += chunk.len() as u64;
+    }
+    n
+}
+
+fn outcome(name: &'static str, records: usize, ns_total: f64) -> Outcome {
+    let ns_per_record = ns_total / records as f64;
+    Outcome {
+        name,
+        records,
+        records_per_sec: 1e9 / ns_per_record,
+        ns_per_record,
+    }
+}
+
+fn to_json(outcomes: &[Outcome]) -> String {
+    let mut body = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        write!(
+            body,
+            "\n  {{\"name\":\"{}\",\"records\":{},\"records_per_sec\":{:.0},\
+             \"ns_per_record\":{:.1}}}",
+            o.name, o.records, o.records_per_sec, o.ns_per_record,
+        )
+        .expect("writing to a String cannot fail");
+    }
+    format!("{{\"bench\":\"trace_stream\",\"cases\":[{body}\n]}}\n")
+}
+
+fn main() {
+    let mut cli = wom_pcm_bench::cli::Parser::from_env(USAGE);
+    let records: usize = cli.parsed("--records").unwrap_or(200_000);
+    let json_path = cli.value("--json");
+    cli.finish();
+
+    let seed = wom_pcm_bench::DEFAULT_SEED;
+    println!("trace pipeline: {records} records per case\n");
+    let mut outcomes = Vec::new();
+
+    // Lazy generation, paper suite: the access-pattern model itself.
+    let qsort = TraceSpec::synth(
+        benchmarks::by_name("qsort").expect("bundled workload"),
+        seed,
+        records as u64,
+    );
+    let ns = timing::bench("synth_stream_qsort", || drain(&qsort));
+    outcomes.push(outcome("synth_stream_qsort", records, ns));
+
+    // Lazy generation, datacenter: zipfian sampling is the extra cost.
+    let kv = TraceSpec::synth(
+        pcm_trace::stream::TraceProfile::by_name("kv_zipf").expect("bundled workload"),
+        seed,
+        records as u64,
+    );
+    let ns = timing::bench("synth_stream_kv_zipf", || drain(&kv));
+    outcomes.push(outcome("synth_stream_kv_zipf", records, ns));
+
+    // Container encode: the incremental writer into a reused buffer.
+    let trace: Vec<TraceRecord> = benchmarks::by_name("qsort")
+        .expect("bundled workload")
+        .generate(seed, records);
+    let mut encoded: Vec<u8> = Vec::new();
+    let ns = timing::bench("binary_write", || {
+        encoded.clear();
+        let mut w = BinaryWriter::new(&mut encoded).expect("vec writes cannot fail");
+        for r in &trace {
+            w.write(r).expect("vec writes cannot fail");
+        }
+        w.finish().expect("vec writes cannot fail")
+    });
+    outcomes.push(outcome("binary_write", records, ns));
+
+    // Chunked decode: the simulator-facing ingest loop.
+    let ns = timing::bench("binary_read_chunked", || {
+        let mut source =
+            BinaryStreamSource::new(Cursor::new(&encoded[..])).expect("encoded container is valid");
+        let mut n = 0u64;
+        while let Some(chunk) = source.next_chunk().expect("encoded container streams") {
+            n += chunk.len() as u64;
+        }
+        n
+    });
+    outcomes.push(outcome("binary_read_chunked", records, ns));
+
+    println!();
+    println!(
+        "{:<24} {:>12} {:>16} {:>14}",
+        "case", "records", "records/s", "ns/record"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<24} {:>12} {:>16.0} {:>14.1}",
+            o.name, o.records, o.records_per_sec, o.ns_per_record
+        );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(&outcomes)).expect("writing the JSON report");
+        println!("\nwrote {path}");
+    }
+}

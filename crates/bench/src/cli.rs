@@ -84,6 +84,20 @@ impl Parser {
         out
     }
 
+    /// Consumes every `name VALUE` pair, keeping all values in order.
+    pub fn values(&mut self, name: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(pos) = self.args.iter().position(|a| a == name) {
+            if pos + 1 >= self.args.len() {
+                self.fail(&format!("{name} requires a value"));
+            }
+            let v = self.args.remove(pos + 1);
+            self.args.remove(pos);
+            out.push(v);
+        }
+        out
+    }
+
     /// [`value`](Self::value), parsed; exits 2 on a malformed value.
     pub fn parsed<T: FromStr>(&mut self, name: &str) -> Option<T>
     where
@@ -177,6 +191,15 @@ mod tests {
         assert_eq!(p.positional::<usize>("records", 1), 10);
         assert_eq!(p.positional::<u64>("seed", 7), 20);
         assert_eq!(p.positional::<u64>("extra", 7), 7, "default on exhaustion");
+        p.finish();
+    }
+
+    #[test]
+    fn values_collects_every_occurrence_in_order() {
+        let mut p = Parser::from_args("t", &["--workload", "a", "7", "--workload", "b"]);
+        assert_eq!(p.values("--workload"), vec!["a".to_string(), "b".into()]);
+        assert!(p.values("--workload").is_empty(), "values were consumed");
+        assert_eq!(p.positional::<u64>("records", 0), 7);
         p.finish();
     }
 

@@ -13,8 +13,8 @@
 #![warn(missing_docs)]
 
 use pcm_sim::Cycle;
+use pcm_trace::stream::{TraceProfile, TraceSpec};
 use pcm_trace::synth::{benchmarks, WorkloadProfile};
-use pcm_trace::TraceRecord;
 use wom_pcm::{
     Architecture, EpochSeries, RunMetrics, SystemBuilder, SystemConfig, WomPcmError, WomPcmSystem,
 };
@@ -36,19 +36,23 @@ pub const EXPERIMENT_ROWS_PER_BANK: u32 = 4096;
 
 /// Runs one workload through one architecture and returns its metrics.
 ///
+/// The trace is streamed from the profile's lazy generator — no cell ever
+/// materializes its records, so sweep memory is bounded by the chunk
+/// size, not the record count.
+///
 /// # Errors
 ///
 /// Propagates [`WomPcmError`] from system construction or the run.
 pub fn run_cell(
     arch: Architecture,
-    profile: &WorkloadProfile,
+    profile: &TraceProfile,
     records: usize,
     seed: u64,
     banks_per_rank: u32,
 ) -> Result<RunMetrics, WomPcmError> {
-    let trace = profile.generate(seed, records);
+    let mut source = profile.source(seed, records as u64)?;
     let mut sys = cell_builder(arch, banks_per_rank).build()?;
-    sys.run_trace(trace)
+    sys.run_source(&mut source)
 }
 
 /// The experiment-cell configuration as a [`SystemBuilder`]: the paper's
@@ -71,17 +75,17 @@ pub fn cell_builder(arch: Architecture, banks_per_rank: u32) -> SystemBuilder {
 /// Propagates [`WomPcmError`] from system construction or the run.
 pub fn run_cell_observed(
     arch: Architecture,
-    profile: &WorkloadProfile,
+    profile: &TraceProfile,
     records: usize,
     seed: u64,
     banks_per_rank: u32,
     epoch_cycles: Cycle,
 ) -> Result<(RunMetrics, EpochSeries), WomPcmError> {
-    let trace = profile.generate(seed, records);
+    let mut source = profile.source(seed, records as u64)?;
     let mut sys = cell_builder(arch, banks_per_rank)
         .epoch_cycles(epoch_cycles)
         .build()?;
-    let metrics = sys.run_trace(trace)?;
+    let metrics = sys.run_source(&mut source)?;
     let series = sys.take_epochs().ok_or_else(|| {
         WomPcmError::Internal("epoch observation was enabled but recorded no series".into())
     })?;
@@ -147,8 +151,8 @@ pub mod parallel {
 pub struct CellSpec {
     /// Architecture to simulate.
     pub arch: Architecture,
-    /// Workload profile generating the trace.
-    pub profile: WorkloadProfile,
+    /// Workload profile generating the trace (paper suite or datacenter).
+    pub profile: TraceProfile,
     /// Trace records to generate.
     pub records: usize,
     /// Trace RNG seed.
@@ -160,10 +164,15 @@ pub struct CellSpec {
 impl CellSpec {
     /// A cell at the paper's default 32 banks/rank.
     #[must_use]
-    pub fn new(arch: Architecture, profile: WorkloadProfile, records: usize, seed: u64) -> Self {
+    pub fn new(
+        arch: Architecture,
+        profile: impl Into<TraceProfile>,
+        records: usize,
+        seed: u64,
+    ) -> Self {
         Self {
             arch,
-            profile,
+            profile: profile.into(),
             records,
             seed,
             banks_per_rank: 32,
@@ -233,7 +242,7 @@ pub fn run_cells_observed(
         metrics.push(m);
         observed.push(ObservedSeries {
             arch: c.arch,
-            workload: c.profile.name.clone(),
+            workload: c.profile.name().to_string(),
             banks_per_rank: c.banks_per_rank,
             series,
         });
@@ -263,20 +272,24 @@ pub fn write_observed_jsonl(path: &str, observed: &[ObservedSeries]) -> std::io:
     w.flush()
 }
 
-/// Runs pre-built `(config, trace)` cells on up to `threads` workers —
-/// the custom-config sibling of [`run_cells_parallel`] for ablation-style
-/// sweeps whose cells differ by more than architecture and bank count.
-/// Results come back in cell order, identical at any thread count.
+/// Runs pre-built `(config, trace spec)` cells on up to `threads`
+/// workers — the custom-config sibling of [`run_cells_parallel`] for
+/// ablation-style sweeps whose cells differ by more than architecture and
+/// bank count. Every worker opens a private streaming source from its
+/// spec (see [`TraceSpec::open`]), so cells never share reader state and
+/// each replays the identical record stream. Results come back in cell
+/// order, identical at any thread count.
 ///
 /// # Errors
 ///
 /// Propagates the first (by cell order) [`WomPcmError`] of any cell.
 pub fn run_configs_parallel(
-    jobs: &[(SystemConfig, Vec<TraceRecord>)],
+    jobs: &[(SystemConfig, TraceSpec)],
     threads: usize,
 ) -> Result<Vec<RunMetrics>, WomPcmError> {
-    parallel::map(jobs, threads, |(cfg, trace)| {
-        WomPcmSystem::new(cfg.clone())?.run_trace(trace.iter().copied())
+    parallel::map(jobs, threads, |(cfg, spec)| {
+        let mut source = spec.open()?;
+        WomPcmSystem::new(cfg.clone())?.run_source(&mut source)
     })
     .into_iter()
     .collect()
@@ -290,15 +303,16 @@ pub fn run_configs_parallel(
 ///
 /// Propagates the first (by cell order) [`WomPcmError`] of any cell.
 pub fn run_configs_observed(
-    jobs: &[(SystemConfig, Vec<TraceRecord>)],
+    jobs: &[(SystemConfig, TraceSpec)],
     threads: usize,
     epoch_cycles: Cycle,
 ) -> Result<Vec<(RunMetrics, EpochSeries)>, WomPcmError> {
-    parallel::map(jobs, threads, |(cfg, trace)| {
+    parallel::map(jobs, threads, |(cfg, spec)| {
+        let mut source = spec.open()?;
         let mut cfg = cfg.clone();
         cfg.epoch_cycles = Some(epoch_cycles);
         let mut sys = WomPcmSystem::new(cfg)?;
-        let metrics = sys.run_trace(trace.iter().copied())?;
+        let metrics = sys.run_source(&mut source)?;
         let series = sys.take_epochs().ok_or_else(|| {
             WomPcmError::Internal("epoch observation was enabled but recorded no series".into())
         })?;
@@ -591,7 +605,7 @@ mod tests {
     #[test]
     fn run_cell_produces_metrics() {
         let profile = benchmarks::by_name("stringsearch").unwrap();
-        let m = run_cell(Architecture::Baseline, &profile, 2_000, 1, 32).unwrap();
+        let m = run_cell(Architecture::Baseline, &profile.into(), 2_000, 1, 32).unwrap();
         assert!(m.writes.count > 0);
         assert!(m.reads.count > 0);
     }

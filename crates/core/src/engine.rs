@@ -27,6 +27,7 @@ use pcm_sim::{
     AddressDecoder, Completion, Cycle, DecodedAddr, MemOp, MemorySystem, ServiceClass, SimError,
     TransactionId,
 };
+use pcm_trace::stream::TraceSource;
 use pcm_trace::{TraceOp, TraceRecord};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use wom_code::{Inverted, Rs23Code};
@@ -651,6 +652,27 @@ impl<P: ArchPolicy> Engine<P> {
     ) -> Result<RunMetrics, WomPcmError> {
         for r in records {
             self.submit(r)?;
+        }
+        self.finish()
+    }
+
+    /// Runs a streaming [`TraceSource`] to exhaustion and finalizes the
+    /// metrics. Unlike [`run_trace`](Self::run_trace), the trace is
+    /// consumed a chunk at a time from the source's reused buffer, so
+    /// trace-side memory stays `O(chunk)` for arbitrarily long runs.
+    ///
+    /// # Errors
+    ///
+    /// * [`WomPcmError::Trace`] when the source fails (I/O, truncation).
+    /// * See [`submit`](Self::submit) for per-record errors.
+    pub fn run_source<S: TraceSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<RunMetrics, WomPcmError> {
+        while let Some(chunk) = source.next_chunk().map_err(WomPcmError::Trace)? {
+            for r in chunk {
+                self.submit(*r)?;
+            }
         }
         self.finish()
     }

@@ -2,6 +2,7 @@
 
 use core::fmt;
 use pcm_sim::SimError;
+use pcm_trace::stream::TraceStreamError;
 use wom_code::WomCodeError;
 
 /// Errors from building or driving a WOM-code PCM system.
@@ -15,6 +16,9 @@ pub enum WomPcmError {
     Code(WomCodeError),
     /// Inconsistent architecture configuration; the string names the issue.
     InvalidConfig(String),
+    /// A streaming trace source failed while being drained (I/O error,
+    /// truncated container, bad record).
+    Trace(TraceStreamError),
     /// Trace records arrived out of order (cycles must be non-decreasing).
     TraceOrder {
         /// Time already reached.
@@ -34,6 +38,7 @@ impl fmt::Display for WomPcmError {
             Self::Sim(e) => write!(f, "memory simulator error: {e}"),
             Self::Code(e) => write!(f, "wom-code error: {e}"),
             Self::InvalidConfig(what) => write!(f, "invalid architecture configuration: {what}"),
+            Self::Trace(e) => write!(f, "trace source error: {e}"),
             Self::TraceOrder { now, record } => {
                 write!(f, "trace record at cycle {record} arrived after time {now}")
             }
@@ -47,6 +52,7 @@ impl std::error::Error for WomPcmError {
         match self {
             Self::Sim(e) => Some(e),
             Self::Code(e) => Some(e),
+            Self::Trace(e) => Some(e),
             _ => None,
         }
     }
@@ -61,6 +67,12 @@ impl From<SimError> for WomPcmError {
 impl From<WomCodeError> for WomPcmError {
     fn from(e: WomCodeError) -> Self {
         Self::Code(e)
+    }
+}
+
+impl From<TraceStreamError> for WomPcmError {
+    fn from(e: TraceStreamError) -> Self {
+        Self::Trace(e)
     }
 }
 

@@ -97,28 +97,6 @@ impl RunMetrics {
         self.histogram(op).percentile(q) as f64 * self.clock_ns
     }
 
-    /// A read-latency percentile in nanoseconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
-    #[deprecated(since = "0.3.0", note = "use percentile_ns(MemOp::Read, q)")]
-    #[must_use]
-    pub fn read_percentile_ns(&self, q: f64) -> f64 {
-        self.percentile_ns(MemOp::Read, q)
-    }
-
-    /// A write-latency percentile in nanoseconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `q` is outside `[0, 1]`.
-    #[deprecated(since = "0.3.0", note = "use percentile_ns(MemOp::Write, q)")]
-    #[must_use]
-    pub fn write_percentile_ns(&self, q: f64) -> f64 {
-        self.percentile_ns(MemOp::Write, q)
-    }
-
     /// Mean array energy per demand access, in picojoules.
     #[must_use]
     pub fn energy_per_access_pj(&self) -> f64 {
@@ -260,23 +238,6 @@ mod percentile_tests {
         assert!(m.percentile_ns(MemOp::Write, 0.5) <= 63.0 * 1.25 + 1e-9);
         assert!(m.percentile_ns(MemOp::Write, 1.0) >= 200.0 * 1.25 - 1e-9);
         assert!(m.percentile_ns(MemOp::Read, 1.0) < m.percentile_ns(MemOp::Write, 1.0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_unified_accessor() {
-        let mut m = RunMetrics {
-            clock_ns: 1.25,
-            ..RunMetrics::default()
-        };
-        for l in [20u64, 24, 28, 32, 200] {
-            m.write_hist.record(l);
-            m.read_hist.record(l / 2);
-        }
-        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
-            assert_eq!(m.read_percentile_ns(q), m.percentile_ns(MemOp::Read, q));
-            assert_eq!(m.write_percentile_ns(q), m.percentile_ns(MemOp::Write, q));
-        }
     }
 
     #[test]

@@ -127,6 +127,19 @@ impl WomPcmSystem {
         self.engine.run_trace(records)
     }
 
+    /// Runs a streaming [`pcm_trace::stream::TraceSource`] to exhaustion
+    /// and finalizes the metrics; trace-side memory stays `O(chunk)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_source`](crate::engine::Engine::run_source).
+    pub fn run_source<S: pcm_trace::stream::TraceSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<RunMetrics, WomPcmError> {
+        self.engine.run_source(source)
+    }
+
     /// Completes all outstanding work and returns the final metrics.
     ///
     /// # Errors

@@ -5,13 +5,31 @@
 //! millions of records. This container stores records in 17 fixed bytes —
 //! little-endian `cycle: u64`, `addr: u64`, `op: u8` — behind an 8-byte
 //! magic header with a format version.
+//!
+//! Version 2 (the current writer output) appends a 16-byte footer — the
+//! record count followed by an end marker — so a seekable reader can
+//! detect truncation *before* handing out a single record (see
+//! [`crate::stream::BinaryStreamSource`]), and a sequential reader can
+//! distinguish a clean end of stream from a chopped-off tail. Version 1
+//! files (no footer) remain fully readable.
 
 use crate::record::{TraceOp, TraceRecord};
 use std::io::{Read, Write};
 
-/// File magic: `WOMTRC` + 2-byte version.
-const MAGIC: &[u8; 8] = b"WOMTRC\x00\x01";
-const RECORD_BYTES: usize = 17;
+/// File magic prefix: `WOMTRC` + NUL; the 8th byte is the format version.
+const MAGIC_PREFIX: &[u8; 7] = b"WOMTRC\x00";
+/// Magic for version 1 (header + records, no footer).
+pub(crate) const MAGIC_V1: &[u8; 8] = b"WOMTRC\x00\x01";
+/// Magic for version 2 (header + records + count footer).
+pub(crate) const MAGIC_V2: &[u8; 8] = b"WOMTRC\x00\x02";
+/// End marker closing the version-2 footer.
+const FOOTER_MARK: &[u8; 8] = b"WOMEND\x00\x02";
+/// Bytes per record: `cycle: u64` + `addr: u64` + `op: u8`.
+pub(crate) const RECORD_BYTES: usize = 17;
+/// Header length (shared by both versions).
+pub(crate) const HEADER_BYTES: u64 = 8;
+/// Footer length (version 2 only): `count: u64` + end marker.
+pub(crate) const FOOTER_BYTES: usize = 16;
 
 /// Errors from the binary container.
 #[derive(Debug)]
@@ -21,10 +39,13 @@ pub enum BinaryTraceError {
     Io(std::io::Error),
     /// The stream does not start with the expected magic/version.
     BadMagic,
-    /// The stream ends in the middle of a record.
+    /// The stream ends in the middle of a record, or a version-2 stream
+    /// is missing data promised by its footer.
     Truncated {
-        /// Complete records read before the truncation.
+        /// Complete records read (or recoverable) before the truncation.
         records_read: u64,
+        /// Byte offset into the stream at which the data stops short.
+        byte_offset: u64,
     },
     /// A record's op byte is neither 0 (read) nor 1 (write).
     BadOp {
@@ -40,8 +61,14 @@ impl core::fmt::Display for BinaryTraceError {
         match self {
             Self::Io(e) => write!(f, "binary trace i/o error: {e}"),
             Self::BadMagic => f.write_str("not a womtrc binary trace (bad magic or version)"),
-            Self::Truncated { records_read } => {
-                write!(f, "binary trace truncated after {records_read} records")
+            Self::Truncated {
+                records_read,
+                byte_offset,
+            } => {
+                write!(
+                    f,
+                    "binary trace truncated after {records_read} records (byte offset {byte_offset})"
+                )
             }
             Self::BadOp { value, index } => {
                 write!(f, "bad op byte {value:#x} in record {index}")
@@ -65,34 +92,147 @@ impl From<std::io::Error> for BinaryTraceError {
     }
 }
 
-/// Writes `records` to `writer` in the binary container format. A `&mut`
-/// reference may be passed as the writer.
+/// Parses a magic header, returning the container version (1 or 2).
+pub(crate) fn parse_magic(magic: &[u8; 8]) -> Result<u8, BinaryTraceError> {
+    if magic == MAGIC_V1 {
+        Ok(1)
+    } else if magic == MAGIC_V2 {
+        Ok(2)
+    } else {
+        let _ = MAGIC_PREFIX; // versions share this prefix
+        Err(BinaryTraceError::BadMagic)
+    }
+}
+
+/// Encodes one record into a fixed 17-byte buffer.
+pub(crate) fn encode_record(r: &TraceRecord, buf: &mut [u8; RECORD_BYTES]) {
+    let (cycle, rest) = buf.split_at_mut(8);
+    let (addr, op) = rest.split_at_mut(8);
+    cycle.copy_from_slice(&r.cycle.to_le_bytes());
+    addr.copy_from_slice(&r.addr.to_le_bytes());
+    op.copy_from_slice(&[match r.op {
+        TraceOp::Read => 0,
+        TraceOp::Write => 1,
+    }]);
+}
+
+/// Decodes one 17-byte chunk into a record. `index` is the 0-based record
+/// number, used only for error reporting.
+pub(crate) fn decode_record(chunk: &[u8], index: u64) -> Result<TraceRecord, BinaryTraceError> {
+    // Infallible for chunks produced by `chunks_exact(RECORD_BYTES)`.
+    let &[c0, c1, c2, c3, c4, c5, c6, c7, a0, a1, a2, a3, a4, a5, a6, a7, op_byte] = chunk else {
+        return Err(BinaryTraceError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "internal: record chunk is not 17 bytes",
+        )));
+    };
+    let cycle = u64::from_le_bytes([c0, c1, c2, c3, c4, c5, c6, c7]);
+    let addr = u64::from_le_bytes([a0, a1, a2, a3, a4, a5, a6, a7]);
+    let op = match op_byte {
+        0 => TraceOp::Read,
+        1 => TraceOp::Write,
+        value => return Err(BinaryTraceError::BadOp { value, index }),
+    };
+    Ok(TraceRecord { cycle, addr, op })
+}
+
+/// Encodes the version-2 footer for a stream of `count` records.
+pub(crate) fn encode_footer(count: u64) -> [u8; FOOTER_BYTES] {
+    let mut out = [0u8; FOOTER_BYTES];
+    let (n, mark) = out.split_at_mut(8);
+    n.copy_from_slice(&count.to_le_bytes());
+    mark.copy_from_slice(FOOTER_MARK);
+    out
+}
+
+/// Parses a version-2 footer, returning the declared record count if the
+/// end marker matches.
+pub(crate) fn parse_footer(bytes: &[u8]) -> Option<u64> {
+    let (n, mark) = (bytes.get(0..8)?, bytes.get(8..16)?);
+    if mark != FOOTER_MARK {
+        return None;
+    }
+    let mut count = [0u8; 8];
+    count.copy_from_slice(n);
+    Some(u64::from_le_bytes(count))
+}
+
+/// An incremental writer for the binary container (version 2).
+///
+/// Writes the header on construction, records one at a time, and the
+/// record-count footer on [`finish`](Self::finish) — so arbitrarily long
+/// traces can be captured without materializing them.
+#[derive(Debug)]
+pub struct BinaryWriter<W: Write> {
+    writer: W,
+    count: u64,
+    buf: [u8; RECORD_BYTES],
+}
+
+impl<W: Write> BinaryWriter<W> {
+    /// Starts a new container, writing the version-2 header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Io`] on write failure.
+    pub fn new(mut writer: W) -> Result<Self, BinaryTraceError> {
+        writer.write_all(MAGIC_V2)?;
+        Ok(Self {
+            writer,
+            count: 0,
+            buf: [0u8; RECORD_BYTES],
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Io`] on write failure.
+    pub fn write(&mut self, record: &TraceRecord) -> Result<(), BinaryTraceError> {
+        encode_record(record, &mut self.buf);
+        self.writer.write_all(&self.buf)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Writes the footer and flushes, returning the record count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinaryTraceError::Io`] on write failure.
+    pub fn finish(mut self) -> Result<u64, BinaryTraceError> {
+        self.writer.write_all(&encode_footer(self.count))?;
+        self.writer.flush()?;
+        Ok(self.count)
+    }
+}
+
+/// Writes `records` to `writer` in the binary container format
+/// (version 2, with a record-count footer). A `&mut` reference may be
+/// passed as the writer.
 ///
 /// # Errors
 ///
 /// Returns [`BinaryTraceError::Io`] on write failure.
 pub fn write_binary<W: Write, I: IntoIterator<Item = TraceRecord>>(
-    mut writer: W,
+    writer: W,
     records: I,
 ) -> Result<u64, BinaryTraceError> {
-    writer.write_all(MAGIC)?;
-    let mut n = 0u64;
-    let mut buf = [0u8; RECORD_BYTES];
+    let mut out = BinaryWriter::new(writer)?;
     for r in records {
-        buf[0..8].copy_from_slice(&r.cycle.to_le_bytes());
-        buf[8..16].copy_from_slice(&r.addr.to_le_bytes());
-        buf[16] = match r.op {
-            TraceOp::Read => 0,
-            TraceOp::Write => 1,
-        };
-        writer.write_all(&buf)?;
-        n += 1;
+        out.write(&r)?;
     }
-    Ok(n)
+    out.finish()
 }
 
-/// Reads a whole binary trace from `reader`. A `&mut` reference may be
-/// passed as the reader.
+/// Reads a whole binary trace from `reader` (either container version).
+/// A `&mut` reference may be passed as the reader.
 ///
 /// # Errors
 ///
@@ -102,61 +242,56 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<TraceRecord>, BinaryTra
     reader
         .read_exact(&mut magic)
         .map_err(|_| BinaryTraceError::BadMagic)?;
-    if &magic != MAGIC {
-        return Err(BinaryTraceError::BadMagic);
-    }
+    let version = parse_magic(&magic)?;
     let mut out = Vec::new();
     let mut buf = [0u8; RECORD_BYTES];
     loop {
-        match read_record(&mut reader, &mut buf) {
-            Ok(true) => {}
-            Ok(false) => break,
-            Err(e) => {
-                return Err(match e.kind() {
-                    std::io::ErrorKind::UnexpectedEof => BinaryTraceError::Truncated {
-                        records_read: out.len() as u64,
-                    },
-                    _ => BinaryTraceError::Io(e),
-                })
+        let filled = read_record(&mut reader, &mut buf)?;
+        let records_read = out.len() as u64;
+        let byte_offset = HEADER_BYTES + records_read * RECORD_BYTES as u64 + filled as u64;
+        if filled < RECORD_BYTES {
+            // End of stream mid-record. For a version-2 container the
+            // last 16 bytes must be the footer; anything else is a
+            // truncated capture.
+            if version >= 2 {
+                match buf.get(0..filled).and_then(parse_footer) {
+                    Some(count) if count == records_read => break,
+                    _ => {
+                        return Err(BinaryTraceError::Truncated {
+                            records_read,
+                            byte_offset,
+                        })
+                    }
+                }
             }
+            if filled == 0 {
+                break; // clean version-1 end of stream
+            }
+            return Err(BinaryTraceError::Truncated {
+                records_read,
+                byte_offset,
+            });
         }
-        // Infallible split: RECORD_BYTES = 8 (cycle) + 8 (addr) + 1 (op).
-        let [c0, c1, c2, c3, c4, c5, c6, c7, a0, a1, a2, a3, a4, a5, a6, a7, op_byte] = buf;
-        let cycle = u64::from_le_bytes([c0, c1, c2, c3, c4, c5, c6, c7]);
-        let addr = u64::from_le_bytes([a0, a1, a2, a3, a4, a5, a6, a7]);
-        let op = match op_byte {
-            0 => TraceOp::Read,
-            1 => TraceOp::Write,
-            value => {
-                return Err(BinaryTraceError::BadOp {
-                    value,
-                    index: out.len() as u64,
-                })
-            }
-        };
-        out.push(TraceRecord { cycle, addr, op });
+        out.push(decode_record(&buf, records_read)?);
     }
     Ok(out)
 }
 
-/// Reads one record into `buf`; `Ok(false)` on a clean end of stream.
-fn read_record<R: Read>(reader: &mut R, buf: &mut [u8; RECORD_BYTES]) -> std::io::Result<bool> {
+/// Reads up to one record's worth of bytes into `buf`, returning how many
+/// were filled (fewer than [`RECORD_BYTES`] only at end of stream).
+fn read_record<R: Read>(reader: &mut R, buf: &mut [u8; RECORD_BYTES]) -> std::io::Result<usize> {
     let mut filled = 0;
     while filled < RECORD_BYTES {
-        let n = reader.read(&mut buf[filled..])?;
+        let Some(rest) = buf.get_mut(filled..) else {
+            break;
+        };
+        let n = reader.read(rest)?;
         if n == 0 {
-            return if filled == 0 {
-                Ok(false)
-            } else {
-                Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "partial record",
-                ))
-            };
+            break;
         }
         filled += n;
     }
-    Ok(true)
+    Ok(filled)
 }
 
 #[cfg(test)]
@@ -170,7 +305,35 @@ mod tests {
         let mut bytes = Vec::new();
         let n = write_binary(&mut bytes, records.iter().copied()).unwrap();
         assert_eq!(n, 4_000);
-        assert_eq!(bytes.len(), 8 + 4_000 * RECORD_BYTES);
+        assert_eq!(bytes.len(), 8 + 4_000 * RECORD_BYTES + FOOTER_BYTES);
+        assert_eq!(read_binary(bytes.as_slice()).unwrap(), records);
+    }
+
+    #[test]
+    fn incremental_writer_matches_one_shot() {
+        let records = benchmarks::by_name("mad").unwrap().generate(3, 512);
+        let mut one_shot = Vec::new();
+        write_binary(&mut one_shot, records.iter().copied()).unwrap();
+        let mut incremental = Vec::new();
+        let mut w = BinaryWriter::new(&mut incremental).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.count(), 512);
+        assert_eq!(w.finish().unwrap(), 512);
+        assert_eq!(one_shot, incremental);
+    }
+
+    #[test]
+    fn version_1_files_still_read() {
+        let records = benchmarks::by_name("qsort").unwrap().generate(2, 64);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        let mut buf = [0u8; RECORD_BYTES];
+        for r in &records {
+            encode_record(r, &mut buf);
+            bytes.extend_from_slice(&buf);
+        }
         assert_eq!(read_binary(bytes.as_slice()).unwrap(), records);
     }
 
@@ -208,16 +371,46 @@ mod tests {
             read_binary(&b"WO"[..]),
             Err(BinaryTraceError::BadMagic)
         ));
+        assert!(matches!(
+            read_binary(&b"WOMTRC\x00\x09"[..]),
+            Err(BinaryTraceError::BadMagic)
+        ));
     }
 
     #[test]
-    fn truncation_is_reported_with_progress() {
+    fn truncation_is_reported_with_progress_and_offset() {
         let records = benchmarks::by_name("qsort").unwrap().generate(1, 10);
         let mut bytes = Vec::new();
         write_binary(&mut bytes, records.iter().copied()).unwrap();
         bytes.truncate(8 + 5 * RECORD_BYTES + 3); // mid-record
         match read_binary(bytes.as_slice()) {
-            Err(BinaryTraceError::Truncated { records_read }) => assert_eq!(records_read, 5),
+            Err(BinaryTraceError::Truncated {
+                records_read,
+                byte_offset,
+            }) => {
+                assert_eq!(records_read, 5);
+                assert_eq!(byte_offset, 8 + 5 * RECORD_BYTES as u64 + 3);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_footer_is_truncation_in_v2() {
+        // Records chopped exactly at a record boundary: a v1 reader would
+        // call this clean; the v2 footer proves records are missing.
+        let records = benchmarks::by_name("qsort").unwrap().generate(1, 10);
+        let mut bytes = Vec::new();
+        write_binary(&mut bytes, records.iter().copied()).unwrap();
+        bytes.truncate(8 + 7 * RECORD_BYTES);
+        match read_binary(bytes.as_slice()) {
+            Err(BinaryTraceError::Truncated {
+                records_read,
+                byte_offset,
+            }) => {
+                assert_eq!(records_read, 7);
+                assert_eq!(byte_offset, 8 + 7 * RECORD_BYTES as u64);
+            }
             other => panic!("expected truncation, got {other:?}"),
         }
     }
@@ -226,8 +419,7 @@ mod tests {
     fn bad_op_byte_is_rejected() {
         let mut bytes = Vec::new();
         write_binary(&mut bytes, vec![TraceRecord::new(1, 64, TraceOp::Read)]).unwrap();
-        let last = bytes.len() - 1;
-        bytes[last] = 7;
+        bytes[8 + RECORD_BYTES - 1] = 7;
         match read_binary(bytes.as_slice()) {
             Err(BinaryTraceError::BadOp { value: 7, index: 0 }) => {}
             other => panic!("expected bad op, got {other:?}"),

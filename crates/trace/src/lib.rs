@@ -30,9 +30,11 @@ pub mod format;
 pub mod lackey;
 pub mod record;
 pub mod stats;
+pub mod stream;
 pub mod synth;
 pub mod transform;
 
 pub use record::{TraceOp, TraceRecord};
-pub use stats::TraceStats;
+pub use stats::{StatsAccumulator, TraceStats};
+pub use stream::{TraceProfile, TraceSource, TraceSpec, TraceStreamError};
 pub use synth::{Suite, SyntheticTrace, WorkloadProfile};

@@ -46,34 +46,11 @@ impl TraceStats {
     /// Panics if `row_bytes` is zero.
     #[must_use]
     pub fn from_records<I: IntoIterator<Item = TraceRecord>>(records: I, row_bytes: u64) -> Self {
-        assert!(row_bytes > 0, "row_bytes must be positive");
-        let mut stats = Self::default();
-        // Row-keyed: iterated below, so the map must be key-ordered for
-        // deterministic traversal (womlint: determinism/banned-type).
-        let mut row_writes: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut first = None;
+        let mut acc = StatsAccumulator::new(row_bytes);
         for r in records {
-            stats.accesses += 1;
-            if r.op.is_read() {
-                stats.reads += 1;
-            } else {
-                stats.writes += 1;
-                let row = r.addr / row_bytes;
-                let count = row_writes.entry(row).or_insert(0);
-                if *count > 0 {
-                    stats.rewrite_hits += 1;
-                }
-                *count += 1;
-            }
-            first.get_or_insert(r.cycle);
-            stats.last_cycle = stats.last_cycle.max(r.cycle);
-            // Unique rows counts reads and writes.
-            row_writes.entry(r.addr / row_bytes).or_insert(0);
+            acc.record(&r);
         }
-        stats.first_cycle = first.unwrap_or(0);
-        stats.unique_rows = row_writes.len() as u64;
-        stats.rewritten_rows = row_writes.values().filter(|&&c| c >= 2).count() as u64;
-        stats
+        acc.finish()
     }
 
     /// Fraction of accesses that are reads.
@@ -109,6 +86,69 @@ impl TraceStats {
     }
 }
 
+/// Incremental form of [`TraceStats::from_records`], for traces that
+/// stream through chunk by chunk and are never materialized: feed every
+/// record to [`record`](Self::record), then take the summary with
+/// [`finish`](Self::finish). Memory is bounded by the trace's row
+/// footprint, not its length.
+#[derive(Debug, Clone)]
+pub struct StatsAccumulator {
+    row_bytes: u64,
+    stats: TraceStats,
+    // Row-keyed: iterated in `finish`, so the map must be key-ordered
+    // for deterministic traversal (womlint: determinism/banned-type).
+    row_writes: BTreeMap<u64, u64>,
+    first: Option<u64>,
+}
+
+impl StatsAccumulator {
+    /// An empty accumulator bucketing the footprint at `row_bytes`
+    /// granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes` is zero.
+    #[must_use]
+    pub fn new(row_bytes: u64) -> Self {
+        assert!(row_bytes > 0, "row_bytes must be positive");
+        Self {
+            row_bytes,
+            stats: TraceStats::default(),
+            row_writes: BTreeMap::new(),
+            first: None,
+        }
+    }
+
+    /// Folds one record into the running statistics.
+    pub fn record(&mut self, r: &TraceRecord) {
+        self.stats.accesses += 1;
+        if r.op.is_read() {
+            self.stats.reads += 1;
+        } else {
+            self.stats.writes += 1;
+            let row = r.addr / self.row_bytes;
+            let count = self.row_writes.entry(row).or_insert(0);
+            if *count > 0 {
+                self.stats.rewrite_hits += 1;
+            }
+            *count += 1;
+        }
+        self.first.get_or_insert(r.cycle);
+        self.stats.last_cycle = self.stats.last_cycle.max(r.cycle);
+        // Unique rows counts reads and writes.
+        self.row_writes.entry(r.addr / self.row_bytes).or_insert(0);
+    }
+
+    /// Finalizes the footprint-derived fields and returns the summary.
+    #[must_use]
+    pub fn finish(mut self) -> TraceStats {
+        self.stats.first_cycle = self.first.unwrap_or(0);
+        self.stats.unique_rows = self.row_writes.len() as u64;
+        self.stats.rewritten_rows = self.row_writes.values().filter(|&&c| c >= 2).count() as u64;
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +165,21 @@ mod tests {
         assert_eq!(s.read_fraction(), 0.0);
         assert_eq!(s.rewrite_fraction(), 0.0);
         assert_eq!(s.intensity(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_computation() {
+        use crate::synth::benchmarks;
+        let records = benchmarks::by_name("qsort").unwrap().generate(5, 5_000);
+        let batch = TraceStats::from_records(records.iter().copied(), 1024);
+        let mut acc = StatsAccumulator::new(1024);
+        // Chunked feeding, as a streamed trace would arrive.
+        for chunk in records.chunks(777) {
+            for r in chunk {
+                acc.record(r);
+            }
+        }
+        assert_eq!(acc.finish(), batch);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 pub mod adversarial;
 pub mod benchmarks;
+pub mod datacenter;
 
 use crate::record::{TraceOp, TraceRecord};
 use pcm_rng::Rng;
@@ -172,6 +173,22 @@ impl WorkloadProfile {
     #[must_use]
     pub fn generate(&self, seed: u64, n: usize) -> Vec<TraceRecord> {
         self.generator(seed).take(n).collect()
+    }
+
+    /// Lazy counterpart of [`generate`](Self::generate): a chunked,
+    /// resettable [`crate::stream::TraceSource`] yielding the identical
+    /// `records` records without materializing them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`validate`](Self::validate).
+    #[must_use]
+    pub fn generate_stream(
+        &self,
+        seed: u64,
+        records: u64,
+    ) -> crate::stream::IterSource<SyntheticTrace> {
+        crate::stream::IterSource::new(self.generator(seed), records)
     }
 }
 

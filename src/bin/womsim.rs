@@ -4,29 +4,41 @@
 //! $ womsim list                          # bundled workload profiles
 //! $ womsim gen qsort 100000 7 > q.trace  # emit a DRAMSim2-format trace
 //! $ womsim stats q.trace                 # trace characteristics
+//! $ womsim convert q.trace q.womtrc      # text <-> binary container
 //! $ womsim run wcpcm q.trace             # simulate a trace file
 //! $ womsim run refresh qsort:50000       # or a bundled workload directly
-//! $ womsim run wom qsort:50000 --verify  # with functional data checking
+//! $ womsim run wom kv_zipf:50000         # datacenter profiles work too
 //! $ womsim compare qsort:50000           # all four architectures, one table
 //! ```
+//!
+//! Traces are streamed everywhere: workload specs open lazy generators,
+//! `.womtrc` files are read chunk by chunk, and `convert` never holds
+//! more than one chunk — so record counts far beyond memory are fine.
 
 use std::fs::File;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
 use wom_pcm_bench::cli::{ObserveSpec, Parser};
 use wom_pcm_bench::run_configs_parallel;
 use womcode_pcm::arch::{Architecture, SystemBuilder};
 use womcode_pcm::sim::MemOp;
+use womcode_pcm::trace::binary::BinaryWriter;
 use womcode_pcm::trace::format::{write_trace, TraceReader};
-use womcode_pcm::trace::synth::benchmarks;
-use womcode_pcm::trace::{TraceRecord, TraceStats};
+use womcode_pcm::trace::stream::{BinaryStreamSource, TraceProfile, TraceSource, TraceSpec};
+use womcode_pcm::trace::synth::{benchmarks, datacenter};
+use womcode_pcm::trace::{StatsAccumulator, TraceStats};
 
 const USAGE: &str = "\n  womsim list\n  womsim gen <workload> <records> [seed] [--binary]\n  \
-     womsim stats <trace-file>\n  womsim run <baseline|wom|refresh|wcpcm> \
+     womsim stats <trace-file | workload:records[:seed]>\n  \
+     womsim convert <in> <out> [--stats]   (.womtrc = binary, else text)\n  \
+     womsim run <baseline|wom|refresh|wcpcm> \
      <trace-file | workload:records[:seed]> [--verify] \
      [--observe PATH [--epoch-cycles N]]\n  \
      womsim compare <trace-file | workload:records[:seed]> [--threads N]";
+
+/// Row granularity for `stats` and `convert --stats` footprints.
+const STATS_ROW_BYTES: u64 = 1024;
 
 fn usage() -> ExitCode {
     eprintln!("usage:{USAGE}");
@@ -43,12 +55,16 @@ fn parse_arch(name: &str) -> Option<Architecture> {
     }
 }
 
-fn load_records(spec: &str) -> Result<Vec<TraceRecord>, String> {
-    // `workload:records[:seed]` selects a bundled generator...
+/// Resolves a `workload:records[:seed]` spec or trace-file path to a
+/// re-openable [`TraceSpec`]. Workload specs and `.womtrc` files stay
+/// lazy; text formats have no record count up front and are materialized.
+fn load_spec(spec: &str) -> Result<TraceSpec, String> {
+    // `workload:records[:seed]` selects a bundled generator (paper suite
+    // or datacenter)...
     if let Some((name, rest)) = spec.split_once(':') {
-        if let Some(profile) = benchmarks::by_name(name) {
+        if let Some(profile) = TraceProfile::by_name(name) {
             let mut parts = rest.split(':');
-            let records: usize = parts
+            let records: u64 = parts
                 .next()
                 .ok_or("missing record count")?
                 .parse()
@@ -57,23 +73,27 @@ fn load_records(spec: &str) -> Result<Vec<TraceRecord>, String> {
                 Some(s) => s.parse().map_err(|e| format!("bad seed: {e}"))?,
                 None => 2014,
             };
-            return Ok(profile.generate(seed, records));
+            return Ok(TraceSpec::synth(profile, seed, records));
         }
     }
     // ...anything else is a trace file path; the container is picked by
     // extension (.womtrc = binary, .lackey = Valgrind capture, else text).
-    let file = File::open(spec).map_err(|e| format!("cannot open {spec}: {e}"))?;
     if spec.ends_with(".womtrc") {
-        return womcode_pcm::trace::binary::read_binary(BufReader::new(file))
-            .map_err(|e| e.to_string());
+        // Validate the header and footer now for an early error message;
+        // the returned spec re-opens the file per run.
+        BinaryStreamSource::open(spec).map_err(|e| format!("cannot open {spec}: {e}"))?;
+        return Ok(TraceSpec::BinaryFile(spec.into()));
     }
+    let file = File::open(spec).map_err(|e| format!("cannot open {spec}: {e}"))?;
     if spec.ends_with(".lackey") {
         // A Valgrind capture: `valgrind --tool=lackey --trace-mem=yes ...`.
         return womcode_pcm::trace::lackey::read_lackey(BufReader::new(file), 20)
+            .map(TraceSpec::from)
             .map_err(|e| e.to_string());
     }
     TraceReader::new(BufReader::new(file))
         .collect::<Result<Vec<_>, _>>()
+        .map(TraceSpec::from)
         .map_err(|e| e.to_string())
 }
 
@@ -101,6 +121,18 @@ fn cmd_list() -> ExitCode {
             break;
         }
     }
+    for p in datacenter::all() {
+        let shape = match &p.kind {
+            datacenter::DcKind::ZipfKv(_) => "zipfian kv reads/writes",
+            datacenter::DcKind::WalWriter(_) => "log append + commit metadata",
+            datacenter::DcKind::GcSweep(_) => "gc scans + copy-forward",
+            datacenter::DcKind::Diurnal(_) => "diurnal arrival rate",
+            datacenter::DcKind::MixedTenant(_) => "interleaved tenants",
+        };
+        if writeln!(out, "{:16}{:>14}  {shape}", p.name(), "datacenter").is_err() {
+            break;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -108,22 +140,31 @@ fn cmd_gen(args: &[String], binary: bool) -> ExitCode {
     let (Some(name), Some(records)) = (args.first(), args.get(1)) else {
         return usage();
     };
-    let Some(profile) = benchmarks::by_name(name) else {
+    let Some(profile) = TraceProfile::by_name(name) else {
         eprintln!("unknown workload {name:?}; try `womsim list`");
         return ExitCode::FAILURE;
     };
-    let Ok(records) = records.parse::<usize>() else {
+    let Ok(records) = records.parse::<u64>() else {
         eprintln!("bad record count {records:?}");
         return ExitCode::FAILURE;
     };
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2014);
+    let mut source = match profile.source(seed, records) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot generate {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let out = io::stdout().lock();
     let result: Result<(), String> = if binary {
-        womcode_pcm::trace::binary::write_binary(out, profile.generator(seed).take(records))
+        stream_to_binary(&mut source, out, &mut None)
             .map(|_| ())
             .map_err(|e| e.to_string())
     } else {
-        write_trace(out, profile.generator(seed).take(records)).map_err(|e| e.to_string())
+        stream_to_text(&mut source, out, &mut None)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -134,19 +175,47 @@ fn cmd_gen(args: &[String], binary: bool) -> ExitCode {
     }
 }
 
-fn cmd_stats(args: &[String]) -> ExitCode {
-    let Some(spec) = args.first() else {
-        return usage();
-    };
-    let records = match load_records(spec) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+/// Drains `source` into a v2 binary container, folding records into the
+/// accumulator when present. Never holds more than one chunk.
+fn stream_to_binary<S: TraceSource, W: Write>(
+    source: &mut S,
+    writer: W,
+    acc: &mut Option<StatsAccumulator>,
+) -> Result<u64, String> {
+    let mut w = BinaryWriter::new(writer).map_err(|e| e.to_string())?;
+    while let Some(chunk) = source.next_chunk().map_err(|e| e.to_string())? {
+        for r in chunk {
+            if let Some(a) = acc.as_mut() {
+                a.record(r);
+            }
+            w.write(r).map_err(|e| e.to_string())?;
         }
-    };
-    let stats = TraceStats::from_records(records.iter().copied(), 1024);
-    let mut out = io::stdout().lock();
+    }
+    w.finish().map_err(|e| e.to_string())
+}
+
+/// Drains `source` into DRAMSim2 text lines; the text sibling of
+/// [`stream_to_binary`].
+fn stream_to_text<S: TraceSource, W: Write>(
+    source: &mut S,
+    mut writer: W,
+    acc: &mut Option<StatsAccumulator>,
+) -> Result<u64, String> {
+    let mut n = 0u64;
+    while let Some(chunk) = source.next_chunk().map_err(|e| e.to_string())? {
+        if let Some(a) = acc.as_mut() {
+            for r in chunk {
+                a.record(r);
+            }
+        }
+        n += chunk.len() as u64;
+        write_trace(&mut writer, chunk.iter().copied()).map_err(|e| e.to_string())?;
+    }
+    writer.flush().map_err(|e| e.to_string())?;
+    Ok(n)
+}
+
+fn print_stats(out: &mut impl Write, stats: &TraceStats) {
     let _ = writeln!(out, "accesses      : {}", stats.accesses);
     let _ = writeln!(out, "reads / writes: {} / {}", stats.reads, stats.writes);
     let _ = writeln!(out, "read fraction : {:.1}%", stats.read_fraction() * 100.0);
@@ -167,7 +236,77 @@ fn cmd_stats(args: &[String]) -> ExitCode {
         "intensity     : {:.4} accesses/cycle",
         stats.intensity()
     );
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let Some(spec) = args.first() else {
+        return usage();
+    };
+    let stats = match load_spec(spec).and_then(|spec| {
+        let mut source = spec.open().map_err(|e| e.to_string())?;
+        let mut acc = StatsAccumulator::new(STATS_ROW_BYTES);
+        while let Some(chunk) = source.next_chunk().map_err(|e| e.to_string())? {
+            for r in chunk {
+                acc.record(r);
+            }
+        }
+        Ok(acc.finish())
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_stats(&mut io::stdout().lock(), &stats);
     ExitCode::SUCCESS
+}
+
+/// `womsim convert <in> <out> [--stats]` — translates between the
+/// DRAMSim2 text format and the binary container, both directions,
+/// streaming record by record. The direction is picked by the *output*
+/// extension (`.womtrc` = binary container, anything else = text); the
+/// input is recognized the same way `stats`/`run` do it.
+fn cmd_convert(args: &[String], want_stats: bool) -> ExitCode {
+    let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    match convert(input, output, want_stats) {
+        Ok((n, stats)) => {
+            eprintln!("converted {n} records: {input} -> {output}");
+            if let Some(stats) = stats {
+                print_stats(&mut io::stdout().lock(), &stats);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn convert(
+    input: &str,
+    output: &str,
+    want_stats: bool,
+) -> Result<(u64, Option<TraceStats>), String> {
+    let mut acc = want_stats.then(|| StatsAccumulator::new(STATS_ROW_BYTES));
+    // `.womtrc` inputs stream chunk by chunk; text inputs parse line by
+    // line through `TraceSpec` (which materializes — text carries no
+    // record count). Either way the writer side streams.
+    let spec = load_spec(input)?;
+    let mut source = spec
+        .open()
+        .map_err(|e| format!("cannot open {input}: {e}"))?;
+    let out = File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+    let n = if output.ends_with(".womtrc") {
+        stream_to_binary(&mut source, BufWriter::new(out), &mut acc)
+    } else {
+        stream_to_text(&mut source, BufWriter::new(out), &mut acc)
+    }
+    .map_err(|e| format!("cannot write {output}: {e}"))?;
+    Ok((n, acc.map(StatsAccumulator::finish)))
 }
 
 fn cmd_run(args: &[String], verify: bool, observe: Option<&ObserveSpec>) -> ExitCode {
@@ -178,10 +317,17 @@ fn cmd_run(args: &[String], verify: bool, observe: Option<&ObserveSpec>) -> Exit
         eprintln!("unknown architecture {arch_name:?}; use baseline|wom|refresh|wcpcm");
         return ExitCode::FAILURE;
     };
-    let records = match load_records(spec) {
-        Ok(r) => r,
+    let trace_spec = match load_spec(spec) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut source = match trace_spec.open() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open {spec}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -199,7 +345,7 @@ fn cmd_run(args: &[String], verify: bool, observe: Option<&ObserveSpec>) -> Exit
             return ExitCode::FAILURE;
         }
     };
-    let metrics = match sys.run_trace(records) {
+    let metrics = match sys.run_source(&mut source) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("simulation failed: {e}");
@@ -270,20 +416,21 @@ fn cmd_compare(args: &[String], threads: usize) -> ExitCode {
     let Some(spec) = args.first() else {
         return usage();
     };
-    let records = match load_records(spec) {
-        Ok(r) => r,
+    let spec = match load_spec(spec) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
     // The four architectures are independent deterministic runs — dispatch
-    // them to the bench crate's parallel sweep runner.
+    // them to the bench crate's parallel sweep runner; every worker opens
+    // its own source from the shared spec.
     let jobs: Vec<_> = Architecture::all_paper()
         .iter()
         .map(|&arch| {
             let cfg = SystemBuilder::new(arch).rows_per_bank(4096).into_config();
-            (cfg, records.clone())
+            (cfg, spec.clone())
         })
         .collect();
     let metrics = match run_configs_parallel(&jobs, threads) {
@@ -329,6 +476,7 @@ fn main() -> ExitCode {
     let observe = cli.observe();
     let binary = cli.flag("--binary");
     let verify = cli.flag("--verify");
+    let stats = cli.flag("--stats");
     let Some(command) = cli.next_arg() else {
         return usage();
     };
@@ -341,10 +489,15 @@ fn main() -> ExitCode {
         eprintln!("error: --observe only applies to `womsim run`");
         return ExitCode::from(2);
     }
+    if stats && command != "convert" {
+        eprintln!("error: --stats only applies to `womsim convert`");
+        return ExitCode::from(2);
+    }
     match command.as_str() {
         "list" => cmd_list(),
         "gen" => cmd_gen(&rest, binary),
         "stats" => cmd_stats(&rest),
+        "convert" => cmd_convert(&rest, stats),
         "run" => cmd_run(&rest, verify, observe.as_ref()),
         "compare" => cmd_compare(&rest, threads),
         _ => usage(),
