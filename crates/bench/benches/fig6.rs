@@ -10,7 +10,9 @@ use wom_pcm_bench::timing::bench;
 const RECORDS: usize = 5_000;
 
 fn main() {
-    let profile = benchmarks::by_name("water-ns").expect("paper workload").into();
+    let profile = benchmarks::by_name("water-ns")
+        .expect("paper workload")
+        .into();
     for banks in [4u32, 8, 16, 32] {
         bench(&format!("fig6_hit_rate/{banks}"), || {
             let m = run_cell(Architecture::Wcpcm, &profile, RECORDS, 1, banks).expect("cell runs");

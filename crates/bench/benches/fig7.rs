@@ -10,7 +10,9 @@ use wom_pcm_bench::timing::bench;
 const RECORDS: usize = 5_000;
 
 fn main() {
-    let profile = benchmarks::by_name("typeset").expect("paper workload").into();
+    let profile = benchmarks::by_name("typeset")
+        .expect("paper workload")
+        .into();
     for banks in [4u32, 8, 16, 32] {
         bench(&format!("fig7_write_latency/{banks}"), || {
             run_cell(Architecture::Wcpcm, &profile, RECORDS, 1, banks)

@@ -113,6 +113,17 @@ fn main() {
     }
     // Data-verified mode: every write WOM-encodes a real 64-byte line and
     // every read decodes and checks it — the row codec is the hot path.
+    // Surface a silent reference-path fallback before timing it (the same
+    // line codec the functional checker builds internally).
+    let codec =
+        wom_code::BlockCodec::new(wom_code::Inverted::new(wom_code::Rs23Code::new()), 64 * 8)
+            .expect("the 64-byte line codec tiles");
+    if !codec.is_accelerated() {
+        eprintln!(
+            "debug: womcode_pcm_verified: codec is NOT accelerated (table too large); \
+             the verified path takes the per-symbol reference path"
+        );
+    }
     let cfg = build_config(Architecture::WomCode, true);
     outcomes.push(run_case("womcode_pcm_verified", &cfg, &spec, records));
 

@@ -90,14 +90,26 @@ impl DataCheck {
         Ok(())
     }
 
-    /// §3.2 refresh: the line's data is read out, the wits erased, and the
-    /// data written back in the first-write pattern.
-    fn on_refresh_line(&mut self, line: u64) -> Result<(), WomPcmError> {
-        if let Some(data) = self.expected.get(line).copied() {
-            self.mem.refresh(line);
-            self.mem.write(line, &data)?;
+    /// Starts a batched §3.2 refresh: the burst's lines are staged with
+    /// [`stage_refresh_line`](Self::stage_refresh_line) and rewritten in
+    /// one batch encode by [`commit_refresh`](Self::commit_refresh).
+    fn begin_refresh(&mut self) {
+        self.mem.rewrite_begin();
+    }
+
+    /// Stages one refreshed line: its data is read out (from the
+    /// reference) and queued for the erase-and-first-write rewrite.
+    /// Never-written lines have no data to preserve and are skipped.
+    fn stage_refresh_line(&mut self, line: u64) {
+        let Self { mem, expected, .. } = self;
+        if let Some(data) = expected.get(line) {
+            mem.rewrite_stage(line, data);
         }
-        Ok(())
+    }
+
+    /// Commits the staged refresh burst through the batch codec path.
+    fn commit_refresh(&mut self) -> Result<(), WomPcmError> {
+        self.mem.rewrite_commit()
     }
 
     /// Decodes the cells and checks them against the reference.
@@ -431,6 +443,10 @@ impl EngineCore {
         let g = self.config.mem.geometry;
         let decoder = *self.main.decoder();
         if let Some(check) = &mut self.data_check {
+            // The whole row's lines are staged and rewritten as one
+            // batch: `BlockCodec::encode_rows_into` amortizes kernel
+            // dispatch and LUT loads across the refresh burst.
+            check.begin_refresh();
             for column in 0..g.columns_per_row() {
                 let d = DecodedAddr {
                     rank,
@@ -439,8 +455,9 @@ impl EngineCore {
                     column,
                 };
                 let addr = decoder.encode(d)?;
-                check.on_refresh_line(DataCheck::line_of(addr))?;
+                check.stage_refresh_line(DataCheck::line_of(addr));
             }
+            check.commit_refresh()?;
         }
         Ok(())
     }

@@ -55,6 +55,14 @@ pub struct FunctionalMemory<C> {
     row_bytes: usize,
     /// Reused across writes so the steady-state path never allocates.
     scratch: RowScratch,
+    /// Template erased row the rewrite staging buffers are cloned from.
+    erased: WitBuffer,
+    /// Rows staged for the current batched rewrite (refresh burst).
+    stage_lines: Vec<u64>,
+    /// The staged rows' payload bytes, back to back.
+    stage_data: Vec<u8>,
+    /// Freshly-erased cell buffers the batch encode writes into.
+    stage_cells: Vec<WitBuffer>,
 }
 
 impl<C: WomCode> FunctionalMemory<C> {
@@ -66,11 +74,16 @@ impl<C: WomCode> FunctionalMemory<C> {
     /// the code's symbol size.
     pub fn new(code: C, row_bytes: usize) -> Result<Self, WomPcmError> {
         let codec = BlockCodec::new(code, row_bytes * 8)?;
+        let erased = codec.erased_buffer();
         Ok(Self {
             codec,
             rows: RowMap::new(),
             row_bytes,
             scratch: RowScratch::new(),
+            erased,
+            stage_lines: Vec::new(),
+            stage_data: Vec::new(),
+            stage_cells: Vec::new(),
         })
     }
 
@@ -156,11 +169,17 @@ impl<C: WomCode> FunctionalMemory<C> {
     /// # Panics
     ///
     /// Panics if `out` is not exactly [`row_bytes`](Self::row_bytes) long.
-    pub fn read_into(&self, row: u64, out: &mut [u8]) -> bool {
-        match self.rows.get(row) {
+    pub fn read_into(&mut self, row: u64, out: &mut [u8]) -> bool {
+        let Self {
+            codec,
+            rows,
+            scratch,
+            ..
+        } = self;
+        match rows.get(row) {
             Some((cells, _)) => {
-                self.codec
-                    .decode_row_into(cells, out)
+                codec
+                    .decode_row_into(cells, out, scratch)
                     .expect("stored rows decode");
                 true
             }
@@ -172,6 +191,76 @@ impl<C: WomCode> FunctionalMemory<C> {
     /// discarding its data. No-op for unmaterialized rows.
     pub fn refresh(&mut self, row: u64) {
         self.rows.remove(row);
+    }
+
+    /// Starts a batched rewrite (the data-preserving refresh of a whole
+    /// physical row): clears any previously staged lines. Stage each
+    /// line with [`rewrite_stage`](Self::rewrite_stage), then commit the
+    /// burst in one batch encode with
+    /// [`rewrite_commit`](Self::rewrite_commit).
+    pub fn rewrite_begin(&mut self) {
+        self.stage_lines.clear();
+        self.stage_data.clear();
+    }
+
+    /// Stages one line's payload for the pending batched rewrite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly [`row_bytes`](Self::row_bytes)
+    /// long.
+    pub fn rewrite_stage(&mut self, row: u64, data: &[u8]) {
+        assert_eq!(data.len(), self.row_bytes, "staged line has row size");
+        self.stage_lines.push(row);
+        self.stage_data.extend_from_slice(data);
+    }
+
+    /// Commits the staged burst: every staged line is erased back to the
+    /// initial WOM state and re-encoded at generation 0 through one
+    /// [`BlockCodec::encode_rows_into`] call, amortizing kernel dispatch
+    /// and LUT loads across the burst. Steady-state allocation-free once
+    /// the staging buffers have warmed up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Code`] if the batch encode fails; no row
+    /// is modified then.
+    pub fn rewrite_commit(&mut self) -> Result<(), WomPcmError> {
+        let burst = self.stage_lines.len();
+        if burst == 0 {
+            return Ok(());
+        }
+        while self.stage_cells.len() < burst {
+            self.stage_cells.push(self.erased.clone());
+        }
+        let Self {
+            codec,
+            rows,
+            scratch,
+            erased,
+            stage_lines,
+            stage_data,
+            stage_cells,
+            ..
+        } = self;
+        let Some(bufs) = stage_cells.get_mut(..burst) else {
+            return Ok(());
+        };
+        for buf in bufs.iter_mut() {
+            buf.copy_from(erased);
+        }
+        codec.encode_rows_into(0, stage_data, bufs, scratch)?;
+        for (&line, fresh) in stage_lines.iter().zip(bufs.iter()) {
+            if let Some(entry) = rows.get_mut(line) {
+                entry.0.copy_from(fresh);
+                entry.1 = 1;
+            } else {
+                rows.insert(line, (fresh.clone(), 1));
+            }
+        }
+        stage_lines.clear();
+        stage_data.clear();
+        Ok(())
     }
 
     /// Write generations consumed by `row` since its last erase.
@@ -267,6 +356,38 @@ mod tests {
         m.write(7, &[0x42u8; 32]).unwrap();
         assert!(m.read_into(7, &mut out));
         assert_eq!(out.to_vec(), m.read(7).unwrap());
+    }
+
+    #[test]
+    fn batched_rewrite_re_encodes_staged_lines_at_gen_zero() {
+        let mut m = mem();
+        // Line 0 exhausted, line 1 mid-budget, line 2 never written.
+        m.write(0, &[1u8; 32]).unwrap();
+        m.write(0, &[2u8; 32]).unwrap();
+        m.write(1, &[3u8; 32]).unwrap();
+        m.rewrite_begin();
+        m.rewrite_stage(0, &[2u8; 32]);
+        m.rewrite_stage(1, &[3u8; 32]);
+        m.rewrite_stage(2, &[9u8; 32]);
+        m.rewrite_commit().unwrap();
+        for (line, val) in [(0u64, 2u8), (1, 3), (2, 9)] {
+            assert_eq!(m.read(line).unwrap(), vec![val; 32]);
+            assert_eq!(m.writes_done(line), 1, "rewrite resets the budget");
+        }
+        assert!(m.write(0, &[4u8; 32]).unwrap().kind.is_fast());
+    }
+
+    #[test]
+    fn rewrite_begin_discards_previously_staged_lines() {
+        let mut m = mem();
+        m.rewrite_begin();
+        m.rewrite_stage(5, &[1u8; 32]);
+        m.rewrite_begin(); // restart drops the stale staging
+        m.rewrite_commit().unwrap();
+        assert!(m.read(5).is_none());
+        // Committing an empty burst is a no-op.
+        m.rewrite_begin();
+        m.rewrite_commit().unwrap();
     }
 
     #[test]

@@ -63,6 +63,33 @@ impl RefreshDriver {
         })
     }
 
+    /// Handles a finished main-array refresh transaction end to end:
+    /// resolves the planned `(rank, bank, row)`, accounts it, and — for
+    /// a completed (not preempted) refresh — re-initializes the row's
+    /// data in the functional checker via the batched
+    /// [`EngineCore::check_refresh_row`] rewrite. Returns the refreshed
+    /// target, or `None` when the refresh was preempted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling bugs ([`WomPcmError::Internal`]) and
+    /// functional-rewrite failures.
+    pub(super) fn on_refresh_completion(
+        &mut self,
+        core: &mut EngineCore,
+        c: &Completion,
+    ) -> Result<Option<(u32, u32, u32)>, WomPcmError> {
+        let (rank, bank, row) = self.take_planned(c.id)?;
+        core.note_refresh_row(ArraySide::Main, rank, bank, row, c);
+        if c.preempted {
+            self.row_preempted(rank, bank, row);
+            return Ok(None);
+        }
+        self.row_refreshed(rank, bank, row);
+        core.check_refresh_row(rank, bank, row)?;
+        Ok(Some((rank, bank, row)))
+    }
+
     /// One staggered refresh opportunity on the main arrays.
     ///
     /// A rank qualifies when no demand access for it is queued; banks

@@ -71,6 +71,11 @@ impl ArchPolicy for WcpcmPolicy {
         // row at 32 banks/rank) are mirrored in the controller, so the
         // losing side's access is squashed before it occupies an
         // array; we therefore route the read to the owning side only.
+        //
+        // The functional checker is keyed by the logical address on
+        // both sides of the cache (wear leveling is rejected alongside
+        // verification, so logical == physical in main memory).
+        core.check_read(addr)?;
         let d = core.decoder().decode(addr);
         let hit = self.cache.read(d.rank, d.bank, d.row);
         core.emit(Event::CacheRead {
@@ -91,6 +96,7 @@ impl ArchPolicy for WcpcmPolicy {
     }
 
     fn on_write(&mut self, core: &mut EngineCore, addr: u64) -> Result<WriteAction, WomPcmError> {
+        core.check_write(addr)?;
         let d = core.decoder().decode(addr);
         let cache_key = (u64::from(d.rank) << 32) | u64::from(d.row);
         // Coalescing requires the pending cache-row write to hold
@@ -205,6 +211,10 @@ impl ArchPolicy for WcpcmPolicy {
                 let addr = core.decoder().encode(victim)?;
                 let physical = core.remap_main(addr)?;
                 core.push_victim(physical);
+                // The flushed entry's lines land in main memory as
+                // first-pattern writes; the functional checker rewrites
+                // them as one batch (see `EngineCore::check_refresh_row`).
+                core.check_refresh_row(rank, victim_bank, row)?;
             }
         }
         Ok(())

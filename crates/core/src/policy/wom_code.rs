@@ -167,12 +167,7 @@ impl ArchPolicy for WomCodePolicy {
         let driver = self.refresh.as_mut().ok_or_else(|| {
             WomPcmError::Internal("refresh completion without a refresh driver".into())
         })?;
-        let (rank, bank, row) = driver.take_planned(c.id)?;
-        core.note_refresh_row(ArraySide::Main, rank, bank, row, c);
-        if c.preempted {
-            driver.row_preempted(rank, bank, row);
-        } else {
-            driver.row_refreshed(rank, bank, row);
+        if let Some((rank, bank, row)) = driver.on_refresh_completion(core, c)? {
             // §3.2: the refresh writes the data back in the first-write
             // pattern, consuming one generation.
             let d = DecodedAddr {
@@ -183,7 +178,6 @@ impl ArchPolicy for WomCodePolicy {
             };
             self.wom
                 .mark_copied(d.flat_row(&core.config().mem.geometry));
-            core.check_refresh_row(rank, bank, row)?;
         }
         Ok(())
     }

@@ -141,6 +141,7 @@ fn functional_data_verification_passes_under_refresh() {
         Architecture::Baseline,
         Architecture::WomCode,
         Architecture::WomCodeRefresh,
+        Architecture::Wcpcm,
     ] {
         let trace = benchmarks::by_name("qsort").unwrap().generate(13, 12_000);
         let mut cfg = SystemConfig::tiny(arch);
@@ -159,13 +160,6 @@ fn functional_data_verification_passes_under_refresh() {
 #[test]
 fn data_verification_config_constraints() {
     use wom_pcm::SystemConfig;
-    let mut cfg = SystemConfig::tiny(Architecture::Wcpcm);
-    cfg.verify_data = true;
-    assert!(
-        WomPcmSystem::new(cfg).is_err(),
-        "wcpcm is model-checked, not data-checked"
-    );
-
     let mut cfg = SystemConfig::tiny(Architecture::WomCode);
     cfg.verify_data = true;
     cfg.wear_leveling = Some(64);

@@ -9,6 +9,7 @@
 use crate::code::WomCode;
 use crate::error::WomCodeError;
 use crate::lut::SymbolLut;
+use crate::simd::{self, Kernel};
 use crate::wit::{Pattern, Transitions};
 use std::sync::Arc;
 
@@ -212,6 +213,14 @@ pub struct BlockCodec<C> {
     /// code's geometry is too large to tabulate — the per-symbol
     /// reference path is used then.
     lut: Option<Arc<SymbolLut>>,
+    /// Symbol-*pair* product table ([`SymbolLut::build_pair`]): lets the
+    /// lane kernels process two symbols per gather. Built only when the
+    /// row tiles an even number of symbols and the doubled geometry
+    /// stays L1-resident; `None` keeps the single-symbol lanes.
+    pair_lut: Option<Arc<SymbolLut>>,
+    /// Which tabulated row kernel the `*_row_into` fast paths dispatch
+    /// to (irrelevant without a LUT).
+    kernel: Kernel,
 }
 
 impl<C: WomCode> BlockCodec<C> {
@@ -234,11 +243,17 @@ impl<C: WomCode> BlockCodec<C> {
             });
         }
         let lut = SymbolLut::build(&code).map(Arc::new);
+        let symbols = row_data_bits / per_symbol;
+        let pair_lut = (lut.is_some() && symbols.is_multiple_of(2))
+            .then(|| SymbolLut::build_pair(&code).map(Arc::new))
+            .flatten();
         Ok(Self {
             code,
-            symbols: row_data_bits / per_symbol,
+            symbols,
             data_bits: row_data_bits,
             lut,
+            pair_lut,
+            kernel: Kernel::compiled_default(),
         })
     }
 
@@ -247,6 +262,36 @@ impl<C: WomCode> BlockCodec<C> {
     #[must_use]
     pub fn has_fast_path(&self) -> bool {
         self.lut.is_some()
+    }
+
+    /// Whether row calls actually run the tabulated kernels. `false`
+    /// means the geometry exceeded [`SymbolLut::MAX_TABLE_ENTRIES`] and
+    /// every `*_row_into` call silently takes the per-symbol reference
+    /// path — bench bins log this so reported numbers cannot quietly mix
+    /// fast and slow paths.
+    #[must_use]
+    pub fn is_accelerated(&self) -> bool {
+        self.lut.is_some()
+    }
+
+    /// The kernel row calls dispatch to when [`Self::is_accelerated`].
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Overrides the kernel. Tests and benchmarks pin [`Kernel::Scalar`]
+    /// to differentially compare it against [`Kernel::Lanes`]; both are
+    /// bit-identical to the reference path by contract.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
+
+    /// Builder-style [`Self::set_kernel`].
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
     }
 
     /// The precompiled symbol tables, when the geometry allowed them.
@@ -364,20 +409,25 @@ impl<C: WomCode> BlockCodec<C> {
     /// size.
     pub fn decode_row(&self, cells: &WitBuffer) -> Result<Vec<u8>, WomCodeError> {
         let mut out = vec![0u8; self.data_bits / 8];
-        self.decode_row_into(cells, &mut out)?;
+        let mut scratch = RowScratch::new();
+        self.decode_row_into(cells, &mut out, &mut scratch)?;
         Ok(out)
     }
 
-    /// Word-parallel row encode into caller-provided scratch: symbols are
+    /// Tabulated row encode into caller-provided scratch: symbols are
     /// read straight out of the [`WitBuffer`]'s `u64` words, looked up in
     /// the precompiled [`SymbolLut`], and staged in `scratch` — no heap
     /// allocation once `scratch` has warmed up. Transition totals come
     /// from whole-word XOR popcounts rather than per-symbol counting.
     ///
-    /// Behaviour is bit-identical to [`Self::encode_row_reference`],
-    /// including the all-or-nothing guarantee: on any error `cells` is
-    /// left unmodified. Codes too large to tabulate (no
-    /// [`Self::has_fast_path`]) fall back to the reference path, which
+    /// Dispatches to the active [`Kernel`]: branch-free lane kernels
+    /// ([`crate::simd`]) by default, or the original scalar walk under
+    /// [`Kernel::Scalar`] / the `force-scalar` feature.
+    ///
+    /// Behaviour is bit-identical to [`Self::encode_row_reference`] for
+    /// every kernel, including the all-or-nothing guarantee: on any error
+    /// `cells` is left unmodified. Codes too large to tabulate (not
+    /// [`Self::is_accelerated`]) fall back to the reference path, which
     /// allocates its staging buffer per call.
     ///
     /// # Errors
@@ -400,48 +450,332 @@ impl<C: WomCode> BlockCodec<C> {
                 limit: self.code.writes(),
             });
         }
+        let RowScratch {
+            words,
+            cur_words,
+            io_words,
+            cur_syms,
+            io_syms,
+        } = scratch;
+        fit(words, cells.words.len());
+        match self.kernel {
+            Kernel::Lanes => self.stage_row_lanes(
+                lut,
+                gen,
+                data,
+                &cells.words,
+                words,
+                cur_words,
+                io_words,
+                cur_syms,
+                io_syms,
+            )?,
+            Kernel::Scalar => self.stage_row_scalar(lut, gen, data, &cells.words, words)?,
+        }
+        let total = simd::xor_transitions(&cells.words, words);
+        for (dst, &src) in cells.words.iter_mut().zip(words.iter()) {
+            *dst = src;
+        }
+        Ok(total)
+    }
+
+    /// Encodes a batch of equally-sized rows in one call, amortizing
+    /// kernel dispatch, generation checks, and LUT loads across the
+    /// whole batch — the shape of a refresh burst or WCPCM writeback
+    /// set, where every row is rewritten at the same generation.
+    ///
+    /// `data` holds the rows' payloads back to back
+    /// (`cells.len() × data_bits()/8` bytes). The all-or-nothing
+    /// guarantee extends over the *whole batch*: every row's next image
+    /// is staged and validated before any row's cells are touched, so on
+    /// error (reported for the first failing symbol of the first failing
+    /// row, exactly as the reference path would) no row is modified.
+    /// Returns the aggregate transitions over all rows.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::encode_row`], checked per row.
+    pub fn encode_rows_into(
+        &self,
+        gen: u32,
+        data: &[u8],
+        cells: &mut [WitBuffer],
+        scratch: &mut RowScratch,
+    ) -> Result<Transitions, WomCodeError> {
+        let row_bytes = self.data_bits / 8;
+        if data.len() != row_bytes * cells.len() {
+            return Err(WomCodeError::LengthMismatch {
+                expected: self.data_bits * cells.len(),
+                actual: data.len() * 8,
+            });
+        }
+        let Some(lut) = self.lut.as_deref() else {
+            return self.encode_rows_reference(gen, data, cells);
+        };
+        if gen >= self.code.writes() {
+            return Err(WomCodeError::GenerationExhausted {
+                requested: gen,
+                limit: self.code.writes(),
+            });
+        }
+        let words_len = self.encoded_bits().div_ceil(64);
+        let RowScratch {
+            words,
+            cur_words,
+            io_words,
+            cur_syms,
+            io_syms,
+        } = scratch;
+        fit(words, words_len * cells.len());
+        for ((chunk, cellbuf), seg) in data
+            .chunks_exact(row_bytes)
+            .zip(cells.iter())
+            .zip(words.chunks_exact_mut(words_len))
+        {
+            self.check_row_args(chunk.len(), cellbuf.len())?;
+            match self.kernel {
+                Kernel::Lanes => self.stage_row_lanes(
+                    lut,
+                    gen,
+                    chunk,
+                    &cellbuf.words,
+                    seg,
+                    cur_words,
+                    io_words,
+                    cur_syms,
+                    io_syms,
+                )?,
+                Kernel::Scalar => self.stage_row_scalar(lut, gen, chunk, &cellbuf.words, seg)?,
+            }
+        }
+        let mut total = Transitions::default();
+        for (cellbuf, seg) in cells.iter_mut().zip(scratch.words.chunks_exact(words_len)) {
+            let t = simd::xor_transitions(&cellbuf.words, seg);
+            total.sets += t.sets;
+            total.resets += t.resets;
+            for (dst, &src) in cellbuf.words.iter_mut().zip(seg.iter()) {
+                *dst = src;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Batch fallback for codes too large to tabulate: per-row reference
+    /// encodes into cloned staging buffers, committed only when every
+    /// row validated (preserving the batch-wide atomicity contract).
+    fn encode_rows_reference(
+        &self,
+        gen: u32,
+        data: &[u8],
+        cells: &mut [WitBuffer],
+    ) -> Result<Transitions, WomCodeError> {
+        let row_bytes = self.data_bits / 8;
+        let mut staged = cells.to_vec();
+        let mut total = Transitions::default();
+        for (chunk, buf) in data.chunks_exact(row_bytes).zip(staged.iter_mut()) {
+            let t = self.encode_row_reference(gen, chunk, buf)?;
+            total.sets += t.sets;
+            total.resets += t.resets;
+        }
+        for (dst, src) in cells.iter_mut().zip(&staged) {
+            dst.copy_from(src);
+        }
+        Ok(total)
+    }
+
+    /// Stages one row's next image into `seg` with the fused lane
+    /// stream: one pass of branch-free gathers ([`simd::gather`]) and
+    /// AND-accumulated table lookups streaming straight into `seg`
+    /// ([`SymbolLut::encode_stream`]), via the symbol-*pair* table (two
+    /// symbols per lookup) when the geometry allowed building one. Reads
+    /// `cell_words` only — the caller commits `seg` after every row of
+    /// its batch validated.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_row_lanes(
+        &self,
+        lut: &SymbolLut,
+        gen: u32,
+        data: &[u8],
+        cell_words: &[u64],
+        seg: &mut [u64],
+        cur_words: &mut Vec<u64>,
+        io_words: &mut Vec<u64>,
+        cur_syms: &mut Vec<u16>,
+        io_syms: &mut Vec<u16>,
+    ) -> Result<(), WomCodeError> {
+        let (table, paired) = match self.pair_lut.as_deref() {
+            Some(pair) => (pair, true),
+            None => (lut, false),
+        };
+        let wbits = table.wits() as usize;
+        let dbits = table.data_bits() as usize;
+        let lanes = if paired {
+            self.symbols / 2
+        } else {
+            self.symbols
+        };
+        // The gathers are branch-free and always read a word pair, so
+        // the current image is copied once with a padding word (the data
+        // bytes get theirs from `bytes_to_words`).
+        cur_words.clear();
+        cur_words.extend_from_slice(cell_words);
+        cur_words.push(0);
+        simd::bytes_to_words(data, io_words);
+        if !table.encode_stream(gen, lanes, cur_words, io_words, seg) {
+            // Cold path: unpack the lanes and re-run the symbol code to
+            // surface the exact error the reference path would produce.
+            fit(cur_syms, lanes);
+            fit(io_syms, lanes);
+            simd::unpack_symbols(cur_words, wbits, cur_syms);
+            simd::unpack_symbols(io_words, dbits, io_syms);
+            return Err(if paired {
+                self.first_symbol_error_paired(gen, cur_syms, io_syms)
+            } else {
+                self.first_symbol_error(gen, cur_syms, io_syms)
+            });
+        }
+        Ok(())
+    }
+
+    /// Stages one row's next image into `seg` with the scalar kernel —
+    /// the original word-at-a-time walk, kept as the differential oracle
+    /// for the lane kernels (and the `force-scalar` build).
+    fn stage_row_scalar(
+        &self,
+        lut: &SymbolLut,
+        gen: u32,
+        data: &[u8],
+        cell_words: &[u64],
+        seg: &mut [u64],
+    ) -> Result<(), WomCodeError> {
+        seg.fill(0);
         let dbits = self.code.data_bits();
         let wbits = self.code.wits() as usize;
-        scratch.words.clear();
-        scratch.words.resize(cells.words.len(), 0);
         let mut reader = BitReader::new(data);
         let mut bit = 0usize;
         for _ in 0..self.symbols {
-            let current = word_chunk(&cells.words, bit, wbits);
+            let current = word_chunk(cell_words, bit, wbits);
             // womlint::allow(hotpath/alloc, reason = "BitReader::read pulls bits from the input slice; it does not allocate (the ban targets FunctionalMemory::read)")
             let value = reader.read(dbits);
             let Some(next) = lut.encode_bits(gen, current, value) else {
-                // Cold path: re-run the symbol code to surface the exact
-                // error the reference path would have produced. `cells`
-                // has not been touched.
                 return Err(self.symbol_error(gen, value, current, wbits));
             };
-            word_merge(&mut scratch.words, bit, next);
+            word_merge(seg, bit, next);
             bit += wbits;
         }
-        let mut total = Transitions::default();
-        for (&old, &new) in cells.words.iter().zip(&scratch.words) {
-            total.sets += (!old & new).count_ones();
-            total.resets += (old & !new).count_ones();
-        }
-        cells.words.copy_from_slice(&scratch.words);
-        Ok(total)
+        Ok(())
     }
 
     /// Decodes the row's cells into a caller-provided byte slice without
     /// allocating — the word-parallel counterpart of
-    /// [`Self::decode_row`]. Uses the [`SymbolLut`] when available and
-    /// the per-symbol reference decode otherwise.
+    /// [`Self::decode_row`]. Uses the [`SymbolLut`] when available
+    /// (dispatching to the active [`Kernel`]) and the per-symbol
+    /// reference decode otherwise.
     ///
     /// # Errors
     ///
     /// Returns [`WomCodeError::LengthMismatch`] if `cells` or `out` have
     /// the wrong size.
-    pub fn decode_row_into(&self, cells: &WitBuffer, out: &mut [u8]) -> Result<(), WomCodeError> {
+    pub fn decode_row_into(
+        &self,
+        cells: &WitBuffer,
+        out: &mut [u8],
+        scratch: &mut RowScratch,
+    ) -> Result<(), WomCodeError> {
         let Some(lut) = self.lut.as_deref() else {
             return self.decode_row_reference(cells, out);
         };
         self.check_row_args(out.len(), cells.len())?;
+        match self.kernel {
+            Kernel::Lanes => self.decode_row_lanes(lut, cells, out, scratch),
+            Kernel::Scalar => self.decode_row_scalar(lut, cells, out),
+        }
+        Ok(())
+    }
+
+    /// Decodes a batch of equally-sized rows in one call (`cells.len()`
+    /// rows into `out`, payloads back to back), amortizing dispatch and
+    /// LUT loads — the read-side counterpart of
+    /// [`Self::encode_rows_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomCodeError::LengthMismatch`] if `out` is not
+    /// `cells.len() × data_bits()/8` bytes or any row's cells have the
+    /// wrong size.
+    pub fn decode_rows_into(
+        &self,
+        cells: &[WitBuffer],
+        out: &mut [u8],
+        scratch: &mut RowScratch,
+    ) -> Result<(), WomCodeError> {
+        let row_bytes = self.data_bits / 8;
+        if out.len() != row_bytes * cells.len() {
+            return Err(WomCodeError::LengthMismatch {
+                expected: self.data_bits * cells.len(),
+                actual: out.len() * 8,
+            });
+        }
+        for (cellbuf, chunk) in cells.iter().zip(out.chunks_exact_mut(row_bytes)) {
+            self.decode_row_into(cellbuf, chunk, scratch)?;
+        }
+        Ok(())
+    }
+
+    /// Lane decode: branch-free unpack, then either the register-
+    /// resident broadcast table (geometries where `2^wits × data_bits`
+    /// fits in 64 bits — no memory lookup at all) or the lane table
+    /// walk, then branch-free repack into bytes.
+    fn decode_row_lanes(
+        &self,
+        lut: &SymbolLut,
+        cells: &WitBuffer,
+        out: &mut [u8],
+        scratch: &mut RowScratch,
+    ) {
+        scratch.cur_words.clear();
+        scratch.cur_words.extend_from_slice(&cells.words);
+        scratch.cur_words.push(0);
+        // The pair table halves every lane pass (two symbols per
+        // lookup) and decodes in one fused gather-and-pack sweep with
+        // no intermediate lane arrays.
+        if let Some(pair) = self.pair_lut.as_deref() {
+            fit(&mut scratch.io_words, self.data_bits.div_ceil(64));
+            pair.decode_stream(self.symbols / 2, &scratch.cur_words, &mut scratch.io_words);
+            simd::words_to_bytes(&scratch.io_words, out);
+            return;
+        }
+        // Unpaired codes with a memory-resident decode table also decode
+        // in one fused sweep; only the broadcast (register-table) codes
+        // keep the unpack→broadcast→pack pipeline, which beats a fused
+        // memory walk for them.
+        if lut.packed_decode().is_none() {
+            fit(&mut scratch.io_words, self.data_bits.div_ceil(64));
+            lut.decode_stream(self.symbols, &scratch.cur_words, &mut scratch.io_words);
+            simd::words_to_bytes(&scratch.io_words, out);
+            return;
+        }
+        let wbits = lut.wits() as usize;
+        let dbits = lut.data_bits() as usize;
+        let lanes = self.symbols;
+        fit(&mut scratch.cur_syms, lanes);
+        fit(&mut scratch.io_syms, lanes);
+        simd::unpack_symbols(&scratch.cur_words, wbits, &mut scratch.cur_syms);
+        if let Some(packed) = lut.packed_decode() {
+            let dmask = (1u64 << dbits) - 1;
+            for (&p, o) in scratch.cur_syms.iter().zip(scratch.io_syms.iter_mut()) {
+                *o = ((packed >> ((p as usize) * dbits)) & dmask) as u16;
+            }
+        } else {
+            lut.decode_symbols(&scratch.cur_syms, &mut scratch.io_syms);
+        }
+        fit(&mut scratch.io_words, self.data_bits.div_ceil(64));
+        simd::pack_symbols(&scratch.io_syms, dbits, &mut scratch.io_words);
+        simd::words_to_bytes(&scratch.io_words, out);
+    }
+
+    /// Scalar decode: the original word-at-a-time LUT walk.
+    fn decode_row_scalar(&self, lut: &SymbolLut, cells: &WitBuffer, out: &mut [u8]) {
         let dbits = self.code.data_bits();
         let wbits = self.code.wits() as usize;
         let mut writer = BitWriter::new(out);
@@ -451,7 +785,6 @@ impl<C: WomCode> BlockCodec<C> {
             writer.write(lut.decode(current), dbits);
             bit += wbits;
         }
-        Ok(())
     }
 
     /// The per-symbol reference implementation of
@@ -511,17 +844,81 @@ impl<C: WomCode> BlockCodec<C> {
             Ok(_) => unreachable!("SymbolLut and WomCode disagree on encode success"),
         }
     }
+
+    /// Reproduces the exact symbol-level error after the lane kernel's
+    /// AND-accumulated validity check failed: re-runs the symbol code
+    /// over the unpacked lanes and returns the first error, exactly as
+    /// the reference walk would have reported it.
+    #[cold]
+    fn first_symbol_error(&self, gen: u32, current: &[u16], data: &[u16]) -> WomCodeError {
+        let wbits = self.code.wits() as usize;
+        for (&c, &d) in current.iter().zip(data) {
+            if let Err(e) =
+                self.code
+                    .encode(gen, u64::from(d), Pattern::from_bits(u64::from(c), wbits))
+            {
+                return e;
+            }
+        }
+        WomCodeError::InvalidTable("lane kernel and symbol code disagree on encode success".into())
+    }
+
+    /// Pair-lane counterpart of [`Self::first_symbol_error`]: each lane
+    /// holds two adjacent symbols (even in the low half), so the halves
+    /// are re-encoded in row order to surface the same first error the
+    /// reference walk would report.
+    #[cold]
+    fn first_symbol_error_paired(&self, gen: u32, current: &[u16], data: &[u16]) -> WomCodeError {
+        let wbits = self.code.wits() as usize;
+        let dbits = self.code.data_bits();
+        let wmask = (1u64 << wbits) - 1;
+        let dmask = (1u64 << dbits) - 1;
+        for (&c, &d) in current.iter().zip(data) {
+            let (c, d) = (u64::from(c), u64::from(d));
+            for (cs, ds) in [(c & wmask, d & dmask), (c >> wbits, (d >> dbits) & dmask)] {
+                if let Err(e) = self.code.encode(gen, ds, Pattern::from_bits(cs, wbits)) {
+                    return e;
+                }
+            }
+        }
+        WomCodeError::InvalidTable("pair kernel and symbol code disagree on encode success".into())
+    }
 }
 
-/// Caller-owned staging buffer for [`BlockCodec::encode_row_into`].
+/// Resizes a scratch vector to exactly `n` elements (cheap no-op once
+/// warm; shrink keeps capacity so alternating row sizes stay
+/// allocation-free after the first pass).
+#[inline]
+fn fit<T: Copy + Default>(v: &mut Vec<T>, n: usize) {
+    if v.len() != n {
+        v.resize(n, T::default());
+    }
+}
+
+/// Caller-owned staging buffers for [`BlockCodec::encode_row_into`],
+/// [`BlockCodec::decode_row_into`], and the batch
+/// [`BlockCodec::encode_rows_into`]/[`BlockCodec::decode_rows_into`].
 ///
-/// Holds the next row image while symbols are validated, so a failed
-/// encode cannot leave the row half-written and a warm scratch makes the
-/// whole encode allocation-free. One scratch can be reused across codecs
-/// and row sizes; it grows to the largest row it has seen.
+/// `words` holds the next row image(s) while symbols are validated, so a
+/// failed encode cannot leave any row half-written; the remaining fields
+/// are the lane kernels' symbol and word staging. A warm scratch makes
+/// the whole encode/decode allocation-free. One scratch can be reused
+/// across codecs and row sizes; it grows to the largest row (or batch)
+/// it has seen.
 #[derive(Debug, Clone, Default)]
 pub struct RowScratch {
+    /// Staged next row image(s) — `words_per_row × rows` for a batch.
     words: Vec<u64>,
+    /// Padded copy of the current cell image the lane unpack gathers from.
+    cur_words: Vec<u64>,
+    /// Data bytes repacked as padded words (encode) / packed data symbols
+    /// awaiting byte serialization (decode).
+    io_words: Vec<u64>,
+    /// Unpacked current wit patterns, one lane per symbol (lane decode
+    /// and the encode error cold path).
+    cur_syms: Vec<u16>,
+    /// Unpacked data values (encode cold path) / decoded values (decode).
+    io_syms: Vec<u16>,
 }
 
 impl RowScratch {

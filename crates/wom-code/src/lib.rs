@@ -47,6 +47,8 @@
 //! * [`block`] — row-level tiling of symbol codes.
 //! * [`lut`] — precompiled dense symbol tables backing the word-parallel
 //!   row fast path.
+//! * [`simd`] — branch-free lane kernels for the gather-free stages of
+//!   the row fast path, with [`Kernel`] dispatch and a scalar fallback.
 //! * [`analysis`] — the paper's §3.2 latency/speedup bounds.
 
 #![forbid(unsafe_code)]
@@ -63,6 +65,7 @@ pub mod lut;
 pub mod rs2;
 pub mod rs23;
 pub mod sequencer;
+pub mod simd;
 pub mod tabular;
 pub mod wit;
 
@@ -76,5 +79,6 @@ pub use lut::SymbolLut;
 pub use rs2::Rs2Code;
 pub use rs23::Rs23Code;
 pub use sequencer::{SequencedWrite, Sequencer};
+pub use simd::Kernel;
 pub use tabular::TabularWomCode;
 pub use wit::{Orientation, Pattern, Transitions};

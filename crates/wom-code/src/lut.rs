@@ -20,7 +20,9 @@
 //! reference path for them.
 
 use crate::code::WomCode;
-use crate::wit::{Pattern, Transitions};
+use crate::error::WomCodeError;
+use crate::simd;
+use crate::wit::{Orientation, Pattern, Transitions};
 
 /// Packed encode-table entry layout (one `u32` per entry):
 ///
@@ -60,12 +62,23 @@ pub struct SymbolLut {
     entries: Box<[u32]>,
     /// `decode[pattern]` — the code's decode of every possible pattern.
     decode: Box<[u16]>,
+    /// The whole decode table broadcast into one register when
+    /// `2^wits × data_bits ≤ 64` (`data_bits` bits per pattern), so the
+    /// lane decode kernel needs no memory lookup at all.
+    packed_decode: Option<u64>,
 }
 
 impl SymbolLut {
     /// Upper bound on `writes × 2^wits × 2^data_bits`; larger geometries
     /// are not tabulated and use the per-symbol reference path instead.
     pub const MAX_TABLE_ENTRIES: usize = 1 << 22;
+
+    /// Upper bound on a *paired* table's entries ([`Self::build_pair`]).
+    /// Much tighter than [`Self::MAX_TABLE_ENTRIES`]: pairing only pays
+    /// when the table stays L1-resident (8192 entries = 32 KiB), since
+    /// its whole point is halving cheap gathers — a pair table spilling
+    /// to L2 would be slower than two L1 lookups.
+    pub const MAX_PAIR_ENTRIES: usize = 1 << 13;
 
     /// Widest symbol (in wits or data bits) a table entry can represent.
     pub const MAX_SYMBOL_BITS: u32 = 16;
@@ -74,6 +87,25 @@ impl SymbolLut {
     /// is too large to tabulate (see [`Self::MAX_TABLE_ENTRIES`]).
     #[must_use]
     pub fn build<C: WomCode + ?Sized>(code: &C) -> Option<Self> {
+        Self::build_capped(code, Self::MAX_TABLE_ENTRIES)
+    }
+
+    /// Precompiles the *symbol-pair* product table of `code`: one entry
+    /// per `(generation, pattern-pair, data-pair)` triple, so the row
+    /// kernels can encode or decode two symbols per gather. The pair of
+    /// adjacent symbols is itself a WOM code (the product code: low half
+    /// = even symbol, matching the row's little-endian bit order), so
+    /// the result is an ordinary [`SymbolLut`] with doubled geometry.
+    ///
+    /// Returns `None` when the doubled geometry exceeds
+    /// [`Self::MAX_SYMBOL_BITS`] per field or [`Self::MAX_PAIR_ENTRIES`]
+    /// total — callers then stay on the single-symbol table.
+    #[must_use]
+    pub fn build_pair<C: WomCode + ?Sized>(code: &C) -> Option<Self> {
+        Self::build_capped(&Paired(code), Self::MAX_PAIR_ENTRIES)
+    }
+
+    fn build_capped<C: WomCode + ?Sized>(code: &C, cap: usize) -> Option<Self> {
         let data_bits = code.data_bits();
         let wits = code.wits();
         let writes = code.writes();
@@ -85,7 +117,7 @@ impl SymbolLut {
         let total = (writes as usize)
             .checked_mul(patterns)?
             .checked_mul(values)?;
-        if total > Self::MAX_TABLE_ENTRIES {
+        if total > cap {
             return None;
         }
         let wlen = wits as usize;
@@ -111,6 +143,12 @@ impl SymbolLut {
             .map(|bits| code.decode(Pattern::from_bits(bits as u64, wlen)) as u16)
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let dmask = (1u64 << data_bits) - 1;
+        let packed_decode = (patterns * data_bits as usize <= 64).then(|| {
+            decode.iter().enumerate().fold(0u64, |acc, (p, &v)| {
+                acc | ((u64::from(v) & dmask) << (p * data_bits as usize))
+            })
+        });
         Some(Self {
             data_bits,
             wits,
@@ -119,6 +157,7 @@ impl SymbolLut {
             patterns,
             entries,
             decode,
+            packed_decode,
         })
     }
 
@@ -192,6 +231,365 @@ impl SymbolLut {
     pub fn decode(&self, pattern: u64) -> u64 {
         u64::from(self.decode[pattern as usize])
     }
+
+    /// Encodes a whole lane of symbols branch-free: one table load per
+    /// symbol, with validity accumulated by AND-ing raw entries instead
+    /// of branching per symbol. Returns `false` when *any* symbol's
+    /// `(gen, pattern, data)` triple is invalid — `next` is then
+    /// unspecified and the caller re-runs the per-symbol path to surface
+    /// the exact error.
+    ///
+    /// `current` lanes must be masked to `wits()` bits and `data` lanes
+    /// to `data_bits()` bits (the unpack kernel guarantees this); an
+    /// out-of-range `gen` reports invalid for every symbol.
+    #[inline]
+    #[must_use]
+    pub fn encode_symbols(
+        &self,
+        gen: u32,
+        current: &[u16],
+        data: &[u16],
+        next: &mut [u16],
+    ) -> bool {
+        let span = self.patterns * self.values;
+        let start = (gen as usize).saturating_mul(span);
+        let table = self
+            .entries
+            .get(start..start.saturating_add(span))
+            .unwrap_or_default();
+        let dshift = self.data_bits;
+        let mut valid = u32::MAX;
+        for ((&c, &d), n) in current.iter().zip(data).zip(next.iter_mut()) {
+            let idx = ((c as usize) << dshift) | d as usize;
+            let e = table.get(idx).copied().unwrap_or(0);
+            valid &= e;
+            *n = (e & NEXT_MASK) as u16;
+        }
+        valid & VALID_BIT != 0
+    }
+
+    /// Fused row encode: one pass that gathers each of `lanes` symbols'
+    /// current pattern from `cur` and data value from `data`, looks the
+    /// pair up, and streams the packed next patterns into `out` — no
+    /// intermediate lane arrays, so nothing but the table itself
+    /// competes for L1 on kilobyte rows. Lane semantics match
+    /// [`Self::encode_symbols`]: returns `false` (with `out`
+    /// unspecified) when any symbol's triple is invalid, and the caller
+    /// re-runs the per-symbol path for the exact error.
+    ///
+    /// `cur` and `data` must extend one word past the last bit gathered
+    /// (see [`simd::gather`]); `out` receives
+    /// `ceil(lanes × wits / 64)` fully assigned words, zeroed slack
+    /// included, exactly as [`simd::pack_symbols`] would.
+    #[must_use]
+    pub fn encode_stream(
+        &self,
+        gen: u32,
+        lanes: usize,
+        cur: &[u64],
+        data: &[u64],
+        out: &mut [u64],
+    ) -> bool {
+        // Constant-specialize the hot geometries: literal widths turn
+        // the variable shifts into immediates and let LLVM hoist the
+        // table bounds check out of the loop (the gathered index is
+        // provably `< 2^(wits + data_bits)` once the mask is a
+        // constant). (6, 4) is the rs23/rs2-k2 pair, (3, 2) their
+        // single-symbol path, (8, 2) the flip-t4 pair.
+        match (self.wits, self.data_bits) {
+            (6, 4) if lanes.is_multiple_of(32) => {
+                self.encode_stream_blocked_6_4(gen, lanes, cur, data, out)
+            }
+            (6, 4) => self.encode_stream_body(gen, lanes, cur, data, out, 6, 4),
+            (3, 2) => self.encode_stream_body(gen, lanes, cur, data, out, 3, 2),
+            (8, 2) => self.encode_stream_body(gen, lanes, cur, data, out, 8, 2),
+            (w, d) => self.encode_stream_body(gen, lanes, cur, data, out, w as usize, d as usize),
+        }
+    }
+
+    /// Blocked fused encode for the 6-wit/4-data-bit pair geometry (the
+    /// ⟨2²⟩²/3 and rs2-k2 pair tables): 32 lanes consume exactly three
+    /// current words, two data words, and three output words, so the
+    /// inner loop fully unrolls with every shift an immediate and no
+    /// per-lane word indexing.
+    fn encode_stream_blocked_6_4(
+        &self,
+        gen: u32,
+        lanes: usize,
+        cur: &[u64],
+        data: &[u64],
+        out: &mut [u64],
+    ) -> bool {
+        debug_assert!(lanes.is_multiple_of(32));
+        let span = self.patterns * self.values;
+        let start = (gen as usize).saturating_mul(span);
+        let table = self
+            .entries
+            .get(start..start.saturating_add(span))
+            .unwrap_or_default();
+        let mut valid = u32::MAX;
+        for ((cw, dw), ow) in cur
+            .chunks_exact(3)
+            .zip(data.chunks_exact(2))
+            .zip(out.chunks_exact_mut(3))
+            .take(lanes / 32)
+        {
+            let (c0, c1, c2) = match *cw {
+                [a, b, c] => (a, b, c),
+                _ => (0, 0, 0),
+            };
+            let (d0, d1) = match *dw {
+                [a, b] => (a, b),
+                _ => (0, 0),
+            };
+            let (mut o0, mut o1, mut o2) = (0u64, 0u64, 0u64);
+            let mut look = |c: u64, d: u64| {
+                let e = table
+                    .get((((c & 63) as usize) << 4) | (d & 15) as usize)
+                    .copied()
+                    .unwrap_or(0);
+                valid &= e;
+                u64::from(e & NEXT_MASK)
+            };
+            // The word each lane touches is fixed per range, so every
+            // shift below is a compile-time constant after unrolling;
+            // lanes 10 and 21 straddle a word boundary on both sides.
+            for k in 0..10 {
+                o0 |= look(c0 >> (6 * k), d0 >> (4 * k)) << (6 * k);
+            }
+            let n = look((c0 >> 60) | (c1 << 4), d0 >> 40);
+            o0 |= n << 60;
+            o1 |= n >> 4;
+            for k in 11..16 {
+                o1 |= look(c1 >> (6 * k - 64), d0 >> (4 * k)) << (6 * k - 64);
+            }
+            for k in 16..21 {
+                o1 |= look(c1 >> (6 * k - 64), d1 >> (4 * k - 64)) << (6 * k - 64);
+            }
+            let n = look((c1 >> 62) | (c2 << 2), d1 >> 20);
+            o1 |= n << 62;
+            o2 |= n >> 2;
+            for k in 22..32 {
+                o2 |= look(c2 >> (6 * k - 128), d1 >> (4 * k - 64)) << (6 * k - 128);
+            }
+            if let [a, b, c] = ow {
+                *a = o0;
+                *b = o1;
+                *c = o2;
+            }
+        }
+        valid & VALID_BIT != 0
+    }
+
+    /// Fused row decode: the read-side counterpart of
+    /// [`Self::encode_stream`] — gathers each of `lanes` patterns from
+    /// `cur` (padded as for [`simd::gather`]), looks it up in the decode
+    /// table, and streams the packed data values into `out`
+    /// (`ceil(lanes × data_bits / 64)` fully assigned words).
+    pub fn decode_stream(&self, lanes: usize, cur: &[u64], out: &mut [u64]) {
+        match (self.wits, self.data_bits) {
+            (6, 4) if lanes.is_multiple_of(32) => self.decode_stream_blocked_6_4(lanes, cur, out),
+            (6, 4) => self.decode_stream_body(lanes, cur, out, 6, 4),
+            (w, d) => self.decode_stream_body(lanes, cur, out, w as usize, d as usize),
+        }
+    }
+
+    /// Blocked decode for the 6-wit/4-data-bit pair geometry: 32 lanes
+    /// read three words and write exactly two, shifts all immediate.
+    fn decode_stream_blocked_6_4(&self, lanes: usize, cur: &[u64], out: &mut [u64]) {
+        debug_assert!(lanes.is_multiple_of(32));
+        for (cw, ow) in cur
+            .chunks_exact(3)
+            .zip(out.chunks_exact_mut(2))
+            .take(lanes / 32)
+        {
+            let (c0, c1, c2) = match *cw {
+                [a, b, c] => (a, b, c),
+                _ => (0, 0, 0),
+            };
+            let (mut o0, mut o1) = (0u64, 0u64);
+            let look = |c: u64| u64::from(self.decode.get((c & 63) as usize).copied().unwrap_or(0));
+            // Same constant-shift ranges as the encode kernel; the
+            // 4-bit outputs never straddle a word boundary.
+            for k in 0..10 {
+                o0 |= look(c0 >> (6 * k)) << (4 * k);
+            }
+            o0 |= look((c0 >> 60) | (c1 << 4)) << 40;
+            for k in 11..16 {
+                o0 |= look(c1 >> (6 * k - 64)) << (4 * k);
+            }
+            for k in 16..21 {
+                o1 |= look(c1 >> (6 * k - 64)) << (4 * k - 64);
+            }
+            o1 |= look((c1 >> 62) | (c2 << 2)) << 20;
+            for k in 22..32 {
+                o1 |= look(c2 >> (6 * k - 128)) << (4 * k - 64);
+            }
+            if let [a, b] = ow {
+                *a = o0;
+                *b = o1;
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn decode_stream_body(
+        &self,
+        lanes: usize,
+        cur: &[u64],
+        out: &mut [u64],
+        wbits: usize,
+        dbits: usize,
+    ) {
+        let mut outw = out.iter_mut();
+        let mut acc = 0u64;
+        let mut acc_bits = 0usize;
+        let mut cbit = 0usize;
+        for _ in 0..lanes {
+            let c = simd::gather(cur, cbit, wbits);
+            cbit += wbits;
+            let v = u64::from(self.decode.get(c as usize).copied().unwrap_or(0));
+            acc |= v << acc_bits;
+            acc_bits += dbits;
+            if acc_bits >= 64 {
+                if let Some(w) = outw.next() {
+                    *w = acc;
+                }
+                acc_bits -= 64;
+                acc = v >> (dbits - acc_bits);
+            }
+        }
+        if acc_bits > 0 {
+            if let Some(w) = outw.next() {
+                *w = acc;
+            }
+        }
+    }
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn encode_stream_body(
+        &self,
+        gen: u32,
+        lanes: usize,
+        cur: &[u64],
+        data: &[u64],
+        out: &mut [u64],
+        wbits: usize,
+        dbits: usize,
+    ) -> bool {
+        let span = self.patterns * self.values;
+        let start = (gen as usize).saturating_mul(span);
+        let table = self
+            .entries
+            .get(start..start.saturating_add(span))
+            .unwrap_or_default();
+        let mut outw = out.iter_mut();
+        let mut valid = u32::MAX;
+        let mut acc = 0u64;
+        let mut acc_bits = 0usize;
+        let mut cbit = 0usize;
+        let mut dbit = 0usize;
+        for _ in 0..lanes {
+            let c = simd::gather(cur, cbit, wbits);
+            let d = simd::gather(data, dbit, dbits);
+            cbit += wbits;
+            dbit += dbits;
+            let e = table
+                .get(((c as usize) << dbits) | d as usize)
+                .copied()
+                .unwrap_or(0);
+            valid &= e;
+            let n = u64::from(e & NEXT_MASK);
+            acc |= n << acc_bits;
+            acc_bits += wbits;
+            if acc_bits >= 64 {
+                if let Some(w) = outw.next() {
+                    *w = acc;
+                }
+                acc_bits -= 64;
+                // Bits of `n` that did not fit (zero on an exact flush).
+                acc = n >> (wbits - acc_bits);
+            }
+        }
+        if acc_bits > 0 {
+            if let Some(w) = outw.next() {
+                *w = acc;
+            }
+        }
+        valid & VALID_BIT != 0
+    }
+
+    /// Decodes a lane of patterns through the decode table (the lane
+    /// counterpart of [`Self::decode`]). Pattern lanes must be masked to
+    /// `wits()` bits.
+    #[inline]
+    pub fn decode_symbols(&self, patterns: &[u16], out: &mut [u16]) {
+        for (&p, o) in patterns.iter().zip(out.iter_mut()) {
+            *o = self.decode.get(p as usize).copied().unwrap_or(0);
+        }
+    }
+
+    /// The register-resident broadcast decode table, when the geometry
+    /// fits (`2^wits × data_bits ≤ 64`): pattern `p` decodes to bits
+    /// `[p × data_bits, (p+1) × data_bits)` of the returned word.
+    #[must_use]
+    pub fn packed_decode(&self) -> Option<u64> {
+        self.packed_decode
+    }
+}
+
+/// The product code of two adjacent symbols of the same inner code: wit
+/// bits `[0, w)` hold the even (low) symbol and `[w, 2w)` the odd one,
+/// matching the row's little-endian symbol order; the data halves are
+/// split the same way. Encoding/decoding a pair is exactly encoding each
+/// half independently, so the product inherits every [`WomCode`]
+/// contract guarantee from the inner code.
+#[derive(Debug)]
+struct Paired<'a, C: ?Sized>(&'a C);
+
+impl<C: WomCode + ?Sized> WomCode for Paired<'_, C> {
+    fn data_bits(&self) -> u32 {
+        self.0.data_bits() * 2
+    }
+
+    fn wits(&self) -> u32 {
+        self.0.wits() * 2
+    }
+
+    fn writes(&self) -> u32 {
+        self.0.writes()
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.0.orientation()
+    }
+
+    fn encode(&self, gen: u32, data: u64, current: Pattern) -> Result<Pattern, WomCodeError> {
+        let w = self.0.wits() as usize;
+        let d = self.0.data_bits();
+        let wmask = (1u64 << w) - 1;
+        let dmask = (1u64 << d) - 1;
+        let bits = current.bits();
+        let lo = self
+            .0
+            .encode(gen, data & dmask, Pattern::from_bits(bits & wmask, w))?;
+        let hi = self.0.encode(
+            gen,
+            (data >> d) & dmask,
+            Pattern::from_bits((bits >> w) & wmask, w),
+        )?;
+        Ok(Pattern::from_bits(lo.bits() | (hi.bits() << w), 2 * w))
+    }
+
+    fn decode(&self, pattern: Pattern) -> u64 {
+        let w = self.0.wits() as usize;
+        let d = self.0.data_bits();
+        let wmask = (1u64 << w) - 1;
+        let bits = pattern.bits();
+        self.0.decode(Pattern::from_bits(bits & wmask, w))
+            | (self.0.decode(Pattern::from_bits((bits >> w) & wmask, w)) << d)
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +600,7 @@ mod tests {
     use crate::inverted::Inverted;
     use crate::rs2::Rs2Code;
     use crate::rs23::Rs23Code;
+    use crate::simd::{pack_symbols, unpack_symbols};
 
     #[test]
     fn rs23_table_matches_code_everywhere() {
@@ -248,6 +647,216 @@ mod tests {
         // Flip t = 16 is 2 × 16 × 65536 entries: comfortably inside.
         assert!(SymbolLut::build(&FlipCode::new(16).unwrap()).is_some());
         assert!(SymbolLut::build(&FlipCode::new(24).unwrap()).is_none());
+    }
+
+    #[test]
+    fn lane_encode_matches_per_symbol_lookup() {
+        let code = Inverted::new(Rs23Code::new());
+        let lut = SymbolLut::build(&code).unwrap();
+        for gen in 0..2 {
+            let current: Vec<u16> = (0..8).flat_map(|c| (0..4).map(move |_| c)).collect();
+            let data: Vec<u16> = (0..8).flat_map(|_| 0..4).collect();
+            let mut next = vec![0u16; current.len()];
+            let all_valid = lut.encode_symbols(gen, &current, &data, &mut next);
+            let expect_valid = current
+                .iter()
+                .zip(&data)
+                .all(|(&c, &d)| lut.encode_bits(gen, u64::from(c), u64::from(d)).is_some());
+            assert_eq!(all_valid, expect_valid);
+            if all_valid {
+                for ((&c, &d), &n) in current.iter().zip(&data).zip(&next) {
+                    assert_eq!(
+                        u64::from(n),
+                        lut.encode_bits(gen, u64::from(c), u64::from(d)).unwrap()
+                    );
+                }
+            }
+        }
+        // Out-of-range generation: invalid for every symbol, no panic.
+        let mut next = vec![0u16; 4];
+        assert!(!lut.encode_symbols(9, &[7, 7, 7, 7], &[0, 1, 2, 3], &mut next));
+    }
+
+    #[test]
+    fn packed_decode_broadcasts_small_tables_only() {
+        let lut = SymbolLut::build(&Inverted::new(Rs23Code::new())).unwrap();
+        let packed = lut.packed_decode().expect("8 patterns x 2 bits fits");
+        for p in 0..8u64 {
+            assert_eq!((packed >> (p * 2)) & 0b11, lut.decode(p));
+        }
+        // 128 patterns x 3 bits = 384 bits: no broadcast.
+        let wide = SymbolLut::build(&Rs2Code::new(3).unwrap()).unwrap();
+        assert!(wide.packed_decode().is_none());
+        // FlipCode t=4: 16 patterns x 1 bit = 16 bits: broadcast.
+        let flip = SymbolLut::build(&FlipCode::new(4).unwrap()).unwrap();
+        let packed = flip.packed_decode().unwrap();
+        for p in 0..16u64 {
+            assert_eq!((packed >> p) & 1, flip.decode(p));
+        }
+    }
+
+    #[test]
+    fn lane_decode_matches_per_symbol_decode() {
+        let lut = SymbolLut::build(&Rs2Code::new(3).unwrap()).unwrap();
+        let patterns: Vec<u16> = (0..128).collect();
+        let mut out = vec![0u16; patterns.len()];
+        lut.decode_symbols(&patterns, &mut out);
+        for (&p, &v) in patterns.iter().zip(&out) {
+            assert_eq!(u64::from(v), lut.decode(u64::from(p)));
+        }
+    }
+
+    #[test]
+    fn encode_stream_matches_lane_encode() {
+        let code = Inverted::new(Rs23Code::new());
+        let lut = SymbolLut::build(&code).unwrap();
+        let lanes = 100; // 300 wit bits, 200 data bits
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rand = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for gen in 0..2 {
+            // Erased current image: every symbol encodes legally.
+            let cur_words: Vec<u64> = vec![u64::MAX; 5].into_iter().chain([0]).collect();
+            let data_words: Vec<u64> = (0..4).map(|_| rand()).chain([0]).collect();
+            let mut cur = vec![0u16; lanes];
+            let mut dat = vec![0u16; lanes];
+            let mut next = vec![0u16; lanes];
+            unpack_symbols(&cur_words, 3, &mut cur);
+            unpack_symbols(&data_words, 2, &mut dat);
+            assert!(lut.encode_symbols(gen, &cur, &dat, &mut next));
+            let mut expect = vec![0u64; (lanes * 3).div_ceil(64)];
+            pack_symbols(&next, 3, &mut expect);
+            let mut out = vec![u64::MAX; expect.len()];
+            assert!(lut.encode_stream(gen, lanes, &cur_words, &data_words, &mut out));
+            assert_eq!(out, expect, "gen {gen}");
+        }
+        // Arbitrary (possibly corrupt) current images: the validity
+        // verdict must match the lane kernel's, whichever way it goes.
+        for gen in 0..2 {
+            for _ in 0..8 {
+                let cur_words: Vec<u64> = (0..5).map(|_| rand()).chain([0]).collect();
+                let data_words: Vec<u64> = (0..4).map(|_| rand()).chain([0]).collect();
+                let mut cur = vec![0u16; lanes];
+                let mut dat = vec![0u16; lanes];
+                let mut next = vec![0u16; lanes];
+                unpack_symbols(&cur_words, 3, &mut cur);
+                unpack_symbols(&data_words, 2, &mut dat);
+                let lane_ok = lut.encode_symbols(gen, &cur, &dat, &mut next);
+                let mut out = vec![0u64; (lanes * 3).div_ceil(64)];
+                let ok = lut.encode_stream(gen, lanes, &cur_words, &data_words, &mut out);
+                assert_eq!(ok, lane_ok);
+                if ok {
+                    let mut expect = vec![0u64; out.len()];
+                    pack_symbols(&next, 3, &mut expect);
+                    assert_eq!(out, expect);
+                }
+            }
+        }
+        // Out-of-range generation: invalid, no panic.
+        let pad = [0u64; 2];
+        let mut out = [0u64; 1];
+        assert!(!lut.encode_stream(7, 4, &pad, &pad, &mut out));
+    }
+
+    #[test]
+    fn pair_stream_blocked_matches_lane_kernels() {
+        // 128 lanes is a multiple of 32, so the (6,4) pair geometry
+        // takes the blocked kernels; 50 lanes falls back to the dynamic
+        // bodies. Both must agree with the lane kernels bit for bit.
+        let code = Inverted::new(Rs23Code::new());
+        let pair = SymbolLut::build_pair(&code).unwrap();
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut rand = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for &lanes in &[128usize, 50] {
+            let cur_len = (lanes * 6).div_ceil(64);
+            let dat_len = (lanes * 4).div_ceil(64);
+            for gen in 0..2 {
+                for trial in 0..8 {
+                    let cur_words: Vec<u64> = if trial == 0 {
+                        vec![u64::MAX; cur_len].into_iter().chain([0]).collect()
+                    } else {
+                        (0..cur_len).map(|_| rand()).chain([0]).collect()
+                    };
+                    let data_words: Vec<u64> = (0..dat_len).map(|_| rand()).chain([0]).collect();
+                    let mut cur = vec![0u16; lanes];
+                    let mut dat = vec![0u16; lanes];
+                    let mut next = vec![0u16; lanes];
+                    unpack_symbols(&cur_words, 6, &mut cur);
+                    unpack_symbols(&data_words, 4, &mut dat);
+                    let lane_ok = pair.encode_symbols(gen, &cur, &dat, &mut next);
+                    let mut out = vec![0u64; cur_len];
+                    let ok = pair.encode_stream(gen, lanes, &cur_words, &data_words, &mut out);
+                    assert_eq!(ok, lane_ok, "lanes {lanes} gen {gen} trial {trial}");
+                    if ok {
+                        let mut expect = vec![0u64; cur_len];
+                        pack_symbols(&next, 6, &mut expect);
+                        assert_eq!(out, expect, "lanes {lanes} gen {gen} trial {trial}");
+                    }
+                    let mut dec = vec![0u16; lanes];
+                    pair.decode_symbols(&cur, &mut dec);
+                    let mut expect = vec![0u64; dat_len];
+                    pack_symbols(&dec, 4, &mut expect);
+                    let mut got = vec![u64::MAX; dat_len];
+                    pair.decode_stream(lanes, &cur_words, &mut got);
+                    assert_eq!(got, expect, "decode lanes {lanes} trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_table_is_the_product_of_single_lookups() {
+        let code = Inverted::new(Rs23Code::new());
+        let single = SymbolLut::build(&code).unwrap();
+        let pair = SymbolLut::build_pair(&code).unwrap();
+        assert_eq!(pair.wits(), 6);
+        assert_eq!(pair.data_bits(), 4);
+        assert_eq!(pair.writes(), 2);
+        assert_eq!(pair.table_entries(), 2 * 64 * 16);
+        for gen in 0..2 {
+            for cur in 0..64u64 {
+                for data in 0..16u64 {
+                    let lo = single.encode(gen, cur & 7, data & 3);
+                    let hi = single.encode(gen, cur >> 3, data >> 2);
+                    match (lo, hi) {
+                        (Some((ln, lt)), Some((hn, ht))) => {
+                            let (n, t) = pair.encode(gen, cur, data).unwrap();
+                            assert_eq!(n, ln | (hn << 3));
+                            assert_eq!(t.sets, lt.sets + ht.sets);
+                            assert_eq!(t.resets, lt.resets + ht.resets);
+                        }
+                        _ => assert!(pair.encode(gen, cur, data).is_none()),
+                    }
+                }
+                assert_eq!(
+                    pair.decode(cur),
+                    single.decode(cur & 7) | (single.decode(cur >> 3) << 2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_tables_obey_the_tighter_cap() {
+        // rs2 k=3 pairs to 14 wits: within MAX_SYMBOL_BITS but
+        // 2 x 2^14 x 2^6 entries is far past the L1-resident pair cap.
+        assert!(SymbolLut::build_pair(&Rs2Code::new(3).unwrap()).is_none());
+        // flip t=7 tabulates singly but its pair is 7 x 2^14 x 4 entries.
+        assert!(SymbolLut::build(&FlipCode::new(7).unwrap()).is_some());
+        assert!(SymbolLut::build_pair(&FlipCode::new(7).unwrap()).is_none());
+        // flip t=4 pairs to 4 x 2^8 x 4 = 4096 entries: eligible.
+        assert!(SymbolLut::build_pair(&FlipCode::new(4).unwrap()).is_some());
+        // rs2 k=4 pairs to 30 wits: past MAX_SYMBOL_BITS entirely.
+        assert!(SymbolLut::build_pair(&Rs2Code::new(4).unwrap()).is_none());
     }
 
     #[test]
