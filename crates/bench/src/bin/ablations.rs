@@ -1,4 +1,4 @@
-//! Ablation studies over the design choices called out in `DESIGN.md` §12:
+//! Ablation studies over the design choices called out in `DESIGN.md` §13:
 //!
 //! * `rth`      — PCM-refresh threshold r_th sweep (0–100%).
 //! * `rat`      — row-address-table depth sweep (the paper fixes 5).

@@ -10,24 +10,31 @@
 //! concentrates all write traffic on the small per-rank cache arrays.
 //!
 //! Usage: `endurance [records] [seed] [--workload NAME] [--threads N]
+//! [--shards N] [--resume PATH [--snapshot-every N]]
 //! [--observe PATH [--epoch-cycles N]]`
 //! (defaults: 30000, 2014, 464.h264ref, available parallelism). The
 //! workload may be any paper-suite or datacenter profile (`womsim list`
 //! names them); the trace is streamed, never materialized, so record
-//! counts far beyond memory are fine.
+//! counts far beyond memory are fine. `--shards N` splits each case's
+//! rank space across the worker pool; `--resume PATH --snapshot-every N`
+//! makes the run restartable (per-case, per-shard `WOMSNAP` files are
+//! derived from PATH) — re-running the same command line after an
+//! interruption picks up from the last snapshot and finishes with
+//! byte-identical metrics.
 
 use pcm_trace::stream::{TraceProfile, TraceSpec};
 use wom_pcm::{Architecture, SystemBuilder};
-use wom_pcm_bench::{
-    cli, run_configs_observed, run_configs_parallel, write_observed_jsonl, ObservedSeries,
-};
+use wom_pcm_bench::sharded::{run_configs_spec, RunOptions};
+use wom_pcm_bench::{cli, run_configs_parallel, write_observed_jsonl, ObservedSeries};
 
-const USAGE: &str = "endurance [records] [seed] [--workload NAME] [--threads N] \
-                     [--observe PATH [--epoch-cycles N]]";
+const USAGE: &str = "endurance [records] [seed] [--workload NAME] [--threads N] [--shards N] \
+                     [--resume PATH [--snapshot-every N]] [--observe PATH [--epoch-cycles N]]";
 
 fn main() {
     let mut cli = cli::Parser::from_env(USAGE);
     let threads = cli.threads();
+    let shards = cli.shards();
+    let snapshot = cli.snapshot();
     let observe = cli.observe();
     let workload = cli
         .value("--workload")
@@ -67,9 +74,17 @@ fn main() {
             (b.into_config(), spec.clone())
         })
         .collect();
-    let metrics = if let Some(obs) = &observe {
-        let runs =
-            run_configs_observed(&jobs, threads, obs.epoch_cycles).expect("endurance cells run");
+    // Short per-case slugs key the derived snapshot file names.
+    const SLUGS: [&str; 5] = ["baseline", "wom", "refresh", "wcpcm", "refresh-sg"];
+    let labels: Vec<String> = SLUGS.map(String::from).into();
+    let opts = RunOptions {
+        shards,
+        threads,
+        snapshot,
+        epoch_cycles: observe.as_ref().map(|o| o.epoch_cycles),
+    };
+    let runs = run_configs_spec(&jobs, &labels, &opts).expect("endurance cells run");
+    let metrics: Vec<_> = if let Some(obs) = &observe {
         let mut metrics = Vec::new();
         let mut observed = Vec::new();
         for ((label, arch, _), (m, series)) in CASES.iter().zip(runs) {
@@ -78,14 +93,14 @@ fn main() {
                 arch: *arch,
                 workload: format!("{workload}/{label}"),
                 banks_per_rank: 32,
-                series,
+                series: series.expect("observation was requested"),
             });
         }
         write_observed_jsonl(&obs.path, &observed).expect("writing the epoch JSONL");
         eprintln!("wrote {} epoch series to {}", observed.len(), obs.path);
         metrics
     } else {
-        run_configs_parallel(&jobs, threads).expect("endurance cells run")
+        runs.into_iter().map(|(m, _)| m).collect()
     };
     for ((label, _, _), m) in CASES.iter().zip(&metrics) {
         let w = m.wear_main;

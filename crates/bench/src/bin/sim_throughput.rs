@@ -20,8 +20,8 @@ use std::time::Instant;
 use wom_pcm::{Architecture, SystemBuilder, SystemConfig, WomPcmSystem};
 use wom_pcm_bench::{cli, run_cells_observed, write_observed_jsonl, CellSpec};
 
-const USAGE: &str =
-    "sim_throughput [--records N] [--json PATH] [--observe PATH [--epoch-cycles N]]";
+const USAGE: &str = "sim_throughput [--records N] [--shards N] [--json PATH] \
+                     [--observe PATH [--epoch-cycles N]]";
 
 /// Measurement repetitions per case; the best (fastest) run is reported,
 /// minimizing scheduler noise — every run simulates identically.
@@ -41,23 +41,36 @@ fn build_config(arch: Architecture, verify_data: bool) -> SystemConfig {
         .into_config()
 }
 
-fn run_case(name: &str, cfg: &SystemConfig, spec: &TraceSpec, records: usize) -> Outcome {
+fn run_case(
+    name: &str,
+    cfg: &SystemConfig,
+    spec: &TraceSpec,
+    records: usize,
+    shards: u32,
+) -> Outcome {
     // One streaming source per case, reset between reps: the timed loop
     // measures the simulator fed at O(chunk) trace-side memory, the same
-    // shape every production run now uses.
+    // shape every production run now uses. Sharded reps re-open their
+    // per-shard sources inside `run_sharded` instead.
     let mut source = spec.open().expect("benchmark trace sources open");
+    let threads = wom_pcm_bench::parallel::default_threads();
     let mut best = f64::INFINITY;
     for rep in 0..REPS {
         if rep > 0 {
             source.reset().expect("benchmark trace sources reset");
         }
-        let mut sys = WomPcmSystem::new(cfg.clone()).expect("benchmark configs validate");
         // Wall-clock is the quantity measured here; the `Instant::now`
         // ban targets simulation code, not the benchmark harness.
         #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
-        sys.run_source(&mut source)
-            .expect("benchmark traces run clean");
+        if shards > 1 {
+            wom_pcm_bench::sharded::run_sharded(cfg, spec, shards, threads)
+                .expect("benchmark traces run clean");
+        } else {
+            let mut sys = WomPcmSystem::new(cfg.clone()).expect("benchmark configs validate");
+            sys.run_source(&mut source)
+                .expect("benchmark traces run clean");
+        }
         best = best.min(start.elapsed().as_secs_f64());
     }
     let records_per_sec = records as f64 / best;
@@ -96,6 +109,7 @@ fn to_json(outcomes: &[Outcome], workload: &str, seed: u64) -> String {
 fn main() {
     let mut cli = cli::Parser::from_env(USAGE);
     let records: usize = cli.parsed("--records").unwrap_or(200_000);
+    let shards = cli.shards();
     let json_path = cli.value("--json");
     let observe = cli.observe();
     cli.finish();
@@ -104,12 +118,20 @@ fn main() {
     let seed = wom_pcm_bench::DEFAULT_SEED;
     let profile = benchmarks::by_name(workload).expect("bundled workload");
     let spec = TraceSpec::synth(profile.clone(), seed, records as u64);
-    println!("simulator throughput: {records} '{workload}' records per run, best of {REPS}\n");
+    let sharded_note = if shards > 1 {
+        format!(" ({shards}-way rank-sharded)")
+    } else {
+        String::new()
+    };
+    println!(
+        "simulator throughput: {records} '{workload}' records per run, best of {REPS}\
+         {sharded_note}\n"
+    );
 
     let mut outcomes = Vec::new();
     for arch in Architecture::all_paper() {
         let cfg = build_config(arch, false);
-        outcomes.push(run_case(arch.label(), &cfg, &spec, records));
+        outcomes.push(run_case(arch.label(), &cfg, &spec, records, shards));
     }
     // Data-verified mode: every write WOM-encodes a real 64-byte line and
     // every read decodes and checks it — the row codec is the hot path.
@@ -125,7 +147,13 @@ fn main() {
         );
     }
     let cfg = build_config(Architecture::WomCode, true);
-    outcomes.push(run_case("womcode_pcm_verified", &cfg, &spec, records));
+    outcomes.push(run_case(
+        "womcode_pcm_verified",
+        &cfg,
+        &spec,
+        records,
+        shards,
+    ));
 
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(&outcomes, workload, seed)).expect("writing the JSON report");

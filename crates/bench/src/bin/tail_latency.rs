@@ -8,24 +8,31 @@
 //! `pcm_sim::Histogram`).
 //!
 //! Usage: `tail_latency [records] [seed] [--workload NAME]... [--threads N]
+//! [--shards N] [--resume PATH [--snapshot-every N]]
 //! [--observe PATH [--epoch-cycles N]]`
 //! (defaults: 30000, 2014, the three paper workloads below, available
 //! parallelism). `--workload` replaces the default set and may name any
 //! paper-suite or datacenter profile (`womsim list`); datacenter tails —
 //! zipfian KV, WAL, GC sweeps — are exactly where p99 diverges from the
-//! mean.
+//! mean. `--shards N` rank-shards each cell across the worker pool;
+//! `--resume PATH --snapshot-every N` makes long runs restartable
+//! (per-cell `WOMSNAP` files are derived from PATH).
 
 use pcm_sim::MemOp;
-use pcm_trace::stream::TraceProfile;
-use wom_pcm::Architecture;
-use wom_pcm_bench::{cli, run_cells_observed, run_cells_parallel, write_observed_jsonl, CellSpec};
+use pcm_trace::stream::{TraceProfile, TraceSpec};
+use wom_pcm::{Architecture, SystemConfig};
+use wom_pcm_bench::sharded::{run_configs_spec, RunOptions};
+use wom_pcm_bench::{cell_builder, cli, write_observed_jsonl, ObservedSeries};
 
 const USAGE: &str = "tail_latency [records] [seed] [--workload NAME]... [--threads N] \
+                     [--shards N] [--resume PATH [--snapshot-every N]] \
                      [--observe PATH [--epoch-cycles N]]";
 
 fn main() {
     let mut cli = cli::Parser::from_env(USAGE);
     let threads = cli.threads();
+    let shards = cli.shards();
+    let snapshot = cli.snapshot();
     let observe = cli.observe();
     let mut workloads = cli.values("--workload");
     let records: usize = cli.positional("records", 30_000);
@@ -37,27 +44,49 @@ fn main() {
             .map(String::from)
             .into();
     }
-    let specs: Vec<CellSpec> = workloads
-        .iter()
-        .flat_map(|name| {
-            let Some(profile) = TraceProfile::by_name(name) else {
-                eprintln!("error: unknown workload '{name}' (see `womsim list`)");
-                std::process::exit(2);
-            };
-            Architecture::all_paper()
-                .iter()
-                .map(|&arch| CellSpec::new(arch, profile.clone(), records, seed))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    let metrics = if let Some(obs) = &observe {
-        let (metrics, observed) =
-            run_cells_observed(&specs, threads, obs.epoch_cycles).expect("tail cells run");
+    let mut jobs: Vec<(SystemConfig, TraceSpec)> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    for name in &workloads {
+        let Some(profile) = TraceProfile::by_name(name) else {
+            eprintln!("error: unknown workload '{name}' (see `womsim list`)");
+            std::process::exit(2);
+        };
+        for &arch in Architecture::all_paper().iter() {
+            jobs.push((
+                cell_builder(arch, 32).into_config(),
+                TraceSpec::synth(profile.clone(), seed, records as u64),
+            ));
+            labels.push(format!("{name}-{}", arch.slug()));
+        }
+    }
+    let opts = RunOptions {
+        shards,
+        threads,
+        snapshot,
+        epoch_cycles: observe.as_ref().map(|o| o.epoch_cycles),
+    };
+    let runs = run_configs_spec(&jobs, &labels, &opts).expect("tail cells run");
+    let metrics: Vec<_> = if let Some(obs) = &observe {
+        let mut metrics = Vec::new();
+        let mut observed = Vec::new();
+        for ((label, (m, series)), arch) in labels
+            .iter()
+            .zip(runs)
+            .zip(workloads.iter().flat_map(|_| Architecture::all_paper()))
+        {
+            metrics.push(m);
+            observed.push(ObservedSeries {
+                arch,
+                workload: label.clone(),
+                banks_per_rank: 32,
+                series: series.expect("observation was requested"),
+            });
+        }
         write_observed_jsonl(&obs.path, &observed).expect("writing the epoch JSONL");
         eprintln!("wrote {} epoch series to {}", observed.len(), obs.path);
         metrics
     } else {
-        run_cells_parallel(&specs, threads).expect("tail cells run")
+        runs.into_iter().map(|(m, _)| m).collect()
     };
 
     for (bench, cells) in workloads.iter().zip(metrics.chunks_exact(4)) {

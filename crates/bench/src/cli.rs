@@ -30,6 +30,55 @@ pub struct ObserveSpec {
     pub epoch_cycles: Cycle,
 }
 
+/// A validated `--resume PATH [--snapshot-every N]` request: restore
+/// from `path` when the file exists, and (with a cadence) rewrite it
+/// every `every` records (see `wom_pcm_bench::sharded`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotSpec {
+    /// Snapshot cadence in trace records; `None` = restore only.
+    pub every: Option<u64>,
+    /// The snapshot file (both the restore source and the write target).
+    pub path: String,
+}
+
+impl SnapshotSpec {
+    /// Derives a per-case snapshot path for multi-case binaries by
+    /// inserting `label` before the file extension (`s.womsnap` +
+    /// `qsort` → `s.qsort.womsnap`; no extension appends `.qsort`). An
+    /// empty label returns the spec unchanged.
+    #[must_use]
+    pub fn for_case(&self, label: &str) -> Self {
+        if label.is_empty() {
+            return self.clone();
+        }
+        // Split only the file name, so dots in directories are left alone.
+        let (dir, name) = match self.path.rsplit_once('/') {
+            Some((dir, name)) => (Some(dir), name),
+            None => (None, self.path.as_str()),
+        };
+        let name = match name.rsplit_once('.') {
+            Some((stem, ext)) if !stem.is_empty() => format!("{stem}.{label}.{ext}"),
+            _ => format!("{name}.{label}"),
+        };
+        let path = match dir {
+            Some(dir) => format!("{dir}/{name}"),
+            None => name,
+        };
+        Self {
+            every: self.every,
+            path,
+        }
+    }
+
+    /// Derives shard `index`'s snapshot path ([`Self::for_case`] with a
+    /// `shardN` label), so a sharded resumable run keeps one container
+    /// per shard.
+    #[must_use]
+    pub fn for_shard(&self, index: u32) -> Self {
+        self.for_case(&format!("shard{index}"))
+    }
+}
+
 /// Destructive flag/positional extractor over a binary's arguments.
 #[derive(Debug)]
 pub struct Parser {
@@ -116,6 +165,30 @@ impl Parser {
             Some(0) => self.fail("--threads wants a positive integer"),
             Some(n) => n,
             None => crate::parallel::default_threads(),
+        }
+    }
+
+    /// Consumes `--shards N`, defaulting to 1 (unsharded); zero exits 2.
+    pub fn shards(&mut self) -> u32 {
+        match self.parsed::<u32>("--shards") {
+            Some(0) => self.fail("--shards wants a positive integer"),
+            Some(n) => n,
+            None => 1,
+        }
+    }
+
+    /// Consumes `--resume PATH` and `--snapshot-every N`.
+    /// `--snapshot-every` without `--resume` (or a zero cadence) exits 2
+    /// — the resume path names the snapshot file, so a cadence without it
+    /// has nowhere to write.
+    pub fn snapshot(&mut self) -> Option<SnapshotSpec> {
+        let every = self.parsed::<u64>("--snapshot-every");
+        let path = self.value("--resume");
+        match (path, every) {
+            (Some(_), Some(0)) => self.fail("--snapshot-every wants a positive integer"),
+            (Some(path), every) => Some(SnapshotSpec { every, path }),
+            (None, Some(_)) => self.fail("--snapshot-every requires --resume"),
+            (None, None) => None,
         }
     }
 
@@ -224,6 +297,47 @@ mod tests {
         assert_eq!(p.observe().map(|o| o.epoch_cycles), Some(1000));
         let mut p = Parser::from_args("t", &[]);
         assert_eq!(p.observe(), None);
+    }
+
+    #[test]
+    fn shards_defaults_to_one() {
+        let mut p = Parser::from_args("t", &[]);
+        assert_eq!(p.shards(), 1);
+        let mut p = Parser::from_args("t", &["--shards", "8"]);
+        assert_eq!(p.shards(), 8);
+        p.finish();
+    }
+
+    #[test]
+    fn snapshot_pairs_resume_with_optional_cadence() {
+        let mut p = Parser::from_args("t", &["--resume", "s.womsnap"]);
+        assert_eq!(
+            p.snapshot(),
+            Some(SnapshotSpec {
+                every: None,
+                path: "s.womsnap".into(),
+            })
+        );
+        let mut p = Parser::from_args("t", &["--resume", "s.womsnap", "--snapshot-every", "500"]);
+        assert_eq!(p.snapshot().and_then(|s| s.every), Some(500));
+        let mut p = Parser::from_args("t", &[]);
+        assert_eq!(p.snapshot(), None);
+    }
+
+    #[test]
+    fn snapshot_paths_derive_per_case_and_per_shard() {
+        let spec = SnapshotSpec {
+            every: Some(100),
+            path: "out/run.womsnap".into(),
+        };
+        assert_eq!(spec.for_case("qsort").path, "out/run.qsort.womsnap");
+        assert_eq!(spec.for_case("").path, "out/run.womsnap");
+        assert_eq!(spec.for_shard(3).path, "out/run.shard3.womsnap");
+        let bare = SnapshotSpec {
+            every: None,
+            path: "snap".into(),
+        };
+        assert_eq!(bare.for_case("a").path, "snap.a");
     }
 
     #[test]

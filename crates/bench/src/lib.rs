@@ -20,6 +20,7 @@ use wom_pcm::{
 };
 
 pub mod cli;
+pub mod sharded;
 
 /// Default records per run for figure regeneration. Large enough for
 /// steady-state behaviour, small enough that all 80 Fig. 5 cells run in

@@ -1,0 +1,321 @@
+//! Sharded and resumable experiment runners.
+//!
+//! [`run_spec`] is the one entry point behind the `--shards`,
+//! `--snapshot-every`, and `--resume` flags: it runs a `(config, trace
+//! spec)` job either whole or as an N-way rank-sharded decomposition
+//! ([`wom_pcm::ShardPlan`]), periodically writing `WOMSNAP` snapshot
+//! containers and resuming from one when present. Shards are dispatched
+//! on [`crate::parallel::map`], and the merged metrics are reduced in
+//! fixed shard order — so the same decomposition is `{:#?}`-byte
+//! identical at any thread count (pinned by the `shard_determinism`
+//! test; see `DESIGN.md` §12).
+//!
+//! Resume semantics: a snapshot file records how many trace records the
+//! interrupted run had consumed; [`run_spec`] restores the engine,
+//! re-opens the spec, skips exactly that many records (chunk by chunk,
+//! submitting only the tail of the boundary chunk), and continues — the
+//! finished metrics are byte-identical to the uninterrupted run. A
+//! missing snapshot file simply starts from the beginning, so the same
+//! command line works for the first run and every restart.
+
+use crate::cli::SnapshotSpec;
+use crate::parallel;
+use pcm_sim::Cycle;
+use pcm_trace::stream::{TraceSource, TraceSpec};
+use wom_pcm::{
+    EpochSeries, RunMetrics, ShardPlan, ShardSource, SnapshotError, SystemConfig, WomPcmError,
+    WomPcmSystem,
+};
+
+/// How a job is executed: shard fan-out, snapshot cadence, observation.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Rank shards to split the run into (`0`/`1` = unsharded). Must
+    /// evenly divide the configured rank count.
+    pub shards: u32,
+    /// Worker threads for the shard fan-out.
+    pub threads: usize,
+    /// Snapshot cadence and path (`--snapshot-every` / `--resume`).
+    /// Sharded runs derive one path per shard via
+    /// [`SnapshotSpec::for_shard`].
+    pub snapshot: Option<SnapshotSpec>,
+    /// Epoch width when the run should record a time series.
+    pub epoch_cycles: Option<Cycle>,
+}
+
+impl RunOptions {
+    /// Unsharded, unobserved, snapshot-free execution — the behaviour of
+    /// every runner before these flags existed.
+    #[must_use]
+    pub fn plain() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs one `(config, spec)` job under `opts` (see module docs).
+///
+/// Returns the final (merged) metrics, plus the (merged) epoch series
+/// when `opts.epoch_cycles` is set.
+///
+/// # Errors
+///
+/// Propagates [`WomPcmError`] from configuration validation, shard
+/// planning (a shard count that does not divide the ranks), trace
+/// streaming, snapshot I/O, or the simulation itself.
+pub fn run_spec(
+    config: &SystemConfig,
+    spec: &TraceSpec,
+    opts: &RunOptions,
+) -> Result<(RunMetrics, Option<EpochSeries>), WomPcmError> {
+    if opts.shards <= 1 {
+        let mut cfg = config.clone();
+        if let Some(width) = opts.epoch_cycles {
+            cfg.epoch_cycles = Some(width);
+        }
+        let source = spec.open()?;
+        return run_system(cfg, source, opts.snapshot.as_ref());
+    }
+    let plan = ShardPlan::new(config, opts.shards)?;
+    let indices: Vec<u32> = (0..opts.shards).collect();
+    let results = parallel::map(&indices, opts.threads, |&index| {
+        let mut cfg = plan.shard_config(index)?;
+        if let Some(width) = opts.epoch_cycles {
+            cfg.epoch_cycles = Some(width);
+        }
+        let source = ShardSource::new(spec.open()?, &plan, index)?;
+        let snapshot = opts.snapshot.as_ref().map(|s| s.for_shard(index));
+        run_system(cfg, source, snapshot.as_ref())
+    });
+    merge_shards(results)
+}
+
+/// Reduces per-shard results in fixed shard order; any shard's error
+/// (first by shard index) wins.
+fn merge_shards(
+    results: Vec<Result<(RunMetrics, Option<EpochSeries>), WomPcmError>>,
+) -> Result<(RunMetrics, Option<EpochSeries>), WomPcmError> {
+    let mut merged: Option<(RunMetrics, Option<EpochSeries>)> = None;
+    for result in results {
+        let (metrics, series) = result?;
+        match &mut merged {
+            None => merged = Some((metrics, series)),
+            Some((all_metrics, all_series)) => {
+                all_metrics.merge(&metrics);
+                match (all_series, series) {
+                    (Some(all), Some(s)) => all.merge(&s)?,
+                    (None, None) => {}
+                    _ => {
+                        return Err(WomPcmError::Internal(
+                            "shards disagree on epoch observation".into(),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    merged.ok_or_else(|| WomPcmError::Internal("no shards were run".into()))
+}
+
+/// Sharded run without observation or snapshots: the `--shards N` fast
+/// path for sweep binaries.
+///
+/// # Errors
+///
+/// See [`run_spec`].
+pub fn run_sharded(
+    config: &SystemConfig,
+    spec: &TraceSpec,
+    shards: u32,
+    threads: usize,
+) -> Result<RunMetrics, WomPcmError> {
+    let opts = RunOptions {
+        shards,
+        threads,
+        ..RunOptions::plain()
+    };
+    run_spec(config, spec, &opts).map(|(m, _)| m)
+}
+
+/// [`run_sharded`] with epoch observation: also returns the shard-merged
+/// epoch series.
+///
+/// # Errors
+///
+/// See [`run_spec`].
+pub fn run_sharded_observed(
+    config: &SystemConfig,
+    spec: &TraceSpec,
+    shards: u32,
+    threads: usize,
+    epoch_cycles: Cycle,
+) -> Result<(RunMetrics, EpochSeries), WomPcmError> {
+    let opts = RunOptions {
+        shards,
+        threads,
+        epoch_cycles: Some(epoch_cycles),
+        ..RunOptions::plain()
+    };
+    let (metrics, series) = run_spec(config, spec, &opts)?;
+    let series = series.ok_or_else(|| {
+        WomPcmError::Internal("epoch observation was enabled but recorded no series".into())
+    })?;
+    Ok((metrics, series))
+}
+
+/// Unsharded resumable run: restore from `snapshot.path` when the file
+/// exists, then re-snapshot every `snapshot.every` records.
+///
+/// # Errors
+///
+/// See [`run_spec`].
+pub fn run_resumable(
+    config: &SystemConfig,
+    spec: &TraceSpec,
+    snapshot: &SnapshotSpec,
+) -> Result<RunMetrics, WomPcmError> {
+    let opts = RunOptions {
+        snapshot: Some(snapshot.clone()),
+        ..RunOptions::plain()
+    };
+    run_spec(config, spec, &opts).map(|(m, _)| m)
+}
+
+/// Runs a batch of `(config, spec)` jobs under shared options. `labels`
+/// names each job (same length as `jobs`) and keys the per-case snapshot
+/// paths ([`SnapshotSpec::for_case`]). Jobs without sharding or
+/// snapshots fan out across `opts.threads` like
+/// [`crate::run_configs_parallel`]; sharded or resumable jobs run one
+/// after another with the shard fan-out inside each.
+///
+/// # Errors
+///
+/// Propagates the first (by job order) [`WomPcmError`] of any job, or
+/// [`WomPcmError::Internal`] when `labels` and `jobs` disagree in length.
+pub fn run_configs_spec(
+    jobs: &[(SystemConfig, TraceSpec)],
+    labels: &[String],
+    opts: &RunOptions,
+) -> Result<Vec<(RunMetrics, Option<EpochSeries>)>, WomPcmError> {
+    if labels.len() != jobs.len() {
+        return Err(WomPcmError::Internal(
+            "one label per job is required".into(),
+        ));
+    }
+    if opts.shards <= 1 && opts.snapshot.is_none() {
+        return parallel::map(jobs, opts.threads, |(cfg, spec)| run_spec(cfg, spec, opts))
+            .into_iter()
+            .collect();
+    }
+    jobs.iter()
+        .zip(labels)
+        .map(|((cfg, spec), label)| {
+            let job_opts = RunOptions {
+                snapshot: opts.snapshot.as_ref().map(|s| s.for_case(label)),
+                ..opts.clone()
+            };
+            run_spec(cfg, spec, &job_opts)
+        })
+        .collect()
+}
+
+/// Drives one system over one source with optional restore-and-snapshot,
+/// returning the finished metrics (and epoch series when observed).
+fn run_system<S: TraceSource>(
+    config: SystemConfig,
+    mut source: S,
+    snapshot: Option<&SnapshotSpec>,
+) -> Result<(RunMetrics, Option<EpochSeries>), WomPcmError> {
+    let observed = config.epoch_cycles.is_some();
+    let mut sys = WomPcmSystem::new(config)?;
+    let mut consumed: u64 = 0;
+    if let Some(spec) = snapshot {
+        match std::fs::read(&spec.path) {
+            Ok(bytes) => consumed = sys.restore(&bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(SnapshotError::from(e).into()),
+        }
+    }
+    let mut skip = consumed;
+    let mut since_snapshot: u64 = 0;
+    while let Some(chunk) = source.next_chunk()? {
+        let len = chunk.len() as u64;
+        if skip >= len {
+            skip -= len;
+            continue;
+        }
+        // Boundary chunk on resume: submit only the unconsumed tail.
+        let tail = chunk.get(skip as usize..).unwrap_or_default();
+        skip = 0;
+        for record in tail {
+            sys.submit(*record)?;
+        }
+        consumed += tail.len() as u64;
+        since_snapshot += tail.len() as u64;
+        if let Some(spec) = snapshot {
+            if let Some(every) = spec.every {
+                if since_snapshot >= every {
+                    let bytes = sys.snapshot(consumed)?;
+                    std::fs::write(&spec.path, bytes).map_err(SnapshotError::from)?;
+                    since_snapshot = 0;
+                }
+            }
+        }
+    }
+    let metrics = sys.finish()?;
+    let series = if observed { sys.take_epochs() } else { None };
+    Ok((metrics, series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_trace::synth::benchmarks;
+    use wom_pcm::{Architecture, SystemBuilder};
+
+    fn job() -> (SystemConfig, TraceSpec) {
+        let cfg = SystemBuilder::new(Architecture::WomCodeRefresh)
+            .rows_per_bank(4096)
+            .into_config();
+        let profile = benchmarks::by_name("qsort").expect("bundled workload");
+        (cfg, TraceSpec::synth(profile, 7, 4_000))
+    }
+
+    #[test]
+    fn unsharded_run_spec_matches_plain_run() {
+        let (cfg, spec) = job();
+        let mut source = spec.open().unwrap();
+        let plain = WomPcmSystem::new(cfg.clone())
+            .unwrap()
+            .run_source(&mut source)
+            .unwrap();
+        let (m, series) = run_spec(&cfg, &spec, &RunOptions::plain()).unwrap();
+        assert!(series.is_none());
+        assert_eq!(format!("{m:#?}"), format!("{plain:#?}"));
+    }
+
+    #[test]
+    fn shard_count_must_divide_the_ranks() {
+        let (cfg, spec) = job();
+        assert!(run_sharded(&cfg, &spec, 5, 1).is_err(), "16 % 5 != 0");
+        assert!(run_sharded(&cfg, &spec, 8, 1).is_ok());
+    }
+
+    #[test]
+    fn sharded_shards_account_for_every_record() {
+        let (cfg, spec) = job();
+        let whole = run_spec(&cfg, &spec, &RunOptions::plain()).unwrap().0;
+        let sharded = run_sharded(&cfg, &spec, 8, 1).unwrap();
+        // Different decomposition, same demand stream: every submitted
+        // access lands in exactly one shard.
+        assert_eq!(
+            sharded.reads.count + sharded.writes.count,
+            whole.reads.count + whole.writes.count
+        );
+    }
+
+    #[test]
+    fn mismatched_labels_are_rejected() {
+        let (cfg, spec) = job();
+        assert!(run_configs_spec(&[(cfg, spec)], &[], &RunOptions::plain()).is_err());
+    }
+}

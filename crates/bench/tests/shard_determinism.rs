@@ -1,0 +1,146 @@
+//! Cross-thread determinism and resumability of the sharded runner.
+//!
+//! Two contracts from DESIGN.md §12 are pinned here, in both CI kernel
+//! legs (lanes and scalar):
+//!
+//! 1. The same shard decomposition merged on one worker thread and on a
+//!    full pool is `{:#?}`-byte identical — thread scheduling must never
+//!    leak into results (merge order is fixed shard order, not
+//!    completion order).
+//! 2. A run interrupted after a snapshot and resumed from it finishes
+//!    byte-identical to the uninterrupted run.
+
+use pcm_trace::stream::TraceSpec;
+use pcm_trace::synth::benchmarks;
+use std::path::PathBuf;
+use wom_pcm::{Architecture, SystemConfig};
+use wom_pcm_bench::cell_builder;
+use wom_pcm_bench::cli::SnapshotSpec;
+use wom_pcm_bench::sharded::{
+    run_resumable, run_sharded, run_sharded_observed, run_spec, RunOptions,
+};
+
+const SHARDS: u32 = 8;
+const RECORDS: u64 = 6_000;
+const SEED: u64 = 7;
+
+fn config(arch: Architecture) -> SystemConfig {
+    cell_builder(arch, 32).into_config()
+}
+
+fn spec(records: u64) -> TraceSpec {
+    let profile = benchmarks::by_name("qsort").expect("bundled workload");
+    TraceSpec::synth(profile, SEED, records)
+}
+
+/// A per-test scratch path under the cargo-managed tmp dir, cleared of
+/// any leftover from a previous run.
+fn scratch(name: &str) -> PathBuf {
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    match std::fs::remove_file(&path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => panic!("clearing scratch snapshot {}: {e}", path.display()),
+    }
+    path
+}
+
+#[test]
+fn pooled_merge_matches_serial_merge_for_all_architectures() {
+    let spec = spec(RECORDS);
+    for arch in Architecture::all_paper() {
+        let cfg = config(arch);
+        let serial = run_sharded(&cfg, &spec, SHARDS, 1).expect("serial shard pass runs");
+        let pooled =
+            run_sharded(&cfg, &spec, SHARDS, SHARDS as usize).expect("pooled shard pass runs");
+        assert_eq!(
+            format!("{serial:#?}"),
+            format!("{pooled:#?}"),
+            "{}: pooled merge diverged from one-thread merge",
+            arch.slug()
+        );
+    }
+}
+
+#[test]
+fn observed_epoch_series_merge_is_thread_count_independent() {
+    let spec = spec(RECORDS);
+    let cfg = config(Architecture::WomCodeRefresh);
+    let (m1, s1) =
+        run_sharded_observed(&cfg, &spec, SHARDS, 1, 10_000).expect("serial observed pass runs");
+    let (m8, s8) = run_sharded_observed(&cfg, &spec, SHARDS, SHARDS as usize, 10_000)
+        .expect("pooled observed pass runs");
+    assert_eq!(format!("{m1:#?}"), format!("{m8:#?}"));
+    assert_eq!(format!("{s1:#?}"), format!("{s8:#?}"));
+}
+
+#[test]
+fn interrupted_resume_matches_uninterrupted_run() {
+    let full = spec(RECORDS);
+    for arch in Architecture::all_paper() {
+        let cfg = config(arch);
+        let uninterrupted = run_spec(&cfg, &full, &RunOptions::plain())
+            .expect("reference run")
+            .0;
+
+        // "Interrupt" by running a truncated spec — the synth generator
+        // is a prefix-stable stream, so the first 3000 records of the
+        // 6000-record spec are the same trace.
+        let snap = SnapshotSpec {
+            every: Some(1_000),
+            path: scratch(&format!("resume-{}.womsnap", arch.slug()))
+                .display()
+                .to_string(),
+        };
+        let _ = run_resumable(&cfg, &spec(RECORDS / 2), &snap).expect("interrupted prefix runs");
+
+        // Same command line, full spec: restores from the snapshot, skips
+        // the consumed prefix, and finishes.
+        let resumed = run_resumable(&cfg, &full, &snap).expect("resumed run finishes");
+        assert_eq!(
+            format!("{uninterrupted:#?}"),
+            format!("{resumed:#?}"),
+            "{}: resumed run diverged from the uninterrupted run",
+            arch.slug()
+        );
+    }
+}
+
+#[test]
+fn sharded_interrupted_resume_matches_uninterrupted_sharded_run() {
+    let full = spec(RECORDS);
+    let cfg = config(Architecture::Wcpcm);
+    let uninterrupted = run_sharded(&cfg, &full, SHARDS, 1).expect("reference sharded run");
+
+    let base = scratch("resume-sharded.womsnap");
+    for i in 0..SHARDS {
+        // Clear the derived per-shard paths too.
+        let _ = std::fs::remove_file(
+            SnapshotSpec {
+                every: None,
+                path: base.display().to_string(),
+            }
+            .for_shard(i)
+            .path,
+        );
+    }
+    let snap = SnapshotSpec {
+        every: Some(500),
+        path: base.display().to_string(),
+    };
+    let opts = RunOptions {
+        shards: SHARDS,
+        threads: SHARDS as usize,
+        snapshot: Some(snap),
+        epoch_cycles: None,
+    };
+    let _ = run_spec(&cfg, &spec(RECORDS / 2), &opts).expect("interrupted sharded prefix runs");
+    let resumed = run_spec(&cfg, &full, &opts)
+        .expect("resumed sharded run finishes")
+        .0;
+    assert_eq!(
+        format!("{uninterrupted:#?}"),
+        format!("{resumed:#?}"),
+        "resumed sharded run diverged from the uninterrupted sharded run"
+    );
+}

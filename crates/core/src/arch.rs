@@ -65,6 +65,19 @@ impl Architecture {
         }
     }
 
+    /// Filesystem- and JSON-safe identifier (the display labels above
+    /// contain spaces and slashes); used for snapshot file names and
+    /// benchmark case keys.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Self::Baseline => "baseline",
+            Self::WomCode => "wom-code",
+            Self::WomCodeRefresh => "wom-code-refresh",
+            Self::Wcpcm => "wcpcm",
+        }
+    }
+
     /// Whether this architecture WOM-encodes main-memory rows.
     #[must_use]
     pub fn encodes_main_memory(self) -> bool {

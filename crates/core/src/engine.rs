@@ -22,10 +22,11 @@ use crate::metrics::RunMetrics;
 use crate::observe::{EpochRecorder, EpochSeries, Event, Observer, ObserverSink, WriteClass};
 use crate::policy::{self, ArchPolicy, ArraySide, ReadAction, WriteAction};
 use crate::rowmap::RowMap;
+use crate::snapshot::SnapshotError;
 use crate::wear_leveling::StartGap;
 use pcm_sim::{
     AddressDecoder, Completion, Cycle, DecodedAddr, MemOp, MemorySystem, ServiceClass, SimError,
-    TransactionId,
+    SnapReader, SnapWriter, TransactionId,
 };
 use pcm_trace::stream::TraceSource;
 use pcm_trace::{TraceOp, TraceRecord};
@@ -524,6 +525,177 @@ impl EngineCore {
         }
     }
 
+    /// Serializes the complete mid-run engine state (everything that
+    /// varies between two `submit` calls). Collections iterate in their
+    /// deterministic (key) order, so the same state always produces the
+    /// same bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] when a caller-supplied
+    /// observer is attached (see [`ObserverSink::save_state`]).
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) -> Result<(), WomPcmError> {
+        self.main.save_state(w);
+        match &self.cache_mem {
+            None => w.put_bool(false),
+            Some(cm) => {
+                w.put_bool(true);
+                cm.save_state(w);
+            }
+        }
+        w.put_u64(self.next_refresh_at);
+        w.put_usize(self.victim_ids.len());
+        for &id in &self.victim_ids {
+            w.put_u64(id);
+        }
+        w.put_usize(self.leveling_ids.len());
+        for &id in &self.leveling_ids {
+            w.put_u64(id);
+        }
+        match &self.start_gaps {
+            None => w.put_bool(false),
+            Some(sgs) => {
+                w.put_bool(true);
+                w.put_usize(sgs.len());
+                for sg in sgs {
+                    sg.save_state(w);
+                }
+            }
+        }
+        match &self.data_check {
+            None => w.put_bool(false),
+            Some(check) => {
+                w.put_bool(true);
+                check.mem.save_state(w);
+                w.put_usize(check.expected.len());
+                for (line, data) in check.expected.iter() {
+                    w.put_u64(line);
+                    w.put_bytes(data);
+                }
+                w.put_u64(check.seq);
+                w.put_u64(check.reads_verified);
+            }
+        }
+        w.put_usize(self.pending_victims.len());
+        for &addr in &self.pending_victims {
+            w.put_u64(addr);
+        }
+        w.put_usize(self.merge_windows.len());
+        for (&(is_cache, key), &until) in &self.merge_windows {
+            w.put_bool(is_cache);
+            w.put_u64(key);
+            w.put_u64(until);
+        }
+        w.put_u64(self.outstanding_main);
+        w.put_u64(self.outstanding_cache);
+        self.metrics.save_state(w);
+        self.observer.save_state(w)?;
+        w.put_u64(self.last_record_cycle);
+        Ok(())
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into
+    /// this core, which must have been freshly built from the same
+    /// configuration (the snapshot container's fingerprint enforces
+    /// this before any payload byte is decoded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Snapshot`] for truncated or corrupt
+    /// payloads, including structure that disagrees with the
+    /// configuration.
+    pub(crate) fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), WomPcmError> {
+        self.main.restore_state(r)?;
+        let has_cache = r.take_bool()?;
+        match (&mut self.cache_mem, has_cache) {
+            (Some(cm), true) => cm.restore_state(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(SnapshotError::Corrupt(
+                    "cache-array presence disagrees with the configuration",
+                )
+                .into())
+            }
+        }
+        self.next_refresh_at = r.take_u64()?;
+        let victims = r.take_len(8)?;
+        self.victim_ids = BTreeSet::new();
+        for _ in 0..victims {
+            self.victim_ids.insert(r.take_u64()?);
+        }
+        let levelings = r.take_len(8)?;
+        self.leveling_ids = BTreeSet::new();
+        for _ in 0..levelings {
+            self.leveling_ids.insert(r.take_u64()?);
+        }
+        let has_gaps = r.take_bool()?;
+        match (&mut self.start_gaps, has_gaps) {
+            (Some(sgs), true) => {
+                let n = r.take_len(8)?;
+                if n != sgs.len() {
+                    return Err(SnapshotError::Corrupt(
+                        "Start-Gap bank count disagrees with the geometry",
+                    )
+                    .into());
+                }
+                for sg in sgs.iter_mut() {
+                    *sg = StartGap::load_state(r)?;
+                }
+            }
+            (None, false) => {}
+            _ => {
+                return Err(SnapshotError::Corrupt(
+                    "wear-leveling presence disagrees with the configuration",
+                )
+                .into())
+            }
+        }
+        let has_check = r.take_bool()?;
+        match (&mut self.data_check, has_check) {
+            (Some(check), true) => {
+                check.mem.load_state(r)?;
+                let lines = r.take_len(8 + CHECK_LINE_BYTES)?;
+                check.expected = RowMap::new();
+                for _ in 0..lines {
+                    let line = r.take_u64()?;
+                    let bytes = r.take_bytes(CHECK_LINE_BYTES)?;
+                    let mut data = [0u8; CHECK_LINE_BYTES];
+                    data.copy_from_slice(bytes);
+                    check.expected.insert(line, data);
+                }
+                check.seq = r.take_u64()?;
+                check.reads_verified = r.take_u64()?;
+                check.line_buf = [0u8; CHECK_LINE_BYTES];
+            }
+            (None, false) => {}
+            _ => {
+                return Err(SnapshotError::Corrupt(
+                    "data-check presence disagrees with the configuration",
+                )
+                .into())
+            }
+        }
+        let victims = r.take_len(8)?;
+        self.pending_victims = VecDeque::new();
+        for _ in 0..victims {
+            self.pending_victims.push_back(r.take_u64()?);
+        }
+        let windows = r.take_len(17)?;
+        self.merge_windows = BTreeMap::new();
+        for _ in 0..windows {
+            let is_cache = r.take_bool()?;
+            let key = r.take_u64()?;
+            let until = r.take_u64()?;
+            self.merge_windows.insert((is_cache, key), until);
+        }
+        self.outstanding_main = r.take_u64()?;
+        self.outstanding_cache = r.take_u64()?;
+        self.metrics = RunMetrics::load_state(r)?;
+        self.observer = ObserverSink::load_state(r)?;
+        self.last_record_cycle = r.take_u64()?;
+        Ok(())
+    }
+
     fn record_demand(&mut self, c: &Completion) {
         match c.op {
             MemOp::Read => {
@@ -633,6 +805,44 @@ impl<P: ArchPolicy> Engine<P> {
     /// off afterwards. `None` when epoch observation was not enabled.
     pub fn take_epochs(&mut self) -> Option<EpochSeries> {
         self.core.observer.take_epochs()
+    }
+
+    /// Serializes the engine's complete mid-run state — memory systems,
+    /// in-flight bookkeeping, metrics, epoch series, and the policy's
+    /// architecture state — as one snapshot payload. Call between
+    /// [`submit`](Self::submit)s; wrap the payload in a `WOMSNAP`
+    /// container with [`crate::snapshot::encode_container`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] when a caller-supplied
+    /// observer is attached — arbitrary observers cannot be serialized;
+    /// detach the observer first.
+    pub fn save_state(&self) -> Result<Vec<u8>, WomPcmError> {
+        let mut w = SnapWriter::new();
+        self.core.save_state(&mut w)?;
+        self.policy.save_state(&mut w);
+        Ok(w.into_bytes())
+    }
+
+    /// Restores a payload written by [`save_state`](Self::save_state)
+    /// into this engine, which must have been freshly built from the
+    /// same configuration. After a successful restore the engine is
+    /// byte-for-byte in the saved run's mid-flight state: submitting the
+    /// remaining trace records produces metrics `{:#?}`-identical to the
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Snapshot`] for truncated or corrupt
+    /// payloads (including payloads whose structure disagrees with this
+    /// engine's configuration).
+    pub fn restore_state(&mut self, payload: &[u8]) -> Result<(), WomPcmError> {
+        let mut r = SnapReader::new(payload);
+        self.core.restore_state(&mut r)?;
+        self.policy.load_state(&mut r)?;
+        r.finish()?;
+        Ok(())
     }
 
     /// Feeds one trace record to the engine, advancing simulated time to

@@ -1,7 +1,9 @@
 //! Error type for the WOM-code PCM architecture layer.
 
 use core::fmt;
-use pcm_sim::SimError;
+
+use crate::snapshot::SnapshotError;
+use pcm_sim::{SimError, SnapError};
 use pcm_trace::stream::TraceStreamError;
 use wom_code::WomCodeError;
 
@@ -19,6 +21,9 @@ pub enum WomPcmError {
     /// A streaming trace source failed while being drained (I/O error,
     /// truncated container, bad record).
     Trace(TraceStreamError),
+    /// A snapshot container failed to encode, decode, or apply
+    /// (truncated/corrupt payload, checksum failure, config mismatch).
+    Snapshot(SnapshotError),
     /// Trace records arrived out of order (cycles must be non-decreasing).
     TraceOrder {
         /// Time already reached.
@@ -39,6 +44,7 @@ impl fmt::Display for WomPcmError {
             Self::Code(e) => write!(f, "wom-code error: {e}"),
             Self::InvalidConfig(what) => write!(f, "invalid architecture configuration: {what}"),
             Self::Trace(e) => write!(f, "trace source error: {e}"),
+            Self::Snapshot(e) => write!(f, "snapshot error: {e}"),
             Self::TraceOrder { now, record } => {
                 write!(f, "trace record at cycle {record} arrived after time {now}")
             }
@@ -53,6 +59,7 @@ impl std::error::Error for WomPcmError {
             Self::Sim(e) => Some(e),
             Self::Code(e) => Some(e),
             Self::Trace(e) => Some(e),
+            Self::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -73,6 +80,18 @@ impl From<WomCodeError> for WomPcmError {
 impl From<TraceStreamError> for WomPcmError {
     fn from(e: TraceStreamError) -> Self {
         Self::Trace(e)
+    }
+}
+
+impl From<SnapshotError> for WomPcmError {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
+impl From<SnapError> for WomPcmError {
+    fn from(e: SnapError) -> Self {
+        Self::Snapshot(SnapshotError::from(e))
     }
 }
 

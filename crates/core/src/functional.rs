@@ -11,6 +11,7 @@
 use crate::error::WomPcmError;
 use crate::rowmap::RowMap;
 use crate::wom_state::WriteKind;
+use pcm_sim::{SnapError, SnapReader, SnapWriter};
 use wom_code::{BlockCodec, RowScratch, Transitions, WitBuffer, WomCode};
 
 /// Outcome of one functional row write.
@@ -267,6 +268,52 @@ impl<C: WomCode> FunctionalMemory<C> {
     #[must_use]
     pub fn writes_done(&self, row: u64) -> u32 {
         self.rows.get(row).map_or(0, |&(_, gen)| gen)
+    }
+
+    /// Serializes the materialized rows for snapshot/restore. The codec,
+    /// scratch, and staging buffers are reconstructed state and are not
+    /// written; rows go out in ascending key order as 64-bit wit chunks.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.rows.len());
+        for (key, (cells, gen)) in self.rows.iter() {
+            w.put_u64(key);
+            w.put_u32(*gen);
+            let bits = cells.len();
+            for offset in (0..bits).step_by(64) {
+                let width = 64.min(bits - offset);
+                w.put_u64(cells.chunk(offset, width));
+            }
+        }
+    }
+
+    /// Loads rows written by [`save_state`](Self::save_state) into this
+    /// (identically configured) memory, replacing any existing rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation; [`SnapError::Corrupt`] when a wit
+    /// chunk has bits beyond the row's cell count.
+    pub fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let bits = self.erased.len();
+        let len = r.take_len(12 + bits.div_ceil(64) * 8)?;
+        self.rows = RowMap::new();
+        self.stage_lines.clear();
+        self.stage_data.clear();
+        for _ in 0..len {
+            let key = r.take_u64()?;
+            let gen = r.take_u32()?;
+            let mut cells = WitBuffer::zeros(bits);
+            for offset in (0..bits).step_by(64) {
+                let width = 64.min(bits - offset);
+                let value = r.take_u64()?;
+                if width < 64 && value >= (1u64 << width) {
+                    return Err(SnapError::Corrupt("wit chunk overflows the row"));
+                }
+                cells.set_chunk(offset, width, value);
+            }
+            self.rows.insert(key, (cells, gen));
+        }
+        Ok(())
     }
 }
 

@@ -61,6 +61,8 @@ pub mod observe;
 pub mod policy;
 pub mod refresh;
 pub mod rowmap;
+pub mod shard;
+pub mod snapshot;
 pub mod system;
 pub mod wcpcm;
 pub mod wear_leveling;
@@ -78,6 +80,8 @@ pub use observe::{EpochCounters, EpochRecorder, EpochSeries, Event, NullObserver
 pub use policy::ArchPolicy;
 pub use refresh::{RefreshConfig, RefreshEngine, RefreshPlan};
 pub use rowmap::RowMap;
+pub use shard::{ShardPlan, ShardSource};
+pub use snapshot::{SnapshotEnvelope, SnapshotError};
 pub use system::{SystemConfig, WomPcmSystem};
 pub use wcpcm::{CacheStats, CacheWriteOutcome, WomCache};
 pub use wear_leveling::StartGap;

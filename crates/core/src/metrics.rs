@@ -2,7 +2,10 @@
 
 use crate::wcpcm::CacheStats;
 use core::fmt;
-use pcm_sim::{EnergyTally, Histogram, LatencyHistogram, LatencySummary, MemOp, WearSummary};
+use pcm_sim::{
+    EnergyTally, Histogram, LatencyHistogram, LatencySummary, MemOp, SnapError, SnapReader,
+    SnapWriter, WearSummary,
+};
 
 /// Results of driving one trace through one architecture.
 #[derive(Debug, Clone, Default)]
@@ -130,6 +133,117 @@ impl RunMetrics {
             return None;
         }
         Some(self.reads.mean() / baseline.reads.mean())
+    }
+
+    /// Merges another shard's metrics into this one.
+    ///
+    /// Counters and energies add, latency summaries and histograms merge,
+    /// and the wear distributions pool exactly because shards partition
+    /// the row space ([`WearSummary::merge_disjoint`]). Every piece of
+    /// the reduction is commutative and associative, so any merge order
+    /// over a shard set yields `{:#?}`-byte-identical results (pinned by
+    /// the `shard_determinism` bench test). `clock_ns` is shared
+    /// configuration and keeps this side's value (an empty identity
+    /// element adopts the other side's clock).
+    pub fn merge(&mut self, other: &Self) {
+        self.reads.merge(&other.reads);
+        self.writes.merge(&other.writes);
+        self.read_hist.merge(&other.read_hist);
+        self.write_hist.merge(&other.write_hist);
+        self.fast_writes += other.fast_writes;
+        self.slow_writes += other.slow_writes;
+        self.coalesced_writes += other.coalesced_writes;
+        self.victim_writebacks += other.victim_writebacks;
+        self.refreshes_completed += other.refreshes_completed;
+        self.refreshes_preempted += other.refreshes_preempted;
+        self.leveling_copies += other.leveling_copies;
+        self.hidden_page_accesses += other.hidden_page_accesses;
+        self.data_reads_verified += other.data_reads_verified;
+        match (&mut self.cache, &other.cache) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.cache = Some(*theirs),
+            _ => {}
+        }
+        self.energy.merge(&other.energy);
+        self.wear_main.merge_disjoint(&other.wear_main);
+        match (&mut self.wear_cache, &other.wear_cache) {
+            (Some(mine), Some(theirs)) => mine.merge_disjoint(theirs),
+            (None, Some(theirs)) => self.wear_cache = Some(*theirs),
+            _ => {}
+        }
+        if self.clock_ns == 0.0 {
+            self.clock_ns = other.clock_ns;
+        }
+    }
+
+    /// Serializes the metrics for snapshot/restore (exact `f64` bits).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.reads.save_state(w);
+        self.writes.save_state(w);
+        self.read_hist.save_state(w);
+        self.write_hist.save_state(w);
+        w.put_u64(self.fast_writes);
+        w.put_u64(self.slow_writes);
+        w.put_u64(self.coalesced_writes);
+        w.put_u64(self.victim_writebacks);
+        w.put_u64(self.refreshes_completed);
+        w.put_u64(self.refreshes_preempted);
+        w.put_u64(self.leveling_copies);
+        w.put_u64(self.hidden_page_accesses);
+        w.put_u64(self.data_reads_verified);
+        match &self.cache {
+            None => w.put_bool(false),
+            Some(c) => {
+                w.put_bool(true);
+                c.save_state(w);
+            }
+        }
+        self.energy.save_state(w);
+        self.wear_main.save_state(w);
+        match &self.wear_cache {
+            None => w.put_bool(false),
+            Some(s) => {
+                w.put_bool(true);
+                s.save_state(w);
+            }
+        }
+        w.put_f64(self.clock_ns);
+    }
+
+    /// Decodes metrics written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            reads: LatencySummary::load_state(r)?,
+            writes: LatencySummary::load_state(r)?,
+            read_hist: LatencyHistogram::load_state(r)?,
+            write_hist: LatencyHistogram::load_state(r)?,
+            fast_writes: r.take_u64()?,
+            slow_writes: r.take_u64()?,
+            coalesced_writes: r.take_u64()?,
+            victim_writebacks: r.take_u64()?,
+            refreshes_completed: r.take_u64()?,
+            refreshes_preempted: r.take_u64()?,
+            leveling_copies: r.take_u64()?,
+            hidden_page_accesses: r.take_u64()?,
+            data_reads_verified: r.take_u64()?,
+            cache: if r.take_bool()? {
+                Some(CacheStats::load_state(r)?)
+            } else {
+                None
+            },
+            energy: EnergyTally::load_state(r)?,
+            wear_main: WearSummary::load_state(r)?,
+            wear_cache: if r.take_bool()? {
+                Some(WearSummary::load_state(r)?)
+            } else {
+                None
+            },
+            clock_ns: r.take_f64()?,
+        })
     }
 }
 

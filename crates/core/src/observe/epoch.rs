@@ -1,7 +1,8 @@
 //! Folding the event stream into fixed-width epoch time-series.
 
 use super::event::{Event, WriteClass};
-use pcm_sim::{Cycle, Histogram};
+use crate::error::WomPcmError;
+use pcm_sim::{Cycle, Histogram, SnapError, SnapReader, SnapWriter};
 
 /// Everything counted within one epoch.
 ///
@@ -140,6 +141,66 @@ impl EpochCounters {
         self.read_hist.merge(&other.read_hist);
         self.write_hist.merge(&other.write_hist);
     }
+
+    /// Serializes the counters for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.reads_issued);
+        w.put_u64(self.writes_issued);
+        w.put_u64(self.reads_completed);
+        w.put_u64(self.writes_completed);
+        w.put_u128(self.read_cycles);
+        w.put_u128(self.write_cycles);
+        w.put_u64(self.fast_writes);
+        w.put_u64(self.slow_writes);
+        w.put_u64(self.coalesced_writes);
+        w.put_u64(self.refresh_bursts);
+        w.put_u64(self.refresh_rows_planned);
+        w.put_u64(self.refreshes_completed);
+        w.put_u64(self.refreshes_preempted);
+        w.put_u64(self.cache_read_hits);
+        w.put_u64(self.cache_read_misses);
+        w.put_u64(self.cache_write_hits);
+        w.put_u64(self.cache_write_misses);
+        w.put_u64(self.victim_writebacks);
+        w.put_u64(self.gap_moves);
+        w.put_u64(self.budgets_exhausted);
+        w.put_u64(self.hidden_page_accesses);
+        self.read_hist.save_state(w);
+        self.write_hist.save_state(w);
+    }
+
+    /// Decodes counters written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            reads_issued: r.take_u64()?,
+            writes_issued: r.take_u64()?,
+            reads_completed: r.take_u64()?,
+            writes_completed: r.take_u64()?,
+            read_cycles: r.take_u128()?,
+            write_cycles: r.take_u128()?,
+            fast_writes: r.take_u64()?,
+            slow_writes: r.take_u64()?,
+            coalesced_writes: r.take_u64()?,
+            refresh_bursts: r.take_u64()?,
+            refresh_rows_planned: r.take_u64()?,
+            refreshes_completed: r.take_u64()?,
+            refreshes_preempted: r.take_u64()?,
+            cache_read_hits: r.take_u64()?,
+            cache_read_misses: r.take_u64()?,
+            cache_write_hits: r.take_u64()?,
+            cache_write_misses: r.take_u64()?,
+            victim_writebacks: r.take_u64()?,
+            gap_moves: r.take_u64()?,
+            budgets_exhausted: r.take_u64()?,
+            hidden_page_accesses: r.take_u64()?,
+            read_hist: Histogram::load_state(r)?,
+            write_hist: Histogram::load_state(r)?,
+        })
+    }
 }
 
 /// A completed fixed-width epoch time-series: one [`EpochCounters`] per
@@ -214,6 +275,67 @@ impl EpochSeries {
         }
         t
     }
+
+    /// Merges another series of the *same epoch width* into this one,
+    /// epoch by epoch (shorter sides pad with empty epochs). The merge is
+    /// commutative and associative, so shard reductions are
+    /// order-independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] when the epoch widths
+    /// differ — those series bucket time incompatibly.
+    pub fn merge(&mut self, other: &Self) -> Result<(), WomPcmError> {
+        if self.epoch_cycles != other.epoch_cycles {
+            return Err(WomPcmError::InvalidConfig(format!(
+                "cannot merge epoch series of widths {} and {}",
+                self.epoch_cycles, other.epoch_cycles
+            )));
+        }
+        self.end_cycle = self.end_cycle.max(other.end_cycle);
+        if self.epochs.len() < other.epochs.len() {
+            self.epochs
+                .resize_with(other.epochs.len(), EpochCounters::default);
+        }
+        for (mine, theirs) in self.epochs.iter_mut().zip(&other.epochs) {
+            mine.merge(theirs);
+        }
+        Ok(())
+    }
+
+    /// Serializes the series for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.epoch_cycles);
+        w.put_u64(self.end_cycle);
+        w.put_usize(self.epochs.len());
+        for e in &self.epochs {
+            e.save_state(w);
+        }
+    }
+
+    /// Decodes a series written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation; [`SnapError::Corrupt`] for a zero
+    /// epoch width.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let epoch_cycles = r.take_u64()?;
+        if epoch_cycles == 0 {
+            return Err(SnapError::Corrupt("zero epoch width"));
+        }
+        let end_cycle = r.take_u64()?;
+        let len = r.take_len(21 * 8)?;
+        let mut epochs = Vec::with_capacity(len);
+        for _ in 0..len {
+            epochs.push(EpochCounters::load_state(r)?);
+        }
+        Ok(Self {
+            epoch_cycles,
+            end_cycle,
+            epochs,
+        })
+    }
 }
 
 /// An [`Observer`](super::Observer) folding events into an
@@ -284,6 +406,22 @@ impl EpochRecorder {
     #[must_use]
     pub fn into_series(self) -> EpochSeries {
         self.series
+    }
+
+    /// Serializes the recorder for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.series.save_state(w);
+    }
+
+    /// Decodes a recorder written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation and corrupt series parameters.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            series: EpochSeries::load_state(r)?,
+        })
     }
 }
 
@@ -373,6 +511,73 @@ mod tests {
         assert_eq!(left, right);
         assert_eq!(left.reads_completed, 15);
         assert_eq!(left.read_hist.count(), 15);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = EpochCounters::default();
+        let mut b = EpochCounters::default();
+        for i in 0..7 {
+            a.fold(&read_done(i, 10 + i));
+            a.fold(&Event::CacheWrite {
+                cycle: i,
+                hit: i % 2 == 0,
+            });
+            b.fold(&Event::WriteCompleted {
+                cycle: i,
+                latency: 200 + i,
+                class: WriteClass::Slow,
+            });
+            b.fold(&Event::GapMove {
+                cycle: i,
+                rank: 0,
+                bank: 0,
+            });
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.reads_completed, 7);
+        assert_eq!(ab.slow_writes, 7);
+    }
+
+    #[test]
+    fn series_merge_pads_and_rejects_mismatched_widths() {
+        let mut short = EpochRecorder::new(100);
+        short.on_event(&read_done(5, 10));
+        short.on_finish(100);
+        let mut long = EpochRecorder::new(100);
+        long.on_event(&read_done(250, 20));
+        long.on_finish(300);
+        let mut ab = short.series().clone();
+        ab.merge(long.series()).unwrap();
+        let mut ba = long.series().clone();
+        ba.merge(short.series()).unwrap();
+        assert_eq!(ab, ba, "series merge must be commutative");
+        assert_eq!(ab.len(), 3);
+        assert_eq!(ab.end_cycle(), 300);
+        assert_eq!(ab.epochs()[0].reads_completed, 1);
+        assert_eq!(ab.epochs()[2].reads_completed, 1);
+        let other_width = EpochRecorder::new(50);
+        assert!(ab.merge(other_width.series()).is_err());
+    }
+
+    #[test]
+    fn series_snapshot_round_trip() {
+        use pcm_sim::{SnapReader, SnapWriter};
+        let mut r = EpochRecorder::new(100);
+        r.on_event(&read_done(5, 10));
+        r.on_event(&read_done(205, 30));
+        r.on_finish(250);
+        let mut w = SnapWriter::new();
+        r.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut reader = SnapReader::new(&bytes);
+        let back = EpochRecorder::load_state(&mut reader).unwrap();
+        reader.finish().unwrap();
+        assert_eq!(back.series(), r.series());
     }
 
     #[test]

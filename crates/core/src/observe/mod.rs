@@ -41,7 +41,8 @@ pub use epoch::{EpochCounters, EpochRecorder, EpochSeries};
 pub use event::{Event, WriteClass};
 pub use export::{write_csv, write_jsonl};
 
-use pcm_sim::Cycle;
+use crate::error::WomPcmError;
+use pcm_sim::{Cycle, SnapError, SnapReader, SnapWriter};
 
 /// A sink for instrumentation [`Event`]s.
 ///
@@ -130,6 +131,44 @@ impl ObserverSink {
                 *self = other;
                 None
             }
+        }
+    }
+
+    /// Serializes the sink for snapshot/restore.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] for a caller-supplied
+    /// [`Observer`]: arbitrary observers carry state the snapshot codec
+    /// cannot represent, so snapshotting is limited to `Off`/epochs.
+    pub(crate) fn save_state(&self, w: &mut SnapWriter) -> Result<(), WomPcmError> {
+        match self {
+            Self::Off => {
+                w.put_u8(0);
+                Ok(())
+            }
+            Self::Epochs(r) => {
+                w.put_u8(1);
+                r.save_state(w);
+                Ok(())
+            }
+            Self::Custom(_) => Err(WomPcmError::InvalidConfig(
+                "custom observers cannot be snapshotted; detach the observer first".into(),
+            )),
+        }
+    }
+
+    /// Decodes a sink written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation; [`SnapError::Corrupt`] for an
+    /// unknown tag.
+    pub(crate) fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.take_u8()? {
+            0 => Ok(Self::Off),
+            1 => Ok(Self::Epochs(EpochRecorder::load_state(r)?)),
+            _ => Err(SnapError::Corrupt("ObserverSink tag")),
         }
     }
 }

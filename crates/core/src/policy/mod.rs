@@ -34,7 +34,7 @@ use crate::config::SystemConfig;
 use crate::engine::EngineCore;
 use crate::error::WomPcmError;
 use crate::metrics::RunMetrics;
-use pcm_sim::{Completion, DecodedAddr, ServiceClass};
+use pcm_sim::{Completion, DecodedAddr, ServiceClass, SnapReader, SnapWriter};
 
 /// Which memory array a completion came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +161,25 @@ pub trait ArchPolicy: std::fmt::Debug {
     fn finish(&mut self, core: &EngineCore, result: &mut RunMetrics) {
         let _ = (core, result);
     }
+
+    /// Serializes the policy's architecture-specific state for
+    /// snapshot/restore. Stateless policies write nothing.
+    fn save_state(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`Self::save_state`] into this policy
+    /// (freshly built from the same configuration). Stateless policies
+    /// read nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Snapshot`] for truncated or corrupt
+    /// payloads.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), WomPcmError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 impl ArchPolicy for Box<dyn ArchPolicy> {
@@ -195,6 +214,14 @@ impl ArchPolicy for Box<dyn ArchPolicy> {
 
     fn finish(&mut self, core: &EngineCore, result: &mut RunMetrics) {
         (**self).finish(core, result);
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        (**self).save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), WomPcmError> {
+        (**self).load_state(r)
     }
 }
 

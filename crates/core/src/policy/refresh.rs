@@ -8,7 +8,7 @@ use crate::engine::EngineCore;
 use crate::error::WomPcmError;
 use crate::metrics::RunMetrics;
 use crate::refresh::{RefreshConfig, RefreshEngine};
-use pcm_sim::{Completion, DecodedAddr, TransactionId};
+use pcm_sim::{Completion, DecodedAddr, SnapError, SnapReader, SnapWriter, TransactionId};
 use std::collections::BTreeMap;
 
 /// The main-array refresh machinery shared by the refresh-capable
@@ -120,6 +120,40 @@ impl RefreshDriver {
         }
         Ok(())
     }
+
+    /// Serializes the refresh engine and the in-flight refresh plan. The
+    /// tick-time scratch vectors are transient and not written.
+    pub(super) fn save_state(&self, w: &mut SnapWriter) {
+        self.engine.save_state(w);
+        w.put_usize(self.planned.len());
+        for (&id, &(rank, bank, row)) in &self.planned {
+            w.put_u64(id);
+            w.put_u32(rank);
+            w.put_u32(bank);
+            w.put_u32(row);
+        }
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation and structural corruption.
+    pub(super) fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.engine = RefreshEngine::load_state(r)?;
+        let planned = r.take_len(20)?;
+        self.planned = BTreeMap::new();
+        for _ in 0..planned {
+            let id = r.take_u64()?;
+            let rank = r.take_u32()?;
+            let bank = r.take_u32()?;
+            let row = r.take_u32()?;
+            self.planned.insert(id, (rank, bank, row));
+        }
+        self.idle_scratch.clear();
+        self.rows_scratch.clear();
+        Ok(())
+    }
 }
 
 /// WOM-code PCM with PCM-refresh: the [`WomCodePolicy`] write path plus a
@@ -176,5 +210,13 @@ impl ArchPolicy for WomCodeRefreshPolicy {
 
     fn finish(&mut self, core: &EngineCore, result: &mut RunMetrics) {
         self.inner.finish(core, result);
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), WomPcmError> {
+        self.inner.load_state(r)
     }
 }

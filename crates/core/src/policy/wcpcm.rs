@@ -10,7 +10,7 @@ use crate::observe::Event;
 use crate::refresh::RefreshEngine;
 use crate::wcpcm::{CacheWriteOutcome, WomCache};
 use crate::wom_state::BudgetGranularity;
-use pcm_sim::{Completion, DecodedAddr, ServiceClass, TransactionId};
+use pcm_sim::{Completion, DecodedAddr, ServiceClass, SnapReader, SnapWriter, TransactionId};
 use std::collections::BTreeMap;
 
 /// Main memory stays conventional; a WOM-coded cache array per rank
@@ -222,5 +222,32 @@ impl ArchPolicy for WcpcmPolicy {
 
     fn finish(&mut self, _core: &EngineCore, result: &mut RunMetrics) {
         result.cache = Some(*self.cache.stats());
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.cache.save_state(w);
+        self.engine.save_state(w);
+        w.put_usize(self.planned.len());
+        for (&id, &(rank, row)) in &self.planned {
+            w.put_u64(id);
+            w.put_u32(rank);
+            w.put_u32(row);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), WomPcmError> {
+        self.cache = WomCache::load_state(r)?;
+        self.engine = RefreshEngine::load_state(r)?;
+        let planned = r.take_len(16)?;
+        self.planned = BTreeMap::new();
+        for _ in 0..planned {
+            let id = r.take_u64()?;
+            let rank = r.take_u32()?;
+            let row = r.take_u32()?;
+            self.planned.insert(id, (rank, row));
+        }
+        self.idle_scratch.clear();
+        self.rows_scratch.clear();
+        Ok(())
     }
 }

@@ -7,8 +7,9 @@ use crate::engine::EngineCore;
 use crate::error::WomPcmError;
 use crate::hidden_page::HiddenPageTable;
 use crate::observe::Event;
+use crate::snapshot::SnapshotError;
 use crate::wom_state::{BudgetGranularity, WomStateTable};
-use pcm_sim::{Completion, DecodedAddr, MemOp, ServiceClass};
+use pcm_sim::{Completion, DecodedAddr, MemOp, ServiceClass, SnapReader, SnapWriter};
 
 /// Main memory is WOM-coded: each write within a row's rewrite budget is
 /// a RESET-only write; the α-write past the budget pays the full SET
@@ -188,5 +189,48 @@ impl ArchPolicy for WomCodePolicy {
         if let Some(driver) = &mut self.refresh {
             driver.row_refreshed(dest.rank, dest.bank, dest.row);
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.wom.save_state(w);
+        match &self.hidden {
+            None => w.put_bool(false),
+            Some(h) => {
+                w.put_bool(true);
+                h.save_state(w);
+            }
+        }
+        match &self.refresh {
+            None => w.put_bool(false),
+            Some(d) => {
+                w.put_bool(true);
+                d.save_state(w);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), WomPcmError> {
+        self.wom = WomStateTable::load_state(r)?;
+        let has_hidden = r.take_bool()?;
+        match (&mut self.hidden, has_hidden) {
+            (Some(h), true) => *h = HiddenPageTable::load_state(h.geometry(), r)?,
+            (None, false) => {}
+            _ => {
+                return Err(WomPcmError::Snapshot(SnapshotError::Corrupt(
+                    "hidden-page presence disagrees with the configuration",
+                )))
+            }
+        }
+        let has_refresh = r.take_bool()?;
+        match (&mut self.refresh, has_refresh) {
+            (Some(d), true) => d.load_state(r)?,
+            (None, false) => {}
+            _ => {
+                return Err(WomPcmError::Snapshot(SnapshotError::Corrupt(
+                    "refresh-driver presence disagrees with the configuration",
+                )))
+            }
+        }
+        Ok(())
     }
 }

@@ -11,6 +11,7 @@
 //! ongoing refresh.
 
 use crate::error::WomPcmError;
+use pcm_sim::{SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// Tuning parameters of the PCM-refresh engine.
@@ -308,6 +309,79 @@ impl RefreshEngine {
         }
         None
     }
+
+    /// Serializes the engine for snapshot/restore. The derived
+    /// `pending_banks` / `pending_total` counters are *not* written —
+    /// [`load_state`](Self::load_state) recomputes them from the tables.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_usize(self.config.table_depth);
+        w.put_u8(self.config.threshold_pct);
+        w.put_u32(self.ranks);
+        w.put_u32(self.banks_per_rank);
+        w.put_u32(self.cursor);
+        for table in &self.tables {
+            w.put_usize(table.rows.len());
+            for &row in &table.rows {
+                w.put_u32(row);
+            }
+        }
+    }
+
+    /// Decodes an engine written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation; [`SnapError::Corrupt`] for
+    /// parameters a fresh engine would reject.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let config = RefreshConfig {
+            table_depth: u64_to_usize(r.take_u64()?)?,
+            threshold_pct: r.take_u8()?,
+        };
+        let ranks = r.take_u32()?;
+        let banks_per_rank = r.take_u32()?;
+        let cursor = r.take_u32()?;
+        if config.validate().is_err() || ranks == 0 || banks_per_rank == 0 || cursor >= ranks {
+            return Err(SnapError::Corrupt("refresh engine parameters"));
+        }
+        let bank_count = ranks as usize * banks_per_rank as usize;
+        let mut tables = Vec::with_capacity(bank_count);
+        let mut pending_banks = vec![0u32; ranks as usize];
+        let mut pending_total = 0u32;
+        for flat in 0..bank_count {
+            let len = r.take_len(4)?;
+            if len > config.table_depth {
+                return Err(SnapError::Corrupt("row address table overflows depth"));
+            }
+            let mut rows = VecDeque::with_capacity(len);
+            for _ in 0..len {
+                rows.push_back(r.take_u32()?);
+            }
+            if !rows.is_empty() {
+                let rank = flat / banks_per_rank as usize;
+                if let Some(slot) = pending_banks.get_mut(rank) {
+                    *slot += 1;
+                }
+                pending_total += 1;
+            }
+            tables.push(RowAddressTable { rows });
+        }
+        Ok(Self {
+            config,
+            ranks,
+            banks_per_rank,
+            tables,
+            cursor,
+            pending_banks,
+            pending_total,
+        })
+    }
+}
+
+/// Converts a stored `u64` length back to `usize`, rejecting values that
+/// do not fit the platform (corrupt on 32-bit targets only).
+fn u64_to_usize(v: u64) -> Result<usize, SnapError> {
+    usize::try_from(v).map_err(|_| SnapError::Corrupt("length overflows usize"))
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@ use crate::error::WomPcmError;
 use crate::metrics::RunMetrics;
 use crate::observe::{EpochSeries, Observer};
 use crate::policy::ArchPolicy;
+use crate::snapshot::{self, SnapshotError};
 use pcm_sim::Cycle;
 use pcm_trace::TraceRecord;
 
@@ -147,6 +148,58 @@ impl WomPcmSystem {
     /// Propagates simulator errors (none are expected during a drain).
     pub fn finish(&mut self) -> Result<RunMetrics, WomPcmError> {
         self.engine.finish()
+    }
+
+    /// Serializes the system's complete mid-run state into a `WOMSNAP`
+    /// container (see [`crate::snapshot`]). `records_consumed` is the
+    /// number of trace records already submitted — a resuming runner
+    /// reads it back from the container and skips that many records
+    /// before continuing the stream.
+    ///
+    /// Call between [`submit`](Self::submit)s; restoring into a system
+    /// built from the same configuration and replaying the remaining
+    /// records produces metrics `{:#?}`-identical to the uninterrupted
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] when a caller-supplied
+    /// observer is attached (arbitrary observers cannot be serialized;
+    /// detach it first).
+    pub fn snapshot(&self, records_consumed: u64) -> Result<Vec<u8>, WomPcmError> {
+        let payload = self.engine.save_state()?;
+        let config = self.engine.config();
+        Ok(snapshot::encode_container(
+            config.arch,
+            snapshot::config_fingerprint(config),
+            records_consumed,
+            &payload,
+        ))
+    }
+
+    /// Restores a `WOMSNAP` container produced by
+    /// [`snapshot`](Self::snapshot) into this freshly-built system,
+    /// returning the number of trace records the snapshotted run had
+    /// consumed (the caller skips that many before resuming).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::Snapshot`] for foreign bytes, truncation,
+    /// checksum failure, a snapshot taken under a different
+    /// configuration, or a corrupt payload.
+    pub fn restore(&mut self, container: &[u8]) -> Result<u64, WomPcmError> {
+        let envelope = snapshot::decode_container(container)?;
+        let config = self.engine.config();
+        let current = snapshot::config_fingerprint(config);
+        if envelope.arch != config.arch || envelope.fingerprint != current {
+            return Err(SnapshotError::ConfigMismatch {
+                snapshot: envelope.fingerprint,
+                current,
+            }
+            .into());
+        }
+        self.engine.restore_state(envelope.payload)?;
+        Ok(envelope.records_consumed)
     }
 }
 

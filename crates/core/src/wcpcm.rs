@@ -10,6 +10,7 @@
 //! because only one bank's worth of rows per rank is duplicated.
 
 use crate::wom_state::{WomStateTable, WriteKind};
+use pcm_sim::{SnapError, SnapReader, SnapWriter};
 
 /// What happened on a WOM-cache write lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +94,37 @@ impl CacheStats {
         } else {
             hits as f64 / total as f64
         }
+    }
+
+    /// Merges another cache's counters into this one (commutative and
+    /// associative — used for shard reduction).
+    pub fn merge(&mut self, other: &Self) {
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+    }
+
+    /// Serializes the counters for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.write_hits);
+        w.put_u64(self.write_misses);
+        w.put_u64(self.read_hits);
+        w.put_u64(self.read_misses);
+    }
+
+    /// Decodes counters written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            write_hits: r.take_u64()?,
+            write_misses: r.take_u64()?,
+            read_hits: r.take_u64()?,
+            read_misses: r.take_u64()?,
+        })
     }
 }
 
@@ -273,6 +305,61 @@ impl WomCache {
     #[must_use]
     pub fn valid_entries(&self) -> usize {
         self.tags.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Serializes the cache for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u32(self.ranks);
+        w.put_u32(self.banks_per_rank);
+        w.put_u32(self.rows);
+        for tag in &self.tags {
+            match tag {
+                None => w.put_bool(false),
+                Some(bank) => {
+                    w.put_bool(true);
+                    w.put_u32(*bank);
+                }
+            }
+        }
+        self.wom.save_state(w);
+        self.stats.save_state(w);
+    }
+
+    /// Decodes a cache written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation; [`SnapError::Corrupt`] for
+    /// zero-sized dimensions or out-of-range tags.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let ranks = r.take_u32()?;
+        let banks_per_rank = r.take_u32()?;
+        let rows = r.take_u32()?;
+        if ranks == 0 || banks_per_rank == 0 || rows == 0 {
+            return Err(SnapError::Corrupt("cache dimensions"));
+        }
+        let entries = ranks as usize * rows as usize;
+        let mut tags = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            let tag = if r.take_bool()? {
+                let bank = r.take_u32()?;
+                if bank >= banks_per_rank {
+                    return Err(SnapError::Corrupt("cache tag out of range"));
+                }
+                Some(bank)
+            } else {
+                None
+            };
+            tags.push(tag);
+        }
+        Ok(Self {
+            ranks,
+            banks_per_rank,
+            rows,
+            tags,
+            wom: WomStateTable::load_state(r)?,
+            stats: CacheStats::load_state(r)?,
+        })
     }
 }
 

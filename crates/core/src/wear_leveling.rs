@@ -13,6 +13,7 @@
 //! proves the mapping stays a bijection and actually levels wear.
 
 use crate::error::WomPcmError;
+use pcm_sim::{SnapError, SnapReader, SnapWriter};
 
 /// Start-Gap remapping over a region of `rows` logical rows backed by
 /// `rows + 1` physical rows.
@@ -140,6 +141,47 @@ impl StartGap {
             self.gap -= 1;
             Some((from, to))
         }
+    }
+
+    /// Serializes the remapper for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rows);
+        w.put_u64(self.gap_move_interval);
+        w.put_u64(self.start);
+        w.put_u64(self.gap);
+        w.put_u64(self.since_move);
+        w.put_u64(self.moves);
+    }
+
+    /// Decodes a remapper written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation; [`SnapError::Corrupt`] for a state
+    /// that breaks the mapping invariants.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let rows = r.take_u64()?;
+        let gap_move_interval = r.take_u64()?;
+        let start = r.take_u64()?;
+        let gap = r.take_u64()?;
+        let since_move = r.take_u64()?;
+        let moves = r.take_u64()?;
+        if rows < 2
+            || gap_move_interval == 0
+            || start >= rows
+            || gap > rows
+            || since_move >= gap_move_interval
+        {
+            return Err(SnapError::Corrupt("start-gap state"));
+        }
+        Ok(Self {
+            rows,
+            gap_move_interval,
+            start,
+            gap,
+            since_move,
+            moves,
+        })
     }
 }
 

@@ -18,6 +18,7 @@
 //! costs memory proportional to the trace footprint only.
 
 use crate::rowmap::RowMap;
+use pcm_sim::{SnapError, SnapReader, SnapWriter};
 
 /// What state untouched (cold) cells are assumed to hold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -309,6 +310,59 @@ impl WomStateTable {
     #[must_use]
     pub fn tracked_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Serializes the table for snapshot/restore. Rows are written in
+    /// ascending key order, so identical states produce identical bytes.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u32(self.rewrite_limit);
+        w.put_u32(self.columns);
+        w.put_u8(match self.cold {
+            ColdPolicy::Erased => 0,
+            ColdPolicy::Dirty => 1,
+            ColdPolicy::SteadyState => 2,
+        });
+        w.put_usize(self.rows.len());
+        for (row, counts) in self.rows.iter() {
+            w.put_u64(row);
+            w.put_bytes(counts);
+        }
+    }
+
+    /// Decodes a table written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation; [`SnapError::Corrupt`] for
+    /// out-of-range parameters or an unknown cold-policy tag.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let rewrite_limit = r.take_u32()?;
+        if !(1..=254).contains(&rewrite_limit) {
+            return Err(SnapError::Corrupt("WOM rewrite limit out of range"));
+        }
+        let columns = r.take_u32()?;
+        if columns == 0 {
+            return Err(SnapError::Corrupt("WOM table with zero columns"));
+        }
+        let cold = match r.take_u8()? {
+            0 => ColdPolicy::Erased,
+            1 => ColdPolicy::Dirty,
+            2 => ColdPolicy::SteadyState,
+            _ => return Err(SnapError::Corrupt("ColdPolicy tag")),
+        };
+        let len = r.take_len(8 + columns as usize)?;
+        let mut rows = RowMap::new();
+        for _ in 0..len {
+            let row = r.take_u64()?;
+            let counts = r.take_bytes(columns as usize)?;
+            rows.insert(row, counts.to_vec().into_boxed_slice());
+        }
+        Ok(Self {
+            rewrite_limit,
+            columns,
+            cold,
+            rows,
+        })
     }
 }
 

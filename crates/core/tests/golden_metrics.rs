@@ -54,16 +54,9 @@ fn render_metrics(arch: Architecture) -> String {
 }
 
 fn golden_path(arch: Architecture) -> PathBuf {
-    // Filesystem-safe slugs; labels like "PCM w/o WOM-code" are not.
-    let stem = match arch {
-        Architecture::Baseline => "baseline",
-        Architecture::WomCode => "wom-code",
-        Architecture::WomCodeRefresh => "wom-code-refresh",
-        Architecture::Wcpcm => "wcpcm",
-    };
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
-        .join(format!("{stem}.txt"))
+        .join(format!("{}.txt", arch.slug()))
 }
 
 fn check(arch: Architecture) {

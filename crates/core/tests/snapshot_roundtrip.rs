@@ -1,0 +1,250 @@
+//! Snapshot/restore correctness: interrupting a run with a `WOMSNAP`
+//! snapshot and resuming in a fresh system must be invisible — the
+//! resumed run's metrics and epoch series are `{:#?}`-byte-identical to
+//! the uninterrupted run, for every architecture.
+//!
+//! Also pins the container format with one golden `.womsnap` fixture per
+//! architecture (snapshots of a deterministic run must be byte-identical
+//! across builds), and checks that damaged containers fail with typed
+//! errors, mirroring the `WOMTRC` truncation semantics. Regenerate the
+//! fixtures after an intentional format or model change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p wom-pcm --test snapshot_roundtrip
+//! ```
+
+use pcm_trace::synth::{Suite, WorkloadProfile};
+use pcm_trace::TraceRecord;
+use std::path::PathBuf;
+use wom_pcm::snapshot::{self, SnapshotError};
+use wom_pcm::{Architecture, SystemConfig, WomPcmError, WomPcmSystem};
+
+const RECORDS: usize = 6_000;
+const SEED: u64 = 2014;
+/// Snapshot point: mid-run, with transactions in flight on every
+/// architecture.
+const SPLIT: usize = 2_700;
+
+/// A fixed workload whose footprint fits the tiny geometry, with enough
+/// write recurrence to drive every architecture's machinery (same shape
+/// as the golden-metrics workload).
+fn workload() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "snapshot".into(),
+        suite: Suite::SpecCpu2006,
+        read_fraction: 0.55,
+        working_set_bytes: 32 * 1024,
+        hot_fraction: 0.6,
+        hot_set_fraction: 0.15,
+        sequential_run: 0.3,
+        row_rewrite_prob: 0.55,
+        read_reuse_prob: 0.25,
+        mean_gap_cycles: 40.0,
+        burst_len: 4,
+        reuse_window: 48,
+        scatter_pages: false,
+    }
+}
+
+fn config(arch: Architecture) -> SystemConfig {
+    let mut cfg = SystemConfig::tiny(arch);
+    // Epoch observation on, so the snapshot also carries (and the test
+    // also compares) the mid-run time series.
+    cfg.epoch_cycles = Some(10_000);
+    cfg
+}
+
+fn trace() -> Vec<TraceRecord> {
+    workload().generate(SEED, RECORDS)
+}
+
+/// Runs `cfg` over `records` uninterrupted; returns the `{:#?}` of the
+/// final metrics and of the epoch series.
+fn run_straight(cfg: &SystemConfig, records: &[TraceRecord]) -> (String, String) {
+    let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
+    let metrics = sys.run_trace(records.iter().copied()).expect("runs");
+    let epochs = sys.take_epochs().expect("epochs enabled");
+    (format!("{metrics:#?}"), format!("{epochs:#?}"))
+}
+
+/// Runs `cfg` over `records`, snapshotting at `split` and resuming in a
+/// fresh system; returns the same renderings plus the container bytes.
+fn run_interrupted(
+    cfg: &SystemConfig,
+    records: &[TraceRecord],
+    split: usize,
+) -> (String, String, Vec<u8>) {
+    let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
+    for r in &records[..split] {
+        sys.submit(*r).expect("submits");
+    }
+    let container = sys.snapshot(split as u64).expect("snapshots");
+    drop(sys);
+
+    let mut resumed = WomPcmSystem::new(cfg.clone()).expect("valid config");
+    let consumed = resumed.restore(&container).expect("restores");
+    assert_eq!(consumed, split as u64, "records_consumed round-trips");
+    for r in &records[consumed as usize..] {
+        resumed.submit(*r).expect("submits");
+    }
+    let metrics = resumed.finish().expect("finishes");
+    let epochs = resumed.take_epochs().expect("epochs enabled");
+    (format!("{metrics:#?}"), format!("{epochs:#?}"), container)
+}
+
+#[test]
+fn resume_is_bit_identical_for_all_architectures() {
+    let records = trace();
+    for arch in Architecture::all_paper() {
+        let cfg = config(arch);
+        let (straight_metrics, straight_epochs) = run_straight(&cfg, &records);
+        let (resumed_metrics, resumed_epochs, _) = run_interrupted(&cfg, &records, SPLIT);
+        assert_eq!(
+            resumed_metrics, straight_metrics,
+            "{arch:?}: resumed metrics diverge from the uninterrupted run"
+        );
+        assert_eq!(
+            resumed_epochs, straight_epochs,
+            "{arch:?}: resumed epoch series diverges"
+        );
+    }
+}
+
+#[test]
+fn resume_preserves_wear_leveling_and_data_verification() {
+    let records = trace();
+    // Start-Gap remappers ride the snapshot...
+    let mut leveled = SystemConfig::tiny(Architecture::WomCode);
+    leveled.wear_leveling = Some(64);
+    // ...and so do the functional checker's cells and references.
+    let mut verified = SystemConfig::tiny(Architecture::WomCodeRefresh);
+    verified.verify_data = true;
+    for cfg in [leveled, verified] {
+        let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
+        let straight = format!(
+            "{:#?}",
+            sys.run_trace(records.iter().copied()).expect("runs")
+        );
+        let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
+        for r in &records[..SPLIT] {
+            sys.submit(*r).expect("submits");
+        }
+        let container = sys.snapshot(SPLIT as u64).expect("snapshots");
+        let mut resumed = WomPcmSystem::new(cfg.clone()).expect("valid config");
+        resumed.restore(&container).expect("restores");
+        for r in &records[SPLIT..] {
+            resumed.submit(*r).expect("submits");
+        }
+        let metrics = format!("{:#?}", resumed.finish().expect("finishes"));
+        assert_eq!(metrics, straight, "{:?} diverged", cfg.wear_leveling);
+    }
+}
+
+#[test]
+fn snapshot_twice_is_byte_identical() {
+    let records = trace();
+    let cfg = config(Architecture::Wcpcm);
+    let snap = |()| {
+        let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
+        for r in &records[..SPLIT] {
+            sys.submit(*r).expect("submits");
+        }
+        sys.snapshot(SPLIT as u64).expect("snapshots")
+    };
+    assert_eq!(snap(()), snap(()), "snapshot bytes are deterministic");
+}
+
+fn fixture_path(arch: Architecture) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{}.womsnap", arch.slug()))
+}
+
+#[test]
+fn golden_womsnap_fixtures_stay_stable() {
+    let records = trace();
+    for arch in Architecture::all_paper() {
+        let cfg = config(arch);
+        let (_, _, container) = run_interrupted(&cfg, &records, SPLIT);
+        let path = fixture_path(arch);
+        // GOLDEN_REGEN gates regeneration of the checked-in files; it
+        // never affects a verifying run, so the env ban does not apply.
+        #[allow(clippy::disallowed_methods)]
+        let regen = std::env::var_os("GOLDEN_REGEN").is_some();
+        if regen {
+            std::fs::write(&path, &container).expect("fixture written");
+            continue;
+        }
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); regenerate with \
+                 GOLDEN_REGEN=1 cargo test -p wom-pcm --test snapshot_roundtrip",
+                path.display()
+            )
+        });
+        assert_eq!(
+            container,
+            golden,
+            "{arch:?}: snapshot bytes drifted from {}; if the change is \
+             intentional, regenerate with GOLDEN_REGEN=1",
+            path.display()
+        );
+        // The committed container must still decode and resume.
+        let mut resumed = WomPcmSystem::new(cfg.clone()).expect("valid config");
+        let consumed = resumed.restore(&golden).expect("golden restores");
+        for r in &records[consumed as usize..] {
+            resumed.submit(*r).expect("submits");
+        }
+        resumed.finish().expect("finishes");
+    }
+}
+
+#[test]
+fn damaged_containers_fail_with_typed_errors() {
+    let records = trace();
+    let cfg = config(Architecture::WomCodeRefresh);
+    let (_, _, container) = run_interrupted(&cfg, &records, SPLIT);
+
+    // Foreign bytes.
+    assert!(matches!(
+        snapshot::decode_container(b"WOMTRC\x00\x02not a snapshot"),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Truncation anywhere fails with a typed error before any state is
+    // touched (mirrors `BinaryTraceError::Truncated`).
+    for cut in [5, 20, 40, container.len() / 2, container.len() - 1] {
+        let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
+        match sys.restore(&container[..cut]) {
+            Err(WomPcmError::Snapshot(
+                SnapshotError::Truncated { .. } | SnapshotError::BadMagic,
+            )) => {}
+            other => panic!("cut at {cut}: expected typed truncation, got {other:?}"),
+        }
+    }
+
+    // A flipped payload bit fails the CRC.
+    let mut corrupt = container.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x10;
+    let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
+    assert!(matches!(
+        sys.restore(&corrupt),
+        Err(WomPcmError::Snapshot(SnapshotError::BadChecksum))
+    ));
+
+    // Restoring under a different configuration is rejected up front.
+    let mut other_cfg = config(Architecture::WomCodeRefresh);
+    other_cfg.rewrite_limit += 1;
+    let mut sys = WomPcmSystem::new(other_cfg).expect("valid config");
+    assert!(matches!(
+        sys.restore(&container),
+        Err(WomPcmError::Snapshot(SnapshotError::ConfigMismatch { .. }))
+    ));
+    // ...including the same parameters under a different architecture.
+    let mut sys = WomPcmSystem::new(config(Architecture::WomCode)).expect("valid config");
+    assert!(matches!(
+        sys.restore(&container),
+        Err(WomPcmError::Snapshot(SnapshotError::ConfigMismatch { .. }))
+    ));
+}

@@ -15,6 +15,7 @@ use crate::address::AddressDecoder;
 use crate::bank::BankState;
 use crate::config::{MemConfig, RowPolicy, SchedulerPolicy};
 use crate::error::SimError;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::stats::MemStats;
 use crate::timing::Cycle;
 use crate::transaction::{Completion, MemOp, ServiceClass, Transaction, TransactionId};
@@ -654,6 +655,177 @@ impl MemorySystem {
         self.events.insert(finish);
         true
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot/restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete mid-flight controller state (everything
+    /// except the configuration, which the restorer must already hold).
+    ///
+    /// The pending-completion heap is written in `(finish, id)` order so
+    /// identical states always produce identical bytes regardless of the
+    /// heap's internal array layout.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.now);
+        w.put_u64(self.next_id);
+        w.put_usize(self.banks.len());
+        for bank in &self.banks {
+            bank.save_state(w);
+        }
+        w.put_u64(self.bus_free_at);
+        save_txn_queue(&self.read_q, w);
+        save_txn_queue(&self.write_q, w);
+        w.put_usize(self.refresh_q.len());
+        for batch in &self.refresh_q {
+            w.put_u32(batch.rank);
+            w.put_usize(batch.rows.len());
+            for &(bank, row) in &batch.rows {
+                w.put_u32(bank);
+                w.put_u32(row);
+            }
+        }
+        w.put_usize(self.refresh_ids.len());
+        for ids in &self.refresh_ids {
+            w.put_usize(ids.len());
+            for &id in ids {
+                w.put_u64(id);
+            }
+        }
+        w.put_usize(self.events.len());
+        for &cycle in &self.events {
+            w.put_u64(cycle);
+        }
+        let mut pending: Vec<Completion> =
+            self.pending.iter().map(|Reverse(Pending(c))| *c).collect();
+        pending.sort_by_key(|c| (c.finish, c.id));
+        w.put_usize(pending.len());
+        for c in &pending {
+            c.save_state(w);
+        }
+        w.put_usize(self.cancelled.len());
+        for &id in &self.cancelled {
+            w.put_u64(id);
+        }
+        w.put_usize(self.refresh_addrs.len());
+        for (&id, &addr) in &self.refresh_addrs {
+            w.put_u64(id);
+            w.put_u64(addr);
+        }
+        w.put_usize(self.out.len());
+        for c in &self.out {
+            c.save_state(w);
+        }
+        self.stats.save_state(w);
+        self.wear.save_state(w);
+        w.put_bool(self.draining_writes);
+        w.put_usize(self.queued_per_rank.len());
+        for &n in &self.queued_per_rank {
+            w.put_usize(n);
+        }
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// freshly built system of the *same configuration*.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncation, bad enum tags, or per-geometry vector
+    /// lengths that contradict this system's configuration.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = r.take_u64()?;
+        self.next_id = r.take_u64()?;
+        let bank_count = r.take_len(2)?;
+        if bank_count != self.banks.len() {
+            return Err(SnapError::Corrupt("bank count differs from the config"));
+        }
+        for bank in self.banks.iter_mut() {
+            *bank = BankState::load_state(r)?;
+        }
+        self.bus_free_at = r.take_u64()?;
+        self.read_q = load_txn_queue(r)?;
+        self.write_q = load_txn_queue(r)?;
+        let batches = r.take_len(4)?;
+        self.refresh_q.clear();
+        for _ in 0..batches {
+            let rank = r.take_u32()?;
+            let rows_len = r.take_len(8)?;
+            let mut rows = Vec::with_capacity(rows_len);
+            for _ in 0..rows_len {
+                let bank = r.take_u32()?;
+                let row = r.take_u32()?;
+                rows.push((bank, row));
+            }
+            self.refresh_q.push_back(RefreshBatch { rank, rows });
+        }
+        let id_lists = r.take_len(8)?;
+        self.refresh_ids.clear();
+        for _ in 0..id_lists {
+            let len = r.take_len(8)?;
+            let mut ids = Vec::with_capacity(len);
+            for _ in 0..len {
+                ids.push(r.take_u64()?);
+            }
+            self.refresh_ids.push_back(ids);
+        }
+        let events = r.take_len(8)?;
+        self.events.clear();
+        for _ in 0..events {
+            self.events.insert(r.take_u64()?);
+        }
+        let pending = r.take_len(8)?;
+        self.pending.clear();
+        for _ in 0..pending {
+            self.pending
+                .push(Reverse(Pending(Completion::load_state(r)?)));
+        }
+        let cancelled = r.take_len(8)?;
+        self.cancelled.clear();
+        for _ in 0..cancelled {
+            self.cancelled.insert(r.take_u64()?);
+        }
+        let addrs = r.take_len(16)?;
+        self.refresh_addrs.clear();
+        for _ in 0..addrs {
+            let id = r.take_u64()?;
+            let addr = r.take_u64()?;
+            self.refresh_addrs.insert(id, addr);
+        }
+        let out = r.take_len(8)?;
+        self.out.clear();
+        for _ in 0..out {
+            self.out.push(Completion::load_state(r)?);
+        }
+        self.stats = MemStats::load_state(r)?;
+        self.wear = WearTracker::load_state(r)?;
+        self.draining_writes = r.take_bool()?;
+        let ranks = r.take_len(8)?;
+        if ranks != self.queued_per_rank.len() {
+            return Err(SnapError::Corrupt("rank count differs from the config"));
+        }
+        for n in self.queued_per_rank.iter_mut() {
+            let raw = r.take_u64()?;
+            *n = usize::try_from(raw)
+                .map_err(|_| SnapError::Corrupt("queued_per_rank overflows usize"))?;
+        }
+        Ok(())
+    }
+}
+
+fn save_txn_queue(q: &VecDeque<Transaction>, w: &mut SnapWriter) {
+    w.put_usize(q.len());
+    for txn in q {
+        txn.save_state(w);
+    }
+}
+
+fn load_txn_queue(r: &mut SnapReader<'_>) -> Result<VecDeque<Transaction>, SnapError> {
+    let len = r.take_len(26)?;
+    let mut q = VecDeque::with_capacity(len);
+    for _ in 0..len {
+        q.push_back(Transaction::load_state(r)?);
+    }
+    Ok(q)
 }
 
 #[cfg(test)]
@@ -946,6 +1118,65 @@ mod tests {
             writes_before_read >= min_ahead,
             "expected >= {min_ahead} writes to finish before the read, got {writes_before_read}"
         );
+    }
+
+    #[test]
+    fn snapshot_mid_flight_resumes_bit_identically() {
+        use crate::snap::{SnapReader, SnapWriter};
+        // Phase 1: mixed demand + refresh traffic, stopped mid-flight so
+        // queues, banks, the pending heap, and refresh plumbing are all
+        // populated at snapshot time.
+        let mut a = tiny_system();
+        for i in 0..20u64 {
+            let (op, class) = if i % 3 == 0 {
+                (MemOp::Read, ServiceClass::Read)
+            } else {
+                (MemOp::Write, ServiceClass::Write)
+            };
+            let _ = a.enqueue(op, i * 64, class);
+            a.advance_to(a.now() + 13).unwrap();
+        }
+        a.enqueue_rank_refresh(1, &[(0, 5), (1, 6)]).unwrap();
+
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut b = MemorySystem::new(MemConfig::tiny()).unwrap();
+        let mut r = SnapReader::new(&bytes);
+        b.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        // Restored state re-serializes to the identical payload.
+        let mut w2 = SnapWriter::new();
+        b.save_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+
+        // Phase 2: identical traffic into both; final state must match
+        // byte-for-byte in its Debug rendering.
+        for mem in [&mut a, &mut b] {
+            for i in 20..40u64 {
+                let _ = mem.enqueue(MemOp::Write, i * 64, ServiceClass::ResetOnlyWrite);
+                mem.advance_to(mem.now() + 9).unwrap();
+            }
+            mem.drain();
+        }
+        assert_eq!(format!("{:#?}", a.stats()), format!("{:#?}", b.stats()));
+        assert_eq!(a.wear().summary(), b.wear().summary());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        use crate::snap::{SnapReader, SnapWriter};
+        let a = tiny_system();
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut cfg = MemConfig::tiny();
+        cfg.geometry.ranks = 1;
+        let mut b = MemorySystem::new(cfg).unwrap();
+        let mut r = SnapReader::new(&bytes);
+        assert!(b.restore_state(&mut r).is_err());
     }
 
     #[test]

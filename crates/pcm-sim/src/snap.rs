@@ -1,0 +1,365 @@
+//! Compact, deterministic state serialization for snapshot/restore.
+//!
+//! The `WOMSNAP` container (assembled in the `wom-pcm` crate) carries an
+//! opaque payload produced by the little-endian primitives here. The
+//! encoding is deliberately boring: fixed-width integers, `f64` via
+//! [`f64::to_bits`], and length-prefixed sequences, written in struct
+//! declaration order by each type's own `save_state`/`load_state`. Two
+//! identical simulation states therefore serialize to identical bytes —
+//! the property the resumable-run determinism tests pin.
+//!
+//! [`SnapWriter`] appends to an owned byte buffer; [`SnapReader`] is a
+//! cursor over a borrowed one. Neither touches `std::io`, so decode
+//! errors are always typed [`SnapError`]s with an exact byte offset.
+
+use core::fmt;
+
+/// Errors produced while decoding a snapshot payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapError {
+    /// The payload ended before the value at `byte_offset` was complete.
+    Truncated {
+        /// Offset of the first missing byte.
+        byte_offset: u64,
+    },
+    /// A decoded value is structurally impossible (bad enum tag, a
+    /// length that contradicts the container, a non-boolean bool byte).
+    /// The string names the field being decoded.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { byte_offset } => {
+                write!(f, "snapshot payload truncated at byte {byte_offset}")
+            }
+            Self::Corrupt(what) => write!(f, "snapshot payload corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// CRC-32 (IEEE 802.3, reflected) of `bytes`.
+///
+/// Bitwise, table-free: snapshot payloads are megabytes at most and are
+/// written once per checkpoint interval, so the constant-memory form is
+/// plenty — and it keeps this crate free of lookup-table indexing.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        let mut k = 0;
+        while k < 8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            k += 1;
+        }
+    }
+    !crc
+}
+
+/// Appends little-endian primitives to an owned byte buffer.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded payload.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128`, little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (sizes are platform-independent in
+    /// the container).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f64` via its exact bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes (callers write their own length prefix when the
+    /// length is not implied by the schema).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// A cursor decoding little-endian primitives from a borrowed payload.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Current byte offset from the start of the payload.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Fails unless every byte was consumed (a longer-than-expected
+    /// payload means writer and reader disagree on the schema).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Corrupt`] when bytes remain.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapError::Corrupt("trailing bytes after the last field"))
+        }
+    }
+
+    /// Consumes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        let end = self.pos.checked_add(n).ok_or(SnapError::Truncated {
+            byte_offset: self.buf.len() as u64,
+        })?;
+        let bytes = self.buf.get(self.pos..end).ok_or(SnapError::Truncated {
+            byte_offset: self.buf.len() as u64,
+        })?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    /// Consumes one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] at end of payload.
+    pub fn take_u8(&mut self) -> Result<u8, SnapError> {
+        let bytes = self.take_bytes(1)?;
+        bytes.first().copied().ok_or(SnapError::Corrupt("u8"))
+    }
+
+    /// Consumes a bool byte, rejecting values other than 0 and 1.
+    ///
+    /// # Errors
+    ///
+    /// Truncation, or [`SnapError::Corrupt`] for a non-boolean byte.
+    pub fn take_bool(&mut self) -> Result<bool, SnapError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool byte must be 0 or 1")),
+        }
+    }
+
+    /// Consumes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 4 bytes remain.
+    pub fn take_u32(&mut self) -> Result<u32, SnapError> {
+        let bytes = self.take_bytes(4)?;
+        let arr: [u8; 4] = bytes.try_into().map_err(|_| SnapError::Corrupt("u32"))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    /// Consumes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 8 bytes remain.
+    pub fn take_u64(&mut self) -> Result<u64, SnapError> {
+        let bytes = self.take_bytes(8)?;
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| SnapError::Corrupt("u64"))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Consumes a little-endian `u128`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 16 bytes remain.
+    pub fn take_u128(&mut self) -> Result<u128, SnapError> {
+        let bytes = self.take_bytes(16)?;
+        let arr: [u8; 16] = bytes.try_into().map_err(|_| SnapError::Corrupt("u128"))?;
+        Ok(u128::from_le_bytes(arr))
+    }
+
+    /// Consumes a `u64`-encoded size, checked against the remaining
+    /// payload so corrupt lengths fail fast instead of driving huge
+    /// allocations.
+    ///
+    /// `min_elem_bytes` is the smallest possible encoding of one element
+    /// (1 for byte sequences).
+    ///
+    /// # Errors
+    ///
+    /// Truncation, or [`SnapError::Corrupt`] when the declared length
+    /// could not possibly fit in the remaining bytes.
+    pub fn take_len(&mut self, min_elem_bytes: usize) -> Result<usize, SnapError> {
+        let raw = self.take_u64()?;
+        let n = usize::try_from(raw).map_err(|_| SnapError::Corrupt("length overflows usize"))?;
+        let need = n.checked_mul(min_elem_bytes.max(1));
+        match need {
+            Some(bytes) if bytes <= self.remaining() => Ok(n),
+            _ => Err(SnapError::Corrupt("length exceeds remaining payload")),
+        }
+    }
+
+    /// Consumes an `f64` stored as its exact bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError::Truncated`] when fewer than 8 bytes remain.
+    pub fn take_f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.put_u8(0xAB);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 7);
+        w.put_u128(u128::MAX / 3);
+        w.put_f64(-0.125);
+        w.put_f64(f64::NAN);
+        w.put_usize(4096);
+        w.put_bytes(b"tail");
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 0xAB);
+        assert!(r.take_bool().unwrap());
+        assert!(!r.take_bool().unwrap());
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.take_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.take_f64().unwrap(), -0.125);
+        assert!(r.take_f64().unwrap().is_nan());
+        assert_eq!(r.take_u64().unwrap(), 4096);
+        assert_eq!(r.take_bytes(4).unwrap(), b"tail");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_reports_the_offset() {
+        let mut w = SnapWriter::new();
+        w.put_u32(7);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.take_u32().unwrap(), 7);
+        assert_eq!(r.take_u64(), Err(SnapError::Truncated { byte_offset: 4 }));
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let mut r = SnapReader::new(&[2u8]);
+        assert!(matches!(r.take_bool(), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_fail_finish() {
+        let r = SnapReader::new(&[0u8; 3]);
+        assert!(matches!(r.finish(), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_before_allocating() {
+        let mut w = SnapWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(r.take_len(8), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn plausible_length_is_accepted() {
+        let mut w = SnapWriter::new();
+        w.put_u64(3);
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.take_len(1).unwrap(), 3);
+        assert_eq!(r.take_bytes(3).unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Flipping one bit changes the checksum.
+        assert_ne!(crc32(b"womsnap"), crc32(b"womsnaq"));
+    }
+}

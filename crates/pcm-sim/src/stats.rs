@@ -1,6 +1,7 @@
 //! Latency and throughput statistics collected by the memory system.
 
 use crate::energy::EnergyTally;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use crate::timing::Cycle;
 use crate::transaction::{Completion, MemOp, ServiceClass};
 use core::fmt;
@@ -65,6 +66,28 @@ impl LatencySummary {
         self.max = self.max.max(other.max);
         self.count += other.count;
         self.total += other.total;
+    }
+
+    /// Serializes the summary for snapshot/restore.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.count);
+        w.put_u128(self.total);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+    }
+
+    /// Decodes a summary written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            count: r.take_u64()?,
+            total: r.take_u128()?,
+            min: r.take_u64()?,
+            max: r.take_u64()?,
+        })
     }
 }
 
@@ -181,6 +204,43 @@ impl MemStats {
         } else {
             self.reset_only_writes as f64 / total as f64
         }
+    }
+
+    /// Serializes the statistics for snapshot/restore, in declaration
+    /// order.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        self.read_latency.save_state(w);
+        self.write_latency.save_state(w);
+        self.read_hist.save_state(w);
+        self.write_hist.save_state(w);
+        self.read_queue_delay.save_state(w);
+        self.write_queue_delay.save_state(w);
+        w.put_u64(self.reset_only_writes);
+        w.put_u64(self.full_writes);
+        w.put_u64(self.refreshes_completed);
+        w.put_u64(self.refreshes_preempted);
+        self.energy.save_state(w);
+    }
+
+    /// Decodes statistics written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            read_latency: LatencySummary::load_state(r)?,
+            write_latency: LatencySummary::load_state(r)?,
+            read_hist: Histogram::load_state(r)?,
+            write_hist: Histogram::load_state(r)?,
+            read_queue_delay: LatencySummary::load_state(r)?,
+            write_queue_delay: LatencySummary::load_state(r)?,
+            reset_only_writes: r.take_u64()?,
+            full_writes: r.take_u64()?,
+            refreshes_completed: r.take_u64()?,
+            refreshes_preempted: r.take_u64()?,
+            energy: EnergyTally::load_state(r)?,
+        })
     }
 }
 
@@ -415,6 +475,29 @@ impl LatencyHistogram {
         }
         self.count += other.count;
     }
+
+    /// Serializes the histogram for snapshot/restore (fixed 40-bucket
+    /// schema, then the sample count).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.count);
+    }
+
+    /// Decodes a histogram written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut h = Self::new();
+        for b in h.buckets.iter_mut() {
+            *b = r.take_u64()?;
+        }
+        h.count = r.take_u64()?;
+        Ok(h)
+    }
 }
 
 #[cfg(test)]
@@ -477,5 +560,64 @@ mod histogram_tests {
     #[should_panic(expected = "quantile")]
     fn out_of_range_quantile_panics() {
         let _ = LatencyHistogram::new().percentile(1.5);
+    }
+
+    fn hist_of(samples: &[Cycle]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = hist_of(&[1, 30, 30, 5_000]);
+        let b = hist_of(&[2, 64, 1 << 20]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = hist_of(&[1, 30]);
+        let b = hist_of(&[64, 64, 900]);
+        let c = hist_of(&[Cycle::MAX, 7]);
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_identity_is_the_empty_histogram() {
+        let a = hist_of(&[3, 99, 4096]);
+        let mut merged = a.clone();
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, a);
+        let mut from_empty = LatencyHistogram::new();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a);
+    }
+
+    #[test]
+    fn histogram_snapshot_round_trip() {
+        let h = hist_of(&[0, 1, 30, 5_000, Cycle::MAX]);
+        let mut w = SnapWriter::new();
+        h.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = LatencyHistogram::load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, h);
     }
 }

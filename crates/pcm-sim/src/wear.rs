@@ -8,6 +8,7 @@
 //! the tracker reports the wear distribution — maximum, mean, and the
 //! coefficient of variation that wear-leveling work cares about.
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::collections::BTreeMap;
 
 /// Per-row write-pulse counters, kept lazily for touched rows.
@@ -94,6 +95,105 @@ impl WearTracker {
     pub fn full_write_summary(&self) -> WearSummary {
         summarize(self.full.values().copied())
     }
+
+    /// Serializes the tracker for snapshot/restore (both counter maps in
+    /// key order, so identical states produce identical bytes).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        save_counts(&self.full, w);
+        save_counts(&self.reset_only, w);
+    }
+
+    /// Decodes a tracker written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation and corrupt lengths.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            full: load_counts(r)?,
+            reset_only: load_counts(r)?,
+        })
+    }
+}
+
+fn save_counts(map: &BTreeMap<u64, u64>, w: &mut SnapWriter) {
+    w.put_usize(map.len());
+    for (&row, &n) in map {
+        w.put_u64(row);
+        w.put_u64(n);
+    }
+}
+
+fn load_counts(r: &mut SnapReader<'_>) -> Result<BTreeMap<u64, u64>, SnapError> {
+    let len = r.take_len(16)?;
+    let mut map = BTreeMap::new();
+    for _ in 0..len {
+        let row = r.take_u64()?;
+        let n = r.take_u64()?;
+        map.insert(row, n);
+    }
+    Ok(map)
+}
+
+impl WearSummary {
+    /// Merges the summary of a *disjoint* row population into this one.
+    ///
+    /// The pooled mean, max, and coefficient of variation are exact for
+    /// populations with no rows in common (shards partition the row
+    /// space, so this always holds for shard merges): each side's
+    /// second moment is recovered as `var + mean²` with
+    /// `var = (cv·mean)²`, weighted by its row count, and the combined
+    /// cv is recomputed from the pooled moments.
+    pub fn merge_disjoint(&mut self, other: &Self) {
+        if other.rows == 0 {
+            return;
+        }
+        if self.rows == 0 {
+            *self = *other;
+            return;
+        }
+        let second_moment_sum = |s: &Self| {
+            let var = (s.cv * s.mean) * (s.cv * s.mean);
+            (var + s.mean * s.mean) * s.rows as f64
+        };
+        let rows = self.rows + other.rows;
+        let writes = self.writes + other.writes;
+        let e2 = (second_moment_sum(self) + second_moment_sum(other)) / rows as f64;
+        let mean = writes as f64 / rows as f64;
+        let var = (e2 - mean * mean).max(0.0);
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        *self = Self {
+            rows,
+            writes,
+            max: self.max.max(other.max),
+            mean,
+            cv,
+        };
+    }
+
+    /// Serializes the summary for snapshot/restore (exact `f64` bits).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rows);
+        w.put_u64(self.writes);
+        w.put_u64(self.max);
+        w.put_f64(self.mean);
+        w.put_f64(self.cv);
+    }
+
+    /// Decodes a summary written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation.
+    pub fn load_state(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            rows: r.take_u64()?,
+            writes: r.take_u64()?,
+            max: r.take_u64()?,
+            mean: r.take_f64()?,
+            cv: r.take_f64()?,
+        })
+    }
 }
 
 fn summarize<I: IntoIterator<Item = u64>>(counts: I) -> WearSummary {
@@ -164,6 +264,69 @@ mod tests {
         }
         assert!(level.summary().cv < 1e-12, "uniform wear has zero cv");
         assert!(skewed.summary().cv > 1.0, "hot-row wear must show high cv");
+    }
+
+    #[test]
+    fn merge_disjoint_matches_the_combined_population() {
+        // Shard A wears rows 0..4, shard B rows 100..110 — disjoint.
+        let mut a = WearTracker::new();
+        let mut b = WearTracker::new();
+        let mut combined = WearTracker::new();
+        for row in 0..4u64 {
+            for _ in 0..=(row * 3) {
+                a.record_full_write(row);
+                combined.record_full_write(row);
+            }
+        }
+        for row in 100..110u64 {
+            for _ in 0..(row % 7 + 1) {
+                b.record_reset_write(row);
+                combined.record_reset_write(row);
+            }
+        }
+        let mut merged = a.summary();
+        merged.merge_disjoint(&b.summary());
+        let direct = combined.summary();
+        assert_eq!(merged.rows, direct.rows);
+        assert_eq!(merged.writes, direct.writes);
+        assert_eq!(merged.max, direct.max);
+        assert!((merged.mean - direct.mean).abs() < 1e-9, "mean");
+        assert!((merged.cv - direct.cv).abs() < 1e-9, "cv");
+    }
+
+    #[test]
+    fn merge_disjoint_handles_empty_sides() {
+        let mut t = WearTracker::new();
+        t.record_full_write(5);
+        t.record_full_write(5);
+        let s = t.summary();
+        let mut from_empty = WearSummary::default();
+        from_empty.merge_disjoint(&s);
+        assert_eq!(from_empty, s);
+        let mut into_empty = s;
+        into_empty.merge_disjoint(&WearSummary::default());
+        assert_eq!(into_empty, s);
+    }
+
+    #[test]
+    fn tracker_snapshot_round_trip() {
+        use crate::snap::{SnapReader, SnapWriter};
+        let mut t = WearTracker::new();
+        t.record_full_write(3);
+        t.record_full_write(u64::MAX);
+        t.record_reset_write(3);
+        let mut w = SnapWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = WearTracker::load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.full_writes(3), 1);
+        assert_eq!(back.full_writes(u64::MAX), 1);
+        assert_eq!(back.reset_writes(3), 1);
+        let mut w2 = SnapWriter::new();
+        back.save_state(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes, "re-encode is byte-identical");
     }
 
     #[test]

@@ -19,8 +19,9 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use wom_pcm_bench::cli::{ObserveSpec, Parser};
+use wom_pcm_bench::cli::{ObserveSpec, Parser, SnapshotSpec};
 use wom_pcm_bench::run_configs_parallel;
+use wom_pcm_bench::sharded::{run_spec, RunOptions};
 use womcode_pcm::arch::{Architecture, SystemBuilder};
 use womcode_pcm::sim::MemOp;
 use womcode_pcm::trace::binary::BinaryWriter;
@@ -33,7 +34,8 @@ const USAGE: &str = "\n  womsim list\n  womsim gen <workload> <records> [seed] [
      womsim stats <trace-file | workload:records[:seed]>\n  \
      womsim convert <in> <out> [--stats]   (.womtrc = binary, else text)\n  \
      womsim run <baseline|wom|refresh|wcpcm> \
-     <trace-file | workload:records[:seed]> [--verify] \
+     <trace-file | workload:records[:seed]> [--verify] [--shards N] \
+     [--resume PATH [--snapshot-every N]] \
      [--observe PATH [--epoch-cycles N]]\n  \
      womsim compare <trace-file | workload:records[:seed]> [--threads N]";
 
@@ -309,7 +311,13 @@ fn convert(
     Ok((n, acc.map(StatsAccumulator::finish)))
 }
 
-fn cmd_run(args: &[String], verify: bool, observe: Option<&ObserveSpec>) -> ExitCode {
+fn cmd_run(
+    args: &[String],
+    verify: bool,
+    shards: u32,
+    snapshot: Option<&SnapshotSpec>,
+    observe: Option<&ObserveSpec>,
+) -> ExitCode {
     let (Some(arch_name), Some(spec)) = (args.first(), args.get(1)) else {
         return usage();
     };
@@ -324,36 +332,26 @@ fn cmd_run(args: &[String], verify: bool, observe: Option<&ObserveSpec>) -> Exit
             return ExitCode::FAILURE;
         }
     };
-    let mut source = match trace_spec.open() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot open {spec}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
     // Bound lazily-allocated simulator state for interactive use.
-    let mut builder = SystemBuilder::new(arch)
+    let config = SystemBuilder::new(arch)
         .rows_per_bank(4096)
-        .verify_data(verify);
-    if let Some(obs) = observe {
-        builder = builder.epoch_cycles(obs.epoch_cycles);
-    }
-    let mut sys = match builder.build() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("configuration rejected: {e}");
-            return ExitCode::FAILURE;
-        }
+        .verify_data(verify)
+        .into_config();
+    let opts = RunOptions {
+        shards,
+        threads: wom_pcm_bench::parallel::default_threads(),
+        snapshot: snapshot.cloned(),
+        epoch_cycles: observe.map(|o| o.epoch_cycles),
     };
-    let metrics = match sys.run_source(&mut source) {
-        Ok(m) => m,
+    let (metrics, series) = match run_spec(&config, &trace_spec, &opts) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("simulation failed: {e}");
             return ExitCode::FAILURE;
         }
     };
     if let Some(obs) = observe {
-        match sys.take_epochs() {
+        match series {
             Some(series) => {
                 let tags = [("arch", arch.label()), ("workload", spec.as_str())];
                 let write = std::fs::File::create(&obs.path).and_then(|f| {
@@ -473,6 +471,8 @@ fn cmd_compare(args: &[String], threads: usize) -> ExitCode {
 fn main() -> ExitCode {
     let mut cli = Parser::from_env(USAGE);
     let threads = cli.threads();
+    let shards = cli.shards();
+    let snapshot = cli.snapshot();
     let observe = cli.observe();
     let binary = cli.flag("--binary");
     let verify = cli.flag("--verify");
@@ -489,6 +489,10 @@ fn main() -> ExitCode {
         eprintln!("error: --observe only applies to `womsim run`");
         return ExitCode::from(2);
     }
+    if (shards > 1 || snapshot.is_some()) && command != "run" {
+        eprintln!("error: --shards and --resume only apply to `womsim run`");
+        return ExitCode::from(2);
+    }
     if stats && command != "convert" {
         eprintln!("error: --stats only applies to `womsim convert`");
         return ExitCode::from(2);
@@ -498,7 +502,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&rest, binary),
         "stats" => cmd_stats(&rest),
         "convert" => cmd_convert(&rest, stats),
-        "run" => cmd_run(&rest, verify, observe.as_ref()),
+        "run" => cmd_run(&rest, verify, shards, snapshot.as_ref(), observe.as_ref()),
         "compare" => cmd_compare(&rest, threads),
         _ => usage(),
     }
