@@ -121,7 +121,7 @@ impl DataCheck {
                 return Err(WomPcmError::InvalidConfig("written line vanished".into()));
             }
             if &self.line_buf != expected {
-                // womlint::allow(hotpath/alloc, reason = "corruption error path: allocates once, then the run aborts")
+                // womlint::allow(hotpath/transitive, reason = "corruption error path: allocates once, then the run aborts")
                 return Err(WomPcmError::InvalidConfig(format!(
                     "data corruption at line {line:#x}: cells decode differently from the                      last write"
                 )));
@@ -342,17 +342,17 @@ impl EngineCore {
         &mut self,
         rank: u32,
         rows: &[(u32, u32)],
-    ) -> Result<Vec<TransactionId>, WomPcmError> {
-        let ids = self.main.enqueue_rank_refresh(rank, rows)?;
-        self.outstanding_main += ids.len() as u64;
+    ) -> Result<TransactionId, WomPcmError> {
+        let first = self.main.enqueue_rank_refresh(rank, rows)?;
+        self.outstanding_main += rows.len() as u64;
         let cycle = self.main.now();
         self.observer.on_event(&Event::RefreshBurst {
             cycle,
             side: ArraySide::Main,
             rank,
-            rows: ids.len() as u32,
+            rows: rows.len() as u32,
         });
-        Ok(ids)
+        Ok(first)
     }
 
     /// Enqueues a burst-mode rank refresh on the WOM-cache arrays.
@@ -368,21 +368,21 @@ impl EngineCore {
         &mut self,
         rank: u32,
         rows: &[(u32, u32)],
-    ) -> Result<Vec<TransactionId>, WomPcmError> {
-        let ids = self
+    ) -> Result<TransactionId, WomPcmError> {
+        let first = self
             .cache_mem
             .as_mut()
             .expect("architecture has a cache array")
             .enqueue_rank_refresh(rank, rows)?;
-        self.outstanding_cache += ids.len() as u64;
+        self.outstanding_cache += rows.len() as u64;
         let cycle = self.main.now();
         self.observer.on_event(&Event::RefreshBurst {
             cycle,
             side: ArraySide::Cache,
             rank,
-            rows: ids.len() as u32,
+            rows: rows.len() as u32,
         });
-        Ok(ids)
+        Ok(first)
     }
 
     /// Remaps a main-memory address through the bank's Start-Gap layer

@@ -232,6 +232,7 @@ impl<C: WomCode> FunctionalMemory<C> {
             return Ok(());
         }
         while self.stage_cells.len() < burst {
+            // womlint::allow(hotpath/transitive, reason = "staging pool grows to the burst high-water mark once, then every commit reuses it")
             self.stage_cells.push(self.erased.clone());
         }
         let Self {
@@ -256,6 +257,7 @@ impl<C: WomCode> FunctionalMemory<C> {
                 entry.0.copy_from(fresh);
                 entry.1 = 1;
             } else {
+                // womlint::allow(hotpath/transitive, reason = "first-touch row materialization: one allocation per row lifetime, not per write")
                 rows.insert(line, (fresh.clone(), 1));
             }
         }

@@ -287,6 +287,7 @@ impl EpochSeries {
     /// differ — those series bucket time incompatibly.
     pub fn merge(&mut self, other: &Self) -> Result<(), WomPcmError> {
         if self.epoch_cycles != other.epoch_cycles {
+            // womlint::allow(hotpath/alloc, reason = "width-mismatch error path: allocates once, then the merge aborts")
             return Err(WomPcmError::InvalidConfig(format!(
                 "cannot merge epoch series of widths {} and {}",
                 self.epoch_cycles, other.epoch_cycles

@@ -59,6 +59,7 @@ impl RefreshDriver {
         id: TransactionId,
     ) -> Result<(u32, u32, u32), WomPcmError> {
         self.planned.remove(&id).ok_or_else(|| {
+            // womlint::allow(hotpath/transitive, reason = "internal-error path: an unplanned completion is a policy bug and aborts the run")
             WomPcmError::Internal(format!("refresh completion {id:?} was never planned"))
         })
     }
@@ -113,9 +114,9 @@ impl RefreshDriver {
             if self.rows_scratch.is_empty() {
                 return Ok(());
             }
-            let ids = core.enqueue_main_rank_refresh(rank, &self.rows_scratch)?;
-            for (&(bank, row), id) in self.rows_scratch.iter().zip(&ids) {
-                self.planned.insert(*id, (rank, bank, row));
+            let first = core.enqueue_main_rank_refresh(rank, &self.rows_scratch)?;
+            for (k, &(bank, row)) in self.rows_scratch.iter().enumerate() {
+                self.planned.insert(first + k as u64, (rank, bank, row));
             }
         }
         Ok(())

@@ -167,9 +167,9 @@ impl ArchPolicy for WcpcmPolicy {
             if self.rows_scratch.is_empty() {
                 return Ok(());
             }
-            let ids = core.enqueue_cache_rank_refresh(rank, &self.rows_scratch)?;
-            for (&(_, row), id) in self.rows_scratch.iter().zip(&ids) {
-                self.planned.insert(*id, (rank, row));
+            let first = core.enqueue_cache_rank_refresh(rank, &self.rows_scratch)?;
+            for (k, &(_, row)) in self.rows_scratch.iter().enumerate() {
+                self.planned.insert(first + k as u64, (rank, row));
             }
         }
         Ok(())
@@ -187,6 +187,7 @@ impl ArchPolicy for WcpcmPolicy {
             ));
         }
         let (rank, row) = self.planned.remove(&c.id).ok_or_else(|| {
+            // womlint::allow(hotpath/transitive, reason = "internal-error path: an unplanned completion is a policy bug and aborts the run")
             WomPcmError::Internal(format!(
                 "cache refresh completion {:?} was never planned",
                 c.id

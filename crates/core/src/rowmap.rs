@@ -59,6 +59,7 @@ struct Page<T> {
 impl<T> Page<T> {
     fn new() -> Self {
         Self {
+            // womlint::allow(hotpath/transitive, reason = "one allocation per 512-row page, amortized across every row it hosts")
             slots: (0..PAGE_SLOTS).map(|_| None).collect(),
             used: 0,
         }

@@ -186,6 +186,7 @@ impl WomStateTable {
         self.rows.get_or_insert_with(row, || {
             // One zero-filled allocation, written in place — no
             // intermediate collect, and a single map probe.
+            // womlint::allow(hotpath/transitive, reason = "lazy row materialization: one allocation per row lifetime, not per write")
             let mut counts = vec![0u8; columns as usize].into_boxed_slice();
             match cold {
                 ColdPolicy::Erased => {}
@@ -302,6 +303,7 @@ impl WomStateTable {
     /// absorbed write.
     pub fn mark_copied(&mut self, row: u64) {
         let cols = self.columns as usize;
+        // womlint::allow(hotpath/transitive, reason = "one allocation per wear-leveling row relocation, which is rare by design")
         self.rows.insert(row, vec![1; cols].into_boxed_slice());
     }
 

@@ -69,8 +69,10 @@ fn parse_access(line: &str) -> Option<Result<(char, u64, u64), String>> {
     if !matches!(kind, 'L' | 'S' | 'M') {
         return None; // 'I', banners, blank lines, summary output
     }
-    // Accept only the canonical " X addr,size" shape.
-    let rest = trimmed[1..].trim_start();
+    // Accept only the canonical " X addr,size" shape. `kind` came from
+    // `chars().next()` so `get(1..)` always succeeds; `?` just avoids the
+    // panic-capable slice index.
+    let rest = trimmed.get(1..)?.trim_start();
     let (addr_s, size_s) = rest.split_once(',')?;
     let addr = match u64::from_str_radix(addr_s.trim(), 16) {
         Ok(a) => a,

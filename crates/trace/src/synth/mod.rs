@@ -286,8 +286,10 @@ impl SyntheticTrace {
             } else {
                 self.recent_lines.len().min(READ_REUSE_DEPTH)
             };
+            // `span <= len` and the window is non-empty, so `idx` is in
+            // range; `get` keeps the site out of the panic inventory.
             let idx = self.recent_lines.len() - 1 - self.rng.gen_range_usize(0, span);
-            self.last_line = self.recent_lines[idx] % lines;
+            self.last_line = self.recent_lines.get(idx).copied().unwrap_or(0) % lines;
             return self.last_line;
         }
         // Hot-set or cold uniform access.

@@ -37,6 +37,7 @@ impl WitBuffer {
     #[must_use]
     pub fn zeros(len: usize) -> Self {
         Self {
+            // womlint::allow(hotpath/transitive, reason = "buffer constructor: rows allocate once at materialization/erase and are reused for every later access")
             words: vec![0; len.div_ceil(64)],
             len,
         }
@@ -46,6 +47,7 @@ impl WitBuffer {
     #[must_use]
     pub fn ones(len: usize) -> Self {
         let mut buf = Self {
+            // womlint::allow(hotpath/transitive, reason = "buffer constructor: rows allocate once at materialization/erase and are reused for every later access")
             words: vec![u64::MAX; len.div_ceil(64)],
             len,
         };
@@ -570,6 +572,7 @@ impl<C: WomCode> BlockCodec<C> {
         cells: &mut [WitBuffer],
     ) -> Result<Transitions, WomCodeError> {
         let row_bytes = self.data_bits / 8;
+        // womlint::allow(hotpath/transitive, reason = "reference fallback for codes too large to tabulate; the tabulated kernels serve every benchmarked geometry")
         let mut staged = cells.to_vec();
         let mut total = Transitions::default();
         for (chunk, buf) in data.chunks_exact(row_bytes).zip(staged.iter_mut()) {
@@ -655,7 +658,7 @@ impl<C: WomCode> BlockCodec<C> {
         let mut bit = 0usize;
         for _ in 0..self.symbols {
             let current = word_chunk(cell_words, bit, wbits);
-            // womlint::allow(hotpath/alloc, reason = "BitReader::read pulls bits from the input slice; it does not allocate (the ban targets FunctionalMemory::read)")
+            // womlint::allow(hotpath/transitive, reason = "BitReader::read pulls bits from the input slice; it does not allocate (the ban targets FunctionalMemory::read)")
             let value = reader.read(dbits);
             let Some(next) = lut.encode_bits(gen, current, value) else {
                 return Err(self.symbol_error(gen, value, current, wbits));

@@ -28,13 +28,42 @@ pub struct DetAllow {
     pub reason: String,
 }
 
-/// A module/function region tagged hot in `womlint.toml`.
+/// A module/function region tagged hot in `womlint.toml`. Regions name
+/// *root entry points* only: the call-graph closure extends the
+/// allocation ban to everything reachable from them
+/// (`hotpath/transitive`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HotRegion {
     /// File the region lives in, relative to the workspace root.
     pub file: String,
     /// Function names covered; empty means the whole file is hot.
     pub functions: Vec<String>,
+}
+
+/// A `[[hotpath.stop]]` entry: a closure boundary. Calls into `function`
+/// (in `file`) are not followed — used to prune name-resolution false
+/// edges or genuinely cold callees. The reason is mandatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotStop {
+    /// File the boundary function lives in, relative to the workspace root.
+    pub file: String,
+    /// Function name the closure must not enter.
+    pub function: String,
+    /// Why cutting the edge is sound (e.g. "cold error path, runs once").
+    pub reason: String,
+}
+
+/// A `[[snapshot.allow]]` or `[[merge.allow]]` entry: a justified
+/// exception for one field of one type in the corresponding
+/// field-coverage proof. The reason is mandatory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageAllow {
+    /// Type whose codec/merge may skip the field.
+    pub type_name: String,
+    /// The field being exempted.
+    pub field: String,
+    /// Why skipping it is sound (e.g. "rebuilt from config on restore").
+    pub reason: String,
 }
 
 /// Parsed `womlint.toml`.
@@ -56,6 +85,12 @@ pub struct Config {
     pub hot_banned_calls: Vec<String>,
     /// Hot regions.
     pub hot_regions: Vec<HotRegion>,
+    /// Closure boundaries for the transitive hot-path rule.
+    pub hot_stops: Vec<HotStop>,
+    /// Field exemptions for `snapshot/field-coverage`.
+    pub snapshot_allow: Vec<CoverageAllow>,
+    /// Field exemptions for `merge/field-coverage`.
+    pub merge_allow: Vec<CoverageAllow>,
     /// Crate names (subset of scope) under the panic inventory.
     pub panic_crates: Vec<String>,
     /// Path of the ratchet baseline file, relative to the workspace root.
@@ -128,6 +163,40 @@ fn str_list(value: Option<&Value>, what: &str) -> Result<Vec<String>, ConfigErro
                 .ok_or_else(|| cfg_err(format!("{what} must contain only strings")))
         })
         .collect()
+}
+
+fn coverage_allows(doc: &Value, section: &str) -> Result<Vec<CoverageAllow>, ConfigError> {
+    let Some(entries) = doc.get(section).and_then(|s| s.get("allow")) else {
+        return Ok(Vec::new());
+    };
+    let entries = entries.as_array().ok_or_else(|| {
+        cfg_err(format!(
+            "{section}.allow must be [[{section}.allow]] tables"
+        ))
+    })?;
+    let mut out = Vec::new();
+    for e in entries {
+        let field = |key: &str| -> Result<String, ConfigError> {
+            e.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| cfg_err(format!("[[{section}.allow]] missing `{key}` string")))
+        };
+        let entry = CoverageAllow {
+            type_name: field("type")?,
+            field: field("field")?,
+            reason: field("reason")?,
+        };
+        if entry.reason.trim().is_empty() {
+            return Err(cfg_err(format!(
+                "[[{section}.allow]] for `{}.{}` has an empty reason — \
+                 field exemptions must be justified",
+                entry.type_name, entry.field
+            )));
+        }
+        out.push(entry);
+    }
+    Ok(out)
 }
 
 impl Config {
@@ -211,6 +280,37 @@ impl Config {
             }
         }
 
+        let mut hot_stops = Vec::new();
+        if let Some(stops) = hot.and_then(|h| h.get("stop")) {
+            let stops = stops
+                .as_array()
+                .ok_or_else(|| cfg_err("hotpath.stop must be [[hotpath.stop]] tables"))?;
+            for s in stops {
+                let field = |key: &str| -> Result<String, ConfigError> {
+                    s.get(key)
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| cfg_err(format!("[[hotpath.stop]] missing `{key}` string")))
+                };
+                let entry = HotStop {
+                    file: field("file")?,
+                    function: field("function")?,
+                    reason: field("reason")?,
+                };
+                if entry.reason.trim().is_empty() {
+                    return Err(cfg_err(format!(
+                        "[[hotpath.stop]] for `{}` in {} has an empty reason — \
+                         closure boundaries must be justified",
+                        entry.function, entry.file
+                    )));
+                }
+                hot_stops.push(entry);
+            }
+        }
+
+        let snapshot_allow = coverage_allows(&doc, "snapshot")?;
+        let merge_allow = coverage_allows(&doc, "merge")?;
+
         let panic = doc.get("panic");
         let panic_crates = str_list(panic.and_then(|p| p.get("crates")), "panic.crates")?;
         let baseline_file = panic
@@ -236,6 +336,9 @@ impl Config {
             det_allow,
             hot_banned_calls,
             hot_regions,
+            hot_stops,
+            snapshot_allow,
+            merge_allow,
             panic_crates,
             baseline_file,
         })

@@ -22,14 +22,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parse;
+pub mod rules;
 pub mod scan;
 pub mod toml;
 
+use callgraph::{FileUnit, Workspace};
 use config::{Baseline, Config, PanicCounts};
 use scan::FileScan;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -37,8 +41,28 @@ use std::path::{Path, PathBuf};
 pub const RULE_BANNED_TYPE: &str = "determinism/banned-type";
 /// Rule ID for banned paths (wall-clock, env, foreign RNG).
 pub const RULE_BANNED_PATH: &str = "determinism/banned-path";
-/// Rule ID for allocating calls in hot regions.
+/// Rule ID for allocating calls in hot-region root functions.
 pub const RULE_HOTPATH_ALLOC: &str = "hotpath/alloc";
+/// Rule ID for allocating calls in functions *reachable* from a hot
+/// region root through the call graph.
+pub const RULE_HOTPATH_TRANSITIVE: &str = "hotpath/transitive";
+/// Rule ID for calls through non-path expressions (`(self.cb)(...)`)
+/// inside the hot closure — the call graph cannot follow them, so they
+/// are surfaced once instead of silently ignored.
+pub const RULE_HOTPATH_DYNAMIC: &str = "hotpath/dynamic-call";
+/// Rule ID for snap-codec field-coverage gaps (a declared field neither
+/// referenced by `save_state`/`load_state`/`restore_state` nor
+/// allow-listed).
+pub const RULE_SNAPSHOT_COVERAGE: &str = "snapshot/field-coverage";
+/// Rule ID for merge field-coverage gaps (a declared field not
+/// referenced by a `merge`/`merge_disjoint` implementation).
+pub const RULE_MERGE_COVERAGE: &str = "merge/field-coverage";
+/// Rule ID for `womlint.toml` entries naming files/functions/fields that
+/// no longer exist.
+pub const RULE_CONFIG_STALE: &str = "config/stale-region";
+/// Rule ID for `womlint::allow` comments that no longer suppress
+/// anything.
+pub const RULE_SUPPRESSION_UNUSED: &str = "suppression/unused";
 /// Rule ID for panic-inventory regressions against the baseline.
 pub const RULE_PANIC_RATCHET: &str = "panic/ratchet";
 /// Rule ID for `womlint::allow` comments missing a reason.
@@ -46,9 +70,18 @@ pub const RULE_SUPPRESSION_REASON: &str = "suppression/missing-reason";
 /// Rule ID for `womlint::allow` naming an unknown rule.
 pub const RULE_SUPPRESSION_UNKNOWN: &str = "suppression/unknown-rule";
 
-/// Every suppressible rule ID (`panic/ratchet` and the suppression rules
-/// themselves are aggregate/meta diagnostics and cannot be allowed away).
-pub const SUPPRESSIBLE_RULES: &[&str] = &[RULE_BANNED_TYPE, RULE_BANNED_PATH, RULE_HOTPATH_ALLOC];
+/// Every suppressible rule ID (`panic/ratchet`, `config/stale-region`,
+/// and the suppression rules themselves are aggregate/meta diagnostics
+/// and cannot be allowed away).
+pub const SUPPRESSIBLE_RULES: &[&str] = &[
+    RULE_BANNED_TYPE,
+    RULE_BANNED_PATH,
+    RULE_HOTPATH_ALLOC,
+    RULE_HOTPATH_TRANSITIVE,
+    RULE_HOTPATH_DYNAMIC,
+    RULE_SNAPSHOT_COVERAGE,
+    RULE_MERGE_COVERAGE,
+];
 
 /// One diagnostic, pointing at a file and line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +117,10 @@ pub struct Report {
     pub inventory: BTreeMap<String, PanicCounts>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// `(file, comment line)` of every inline suppression that silenced
+    /// at least one diagnostic — the complement feeds
+    /// `suppression/unused`.
+    pub used_suppressions: BTreeSet<(String, u32)>,
 }
 
 impl Report {
@@ -114,10 +151,16 @@ impl From<config::ConfigError> for LintError {
 
 /// Runs every rule over the workspace at `root`.
 ///
+/// Two passes: first every in-scope file is lexed, test-stripped, and
+/// item-parsed into a [`callgraph::Workspace`]; then the rules run over
+/// the whole model (the interprocedural rules — hot-path closure and
+/// field coverage — need cross-file visibility).
+///
 /// `baseline` is compared against the measured panic inventory when
 /// present; pass `None` when regenerating the baseline.
 pub fn run(root: &Path, cfg: &Config, baseline: Option<&Baseline>) -> Result<Report, LintError> {
     let mut report = Report::default();
+    let mut units: Vec<FileUnit> = Vec::new();
     for krate in &cfg.scope {
         let src_dir = root.join(&krate.path).join("src");
         let files = rust_files(&src_dir)
@@ -130,11 +173,6 @@ pub fn run(root: &Path, cfg: &Config, baseline: Option<&Baseline>) -> Result<Rep
                 .map_err(|e| LintError(format!("reading {rel}: {e}")))?;
             let scan = scan::scan(&src);
             report.files_scanned += 1;
-            check_suppression_comments(&scan, &rel, &mut report);
-            if cfg.determinism_crates.iter().any(|c| c == &krate.name) {
-                check_determinism(cfg, &scan, &rel, &mut report);
-            }
-            check_hotpath(cfg, &scan, &rel, &mut report);
             if in_panic_scope {
                 let sites = scan::panic_sites(&scan.tokens);
                 counts.unwrap += sites.unwrap.len() as u64;
@@ -142,14 +180,33 @@ pub fn run(root: &Path, cfg: &Config, baseline: Option<&Baseline>) -> Result<Rep
                 counts.panic += sites.panic.len() as u64;
                 counts.index += sites.index.len() as u64;
             }
+            let items = parse::parse_items(&scan.tokens);
+            units.push(FileUnit {
+                path: rel,
+                krate: krate.name.clone(),
+                scan,
+                items,
+            });
         }
         if in_panic_scope {
             report.inventory.insert(krate.name.clone(), counts);
         }
     }
-    if let Some(baseline) = baseline {
-        check_ratchet(cfg, baseline, &mut report);
+    let ws = Workspace::new(units);
+    for unit in &ws.files {
+        rules::suppression::check_comments(&unit.scan, &unit.path, &mut report);
+        if cfg.determinism_crates.iter().any(|c| c == &unit.krate) {
+            rules::determinism::check(cfg, &unit.scan, &unit.path, &mut report);
+        }
     }
+    rules::hotpath::check(cfg, &ws, &mut report);
+    rules::coverage::check(cfg, &ws, &mut report);
+    rules::config_check::check(cfg, &ws, &mut report);
+    if let Some(baseline) = baseline {
+        rules::ratchet::check(cfg, baseline, &mut report);
+    }
+    // Last: needs the used-suppression records of every rule above.
+    rules::suppression::check_unused(&ws, &mut report);
     report
         .violations
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
@@ -190,168 +247,18 @@ fn relative_display(root: &Path, file: &Path) -> String {
     rel.to_string_lossy().replace('\\', "/")
 }
 
-fn push(report: &mut Report, scan: &FileScan, diag: Diagnostic) {
-    let suppressible = SUPPRESSIBLE_RULES.contains(&diag.rule.as_str());
-    if suppressible && scan.is_suppressed(&diag.rule, diag.line) {
-        report.suppressed.push(diag);
-    } else {
-        report.violations.push(diag);
-    }
-}
-
-fn check_suppression_comments(scan: &FileScan, file: &str, report: &mut Report) {
-    for &line in &scan.malformed_suppressions {
-        report.violations.push(Diagnostic {
-            rule: RULE_SUPPRESSION_REASON.into(),
-            file: file.into(),
-            line,
-            message: "womlint::allow requires a non-empty reason: \
-                      `// womlint::allow(<rule>, reason = \"...\")`"
-                .into(),
-        });
-    }
-    for s in &scan.suppressions {
-        let known = SUPPRESSIBLE_RULES.contains(&s.rule.as_str());
-        if !known {
-            report.violations.push(Diagnostic {
-                rule: RULE_SUPPRESSION_UNKNOWN.into(),
-                file: file.into(),
-                line: s.line,
-                message: format!(
-                    "womlint::allow names `{}`, which is not a suppressible rule ({})",
-                    s.rule,
-                    SUPPRESSIBLE_RULES.join(", ")
-                ),
-            });
+/// Routes a diagnostic: a suppressible rule covered by an inline
+/// `womlint::allow` lands in `suppressed` (and records the suppression
+/// as used); everything else is a violation.
+pub(crate) fn push(report: &mut Report, scan: &FileScan, diag: Diagnostic) {
+    if SUPPRESSIBLE_RULES.contains(&diag.rule.as_str()) {
+        if let Some(s) = scan.suppression_covering(&diag.rule, diag.line) {
+            report.used_suppressions.insert((diag.file.clone(), s.line));
+            report.suppressed.push(diag);
+            return;
         }
     }
-}
-
-fn check_determinism(cfg: &Config, scan: &FileScan, file: &str, report: &mut Report) {
-    let allowlisted = |token: &str| {
-        cfg.det_allow
-            .iter()
-            .any(|a| a.file == file && a.token == token)
-    };
-    for hit in scan::find_idents(&scan.tokens, &cfg.banned_types) {
-        if allowlisted(&hit.pattern) {
-            report.suppressed.push(Diagnostic {
-                rule: RULE_BANNED_TYPE.into(),
-                file: file.into(),
-                line: hit.line,
-                message: format!("`{}` allowlisted in womlint.toml", hit.pattern),
-            });
-            continue;
-        }
-        push(
-            report,
-            scan,
-            Diagnostic {
-                rule: RULE_BANNED_TYPE.into(),
-                file: file.into(),
-                line: hit.line,
-                message: format!(
-                    "`{}` in simulation state code: iteration order is not \
-                     deterministic (or invites order-dependent refactors) — use \
-                     `wom_pcm::rowmap::RowMap` for row-keyed state or `BTreeMap` \
-                     for other keys, or justify with a womlint::allow",
-                    hit.pattern
-                ),
-            },
-        );
-    }
-    for hit in scan::find_paths(&scan.tokens, &cfg.banned_paths) {
-        if allowlisted(&hit.pattern) {
-            report.suppressed.push(Diagnostic {
-                rule: RULE_BANNED_PATH.into(),
-                file: file.into(),
-                line: hit.line,
-                message: format!("`{}` allowlisted in womlint.toml", hit.pattern),
-            });
-            continue;
-        }
-        push(
-            report,
-            scan,
-            Diagnostic {
-                rule: RULE_BANNED_PATH.into(),
-                file: file.into(),
-                line: hit.line,
-                message: format!(
-                    "`{}` breaks bit-reproducibility: simulation crates must not \
-                     read wall-clock time, the environment, or any RNG other than \
-                     `pcm-rng`",
-                    hit.pattern
-                ),
-            },
-        );
-    }
-}
-
-fn check_hotpath(cfg: &Config, scan: &FileScan, file: &str, report: &mut Report) {
-    for region in cfg.hot_regions.iter().filter(|r| r.file == file) {
-        let spans: Vec<(usize, usize)> = if region.functions.is_empty() {
-            vec![(0, scan.tokens.len())]
-        } else {
-            scan.functions
-                .iter()
-                .filter(|f| region.functions.iter().any(|n| n == &f.name))
-                .map(|f| (f.body_start, f.body_end))
-                .collect()
-        };
-        for (start, end) in spans {
-            for hit in scan::find_calls(&scan.tokens, start, end, &cfg.hot_banned_calls) {
-                push(
-                    report,
-                    scan,
-                    Diagnostic {
-                        rule: RULE_HOTPATH_ALLOC.into(),
-                        file: file.into(),
-                        line: hit.line,
-                        message: format!(
-                            "`{}` in a hot region: the engine tick / codec row path \
-                             must stay allocation-free — reuse scratch buffers \
-                             (`read_into`, `encode_row_into`, `RowScratch`), or \
-                             justify with a womlint::allow",
-                            hit.pattern
-                        ),
-                    },
-                );
-            }
-        }
-    }
-}
-
-fn check_ratchet(cfg: &Config, baseline: &Baseline, report: &mut Report) {
-    let inventory = report.inventory.clone();
-    for (krate, current) in &inventory {
-        let Some(base) = baseline.get(krate) else {
-            report.violations.push(Diagnostic {
-                rule: RULE_PANIC_RATCHET.into(),
-                file: cfg.baseline_file.clone(),
-                line: 1,
-                message: format!(
-                    "crate `{krate}` is missing from the panic baseline — run \
-                     `cargo run -p womlint -- --update-baseline`"
-                ),
-            });
-            continue;
-        };
-        for ((cat, cur), (_, base)) in current.categories().iter().zip(base.categories().iter()) {
-            if cur > base {
-                report.violations.push(Diagnostic {
-                    rule: RULE_PANIC_RATCHET.into(),
-                    file: cfg.baseline_file.clone(),
-                    line: 1,
-                    message: format!(
-                        "crate `{krate}`: {cur} `{cat}` site(s) in library code, \
-                         baseline allows {base} — the panic surface may only \
-                         shrink; convert new sites to typed errors"
-                    ),
-                });
-            }
-        }
-    }
+    report.violations.push(diag);
 }
 
 /// Renders the report as JSON for CI consumption. Hand-rolled — the

@@ -67,6 +67,15 @@ fn main() -> ExitCode {
     }
 }
 
+/// Escapes a workflow-command message per the GitHub Actions toolkit:
+/// `%`, `\r`, and `\n` would otherwise terminate or corrupt the command.
+fn annotation_escape(message: &str) -> String {
+    message
+        .replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
 fn run(args: &Args) -> Result<bool, String> {
     let cfg = Config::load(&args.root).map_err(|e| e.to_string())?;
     let baseline_path = args.root.join(&cfg.baseline_file);
@@ -104,8 +113,24 @@ fn run(args: &Args) -> Result<bool, String> {
         }
     }
 
+    // Under GitHub Actions, also emit workflow-command annotations so
+    // violations surface inline on the PR diff. The human-readable lines
+    // and the JSON schema are unchanged; annotations are purely additive.
+    // The env read is lint tooling detecting its CI host, not simulation
+    // state — the determinism ban does not apply.
+    #[allow(clippy::disallowed_methods)]
+    let annotate = std::env::var_os("GITHUB_ACTIONS").is_some_and(|v| v == "true");
     for d in &report.violations {
         println!("{d}");
+        if annotate {
+            println!(
+                "::error file={},line={},title={}::{}",
+                d.file,
+                d.line,
+                d.rule,
+                annotation_escape(&d.message)
+            );
+        }
     }
     println!(
         "womlint: {} file(s), {} violation(s), {} suppressed",

@@ -1,0 +1,88 @@
+//! `config/stale-region`: `womlint.toml` entries must refer to things
+//! that still exist — a region naming a renamed function would otherwise
+//! silently lint nothing, which is exactly how coverage rots.
+
+use crate::callgraph::Workspace;
+use crate::config::Config;
+use crate::{Diagnostic, Report, RULE_CONFIG_STALE};
+
+/// Cross-checks every config entry that names a file/function/field
+/// against the scanned workspace.
+pub fn check(cfg: &Config, ws: &Workspace, report: &mut Report) {
+    let mut stale = |message: String| {
+        report.violations.push(Diagnostic {
+            rule: RULE_CONFIG_STALE.into(),
+            file: "womlint.toml".into(),
+            line: 1,
+            message,
+        });
+    };
+
+    for region in &cfg.hot_regions {
+        match ws.file_index(&region.file) {
+            None => stale(format!(
+                "[[hotpath.region]] names `{}`, which is not a scanned file — \
+                 it moved or was deleted; update the entry",
+                region.file
+            )),
+            Some(fi) => {
+                for name in &region.functions {
+                    if !fn_exists(ws, fi, name) {
+                        stale(format!(
+                            "[[hotpath.region]] for `{}` names fn `{name}`, which \
+                             no longer exists in the file — remove or rename the \
+                             entry",
+                            region.file
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    for stop in &cfg.hot_stops {
+        match ws.file_index(&stop.file) {
+            None => stale(format!(
+                "[[hotpath.stop]] names `{}`, which is not a scanned file — it \
+                 moved or was deleted; update the entry",
+                stop.file
+            )),
+            Some(fi) => {
+                if !fn_exists(ws, fi, &stop.function) {
+                    stale(format!(
+                        "[[hotpath.stop]] for `{}` names fn `{}`, which no longer \
+                         exists in the file — remove or rename the entry",
+                        stop.file, stop.function
+                    ));
+                }
+            }
+        }
+    }
+
+    for (allows, section) in [
+        (&cfg.snapshot_allow, "snapshot"),
+        (&cfg.merge_allow, "merge"),
+    ] {
+        for a in allows {
+            let found = ws.files.iter().any(|u| {
+                u.items
+                    .struct_named(&a.type_name)
+                    .is_some_and(|s| s.fields.iter().any(|f| f.name == a.field))
+            });
+            if !found {
+                stale(format!(
+                    "[[{section}.allow]] names `{}.{}`, which is not a declared \
+                     struct field anywhere in scope — the field was removed or \
+                     renamed; drop the entry",
+                    a.type_name, a.field
+                ));
+            }
+        }
+    }
+}
+
+fn fn_exists(ws: &Workspace, fi: usize, name: &str) -> bool {
+    ws.files
+        .get(fi)
+        .is_some_and(|u| u.items.fns.iter().any(|f| f.name == name))
+}

@@ -1,0 +1,69 @@
+//! `determinism/banned-type` and `determinism/banned-path`: no hash
+//! collections, wall-clock, environment, or foreign-RNG reads in
+//! simulation-state crates.
+
+use crate::config::Config;
+use crate::scan::{self, FileScan};
+use crate::{push, Diagnostic, Report, RULE_BANNED_PATH, RULE_BANNED_TYPE};
+
+/// Checks one file of a determinism-scoped crate.
+pub fn check(cfg: &Config, scan: &FileScan, file: &str, report: &mut Report) {
+    let allowlisted = |token: &str| {
+        cfg.det_allow
+            .iter()
+            .any(|a| a.file == file && a.token == token)
+    };
+    for hit in scan::find_idents(&scan.tokens, &cfg.banned_types) {
+        if allowlisted(&hit.pattern) {
+            report.suppressed.push(Diagnostic {
+                rule: RULE_BANNED_TYPE.into(),
+                file: file.into(),
+                line: hit.line,
+                message: format!("`{}` allowlisted in womlint.toml", hit.pattern),
+            });
+            continue;
+        }
+        push(
+            report,
+            scan,
+            Diagnostic {
+                rule: RULE_BANNED_TYPE.into(),
+                file: file.into(),
+                line: hit.line,
+                message: format!(
+                    "`{}` in simulation state code: iteration order is not \
+                     deterministic (or invites order-dependent refactors) — use \
+                     `wom_pcm::rowmap::RowMap` for row-keyed state or `BTreeMap` \
+                     for other keys, or justify with a womlint::allow",
+                    hit.pattern
+                ),
+            },
+        );
+    }
+    for hit in scan::find_paths(&scan.tokens, &cfg.banned_paths) {
+        if allowlisted(&hit.pattern) {
+            report.suppressed.push(Diagnostic {
+                rule: RULE_BANNED_PATH.into(),
+                file: file.into(),
+                line: hit.line,
+                message: format!("`{}` allowlisted in womlint.toml", hit.pattern),
+            });
+            continue;
+        }
+        push(
+            report,
+            scan,
+            Diagnostic {
+                rule: RULE_BANNED_PATH.into(),
+                file: file.into(),
+                line: hit.line,
+                message: format!(
+                    "`{}` breaks bit-reproducibility: simulation crates must not \
+                     read wall-clock time, the environment, or any RNG other than \
+                     `pcm-rng`",
+                    hit.pattern
+                ),
+            },
+        );
+    }
+}

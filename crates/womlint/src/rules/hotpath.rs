@@ -1,0 +1,164 @@
+//! `hotpath/alloc`, `hotpath/transitive`, and `hotpath/dynamic-call`:
+//! the allocation ban over tagged hot regions, extended to everything
+//! reachable from them through the call graph.
+//!
+//! `womlint.toml` regions name *root entry points* only (e.g.
+//! `Engine::advance`, `next_chunk`); the closure pulls in every
+//! same-workspace function reachable from a root, so a helper extracted
+//! out of a hot function cannot escape the lint. Calls the graph cannot
+//! follow (`(self.cb)(...)`) are reported once per site with the
+//! allow-able `hotpath/dynamic-call` rule instead of being silently
+//! ignored.
+
+use crate::callgraph::{closure, FnRef, StopEntry, Workspace};
+use crate::config::Config;
+use crate::parse::CallKind;
+use crate::scan;
+use crate::{push, Diagnostic, Report};
+use crate::{RULE_HOTPATH_ALLOC, RULE_HOTPATH_DYNAMIC, RULE_HOTPATH_TRANSITIVE};
+use std::collections::BTreeSet;
+
+/// Runs all three hot-path rules over the workspace.
+pub fn check(cfg: &Config, ws: &Workspace, report: &mut Report) {
+    // Roots: every fn named by a region (all fns of the file for a
+    // region with an empty function list).
+    let mut roots: Vec<FnRef> = Vec::new();
+    let mut whole_files: BTreeSet<usize> = BTreeSet::new();
+    for region in &cfg.hot_regions {
+        // Missing files/functions are `config/stale-region` territory.
+        let Some(fi) = ws.file_index(&region.file) else {
+            continue;
+        };
+        let Some(unit) = ws.files.get(fi) else {
+            continue;
+        };
+        if region.functions.is_empty() {
+            whole_files.insert(fi);
+        }
+        for (gi, f) in unit.items.fns.iter().enumerate() {
+            if region.functions.is_empty() || region.functions.iter().any(|n| n == &f.name) {
+                roots.push(FnRef { file: fi, func: gi });
+            }
+        }
+    }
+    roots.sort();
+    roots.dedup();
+
+    // Direct rule. Whole-file regions scan the full token stream (this
+    // also covers code outside fn bodies); named regions scan each root
+    // body.
+    for &fi in &whole_files {
+        if let Some(unit) = ws.files.get(fi) {
+            direct_hits(cfg, report, unit, 0, unit.scan.tokens.len());
+        }
+    }
+    for &r in &roots {
+        if whole_files.contains(&r.file) {
+            continue; // already covered by the whole-file span
+        }
+        let (Some(unit), Some(f)) = (ws.file(r), ws.func(r)) else {
+            continue;
+        };
+        direct_hits(cfg, report, unit, f.body_start, f.body_end);
+    }
+
+    // Closure. Calls already banned outright by bare name (`clone`,
+    // `collect`, ...) are not followed — the call site itself is the
+    // diagnostic; following into a `Clone` impl body would only
+    // duplicate it.
+    let stops: Vec<StopEntry> = cfg
+        .hot_stops
+        .iter()
+        .map(|s| StopEntry {
+            file: s.file.clone(),
+            function: s.function.clone(),
+        })
+        .collect();
+    let skip: BTreeSet<String> = cfg
+        .hot_banned_calls
+        .iter()
+        .filter(|c| !c.contains("::") && !c.ends_with('!'))
+        .cloned()
+        .collect();
+    let cls = closure(ws, &roots, &stops, &skip);
+    let root_set: BTreeSet<FnRef> = roots.iter().copied().collect();
+
+    for &fref in cls.reached.keys() {
+        let (Some(unit), Some(f)) = (ws.file(fref), ws.func(fref)) else {
+            continue;
+        };
+        let chain = cls.chain(ws, fref).join(" -> ");
+        if !root_set.contains(&fref) {
+            for hit in scan::find_calls(
+                &unit.scan.tokens,
+                f.body_start,
+                f.body_end,
+                &cfg.hot_banned_calls,
+            ) {
+                push(
+                    report,
+                    &unit.scan,
+                    Diagnostic {
+                        rule: RULE_HOTPATH_TRANSITIVE.into(),
+                        file: unit.path.clone(),
+                        line: hit.line,
+                        message: format!(
+                            "`{}` in `{}`, which is reachable from a hot region \
+                             root ({chain}): the whole closure must stay \
+                             allocation-free — reuse scratch buffers, cut the \
+                             false edge with [[hotpath.stop]], or justify with a \
+                             womlint::allow",
+                            hit.pattern, f.name
+                        ),
+                    },
+                );
+            }
+        }
+        for call in &f.calls {
+            if call.kind == CallKind::Dynamic {
+                push(
+                    report,
+                    &unit.scan,
+                    Diagnostic {
+                        rule: RULE_HOTPATH_DYNAMIC.into(),
+                        file: unit.path.clone(),
+                        line: call.line,
+                        message: format!(
+                            "call through a non-path expression in the hot closure \
+                             ({chain}): the call graph cannot follow it — justify \
+                             with womlint::allow(hotpath/dynamic-call, reason = \
+                             \"...\") if every possible callee is allocation-free",
+                        ),
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn direct_hits(
+    cfg: &Config,
+    report: &mut Report,
+    unit: &crate::callgraph::FileUnit,
+    start: usize,
+    end: usize,
+) {
+    for hit in scan::find_calls(&unit.scan.tokens, start, end, &cfg.hot_banned_calls) {
+        push(
+            report,
+            &unit.scan,
+            Diagnostic {
+                rule: RULE_HOTPATH_ALLOC.into(),
+                file: unit.path.clone(),
+                line: hit.line,
+                message: format!(
+                    "`{}` in a hot region: the engine tick / codec row path \
+                     must stay allocation-free — reuse scratch buffers \
+                     (`read_into`, `encode_row_into`, `RowScratch`), or \
+                     justify with a womlint::allow",
+                    hit.pattern
+                ),
+            },
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Rule implementations, one module per family.
+//!
+//! The token-level families (`determinism`, `ratchet`, the suppression
+//! comment checks) consume a single [`crate::scan::FileScan`]; the
+//! structural families (`hotpath`, `coverage`, `config_check`) consume
+//! the whole [`crate::callgraph::Workspace`] — they need cross-file
+//! visibility to follow calls and match `impl` blocks to struct
+//! definitions.
+
+pub mod config_check;
+pub mod coverage;
+pub mod determinism;
+pub mod hotpath;
+pub mod ratchet;
+pub mod suppression;

@@ -1,0 +1,38 @@
+//! `panic/ratchet`: the per-crate panic-capable-site inventory may only
+//! shrink relative to `womlint-baseline.toml`.
+
+use crate::config::{Baseline, Config};
+use crate::{Diagnostic, Report, RULE_PANIC_RATCHET};
+
+/// Compares the measured inventory in `report` against `baseline`.
+pub fn check(cfg: &Config, baseline: &Baseline, report: &mut Report) {
+    let inventory = report.inventory.clone();
+    for (krate, current) in &inventory {
+        let Some(base) = baseline.get(krate) else {
+            report.violations.push(Diagnostic {
+                rule: RULE_PANIC_RATCHET.into(),
+                file: cfg.baseline_file.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{krate}` is missing from the panic baseline — run \
+                     `cargo run -p womlint -- --update-baseline`"
+                ),
+            });
+            continue;
+        };
+        for ((cat, cur), (_, base)) in current.categories().iter().zip(base.categories().iter()) {
+            if cur > base {
+                report.violations.push(Diagnostic {
+                    rule: RULE_PANIC_RATCHET.into(),
+                    file: cfg.baseline_file.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate `{krate}`: {cur} `{cat}` site(s) in library code, \
+                         baseline allows {base} — the panic surface may only \
+                         shrink; convert new sites to typed errors"
+                    ),
+                });
+            }
+        }
+    }
+}

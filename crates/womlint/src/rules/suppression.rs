@@ -1,0 +1,68 @@
+//! Suppression hygiene: `suppression/missing-reason`,
+//! `suppression/unknown-rule`, and `suppression/unused` (an inline
+//! `womlint::allow` that no longer silences anything is itself a
+//! violation — stale allows are how real gaps hide).
+
+use crate::callgraph::Workspace;
+use crate::scan::FileScan;
+use crate::{Diagnostic, Report, RULE_SUPPRESSION_REASON, RULE_SUPPRESSION_UNKNOWN};
+use crate::{RULE_SUPPRESSION_UNUSED, SUPPRESSIBLE_RULES};
+
+/// Flags malformed (`missing-reason`) and unknown-rule suppressions in
+/// one file.
+pub fn check_comments(scan: &FileScan, file: &str, report: &mut Report) {
+    for &line in &scan.malformed_suppressions {
+        report.violations.push(Diagnostic {
+            rule: RULE_SUPPRESSION_REASON.into(),
+            file: file.into(),
+            line,
+            message: "womlint::allow requires a non-empty reason: \
+                      `// womlint::allow(<rule>, reason = \"...\")`"
+                .into(),
+        });
+    }
+    for s in &scan.suppressions {
+        let known = SUPPRESSIBLE_RULES.contains(&s.rule.as_str());
+        if !known {
+            report.violations.push(Diagnostic {
+                rule: RULE_SUPPRESSION_UNKNOWN.into(),
+                file: file.into(),
+                line: s.line,
+                message: format!(
+                    "womlint::allow names `{}`, which is not a suppressible rule ({})",
+                    s.rule,
+                    SUPPRESSIBLE_RULES.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Flags well-formed suppressions that silenced nothing. Must run after
+/// every suppressible rule (it reads [`Report::used_suppressions`]).
+pub fn check_unused(ws: &Workspace, report: &mut Report) {
+    for unit in &ws.files {
+        for s in &unit.scan.suppressions {
+            // Unknown-rule suppressions are already reported above.
+            if !SUPPRESSIBLE_RULES.contains(&s.rule.as_str()) {
+                continue;
+            }
+            if !report
+                .used_suppressions
+                .contains(&(unit.path.clone(), s.line))
+            {
+                report.violations.push(Diagnostic {
+                    rule: RULE_SUPPRESSION_UNUSED.into(),
+                    file: unit.path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "womlint::allow({}) does not suppress any diagnostic — \
+                         the offending code was fixed or moved; remove the stale \
+                         comment",
+                        s.rule
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -72,9 +72,17 @@ impl FileScan {
     /// True if a suppression for `rule` covers `line`.
     #[must_use]
     pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppression_covering(rule, line).is_some()
+    }
+
+    /// The suppression comment covering `line` for `rule`, if any — used
+    /// to track which `womlint::allow`s actually fire
+    /// (`suppression/unused`).
+    #[must_use]
+    pub fn suppression_covering(&self, rule: &str, line: u32) -> Option<&Suppression> {
         self.suppressions
             .iter()
-            .any(|s| s.rule == rule && (s.covers.0 == line || s.covers.1 == line))
+            .find(|s| s.rule == rule && (s.covers.0 == line || s.covers.1 == line))
     }
 }
 
@@ -151,7 +159,12 @@ fn skip_item(tokens: &[Token], mut i: usize) -> usize {
 }
 
 /// Index of the matching closer for the opener at `open_idx`.
-fn matching_close(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn matching_close(
+    tokens: &[Token],
+    open_idx: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
     let mut depth = 0i32;
     for (j, t) in tokens.iter().enumerate().skip(open_idx) {
         match t.kind {
@@ -168,11 +181,11 @@ fn matching_close(tokens: &[Token], open_idx: usize, open: char, close: char) ->
     None
 }
 
-fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
+pub(crate) fn is_punct(tokens: &[Token], i: usize, c: char) -> bool {
     matches!(tokens.get(i), Some(t) if t.kind == TokenKind::Punct(c))
 }
 
-fn is_ident(tokens: &[Token], i: usize, name: &str) -> bool {
+pub(crate) fn is_ident(tokens: &[Token], i: usize, name: &str) -> bool {
     matches!(tokens.get(i), Some(t) if matches!(&t.kind, TokenKind::Ident(s) if s == name))
 }
 

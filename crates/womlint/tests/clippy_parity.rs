@@ -1,0 +1,77 @@
+//! Parity proof for the two enforcement layers: `clippy.toml` mirrors
+//! the determinism bans so editors surface them, but womlint is the
+//! primary gate — every path clippy disallows must still be banned by
+//! `womlint.toml`, or the mirror has outlived its source and the two
+//! tools disagree about what the invariant is.
+
+use std::path::{Path, PathBuf};
+use womlint::config::Config;
+
+fn repo_root() -> PathBuf {
+    // crates/womlint -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+/// Extracts the `path = "..."` values of one `disallowed-*` array from
+/// `clippy.toml` (hand-rolled: the workspace is offline, so no `toml`
+/// crate, and womlint's own parser does not do inline tables).
+fn clippy_paths(src: &str, key: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with(key) {
+            in_section = true;
+        } else if in_section && t == "]" {
+            in_section = false;
+        } else if in_section {
+            if let Some(rest) = t.split("path = \"").nth(1) {
+                if let Some(path) = rest.split('"').next() {
+                    out.push(path.to_string());
+                }
+            }
+        }
+    }
+    assert!(!out.is_empty(), "no `path` entries under `{key}`");
+    out
+}
+
+#[test]
+fn every_clippy_disallowed_type_is_banned_by_womlint() {
+    let root = repo_root();
+    let clippy = std::fs::read_to_string(root.join("clippy.toml")).unwrap();
+    let cfg = Config::load(&root).unwrap();
+    for path in clippy_paths(&clippy, "disallowed-types") {
+        let ty = path.rsplit("::").next().unwrap();
+        assert!(
+            cfg.banned_types.iter().any(|b| b == ty),
+            "clippy disallows `{path}` but womlint.toml banned_types \
+             has no `{ty}` — the mirror outlived the source"
+        );
+    }
+}
+
+#[test]
+fn every_clippy_disallowed_method_is_banned_by_womlint() {
+    let root = repo_root();
+    let clippy = std::fs::read_to_string(root.join("clippy.toml")).unwrap();
+    let cfg = Config::load(&root).unwrap();
+    for path in clippy_paths(&clippy, "disallowed-methods") {
+        // womlint bans path *prefixes* (`std::env` covers `std::env::var`);
+        // match whole `::` segments so `std::en` would not count.
+        let covered = cfg
+            .banned_paths
+            .iter()
+            .any(|b| path == *b || path.starts_with(&format!("{b}::")));
+        assert!(
+            covered,
+            "clippy disallows `{path}` but no womlint.toml banned_paths \
+             entry covers it — the mirror outlived the source"
+        );
+    }
+}

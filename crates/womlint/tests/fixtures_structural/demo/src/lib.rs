@@ -1,0 +1,84 @@
+//! Structural fixture: seeded violations for the interprocedural rule
+//! families — hot-path closure, snapshot/merge field coverage, config
+//! staleness — each on a line the integration tests pin exactly.
+
+/// Local stand-in: codec discovery is by method name plus a signature
+/// mention of this type, not by import path.
+pub struct SnapWriter;
+
+/// Local stand-in for the decode half.
+pub struct SnapReader;
+
+/// Hot-region owner: `tick` is the root named in womlint.toml.
+pub struct Driver {
+    /// Indirect callee the call graph cannot follow.
+    pub cb: fn(u64) -> u64,
+}
+
+impl Driver {
+    /// Region root: clean itself; reachable helpers are checked.
+    pub fn tick(&mut self, x: u64) -> u64 {
+        let a = helper_alloc(x);
+        let b = helper_allowed(x);
+        let c = (self.cb)(x);
+        self.cold_report();
+        a + b + c
+    }
+
+    /// Behind a [[hotpath.stop]]: its allocation must NOT be reported.
+    fn cold_report(&self) {
+        let _report = vec![0u64, 1, 2];
+    }
+}
+
+/// Reachable from `tick`: the `collect` is a transitive violation.
+fn helper_alloc(x: u64) -> u64 {
+    let v: Vec<u64> = (0..x).collect();
+    v.len() as u64
+}
+
+/// Reachable from `tick`: the allocation is justified inline.
+fn helper_allowed(x: u64) -> u64 {
+    // womlint::allow(hotpath/transitive, reason = "fixture: justified allocation")
+    let v: Vec<u64> = Vec::new();
+    v.len() as u64 + x
+}
+
+/// Snap codec: `kept` is written; `missing` is the seeded gap;
+/// `derived` is exempted in womlint.toml; `noted` is exempted inline.
+pub struct SnapState {
+    kept: u64,
+    missing: u64,
+    derived: u64,
+    // womlint::allow(snapshot/field-coverage, reason = "fixture: log-only field")
+    noted: u64,
+}
+
+impl SnapState {
+    /// Encode half only; the decode half is out of fixture scope.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        put_u64(w, self.kept);
+    }
+}
+
+fn put_u64(_w: &mut SnapWriter, _v: u64) {}
+
+/// Merge family: `count`/`sum` are merged; `max_seen` is the seeded
+/// gap; `scratch` is exempted in womlint.toml.
+pub struct Totals {
+    count: u64,
+    sum: u64,
+    max_seen: u64,
+    scratch: u64,
+}
+
+impl Totals {
+    /// Shard-merge stand-in.
+    pub fn merge(&mut self, other: &Totals) {
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+// womlint::allow(hotpath/alloc, reason = "fixture: suppresses nothing")
+pub fn inert() {}
