@@ -3,7 +3,7 @@
 
 use pcm_trace::stream::TraceSpec;
 use pcm_trace::synth::benchmarks;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, SystemBuilder};
 use wom_pcm_bench::timing::bench_throughput;
 
 const RECORDS: usize = 10_000;
@@ -28,11 +28,13 @@ fn simulation_rate() {
             &format!("simulation_rate/{}", arch.label()),
             RECORDS as u64,
             || {
-                let mut cfg = SystemConfig::paper(arch);
-                cfg.mem.geometry.rows_per_bank = 4096;
-                let mut sys = WomPcmSystem::new(cfg).expect("valid config");
+                let mut session = SystemBuilder::new(arch)
+                    .rows_per_bank(4096)
+                    .open()
+                    .expect("valid config");
                 let mut source = spec.open().expect("benchmark sources open");
-                sys.run_source(&mut source).expect("trace runs")
+                session.feed_source(&mut source).expect("trace runs");
+                session.finish().expect("trace finishes")
             },
         );
     }

@@ -1,4 +1,4 @@
-//! Ablation studies over the design choices called out in `DESIGN.md` §13:
+//! Ablation studies over the design choices called out in `DESIGN.md` §14:
 //!
 //! * `rth`      — PCM-refresh threshold r_th sweep (0–100%).
 //! * `rat`      — row-address-table depth sweep (the paper fixes 5).
@@ -160,7 +160,7 @@ fn ablate_period(records: usize, seed: u64, threads: usize) {
         .iter()
         .map(|&period| {
             let b = base(Architecture::WomCodeRefresh);
-            let mut timing = b.config().mem.timing;
+            let mut timing = b.config().mem().timing;
             timing.refresh_period_ns = period;
             b.timing(timing).into_config()
         })

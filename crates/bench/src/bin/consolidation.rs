@@ -48,11 +48,12 @@ fn main() {
         let mut row = Vec::new();
         let mut base = 0.0;
         for arch in Architecture::all_paper() {
-            let mut sys = SystemBuilder::new(arch)
+            let mut session = SystemBuilder::new(arch)
                 .rows_per_bank(4096)
-                .build()
+                .open()
                 .expect("valid config");
-            let m = sys.run_trace(trace.clone()).expect("trace runs");
+            session.feed(&trace).expect("trace runs");
+            let m = session.finish().expect("trace finishes");
             if arch == Architecture::Baseline {
                 base = m.mean_write_ns();
             }

@@ -33,11 +33,12 @@ fn main() {
             let mut source = profile
                 .source(seed, records as u64)
                 .expect("paper workloads validate");
-            let mut sys = SystemBuilder::new(arch)
+            let mut session = SystemBuilder::new(arch)
                 .rows_per_bank(4096)
-                .build()
+                .open()
                 .expect("valid config");
-            let m = sys.run_source(&mut source).expect("trace runs");
+            session.feed_source(&mut source).expect("trace runs");
+            let m = session.finish().expect("trace finishes");
             if arch == Architecture::WomCodeRefresh {
                 refresh_share = m.energy.refresh_pj / m.energy.total_pj();
             }

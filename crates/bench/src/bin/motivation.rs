@@ -33,23 +33,19 @@ fn main() {
                 .expect("paper workloads validate")
         };
 
-        // DRAM-class device: symmetric 27 ns writes.
-        let dram = SystemBuilder::new(Architecture::Baseline)
-            .rows_per_bank(4096)
-            .timing(TimingParams::dram_like())
-            .build()
-            .expect("valid config")
-            .run_source(&mut source())
-            .expect("trace runs");
-
-        let run = |arch: Architecture| {
-            SystemBuilder::new(arch)
-                .rows_per_bank(4096)
-                .build()
-                .expect("valid config")
-                .run_source(&mut source())
-                .expect("trace runs")
+        let drive = |builder: SystemBuilder| {
+            let mut session = builder.open().expect("valid config");
+            session.feed_source(&mut source()).expect("trace runs");
+            session.finish().expect("trace finishes")
         };
+        // DRAM-class device: symmetric 27 ns writes.
+        let dram = drive(
+            SystemBuilder::new(Architecture::Baseline)
+                .rows_per_bank(4096)
+                .timing(TimingParams::dram_like()),
+        );
+
+        let run = |arch: Architecture| drive(SystemBuilder::new(arch).rows_per_bank(4096));
         let pcm = run(Architecture::Baseline);
         // The strongest architecture per benchmark (refresh or WCPCM).
         let refresh = run(Architecture::WomCodeRefresh);

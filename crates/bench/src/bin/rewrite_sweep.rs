@@ -30,13 +30,13 @@ fn main() {
     };
     let s = 150.0 / 40.0;
 
+    let drive = |builder: SystemBuilder| {
+        let mut session = builder.open().expect("valid config");
+        session.feed_source(&mut source()).expect("trace runs");
+        session.finish().expect("trace finishes")
+    };
     // Baseline for normalization.
-    let base = SystemBuilder::new(Architecture::Baseline)
-        .rows_per_bank(4096)
-        .build()
-        .expect("valid config")
-        .run_source(&mut source())
-        .expect("trace runs");
+    let base = drive(SystemBuilder::new(Architecture::Baseline).rows_per_bank(4096));
 
     println!(
         "workload: {} ({records} records), S = {s:.2}\n",
@@ -48,14 +48,12 @@ fn main() {
     );
     for k in [1u32, 2, 3, 4, 8] {
         let run = |arch: Architecture| {
-            SystemBuilder::new(arch)
-                .rows_per_bank(4096)
-                .rewrite_limit(k)
-                .expansion(FlipCode::new(k).expect("valid t").expansion())
-                .build()
-                .expect("valid config")
-                .run_source(&mut source())
-                .expect("trace runs")
+            drive(
+                SystemBuilder::new(arch)
+                    .rows_per_bank(4096)
+                    .rewrite_limit(k)
+                    .expansion(FlipCode::new(k).expect("valid t").expansion()),
+            )
         };
         let wom = run(Architecture::WomCode);
         let refresh = run(Architecture::WomCodeRefresh);

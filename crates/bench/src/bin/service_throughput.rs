@@ -1,0 +1,628 @@
+//! Multi-tenant service throughput: drives `womd` in-process with N
+//! tenants multiplexed over a fixed worker pool, reporting aggregate
+//! records/s and the p50/p99 feed (enqueue-to-accept) latency, and
+//! verifying the service determinism contract along the way — every
+//! tenant's final metrics and epoch series must be byte-identical to a
+//! solo run of the same trace.
+//!
+//! The acceptance gate: with 16 tenants on 8 workers the service must
+//! sustain at least 0.5× the single-tenant verified throughput per
+//! effective worker (`min(workers, tenants, cores)`). The binary exits
+//! non-zero when the ratio or any determinism check fails, so CI can
+//! run it directly.
+//!
+//! With `--smoke --womd PATH [--epochs-out OUT]` it instead spawns the
+//! `womd` binary and drives the same tenants through the newline-JSON
+//! wire protocol over stdio, verifies each tenant's `metrics_fnv` and
+//! epoch stream against an in-process solo run, and writes one tenant's
+//! epoch JSONL stream to OUT for a byte diff against the committed
+//! golden fixture (`crates/womd/fixtures/service_smoke_epochs.jsonl`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{ChildStdin, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use pcm_trace::binary::encode_records_into;
+use pcm_trace::synth::benchmarks;
+use pcm_trace::TraceRecord;
+use wom_pcm::observe::push_epoch_jsonl;
+use wom_pcm::session::{Session, SessionSpec};
+use wom_pcm::{Architecture, SystemConfig};
+use wom_pcm_bench::cli;
+use womd::json::{self, Json};
+use womd::service::fnv1a;
+use womd::{Service, ServiceConfig, ServiceError, SessionEvent};
+
+const USAGE: &str = "service_throughput [--tenants N] [--workers N] [--records N] [--batch N] \
+                     [--epoch-cycles N] [--floor RATIO] [--epochs-out PATH] \
+                     [--smoke --womd PATH]";
+
+/// Per-tenant trace length.
+const DEFAULT_RECORDS: usize = 20_000;
+/// Records per feed batch. 40 batches per tenant at the defaults —
+/// past the service's 32-batch queue cap, so a solo-paced producer can
+/// hit the `Busy` back-pressure path and the retry loop is exercised.
+const DEFAULT_BATCH: usize = 500;
+/// Epoch width: every tenant streams an epoch series.
+const DEFAULT_EPOCH_CYCLES: u64 = 50_000;
+/// Minimum multi-tenant throughput per effective worker, as a fraction
+/// of the solo single-tenant throughput (the acceptance criterion).
+/// Override with `--floor` — a parking soak (more tenants per worker
+/// than `max_resident`) deliberately thrashes checkpoints and is about
+/// the determinism checks, not throughput; run it with `--floor 0`.
+const MIN_PER_WORKER_RATIO: f64 = 0.5;
+
+/// Workloads tenants cycle through (all bundled generators).
+const WORKLOADS: [&str; 4] = ["qsort", "mad", "typeset", "stringsearch"];
+
+struct Tenant {
+    name: String,
+    arch: Architecture,
+    workload: &'static str,
+    trace: Vec<TraceRecord>,
+}
+
+fn make_tenants(n: usize, records: usize) -> Vec<Tenant> {
+    let archs = Architecture::all_paper();
+    (0..n)
+        .map(|i| {
+            let workload = WORKLOADS[i % WORKLOADS.len()];
+            let seed = wom_pcm_bench::DEFAULT_SEED + i as u64;
+            let trace = benchmarks::by_name(workload)
+                .expect("bundled workload")
+                .generate(seed, records);
+            Tenant {
+                name: format!("t{i}"),
+                arch: archs[i % archs.len()],
+                workload,
+                trace,
+            }
+        })
+        .collect()
+}
+
+/// The session spec a tenant runs under, identical across the solo
+/// reference run, the in-process service, and the wire smoke (whose
+/// `open` frame says `preset: tiny` + `epoch_cycles`).
+fn spec(t: &Tenant, epoch_cycles: u64) -> SessionSpec {
+    SessionSpec::new(SystemConfig::tiny(t.arch)).epoch_cycles(epoch_cycles)
+}
+
+/// Constant leading tags of every epoch line the tenant emits.
+fn tags(t: &Tenant) -> Vec<(String, String)> {
+    vec![
+        ("tenant".to_string(), t.name.clone()),
+        ("workload".to_string(), t.workload.to_string()),
+    ]
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("service_throughput: {message}");
+    std::process::exit(1);
+}
+
+struct SoloRun {
+    metrics_debug: String,
+    epoch_lines: Vec<String>,
+    seconds: f64,
+}
+
+/// Runs one tenant's trace alone through a plain [`Session`] — the
+/// verified single-tenant baseline and the determinism reference.
+fn run_solo(t: &Tenant, epoch_cycles: u64, batch: usize) -> SoloRun {
+    // Wall-clock is the quantity measured; the `Instant::now` ban
+    // targets simulation code, not the benchmark harness.
+    #[allow(clippy::disallowed_methods)]
+    let start = Instant::now();
+    let mut session = Session::open(spec(t, epoch_cycles)).expect("tenant specs validate");
+    for chunk in t.trace.chunks(batch) {
+        session.feed(chunk).expect("solo feeds run clean");
+    }
+    let metrics = session.finish().expect("solo runs finish");
+    let seconds = start.elapsed().as_secs_f64();
+    let owned = tags(t);
+    let tag_refs: Vec<(&str, &str)> = owned
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    let mut epoch_lines = Vec::new();
+    for (index, start_cycle, end_cycle, counters) in session.poll_epochs().iter() {
+        let mut line = String::new();
+        push_epoch_jsonl(
+            &mut line,
+            &tag_refs,
+            index,
+            start_cycle,
+            end_cycle,
+            counters,
+        );
+        epoch_lines.push(line);
+    }
+    SoloRun {
+        metrics_debug: format!("{metrics:#?}"),
+        epoch_lines,
+        seconds,
+    }
+}
+
+#[derive(Default)]
+struct ServiceRun {
+    metrics_debug: String,
+    epoch_lines: Vec<String>,
+}
+
+fn absorb(name: &str, events: Vec<SessionEvent>, out: &mut ServiceRun) {
+    for event in events {
+        match event {
+            SessionEvent::Epoch { line, .. } => out.epoch_lines.push(line),
+            SessionEvent::Finished { metrics_debug, .. } => out.metrics_debug = metrics_debug,
+            SessionEvent::Error { kind, message } => {
+                die(&format!("tenant '{name}' failed ({kind}): {message}"))
+            }
+        }
+    }
+}
+
+/// Feeds every tenant round-robin through an in-process [`Service`],
+/// returning per-tenant results, the wall-clock seconds from open to
+/// last finish, and every feed call's enqueue-to-accept latency
+/// (`Busy` retries included — that wait *is* the queue latency).
+fn run_service(
+    tenants: &[Tenant],
+    workers: usize,
+    batch: usize,
+    epoch_cycles: u64,
+) -> (Vec<ServiceRun>, f64, Vec<f64>) {
+    let service = Service::start(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    })
+    .expect("worker pool starts");
+    let mut results: Vec<ServiceRun> = tenants.iter().map(|_| ServiceRun::default()).collect();
+    let mut latencies = Vec::new();
+    #[allow(clippy::disallowed_methods)]
+    let start = Instant::now();
+    for t in tenants {
+        service
+            .open(&t.name, spec(t, epoch_cycles), &tags(t))
+            .unwrap_or_else(|e| die(&format!("open of '{}' failed: {e}", t.name)));
+    }
+    let max_batches = tenants
+        .iter()
+        .map(|t| t.trace.chunks(batch).count())
+        .max()
+        .unwrap_or(0);
+    for b in 0..max_batches {
+        for (i, t) in tenants.iter().enumerate() {
+            let Some(chunk) = t.trace.chunks(batch).nth(b) else {
+                continue;
+            };
+            #[allow(clippy::disallowed_methods)]
+            let enqueue = Instant::now();
+            loop {
+                match service.feed(&t.name, chunk.to_vec()) {
+                    Ok(()) => break,
+                    Err(ServiceError::Busy { .. }) => {
+                        let events = service.poll(&t.name).expect("live sessions poll");
+                        absorb(&t.name, events, &mut results[i]);
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    Err(e) => die(&format!("feed to '{}' failed: {e}", t.name)),
+                }
+            }
+            latencies.push(enqueue.elapsed().as_secs_f64());
+            let events = service.poll(&t.name).expect("live sessions poll");
+            absorb(&t.name, events, &mut results[i]);
+        }
+    }
+    for (i, t) in tenants.iter().enumerate() {
+        match service.finish_wait(&t.name, Duration::from_secs(120)) {
+            Ok(events) => absorb(&t.name, events, &mut results[i]),
+            Err(e) => die(&format!("finish of '{}' failed: {e}", t.name)),
+        }
+        service.close(&t.name);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    (results, seconds, latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Compares one tenant's service-side results against its solo run;
+/// returns the number of mismatches after reporting them.
+fn check_tenant(name: &str, solo: &SoloRun, svc: &ServiceRun) -> usize {
+    let mut mismatches = 0;
+    if svc.metrics_debug != solo.metrics_debug {
+        eprintln!("DETERMINISM FAILURE: tenant '{name}' metrics diverge from its solo run");
+        mismatches += 1;
+    }
+    if svc.epoch_lines != solo.epoch_lines {
+        eprintln!(
+            "DETERMINISM FAILURE: tenant '{name}' epoch series diverges \
+             ({} service lines vs {} solo lines)",
+            svc.epoch_lines.len(),
+            solo.epoch_lines.len()
+        );
+        mismatches += 1;
+    }
+    mismatches
+}
+
+fn write_epochs(path: &str, lines: &[String]) {
+    let mut body = lines.join("\n");
+    body.push('\n');
+    std::fs::write(path, body).expect("writing the epoch JSONL");
+    println!("wrote {} epoch lines to {path}", lines.len());
+}
+
+fn run_benchmark(
+    tenant_count: usize,
+    workers: usize,
+    records: usize,
+    batch: usize,
+    epoch_cycles: u64,
+    floor: f64,
+    epochs_out: Option<&str>,
+) {
+    let tenants = make_tenants(tenant_count, records);
+    let total_records: u64 = tenants.iter().map(|t| t.trace.len() as u64).sum();
+    println!(
+        "service throughput: {tenant_count} tenants on {workers} workers, \
+         {records} records each (batches of {batch})\n"
+    );
+
+    let solos: Vec<SoloRun> = tenants
+        .iter()
+        .map(|t| run_solo(t, epoch_cycles, batch))
+        .collect();
+    let solo_seconds: f64 = solos.iter().map(|s| s.seconds).sum();
+    let solo_rps = total_records as f64 / solo_seconds;
+    println!(
+        "solo baseline  {solo_rps:>14.0} records/s  ({solo_seconds:.3} s, one tenant at a time)"
+    );
+
+    let (results, seconds, mut latencies) = run_service(&tenants, workers, batch, epoch_cycles);
+    let aggregate_rps = total_records as f64 / seconds;
+    println!(
+        "service        {aggregate_rps:>14.0} records/s  ({seconds:.3} s, {} feed batches)",
+        latencies.len()
+    );
+    latencies.sort_by(f64::total_cmp);
+    println!(
+        "feed latency   p50 {:>8.1} µs   p99 {:>8.1} µs   max {:>8.1} µs",
+        percentile(&latencies, 0.50) * 1e6,
+        percentile(&latencies, 0.99) * 1e6,
+        latencies.last().copied().unwrap_or(0.0) * 1e6
+    );
+
+    let mut mismatches = 0;
+    for (t, (solo, svc)) in tenants.iter().zip(solos.iter().zip(&results)) {
+        mismatches += check_tenant(&t.name, solo, svc);
+    }
+    if mismatches == 0 {
+        println!(
+            "determinism    {tenant_count}/{tenant_count} tenants byte-identical to solo \
+             (metrics + epoch series)"
+        );
+    }
+
+    let effective = workers
+        .min(tenants.len())
+        .min(wom_pcm_bench::parallel::default_threads());
+    let ratio = aggregate_rps / (solo_rps * effective as f64);
+    println!(
+        "per-worker     {ratio:.2}x solo throughput across {effective} effective workers \
+         (floor {floor:.2}x)"
+    );
+
+    if let Some(path) = epochs_out {
+        write_epochs(path, &results[0].epoch_lines);
+    }
+    if mismatches > 0 {
+        die(&format!("{mismatches} determinism mismatches"));
+    }
+    if ratio < floor {
+        die(&format!(
+            "per-worker throughput ratio {ratio:.2} is below the {floor:.2} floor"
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire smoke: the same tenants, driven through a spawned `womd` binary
+// over the newline-JSON stdio protocol.
+// ---------------------------------------------------------------------
+
+struct SmokeClient {
+    stdin: ChildStdin,
+    reader: BufReader<ChildStdout>,
+    names: Vec<String>,
+    epoch_lines: Vec<Vec<String>>,
+    finished: Vec<Option<(u64, String)>>,
+}
+
+fn field<'a>(frame: &'a Json, key: &str) -> &'a str {
+    frame.get(key).and_then(Json::as_str).unwrap_or_default()
+}
+
+impl SmokeClient {
+    fn idx(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| die(&format!("womd spoke about unknown session '{name}'")))
+    }
+
+    fn send(&mut self, frame: &str, payload: Option<&[u8]>) {
+        writeln!(self.stdin, "{frame}").expect("womd stdin writes");
+        if let Some(bytes) = payload {
+            self.stdin.write_all(bytes).expect("womd stdin writes");
+        }
+        self.stdin.flush().expect("womd stdin flushes");
+    }
+
+    /// Reads one server frame, filing `epoch` and `finished` events as
+    /// it goes, and returns it for the caller's ack handling.
+    fn step(&mut self) -> Json {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line).expect("womd stdout reads") == 0 {
+            die("womd closed its stdout mid-conversation");
+        }
+        let frame = json::parse(line.trim())
+            .unwrap_or_else(|e| die(&format!("unparseable womd frame: {e}: {line}")));
+        match field(&frame, "event") {
+            "epoch" => {
+                let i = self.idx(field(&frame, "session"));
+                let jsonl = frame
+                    .get("line")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| die("epoch frame without a 'line'"));
+                self.epoch_lines[i].push(jsonl.to_string());
+            }
+            "finished" => {
+                let i = self.idx(field(&frame, "session"));
+                let records = frame
+                    .get("records")
+                    .and_then(Json::as_u64)
+                    .unwrap_or_else(|| die("finished frame without 'records'"));
+                self.finished[i] = Some((records, field(&frame, "metrics_fnv").to_string()));
+            }
+            _ => {}
+        }
+        frame
+    }
+
+    /// Reads frames until the `ok` ack for (`op`, `session`) arrives.
+    /// Any non-`busy` error is fatal; `busy` returns `false`.
+    fn await_ack(&mut self, op: &str, session: &str) -> bool {
+        loop {
+            let frame = self.step();
+            match field(&frame, "event") {
+                "ok" if field(&frame, "op") == op && field(&frame, "session") == session => {
+                    return true;
+                }
+                "error" if field(&frame, "kind") == "busy" => return false,
+                "error" => die(&format!(
+                    "womd error ({}): {}",
+                    field(&frame, "kind"),
+                    field(&frame, "message")
+                )),
+                _ => {}
+            }
+        }
+    }
+
+    fn open(&mut self, t: &Tenant, epoch_cycles: u64) {
+        let frame = format!(
+            "{{\"op\":\"open\",\"session\":\"{name}\",\"arch\":\"{arch}\",\"preset\":\"tiny\",\
+             \"epoch_cycles\":{epoch_cycles},\
+             \"tags\":{{\"tenant\":\"{name}\",\"workload\":\"{workload}\"}}}}",
+            name = t.name,
+            arch = t.arch.slug(),
+            workload = t.workload,
+        );
+        self.send(&frame, None);
+        if !self.await_ack("open", &t.name) {
+            die(&format!("open of '{}' reported busy", t.name));
+        }
+    }
+
+    fn feed(&mut self, name: &str, payload: &[u8]) {
+        loop {
+            let frame = format!(
+                "{{\"op\":\"feed\",\"session\":\"{name}\",\"bytes\":{}}}",
+                payload.len()
+            );
+            self.send(&frame, Some(payload));
+            if self.await_ack("feed", name) {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn finish(&mut self, name: &str) {
+        self.send(
+            &format!("{{\"op\":\"finish\",\"session\":\"{name}\"}}"),
+            None,
+        );
+        let i = self.idx(name);
+        while self.finished[i].is_none() {
+            let frame = self.step();
+            if field(&frame, "event") == "error" {
+                die(&format!(
+                    "finish of '{name}' failed ({}): {}",
+                    field(&frame, "kind"),
+                    field(&frame, "message")
+                ));
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.send("{\"op\":\"shutdown\"}", None);
+        loop {
+            let frame = self.step();
+            if field(&frame, "event") == "ok" && field(&frame, "op") == "shutdown" {
+                return;
+            }
+        }
+    }
+}
+
+fn run_smoke(
+    womd_path: &str,
+    tenant_count: usize,
+    records: usize,
+    batch: usize,
+    epoch_cycles: u64,
+    epochs_out: Option<&str>,
+) {
+    let tenants = make_tenants(tenant_count, records);
+    println!(
+        "wire smoke: {tenant_count} tenants through '{womd_path}' over stdio, \
+         {records} records each (batches of {batch})"
+    );
+    let solos: Vec<SoloRun> = tenants
+        .iter()
+        .map(|t| run_solo(t, epoch_cycles, batch))
+        .collect();
+
+    let mut child = Command::new(womd_path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| die(&format!("spawning '{womd_path}': {e}")));
+    let mut client = SmokeClient {
+        stdin: child.stdin.take().expect("piped stdin"),
+        reader: BufReader::new(child.stdout.take().expect("piped stdout")),
+        names: tenants.iter().map(|t| t.name.clone()).collect(),
+        epoch_lines: vec![Vec::new(); tenant_count],
+        finished: vec![None; tenant_count],
+    };
+
+    for t in &tenants {
+        client.open(t, epoch_cycles);
+    }
+    let max_batches = tenants
+        .iter()
+        .map(|t| t.trace.chunks(batch).count())
+        .max()
+        .unwrap_or(0);
+    let mut payload = Vec::new();
+    for b in 0..max_batches {
+        for t in &tenants {
+            let Some(chunk) = t.trace.chunks(batch).nth(b) else {
+                continue;
+            };
+            payload.clear();
+            encode_records_into(chunk, &mut payload);
+            client.feed(&t.name, &payload);
+        }
+    }
+    for t in &tenants {
+        client.finish(&t.name);
+    }
+    client.shutdown();
+    drop(client.stdin);
+    let status = child.wait().expect("womd exits");
+    if !status.success() {
+        die(&format!("womd exited with {status}"));
+    }
+
+    let mut mismatches = 0;
+    for (i, (t, solo)) in tenants.iter().zip(&solos).enumerate() {
+        let Some((got_records, got_fnv)) = &client.finished[i] else {
+            die(&format!("tenant '{}' never finished", t.name));
+        };
+        if *got_records != t.trace.len() as u64 {
+            eprintln!(
+                "DETERMINISM FAILURE: tenant '{}' consumed {got_records} of {} records",
+                t.name,
+                t.trace.len()
+            );
+            mismatches += 1;
+        }
+        let want_fnv = format!("{:016x}", fnv1a(solo.metrics_debug.as_bytes()));
+        if *got_fnv != want_fnv {
+            eprintln!(
+                "DETERMINISM FAILURE: tenant '{}' metrics digest {got_fnv} != solo {want_fnv}",
+                t.name
+            );
+            mismatches += 1;
+        }
+        let svc = ServiceRun {
+            metrics_debug: String::new(),
+            epoch_lines: client.epoch_lines[i].clone(),
+        };
+        if svc.epoch_lines != solo.epoch_lines {
+            eprintln!(
+                "DETERMINISM FAILURE: tenant '{}' wire epoch series diverges \
+                 ({} wire lines vs {} solo lines)",
+                t.name,
+                svc.epoch_lines.len(),
+                solo.epoch_lines.len()
+            );
+            mismatches += 1;
+        }
+    }
+    if let Some(path) = epochs_out {
+        write_epochs(path, &client.epoch_lines[0]);
+    }
+    if mismatches > 0 {
+        die(&format!("{mismatches} wire determinism mismatches"));
+    }
+    println!(
+        "wire smoke: {tenant_count}/{tenant_count} tenants verified \
+         (records, metrics digest, epoch series)"
+    );
+}
+
+fn main() {
+    let mut cli = cli::Parser::from_env(USAGE);
+    let smoke = cli.flag("--smoke");
+    let tenant_count: usize = cli
+        .parsed("--tenants")
+        .unwrap_or(if smoke { 8 } else { 16 });
+    let workers: usize = cli.parsed("--workers").unwrap_or(8);
+    let records: usize = cli.parsed("--records").unwrap_or(DEFAULT_RECORDS);
+    let batch: usize = cli.parsed("--batch").unwrap_or(DEFAULT_BATCH);
+    let epoch_cycles: u64 = cli.parsed("--epoch-cycles").unwrap_or(DEFAULT_EPOCH_CYCLES);
+    let floor: f64 = cli.parsed("--floor").unwrap_or(MIN_PER_WORKER_RATIO);
+    let womd_path = cli.value("--womd");
+    let epochs_out = cli.value("--epochs-out");
+    cli.finish();
+    if tenant_count == 0 || records == 0 || batch == 0 || workers == 0 || epoch_cycles == 0 {
+        die("--tenants, --workers, --records, --batch, and --epoch-cycles must be positive");
+    }
+
+    if smoke {
+        let Some(path) = womd_path else {
+            die("--smoke needs --womd PATH (the womd binary to spawn)");
+        };
+        run_smoke(
+            &path,
+            tenant_count,
+            records,
+            batch,
+            epoch_cycles,
+            epochs_out.as_deref(),
+        );
+    } else {
+        run_benchmark(
+            tenant_count,
+            workers,
+            records,
+            batch,
+            epoch_cycles,
+            floor,
+            epochs_out.as_deref(),
+        );
+    }
+}

@@ -30,7 +30,7 @@ use pcm_trace::stream::TraceSpec;
 use pcm_trace::synth::benchmarks;
 use std::fmt::Write as _;
 use std::time::Instant;
-use wom_pcm::{Architecture, RunMetrics, ShardPlan, ShardSource, SystemBuilder, WomPcmSystem};
+use wom_pcm::{Architecture, RunMetrics, Session, ShardPlan, ShardSource, SystemBuilder};
 use wom_pcm_bench::{cli, sharded};
 
 const USAGE: &str =
@@ -60,10 +60,11 @@ fn run_arch(arch: Architecture, spec: &TraceSpec, shards: u32) -> Outcome {
 
     let (_, unsharded_ns) = time(|| {
         let mut source = spec.open().expect("benchmark trace sources open");
-        WomPcmSystem::new(cfg.clone())
-            .expect("benchmark configs validate")
-            .run_source(&mut source)
-            .expect("benchmark traces run clean")
+        let mut session = Session::open(cfg.clone()).expect("benchmark configs validate");
+        session
+            .feed_source(&mut source)
+            .expect("benchmark traces run clean");
+        session.finish().expect("benchmark traces finish clean")
     });
 
     // Serial pass: every shard timed individually on this thread. The
@@ -78,10 +79,11 @@ fn run_arch(arch: Architecture, spec: &TraceSpec, shards: u32) -> Outcome {
             let shard_cfg = plan.shard_config(index).expect("index in range");
             let source = spec.open().expect("benchmark trace sources open");
             let mut source = ShardSource::new(source, &plan, index).expect("index in range");
-            WomPcmSystem::new(shard_cfg)
-                .expect("benchmark configs validate")
-                .run_source(&mut source)
-                .expect("benchmark traces run clean")
+            let mut session = Session::open(shard_cfg).expect("benchmark configs validate");
+            session
+                .feed_source(&mut source)
+                .expect("benchmark traces run clean");
+            session.finish().expect("benchmark traces finish clean")
         });
         serial_shards_ns += ns;
         critical_path_ns = critical_path_ns.max(ns);

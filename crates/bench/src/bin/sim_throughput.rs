@@ -17,7 +17,7 @@ use pcm_trace::stream::{TraceSource, TraceSpec};
 use pcm_trace::synth::benchmarks;
 use std::fmt::Write as _;
 use std::time::Instant;
-use wom_pcm::{Architecture, SystemBuilder, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, Session, SystemBuilder, SystemConfig};
 use wom_pcm_bench::{cli, run_cells_observed, write_observed_jsonl, CellSpec};
 
 const USAGE: &str = "sim_throughput [--records N] [--shards N] [--json PATH] \
@@ -67,9 +67,11 @@ fn run_case(
             wom_pcm_bench::sharded::run_sharded(cfg, spec, shards, threads)
                 .expect("benchmark traces run clean");
         } else {
-            let mut sys = WomPcmSystem::new(cfg.clone()).expect("benchmark configs validate");
-            sys.run_source(&mut source)
+            let mut session = Session::open(cfg.clone()).expect("benchmark configs validate");
+            session
+                .feed_source(&mut source)
                 .expect("benchmark traces run clean");
+            session.finish().expect("benchmark traces finish clean");
         }
         best = best.min(start.elapsed().as_secs_f64());
     }

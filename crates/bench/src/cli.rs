@@ -106,10 +106,19 @@ impl Parser {
     }
 
     /// Uniform exit-2 error path: `error:` line plus the usage line.
+    /// Under `cfg(test)` it panics instead, so the rejection paths are
+    /// testable in-process.
     fn fail(&self, msg: &str) -> ! {
-        eprintln!("error: {msg}");
-        eprintln!("usage: {}", self.usage);
-        std::process::exit(2)
+        #[cfg(test)]
+        {
+            panic!("error: {msg} (usage: {})", self.usage);
+        }
+        #[cfg(not(test))]
+        {
+            eprintln!("error: {msg}");
+            eprintln!("usage: {}", self.usage);
+            std::process::exit(2)
+        }
     }
 
     /// Consumes every occurrence of a boolean flag; true if any was seen.
@@ -119,18 +128,20 @@ impl Parser {
         self.args.len() != before
     }
 
-    /// Consumes every `name VALUE` pair (last value wins).
+    /// Consumes one `name VALUE` pair. Repeating a single-value flag
+    /// exits 2 — silently taking either occurrence hides a typo'd run
+    /// (use [`values`](Self::values) for flags that legitimately repeat).
     pub fn value(&mut self, name: &str) -> Option<String> {
-        let mut out = None;
-        while let Some(pos) = self.args.iter().position(|a| a == name) {
-            if pos + 1 >= self.args.len() {
-                self.fail(&format!("{name} requires a value"));
-            }
-            let v = self.args.remove(pos + 1);
-            self.args.remove(pos);
-            out = Some(v);
+        let pos = self.args.iter().position(|a| a == name)?;
+        if pos + 1 >= self.args.len() {
+            self.fail(&format!("{name} requires a value"));
         }
-        out
+        let v = self.args.remove(pos + 1);
+        self.args.remove(pos);
+        if self.args.iter().any(|a| a == name) {
+            self.fail(&format!("duplicate {name}: pass it at most once"));
+        }
+        Some(v)
     }
 
     /// Consumes every `name VALUE` pair, keeping all values in order.
@@ -277,10 +288,17 @@ mod tests {
     }
 
     #[test]
-    fn repeated_value_flags_last_one_wins() {
+    #[should_panic(expected = "duplicate --threads")]
+    fn repeated_single_value_flags_are_rejected() {
         let mut p = Parser::from_args("t", &["--threads", "2", "--threads", "5"]);
-        assert_eq!(p.threads(), 5);
-        p.finish();
+        p.threads();
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads requires a value")]
+    fn trailing_value_flag_without_value_is_rejected() {
+        let mut p = Parser::from_args("t", &["--threads"]);
+        p.threads();
     }
 
     #[test]

@@ -16,7 +16,8 @@ use pcm_sim::Cycle;
 use pcm_trace::stream::{TraceProfile, TraceSpec};
 use pcm_trace::synth::{benchmarks, WorkloadProfile};
 use wom_pcm::{
-    Architecture, EpochSeries, RunMetrics, SystemBuilder, SystemConfig, WomPcmError, WomPcmSystem,
+    Architecture, EpochSeries, RunMetrics, Session, SessionSpec, SystemBuilder, SystemConfig,
+    WomPcmError,
 };
 
 pub mod cli;
@@ -52,8 +53,9 @@ pub fn run_cell(
     banks_per_rank: u32,
 ) -> Result<RunMetrics, WomPcmError> {
     let mut source = profile.source(seed, records as u64)?;
-    let mut sys = cell_builder(arch, banks_per_rank).build()?;
-    sys.run_source(&mut source)
+    let mut session = cell_builder(arch, banks_per_rank).open()?;
+    session.feed_source(&mut source)?;
+    session.finish()
 }
 
 /// The experiment-cell configuration as a [`SystemBuilder`]: the paper's
@@ -83,11 +85,12 @@ pub fn run_cell_observed(
     epoch_cycles: Cycle,
 ) -> Result<(RunMetrics, EpochSeries), WomPcmError> {
     let mut source = profile.source(seed, records as u64)?;
-    let mut sys = cell_builder(arch, banks_per_rank)
+    let mut session = cell_builder(arch, banks_per_rank)
         .epoch_cycles(epoch_cycles)
-        .build()?;
-    let metrics = sys.run_source(&mut source)?;
-    let series = sys.take_epochs().ok_or_else(|| {
+        .open()?;
+    session.feed_source(&mut source)?;
+    let metrics = session.finish()?;
+    let series = session.into_epochs().ok_or_else(|| {
         WomPcmError::Internal("epoch observation was enabled but recorded no series".into())
     })?;
     Ok((metrics, series))
@@ -290,7 +293,9 @@ pub fn run_configs_parallel(
 ) -> Result<Vec<RunMetrics>, WomPcmError> {
     parallel::map(jobs, threads, |(cfg, spec)| {
         let mut source = spec.open()?;
-        WomPcmSystem::new(cfg.clone())?.run_source(&mut source)
+        let mut session = Session::open(cfg.clone())?;
+        session.feed_source(&mut source)?;
+        session.finish()
     })
     .into_iter()
     .collect()
@@ -310,11 +315,10 @@ pub fn run_configs_observed(
 ) -> Result<Vec<(RunMetrics, EpochSeries)>, WomPcmError> {
     parallel::map(jobs, threads, |(cfg, spec)| {
         let mut source = spec.open()?;
-        let mut cfg = cfg.clone();
-        cfg.epoch_cycles = Some(epoch_cycles);
-        let mut sys = WomPcmSystem::new(cfg)?;
-        let metrics = sys.run_source(&mut source)?;
-        let series = sys.take_epochs().ok_or_else(|| {
+        let mut session = Session::open(SessionSpec::new(cfg.clone()).epoch_cycles(epoch_cycles))?;
+        session.feed_source(&mut source)?;
+        let metrics = session.finish()?;
+        let series = session.into_epochs().ok_or_else(|| {
             WomPcmError::Internal("epoch observation was enabled but recorded no series".into())
         })?;
         Ok((metrics, series))

@@ -23,8 +23,8 @@ use crate::parallel;
 use pcm_sim::Cycle;
 use pcm_trace::stream::{TraceSource, TraceSpec};
 use wom_pcm::{
-    EpochSeries, RunMetrics, ShardPlan, ShardSource, SnapshotError, SystemConfig, WomPcmError,
-    WomPcmSystem,
+    EpochSeries, RunMetrics, Session, SessionSpec, ShardPlan, ShardSource, SnapshotError,
+    SystemConfig, WomPcmError,
 };
 
 /// How a job is executed: shard fan-out, snapshot cadence, observation.
@@ -70,7 +70,7 @@ pub fn run_spec(
     if opts.shards <= 1 {
         let mut cfg = config.clone();
         if let Some(width) = opts.epoch_cycles {
-            cfg.epoch_cycles = Some(width);
+            cfg.set_epoch_cycles(Some(width));
         }
         let source = spec.open()?;
         return run_system(cfg, source, opts.snapshot.as_ref());
@@ -80,7 +80,7 @@ pub fn run_spec(
     let results = parallel::map(&indices, opts.threads, |&index| {
         let mut cfg = plan.shard_config(index)?;
         if let Some(width) = opts.epoch_cycles {
-            cfg.epoch_cycles = Some(width);
+            cfg.set_epoch_cycles(Some(width));
         }
         let source = ShardSource::new(spec.open()?, &plan, index)?;
         let snapshot = opts.snapshot.as_ref().map(|s| s.for_shard(index));
@@ -218,24 +218,23 @@ pub fn run_configs_spec(
         .collect()
 }
 
-/// Drives one system over one source with optional restore-and-snapshot,
+/// Drives one session over one source with optional restore-and-snapshot,
 /// returning the finished metrics (and epoch series when observed).
 fn run_system<S: TraceSource>(
     config: SystemConfig,
     mut source: S,
     snapshot: Option<&SnapshotSpec>,
 ) -> Result<(RunMetrics, Option<EpochSeries>), WomPcmError> {
-    let observed = config.epoch_cycles.is_some();
-    let mut sys = WomPcmSystem::new(config)?;
-    let mut consumed: u64 = 0;
-    if let Some(spec) = snapshot {
-        match std::fs::read(&spec.path) {
-            Ok(bytes) => consumed = sys.restore(&bytes)?,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(SnapshotError::from(e).into()),
+    let observed = config.epoch_cycles().is_some();
+    let session_spec = SessionSpec::new(config);
+    let mut session = match snapshot.map(|spec| std::fs::read(&spec.path)) {
+        Some(Ok(bytes)) => Session::resume(session_spec, &bytes)?,
+        Some(Err(e)) if e.kind() != std::io::ErrorKind::NotFound => {
+            return Err(SnapshotError::from(e).into())
         }
-    }
-    let mut skip = consumed;
+        _ => Session::open(session_spec)?,
+    };
+    let mut skip = session.records_fed();
     let mut since_snapshot: u64 = 0;
     while let Some(chunk) = source.next_chunk()? {
         let len = chunk.len() as u64;
@@ -246,23 +245,24 @@ fn run_system<S: TraceSource>(
         // Boundary chunk on resume: submit only the unconsumed tail.
         let tail = chunk.get(skip as usize..).unwrap_or_default();
         skip = 0;
-        for record in tail {
-            sys.submit(*record)?;
-        }
-        consumed += tail.len() as u64;
+        session.feed(tail)?;
         since_snapshot += tail.len() as u64;
         if let Some(spec) = snapshot {
             if let Some(every) = spec.every {
                 if since_snapshot >= every {
-                    let bytes = sys.snapshot(consumed)?;
+                    let bytes = session.checkpoint()?;
                     std::fs::write(&spec.path, bytes).map_err(SnapshotError::from)?;
                     since_snapshot = 0;
                 }
             }
         }
     }
-    let metrics = sys.finish()?;
-    let series = if observed { sys.take_epochs() } else { None };
+    let metrics = session.finish()?;
+    let series = if observed {
+        session.into_epochs()
+    } else {
+        None
+    };
     Ok((metrics, series))
 }
 
@@ -284,10 +284,9 @@ mod tests {
     fn unsharded_run_spec_matches_plain_run() {
         let (cfg, spec) = job();
         let mut source = spec.open().unwrap();
-        let plain = WomPcmSystem::new(cfg.clone())
-            .unwrap()
-            .run_source(&mut source)
-            .unwrap();
+        let mut plain_session = Session::open(cfg.clone()).unwrap();
+        plain_session.feed_source(&mut source).unwrap();
+        let plain = plain_session.finish().unwrap();
         let (m, series) = run_spec(&cfg, &spec, &RunOptions::plain()).unwrap();
         assert!(series.is_none());
         assert_eq!(format!("{m:#?}"), format!("{plain:#?}"));

@@ -19,8 +19,8 @@ use pcm_sim::{Cycle, MemConfig, SchedulerPolicy, TimingParams};
 /// let sys = SystemBuilder::new(Architecture::Wcpcm)
 ///     .banks_per_rank(8)
 ///     .refresh_threshold_pct(50)
-///     .build()?;
-/// assert_eq!(sys.config().mem.geometry.banks_per_rank, 8);
+///     .open()?;
+/// assert_eq!(sys.config().mem().geometry.banks_per_rank, 8);
 /// # Ok(())
 /// # }
 /// ```
@@ -185,8 +185,8 @@ impl SystemBuilder {
 
     /// Enables epoch observation: the built system folds instrumentation
     /// events into `width`-cycle epochs (see [`crate::observe`]),
-    /// retrievable with
-    /// [`WomPcmSystem::take_epochs`](crate::WomPcmSystem::take_epochs).
+    /// streamed with [`Session::poll_epochs`](crate::session::Session::poll_epochs)
+    /// or taken with [`Session::into_epochs`](crate::session::Session::into_epochs).
     /// A custom [`observer`](Self::observer) takes precedence.
     #[must_use]
     pub fn epoch_cycles(mut self, width: Cycle) -> Self {
@@ -227,9 +227,27 @@ impl SystemBuilder {
     pub fn build(self) -> Result<WomPcmSystem, WomPcmError> {
         let mut sys = WomPcmSystem::new(self.config)?;
         if let Some(observer) = self.observer {
-            sys.set_observer(observer);
+            sys.attach_observer(observer);
         }
         Ok(sys)
+    }
+
+    /// Opens a [`Session`](crate::session::Session) over the assembled
+    /// configuration — the recommended driving surface (see
+    /// [`crate::session`]). A custom [`observer`](Self::observer) is
+    /// attached to the session; such sessions cannot
+    /// [`checkpoint`](crate::session::Session::checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WomPcmError::InvalidConfig`] when the assembled
+    /// configuration is inconsistent.
+    pub fn open(self) -> Result<crate::session::Session, WomPcmError> {
+        let mut session = crate::session::Session::open(self.config)?;
+        if let Some(observer) = self.observer {
+            session.attach_observer(observer);
+        }
+        Ok(session)
     }
 }
 
@@ -304,16 +322,17 @@ mod tests {
                 self.0 += 1;
             }
         }
-        let mut sys = SystemBuilder::tiny(Architecture::Baseline)
+        let mut session = SystemBuilder::tiny(Architecture::Baseline)
             .observer(Box::new(Counting::default()))
-            .build()
+            .open()
             .unwrap();
-        sys.submit(pcm_trace::TraceRecord::new(0, 0, pcm_trace::TraceOp::Write))
+        session
+            .feed(&[pcm_trace::TraceRecord::new(0, 0, pcm_trace::TraceOp::Write)])
             .unwrap();
-        sys.finish().unwrap();
+        session.finish().unwrap();
         // The observer replaced the (absent) epoch recorder, so no
         // series is available — the custom sink consumed the events.
-        assert!(sys.take_epochs().is_none());
+        assert!(session.into_epochs().is_none());
     }
 
     #[test]

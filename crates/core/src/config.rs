@@ -11,37 +11,37 @@ use pcm_sim::{Cycle, MemConfig};
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Which of the paper's architectures to run.
-    pub arch: Architecture,
+    pub(crate) arch: Architecture,
     /// How WOM-coded arrays provision their extra bits (bookkeeping; both
     /// organizations time identically, see `DESIGN.md`).
-    pub organization: Organization,
+    pub(crate) organization: Organization,
     /// Main-memory simulator configuration.
-    pub mem: MemConfig,
+    pub(crate) mem: MemConfig,
     /// The WOM code's rewrite limit `t` (2 for the ⟨2²⟩²/3 code).
-    pub rewrite_limit: u32,
+    pub(crate) rewrite_limit: u32,
     /// The WOM code's expansion ratio (1.5 for the ⟨2²⟩²/3 code).
-    pub expansion: f64,
+    pub(crate) expansion: f64,
     /// PCM-refresh engine parameters (used by `WomCodeRefresh` and
     /// `Wcpcm`).
-    pub refresh: RefreshConfig,
+    pub(crate) refresh: RefreshConfig,
     /// Granularity of WOM rewrite-budget tracking. The wide-column
     /// organization encodes "in the unit of a column", so
     /// [`BudgetGranularity::Column`] is the default;
     /// [`BudgetGranularity::Row`] is the conservative single-counter-per-
     /// page ablation (see `DESIGN.md` §8).
-    pub budget_granularity: BudgetGranularity,
+    pub(crate) budget_granularity: BudgetGranularity,
     /// What state untouched main-memory cells are assumed to hold. The
     /// default, [`ColdPolicy::SteadyState`], is the boundary condition of
     /// a long-running WOM-coded system and matches the paper's
     /// mid-execution trace captures. The WOM-cache of WCPCM always starts
     /// erased — it is small and managed by the controller.
-    pub cold_policy: ColdPolicy,
+    pub(crate) cold_policy: ColdPolicy,
     /// Optional Start-Gap wear leveling on main memory (an endurance
     /// extension beyond the paper; see `DESIGN.md` §8): `Some(interval)`
     /// moves each bank's gap every `interval` demand writes to that bank,
     /// at the cost of one internal row copy per move and one reserved row
     /// per bank.
-    pub wear_leveling: Option<u64>,
+    pub(crate) wear_leveling: Option<u64>,
     /// Charge the hidden-page organization's companion accesses: when the
     /// organization is [`Organization::HiddenPage`], every WOM-coded main-
     /// memory write also writes the recruited hidden row (and reads read
@@ -49,20 +49,20 @@ pub struct SystemConfig {
     /// as timing-identical (the row buffer presents the whole encoded
     /// row); this flag quantifies that assumption as an ablation. Default
     /// off.
-    pub charge_hidden_page_traffic: bool,
+    pub(crate) charge_hidden_page_traffic: bool,
     /// Functional data verification: carry real WOM-encoded cell contents
     /// alongside the timing simulation and assert that every read decodes
     /// to the last written data. Costs memory proportional to the write
     /// footprint; supported for the non-cached architectures (the WCPCM
     /// protocol is model-checked separately) and incompatible with wear
     /// leveling (relocated rows would invalidate the reference keys).
-    pub verify_data: bool,
+    pub(crate) verify_data: bool,
     /// Epoch width in cycles for the built-in observability recorder:
     /// `Some(n)` attaches an [`EpochRecorder`](crate::observe::EpochRecorder)
     /// folding instrumentation events into fixed-width per-epoch
     /// time-series (see [`crate::observe`]); `None` (the default) keeps
     /// observation off with zero hot-path cost.
-    pub epoch_cycles: Option<Cycle>,
+    pub(crate) epoch_cycles: Option<Cycle>,
 }
 
 impl SystemConfig {
@@ -93,6 +93,89 @@ impl SystemConfig {
             mem: MemConfig::tiny(),
             ..Self::paper(arch)
         }
+    }
+
+    /// Which of the paper's architectures to run.
+    #[must_use]
+    pub fn arch(&self) -> Architecture {
+        self.arch
+    }
+
+    /// How WOM-coded arrays provision their extra bits.
+    #[must_use]
+    pub fn organization(&self) -> Organization {
+        self.organization
+    }
+
+    /// Main-memory simulator configuration.
+    #[must_use]
+    pub fn mem(&self) -> &MemConfig {
+        &self.mem
+    }
+
+    /// The WOM code's rewrite limit `t`.
+    #[must_use]
+    pub fn rewrite_limit(&self) -> u32 {
+        self.rewrite_limit
+    }
+
+    /// The WOM code's expansion ratio.
+    #[must_use]
+    pub fn expansion(&self) -> f64 {
+        self.expansion
+    }
+
+    /// PCM-refresh engine parameters.
+    #[must_use]
+    pub fn refresh(&self) -> &RefreshConfig {
+        &self.refresh
+    }
+
+    /// Granularity of WOM rewrite-budget tracking.
+    #[must_use]
+    pub fn budget_granularity(&self) -> BudgetGranularity {
+        self.budget_granularity
+    }
+
+    /// What state untouched main-memory cells are assumed to hold.
+    #[must_use]
+    pub fn cold_policy(&self) -> ColdPolicy {
+        self.cold_policy
+    }
+
+    /// Start-Gap wear-leveling gap-move interval, when enabled.
+    #[must_use]
+    pub fn wear_leveling(&self) -> Option<u64> {
+        self.wear_leveling
+    }
+
+    /// Whether the hidden-page organization's companion accesses are
+    /// charged.
+    #[must_use]
+    pub fn charge_hidden_page_traffic(&self) -> bool {
+        self.charge_hidden_page_traffic
+    }
+
+    /// Whether functional data verification is enabled.
+    #[must_use]
+    pub fn verify_data(&self) -> bool {
+        self.verify_data
+    }
+
+    /// Epoch width in cycles for the built-in observability recorder,
+    /// when observation is enabled.
+    #[must_use]
+    pub fn epoch_cycles(&self) -> Option<Cycle> {
+        self.epoch_cycles
+    }
+
+    /// Enables (`Some(width)`) or disables (`None`) epoch observation.
+    /// The one run-level toggle that is legitimately flipped on an
+    /// otherwise-fixed configuration (sweep runners attach observation
+    /// per shard); everything else is set through
+    /// [`SystemBuilder`](crate::SystemBuilder).
+    pub fn set_epoch_cycles(&mut self, width: Option<Cycle>) {
+        self.epoch_cycles = width;
     }
 
     /// Validates all parameters.

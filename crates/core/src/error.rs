@@ -31,6 +31,17 @@ pub enum WomPcmError {
         /// The (earlier) record cycle.
         record: u64,
     },
+    /// A [`Session`](crate::session::Session) method was called in a
+    /// lifecycle state that does not support it (e.g. feeding a
+    /// finished session). Typed rather than panicking so a multi-tenant
+    /// service can reject one client's misuse without poisoning its
+    /// other sessions.
+    SessionState {
+        /// The operation attempted.
+        op: &'static str,
+        /// The lifecycle state the session was in.
+        state: &'static str,
+    },
     /// An internal invariant was violated — a simulator bug, not a user
     /// error. Returned instead of panicking so a broken invariant aborts
     /// one run of a parallel sweep, not the whole process.
@@ -47,6 +58,9 @@ impl fmt::Display for WomPcmError {
             Self::Snapshot(e) => write!(f, "snapshot error: {e}"),
             Self::TraceOrder { now, record } => {
                 write!(f, "trace record at cycle {record} arrived after time {now}")
+            }
+            Self::SessionState { op, state } => {
+                write!(f, "session operation `{op}` is invalid in state {state}")
             }
             Self::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }

@@ -6,13 +6,18 @@
 //! layers inverted write-once-memory codes over a cycle-level PCM
 //! simulator so that most writes become RESET-only:
 //!
-//! * [`system::WomPcmSystem`] — the trace-driven system implementing all
-//!   four architectures of the paper's evaluation: conventional PCM,
-//!   WOM-code PCM, WOM-code PCM with PCM-refresh, and WCPCM. It is a
-//!   thin facade over [`engine::Engine`], the architecture-agnostic
-//!   simulation core, running one [`policy::ArchPolicy`] — the trait
-//!   behind which each architecture's state and decisions live (and the
-//!   extension point for architectures beyond the paper's four).
+//! * [`session::Session`] — the recommended driving surface: engine,
+//!   observer, and snapshot state behind one object with an explicit
+//!   lifecycle (`open → feed/poll/checkpoint → finish`), built from a
+//!   [`session::SessionSpec`] or a [`builder::SystemBuilder`].
+//! * [`system::WomPcmSystem`] — the lower-level trace-driven system
+//!   implementing all four architectures of the paper's evaluation:
+//!   conventional PCM, WOM-code PCM, WOM-code PCM with PCM-refresh, and
+//!   WCPCM. It is a thin facade over [`engine::Engine`], the
+//!   architecture-agnostic simulation core, running one
+//!   [`policy::ArchPolicy`] — the trait behind which each
+//!   architecture's state and decisions live (and the extension point
+//!   for architectures beyond the paper's four).
 //! * [`wom_state`] — per-row rewrite-budget tracking (α-write detection).
 //! * [`wide_column`] / [`hidden_page`] — the two §3.1 memory organizations
 //!   that provision the code's extra bits.
@@ -29,17 +34,20 @@
 //! # Quick start
 //!
 //! ```
-//! use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+//! use wom_pcm::session::{Session, SessionSpec};
+//! use wom_pcm::Architecture;
 //! use pcm_trace::synth::benchmarks;
 //!
 //! # fn main() -> Result<(), wom_pcm::WomPcmError> {
 //! let trace = benchmarks::by_name("qsort").unwrap().generate(7, 2_000);
 //!
 //! // Baseline vs WOM-code PCM on the same trace:
-//! let base = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline))?
-//!     .run_trace(trace.clone())?;
-//! let wom = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCode))?
-//!     .run_trace(trace)?;
+//! let mut base = Session::open(SessionSpec::tiny(Architecture::Baseline))?;
+//! base.feed(&trace)?;
+//! let base = base.finish()?;
+//! let mut wom = Session::open(SessionSpec::tiny(Architecture::WomCode))?;
+//! wom.feed(&trace)?;
+//! let wom = wom.finish()?;
 //! let normalized = wom.normalized_write_latency(&base).unwrap();
 //! assert!(normalized < 1.0, "WOM coding must speed up writes");
 //! # Ok(())
@@ -61,6 +69,7 @@ pub mod observe;
 pub mod policy;
 pub mod refresh;
 pub mod rowmap;
+pub mod session;
 pub mod shard;
 pub mod snapshot;
 pub mod system;
@@ -80,6 +89,7 @@ pub use observe::{EpochCounters, EpochRecorder, EpochSeries, Event, NullObserver
 pub use policy::ArchPolicy;
 pub use refresh::{RefreshConfig, RefreshEngine, RefreshPlan};
 pub use rowmap::RowMap;
+pub use session::{EpochDelta, Session, SessionSpec, SessionState};
 pub use shard::{ShardPlan, ShardSource};
 pub use snapshot::{SnapshotEnvelope, SnapshotError};
 pub use system::{SystemConfig, WomPcmSystem};

@@ -98,6 +98,46 @@ fn push_sparse_hist(out: &mut String, h: &Histogram) {
     out.push(']');
 }
 
+/// Appends one epoch's JSON-Lines object to `line` (no trailing
+/// newline): the given `tags` first, then the epoch window, the counter
+/// columns, tail percentiles, and sparse histogram snapshots — the
+/// exact line [`write_jsonl`] emits for the same epoch. Public so
+/// incremental exporters (the `womd` service streams epoch deltas over
+/// the wire as they complete) produce lines byte-identical to a
+/// whole-series export.
+pub fn push_epoch_jsonl(
+    line: &mut String,
+    tags: &[(&str, &str)],
+    index: usize,
+    start_cycle: u64,
+    end_cycle: u64,
+    c: &EpochCounters,
+) {
+    line.push('{');
+    for &(name, value) in tags {
+        line.push_str(&format!("\"{name}\":"));
+        push_json_str(line, value);
+        line.push(',');
+    }
+    line.push_str(&format!(
+        "\"epoch\":{index},\"start_cycle\":{start_cycle},\"end_cycle\":{end_cycle}"
+    ));
+    for (name, value) in COUNTER_NAMES.iter().zip(counter_values(c)) {
+        line.push_str(&format!(",\"{name}\":{value}"));
+    }
+    line.push_str(&format!(
+        ",\"read_p99_cycles\":{},\"write_p50_cycles\":{},\"write_p99_cycles\":{}",
+        c.read_hist.percentile(0.99),
+        c.write_hist.percentile(0.5),
+        c.write_hist.percentile(0.99)
+    ));
+    line.push_str(",\"read_hist\":");
+    push_sparse_hist(line, &c.read_hist);
+    line.push_str(",\"write_hist\":");
+    push_sparse_hist(line, &c.write_hist);
+    line.push('}');
+}
+
 /// Writes the series as JSON-Lines: one object per epoch, the given
 /// `tags` (constant per line) first, then the epoch window, the counter
 /// columns, tail percentiles, and sparse `[upper_bound_cycles, count]`
@@ -114,31 +154,14 @@ pub fn write_jsonl<W: Write>(
     let mut line = String::new();
     for (i, c) in series.epochs().iter().enumerate() {
         line.clear();
-        line.push('{');
-        for &(name, value) in tags {
-            line.push_str(&format!("\"{name}\":"));
-            push_json_str(&mut line, value);
-            line.push(',');
-        }
-        line.push_str(&format!(
-            "\"epoch\":{i},\"start_cycle\":{},\"end_cycle\":{}",
+        push_epoch_jsonl(
+            &mut line,
+            tags,
+            i,
             series.epoch_start(i),
-            series.epoch_end(i)
-        ));
-        for (name, value) in COUNTER_NAMES.iter().zip(counter_values(c)) {
-            line.push_str(&format!(",\"{name}\":{value}"));
-        }
-        line.push_str(&format!(
-            ",\"read_p99_cycles\":{},\"write_p50_cycles\":{},\"write_p99_cycles\":{}",
-            c.read_hist.percentile(0.99),
-            c.write_hist.percentile(0.5),
-            c.write_hist.percentile(0.99)
-        ));
-        line.push_str(",\"read_hist\":");
-        push_sparse_hist(&mut line, &c.read_hist);
-        line.push_str(",\"write_hist\":");
-        push_sparse_hist(&mut line, &c.write_hist);
-        line.push('}');
+            series.epoch_end(i),
+            c,
+        );
         writeln!(w, "{line}")?;
     }
     Ok(())

@@ -23,11 +23,12 @@
 //!
 //! # fn main() -> Result<(), wom_pcm::WomPcmError> {
 //! let trace = benchmarks::by_name("qsort").unwrap().generate(1, 2_000);
-//! let mut sys = SystemBuilder::tiny(Architecture::WomCode)
+//! let mut session = SystemBuilder::tiny(Architecture::WomCode)
 //!     .epoch_cycles(10_000)
-//!     .build()?;
-//! let metrics = sys.run_trace(trace)?;
-//! let series = sys.take_epochs().expect("observation was enabled");
+//!     .open()?;
+//! session.feed(&trace)?;
+//! let metrics = session.finish()?;
+//! let series = session.into_epochs().expect("observation was enabled");
 //! assert_eq!(series.totals().writes_completed, metrics.writes.count);
 //! # Ok(())
 //! # }
@@ -39,7 +40,7 @@ mod export;
 
 pub use epoch::{EpochCounters, EpochRecorder, EpochSeries};
 pub use event::{Event, WriteClass};
-pub use export::{write_csv, write_jsonl};
+pub use export::{push_epoch_jsonl, write_csv, write_jsonl};
 
 use crate::error::WomPcmError;
 use pcm_sim::{Cycle, SnapError, SnapReader, SnapWriter};

@@ -25,11 +25,16 @@ use crate::error::WomPcmError;
 use crate::metrics::RunMetrics;
 use crate::observe::{EpochSeries, Observer};
 use crate::policy::ArchPolicy;
-use crate::snapshot::{self, SnapshotError};
 use pcm_sim::Cycle;
 use pcm_trace::TraceRecord;
 
 /// A trace-driven WOM-code PCM system (see module docs).
+///
+/// This is the low-level single-run facade: [`submit`](Self::submit)
+/// records, then [`finish`](Self::finish). For anything beyond that —
+/// epoch observation, checkpoint/resume, incremental feeding — use the
+/// session API ([`crate::session::Session`]), which owns the whole
+/// lifecycle behind one object.
 ///
 /// ```
 /// use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
@@ -40,7 +45,10 @@ use pcm_trace::TraceRecord;
 /// let trace = profile.generate(1, 2_000);
 ///
 /// let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCodeRefresh))?;
-/// let metrics = sys.run_trace(trace)?;
+/// for record in trace {
+///     sys.submit(record)?;
+/// }
+/// let metrics = sys.finish()?;
 /// assert!(metrics.writes.count > 0);
 /// // PCM-refresh keeps restoring rewrite budgets, so a large share of
 /// // writes run at RESET speed.
@@ -78,16 +86,16 @@ impl WomPcmSystem {
     }
 
     /// Results accumulated so far (finalized copies come from
-    /// [`finish`](Self::finish) / [`run_trace`](Self::run_trace)).
+    /// [`finish`](Self::finish)).
     #[must_use]
     pub fn metrics(&self) -> &RunMetrics {
         self.engine.metrics()
     }
 
     /// Attaches a custom [`Observer`] receiving every instrumentation
-    /// event, replacing any epoch recorder configured via
-    /// [`SystemConfig::epoch_cycles`] (see [`crate::observe`]).
-    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+    /// event (builder-only path; see
+    /// [`SystemBuilder::observer`](crate::SystemBuilder::observer)).
+    pub(crate) fn attach_observer(&mut self, observer: Box<dyn Observer>) {
         self.engine.set_observer(observer);
     }
 
@@ -96,13 +104,6 @@ impl WomPcmSystem {
     #[must_use]
     pub fn epochs(&self) -> Option<&EpochSeries> {
         self.engine.epochs()
-    }
-
-    /// Detaches and returns the recorded epoch series (typically after
-    /// [`finish`](Self::finish)); observation is off afterwards. `None`
-    /// when epoch observation was not enabled.
-    pub fn take_epochs(&mut self) -> Option<EpochSeries> {
-        self.engine.take_epochs()
     }
 
     /// Feeds one trace record to the system, advancing simulated time to
@@ -116,31 +117,6 @@ impl WomPcmSystem {
         self.engine.submit(record)
     }
 
-    /// Runs a whole trace and finalizes the metrics.
-    ///
-    /// # Errors
-    ///
-    /// See [`submit`](Self::submit).
-    pub fn run_trace<I: IntoIterator<Item = TraceRecord>>(
-        &mut self,
-        records: I,
-    ) -> Result<RunMetrics, WomPcmError> {
-        self.engine.run_trace(records)
-    }
-
-    /// Runs a streaming [`pcm_trace::stream::TraceSource`] to exhaustion
-    /// and finalizes the metrics; trace-side memory stays `O(chunk)`.
-    ///
-    /// # Errors
-    ///
-    /// See [`Engine::run_source`](crate::engine::Engine::run_source).
-    pub fn run_source<S: pcm_trace::stream::TraceSource>(
-        &mut self,
-        source: &mut S,
-    ) -> Result<RunMetrics, WomPcmError> {
-        self.engine.run_source(source)
-    }
-
     /// Completes all outstanding work and returns the final metrics.
     ///
     /// # Errors
@@ -148,58 +124,6 @@ impl WomPcmSystem {
     /// Propagates simulator errors (none are expected during a drain).
     pub fn finish(&mut self) -> Result<RunMetrics, WomPcmError> {
         self.engine.finish()
-    }
-
-    /// Serializes the system's complete mid-run state into a `WOMSNAP`
-    /// container (see [`crate::snapshot`]). `records_consumed` is the
-    /// number of trace records already submitted — a resuming runner
-    /// reads it back from the container and skips that many records
-    /// before continuing the stream.
-    ///
-    /// Call between [`submit`](Self::submit)s; restoring into a system
-    /// built from the same configuration and replaying the remaining
-    /// records produces metrics `{:#?}`-identical to the uninterrupted
-    /// run.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`WomPcmError::InvalidConfig`] when a caller-supplied
-    /// observer is attached (arbitrary observers cannot be serialized;
-    /// detach it first).
-    pub fn snapshot(&self, records_consumed: u64) -> Result<Vec<u8>, WomPcmError> {
-        let payload = self.engine.save_state()?;
-        let config = self.engine.config();
-        Ok(snapshot::encode_container(
-            config.arch,
-            snapshot::config_fingerprint(config),
-            records_consumed,
-            &payload,
-        ))
-    }
-
-    /// Restores a `WOMSNAP` container produced by
-    /// [`snapshot`](Self::snapshot) into this freshly-built system,
-    /// returning the number of trace records the snapshotted run had
-    /// consumed (the caller skips that many before resuming).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`WomPcmError::Snapshot`] for foreign bytes, truncation,
-    /// checksum failure, a snapshot taken under a different
-    /// configuration, or a corrupt payload.
-    pub fn restore(&mut self, container: &[u8]) -> Result<u64, WomPcmError> {
-        let envelope = snapshot::decode_container(container)?;
-        let config = self.engine.config();
-        let current = snapshot::config_fingerprint(config);
-        if envelope.arch != config.arch || envelope.fingerprint != current {
-            return Err(SnapshotError::ConfigMismatch {
-                snapshot: envelope.fingerprint,
-                current,
-            }
-            .into());
-        }
-        self.engine.restore_state(envelope.payload)?;
-        Ok(envelope.records_consumed)
     }
 }
 

@@ -2,18 +2,20 @@
 //! must hold on synthetic traces.
 
 use pcm_trace::synth::benchmarks;
-use wom_pcm::{Architecture, RunMetrics, SystemBuilder, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, RunMetrics, Session, SystemBuilder};
 
 /// Runs one benchmark trace through one architecture at reduced scale.
 fn run(arch: Architecture, bench: &str, n: usize) -> RunMetrics {
     let profile = benchmarks::by_name(bench).expect("paper workload");
     let trace = profile.generate(42, n);
-    let mut cfg = SystemConfig::paper(arch);
     // Shrink the device so the test runs fast but keeps the paper's
     // rank/bank organization.
-    cfg.mem.geometry.rows_per_bank = 1024;
-    let mut sys = WomPcmSystem::new(cfg).expect("valid config");
-    sys.run_trace(trace).expect("trace runs")
+    let mut session = SystemBuilder::new(arch)
+        .rows_per_bank(1024)
+        .open()
+        .expect("valid config");
+    session.feed(&trace).expect("trace runs");
+    session.finish().expect("trace finishes")
 }
 
 #[test]
@@ -72,12 +74,13 @@ fn wcpcm_hit_rate_falls_with_more_banks() {
     let trace = profile.generate(7, 20_000);
     let mut rates = Vec::new();
     for banks in [4u32, 8, 16, 32] {
-        let mut sys = SystemBuilder::new(Architecture::Wcpcm)
+        let mut session = SystemBuilder::new(Architecture::Wcpcm)
             .banks_per_rank(banks)
             .rows_per_bank(1024)
-            .build()
+            .open()
             .unwrap();
-        let m = sys.run_trace(trace.clone()).unwrap();
+        session.feed(&trace).unwrap();
+        let m = session.finish().unwrap();
         let rate = m.cache.unwrap().hit_rate();
         println!("banks/rank {banks}: hit rate {rate:.3}");
         rates.push(rate);
@@ -99,7 +102,6 @@ fn wcpcm_hit_rate_falls_with_more_banks() {
 #[test]
 fn wear_leveling_levels_a_hot_row() {
     use pcm_trace::{TraceOp, TraceRecord};
-    use wom_pcm::SystemConfig;
 
     // Hammer one line hard with occasional neighbours.
     let trace: Vec<TraceRecord> = (0..6_000u64)
@@ -110,10 +112,13 @@ fn wear_leveling_levels_a_hot_row() {
         .collect();
 
     let run = |leveling: Option<u64>| {
-        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
-        cfg.wear_leveling = leveling;
-        let mut sys = WomPcmSystem::new(cfg).unwrap();
-        sys.run_trace(trace.clone()).unwrap()
+        let mut builder = SystemBuilder::tiny(Architecture::WomCode);
+        if let Some(interval) = leveling {
+            builder = builder.wear_leveling(interval);
+        }
+        let mut session = builder.open().unwrap();
+        session.feed(&trace).unwrap();
+        session.finish().unwrap()
     };
     let plain = run(None);
     let leveled = run(Some(16));
@@ -135,7 +140,6 @@ fn wear_leveling_levels_a_hot_row() {
 #[test]
 fn functional_data_verification_passes_under_refresh() {
     use pcm_trace::synth::benchmarks;
-    use wom_pcm::SystemConfig;
 
     for arch in [
         Architecture::Baseline,
@@ -144,10 +148,9 @@ fn functional_data_verification_passes_under_refresh() {
         Architecture::Wcpcm,
     ] {
         let trace = benchmarks::by_name("qsort").unwrap().generate(13, 12_000);
-        let mut cfg = SystemConfig::tiny(arch);
-        cfg.verify_data = true;
-        let mut sys = WomPcmSystem::new(cfg).unwrap();
-        let m = sys.run_trace(trace).unwrap();
+        let mut session = SystemBuilder::tiny(arch).verify_data(true).open().unwrap();
+        session.feed(&trace).unwrap();
+        let m = session.finish().unwrap();
         assert!(
             m.data_reads_verified > 1_000,
             "{arch}: expected many verified reads, got {}",
@@ -159,14 +162,10 @@ fn functional_data_verification_passes_under_refresh() {
 /// The verification flag is rejected where it cannot work.
 #[test]
 fn data_verification_config_constraints() {
-    use wom_pcm::SystemConfig;
-    let mut cfg = SystemConfig::tiny(Architecture::WomCode);
-    cfg.verify_data = true;
-    cfg.wear_leveling = Some(64);
-    assert!(
-        WomPcmSystem::new(cfg).is_err(),
-        "relocation invalidates reference keys"
-    );
+    let bad = SystemBuilder::tiny(Architecture::WomCode)
+        .verify_data(true)
+        .wear_leveling(64);
+    assert!(bad.open().is_err(), "relocation invalidates reference keys");
 }
 
 /// Adversarial streams must degrade the WOM architectures gracefully,
@@ -175,7 +174,6 @@ fn data_verification_config_constraints() {
 #[test]
 fn adversarial_streams_degrade_gracefully() {
     use pcm_trace::synth::adversarial;
-    use wom_pcm::SystemConfig;
 
     let cases: Vec<(&str, Vec<pcm_trace::TraceRecord>)> = vec![
         ("alpha_storm", adversarial::alpha_storm(8_000, 2, 40)),
@@ -183,8 +181,9 @@ fn adversarial_streams_degrade_gracefully() {
     ];
     for (name, trace) in cases {
         let run = |arch: Architecture| {
-            let mut sys = WomPcmSystem::new(SystemConfig::tiny(arch)).unwrap();
-            sys.run_trace(trace.clone()).unwrap()
+            let mut session = SystemBuilder::tiny(arch).open().unwrap();
+            session.feed(&trace).unwrap();
+            session.finish().unwrap()
         };
         let base = run(Architecture::Baseline);
         for arch in [
@@ -222,10 +221,11 @@ fn cache_pingpong_forces_victim_traffic() {
     let cfg = SystemConfig::tiny(Architecture::Wcpcm);
     // Bank stride under the tiny geometry's default mapping
     // (offset:column:bank:rank:row): one bank = columns_per_row * 64 B.
-    let stride = u64::from(cfg.mem.geometry.columns_per_row()) * 64;
+    let stride = u64::from(cfg.mem().geometry.columns_per_row()) * 64;
     let trace = adversarial::cache_pingpong(4_000, stride, 50);
-    let mut sys = WomPcmSystem::new(cfg).unwrap();
-    let m = sys.run_trace(trace).unwrap();
+    let mut session = Session::open(cfg).unwrap();
+    session.feed(&trace).unwrap();
+    let m = session.finish().unwrap();
     let cache = m.cache.unwrap();
     assert!(
         cache.write_hit_rate() < 0.05,
@@ -240,13 +240,14 @@ fn cache_pingpong_forces_victim_traffic() {
 #[test]
 fn wear_leveling_composes_with_wcpcm() {
     use pcm_trace::synth::benchmarks;
-    use wom_pcm::SystemConfig;
 
     let trace = benchmarks::by_name("qsort").unwrap().generate(21, 8_000);
-    let mut cfg = SystemConfig::tiny(Architecture::Wcpcm);
-    cfg.wear_leveling = Some(32);
-    let mut sys = WomPcmSystem::new(cfg).unwrap();
-    let m = sys.run_trace(trace.clone()).unwrap();
+    let mut session = SystemBuilder::tiny(Architecture::Wcpcm)
+        .wear_leveling(32)
+        .open()
+        .unwrap();
+    session.feed(&trace).unwrap();
+    let m = session.finish().unwrap();
     let writes = trace
         .iter()
         .filter(|r| r.op == pcm_trace::TraceOp::Write)
@@ -263,15 +264,17 @@ fn wear_leveling_composes_with_wcpcm() {
 #[test]
 fn hidden_page_charge_is_visible_and_validated() {
     use pcm_trace::synth::benchmarks;
-    use wom_pcm::{Organization, SystemConfig};
+    use wom_pcm::Organization;
 
     let trace = benchmarks::by_name("mad").unwrap().generate(5, 8_000);
     let run = |charge: bool| {
-        let mut cfg = SystemConfig::tiny(Architecture::WomCode);
-        cfg.organization = Organization::HiddenPage;
-        cfg.charge_hidden_page_traffic = charge;
-        let mut sys = WomPcmSystem::new(cfg).unwrap();
-        sys.run_trace(trace.clone()).unwrap()
+        let mut session = SystemBuilder::tiny(Architecture::WomCode)
+            .organization(Organization::HiddenPage)
+            .charge_hidden_page_traffic(charge)
+            .open()
+            .unwrap();
+        session.feed(&trace).unwrap();
+        session.finish().unwrap()
     };
     let free = run(false);
     let charged = run(true);
@@ -285,7 +288,6 @@ fn hidden_page_charge_is_visible_and_validated() {
     );
 
     // The flag is rejected without the hidden-page organization.
-    let mut bad = SystemConfig::tiny(Architecture::WomCode);
-    bad.charge_hidden_page_traffic = true;
-    assert!(WomPcmSystem::new(bad).is_err());
+    let bad = SystemBuilder::tiny(Architecture::WomCode).charge_hidden_page_traffic(true);
+    assert!(bad.open().is_err());
 }

@@ -9,7 +9,7 @@
 
 use pcm_trace::synth::{Suite, WorkloadProfile};
 use wom_pcm::observe::EpochCounters;
-use wom_pcm::{Architecture, RunMetrics, SystemBuilder, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, RunMetrics, Session, SystemBuilder, SystemConfig};
 
 const RECORDS: usize = 4_000;
 const SEED: u64 = 2014;
@@ -42,10 +42,11 @@ fn run(
 ) -> (RunMetrics, Option<wom_pcm::EpochSeries>) {
     let trace = profile().generate(SEED, RECORDS);
     let mut cfg = SystemConfig::tiny(arch);
-    cfg.epoch_cycles = epoch_cycles;
-    let mut sys = WomPcmSystem::new(cfg).expect("valid config");
-    let metrics = sys.run_trace(trace).expect("trace runs");
-    let series = sys.take_epochs();
+    cfg.set_epoch_cycles(epoch_cycles);
+    let mut session = Session::open(cfg).expect("valid config");
+    session.feed(&trace).expect("trace runs");
+    let metrics = session.finish().expect("trace finishes");
+    let series = session.into_epochs();
     (metrics, series)
 }
 
@@ -175,20 +176,20 @@ fn wcpcm_epochs_reconcile() {
     reconcile(Architecture::Wcpcm);
 }
 
-/// The builder route (`.epoch_cycles(..)`) and the config-field route
+/// The builder route (`.epoch_cycles(..)`) and the config-setter route
 /// must produce the same series.
 #[test]
 fn builder_route_matches_config_route() {
     let trace = profile().generate(SEED, RECORDS);
-    let mut via_builder = SystemBuilder::new(Architecture::WomCodeRefresh)
-        .epoch_cycles(EPOCH_CYCLES)
-        .build()
-        .expect("valid config");
+    let builder = SystemBuilder::new(Architecture::WomCodeRefresh).epoch_cycles(EPOCH_CYCLES);
     // Builder uses the full paper geometry; mirror it via the config.
-    let mut cfg = via_builder.config().clone();
-    cfg.epoch_cycles = Some(EPOCH_CYCLES);
-    let mut via_config = WomPcmSystem::new(cfg).expect("valid config");
-    via_builder.run_trace(trace.clone()).expect("trace runs");
-    via_config.run_trace(trace).expect("trace runs");
-    assert_eq!(via_builder.take_epochs(), via_config.take_epochs());
+    let mut cfg = builder.config().clone();
+    cfg.set_epoch_cycles(Some(EPOCH_CYCLES));
+    let mut via_builder = builder.open().expect("valid config");
+    let mut via_config = Session::open(cfg).expect("valid config");
+    via_builder.feed(&trace).expect("trace runs");
+    via_config.feed(&trace).expect("trace runs");
+    via_builder.finish().expect("trace finishes");
+    via_config.finish().expect("trace finishes");
+    assert_eq!(via_builder.into_epochs(), via_config.into_epochs());
 }

@@ -14,7 +14,7 @@
 use pcm_trace::synth::{Suite, WorkloadProfile};
 use std::path::PathBuf;
 use wom_pcm::observe::write_jsonl;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, SystemBuilder};
 
 const RECORDS: usize = 4_000;
 const SEED: u64 = 2014;
@@ -41,11 +41,13 @@ fn golden_profile() -> WorkloadProfile {
 
 fn render_epochs(arch: Architecture) -> String {
     let trace = golden_profile().generate(SEED, RECORDS);
-    let mut cfg = SystemConfig::tiny(arch);
-    cfg.epoch_cycles = Some(EPOCH_CYCLES);
-    let mut sys = WomPcmSystem::new(cfg).expect("valid config");
-    sys.run_trace(trace).expect("trace runs");
-    let series = sys.take_epochs().expect("observation was enabled");
+    let mut session = SystemBuilder::tiny(arch)
+        .epoch_cycles(EPOCH_CYCLES)
+        .open()
+        .expect("valid config");
+    session.feed(&trace).expect("trace runs");
+    session.finish().expect("trace finishes");
+    let series = session.into_epochs().expect("observation was enabled");
     let mut out = Vec::new();
     write_jsonl(
         &mut out,

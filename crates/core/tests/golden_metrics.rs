@@ -14,7 +14,7 @@
 use pcm_trace::synth::{Suite, WorkloadProfile};
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use wom_pcm::{Architecture, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, Session, SystemConfig};
 
 /// Records per cell: enough to exercise rewrite-budget exhaustion,
 /// refresh scheduling, and cache evictions in the tiny geometry.
@@ -43,8 +43,9 @@ fn golden_profile() -> WorkloadProfile {
 
 fn render_metrics(arch: Architecture) -> String {
     let trace = golden_profile().generate(SEED, RECORDS);
-    let mut sys = WomPcmSystem::new(SystemConfig::tiny(arch)).expect("valid config");
-    let metrics = sys.run_trace(trace).expect("trace runs");
+    let mut session = Session::open(SystemConfig::tiny(arch)).expect("valid config");
+    session.feed(&trace).expect("trace runs");
+    let metrics = session.finish().expect("trace finishes");
     let mut out = String::new();
     writeln!(out, "architecture: {}", arch.label()).unwrap();
     writeln!(out, "records: {RECORDS}").unwrap();

@@ -6,7 +6,7 @@
 
 use pcm_rng::Rng;
 use pcm_trace::{TraceOp, TraceRecord};
-use wom_pcm::{Architecture, RunMetrics, SystemConfig, WomPcmSystem};
+use wom_pcm::{Architecture, RunMetrics, Session, SystemConfig};
 
 const CASES: u64 = 48;
 
@@ -44,8 +44,9 @@ fn materialize(raw: &[(u8, u16, bool)]) -> Vec<TraceRecord> {
 }
 
 fn run(arch: Architecture, trace: Vec<TraceRecord>) -> RunMetrics {
-    let mut sys = WomPcmSystem::new(SystemConfig::tiny(arch)).expect("valid config");
-    sys.run_trace(trace).expect("trace runs")
+    let mut session = Session::open(SystemConfig::tiny(arch)).expect("valid config");
+    session.feed(&trace).expect("trace runs");
+    session.finish().expect("trace finishes")
 }
 
 /// Demand accesses are conserved for every architecture.

@@ -1,10 +1,10 @@
-//! Snapshot/restore correctness: interrupting a run with a `WOMSNAP`
-//! snapshot and resuming in a fresh system must be invisible — the
+//! Checkpoint/resume correctness: interrupting a run with a `WOMSNAP`
+//! checkpoint and resuming in a fresh session must be invisible — the
 //! resumed run's metrics and epoch series are `{:#?}`-byte-identical to
 //! the uninterrupted run, for every architecture.
 //!
 //! Also pins the container format with one golden `.womsnap` fixture per
-//! architecture (snapshots of a deterministic run must be byte-identical
+//! architecture (checkpoints of a deterministic run must be byte-identical
 //! across builds), and checks that damaged containers fail with typed
 //! errors, mirroring the `WOMTRC` truncation semantics. Regenerate the
 //! fixtures after an intentional format or model change:
@@ -17,11 +17,11 @@ use pcm_trace::synth::{Suite, WorkloadProfile};
 use pcm_trace::TraceRecord;
 use std::path::PathBuf;
 use wom_pcm::snapshot::{self, SnapshotError};
-use wom_pcm::{Architecture, SystemConfig, WomPcmError, WomPcmSystem};
+use wom_pcm::{Architecture, Session, SystemBuilder, SystemConfig, WomPcmError};
 
 const RECORDS: usize = 6_000;
 const SEED: u64 = 2014;
-/// Snapshot point: mid-run, with transactions in flight on every
+/// Checkpoint point: mid-run, with transactions in flight on every
 /// architecture.
 const SPLIT: usize = 2_700;
 
@@ -47,11 +47,9 @@ fn workload() -> WorkloadProfile {
 }
 
 fn config(arch: Architecture) -> SystemConfig {
-    let mut cfg = SystemConfig::tiny(arch);
-    // Epoch observation on, so the snapshot also carries (and the test
+    // Epoch observation on, so the checkpoint also carries (and the test
     // also compares) the mid-run time series.
-    cfg.epoch_cycles = Some(10_000);
-    cfg
+    SystemBuilder::tiny(arch).epoch_cycles(10_000).into_config()
 }
 
 fn trace() -> Vec<TraceRecord> {
@@ -61,34 +59,31 @@ fn trace() -> Vec<TraceRecord> {
 /// Runs `cfg` over `records` uninterrupted; returns the `{:#?}` of the
 /// final metrics and of the epoch series.
 fn run_straight(cfg: &SystemConfig, records: &[TraceRecord]) -> (String, String) {
-    let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
-    let metrics = sys.run_trace(records.iter().copied()).expect("runs");
-    let epochs = sys.take_epochs().expect("epochs enabled");
+    let mut session = Session::open(cfg.clone()).expect("valid config");
+    session.feed(records).expect("runs");
+    let metrics = session.finish().expect("finishes");
+    let epochs = session.into_epochs().expect("epochs enabled");
     (format!("{metrics:#?}"), format!("{epochs:#?}"))
 }
 
-/// Runs `cfg` over `records`, snapshotting at `split` and resuming in a
-/// fresh system; returns the same renderings plus the container bytes.
+/// Runs `cfg` over `records`, checkpointing at `split` and resuming in a
+/// fresh session; returns the same renderings plus the container bytes.
 fn run_interrupted(
     cfg: &SystemConfig,
     records: &[TraceRecord],
     split: usize,
 ) -> (String, String, Vec<u8>) {
-    let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
-    for r in &records[..split] {
-        sys.submit(*r).expect("submits");
-    }
-    let container = sys.snapshot(split as u64).expect("snapshots");
-    drop(sys);
+    let mut session = Session::open(cfg.clone()).expect("valid config");
+    session.feed(&records[..split]).expect("feeds");
+    let container = session.checkpoint().expect("checkpoints");
+    drop(session);
 
-    let mut resumed = WomPcmSystem::new(cfg.clone()).expect("valid config");
-    let consumed = resumed.restore(&container).expect("restores");
+    let mut resumed = Session::resume(cfg.clone(), &container).expect("restores");
+    let consumed = resumed.records_fed();
     assert_eq!(consumed, split as u64, "records_consumed round-trips");
-    for r in &records[consumed as usize..] {
-        resumed.submit(*r).expect("submits");
-    }
+    resumed.feed(&records[consumed as usize..]).expect("feeds");
     let metrics = resumed.finish().expect("finishes");
-    let epochs = resumed.take_epochs().expect("epochs enabled");
+    let epochs = resumed.into_epochs().expect("epochs enabled");
     (format!("{metrics:#?}"), format!("{epochs:#?}"), container)
 }
 
@@ -113,30 +108,25 @@ fn resume_is_bit_identical_for_all_architectures() {
 #[test]
 fn resume_preserves_wear_leveling_and_data_verification() {
     let records = trace();
-    // Start-Gap remappers ride the snapshot...
-    let mut leveled = SystemConfig::tiny(Architecture::WomCode);
-    leveled.wear_leveling = Some(64);
+    // Start-Gap remappers ride the checkpoint...
+    let leveled = SystemBuilder::tiny(Architecture::WomCode)
+        .wear_leveling(64)
+        .into_config();
     // ...and so do the functional checker's cells and references.
-    let mut verified = SystemConfig::tiny(Architecture::WomCodeRefresh);
-    verified.verify_data = true;
+    let verified = SystemBuilder::tiny(Architecture::WomCodeRefresh)
+        .verify_data(true)
+        .into_config();
     for cfg in [leveled, verified] {
-        let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
-        let straight = format!(
-            "{:#?}",
-            sys.run_trace(records.iter().copied()).expect("runs")
-        );
-        let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
-        for r in &records[..SPLIT] {
-            sys.submit(*r).expect("submits");
-        }
-        let container = sys.snapshot(SPLIT as u64).expect("snapshots");
-        let mut resumed = WomPcmSystem::new(cfg.clone()).expect("valid config");
-        resumed.restore(&container).expect("restores");
-        for r in &records[SPLIT..] {
-            resumed.submit(*r).expect("submits");
-        }
+        let mut session = Session::open(cfg.clone()).expect("valid config");
+        session.feed(&records).expect("runs");
+        let straight = format!("{:#?}", session.finish().expect("finishes"));
+        let mut session = Session::open(cfg.clone()).expect("valid config");
+        session.feed(&records[..SPLIT]).expect("feeds");
+        let container = session.checkpoint().expect("checkpoints");
+        let mut resumed = Session::resume(cfg.clone(), &container).expect("restores");
+        resumed.feed(&records[SPLIT..]).expect("feeds");
         let metrics = format!("{:#?}", resumed.finish().expect("finishes"));
-        assert_eq!(metrics, straight, "{:?} diverged", cfg.wear_leveling);
+        assert_eq!(metrics, straight, "{:?} diverged", cfg.wear_leveling());
     }
 }
 
@@ -145,13 +135,11 @@ fn snapshot_twice_is_byte_identical() {
     let records = trace();
     let cfg = config(Architecture::Wcpcm);
     let snap = |()| {
-        let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
-        for r in &records[..SPLIT] {
-            sys.submit(*r).expect("submits");
-        }
-        sys.snapshot(SPLIT as u64).expect("snapshots")
+        let mut session = Session::open(cfg.clone()).expect("valid config");
+        session.feed(&records[..SPLIT]).expect("feeds");
+        session.checkpoint().expect("checkpoints")
     };
-    assert_eq!(snap(()), snap(()), "snapshot bytes are deterministic");
+    assert_eq!(snap(()), snap(()), "checkpoint bytes are deterministic");
 }
 
 fn fixture_path(arch: Architecture) -> PathBuf {
@@ -185,16 +173,14 @@ fn golden_womsnap_fixtures_stay_stable() {
         assert_eq!(
             container,
             golden,
-            "{arch:?}: snapshot bytes drifted from {}; if the change is \
+            "{arch:?}: checkpoint bytes drifted from {}; if the change is \
              intentional, regenerate with GOLDEN_REGEN=1",
             path.display()
         );
         // The committed container must still decode and resume.
-        let mut resumed = WomPcmSystem::new(cfg.clone()).expect("valid config");
-        let consumed = resumed.restore(&golden).expect("golden restores");
-        for r in &records[consumed as usize..] {
-            resumed.submit(*r).expect("submits");
-        }
+        let mut resumed = Session::resume(cfg.clone(), &golden).expect("golden restores");
+        let consumed = resumed.records_fed();
+        resumed.feed(&records[consumed as usize..]).expect("feeds");
         resumed.finish().expect("finishes");
     }
 }
@@ -214,12 +200,12 @@ fn damaged_containers_fail_with_typed_errors() {
     // Truncation anywhere fails with a typed error before any state is
     // touched (mirrors `BinaryTraceError::Truncated`).
     for cut in [5, 20, 40, container.len() / 2, container.len() - 1] {
-        let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
-        match sys.restore(&container[..cut]) {
+        match Session::resume(cfg.clone(), &container[..cut]) {
             Err(WomPcmError::Snapshot(
                 SnapshotError::Truncated { .. } | SnapshotError::BadMagic,
             )) => {}
-            other => panic!("cut at {cut}: expected typed truncation, got {other:?}"),
+            Err(other) => panic!("cut at {cut}: expected typed truncation, got {other:?}"),
+            Ok(_) => panic!("cut at {cut}: truncated container restored"),
         }
     }
 
@@ -227,24 +213,23 @@ fn damaged_containers_fail_with_typed_errors() {
     let mut corrupt = container.clone();
     let mid = corrupt.len() / 2;
     corrupt[mid] ^= 0x10;
-    let mut sys = WomPcmSystem::new(cfg.clone()).expect("valid config");
     assert!(matches!(
-        sys.restore(&corrupt),
+        Session::resume(cfg.clone(), &corrupt),
         Err(WomPcmError::Snapshot(SnapshotError::BadChecksum))
     ));
 
     // Restoring under a different configuration is rejected up front.
-    let mut other_cfg = config(Architecture::WomCodeRefresh);
-    other_cfg.rewrite_limit += 1;
-    let mut sys = WomPcmSystem::new(other_cfg).expect("valid config");
+    let other_cfg = SystemBuilder::tiny(Architecture::WomCodeRefresh)
+        .epoch_cycles(10_000)
+        .rewrite_limit(cfg.rewrite_limit() + 1)
+        .into_config();
     assert!(matches!(
-        sys.restore(&container),
+        Session::resume(other_cfg, &container),
         Err(WomPcmError::Snapshot(SnapshotError::ConfigMismatch { .. }))
     ));
     // ...including the same parameters under a different architecture.
-    let mut sys = WomPcmSystem::new(config(Architecture::WomCode)).expect("valid config");
     assert!(matches!(
-        sys.restore(&container),
+        Session::resume(config(Architecture::WomCode), &container),
         Err(WomPcmError::Snapshot(SnapshotError::ConfigMismatch { .. }))
     ));
 }

@@ -36,8 +36,8 @@ fn distant_writes_do_not_coalesce() {
 #[test]
 fn wcpcm_tag_conflict_blocks_coalescing() {
     let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Wcpcm)).unwrap();
-    let g = sys.config().mem.geometry;
-    let dec = pcm_sim::AddressDecoder::new(g, sys.config().mem.mapping).unwrap();
+    let g = sys.config().mem().geometry;
+    let dec = pcm_sim::AddressDecoder::new(g, sys.config().mem().mapping).unwrap();
     // Same (rank, row) but different banks: must not merge - the
     // second write evicts the first bank's data instead.
     let a = dec

@@ -24,8 +24,10 @@ pub(crate) const MAGIC_V1: &[u8; 8] = b"WOMTRC\x00\x01";
 pub(crate) const MAGIC_V2: &[u8; 8] = b"WOMTRC\x00\x02";
 /// End marker closing the version-2 footer.
 const FOOTER_MARK: &[u8; 8] = b"WOMEND\x00\x02";
-/// Bytes per record: `cycle: u64` + `addr: u64` + `op: u8`.
-pub(crate) const RECORD_BYTES: usize = 17;
+/// Bytes per record: `cycle: u64` + `addr: u64` + `op: u8` (all
+/// little-endian). Public so wire consumers can size raw-chunk
+/// payloads.
+pub const RECORD_BYTES: usize = 17;
 /// Header length (shared by both versions).
 pub(crate) const HEADER_BYTES: u64 = 8;
 /// Footer length (version 2 only): `count: u64` + end marker.
@@ -155,6 +157,51 @@ pub(crate) fn parse_footer(bytes: &[u8]) -> Option<u64> {
     let mut count = [0u8; 8];
     count.copy_from_slice(n);
     Some(u64::from_le_bytes(count))
+}
+
+/// Encodes `records` as raw fixed-width record bytes — the container's
+/// record encoding with no header or footer. This is the payload format
+/// of a wire *chunk*: a service feeding a simulation session over a
+/// byte stream frames records with its own length prefix and has no use
+/// for the per-file envelope. [`decode_records_into`] is the inverse.
+pub fn encode_records_into(records: &[TraceRecord], out: &mut Vec<u8>) {
+    let mut buf = [0u8; RECORD_BYTES];
+    for r in records {
+        encode_record(r, &mut buf);
+        out.extend_from_slice(&buf);
+    }
+}
+
+/// Decodes raw record bytes produced by [`encode_records_into`],
+/// appending to `out` (which may hold earlier chunks — nothing is
+/// cleared). `base_index` is the 0-based index of the chunk's first
+/// record within the whole stream, used for error reporting. Returns
+/// the number of records decoded.
+///
+/// # Errors
+///
+/// [`BinaryTraceError::Truncated`] when `bytes` is not a whole number
+/// of records (offsets are relative to the chunk), and
+/// [`BinaryTraceError::BadOp`] for an invalid op byte — in which case
+/// `out` keeps the records decoded before the bad one.
+pub fn decode_records_into(
+    bytes: &[u8],
+    base_index: u64,
+    out: &mut Vec<TraceRecord>,
+) -> Result<usize, BinaryTraceError> {
+    if !bytes.len().is_multiple_of(RECORD_BYTES) {
+        let whole = (bytes.len() / RECORD_BYTES) as u64;
+        return Err(BinaryTraceError::Truncated {
+            records_read: whole,
+            byte_offset: whole * RECORD_BYTES as u64,
+        });
+    }
+    let mut n: usize = 0;
+    for raw in bytes.chunks_exact(RECORD_BYTES) {
+        out.push(decode_record(raw, base_index + n as u64)?);
+        n += 1;
+    }
+    Ok(n)
 }
 
 /// An incremental writer for the binary container (version 2).

@@ -1,0 +1,361 @@
+//! Minimal JSON codec for the wire protocol's control frames.
+//!
+//! The service speaks newline-delimited JSON objects with string keys
+//! and string / unsigned-integer / object / array values — a deliberate
+//! subset so the codec stays dependency-free and a few hundred lines.
+//! Parsing is strict: unknown escapes, trailing garbage, negative or
+//! fractional numbers, and non-UTF-8 input are all
+//! [`JsonError`]s, which the front-end maps to a typed `bad_frame`
+//! response instead of poisoning the connection.
+
+use std::fmt;
+
+/// A parsed JSON value (unsigned-integer subset; the protocol never
+/// carries negative or fractional numbers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    Num(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys keep the last).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Self::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset into the frame plus a static reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on any syntax violation.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { input, pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    match p.peek() {
+        None => Ok(value),
+        Some(_) => Err(p.error("trailing characters after value")),
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn rest(&self) -> &str {
+        self.input.get(self.pos..).unwrap_or_default()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos += ch.len_utf8();
+        Some(ch)
+    }
+
+    fn error(&self, message: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect_char(&mut self, ch: char, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(ch) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, message: &'static str) -> Result<(), JsonError> {
+        if self.rest().starts_with(word) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.error(message))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => self
+                .literal("true", "expected 'true'")
+                .map(|()| Json::Bool(true)),
+            Some('f') => self
+                .literal("false", "expected 'false'")
+                .map(|()| Json::Bool(false)),
+            Some('n') => self.literal("null", "expected 'null'").map(|()| Json::Null),
+            Some('0'..='9') => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let mut n: u64 = 0;
+        let mut digits = 0usize;
+        while let Some(ch) = self.peek() {
+            let Some(d) = ch.to_digit(10) else { break };
+            self.bump();
+            digits += 1;
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u64::from(d)))
+                .ok_or_else(|| self.error("integer overflows u64"))?;
+        }
+        if digits == 0 {
+            return Err(self.error("expected digits"));
+        }
+        if matches!(self.peek(), Some('.' | 'e' | 'E')) {
+            return Err(self.error("fractional numbers are not part of the protocol"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect_char('"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => out.push(self.unicode_escape()?),
+                    _ => return Err(self.error("unknown escape")),
+                },
+                Some(ch) if (ch as u32) < 0x20 => {
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(ch) => out.push(ch),
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let mut code: u32 = 0;
+        for _ in 0..4 {
+            let digit = self
+                .bump()
+                .and_then(|c| c.to_digit(16))
+                .ok_or_else(|| self.error("expected four hex digits after \\u"))?;
+            code = code * 16 + digit;
+        }
+        char::from_u32(code).ok_or_else(|| self.error("\\u escape is not a scalar value"))
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect_char('{', "expected '{'")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_char(':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Json::Obj(fields)),
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect_char('[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_protocol_frames() {
+        let v = parse(r#"{"op":"feed","session":"t0","bytes":1700}"#).unwrap();
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("feed"));
+        assert_eq!(v.get("session").and_then(Json::as_str), Some("t0"));
+        assert_eq!(v.get("bytes").and_then(Json::as_u64), Some(1700));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parses_nested_values_and_escapes() {
+        let v = parse(r#"{"tags":{"bench":"a\"b\\c\nA"},"arr":[1,true,null,"x"]}"#).unwrap();
+        let tags = v.get("tags").unwrap();
+        assert_eq!(tags.get("bench").and_then(Json::as_str), Some("a\"b\\c\nA"));
+        assert_eq!(
+            v.get("arr"),
+            Some(&Json::Arr(vec![
+                Json::Num(1),
+                Json::Bool(true),
+                Json::Null,
+                Json::Str("x".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last() {
+        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_input_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "{} trailing",
+            "-3",
+            "1.5",
+            "1e3",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "{\"n\":18446744073709551616}",
+            "nulL",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = parse("{\"a\":!}").unwrap_err();
+        assert_eq!(err.offset, 5);
+    }
+
+    #[test]
+    fn push_string_round_trips_through_parse() {
+        let original = "tabs\tquotes\" slashes\\ control\u{1} newline\n";
+        let mut line = String::new();
+        push_string(&mut line, original);
+        assert_eq!(parse(&line).unwrap(), Json::Str(original.into()));
+    }
+}

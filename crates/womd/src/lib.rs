@@ -1,0 +1,44 @@
+//! `womd` — the multi-tenant WOM-code PCM simulation service.
+//!
+//! Wraps the session API of [`wom_pcm`] in a long-running service: many
+//! named tenants multiplexed over a fixed worker pool, each driving its
+//! own deterministic simulation. The [`service`] module is the
+//! embeddable core (the throughput benchmarks drive it in-process); the
+//! [`wire`] module speaks the newline-JSON control protocol with raw
+//! `WOMTRC` record payloads over stdin or TCP (the `womd` binary and
+//! `womsim serve`).
+//!
+//! The determinism contract is the whole point: a tenant's final
+//! metrics and epoch series are byte-identical whether its trace
+//! arrived in one chunk or interleaved with 99 other tenants, at any
+//! worker count — sessions are pinned to one worker by name hash, so a
+//! tenant's engine only ever sees its own records in order, and parking
+//! or eviction under memory pressure round-trips through `WOMSNAP`
+//! checkpoints whose restores are exact.
+//!
+//! ```
+//! use womd::service::{Service, ServiceConfig, SessionEvent};
+//! use wom_pcm::session::SessionSpec;
+//! use wom_pcm::Architecture;
+//! use pcm_trace::synth::benchmarks;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = Service::start(ServiceConfig::default())?;
+//! let trace = benchmarks::by_name("qsort").unwrap().generate(1, 2_000);
+//! service.open("t0", SessionSpec::tiny(Architecture::WomCode), &[])?;
+//! service.feed("t0", trace)?;
+//! let events = service.finish_wait("t0", Duration::from_secs(30))?;
+//! assert!(matches!(
+//!     events.last(),
+//!     Some(SessionEvent::Finished { records: 2_000, .. })
+//! ));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod json;
+pub mod service;
+pub mod wire;
+
+pub use service::{Service, ServiceConfig, ServiceError, SessionEvent};

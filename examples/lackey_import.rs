@@ -50,8 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for arch in [Architecture::Baseline, Architecture::WomCodeRefresh] {
-        let mut sys = SystemBuilder::new(arch).rows_per_bank(4096).build()?;
-        let m = sys.run_trace(records.clone())?;
+        let mut session = SystemBuilder::new(arch).rows_per_bank(4096).open()?;
+        session.feed(&records)?;
+        let m = session.finish()?;
         println!(
             "{:22} mean write {:6.1} ns, mean read {:5.1} ns, {:.0}% fast writes",
             arch.label(),

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::arch::{Architecture, Session, SystemConfig};
 use womcode_pcm::code::{BlockCodec, Inverted, Rs23Code, WomCode};
 use womcode_pcm::trace::synth::benchmarks;
 
@@ -38,11 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = benchmarks::by_name("qsort").expect("bundled workload");
     let trace = profile.generate(/*seed*/ 7, /*records*/ 20_000);
 
-    let mut baseline = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline))?;
-    let base = baseline.run_trace(trace.clone())?;
+    let mut baseline = Session::open(SystemConfig::tiny(Architecture::Baseline))?;
+    baseline.feed(&trace)?;
+    let base = baseline.finish()?;
 
-    let mut wom = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCode))?;
-    let coded = wom.run_trace(trace)?;
+    let mut wom = Session::open(SystemConfig::tiny(Architecture::WomCode))?;
+    wom.feed(&trace)?;
+    let coded = wom.finish()?;
 
     println!(
         "\nqsort on conventional PCM : mean write {:.1} ns, mean read {:.1} ns",

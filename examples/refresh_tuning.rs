@@ -23,11 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "r_th %", "mean write ns", "fast writes", "refreshes", "preempted"
     );
     for threshold in [0u8, 25, 50, 75, 100] {
-        let mut sys = SystemBuilder::new(Architecture::WomCodeRefresh)
+        let mut session = SystemBuilder::new(Architecture::WomCodeRefresh)
             .rows_per_bank(4096)
             .refresh_threshold_pct(threshold)
-            .build()?;
-        let m = sys.run_trace(trace.clone())?;
+            .open()?;
+        session.feed(&trace)?;
+        let m = session.finish()?;
         println!(
             "{:>8}{:>16.1}{:>13.1}%{:>14}{:>12}",
             threshold,
@@ -44,11 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "depth", "mean write ns", "fast writes", "refreshes"
     );
     for depth in [1usize, 2, 5, 10, 20] {
-        let mut sys = SystemBuilder::new(Architecture::WomCodeRefresh)
+        let mut session = SystemBuilder::new(Architecture::WomCodeRefresh)
             .rows_per_bank(4096)
             .refresh_table_depth(depth)
-            .build()?;
-        let m = sys.run_trace(trace.clone())?;
+            .open()?;
+        session.feed(&trace)?;
+        let m = session.finish()?;
         println!(
             "{:>8}{:>16.1}{:>13.1}%{:>14}",
             depth,

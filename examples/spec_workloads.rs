@@ -24,8 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut base_mean = 0.0;
         for arch in Architecture::all_paper() {
             // Bound lazily-allocated state for the demo.
-            let mut sys = SystemBuilder::new(arch).rows_per_bank(4096).build()?;
-            let metrics = sys.run_trace(trace.clone())?;
+            let mut session = SystemBuilder::new(arch).rows_per_bank(4096).open()?;
+            session.feed(&trace)?;
+            let metrics = session.finish()?;
             if arch == Architecture::Baseline {
                 base_mean = metrics.writes.mean();
             }

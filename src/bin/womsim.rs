@@ -37,7 +37,33 @@ const USAGE: &str = "\n  womsim list\n  womsim gen <workload> <records> [seed] [
      <trace-file | workload:records[:seed]> [--verify] [--shards N] \
      [--resume PATH [--snapshot-every N]] \
      [--observe PATH [--epoch-cycles N]]\n  \
-     womsim compare <trace-file | workload:records[:seed]> [--threads N]";
+     womsim compare <trace-file | workload:records[:seed]> [--threads N]\n  \
+     womsim serve [--listen ADDR] [--workers N] [--max-resident N] \
+     [--max-sessions N] [--queue-batches N]\n  \
+     womsim --help";
+
+const HELP: &str = "womsim — command-line driver for the WOM-code PCM stack
+
+subcommands:
+  list       print the bundled workload profiles (paper suite + datacenter)
+  gen        emit a trace to stdout: DRAMSim2 text, or a .womtrc binary
+             container with --binary
+  stats      trace characteristics (access mix, footprint, rewrite rate)
+  convert    translate between text and binary trace containers; the
+             output extension picks the format (--stats for a summary)
+  run        simulate one architecture over a trace file or workload
+             spec; --shards N for intra-run sharding, --resume for
+             checkpointed runs, --observe for epoch JSONL export
+  compare    run all four paper architectures and print one table
+  serve      multi-tenant simulation service speaking the womd wire
+             protocol (newline-JSON control frames + raw WOMTRC record
+             payloads) on stdio, or on TCP with --listen ADDR; see
+             DESIGN.md §13 for the frame format
+
+workload specs are `name:records[:seed]`, e.g. `qsort:50000` — `womsim
+list` prints the names. Trace files are picked by extension: .womtrc
+(binary container), .lackey (Valgrind capture), anything else DRAMSim2
+text.";
 
 /// Row granularity for `stats` and `convert --stats` footprints.
 const STATS_ROW_BYTES: u64 = 1024;
@@ -468,8 +494,47 @@ fn cmd_compare(args: &[String], threads: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `womsim serve`: the womd service over stdio or TCP.
+fn cmd_serve(listen: Option<String>, config: womd::ServiceConfig) -> ExitCode {
+    let service = match womd::Service::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start worker pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match listen {
+        None => womd::wire::serve_stdio(&service),
+        Some(addr) => match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => {
+                eprintln!("womsim serve: listening on {addr}");
+                womd::wire::serve_tcp(&listener, &std::sync::Arc::new(service))
+            }
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut cli = Parser::from_env(USAGE);
+    if cli.flag("--help") || cli.flag("-h") {
+        // Fallible writes so `womsim --help | head` exits quietly on a
+        // closed pipe (same contract as `womsim list`).
+        let mut out = io::stdout().lock();
+        let _ = writeln!(out, "{HELP}");
+        let _ = writeln!(out, "\nusage:{USAGE}");
+        return ExitCode::SUCCESS;
+    }
     let threads = cli.threads();
     let shards = cli.shards();
     let snapshot = cli.snapshot();
@@ -477,6 +542,34 @@ fn main() -> ExitCode {
     let binary = cli.flag("--binary");
     let verify = cli.flag("--verify");
     let stats = cli.flag("--stats");
+    let listen = cli.value("--listen");
+    let mut service_cfg = womd::ServiceConfig::default();
+    let mut served = listen.is_some();
+    let mut serve_opt =
+        |name: &str, cli: &mut Parser, slot: &mut usize| match cli.parsed::<usize>(name) {
+            Some(0) => {
+                eprintln!("error: {name} wants a positive integer");
+                Some(ExitCode::from(2))
+            }
+            Some(n) => {
+                *slot = n;
+                served = true;
+                None
+            }
+            None => None,
+        };
+    let mut queue = service_cfg.queue_batches as usize;
+    for (name, slot) in [
+        ("--workers", &mut service_cfg.workers),
+        ("--max-resident", &mut service_cfg.max_resident),
+        ("--max-sessions", &mut service_cfg.max_sessions),
+        ("--queue-batches", &mut queue),
+    ] {
+        if let Some(exit) = serve_opt(name, &mut cli, slot) {
+            return exit;
+        }
+    }
+    service_cfg.queue_batches = u32::try_from(queue).unwrap_or(u32::MAX);
     let Some(command) = cli.next_arg() else {
         return usage();
     };
@@ -497,6 +590,10 @@ fn main() -> ExitCode {
         eprintln!("error: --stats only applies to `womsim convert`");
         return ExitCode::from(2);
     }
+    if served && command != "serve" {
+        eprintln!("error: --listen and the worker-pool flags only apply to `womsim serve`");
+        return ExitCode::from(2);
+    }
     match command.as_str() {
         "list" => cmd_list(),
         "gen" => cmd_gen(&rest, binary),
@@ -504,6 +601,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&rest, stats),
         "run" => cmd_run(&rest, verify, shards, snapshot.as_ref(), observe.as_ref()),
         "compare" => cmd_compare(&rest, threads),
+        "serve" => cmd_serve(listen, service_cfg),
         _ => usage(),
     }
 }

@@ -14,13 +14,14 @@
 //! # Example
 //!
 //! ```
-//! use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+//! use womcode_pcm::arch::{Architecture, Session, SystemConfig};
 //! use womcode_pcm::trace::synth::benchmarks;
 //!
 //! # fn main() -> Result<(), womcode_pcm::arch::WomPcmError> {
 //! let trace = benchmarks::by_name("mad").unwrap().generate(1, 1_000);
-//! let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCode))?;
-//! let metrics = sys.run_trace(trace)?;
+//! let mut session = Session::open(SystemConfig::tiny(Architecture::WomCode))?;
+//! session.feed(&trace)?;
+//! let metrics = session.finish()?;
 //! println!("mean write latency: {:.1} ns", metrics.mean_write_ns());
 //! # Ok(())
 //! # }
@@ -41,15 +42,16 @@ pub use wom_pcm as arch;
 ///
 /// # fn main() -> Result<(), WomPcmError> {
 /// let trace = benchmarks::by_name("qsort").unwrap().generate(1, 1_000);
-/// let metrics =
-///     WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCode))?.run_trace(trace)?;
+/// let mut session = Session::open(SystemConfig::tiny(Architecture::WomCode))?;
+/// session.feed(&trace)?;
+/// let metrics = session.finish()?;
 /// assert!(metrics.writes.count > 0);
 /// # Ok(())
 /// # }
 /// ```
 pub mod prelude {
     pub use crate::arch::{
-        Architecture, RunMetrics, SystemBuilder, SystemConfig, WomPcmError, WomPcmSystem,
+        Architecture, RunMetrics, Session, SessionSpec, SystemBuilder, SystemConfig, WomPcmError,
     };
     pub use crate::code::{BlockCodec, Inverted, RowScratch, Rs23Code, Sequencer, WomCode};
     pub use crate::sim::{MemConfig, MemoryGeometry, TimingParams};

@@ -2,8 +2,8 @@
 //! simulator → architectures.
 
 use womcode_pcm::arch::{
-    Architecture, BudgetGranularity, ColdPolicy, FunctionalMemory, SystemBuilder, SystemConfig,
-    WomPcmSystem,
+    Architecture, BudgetGranularity, ColdPolicy, FunctionalMemory, Session, SystemBuilder,
+    SystemConfig,
 };
 use womcode_pcm::code::{Inverted, Rs23Code};
 use womcode_pcm::trace::synth::benchmarks;
@@ -16,8 +16,9 @@ fn runs_are_deterministic() {
     let trace = benchmarks::by_name("mad").unwrap().generate(99, 5_000);
     for arch in Architecture::all_paper() {
         let run = |t: Vec<TraceRecord>| {
-            let mut sys = WomPcmSystem::new(SystemConfig::tiny(arch)).unwrap();
-            sys.run_trace(t).unwrap()
+            let mut session = Session::open(SystemConfig::tiny(arch)).unwrap();
+            session.feed(&t).unwrap();
+            session.finish().unwrap()
         };
         let a = run(trace.clone());
         let b = run(trace.clone());
@@ -35,8 +36,9 @@ fn no_access_is_lost_or_double_counted() {
     let reads = trace.iter().filter(|r| r.op == TraceOp::Read).count() as u64;
     let writes = trace.len() as u64 - reads;
     for arch in Architecture::all_paper() {
-        let mut sys = WomPcmSystem::new(SystemConfig::tiny(arch)).unwrap();
-        let m = sys.run_trace(trace.clone()).unwrap();
+        let mut session = Session::open(SystemConfig::tiny(arch)).unwrap();
+        session.feed(&trace).unwrap();
+        let m = session.finish().unwrap();
         assert_eq!(m.reads.count, reads, "{arch} reads");
         assert_eq!(
             m.writes.count, writes,
@@ -55,8 +57,9 @@ fn no_access_is_lost_or_double_counted() {
 #[test]
 fn baseline_has_no_wom_machinery() {
     let trace = benchmarks::by_name("typeset").unwrap().generate(5, 5_000);
-    let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline)).unwrap();
-    let m = sys.run_trace(trace).unwrap();
+    let mut session = Session::open(SystemConfig::tiny(Architecture::Baseline)).unwrap();
+    session.feed(&trace).unwrap();
+    let m = session.finish().unwrap();
     assert_eq!(m.fast_writes, 0);
     assert_eq!(m.refreshes_completed + m.refreshes_preempted, 0);
     assert!(m.cache.is_none());
@@ -77,15 +80,17 @@ fn functional_memory_agrees_with_wom_budgets() {
 
     // The latency-only table sees the same pattern (erased cold state,
     // row-granular budgets match whole-row functional writes).
-    let mut sys_cfg = SystemConfig::tiny(Architecture::WomCode);
-    sys_cfg.cold_policy = ColdPolicy::Erased;
-    sys_cfg.budget_granularity = BudgetGranularity::Row;
-    let mut sys = WomPcmSystem::new(sys_cfg).unwrap();
+    let sys_cfg = SystemBuilder::tiny(Architecture::WomCode)
+        .cold_policy(ColdPolicy::Erased)
+        .budget_granularity(BudgetGranularity::Row)
+        .into_config();
+    let mut session = Session::open(sys_cfg).unwrap();
     // Space the writes far apart so write coalescing cannot merge them.
     let trace: Vec<TraceRecord> = (0..5)
         .map(|i| TraceRecord::new(i * 10_000, 0x40, TraceOp::Write))
         .collect();
-    let m = sys.run_trace(trace).unwrap();
+    session.feed(&trace).unwrap();
+    let m = session.finish().unwrap();
     assert_eq!(m.fast_writes, 3);
     assert_eq!(m.slow_writes, 2);
 }
@@ -108,8 +113,9 @@ fn queue_pressure_does_not_deadlock() {
         })
         .collect();
     for arch in Architecture::all_paper() {
-        let mut sys = WomPcmSystem::new(SystemConfig::tiny(arch)).unwrap();
-        let m = sys.run_trace(trace.clone()).unwrap();
+        let mut session = Session::open(SystemConfig::tiny(arch)).unwrap();
+        session.feed(&trace).unwrap();
+        let m = session.finish().unwrap();
         assert_eq!(m.reads.count + m.writes.count, 2_000, "{arch}");
     }
 }
@@ -117,24 +123,28 @@ fn queue_pressure_does_not_deadlock() {
 /// Out-of-order trace records are rejected, not silently reordered.
 #[test]
 fn trace_order_is_enforced() {
-    let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::Baseline)).unwrap();
-    sys.submit(TraceRecord::new(100, 0, TraceOp::Read)).unwrap();
-    let err = sys.submit(TraceRecord::new(50, 64, TraceOp::Read));
+    let mut session = Session::open(SystemConfig::tiny(Architecture::Baseline)).unwrap();
+    session
+        .feed(&[TraceRecord::new(100, 0, TraceOp::Read)])
+        .unwrap();
+    let err = session.feed(&[TraceRecord::new(50, 64, TraceOp::Read)]);
     assert!(err.is_err(), "decreasing cycles must error");
 }
 
-/// The builder and the plain config construct equivalent systems.
+/// The builder and the plain config construct equivalent sessions.
 #[test]
 fn builder_matches_config() {
     let trace = benchmarks::by_name("stringsearch")
         .unwrap()
         .generate(8, 3_000);
-    let mut from_cfg = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCodeRefresh)).unwrap();
+    let mut from_cfg = Session::open(SystemConfig::tiny(Architecture::WomCodeRefresh)).unwrap();
     let mut from_builder = SystemBuilder::tiny(Architecture::WomCodeRefresh)
-        .build()
+        .open()
         .unwrap();
-    let a = from_cfg.run_trace(trace.clone()).unwrap();
-    let b = from_builder.run_trace(trace).unwrap();
+    from_cfg.feed(&trace).unwrap();
+    from_builder.feed(&trace).unwrap();
+    let a = from_cfg.finish().unwrap();
+    let b = from_builder.finish().unwrap();
     assert_eq!(a.writes.total, b.writes.total);
     assert_eq!(a.refreshes_completed, b.refreshes_completed);
 }

@@ -3,7 +3,7 @@
 //! analytic bounds. These are the "shape" assertions the reproduction
 //! must preserve (see `EXPERIMENTS.md` for measured magnitudes).
 
-use womcode_pcm::arch::{Architecture, RunMetrics, SystemConfig, WomPcmSystem};
+use womcode_pcm::arch::{Architecture, RunMetrics, SystemBuilder};
 use womcode_pcm::code::analysis::{latency_ratio_bound, wcpcm_overhead};
 use womcode_pcm::code::Rs23Code;
 use womcode_pcm::trace::synth::{benchmarks, Suite};
@@ -17,12 +17,9 @@ fn normalized_writes(arch: Architecture, bench: &str) -> (f64, f64) {
     let profile = benchmarks::by_name(bench).expect("paper workload");
     let trace = profile.generate(2014, RECORDS);
     let run = |a: Architecture| -> RunMetrics {
-        let mut cfg = SystemConfig::paper(a);
-        cfg.mem.geometry.rows_per_bank = 4096;
-        WomPcmSystem::new(cfg)
-            .unwrap()
-            .run_trace(trace.clone())
-            .unwrap()
+        let mut session = SystemBuilder::new(a).rows_per_bank(4096).open().unwrap();
+        session.feed(&trace).unwrap();
+        session.finish().unwrap()
     };
     let base = run(Architecture::Baseline);
     let m = run(arch);

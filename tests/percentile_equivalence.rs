@@ -70,11 +70,12 @@ fn memstats_and_runmetrics_answer_percentiles_identically() {
 fn simulated_runmetrics_percentiles_delegate_to_the_shared_histogram() {
     let profile = benchmarks::by_name("qsort").expect("bundled workload");
     let trace = profile.generate(2014, 5_000);
-    let mut sys = SystemBuilder::new(Architecture::WomCodeRefresh)
+    let mut session = SystemBuilder::new(Architecture::WomCodeRefresh)
         .rows_per_bank(4096)
-        .build()
+        .open()
         .expect("valid config");
-    let m = sys.run_trace(trace).expect("trace runs");
+    session.feed(&trace).expect("trace runs");
+    let m = session.finish().expect("trace finishes");
     assert!(m.writes.count > 0 && m.reads.count > 0);
     for q in [0.5, 0.95, 0.99] {
         assert_eq!(

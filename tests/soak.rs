@@ -4,7 +4,7 @@
 //! cargo test --release --test soak -- --ignored
 //! ```
 
-use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::arch::{Architecture, SystemBuilder};
 use womcode_pcm::trace::synth::benchmarks;
 use womcode_pcm::trace::TraceOp;
 
@@ -20,10 +20,9 @@ fn half_million_records_per_architecture() {
             .generate(99, RECORDS);
         let reads = trace.iter().filter(|r| r.op == TraceOp::Read).count() as u64;
         for arch in Architecture::all_paper() {
-            let mut cfg = SystemConfig::paper(arch);
-            cfg.mem.geometry.rows_per_bank = 4096;
-            let mut sys = WomPcmSystem::new(cfg).unwrap();
-            let m = sys.run_trace(trace.clone()).unwrap();
+            let mut session = SystemBuilder::new(arch).rows_per_bank(4096).open().unwrap();
+            session.feed(&trace).unwrap();
+            let m = session.finish().unwrap();
             assert_eq!(m.reads.count, reads, "{profile_name}/{arch}");
             assert_eq!(
                 m.writes.count,
@@ -40,11 +39,13 @@ fn half_million_records_per_architecture() {
 #[ignore = "multi-minute soak; run with --ignored"]
 fn data_verification_soak() {
     let trace = benchmarks::by_name("FFT.mi").unwrap().generate(7, 200_000);
-    let mut cfg = SystemConfig::paper(Architecture::WomCodeRefresh);
-    cfg.mem.geometry.rows_per_bank = 4096;
-    cfg.verify_data = true;
-    let mut sys = WomPcmSystem::new(cfg).unwrap();
-    let m = sys.run_trace(trace).unwrap();
+    let mut session = SystemBuilder::new(Architecture::WomCodeRefresh)
+        .rows_per_bank(4096)
+        .verify_data(true)
+        .open()
+        .unwrap();
+    session.feed(&trace).unwrap();
+    let m = session.finish().unwrap();
     assert!(m.data_reads_verified > 50_000);
     assert!(m.refreshes_completed > 1_000);
 }

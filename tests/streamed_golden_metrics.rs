@@ -31,8 +31,9 @@ fn endurance_configs() -> Vec<(&'static str, womcode_pcm::arch::SystemConfig)> {
 
 fn run_spec(cfg: &womcode_pcm::arch::SystemConfig, spec: &TraceSpec) -> String {
     let mut source = spec.open().expect("test specs open");
-    let mut sys = womcode_pcm::arch::WomPcmSystem::new(cfg.clone()).expect("configs validate");
-    let metrics = sys.run_source(&mut source).expect("test traces run");
+    let mut session = womcode_pcm::arch::Session::open(cfg.clone()).expect("configs validate");
+    session.feed_source(&mut source).expect("test traces run");
+    let metrics = session.finish().expect("test traces finish");
     format!("{metrics:#?}")
 }
 

@@ -1,7 +1,7 @@
 //! Trace-format integration: synthetic traces survive a round trip
 //! through the DRAMSim2 text format and drive the simulator identically.
 
-use womcode_pcm::arch::{Architecture, SystemConfig, WomPcmSystem};
+use womcode_pcm::arch::{Architecture, Session, SystemConfig};
 use womcode_pcm::trace::format::{write_trace, TraceReader};
 use womcode_pcm::trace::synth::benchmarks;
 use womcode_pcm::trace::TraceStats;
@@ -29,8 +29,9 @@ fn parsed_traces_simulate_identically() {
         .expect("well-formed trace");
 
     let run = |t: Vec<_>| {
-        let mut sys = WomPcmSystem::new(SystemConfig::tiny(Architecture::WomCode)).unwrap();
-        sys.run_trace(t).unwrap()
+        let mut session = Session::open(SystemConfig::tiny(Architecture::WomCode)).unwrap();
+        session.feed(&t).unwrap();
+        session.finish().unwrap()
     };
     let direct = run(records);
     let roundtripped = run(parsed);
